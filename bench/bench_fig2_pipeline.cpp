@@ -1,0 +1,73 @@
+// Figure 2 reproduction: SNAKE's architecture, exercised end to end.
+//
+// The paper's diagram shows controller -> executor(s) -> {VMs, network
+// emulator, attack proxy + state tracker} -> performance data -> controller.
+// This bench drives a bounded campaign through exactly that loop and prints
+// per-component activity counters, demonstrating each box exists and is on
+// the critical path.
+#include <cstdio>
+
+#include "snake/controller.h"
+#include "strategy/generator.h"
+#include "tcp/profile.h"
+
+using namespace snake;
+using namespace snake::core;
+
+int main(int argc, char** argv) {
+  std::uint64_t budget = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120;
+
+  CampaignConfig config;
+  config.scenario.protocol = Protocol::kTcp;
+  config.scenario.tcp_profile = tcp::linux_3_13_profile();
+  config.scenario.test_duration = Duration::seconds(10.0);
+  config.scenario.seed = 3;
+  config.generator = strategy::tcp_generator_config();
+  config.executors = 8;
+  config.max_strategies = budget;
+
+  std::printf("== Figure 2: SNAKE component pipeline (bounded campaign, %llu strategies) ==\n\n",
+              (unsigned long long)budget);
+  CampaignResult result = run_campaign(config);
+
+  std::printf("controller:\n");
+  std::printf("  strategies scheduled & tried ............ %llu\n",
+              (unsigned long long)result.strategies_tried);
+  std::printf("  detections confirmed by retest .......... %llu\n",
+              (unsigned long long)result.attack_strategies_found);
+  std::printf("  classified: on-path=%llu false-positive=%llu true=%llu (unique=%llu)\n",
+              (unsigned long long)result.on_path, (unsigned long long)result.false_positives,
+              (unsigned long long)result.true_attack_strategies,
+              (unsigned long long)result.unique_true_attacks);
+
+  std::printf("executor (baseline run):\n");
+  std::printf("  target connection bytes ................. %llu\n",
+              (unsigned long long)result.baseline.target_bytes);
+  std::printf("  competing connection bytes .............. %llu\n",
+              (unsigned long long)result.baseline.competing_bytes);
+  std::printf("  server sockets left open (netstat) ...... %zu\n",
+              result.baseline.server1_stuck_sockets);
+
+  std::printf("attack proxy + state tracker (baseline run):\n");
+  std::printf("  packets intercepted ..................... %llu\n",
+              (unsigned long long)result.baseline.proxy.intercepted);
+  std::printf("  distinct (state, type, dir) observations  %zu client / %zu server\n",
+              result.baseline.client_observations.size(),
+              result.baseline.server_observations.size());
+  std::printf("  client protocol states visited .......... %zu\n",
+              result.baseline.client_state_stats.size());
+  for (const auto& [state, stats] : result.baseline.client_state_stats) {
+    std::printf("    %-12s visits=%llu time=%.3fs\n", state.c_str(),
+                (unsigned long long)stats.visits, stats.total_time.to_seconds());
+  }
+
+  if (!result.found.empty()) {
+    std::printf("\nsample confirmed strategies:\n");
+    std::size_t shown = 0;
+    for (const StrategyOutcome& o : result.found) {
+      std::printf("  [%s] %s\n", to_string(o.cls), o.strat.describe().c_str());
+      if (++shown == 8) break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Section VI.C reproduction: "Benefits of State-based Strategy Generation".
+//
+// Prints the comparison of the three attack-injection approaches — first
+// with the paper's own inputs (reproducing the 720M-strategy / 548-year and
+// 689k-strategy / 191-day projections), then re-derived with the strategy
+// counts OUR generator actually produces for TCP and DCCP.
+#include <cstdio>
+
+#include "packet/dccp_format.h"
+#include "packet/tcp_format.h"
+#include "statemachine/protocol_specs.h"
+#include "strategy/generator.h"
+#include "strategy/search_space.h"
+
+using namespace snake;
+using strategy::SearchSpaceInputs;
+using strategy::SearchSpaceRow;
+
+namespace {
+
+void print_rows(const std::vector<SearchSpaceRow>& rows) {
+  std::printf("  %-24s %16s %16s %14s %s\n", "approach", "strategies", "compute hours",
+              "wall clock", "off-path?");
+  for (const SearchSpaceRow& r : rows) {
+    char wall[64];
+    if (r.wall_clock_days > 2 * 365.0)
+      std::snprintf(wall, sizeof(wall), "%.0f years", r.wall_clock_days / 365.0);
+    else if (r.wall_clock_days > 3.0)
+      std::snprintf(wall, sizeof(wall), "%.0f days", r.wall_clock_days);
+    else
+      std::snprintf(wall, sizeof(wall), "%.1f hours", r.wall_clock_days * 24.0);
+    std::printf("  %-24s %16llu %16.0f %14s %s\n", r.approach.c_str(),
+                (unsigned long long)r.strategies, r.compute_hours, wall,
+                r.supports_off_path ? "yes" : "no");
+  }
+}
+
+/// Counts the strategies our generator would produce for a protocol given
+/// the (type, state) pairs a typical baseline run observes.
+std::uint64_t generator_strategy_count(
+    const packet::HeaderFormat& format, const statemachine::StateMachine& machine,
+    strategy::GeneratorConfig config,
+    const std::vector<statemachine::EndpointTracker::Observation>& client_obs,
+    const std::vector<statemachine::EndpointTracker::Observation>& server_obs) {
+  strategy::StrategyGenerator gen(format, machine, config);
+  std::uint64_t n = gen.off_path_strategies().size();
+  n += gen.on_observations(client_obs, server_obs).size();
+  return n;
+}
+
+statemachine::EndpointTracker::Observation snd(const char* state, const char* type) {
+  return {state, type, statemachine::TriggerKind::kSend};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section VI.C: search-space comparison ==\n\n");
+
+  std::printf("With the paper's inputs (1-minute TCP test, 100 Mbit/s, 2 min/strategy,\n"
+              "5 executors; ~6000 state-based strategies):\n\n");
+  print_rows(search_space_comparison(SearchSpaceInputs{}));
+
+  // Re-derive with our generator's actual output. The observation lists are
+  // the (state, packet type) pairs a baseline HTTP download / iperf run
+  // exposes (cf. the scenario tests).
+  std::uint64_t tcp_count = generator_strategy_count(
+      packet::tcp_format(), statemachine::tcp_state_machine(),
+      strategy::tcp_generator_config(),
+      {snd("CLOSED", "SYN"), snd("ESTABLISHED", "ACK"), snd("ESTABLISHED", "FIN+ACK"),
+       snd("FIN_WAIT_2", "RST"), snd("FIN_WAIT_1", "RST")},
+      {snd("LISTEN", "SYN+ACK"), snd("ESTABLISHED", "ACK"), snd("ESTABLISHED", "PSH+ACK"),
+       snd("CLOSE_WAIT", "ACK"), snd("CLOSE_WAIT", "FIN+ACK")});
+  std::uint64_t dccp_count = generator_strategy_count(
+      packet::dccp_format(), statemachine::dccp_state_machine(),
+      strategy::dccp_generator_config(),
+      {snd("CLOSED", "DCCP-Request"), snd("REQUEST", "DCCP-Ack"),
+       snd("OPEN", "DCCP-DataAck"), snd("OPEN", "DCCP-Close")},
+      {snd("LISTEN", "DCCP-Response"), snd("OPEN", "DCCP-Ack"), snd("OPEN", "DCCP-Reset")});
+
+  std::printf("\nWith THIS repo's generator (strategies actually produced from a baseline\n"
+              "run's observed (packet type, state) pairs):\n\n");
+  SearchSpaceInputs tcp_in;
+  tcp_in.state_based_strategies = tcp_count;
+  std::printf("TCP (%llu strategies):\n", (unsigned long long)tcp_count);
+  print_rows(search_space_comparison(tcp_in));
+  SearchSpaceInputs dccp_in;
+  dccp_in.state_based_strategies = dccp_count;
+  std::printf("\nDCCP (%llu strategies):\n", (unsigned long long)dccp_count);
+  print_rows(search_space_comparison(dccp_in));
+
+  std::printf(
+      "\nShape check vs paper: time-interval-based is ~5 orders of magnitude above\n"
+      "state-based; send-packet-based ~2 orders; only interval- and state-based\n"
+      "approaches can model off-path injection (Reset / SYN-Reset attacks).\n");
+  return 0;
+}

@@ -1,0 +1,271 @@
+// Table II reproduction: every attack SNAKE discovered, executed end to end
+// against the implementation profiles the paper lists, with the measured
+// impact next to the paper's description.
+#include <cstdio>
+#include <string>
+
+#include "packet/dccp_format.h"
+#include "packet/tcp_format.h"
+#include "sim/network.h"
+#include "snake/detector.h"
+#include "snake/scenario.h"
+#include "tcp/segment.h"
+#include "tcp/stack.h"
+#include "util/rng.h"
+
+using namespace snake;
+using namespace snake::core;
+using strategy::AttackAction;
+using strategy::InjectSpec;
+using strategy::LieSpec;
+using strategy::Strategy;
+using strategy::TrafficDirection;
+
+namespace {
+
+ScenarioConfig tcp_config(const tcp::TcpProfile& profile) {
+  ScenarioConfig c;
+  c.protocol = Protocol::kTcp;
+  c.tcp_profile = profile;
+  c.test_duration = Duration::seconds(20.0);
+  c.seed = 5;
+  return c;
+}
+
+ScenarioConfig dccp_config() {
+  ScenarioConfig c;
+  c.protocol = Protocol::kDccp;
+  c.test_duration = Duration::seconds(20.0);
+  c.seed = 5;
+  return c;
+}
+
+void row(const char* protocol, const char* attack, const char* impact, const char* known,
+         const std::string& result) {
+  std::printf("%-5s %-38s %-22s %-9s %s\n", protocol, attack, impact, known, result.c_str());
+}
+
+std::string ratio_str(double r) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", r);
+  return buf;
+}
+
+// --- Attack 1: CLOSE_WAIT Resource Exhaustion ------------------------------
+void close_wait_exhaustion() {
+  Strategy s;
+  s.action = AttackAction::kDrop;
+  s.packet_type = "RST";
+  s.target_state = "FIN_WAIT_2";
+  s.direction = TrafficDirection::kClientToServer;
+  std::string result;
+  for (const char* name : {"linux-3.0.0", "linux-3.13", "windows-8.1"}) {
+    ScenarioConfig c = tcp_config(tcp::tcp_profile_by_name(name));
+    RunMetrics base = run_scenario(c, std::nullopt);
+    RunMetrics atk = run_scenario(c, s);
+    bool stuck = atk.server1_stuck_sockets > base.server1_stuck_sockets;
+    result += std::string(name) + (stuck ? ": server wedged in CLOSE_WAIT; " : ": clean; ");
+  }
+  row("TCP", "CLOSE_WAIT Resource Exhaustion", "Server DoS", "Partially", result);
+}
+
+// --- Attack 2: Packets with Invalid Flags (fingerprinting) -----------------
+// Probes each implementation with nonsensical flag combinations on a live
+// connection and reports the response signature — the fingerprint.
+void invalid_flags_fingerprint() {
+  std::string result;
+  for (const tcp::TcpProfile& profile : tcp::all_tcp_profiles()) {
+    sim::Network net;
+    sim::Node& a = net.add_node(1, "probe");
+    sim::Node& b = net.add_node(2, "victim");
+    auto [ab, ba] = net.connect(a, b, sim::LinkConfig{});
+    a.set_default_route(ab);
+    b.set_default_route(ba);
+    tcp::TcpStack probe(a, tcp::linux_3_13_profile(), Rng(1));
+    tcp::TcpStack victim(b, profile, Rng(2));
+    victim.listen(80, [](tcp::TcpEndpoint& ep) {
+      tcp::TcpCallbacks cb;
+      cb.on_established = [&ep] { ep.send(Bytes(100000, 0x55)); };
+      return cb;
+    });
+    tcp::TcpEndpoint& conn = probe.connect(2, 80, tcp::TcpCallbacks{});
+    net.scheduler().run_until(TimePoint::origin() + Duration::seconds(1.0));
+
+    // Use the victim's actual window start so responses reflect policy, not
+    // sequence checks.
+    tcp::TcpEndpoint* vep = victim.endpoints().empty() ? nullptr : victim.endpoints()[0].get();
+    if (vep == nullptr) continue;
+    tcp::Segment seg;
+    seg.src_port = conn.config().local_port;
+    seg.dst_port = 80;
+    seg.seq = vep->rcv_nxt();
+    for (std::uint8_t flags : {std::uint8_t{0x00},
+                               std::uint8_t(packet::kTcpSyn | packet::kTcpFin |
+                                            packet::kTcpRst | packet::kTcpPsh)}) {
+      seg.flags = flags;
+      sim::Packet p;
+      p.src = 1;
+      p.dst = 2;
+      p.protocol = sim::kProtoTcp;
+      p.bytes = serialize(seg);
+      a.send_packet(std::move(p));
+      net.scheduler().run_until(net.scheduler().now() + Duration::seconds(0.2));
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s:{seen=%llu,answered=%llu,reset=%s} ",
+                  profile.name.c_str(),
+                  (unsigned long long)vep->stats().invalid_flag_segments,
+                  (unsigned long long)vep->stats().invalid_flag_responses,
+                  vep->released() ? "yes" : "no");
+    result += buf;
+  }
+  row("TCP", "Packets with Invalid Flags", "Fingerprinting", "No", result);
+}
+
+// --- Attack 3: Duplicate ACK Spoofing --------------------------------------
+void dupack_spoofing() {
+  Strategy s;
+  s.action = AttackAction::kDuplicate;
+  s.packet_type = "ACK";
+  s.target_state = "ESTABLISHED";
+  s.direction = TrafficDirection::kClientToServer;
+  s.duplicate_count = 2;
+  std::string result;
+  for (const char* name : {"windows-95", "linux-3.13"}) {
+    ScenarioConfig c = tcp_config(tcp::tcp_profile_by_name(name));
+    RunMetrics base = run_scenario(c, std::nullopt);
+    RunMetrics atk = run_scenario(c, s);
+    Detection d = detect(base, atk);
+    result += std::string(name) + ": " + ratio_str(d.target_ratio) + " throughput; ";
+  }
+  result += "(paper: ~5x gain on Windows 95 only)";
+  row("TCP", "Duplicate Acknowledgment Spoofing", "Poor Fairness", "Yes", result);
+}
+
+// --- Attacks 4 & 5: Reset / SYN-Reset sweeps --------------------------------
+void reset_sweeps(const char* type, const char* attack_name) {
+  Strategy s;
+  s.action = AttackAction::kHitSeqWindow;
+  s.packet_type = type;
+  s.target_state = "ESTABLISHED";
+  s.direction = TrafficDirection::kServerToClient;
+  InjectSpec spec;
+  spec.packet_type = type;
+  spec.fields = {{"data_offset", 5}};
+  spec.spoof_toward_client = true;
+  spec.target_competing = true;
+  spec.seq_field = "seq";
+  spec.seq_start = 7777;
+  spec.seq_stride = 65535;
+  spec.count = (1ULL << 32) / 65535 + 2;
+  spec.pace_pps = 20000;
+  s.inject = spec;
+
+  int vulnerable = 0;
+  for (const tcp::TcpProfile& profile : tcp::all_tcp_profiles()) {
+    ScenarioConfig c = tcp_config(profile);
+    RunMetrics atk = run_scenario(c, s);
+    if (atk.competing_reset) ++vulnerable;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "%d/4 implementations reset (in-window %s kills the connection)",
+                vulnerable, type);
+  row("TCP", attack_name, "Client DoS", "Yes", buf);
+}
+
+// --- Attack 6: Duplicate ACK Rate Limiting ----------------------------------
+void dupack_rate_limiting() {
+  Strategy s;
+  s.action = AttackAction::kDuplicate;
+  s.packet_type = "PSH+ACK";
+  s.target_state = "ESTABLISHED";
+  s.direction = TrafficDirection::kServerToClient;
+  s.duplicate_count = 10;
+  std::string result;
+  for (const char* name : {"windows-8.1", "linux-3.13", "linux-3.0.0"}) {
+    ScenarioConfig c = tcp_config(tcp::tcp_profile_by_name(name));
+    RunMetrics base = run_scenario(c, std::nullopt);
+    RunMetrics atk = run_scenario(c, s);
+    Detection d = detect(base, atk);
+    result += std::string(name) + ": " + ratio_str(d.target_ratio) + "; ";
+  }
+  result += "(paper: ~5x degradation, Windows 8.1 only)";
+  row("TCP", "Duplicate Acknowledgment Rate Limiting", "Throughput Degr.", "No", result);
+}
+
+// --- Attack 7: DCCP Acknowledgment Mung -------------------------------------
+void dccp_ack_mung() {
+  Strategy s;
+  s.action = AttackAction::kLie;
+  s.packet_type = "DCCP-Ack";
+  s.target_state = "OPEN";
+  s.direction = TrafficDirection::kServerToClient;
+  s.lie = LieSpec{"ack", LieSpec::Mode::kSet, 0x123456};
+  ScenarioConfig c = dccp_config();
+  RunMetrics base = run_scenario(c, std::nullopt);
+  RunMetrics atk = run_scenario(c, s);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "server sockets stuck: %zu (baseline %zu); goodput %.2fx of baseline",
+                atk.server1_stuck_sockets, base.server1_stuck_sockets,
+                detect(base, atk).target_ratio);
+  row("DCCP", "Acknowledgment Mung Resource Exhaustion", "Server DoS", "No", buf);
+}
+
+// --- Attack 8: In-window Acknowledgment Sequence Modification ---------------
+void dccp_inwindow_ack_mod() {
+  Strategy s;
+  s.action = AttackAction::kLie;
+  s.packet_type = "DCCP-Ack";
+  s.target_state = "OPEN";
+  s.direction = TrafficDirection::kServerToClient;
+  s.lie = LieSpec{"seq", LieSpec::Mode::kAdd, 60};
+  ScenarioConfig c = dccp_config();
+  RunMetrics base = run_scenario(c, std::nullopt);
+  RunMetrics atk = run_scenario(c, s);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "goodput %.2fx of baseline (forced SYNC resyncs)",
+                detect(base, atk).target_ratio);
+  row("DCCP", "In-window Ack Sequence Modification", "Throughput Degr.", "No", buf);
+}
+
+// --- Attack 9: REQUEST Connection Termination --------------------------------
+void dccp_request_termination() {
+  Strategy s;
+  s.action = AttackAction::kInject;
+  s.packet_type = "DCCP-Data";
+  s.target_state = "REQUEST";
+  s.direction = TrafficDirection::kServerToClient;
+  InjectSpec spec;
+  spec.packet_type = "DCCP-Data";
+  spec.fields = {{"data_offset", 6}, {"x", 1}, {"seq", 424242}};
+  spec.spoof_toward_client = true;
+  spec.target_competing = false;
+  s.inject = spec;
+  ScenarioConfig c = dccp_config();
+  RunMetrics atk = run_scenario(c, s);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "connection reset in REQUEST state: %s; bytes moved: %llu",
+                atk.target_reset ? "yes" : "no", (unsigned long long)atk.target_bytes);
+  row("DCCP", "REQUEST Connection Termination", "Client DoS", "No", buf);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table II: attacks discovered by SNAKE, re-executed ==\n\n");
+  std::printf("%-5s %-38s %-22s %-9s %s\n", "Proto", "Attack", "Impact", "Known",
+              "Measured in this reproduction");
+  std::printf("%s\n", std::string(140, '-').c_str());
+  close_wait_exhaustion();
+  invalid_flags_fingerprint();
+  dupack_spoofing();
+  reset_sweeps("RST", "Reset Attack");
+  reset_sweeps("SYN", "SYN-Reset Attack");
+  dupack_rate_limiting();
+  dccp_ack_mung();
+  dccp_inwindow_ack_mod();
+  dccp_request_termination();
+  return 0;
+}

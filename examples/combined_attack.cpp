@@ -1,0 +1,64 @@
+// Combined attack strategies — the paper's future-work extension, runnable.
+//
+// "Note that one can also consider more complex attack strategies that
+// combine the basic attacks described above into strategies consisting of
+// sequences of actions. We currently support only the basic attacks."
+//
+// This example shows why combinations matter: the CLOSE_WAIT Resource
+// Exhaustion attack blocks the exited client's RSTs, but those RSTs can be
+// observed in FIN_WAIT_1 *or* FIN_WAIT_2 depending on timing. Each
+// single-state strategy on its own may leak an RST (one reaching the server
+// cleans everything up); the combination covers all emitting states and
+// wedges the server regardless.
+#include <cstdio>
+
+#include "snake/detector.h"
+#include "snake/scenario.h"
+#include "tcp/profile.h"
+
+int main() {
+  using namespace snake;
+  using strategy::AttackAction;
+  using strategy::Strategy;
+  using strategy::TrafficDirection;
+
+  core::ScenarioConfig config;
+  config.protocol = core::Protocol::kTcp;
+  config.tcp_profile = tcp::linux_3_0_profile();
+  config.test_duration = Duration::seconds(20.0);
+  config.seed = 5;
+
+  auto drop_rst_in = [](const char* state) {
+    Strategy s;
+    s.action = AttackAction::kDrop;
+    s.packet_type = "RST";
+    s.target_state = state;
+    s.direction = TrafficDirection::kClientToServer;
+    return s;
+  };
+
+  core::RunMetrics baseline = core::run_scenario(config, std::nullopt);
+  std::printf("== Combined attack strategies (CLOSE_WAIT blockade) ==\n\n");
+  std::printf("baseline: stuck server sockets = %zu\n\n", baseline.server1_stuck_sockets);
+
+  for (const char* state : {"FIN_WAIT_1", "FIN_WAIT_2"}) {
+    core::RunMetrics single = core::run_scenario(config, drop_rst_in(state));
+    std::printf("single   drop RST in %-10s -> stuck sockets = %zu, RSTs dropped = %llu\n",
+                state, single.server1_stuck_sockets,
+                (unsigned long long)single.proxy.dropped);
+  }
+
+  std::vector<Strategy> combo = {drop_rst_in("FIN_WAIT_1"), drop_rst_in("FIN_WAIT_2"),
+                                 drop_rst_in("CLOSED")};
+  core::RunMetrics combined = core::run_scenario(config, combo);
+  std::printf("combined drop RST in FW1+FW2+CLOSED -> stuck sockets = %zu, RSTs dropped = %llu\n",
+              combined.server1_stuck_sockets, (unsigned long long)combined.proxy.dropped);
+
+  core::Detection d = core::detect(baseline, combined);
+  std::printf("\ncombined verdict: %s", d.is_attack ? "ATTACK" : "no attack");
+  for (const auto& reason : d.reasons) std::printf("\n  - %s", reason.c_str());
+  std::printf("\n");
+  for (const auto& [state, count] : combined.server1_socket_states)
+    std::printf("  server socket state: %s x%d\n", state.c_str(), count);
+  return d.is_attack ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// The three previously-unknown DCCP attacks from the paper, demonstrated
+// one after another against the Linux-3.13 DCCP (CCID-2) model.
+#include <cstdio>
+
+#include "packet/dccp_format.h"
+#include "snake/detector.h"
+#include "snake/scenario.h"
+
+int main() {
+  using namespace snake;
+  using strategy::AttackAction;
+  using strategy::InjectSpec;
+  using strategy::LieSpec;
+  using strategy::Strategy;
+  using strategy::TrafficDirection;
+
+  core::ScenarioConfig config;
+  config.protocol = core::Protocol::kDccp;
+  config.test_duration = Duration::seconds(20.0);
+  config.seed = 23;
+
+  core::RunMetrics baseline = core::run_scenario(config, std::nullopt);
+  std::printf("== DCCP attacks (baseline goodput %.2f MB, clean teardown: %s) ==\n\n",
+              baseline.target_bytes / 1e6, baseline.server1_stuck_sockets == 0 ? "yes" : "no");
+
+  auto run = [&](const char* title, const Strategy& s, const char* mechanism) {
+    core::RunMetrics attacked = core::run_scenario(config, s);
+    core::Detection d = core::detect(baseline, attacked);
+    std::printf("%s\n  %s\n  strategy: %s\n", title, mechanism, s.describe().c_str());
+    std::printf("  goodput %.2fx of baseline; server sockets stuck: %zu; reset: %s\n",
+                d.target_ratio, attacked.server1_stuck_sockets,
+                attacked.target_reset ? "yes" : "no");
+    std::printf("  verdict: %s\n\n", d.is_attack ? "ATTACK" : "no attack");
+  };
+
+  {
+    Strategy s;
+    s.action = AttackAction::kLie;
+    s.packet_type = "DCCP-Ack";
+    s.target_state = "OPEN";
+    s.direction = TrafficDirection::kServerToClient;
+    s.lie = LieSpec{"ack", LieSpec::Mode::kSet, 0x123456};
+    run("1. Acknowledgment Mung Resource Exhaustion", s,
+        "invalid acknowledgments pin the sender's CCID-2 at one packet per "
+        "backed-off RTO;\n  the transmit queue cannot drain, so close() never "
+        "completes and the server\n  holds the socket indefinitely");
+  }
+  {
+    Strategy s;
+    s.action = AttackAction::kLie;
+    s.packet_type = "DCCP-Ack";
+    s.target_state = "OPEN";
+    s.direction = TrafficDirection::kServerToClient;
+    s.lie = LieSpec{"seq", LieSpec::Mode::kAdd, 60};
+    run("2. In-window Acknowledgment Sequence Number Modification", s,
+        "a still-sequence-valid bump of the acks' sequence numbers makes the "
+        "sender\n  acknowledge packets never sent; the receiver drops a window "
+        "of data and\n  forces a Sync/SyncAck resynchronization every round");
+  }
+  {
+    Strategy s;
+    s.action = AttackAction::kInject;
+    s.packet_type = "DCCP-Data";
+    s.target_state = "REQUEST";
+    s.direction = TrafficDirection::kServerToClient;
+    InjectSpec spec;
+    spec.packet_type = "DCCP-Data";
+    spec.fields = {{"data_offset", 6}, {"x", 1}, {"seq", 424242}};
+    spec.spoof_toward_client = true;
+    spec.target_competing = false;
+    s.inject = spec;
+    run("3. REQUEST Connection Termination", s,
+        "RFC 4340 checks the packet type BEFORE the sequence numbers in the "
+        "REQUEST\n  state, so ANY non-Response packet with ARBITRARY sequence "
+        "numbers resets the\n  nascent connection");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Off-path Reset attack walkthrough (Figure 1(b) + Table II #4).
+//
+// An attacker that can only spoof packets — it cannot see the target
+// connection — sweeps forged RSTs across the 2^32 sequence space at
+// receive-window intervals (Watson's "slipping in the window"). One of them
+// lands inside the victim's window and kills the connection.
+#include <cstdio>
+
+#include "packet/tcp_format.h"
+#include "snake/detector.h"
+#include "snake/scenario.h"
+#include "tcp/profile.h"
+
+int main() {
+  using namespace snake;
+
+  core::ScenarioConfig config;
+  config.protocol = core::Protocol::kTcp;
+  config.tcp_profile = tcp::linux_3_13_profile();
+  config.test_duration = Duration::seconds(20.0);
+  config.client1_exit_fraction = 1.0;
+  config.seed = 17;
+
+  strategy::Strategy s;
+  s.action = strategy::AttackAction::kHitSeqWindow;
+  s.packet_type = "RST";
+  s.target_state = "ESTABLISHED";  // fire once the handshake completes
+  s.direction = strategy::TrafficDirection::kServerToClient;
+  strategy::InjectSpec spec;
+  spec.packet_type = "RST";
+  spec.fields = {{"data_offset", 5}};
+  spec.spoof_toward_client = true;  // forged "from server2" toward client2
+  spec.target_competing = true;     // the off-path connection of Figure 1(b)
+  spec.seq_field = "seq";
+  spec.seq_start = 123456;
+  spec.seq_stride = 65535;  // one try per receive window
+  spec.count = (1ULL << 32) / 65535 + 2;
+  spec.pace_pps = 20000;
+  s.inject = spec;
+
+  std::printf("== Off-path TCP Reset attack ==\n\n");
+  std::printf("sweep: %llu spoofed RSTs, stride %llu (receive-window intervals),\n",
+              (unsigned long long)spec.count, (unsigned long long)spec.seq_stride);
+  std::printf("paced at %.0f packets/s -> %.1f s to cover the whole sequence space\n\n",
+              spec.pace_pps, spec.count / spec.pace_pps);
+
+  core::RunMetrics baseline = core::run_scenario(config, std::nullopt);
+  core::RunMetrics attacked = core::run_scenario(config, s);
+
+  std::printf("victim (competing) connection: baseline %.2f MB -> attacked %.2f MB\n",
+              baseline.competing_bytes / 1e6, attacked.competing_bytes / 1e6);
+  std::printf("victim connection reset: %s\n", attacked.competing_reset ? "YES" : "no");
+  std::printf("packets the attacker had to inject: %llu\n",
+              (unsigned long long)attacked.proxy.injected);
+
+  core::Detection d = core::detect(baseline, attacked);
+  std::printf("\nSNAKE verdict: %s\n", d.is_attack ? "ATTACK" : "no attack");
+  for (const auto& reason : d.reasons) std::printf("  - %s\n", reason.c_str());
+  std::printf("classification: %s (the victim was actually reset, not just slowed\n"
+              "by injection volume — the paper's false-positive check)\n",
+              core::to_string(core::classify(s, packet::tcp_format(), d, attacked)));
+  return d.is_attack ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#include "apps/bulk_http.h"
+
+#include <memory>
+
+namespace snake::apps {
+
+struct BulkHttpServer::PerConnection {
+  std::uint64_t queued = 0;  ///< bytes handed to the socket so far
+  bool closed = false;
+};
+
+BulkHttpServer::BulkHttpServer(tcp::TcpStack& stack, std::uint16_t port,
+                               std::uint64_t response_bytes)
+    : stack_(stack), response_bytes_(response_bytes) {
+  stack_.listen(port, [this](tcp::TcpEndpoint& ep) {
+    ++connections_accepted_;
+    auto state = std::make_shared<PerConnection>();
+    tcp::TcpCallbacks cb;
+    cb.on_established = [this, &ep, state] { pump(&ep, state); };
+    cb.on_remote_close = [&ep] { ep.close(); };
+    return cb;
+  });
+}
+
+void BulkHttpServer::pump(tcp::TcpEndpoint* endpoint, std::shared_ptr<PerConnection> state) {
+  if (state->closed || endpoint->released()) return;
+  // Top the send buffer up to one chunk; stop once the full response has
+  // been handed over, then close like an HTTP/1.0 server would.
+  while (state->queued < response_bytes_ && endpoint->send_queue_bytes() < kChunk) {
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunk, response_bytes_ - state->queued));
+    Bytes chunk(n);
+    for (std::size_t i = 0; i < n; ++i)
+      chunk[i] = static_cast<std::uint8_t>((state->queued + i) * 31);
+    endpoint->send(chunk);
+    state->queued += n;
+  }
+  if (state->queued >= response_bytes_ && endpoint->send_queue_bytes() == 0) {
+    state->closed = true;
+    endpoint->close();
+    return;
+  }
+  stack_.node().scheduler().schedule_in(kPumpInterval,
+                                        [this, endpoint, state] { pump(endpoint, state); });
+}
+
+BulkHttpClient::BulkHttpClient(tcp::TcpStack& stack, sim::Address server, std::uint16_t port,
+                               std::optional<Duration> exit_after) {
+  tcp::TcpCallbacks cb;
+  cb.on_established = [this] { established_ = true; };
+  cb.on_data = [this](const Bytes& chunk) { bytes_received_ += chunk.size(); };
+  cb.on_reset = [this] { reset_ = true; };
+  cb.on_remote_close = [this] {
+    if (endpoint_ != nullptr) endpoint_->close();  // download complete
+  };
+  endpoint_ = &stack.connect(server, port, std::move(cb));
+  if (exit_after.has_value()) {
+    stack.node().scheduler().schedule_in(*exit_after, [this] {
+      if (!endpoint_->released()) endpoint_->app_exit();
+    });
+  }
+}
+
+}  // namespace snake::apps

@@ -1,0 +1,60 @@
+// iperf-like measurement applications over DCCP — the paper's DCCP workload
+// ("For DCCP testing, we used iperf to measure throughput ... we measured
+// performance based on server goodput, or actual data received").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dccp/stack.h"
+#include "util/time.h"
+
+namespace snake::apps {
+
+/// Receives datagrams on `port` and counts goodput.
+class DccpIperfSink {
+ public:
+  DccpIperfSink(dccp::DccpStack& stack, std::uint16_t port,
+                dccp::DccpEndpointConfig accept_config = {});
+
+  std::uint64_t goodput_bytes() const { return goodput_bytes_; }
+  std::uint64_t connections_accepted() const { return connections_accepted_; }
+
+ private:
+  std::uint64_t goodput_bytes_ = 0;
+  std::uint64_t connections_accepted_ = 0;
+};
+
+/// Streams constant-rate datagrams for `duration`, then closes.
+class DccpIperfSource {
+ public:
+  struct Options {
+    double offer_rate_pps = 2000;
+    std::size_t payload_bytes = 1000;
+    Duration duration = Duration::seconds(20.0);
+    std::size_t tx_queue_packets = 10;
+    int ccid = 2;  ///< 2 = TCP-like, 3 = TFRC
+  };
+
+  DccpIperfSource(dccp::DccpStack& stack, sim::Address server, std::uint16_t port,
+                  Options options);
+
+  bool established() const { return established_; }
+  bool reset() const { return reset_; }
+  std::uint64_t datagrams_offered() const { return offered_; }
+  dccp::DccpEndpoint& endpoint() { return *endpoint_; }
+
+ private:
+  void tick();
+
+  dccp::DccpStack& stack_;
+  Options options_;
+  dccp::DccpEndpoint* endpoint_ = nullptr;
+  TimePoint stop_at_;
+  bool established_ = false;
+  bool reset_ = false;
+  bool closed_ = false;
+  std::uint64_t offered_ = 0;
+};
+
+}  // namespace snake::apps

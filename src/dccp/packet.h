@@ -1,0 +1,44 @@
+// DCCP packet: typed view plus wire serialization matching the DSL layout in
+// src/packet/dccp_format.h (flattened 24-byte header, see that file's layout
+// note).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dccp/seq48.h"
+#include "packet/dccp_format.h"
+#include "util/bytes.h"
+
+namespace snake::dccp {
+
+using packet::DccpType;
+
+struct DccpPacket {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  DccpType type = packet::kDccpData;
+  Seq48 seq = 0;
+  Seq48 ack = 0;     ///< for Request/Response this aliases the service code
+  bool has_ack = false;
+  Bytes payload;
+
+  bool is_data() const {
+    return type == packet::kDccpData || type == packet::kDccpDataAck;
+  }
+  std::string summary() const;
+};
+
+/// True for the packet types that carry an acknowledgment number
+/// (everything except Request and Data, RFC 4340 §5.1).
+bool type_carries_ack(DccpType type);
+
+const char* type_name(DccpType type);
+
+Bytes serialize(const DccpPacket& packet);
+
+/// Returns std::nullopt on truncation or checksum failure.
+std::optional<DccpPacket> parse_dccp(const Bytes& raw);
+
+}  // namespace snake::dccp

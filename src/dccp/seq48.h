@@ -1,0 +1,38 @@
+// 48-bit circular sequence arithmetic for DCCP (RFC 4340 §7.1).
+//
+// DCCP numbers *packets*, not bytes, and every packet — including pure
+// acknowledgments — increments the sequence number. Comparisons are circular
+// mod 2^48.
+#pragma once
+
+#include <cstdint>
+
+namespace snake::dccp {
+
+using Seq48 = std::uint64_t;  // only low 48 bits meaningful
+
+constexpr Seq48 kSeqMask = (1ULL << 48) - 1;
+constexpr Seq48 kSeqHalf = 1ULL << 47;
+
+inline Seq48 seq_add(Seq48 a, std::int64_t delta) {
+  return (a + static_cast<std::uint64_t>(delta)) & kSeqMask;
+}
+
+/// Circular signed distance from b to a in (-2^47, 2^47].
+inline std::int64_t seq_distance(Seq48 a, Seq48 b) {
+  std::uint64_t diff = (a - b) & kSeqMask;
+  if (diff >= kSeqHalf) return static_cast<std::int64_t>(diff) - (1LL << 48);
+  return static_cast<std::int64_t>(diff);
+}
+
+inline bool seq48_lt(Seq48 a, Seq48 b) { return seq_distance(a, b) < 0; }
+inline bool seq48_leq(Seq48 a, Seq48 b) { return seq_distance(a, b) <= 0; }
+inline bool seq48_gt(Seq48 a, Seq48 b) { return seq_distance(a, b) > 0; }
+inline bool seq48_geq(Seq48 a, Seq48 b) { return seq_distance(a, b) >= 0; }
+
+/// Is `s` within the inclusive circular range [lo, hi]?
+inline bool seq48_between(Seq48 s, Seq48 lo, Seq48 hi) {
+  return seq48_leq(lo, s) && seq48_leq(s, hi);
+}
+
+}  // namespace snake::dccp

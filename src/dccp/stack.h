@@ -1,0 +1,54 @@
+// Per-node DCCP stack: demux, passive open, and the netstat-style socket
+// table used by the resource-exhaustion detector (mirrors tcp/stack.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dccp/endpoint.h"
+#include "sim/node.h"
+#include "util/rng.h"
+
+namespace snake::dccp {
+
+class DccpStack {
+ public:
+  DccpStack(sim::Node& node, snake::Rng rng);
+
+  DccpEndpoint& connect(sim::Address remote, std::uint16_t remote_port,
+                        DccpCallbacks callbacks, DccpEndpointConfig base = {});
+
+  using AcceptHandler = std::function<DccpCallbacks(DccpEndpoint&)>;
+  void listen(std::uint16_t port, AcceptHandler on_accept, DccpEndpointConfig base = {});
+
+  std::size_t open_sockets(bool include_time_wait = false) const;
+  std::map<std::string, int> socket_states() const;
+  const std::vector<std::unique_ptr<DccpEndpoint>>& endpoints() const { return endpoints_; }
+  sim::Node& node() { return node_; }
+
+ private:
+  struct ConnKey {
+    sim::Address remote_addr;
+    std::uint16_t remote_port;
+    std::uint16_t local_port;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+  struct Listener {
+    AcceptHandler on_accept;
+    DccpEndpointConfig base;
+  };
+
+  void on_packet(const sim::Packet& packet);
+
+  sim::Node& node_;
+  snake::Rng rng_;
+  std::map<std::uint16_t, Listener> listeners_;
+  std::map<ConnKey, DccpEndpoint*> connections_;
+  std::vector<std::unique_ptr<DccpEndpoint>> endpoints_;
+  std::uint16_t next_ephemeral_port_ = 41000;
+};
+
+}  // namespace snake::dccp

@@ -1,0 +1,48 @@
+#include "packet/codec.h"
+
+#include <stdexcept>
+
+#include "util/checksum.h"
+
+namespace snake::packet {
+
+std::uint64_t Codec::get(const Bytes& raw, const std::string& field) const {
+  const FieldSpec& f = format_->field_or_throw(field);
+  return read_bits(raw, f.bit_offset, f.bit_width);
+}
+
+void Codec::set(Bytes& raw, const std::string& field, std::uint64_t value) const {
+  const FieldSpec& f = format_->field_or_throw(field);
+  write_bits(raw, f.bit_offset, f.bit_width, value & f.max_value());
+  if (f.kind != FieldKind::kChecksum) refresh_checksum(raw);
+}
+
+Bytes Codec::build(const std::string& packet_type,
+                   const std::map<std::string, std::uint64_t>& fields) const {
+  Bytes raw(format_->header_bytes(), 0);
+  bool known_type = false;
+  for (const auto& t : format_->packet_types()) {
+    if (t.name == packet_type) {
+      const FieldSpec& f = format_->field_or_throw(t.discriminator_field);
+      write_bits(raw, f.bit_offset, f.bit_width, t.match_value);
+      known_type = true;
+      break;
+    }
+  }
+  if (!known_type)
+    throw std::invalid_argument("Codec::build: unknown packet type '" + packet_type + "'");
+  for (const auto& [name, value] : fields) {
+    const FieldSpec& f = format_->field_or_throw(name);
+    write_bits(raw, f.bit_offset, f.bit_width, value & f.max_value());
+  }
+  refresh_checksum(raw);
+  return raw;
+}
+
+void Codec::refresh_checksum(Bytes& raw) const {
+  if (auto offset = format_->checksum_offset(); offset.has_value()) {
+    fill_embedded_checksum(raw, *offset);
+  }
+}
+
+}  // namespace snake::packet

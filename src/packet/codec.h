@@ -1,0 +1,45 @@
+// Runtime packet codec driven by a HeaderFormat — the reproduction of the
+// paper's "automatically generated C++ code to parse and modify this
+// header". The proxy never understands TCP or DCCP natively; everything it
+// does to a packet goes through this codec by field name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "packet/header_format.h"
+#include "util/bytes.h"
+
+namespace snake::packet {
+
+class Codec {
+ public:
+  explicit Codec(const HeaderFormat& format) : format_(&format) {}
+
+  const HeaderFormat& format() const { return *format_; }
+
+  /// Reads a named field out of raw packet bytes.
+  std::uint64_t get(const Bytes& raw, const std::string& field) const;
+
+  /// Writes a named field (value truncated to field width) and refreshes the
+  /// embedded checksum so the packet stays acceptable to the receiver — the
+  /// paper's proxy does the same, since the goal is semantic manipulation,
+  /// not checksum fuzzing.
+  void set(Bytes& raw, const std::string& field, std::uint64_t value) const;
+
+  /// Builds a minimal header-only packet of the named packet type with the
+  /// given fields; unspecified fields are zero. Used by the off-path inject
+  /// and hitseqwindow attacks to forge packets from scratch.
+  Bytes build(const std::string& packet_type,
+              const std::map<std::string, std::uint64_t>& fields) const;
+
+  std::string classify(const Bytes& raw) const { return format_->classify(raw); }
+
+  void refresh_checksum(Bytes& raw) const;
+
+ private:
+  const HeaderFormat* format_;
+};
+
+}  // namespace snake::packet

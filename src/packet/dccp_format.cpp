@@ -1,0 +1,47 @@
+#include "packet/dccp_format.h"
+
+#include "packet/format_dsl.h"
+
+namespace snake::packet {
+
+const char* dccp_format_dsl() {
+  return R"(# DCCP header, RFC 4340 (generic header X=1 plus ack subheader, flattened)
+header dccp 24 {
+  src_port    : 16 port;
+  dst_port    : 16 port;
+  data_offset :  8 length;
+  ccval       :  4;
+  cscov       :  4;
+  checksum    : 16 checksum;
+  res         :  3;
+  type        :  4 type;
+  x           :  1 length;  # structural: selects 48-bit sequence numbers
+  reserved    :  8;
+  seq         : 48 sequence;
+  ack_reserved: 16;
+  ack         : 48 sequence;
+}
+type DCCP-Request  type mask 0xf value 0;
+type DCCP-Response type mask 0xf value 1;
+type DCCP-Data     type mask 0xf value 2;
+type DCCP-Ack      type mask 0xf value 3;
+type DCCP-DataAck  type mask 0xf value 4;
+type DCCP-CloseReq type mask 0xf value 5;
+type DCCP-Close    type mask 0xf value 6;
+type DCCP-Reset    type mask 0xf value 7;
+type DCCP-Sync     type mask 0xf value 8;
+type DCCP-SyncAck  type mask 0xf value 9;
+)";
+}
+
+const HeaderFormat& dccp_format() {
+  static const HeaderFormat format = parse_header_format(dccp_format_dsl());
+  return format;
+}
+
+const Codec& dccp_codec() {
+  static const Codec codec(dccp_format());
+  return codec;
+}
+
+}  // namespace snake::packet

@@ -1,0 +1,39 @@
+// Canonical DCCP header description (RFC 4340, long sequence numbers).
+//
+// Layout note: we flatten the RFC's generic header (16 bytes with X=1) and
+// the acknowledgment subheader (8 bytes) into one fixed 24-byte header for
+// every packet type. REQUEST and RESPONSE carry their 32-bit service code in
+// the `service` field which aliases the low half of the acknowledgment area
+// exactly as in the RFC for Request packets. This keeps the format flat for
+// the DSL while preserving the sequence/acknowledgment semantics all three
+// DCCP attacks in the paper depend on.
+#pragma once
+
+#include <cstdint>
+
+#include "packet/codec.h"
+#include "packet/header_format.h"
+
+namespace snake::packet {
+
+/// DCCP packet type codes, RFC 4340 §5.1.
+enum DccpType : std::uint8_t {
+  kDccpRequest = 0,
+  kDccpResponse = 1,
+  kDccpData = 2,
+  kDccpAck = 3,
+  kDccpDataAck = 4,
+  kDccpCloseReq = 5,
+  kDccpClose = 6,
+  kDccpReset = 7,
+  kDccpSync = 8,
+  kDccpSyncAck = 9,
+};
+
+const char* dccp_format_dsl();
+const HeaderFormat& dccp_format();
+const Codec& dccp_codec();
+
+constexpr std::size_t kDccpHeaderBytes = 24;
+
+}  // namespace snake::packet

@@ -1,0 +1,138 @@
+#include "packet/format_dsl.h"
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace snake::packet {
+
+namespace {
+
+[[noreturn]] void fail(int line_number, const std::string& message) {
+  throw std::invalid_argument("header format DSL, line " + std::to_string(line_number) + ": " +
+                              message);
+}
+
+FieldKind parse_kind(const std::string& word, int line_number) {
+  std::string k = to_lower(word);
+  if (k == "generic") return FieldKind::kGeneric;
+  if (k == "port") return FieldKind::kPort;
+  if (k == "sequence") return FieldKind::kSequence;
+  if (k == "window") return FieldKind::kWindow;
+  if (k == "flags") return FieldKind::kFlags;
+  if (k == "checksum") return FieldKind::kChecksum;
+  if (k == "length") return FieldKind::kLength;
+  if (k == "type") return FieldKind::kType;
+  fail(line_number, "unknown field kind '" + word + "'");
+}
+
+std::uint64_t parse_number(const std::string& word, int line_number) {
+  try {
+    return std::stoull(word, nullptr, 0);  // base 0: handles 0x.. and decimal
+  } catch (const std::exception&) {
+    fail(line_number, "expected a number, got '" + word + "'");
+  }
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ':' || c == ';' || c == '{' ||
+        c == '}') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      if (c == '{' || c == '}') tokens.push_back(std::string(1, c));
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+}  // namespace
+
+HeaderFormat parse_header_format(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+
+  std::string protocol_name;
+  std::size_t header_bytes = 0;
+  std::vector<FieldSpec> fields;
+  std::vector<PacketTypeSpec> types;
+  bool in_header = false;
+  bool header_done = false;
+  std::size_t next_bit = 0;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string stripped = trim(line);
+    if (auto hash = stripped.find('#'); hash != std::string::npos)
+      stripped = trim(stripped.substr(0, hash));
+    if (stripped.empty()) continue;
+    std::vector<std::string> tokens = tokenize(stripped);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "header") {
+      if (in_header || header_done) fail(line_number, "duplicate 'header' block");
+      if (tokens.size() < 4 || tokens[3] != "{")
+        fail(line_number, "expected 'header <name> <bytes> {'");
+      protocol_name = tokens[1];
+      header_bytes = static_cast<std::size_t>(parse_number(tokens[2], line_number));
+      in_header = true;
+      continue;
+    }
+
+    if (tokens[0] == "}") {
+      if (!in_header) fail(line_number, "unexpected '}'");
+      in_header = false;
+      header_done = true;
+      continue;
+    }
+
+    if (in_header) {
+      // <name> : <width> [kind] ;
+      if (tokens.size() < 2) fail(line_number, "expected '<name> : <bits> [kind];'");
+      FieldSpec f;
+      f.name = tokens[0];
+      f.bit_width = static_cast<std::size_t>(parse_number(tokens[1], line_number));
+      if (f.bit_width == 0 || f.bit_width > 64)
+        fail(line_number, "field width must be 1..64 bits");
+      f.bit_offset = next_bit;
+      if (tokens.size() >= 3) f.kind = parse_kind(tokens[2], line_number);
+      next_bit += f.bit_width;
+      fields.push_back(std::move(f));
+      continue;
+    }
+
+    if (tokens[0] == "type") {
+      // type <name> <field> mask <n> value <n>
+      if (tokens.size() != 7 || tokens[3] != "mask" || tokens[5] != "value")
+        fail(line_number, "expected 'type <name> <field> mask <n> value <n>;'");
+      PacketTypeSpec t;
+      t.name = tokens[1];
+      t.discriminator_field = tokens[2];
+      t.match_mask = parse_number(tokens[4], line_number);
+      t.match_value = parse_number(tokens[6], line_number);
+      types.push_back(std::move(t));
+      continue;
+    }
+
+    fail(line_number, "unrecognized directive '" + tokens[0] + "'");
+  }
+
+  if (!header_done) throw std::invalid_argument("header format DSL: missing header block");
+  if (next_bit > header_bytes * 8)
+    throw std::invalid_argument("header format DSL: fields exceed declared header size");
+  return HeaderFormat(protocol_name, header_bytes, std::move(fields), std::move(types));
+}
+
+}  // namespace snake::packet

@@ -1,0 +1,38 @@
+// Parser for the header-description language.
+//
+// The paper: "We use a simple language to describe the header structure and
+// then automatically generate C++ code to parse and modify this header."
+// This is that language. A description looks like:
+//
+//   header tcp 20 {
+//     src_port    : 16 port;
+//     dst_port    : 16 port;
+//     seq         : 32 sequence;
+//     ack         : 32 sequence;
+//     data_offset :  4 length;
+//     reserved    :  6;
+//     flags       :  6 flags;
+//     window      : 16 window;
+//     checksum    : 16 checksum;
+//     urgent_ptr  : 16;
+//   }
+//   type SYN     flags mask 0x3f value 0x02;
+//   type SYN+ACK flags mask 0x3f value 0x12;
+//
+// Fields are laid out consecutively from bit 0; widths are bits; the
+// optional trailing word is the FieldKind. `type` lines define the packet
+// type classification used for (packet type, state) strategy targeting.
+// Comments start with '#'.
+#pragma once
+
+#include <string>
+
+#include "packet/header_format.h"
+
+namespace snake::packet {
+
+/// Parses a description; throws std::invalid_argument with a line-numbered
+/// message on malformed input.
+HeaderFormat parse_header_format(const std::string& text);
+
+}  // namespace snake::packet

@@ -1,0 +1,72 @@
+#include "packet/header_format.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace snake::packet {
+
+const char* to_string(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kGeneric: return "generic";
+    case FieldKind::kPort: return "port";
+    case FieldKind::kSequence: return "sequence";
+    case FieldKind::kWindow: return "window";
+    case FieldKind::kFlags: return "flags";
+    case FieldKind::kChecksum: return "checksum";
+    case FieldKind::kLength: return "length";
+    case FieldKind::kType: return "type";
+  }
+  return "?";
+}
+
+HeaderFormat::HeaderFormat(std::string protocol_name, std::size_t header_bytes,
+                           std::vector<FieldSpec> fields, std::vector<PacketTypeSpec> types)
+    : protocol_name_(std::move(protocol_name)),
+      header_bytes_(header_bytes),
+      fields_(std::move(fields)),
+      types_(std::move(types)) {
+  for (const auto& f : fields_) {
+    if ((f.bit_offset + f.bit_width + 7) / 8 > header_bytes_)
+      throw std::invalid_argument("HeaderFormat: field '" + f.name + "' exceeds header size");
+  }
+  for (const auto& t : types_) {
+    if (field(t.discriminator_field) == nullptr)
+      throw std::invalid_argument("HeaderFormat: packet type '" + t.name +
+                                  "' references unknown field '" + t.discriminator_field + "'");
+  }
+}
+
+const FieldSpec* HeaderFormat::field(const std::string& name) const {
+  for (const auto& f : fields_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const FieldSpec& HeaderFormat::field_or_throw(const std::string& name) const {
+  const FieldSpec* f = field(name);
+  if (f == nullptr)
+    throw std::invalid_argument("HeaderFormat(" + protocol_name_ + "): no field '" + name + "'");
+  return *f;
+}
+
+std::optional<std::size_t> HeaderFormat::checksum_offset() const {
+  for (const auto& f : fields_) {
+    if (f.kind == FieldKind::kChecksum) {
+      // Checksums are byte-aligned 16-bit fields in every format we model.
+      return f.bit_offset / 8;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string HeaderFormat::classify(const Bytes& raw) const {
+  if (raw.size() < header_bytes_) return "unknown";
+  for (const auto& t : types_) {
+    const FieldSpec& f = field_or_throw(t.discriminator_field);
+    std::uint64_t value = read_bits(raw, f.bit_offset, f.bit_width);
+    if ((value & t.match_mask) == t.match_value) return t.name;
+  }
+  return "unknown";
+}
+
+}  // namespace snake::packet

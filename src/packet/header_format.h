@@ -1,0 +1,89 @@
+// Protocol header descriptions.
+//
+// SNAKE takes, as user input, a description of the protocol's packet header
+// format and uses it to (a) generate field-manipulation ("lie") strategies
+// per field and (b) parse/modify/build raw packets in the attack proxy. The
+// paper describes a "simple language to describe the header structure" from
+// which C++ parsing code is generated; here the same description drives a
+// runtime codec (src/packet/codec.h), which is behaviourally equivalent.
+//
+// A HeaderFormat is a sequence of bit-aligned fields, a way to classify a
+// raw packet into a named *packet type* (TCP uses flag combinations, DCCP a
+// type field), and metadata marking which fields are sequence-like,
+// port-like, or checksums — used to pick interesting "lie" values and to
+// maintain checksum validity after modification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace snake::packet {
+
+/// Semantic tag for a field; drives the attack generator's value choices.
+enum class FieldKind {
+  kGeneric,   ///< plain number
+  kPort,      ///< connection identifier; modifying it breaks addressing
+  kSequence,  ///< sequence/acknowledgment number
+  kWindow,    ///< flow-control window
+  kFlags,     ///< bit flags (TCP)
+  kChecksum,  ///< recomputed after any modification
+  kLength,    ///< header or payload length; structural
+  kType,      ///< packet type discriminator (DCCP)
+};
+
+const char* to_string(FieldKind kind);
+
+struct FieldSpec {
+  std::string name;
+  std::size_t bit_offset = 0;
+  std::size_t bit_width = 0;
+  FieldKind kind = FieldKind::kGeneric;
+
+  std::uint64_t max_value() const {
+    return bit_width >= 64 ? ~0ULL : ((1ULL << bit_width) - 1);
+  }
+};
+
+/// One named packet type and how to recognize it. For flag-based protocols
+/// (TCP) a type matches when `discriminator` == `match_value` after applying
+/// `match_mask`; for type-field protocols (DCCP) the mask covers the whole
+/// field.
+struct PacketTypeSpec {
+  std::string name;
+  std::string discriminator_field;
+  std::uint64_t match_mask = 0;
+  std::uint64_t match_value = 0;
+};
+
+class HeaderFormat {
+ public:
+  HeaderFormat(std::string protocol_name, std::size_t header_bytes,
+               std::vector<FieldSpec> fields, std::vector<PacketTypeSpec> types);
+
+  const std::string& protocol_name() const { return protocol_name_; }
+  std::size_t header_bytes() const { return header_bytes_; }
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+  const std::vector<PacketTypeSpec>& packet_types() const { return types_; }
+
+  const FieldSpec* field(const std::string& name) const;
+  const FieldSpec& field_or_throw(const std::string& name) const;
+
+  /// Checksum field byte offset, if the format declares one.
+  std::optional<std::size_t> checksum_offset() const;
+
+  /// Classifies raw bytes into a packet-type name ("SYN+ACK", "DCCP-Request",
+  /// ...); returns "unknown" for unmatched or truncated packets.
+  std::string classify(const Bytes& raw) const;
+
+ private:
+  std::string protocol_name_;
+  std::size_t header_bytes_;
+  std::vector<FieldSpec> fields_;
+  std::vector<PacketTypeSpec> types_;
+};
+
+}  // namespace snake::packet

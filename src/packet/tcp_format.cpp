@@ -1,0 +1,43 @@
+#include "packet/tcp_format.h"
+
+#include "packet/format_dsl.h"
+
+namespace snake::packet {
+
+const char* tcp_format_dsl() {
+  return R"(# TCP header, RFC 793 (20 bytes, options not modeled)
+header tcp 20 {
+  src_port    : 16 port;
+  dst_port    : 16 port;
+  seq         : 32 sequence;
+  ack         : 32 sequence;
+  data_offset :  4 length;
+  reserved    :  6;
+  flags       :  6 flags;
+  window      : 16 window;
+  checksum    : 16 checksum;
+  urgent_ptr  : 16;
+}
+# Exact-match flag combinations, most specific first.
+type SYN+ACK  flags mask 0x3f value 0x12;
+type SYN      flags mask 0x3f value 0x02;
+type FIN+ACK  flags mask 0x3f value 0x11;
+type FIN      flags mask 0x3f value 0x01;
+type RST+ACK  flags mask 0x3f value 0x14;
+type RST      flags mask 0x3f value 0x04;
+type PSH+ACK  flags mask 0x3f value 0x18;
+type ACK      flags mask 0x3f value 0x10;
+)";
+}
+
+const HeaderFormat& tcp_format() {
+  static const HeaderFormat format = parse_header_format(tcp_format_dsl());
+  return format;
+}
+
+const Codec& tcp_codec() {
+  static const Codec codec(tcp_format());
+  return codec;
+}
+
+}  // namespace snake::packet

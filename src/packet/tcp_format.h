@@ -1,0 +1,36 @@
+// Canonical TCP header description (RFC 793 layout, 20 bytes, no options).
+//
+// Flag-combination packet types mirror how the paper distinguishes TCP
+// packets: SYN, SYN+ACK, ACK, PSH+ACK, FIN+ACK, FIN, RST, RST+ACK. Packets
+// with other (possibly nonsensical) flag combinations classify as "unknown",
+// which is exactly the class the "Packets with Invalid Flags" attack lives
+// in.
+#pragma once
+
+#include <cstdint>
+
+#include "packet/codec.h"
+#include "packet/header_format.h"
+
+namespace snake::packet {
+
+/// TCP flag bits as they appear in the 6-bit flags field.
+enum TcpFlag : std::uint8_t {
+  kTcpFin = 0x01,
+  kTcpSyn = 0x02,
+  kTcpRst = 0x04,
+  kTcpPsh = 0x08,
+  kTcpAck = 0x10,
+  kTcpUrg = 0x20,
+};
+
+/// The DSL source text for TCP (exposed so tests and docs can show it).
+const char* tcp_format_dsl();
+
+/// Parsed singleton format and codec.
+const HeaderFormat& tcp_format();
+const Codec& tcp_codec();
+
+constexpr std::size_t kTcpHeaderBytes = 20;
+
+}  // namespace snake::packet

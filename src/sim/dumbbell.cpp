@@ -1,0 +1,48 @@
+#include "sim/dumbbell.h"
+
+namespace snake::sim {
+
+Dumbbell::Dumbbell(DumbbellConfig config) : config_(config) {
+  using A = DumbbellAddresses;
+  client1_ = &network_.add_node(A::kClient1, "client1");
+  client2_ = &network_.add_node(A::kClient2, "client2");
+  server1_ = &network_.add_node(A::kServer1, "server1");
+  server2_ = &network_.add_node(A::kServer2, "server2");
+  router_left_ = &network_.add_node(A::kRouterLeft, "routerL");
+  router_right_ = &network_.add_node(A::kRouterRight, "routerR");
+
+  LinkConfig access;
+  access.rate_bps = config_.access_rate_bps;
+  access.delay = config_.access_delay;
+  access.queue_limit_packets = config_.access_queue_packets;
+
+  auto [c1_to_rl, rl_to_c1] = network_.connect(*client1_, *router_left_, access);
+  auto [c2_to_rl, rl_to_c2] = network_.connect(*client2_, *router_left_, access);
+  auto [s1_to_rr, rr_to_s1] = network_.connect(*server1_, *router_right_, access);
+  auto [s2_to_rr, rr_to_s2] = network_.connect(*server2_, *router_right_, access);
+
+  LinkConfig bottleneck;
+  bottleneck.rate_bps = config_.bottleneck_rate_bps;
+  bottleneck.delay = config_.bottleneck_delay;
+  bottleneck.queue_limit_packets = config_.bottleneck_queue_packets;
+  bottleneck.drop_policy = config_.bottleneck_drop_policy;
+  auto [lr, rl] = network_.connect(*router_left_, *router_right_, bottleneck);
+  bottleneck_lr_ = lr;
+  bottleneck_rl_ = rl;
+
+  // Leaf nodes default-route to their router.
+  client1_->set_default_route(c1_to_rl);
+  client2_->set_default_route(c2_to_rl);
+  server1_->set_default_route(s1_to_rr);
+  server2_->set_default_route(s2_to_rr);
+
+  // Routers know their side's leaves and default across the bottleneck.
+  router_left_->add_route(A::kClient1, rl_to_c1);
+  router_left_->add_route(A::kClient2, rl_to_c2);
+  router_left_->set_default_route(bottleneck_lr_);
+  router_right_->add_route(A::kServer1, rr_to_s1);
+  router_right_->add_route(A::kServer2, rr_to_s2);
+  router_right_->set_default_route(bottleneck_rl_);
+}
+
+}  // namespace snake::sim

@@ -1,0 +1,80 @@
+// The paper's test topology (Figure 3): a dumbbell.
+//
+//   client1 --\                     /-- server1
+//              router_l ===== router_r
+//   client2 --/    (bottleneck)     \-- server2
+//
+// Client 1 is the node the attack proxy is attached to; client 2 / server 2
+// carry the competing connection used both as the fairness victim and as the
+// performance reference.
+#pragma once
+
+#include <memory>
+
+#include "sim/network.h"
+
+namespace snake::sim {
+
+struct DumbbellConfig {
+  // Access links: fast and short, so the bottleneck dominates.
+  double access_rate_bps = 100e6;
+  Duration access_delay = Duration::millis(1);
+  std::size_t access_queue_packets = 1000;
+
+  // Bottleneck: where competition and congestion happen.
+  // With a ~24 ms RTT the per-flow 64 kB receive-window cap (~22 Mbit/s)
+  // sits far above the 5 Mbit/s fair share, so competing flows are
+  // congestion-limited and AIMD — not the window clamp — arbitrates
+  // bandwidth, as in the paper's testbed. Queue is ~2x the bandwidth-delay
+  // product (10 Mbit/s * 24 ms = 30 kB = ~21 full-size packets).
+  double bottleneck_rate_bps = 10e6;
+  Duration bottleneck_delay = Duration::millis(10);
+  std::size_t bottleneck_queue_packets = 40;
+  /// Random-victim eviction on overflow: in a jitter-free simulator, pure
+  /// drop-tail locks one deterministic "winner" flow out of all losses.
+  sim::DropPolicy bottleneck_drop_policy = sim::DropPolicy::kRandom;
+};
+
+/// Well-known addresses in the dumbbell.
+struct DumbbellAddresses {
+  static constexpr Address kClient1 = 1;
+  static constexpr Address kClient2 = 2;
+  static constexpr Address kServer1 = 3;
+  static constexpr Address kServer2 = 4;
+  static constexpr Address kRouterLeft = 10;
+  static constexpr Address kRouterRight = 11;
+};
+
+class Dumbbell {
+ public:
+  explicit Dumbbell(DumbbellConfig config = {});
+
+  Network& network() { return network_; }
+  Scheduler& scheduler() { return network_.scheduler(); }
+
+  Node& client1() { return *client1_; }
+  Node& client2() { return *client2_; }
+  Node& server1() { return *server1_; }
+  Node& server2() { return *server2_; }
+  Node& router_left() { return *router_left_; }
+  Node& router_right() { return *router_right_; }
+
+  Link* bottleneck_left_to_right() { return bottleneck_lr_; }
+  Link* bottleneck_right_to_left() { return bottleneck_rl_; }
+
+  const DumbbellConfig& config() const { return config_; }
+
+ private:
+  DumbbellConfig config_;
+  Network network_;
+  Node* client1_ = nullptr;
+  Node* client2_ = nullptr;
+  Node* server1_ = nullptr;
+  Node* server2_ = nullptr;
+  Node* router_left_ = nullptr;
+  Node* router_right_ = nullptr;
+  Link* bottleneck_lr_ = nullptr;
+  Link* bottleneck_rl_ = nullptr;
+};
+
+}  // namespace snake::sim

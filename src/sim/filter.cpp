@@ -1,0 +1,13 @@
+#include "sim/filter.h"
+
+namespace snake::sim {
+
+const char* to_string(FilterDirection direction) {
+  switch (direction) {
+    case FilterDirection::kEgress: return "egress";
+    case FilterDirection::kIngress: return "ingress";
+  }
+  return "?";
+}
+
+}  // namespace snake::sim

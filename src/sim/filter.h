@@ -1,0 +1,51 @@
+// Interception hook used by the attack proxy.
+//
+// The paper modifies NS-3's tap-bridge so packets to or from a designated
+// malicious node pass through the attack proxy. Here, a PacketFilter can be
+// attached to a node's access link; it sees every packet in both directions
+// and decides per packet whether the network forwards it. The filter can
+// also hand packets (modified copies, delayed originals, spoofed
+// injections) back to the network through an Injector, which bypasses the
+// filter so proxy-made packets are not re-intercepted.
+#pragma once
+
+#include "sim/packet.h"
+#include "util/time.h"
+
+namespace snake::sim {
+
+/// Which way a packet is flowing relative to the filtered (malicious) node.
+enum class FilterDirection {
+  kEgress,   ///< leaving the filtered node toward the network
+  kIngress,  ///< arriving from the network toward the filtered node
+};
+
+const char* to_string(FilterDirection direction);
+
+/// Lets a filter place packets onto the wire. `direction` has the same
+/// meaning as in PacketFilter::on_packet: kEgress continues toward the
+/// network, kIngress continues toward the filtered node.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+  virtual void inject(Packet packet, FilterDirection direction, Duration delay) = 0;
+  virtual TimePoint now() const = 0;
+};
+
+/// Verdict for the original packet.
+enum class FilterVerdict {
+  kForward,  ///< deliver normally
+  kConsume,  ///< the filter took ownership (dropped, delayed, batched, ...)
+};
+
+class PacketFilter {
+ public:
+  virtual ~PacketFilter() = default;
+
+  /// Called for every packet crossing the filtered link. The filter may
+  /// mutate `packet` in place before returning kForward.
+  virtual FilterVerdict on_packet(Packet& packet, FilterDirection direction,
+                                  Injector& injector) = 0;
+};
+
+}  // namespace snake::sim

@@ -1,0 +1,30 @@
+#include "sim/network.h"
+
+#include <utility>
+
+namespace snake::sim {
+
+Node& Network::add_node(Address address, std::string name) {
+  nodes_.push_back(std::make_unique<Node>(scheduler_, address, std::move(name)));
+  return *nodes_.back();
+}
+
+std::pair<Link*, Link*> Network::connect(Node& a, Node& b, LinkConfig config) {
+  LinkConfig ab = config;
+  ab.name = a.name() + "->" + b.name();
+  LinkConfig ba = config;
+  ba.name = b.name() + "->" + a.name();
+  links_.push_back(std::make_unique<Link>(
+      scheduler_, std::move(ab), [&b](Packet p) { b.receive_from_wire(std::move(p)); }));
+  Link* a_to_b = links_.back().get();
+  links_.push_back(std::make_unique<Link>(
+      scheduler_, std::move(ba), [&a](Packet p) { a.receive_from_wire(std::move(p)); }));
+  Link* b_to_a = links_.back().get();
+  return {a_to_b, b_to_a};
+}
+
+void Network::enable_trace() {
+  for (auto& node : nodes_) node->set_trace(&trace_);
+}
+
+}  // namespace snake::sim

@@ -1,0 +1,105 @@
+#include "sim/node.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace snake::sim {
+
+/// Injector that re-enters the node's data path while bypassing the filter,
+/// so proxy-created packets are not intercepted again.
+class Node::NodeInjector : public Injector {
+ public:
+  explicit NodeInjector(Node& node) : node_(node) {}
+
+  void inject(Packet packet, FilterDirection direction, Duration delay) override {
+    if (packet.id == 0) packet.id = node_.next_packet_id_++ | (std::uint64_t(node_.address_) << 48);
+    if (node_.trace_)
+      node_.trace_->record(node_.scheduler_.now() + delay, TraceKind::kInject, node_.name_, packet);
+    auto deliver = [&node = node_, direction, packet = std::move(packet)]() mutable {
+      if (direction == FilterDirection::kEgress) {
+        node.route_and_send(std::move(packet));
+      } else {
+        node.demux(packet);
+      }
+    };
+    if (delay.is_zero()) {
+      deliver();
+    } else {
+      node_.scheduler_.schedule_in(delay, std::move(deliver));
+    }
+  }
+
+  TimePoint now() const override { return node_.scheduler_.now(); }
+
+ private:
+  Node& node_;
+};
+
+void Node::send_packet(Packet packet) {
+  packet.src = address_;
+  packet.id = next_packet_id_++ | (std::uint64_t(address_) << 48);
+  if (trace_) trace_->record(scheduler_.now(), TraceKind::kSend, name_, packet);
+  if (filter_ != nullptr) {
+    NodeInjector injector(*this);
+    FilterVerdict verdict = filter_->on_packet(packet, FilterDirection::kEgress, injector);
+    if (verdict == FilterVerdict::kConsume) return;
+  }
+  route_and_send(std::move(packet));
+}
+
+void Node::receive_from_wire(Packet packet) {
+  if (packet.dst != address_) {
+    // Transit traffic: this node is acting as a router.
+    route_and_send(std::move(packet));
+    return;
+  }
+  if (filter_ != nullptr) {
+    NodeInjector injector(*this);
+    FilterVerdict verdict = filter_->on_packet(packet, FilterDirection::kIngress, injector);
+    if (verdict == FilterVerdict::kConsume) return;
+  }
+  demux(packet);
+}
+
+void Node::inject_packet(Packet packet, FilterDirection direction) {
+  if (packet.id == 0) packet.id = next_packet_id_++ | (std::uint64_t(address_) << 48);
+  if (trace_) trace_->record(scheduler_.now(), TraceKind::kInject, name_, packet);
+  if (direction == FilterDirection::kEgress) {
+    route_and_send(std::move(packet));
+  } else {
+    demux(packet);
+  }
+}
+
+void Node::register_protocol(std::uint8_t protocol, std::function<void(const Packet&)> handler) {
+  protocols_[protocol] = std::move(handler);
+}
+
+void Node::route_and_send(Packet packet) {
+  Link* link = route_for(packet.dst);
+  if (link == nullptr) {
+    SNAKE_WARN << name_ << ": no route to " << packet.dst << ", dropping";
+    if (trace_) trace_->record(scheduler_.now(), TraceKind::kDrop, name_, packet);
+    return;
+  }
+  link->send(std::move(packet));
+}
+
+void Node::demux(const Packet& packet) {
+  if (trace_) trace_->record(scheduler_.now(), TraceKind::kDeliver, name_, packet);
+  auto it = protocols_.find(packet.protocol);
+  if (it == protocols_.end()) {
+    SNAKE_TRACE << name_ << ": no handler for protocol " << int(packet.protocol);
+    return;
+  }
+  it->second(packet);
+}
+
+Link* Node::route_for(Address dst) const {
+  auto it = routes_.find(dst);
+  if (it != routes_.end()) return it->second;
+  return default_route_;
+}
+
+}  // namespace snake::sim

@@ -1,0 +1,78 @@
+// A simulated host or router.
+//
+// Endpoint nodes run transport endpoints (registered per protocol number);
+// router nodes forward by a static routing table. A node may carry a
+// PacketFilter — the attack proxy — which intercepts every packet the node
+// sends or receives, mirroring the paper's designated "malicious node" whose
+// tap-bridge traffic flows through the proxy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/filter.h"
+#include "sim/link.h"
+#include "sim/packet.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace snake::sim {
+
+class Node {
+ public:
+  Node(Scheduler& scheduler, Address address, std::string name)
+      : scheduler_(scheduler), address_(address), name_(std::move(name)) {}
+
+  Address address() const { return address_; }
+  const std::string& name() const { return name_; }
+  Scheduler& scheduler() { return scheduler_; }
+
+  /// Transport endpoints call this to put a packet on the wire. The source
+  /// address is stamped, the packet id assigned, and the node's filter (if
+  /// any) consulted before routing.
+  void send_packet(Packet packet);
+
+  /// Called by an inbound link when a packet arrives at this node. Packets
+  /// addressed here are filtered (ingress) then demuxed; transit packets are
+  /// forwarded.
+  void receive_from_wire(Packet packet);
+
+  /// Puts a packet into the data path bypassing the filter — the attack
+  /// proxy's injection primitive. kEgress routes toward the network without
+  /// rewriting the (possibly spoofed) source address; kIngress delivers up
+  /// this node's local stack.
+  void inject_packet(Packet packet, FilterDirection direction);
+
+  /// Registers the handler for a transport protocol number.
+  void register_protocol(std::uint8_t protocol, std::function<void(const Packet&)> handler);
+
+  /// Static routing.
+  void add_route(Address dst, Link* link) { routes_[dst] = link; }
+  void set_default_route(Link* link) { default_route_ = link; }
+
+  /// Attaches the attack proxy. Pass nullptr to detach.
+  void set_filter(PacketFilter* filter) { filter_ = filter; }
+
+  void set_trace(Trace* trace) { trace_ = trace; }
+
+ private:
+  class NodeInjector;
+
+  void route_and_send(Packet packet);
+  void demux(const Packet& packet);
+  Link* route_for(Address dst) const;
+
+  Scheduler& scheduler_;
+  Address address_;
+  std::string name_;
+  std::map<std::uint8_t, std::function<void(const Packet&)>> protocols_;
+  std::map<Address, Link*> routes_;
+  Link* default_route_ = nullptr;
+  PacketFilter* filter_ = nullptr;
+  Trace* trace_ = nullptr;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace snake::sim

@@ -1,0 +1,42 @@
+// The simulator's network-layer packet.
+//
+// A Packet is the unit moved across links and handed to protocol endpoints.
+// It carries a minimal IP-like envelope (source/destination address and a
+// protocol number) plus the raw transport bytes. The attack proxy operates on
+// these raw bytes through the packet-format DSL, exactly as the paper's proxy
+// operates on raw frames intercepted in NS-3's tap-bridge.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace snake::sim {
+
+/// Node address; the dumbbell assigns small integers.
+using Address = std::uint32_t;
+
+/// IANA-style protocol numbers for the demux.
+enum : std::uint8_t {
+  kProtoTcp = 6,
+  kProtoDccp = 33,
+};
+
+struct Packet {
+  Address src = 0;
+  Address dst = 0;
+  std::uint8_t protocol = 0;
+  Bytes bytes;  ///< transport header + application payload (wire format)
+
+  /// Monotonic id assigned at send time; lets traces correlate duplicates.
+  std::uint64_t id = 0;
+
+  /// Bytes on the wire including the emulated network-layer overhead.
+  std::size_t wire_size() const { return bytes.size() + kNetworkOverhead; }
+
+  /// Emulated IP header cost, so that serialization delay and queue
+  /// occupancy are realistic for small pure-ACK packets.
+  static constexpr std::size_t kNetworkOverhead = 20;
+};
+
+}  // namespace snake::sim

@@ -1,0 +1,34 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace snake::sim {
+
+Timer Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), alive});
+  return Timer(std::move(alive));
+}
+
+void Scheduler::run_until(TimePoint until) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.at > until) break;
+    Entry entry{top.at, top.seq, std::move(const_cast<Entry&>(top).fn), top.alive};
+    queue_.pop();
+    now_ = entry.at;
+    if (*entry.alive) {
+      *entry.alive = false;
+      ++executed_;
+      entry.fn();
+    }
+  }
+  // Advance the clock to the horizon so "run for N seconds" works even when
+  // the queue drains early — but not when draining completely (run_all).
+  if (until != TimePoint::max() && now_ < until) now_ = until;
+}
+
+void Scheduler::run_all() { run_until(TimePoint::max()); }
+
+}  // namespace snake::sim

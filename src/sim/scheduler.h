@@ -1,0 +1,77 @@
+// Discrete-event scheduler — the heart of the network emulator substrate.
+//
+// The paper runs SNAKE scenarios inside NS-3; this scheduler plays NS-3's
+// role. Events execute in strict (time, insertion-order) order, which makes
+// every scenario bit-for-bit reproducible for a given seed. Timers are
+// cancellable handles so protocol endpoints can manage retransmission and
+// delayed-ACK timers naturally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace snake::sim {
+
+/// Cancellable handle to a scheduled event. Copies share the same underlying
+/// event; cancelling any copy cancels the event. Default-constructed handles
+/// are inert.
+class Timer {
+ public:
+  Timer() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Scheduler;
+  explicit Timer(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
+  Timer schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` of virtual time.
+  Timer schedule_in(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or virtual time would pass `until`.
+  void run_until(TimePoint until);
+
+  /// Runs until the event queue drains completely.
+  void run_all();
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace snake::sim

@@ -1,0 +1,30 @@
+#include "sim/trace.h"
+
+namespace snake::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend: return "send";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kDrop: return "drop";
+    case TraceKind::kInject: return "inject";
+  }
+  return "?";
+}
+
+void Trace::record(TimePoint at, TraceKind kind, std::string where, const Packet& packet) {
+  if (entries_.size() >= max_entries_) {
+    ++dropped_records_;
+    return;
+  }
+  entries_.push_back(TraceEntry{at, kind, std::move(where), packet});
+}
+
+std::size_t Trace::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_)
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+}  // namespace snake::sim

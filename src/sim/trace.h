@@ -1,0 +1,53 @@
+// Packet capture for scenarios — the reproduction's tcpdump.
+//
+// The paper manually inspects packet captures to separate hitseqwindow false
+// positives from real attacks; tests and the campaign's false-positive
+// classifier use this trace the same way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/packet.h"
+#include "util/time.h"
+
+namespace snake::sim {
+
+enum class TraceKind {
+  kSend,     ///< endpoint handed packet to the network
+  kDeliver,  ///< packet delivered to an endpoint's protocol handler
+  kDrop,     ///< packet dropped (queue overflow or filter)
+  kInject,   ///< packet created by the attack proxy
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEntry {
+  TimePoint at;
+  TraceKind kind = TraceKind::kSend;
+  std::string where;  ///< node or link name
+  Packet packet;
+};
+
+class Trace {
+ public:
+  explicit Trace(std::size_t max_entries = 1 << 20) : max_entries_(max_entries) {}
+
+  void record(TimePoint at, TraceKind kind, std::string where, const Packet& packet);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::size_t dropped_records() const { return dropped_records_; }
+  void clear() { entries_.clear(); dropped_records_ = 0; }
+
+  /// Count of entries matching a predicate-friendly triple; convenience for
+  /// tests ("how many RSTs did the proxy inject?").
+  std::size_t count(TraceKind kind) const;
+
+ private:
+  std::size_t max_entries_;
+  std::vector<TraceEntry> entries_;
+  std::size_t dropped_records_ = 0;
+};
+
+}  // namespace snake::sim

@@ -1,0 +1,219 @@
+#include "snake/controller.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <set>
+#include <thread>
+
+#include "packet/dccp_format.h"
+#include "packet/tcp_format.h"
+#include "statemachine/protocol_specs.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace snake::core {
+
+namespace {
+
+const packet::HeaderFormat& format_for(Protocol protocol) {
+  return protocol == Protocol::kTcp ? packet::tcp_format() : packet::dccp_format();
+}
+
+const statemachine::StateMachine& machine_for(Protocol protocol) {
+  return protocol == Protocol::kTcp ? statemachine::tcp_state_machine()
+                                    : statemachine::dccp_state_machine();
+}
+
+}  // namespace
+
+std::string table1_header() {
+  return str_format("%-12s %-12s %10s %10s %10s %10s %10s %8s", "Protocol", "Impl",
+                    "Tried", "Found", "On-path", "FalsePos", "TrueStrat", "Attacks");
+}
+
+std::string CampaignResult::summary_row() const {
+  return str_format("%-12s %-12s %10llu %10llu %10llu %10llu %10llu %8llu",
+                    protocol == Protocol::kTcp ? "TCP" : "DCCP", implementation.c_str(),
+                    (unsigned long long)strategies_tried,
+                    (unsigned long long)attack_strategies_found, (unsigned long long)on_path,
+                    (unsigned long long)false_positives,
+                    (unsigned long long)true_attack_strategies,
+                    (unsigned long long)unique_true_attacks);
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  const packet::HeaderFormat& format = format_for(config.scenario.protocol);
+  const statemachine::StateMachine& machine = machine_for(config.scenario.protocol);
+  strategy::StrategyGenerator generator(format, machine, config.generator);
+
+  CampaignResult result;
+  result.protocol = config.scenario.protocol;
+  result.implementation = config.scenario.protocol == Protocol::kTcp
+                              ? config.scenario.tcp_profile.name
+                              : "linux-3.13";
+
+  // Non-attack baselines, one per seed used ("runs a non-attack test").
+  ScenarioConfig retest_scenario = config.scenario;
+  retest_scenario.seed += config.retest_seed_offset;
+  RunMetrics baseline = run_scenario(config.scenario, std::nullopt);
+  RunMetrics retest_baseline = run_scenario(retest_scenario, std::nullopt);
+  result.baseline = baseline;
+
+  // Work queue, fed up front with every off-path strategy and incrementally
+  // with (type, state) strategies from observed traffic.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<strategy::Strategy> queue;
+  std::uint64_t queued_total = 0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  int active = 0;
+
+  // Batches are shuffled (deterministically) before queueing so a capped
+  // campaign samples across attack categories instead of exhausting the
+  // generator's emission order.
+  std::mt19937_64 shuffle_rng(config.scenario.seed * 1000003 + 17);
+  auto enqueue = [&](std::vector<strategy::Strategy> batch) {
+    std::shuffle(batch.begin(), batch.end(), shuffle_rng);
+    for (auto& s : batch) {
+      queue.push_back(std::move(s));
+      ++queued_total;
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    // Malicious-client strategies from the baseline's observations first,
+    // then the full off-path sweep.
+    enqueue(generator.on_observations(baseline.client_observations,
+                                      baseline.server_observations));
+    enqueue(generator.off_path_strategies());
+  }
+
+  auto worker = [&] {
+    while (true) {
+      strategy::Strategy strat;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return !queue.empty() || active == 0; });
+        if (queue.empty()) {
+          if (active == 0) return;
+          continue;
+        }
+        if (config.max_strategies != 0 && started >= config.max_strategies) {
+          queue.clear();
+          if (active == 0) {
+            cv.notify_all();
+            return;
+          }
+          continue;
+        }
+        strat = std::move(queue.front());
+        queue.pop_front();
+        ++started;
+        ++active;
+      }
+
+      RunMetrics run = run_scenario(config.scenario, strat);
+      Detection first = detect(baseline, run);
+
+      std::optional<StrategyOutcome> outcome;
+      if (first.is_attack) {
+        // Repeatability check under a different seed.
+        RunMetrics again = run_scenario(retest_scenario, strat);
+        Detection second = detect(retest_baseline, again);
+        if (second.is_attack) {
+          StrategyOutcome o;
+          o.strat = strat;
+          o.detection = first;
+          o.cls = classify(strat, format, first, run);
+          o.signature = attack_signature(strat, format, first, run);
+          outcome = std::move(o);
+        }
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++completed;
+        --active;
+        // Feedback: states/types observed during this run may unlock new
+        // (type, state) targets.
+        enqueue(generator.on_observations(run.client_observations,
+                                          run.server_observations));
+        if (outcome.has_value()) result.found.push_back(std::move(*outcome));
+        if (config.on_progress) config.on_progress(completed, queued_total);
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  int n = std::max(1, config.executors);
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  result.strategies_tried = started;
+
+  std::set<std::string> unique;
+  for (const StrategyOutcome& o : result.found) {
+    ++result.attack_strategies_found;
+    switch (o.cls) {
+      case AttackClass::kOnPath:
+        ++result.on_path;
+        break;
+      case AttackClass::kFalsePositive:
+        ++result.false_positives;
+        break;
+      case AttackClass::kTrueAttack:
+        ++result.true_attack_strategies;
+        unique.insert(o.signature);
+        break;
+    }
+  }
+  result.unique_true_attacks = unique.size();
+  result.unique_signatures.assign(unique.begin(), unique.end());
+
+  // ---- Combination phase (optional): pair the strongest distinct true
+  // attacks and test whether any pair beats both of its components.
+  if (config.combine_top >= 2 && !result.found.empty()) {
+    std::vector<const StrategyOutcome*> ranked;
+    std::set<std::string> taken;
+    for (const StrategyOutcome& o : result.found)
+      if (o.cls == AttackClass::kTrueAttack) ranked.push_back(&o);
+    std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+      return impact_score(a->detection) > impact_score(b->detection);
+    });
+    std::vector<const StrategyOutcome*> top;
+    for (const StrategyOutcome* o : ranked) {
+      if (taken.contains(o->signature)) continue;
+      taken.insert(o->signature);
+      top.push_back(o);
+      if (top.size() >= config.combine_top) break;
+    }
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      for (std::size_t j = i + 1; j < top.size(); ++j) {
+        std::vector<strategy::Strategy> pair = {top[i]->strat, top[j]->strat};
+        RunMetrics run = run_scenario(config.scenario, pair);
+        Detection d = detect(baseline, run);
+        ++result.combinations_tried;
+        CombinedOutcome c;
+        c.first = top[i]->strat;
+        c.second = top[j]->strat;
+        c.detection = d;
+        c.impact_score = impact_score(d);
+        c.best_single_score =
+            std::max(impact_score(top[i]->detection), impact_score(top[j]->detection));
+        c.stronger_than_parts = c.impact_score > c.best_single_score + 1e-9;
+        if (c.stronger_than_parts) ++result.combinations_stronger;
+        result.combined.push_back(std::move(c));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace snake::core

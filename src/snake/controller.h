@@ -1,0 +1,91 @@
+// The SNAKE controller: strategy scheduling, parallel executors, attack
+// detection, repeatability retesting, and result classification — the
+// in-process equivalent of the paper's controller + executor processes
+// ("An executor first runs a non-attack test and then, for each strategy,
+// runs the attack scenario and reports performance information back ...
+// Attack strategies that appear successful are tested a second time to
+// ensure repeatability.").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "snake/detector.h"
+#include "snake/scenario.h"
+#include "strategy/generator.h"
+
+namespace snake::core {
+
+struct CampaignConfig {
+  ScenarioConfig scenario;
+  strategy::GeneratorConfig generator;
+
+  int executors = 4;  ///< parallel worker threads ("we ran five executors")
+  /// Retest seed: a candidate must reproduce under a different seed to count.
+  std::uint64_t retest_seed_offset = 1000003;
+  /// Optional cap on strategies tried (0 = unlimited); lets tests and quick
+  /// demos run bounded campaigns.
+  std::uint64_t max_strategies = 0;
+
+  /// Combination phase (the paper's future work, with Turret's greedy
+  /// flavour): after the single-strategy sweep, pair up to this many of the
+  /// strongest distinct true-attack strategies and test each pair as a
+  /// combined strategy. 0 disables the phase.
+  std::size_t combine_top = 0;
+  /// Progress callback (strategies completed, total queued so far).
+  std::function<void(std::uint64_t, std::uint64_t)> on_progress;
+};
+
+/// Outcome of one successful (detected + repeatable) strategy.
+struct StrategyOutcome {
+  strategy::Strategy strat;
+  Detection detection;
+  AttackClass cls = AttackClass::kTrueAttack;
+  std::string signature;
+};
+
+/// Outcome of one combined (pair) strategy from the combination phase.
+struct CombinedOutcome {
+  strategy::Strategy first;
+  strategy::Strategy second;
+  Detection detection;
+  double impact_score = 0;       ///< see impact_score() in the detector
+  double best_single_score = 0;  ///< max impact of the two components alone
+  bool stronger_than_parts = false;
+};
+
+struct CampaignResult {
+  std::string implementation;
+  Protocol protocol = Protocol::kTcp;
+
+  std::uint64_t strategies_tried = 0;
+  std::vector<StrategyOutcome> found;  ///< all detected+repeatable strategies
+
+  // Table I columns.
+  std::uint64_t attack_strategies_found = 0;
+  std::uint64_t on_path = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t true_attack_strategies = 0;
+  std::uint64_t unique_true_attacks = 0;
+  std::vector<std::string> unique_signatures;
+
+  // Combination phase (when enabled).
+  std::vector<CombinedOutcome> combined;
+  std::uint64_t combinations_tried = 0;
+  std::uint64_t combinations_stronger = 0;
+
+  RunMetrics baseline;
+
+  /// Renders a Table-I-style row.
+  std::string summary_row() const;
+};
+
+/// Runs a full campaign for one implementation.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// Renders the Table I header matching CampaignResult::summary_row.
+std::string table1_header();
+
+}  // namespace snake::core

@@ -1,0 +1,148 @@
+#include "snake/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace snake::core {
+
+namespace {
+double ratio(std::uint64_t run, std::uint64_t baseline) {
+  if (baseline == 0) return run == 0 ? 1.0 : 2.0;  // something from nothing
+  return static_cast<double>(run) / static_cast<double>(baseline);
+}
+}  // namespace
+
+Detection detect(const RunMetrics& baseline, const RunMetrics& run, double threshold) {
+  Detection d;
+  d.target_ratio = ratio(run.target_bytes, baseline.target_bytes);
+  d.competing_ratio = ratio(run.competing_bytes, baseline.competing_bytes);
+
+  double low = threshold;        // -50%
+  double high = 1.0 + threshold; // +50%
+
+  if (d.target_ratio <= low) {
+    d.is_attack = true;
+    d.reasons.push_back(str_format("target throughput down to %.0f%% of baseline",
+                                   d.target_ratio * 100));
+  }
+  if (d.target_ratio >= high) {
+    d.is_attack = true;
+    d.reasons.push_back(str_format("target throughput up to %.0f%% of baseline (fairness)",
+                                   d.target_ratio * 100));
+  }
+  if (d.competing_ratio <= low) {
+    d.is_attack = true;
+    d.reasons.push_back(str_format("competing throughput down to %.0f%% of baseline",
+                                   d.competing_ratio * 100));
+  }
+  if (d.competing_ratio >= high) {
+    d.is_attack = true;
+    d.reasons.push_back(str_format("competing throughput up to %.0f%% of baseline",
+                                   d.competing_ratio * 100));
+  }
+  if (run.server1_stuck_sockets > baseline.server1_stuck_sockets) {
+    d.is_attack = true;
+    d.resource_exhaustion = true;
+    d.reasons.push_back(str_format("server socket not released (%zu stuck vs %zu baseline)",
+                                   run.server1_stuck_sockets,
+                                   baseline.server1_stuck_sockets));
+  }
+  return d;
+}
+
+double impact_score(const Detection& d) {
+  double deviation = std::max(std::abs(1.0 - d.target_ratio), std::abs(1.0 - d.competing_ratio));
+  return (d.resource_exhaustion ? 10.0 : 0.0) + deviation;
+}
+
+const char* to_string(AttackClass cls) {
+  switch (cls) {
+    case AttackClass::kOnPath: return "on-path";
+    case AttackClass::kFalsePositive: return "false-positive";
+    case AttackClass::kTrueAttack: return "true-attack";
+  }
+  return "?";
+}
+
+AttackClass classify(const strategy::Strategy& s, const packet::HeaderFormat& format,
+                     const Detection& detection, const RunMetrics& run) {
+  using strategy::AttackAction;
+
+  // Lie strategies on addressing/structural fields only "work" by breaking
+  // the packet's identity — an on-path capability, and pointless for a
+  // malicious client (it could simply not connect).
+  if (s.action == AttackAction::kLie && s.lie.has_value()) {
+    const packet::FieldSpec* field = format.field(s.lie->field);
+    if (field != nullptr && (field->kind == packet::FieldKind::kPort ||
+                             field->kind == packet::FieldKind::kLength)) {
+      return AttackClass::kOnPath;
+    }
+  }
+
+  // hitseqwindow: a true hit resets the targeted connection; a mere
+  // slowdown under tens of thousands of injected packets is the volume
+  // artifact the paper calls out as its false-positive class.
+  if (s.action == AttackAction::kHitSeqWindow && s.inject.has_value()) {
+    bool victim_reset =
+        s.inject->target_competing ? run.competing_reset : run.target_reset;
+    if (!victim_reset && !detection.resource_exhaustion) return AttackClass::kFalsePositive;
+  }
+
+  return AttackClass::kTrueAttack;
+}
+
+namespace {
+/// What the strategy actually did — the coarse grouping the paper reaches by
+/// inspecting each finding ("functionally the same attack").
+std::string effect_class(const strategy::Strategy& s, const Detection& detection,
+                         const RunMetrics& run) {
+  bool competing_target =
+      s.inject.has_value() ? s.inject->target_competing : false;
+  if (detection.resource_exhaustion) return "server-resource-exhaustion";
+  if (competing_target ? run.competing_reset : run.target_reset) return "connection-reset";
+  if (!run.target_established && !competing_target) return "establishment-prevented";
+  if (!run.competing_established && competing_target) return "establishment-prevented";
+  if (detection.target_ratio >= 1.5) return "fairness-gain";
+  if (detection.target_ratio <= 0.5 && !competing_target) return "throughput-degradation";
+  if (detection.competing_ratio <= 0.5) return "competing-degradation";
+  return "performance-shift";
+}
+}  // namespace
+
+std::string attack_signature(const strategy::Strategy& s, const packet::HeaderFormat& format,
+                             const Detection& detection, const RunMetrics& run) {
+  using strategy::AttackAction;
+  std::string sig = to_string(s.action);
+  sig += "/";
+  sig += to_string(s.direction);
+  switch (s.action) {
+    case AttackAction::kLie:
+      if (s.lie.has_value()) {
+        const packet::FieldSpec* field = format.field(s.lie->field);
+        sig += "/";
+        sig += field != nullptr ? to_string(field->kind) : "?";
+      }
+      break;
+    case AttackAction::kInject:
+    case AttackAction::kHitSeqWindow:
+      if (s.inject.has_value())
+        sig += s.inject->target_competing ? "/competing" : "/own";
+      break;
+    case AttackAction::kDrop:
+    case AttackAction::kDelay:
+    case AttackAction::kBatch:
+    case AttackAction::kReflect:
+      sig += "/" + s.packet_type;
+      break;
+    case AttackAction::kDuplicate:
+      sig += "/" + s.packet_type;
+      sig += s.duplicate_count >= 3 ? "/burst" : "/light";
+      break;
+  }
+  sig += "=" + effect_class(s, detection, run);
+  return sig;
+}
+
+}  // namespace snake::core

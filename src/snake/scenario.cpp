@@ -1,0 +1,159 @@
+#include "snake/scenario.h"
+
+#include <memory>
+
+#include "apps/bulk_http.h"
+#include "apps/iperf_dccp.h"
+#include "dccp/stack.h"
+#include "packet/dccp_format.h"
+#include "packet/tcp_format.h"
+#include "statemachine/protocol_specs.h"
+#include "tcp/stack.h"
+
+namespace snake::core {
+
+namespace {
+constexpr std::uint16_t kHttpPort = 80;
+constexpr std::uint16_t kIperfPort = 5001;
+}  // namespace
+
+const char* to_string(Protocol protocol) {
+  return protocol == Protocol::kTcp ? "tcp" : "dccp";
+}
+
+namespace {
+
+proxy::ProxyTargets make_targets(Protocol protocol) {
+  using A = sim::DumbbellAddresses;
+  proxy::ProxyTargets t;
+  t.client_addr = A::kClient1;
+  t.server_addr = A::kServer1;
+  t.competing_client_addr = A::kClient2;
+  t.competing_server_addr = A::kServer2;
+  if (protocol == Protocol::kTcp) {
+    t.protocol = sim::kProtoTcp;
+    t.server_port = kHttpPort;
+    t.competing_server_port = kHttpPort;
+    t.competing_client_port_guess = 40000;  // our stacks allocate from 40000
+  } else {
+    t.protocol = sim::kProtoDccp;
+    t.server_port = kIperfPort;
+    t.competing_server_port = kIperfPort;
+    t.competing_client_port_guess = 41000;
+  }
+  return t;
+}
+
+RunMetrics finish_metrics(proxy::AttackProxy& attack_proxy, TimePoint end) {
+  RunMetrics m;
+  m.client_observations = attack_proxy.tracker().client().observations();
+  m.server_observations = attack_proxy.tracker().server().observations();
+  m.client_state_stats = attack_proxy.tracker().client().finalize(end);
+  m.server_state_stats = attack_proxy.tracker().server().finalize(end);
+  m.proxy = attack_proxy.stats();
+  return m;
+}
+
+RunMetrics run_tcp(const ScenarioConfig& config,
+                   const std::vector<strategy::Strategy>& attacks) {
+  sim::Dumbbell net(config.topology);
+  snake::Rng rng(config.seed);
+
+  tcp::TcpStack client1(net.client1(), config.tcp_profile, rng.fork());
+  tcp::TcpStack client2(net.client2(), config.tcp_profile, rng.fork());
+  tcp::TcpStack server1(net.server1(), config.tcp_profile, rng.fork());
+  tcp::TcpStack server2(net.server2(), config.tcp_profile, rng.fork());
+
+  proxy::AttackProxy attack_proxy(net.client1(), packet::tcp_codec(),
+                                  statemachine::tcp_state_machine(),
+                                  make_targets(Protocol::kTcp), rng.fork());
+  net.client1().set_filter(&attack_proxy);
+  if (!attacks.empty()) attack_proxy.set_strategies(attacks);
+
+  apps::BulkHttpServer http1(server1, kHttpPort, config.download_bytes);
+  apps::BulkHttpServer http2(server2, kHttpPort, config.download_bytes);
+  Duration exit_after =
+      Duration::seconds(config.test_duration.to_seconds() * config.client1_exit_fraction);
+  apps::BulkHttpClient wget1(client1, sim::DumbbellAddresses::kServer1, kHttpPort, exit_after);
+  apps::BulkHttpClient wget2(client2, sim::DumbbellAddresses::kServer2, kHttpPort);
+
+  TimePoint end = net.scheduler().now() + config.test_duration;
+  net.scheduler().run_until(end);
+
+  RunMetrics m = finish_metrics(attack_proxy, end);
+  m.target_bytes = wget1.bytes_received();
+  m.competing_bytes = wget2.bytes_received();
+  m.target_established = wget1.established();
+  m.competing_established = wget2.established();
+  m.target_reset = wget1.reset();
+  m.competing_reset = wget2.reset();
+  m.server1_stuck_sockets = server1.open_sockets();
+  m.server2_stuck_sockets = server2.open_sockets();
+  m.server1_socket_states = server1.socket_states();
+  return m;
+}
+
+RunMetrics run_dccp(const ScenarioConfig& config,
+                    const std::vector<strategy::Strategy>& attacks) {
+  sim::Dumbbell net(config.topology);
+  snake::Rng rng(config.seed);
+
+  dccp::DccpStack client1(net.client1(), rng.fork());
+  dccp::DccpStack client2(net.client2(), rng.fork());
+  dccp::DccpStack server1(net.server1(), rng.fork());
+  dccp::DccpStack server2(net.server2(), rng.fork());
+
+  proxy::AttackProxy attack_proxy(net.client1(), packet::dccp_codec(),
+                                  statemachine::dccp_state_machine(),
+                                  make_targets(Protocol::kDccp), rng.fork());
+  net.client1().set_filter(&attack_proxy);
+  if (!attacks.empty()) attack_proxy.set_strategies(attacks);
+
+  dccp::DccpEndpointConfig accept_config;
+  accept_config.ccid = config.dccp_ccid;
+  apps::DccpIperfSink sink1(server1, kIperfPort, accept_config);
+  apps::DccpIperfSink sink2(server2, kIperfPort, accept_config);
+  apps::DccpIperfSource::Options opts;
+  opts.offer_rate_pps = config.dccp_offer_rate_pps;
+  opts.payload_bytes = config.dccp_payload_bytes;
+  opts.duration =
+      Duration::seconds(config.test_duration.to_seconds() * config.dccp_data_fraction);
+  opts.tx_queue_packets = config.dccp_tx_queue_packets;
+  opts.ccid = config.dccp_ccid;
+  apps::DccpIperfSource src1(client1, sim::DumbbellAddresses::kServer1, kIperfPort, opts);
+  apps::DccpIperfSource src2(client2, sim::DumbbellAddresses::kServer2, kIperfPort, opts);
+
+  TimePoint end = net.scheduler().now() + config.test_duration;
+  net.scheduler().run_until(end);
+
+  RunMetrics m = finish_metrics(attack_proxy, end);
+  // "Since DCCP is not a reliable protocol, we measured performance based on
+  // server goodput, or actual data received."
+  m.target_bytes = sink1.goodput_bytes();
+  m.competing_bytes = sink2.goodput_bytes();
+  m.target_established = src1.established();
+  m.competing_established = src2.established();
+  m.target_reset = src1.reset();
+  m.competing_reset = src2.reset();
+  m.server1_stuck_sockets = server1.open_sockets();
+  m.server2_stuck_sockets = server2.open_sockets();
+  m.server1_socket_states = server1.socket_states();
+  return m;
+}
+
+}  // namespace
+
+RunMetrics run_scenario(const ScenarioConfig& config,
+                        const std::vector<strategy::Strategy>& attacks) {
+  return config.protocol == Protocol::kTcp ? run_tcp(config, attacks)
+                                           : run_dccp(config, attacks);
+}
+
+RunMetrics run_scenario(const ScenarioConfig& config,
+                        const std::optional<strategy::Strategy>& attack) {
+  std::vector<strategy::Strategy> attacks;
+  if (attack.has_value()) attacks.push_back(*attack);
+  return run_scenario(config, attacks);
+}
+
+}  // namespace snake::core

@@ -1,0 +1,96 @@
+// One SNAKE test scenario: the dumbbell topology of Figure 3 with a target
+// connection (client1 -> server1, proxied) and a competing connection
+// (client2 -> server2), run for a fixed span of virtual time under at most
+// one attack strategy.
+//
+// This is the in-process equivalent of the paper's executor payload: four
+// VM instances of the implementation under test, NS-3 gluing them into a
+// dumbbell, the attack proxy on client1's access path, and the performance /
+// netstat measurements collected at the end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/dumbbell.h"
+#include "statemachine/tracker.h"
+#include "strategy/strategy.h"
+#include "proxy/attack_proxy.h"
+#include "tcp/profile.h"
+#include "util/time.h"
+
+namespace snake::core {
+
+enum class Protocol { kTcp, kDccp };
+
+const char* to_string(Protocol protocol);
+
+struct ScenarioConfig {
+  Protocol protocol = Protocol::kTcp;
+
+  /// TCP implementation under test (all four hosts run it, as in the paper).
+  /// Ignored for DCCP, which models the Linux 3.13 implementation.
+  tcp::TcpProfile tcp_profile = tcp::linux_3_13_profile();
+
+  sim::DumbbellConfig topology;
+  Duration test_duration = Duration::seconds(30.0);
+
+  // TCP workload: large HTTP download on both connections; the proxied
+  // client's application exits abruptly partway through (wget terminated
+  // mid-download), which is what makes teardown-phase attacks reachable.
+  std::uint64_t download_bytes = 1ULL << 30;  ///< effectively unbounded
+  double client1_exit_fraction = 0.6;         ///< of test_duration
+
+  // DCCP workload: iperf-like CBR stream client->server, closing after
+  // data_fraction of the test so the teardown phase is exercised.
+  double dccp_offer_rate_pps = 2000;
+  std::size_t dccp_payload_bytes = 1000;
+  double dccp_data_fraction = 0.6;
+  std::size_t dccp_tx_queue_packets = 50;
+  int dccp_ccid = 2;  ///< 2 = TCP-like (paper), 3 = TFRC (extension)
+
+  std::uint64_t seed = 1;
+};
+
+/// Everything the executor reports back to the controller after one run.
+struct RunMetrics {
+  // Performance: application bytes delivered on each connection.
+  std::uint64_t target_bytes = 0;
+  std::uint64_t competing_bytes = 0;
+
+  bool target_established = false;
+  bool competing_established = false;
+  bool target_reset = false;
+  bool competing_reset = false;
+
+  /// netstat at the servers after the run (TIME_WAIT excluded): sockets not
+  /// released normally.
+  std::size_t server1_stuck_sockets = 0;
+  std::size_t server2_stuck_sockets = 0;
+  std::map<std::string, int> server1_socket_states;
+
+  /// State-tracking feedback for the controller's incremental strategy
+  /// generation.
+  std::vector<statemachine::EndpointTracker::Observation> client_observations;
+  std::vector<statemachine::EndpointTracker::Observation> server_observations;
+  std::map<std::string, statemachine::StateStats> client_state_stats;
+  std::map<std::string, statemachine::StateStats> server_state_stats;
+
+  proxy::ProxyStats proxy;
+};
+
+/// Runs one scenario to completion and returns its metrics. Fresh network,
+/// stacks and applications every time (the paper's executors restore VM
+/// snapshots for the same reason: runs must be independent).
+RunMetrics run_scenario(const ScenarioConfig& config,
+                        const std::optional<strategy::Strategy>& attack);
+
+/// Combined-strategy variant: all strategies in `attacks` are active at
+/// once (see AttackProxy::set_strategies for composition semantics).
+RunMetrics run_scenario(const ScenarioConfig& config,
+                        const std::vector<strategy::Strategy>& attacks);
+
+}  // namespace snake::core

@@ -1,0 +1,141 @@
+#include "statemachine/dot_parser.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace snake::statemachine {
+
+namespace {
+
+[[noreturn]] void fail(int line_number, const std::string& message) {
+  throw std::invalid_argument("dot parser, line " + std::to_string(line_number) + ": " + message);
+}
+
+/// Extracts attr="value" or attr=value from an attribute list body.
+std::string attribute(const std::string& attrs, const std::string& key) {
+  std::size_t pos = attrs.find(key + "=");
+  if (pos == std::string::npos) return "";
+  std::size_t start = pos + key.size() + 1;
+  if (start >= attrs.size()) return "";
+  if (attrs[start] == '"') {
+    std::size_t end = attrs.find('"', start + 1);
+    if (end == std::string::npos) return "";
+    return attrs.substr(start + 1, end - start - 1);
+  }
+  std::size_t end = attrs.find_first_of(",] \t", start);
+  if (end == std::string::npos) end = attrs.size();
+  return attrs.substr(start, end - start);
+}
+
+Trigger parse_trigger(const std::string& clause, int line_number) {
+  std::string c = trim(clause);
+  Trigger t;
+  if (starts_with(c, "snd:")) {
+    t.kind = TriggerKind::kSend;
+    t.packet_type = trim(c.substr(4));
+  } else if (starts_with(c, "rcv:")) {
+    t.kind = TriggerKind::kReceive;
+    t.packet_type = trim(c.substr(4));
+  } else if (starts_with(c, "after:")) {
+    t.kind = TriggerKind::kTimeout;
+    try {
+      t.timeout = Duration::seconds(std::stod(c.substr(6)));
+    } catch (const std::exception&) {
+      fail(line_number, "bad timeout in trigger '" + clause + "'");
+    }
+  } else {
+    fail(line_number, "trigger must start with snd:/rcv:/after: — got '" + clause + "'");
+  }
+  if (t.kind != TriggerKind::kTimeout && t.packet_type.empty())
+    fail(line_number, "empty packet type in trigger '" + clause + "'");
+  return t;
+}
+
+}  // namespace
+
+StateMachine parse_dot(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+
+  std::string machine_name = "unnamed";
+  std::vector<std::string> states;
+  std::vector<Transition> transitions;
+  std::string client_initial, server_initial;
+  bool in_graph = false;
+
+  auto add_state = [&states](const std::string& s) {
+    if (std::find(states.begin(), states.end(), s) == states.end()) states.push_back(s);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string stripped = trim(line);
+    if (auto slashes = stripped.find("//"); slashes != std::string::npos)
+      stripped = trim(stripped.substr(0, slashes));
+    if (stripped.empty()) continue;
+
+    if (starts_with(stripped, "digraph")) {
+      std::size_t brace = stripped.find('{');
+      machine_name = trim(stripped.substr(7, brace == std::string::npos
+                                                 ? std::string::npos
+                                                 : brace - 7));
+      in_graph = true;
+      continue;
+    }
+    if (stripped == "}") {
+      in_graph = false;
+      continue;
+    }
+    if (!in_graph) fail(line_number, "statement outside digraph block");
+
+    // Split off the attribute list, if present.
+    std::string head = stripped;
+    std::string attrs;
+    if (std::size_t lb = stripped.find('['); lb != std::string::npos) {
+      std::size_t rb = stripped.rfind(']');
+      if (rb == std::string::npos || rb < lb) fail(line_number, "unterminated attribute list");
+      head = trim(stripped.substr(0, lb));
+      attrs = stripped.substr(lb + 1, rb - lb - 1);
+    }
+    if (!head.empty() && head.back() == ';') head = trim(head.substr(0, head.size() - 1));
+    if (head.empty()) continue;
+
+    if (std::size_t arrow = head.find("->"); arrow != std::string::npos) {
+      Transition t;
+      t.from = trim(head.substr(0, arrow));
+      t.to = trim(head.substr(arrow + 2));
+      if (t.from.empty() || t.to.empty()) fail(line_number, "malformed edge '" + head + "'");
+      add_state(t.from);
+      add_state(t.to);
+      std::string label = attribute(attrs, "label");
+      if (label.empty()) fail(line_number, "edge needs a label with a trigger");
+      // "trigger / action1 / action2" — first clause is the trigger.
+      std::vector<std::string> clauses = split(label, '/');
+      t.trigger = parse_trigger(clauses[0], line_number);
+      for (std::size_t i = 1; i < clauses.size(); ++i) {
+        if (!t.action.empty()) t.action += " / ";
+        t.action += trim(clauses[i]);
+      }
+      transitions.push_back(std::move(t));
+    } else {
+      // Node statement.
+      add_state(head);
+      std::string initial = to_lower(attribute(attrs, "initial"));
+      if (initial == "client" || initial == "both") client_initial = head;
+      if (initial == "server" || initial == "both") server_initial = head;
+    }
+  }
+
+  if (client_initial.empty() || server_initial.empty())
+    throw std::invalid_argument(
+        "dot parser: state machine must mark initial states with [initial=\"client\"] and "
+        "[initial=\"server\"] (or \"both\")");
+  return StateMachine(machine_name, std::move(states), std::move(transitions),
+                      std::move(client_initial), std::move(server_initial));
+}
+
+}  // namespace snake::statemachine

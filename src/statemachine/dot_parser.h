@@ -1,0 +1,37 @@
+// Parser for protocol state machines written in the dot language.
+//
+// The paper: "The tracker takes a description of the protocol state machine,
+// written in the dot language, as input. This description contains the state
+// transitions, including the packets or actions that cause these transitions
+// or result from them."
+//
+// Supported dot subset:
+//
+//   digraph tcp {
+//     CLOSED [initial="client"];
+//     LISTEN [initial="server"];
+//     CLOSED    -> SYN_SENT    [label="snd:SYN"];
+//     SYN_SENT  -> ESTABLISHED [label="rcv:SYN+ACK / snd:ACK"];
+//     TIME_WAIT -> CLOSED      [label="after:60"];
+//   }
+//
+// Edge labels hold "event / action" pairs as in the RFC 793 diagram: the
+// first clause is the *trigger* the tracker matches against observed
+// packets; clauses after '/' are resulting actions, kept for documentation.
+// Triggers are `snd:<packet-type>` (endpoint sent the packet),
+// `rcv:<packet-type>` (endpoint received it), or `after:<seconds>` (a pure
+// timeout transition such as TIME_WAIT expiry). A node attribute
+// `initial="client"` / `initial="server"` / `initial="both"` marks the start
+// state for each endpoint role.
+#pragma once
+
+#include <string>
+
+#include "statemachine/state_machine.h"
+
+namespace snake::statemachine {
+
+/// Parses dot text; throws std::invalid_argument on malformed input.
+StateMachine parse_dot(const std::string& text);
+
+}  // namespace snake::statemachine

@@ -1,0 +1,202 @@
+#include "statemachine/inference.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace snake::statemachine {
+
+namespace {
+
+std::string event_label(const TraceEvent& e) {
+  return (e.direction == TriggerKind::kSend ? "snd:" : "rcv:") + e.packet_type;
+}
+
+/// Prefix-tree acceptor: node 0 is the root; edges are labeled with events.
+struct Pta {
+  std::vector<std::map<std::string, int>> children;
+
+  Pta() : children(1) {}
+
+  int extend(int node, const std::string& label) {
+    auto it = children[node].find(label);
+    if (it != children[node].end()) return it->second;
+    children.push_back({});
+    int fresh = static_cast<int>(children.size()) - 1;
+    children[node][label] = fresh;
+    return fresh;
+  }
+};
+
+/// The k-tail of a node: every event string of length <= k leaving it.
+void collect_tails(const Pta& pta, int node, int depth, const std::string& prefix,
+                   std::set<std::string>& out) {
+  if (depth == 0) return;
+  for (const auto& [label, child] : pta.children[node]) {
+    std::string path = prefix.empty() ? label : prefix + "|" + label;
+    out.insert(path);
+    collect_tails(pta, child, depth - 1, path, out);
+  }
+}
+
+}  // namespace
+
+InferredAutomaton infer_automaton(const std::vector<EndpointTrace>& traces,
+                                  const std::string& state_prefix,
+                                  const InferenceConfig& config) {
+  // 1. Build the prefix tree acceptor over all traces.
+  Pta pta;
+  for (const EndpointTrace& trace : traces) {
+    int node = 0;
+    for (const TraceEvent& event : trace) node = pta.extend(node, event_label(event));
+  }
+
+  // 2. Group nodes by their k-tail signature.
+  int n = static_cast<int>(pta.children.size());
+  std::vector<int> group(n);
+  {
+    std::map<std::set<std::string>, int> signature_to_group;
+    for (int i = 0; i < n; ++i) {
+      std::set<std::string> tails;
+      collect_tails(pta, i, config.k, "", tails);
+      auto [it, inserted] =
+          signature_to_group.try_emplace(std::move(tails),
+                                         static_cast<int>(signature_to_group.size()));
+      group[i] = it->second;
+    }
+  }
+
+  // 3. Determinization closure: if one group has the same label to two
+  // different target groups, merge those targets, until stable. Merging is
+  // done with a union-find over group ids.
+  // Union-find over group ids.
+  int group_count = *std::max_element(group.begin(), group.end()) + 1;
+  std::vector<int> uf(group_count);
+  for (int i = 0; i < group_count; ++i) uf[i] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (uf[x] != x) x = uf[x] = uf[uf[x]];
+    return x;
+  };
+  auto unite = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) uf[b] = a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::pair<int, std::string>, int> seen;
+    for (int node = 0; node < n; ++node) {
+      int g = find(group[node]);
+      for (const auto& [label, child] : pta.children[node]) {
+        int target = find(group[child]);
+        auto key = std::make_pair(g, label);
+        auto it = seen.find(key);
+        if (it == seen.end()) {
+          seen.emplace(key, target);
+        } else if (it->second != target) {
+          unite(it->second, target);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // 4. Emit compactly renumbered states and transitions. State 0 (the
+  // root's group) must come first so `<prefix>0` is initial.
+  std::map<int, int> renumber;
+  auto state_id = [&](int g) {
+    g = find(g);
+    auto [it, inserted] = renumber.try_emplace(g, static_cast<int>(renumber.size()));
+    return it->second;
+  };
+  state_id(group[0]);  // root first
+
+  InferredAutomaton out;
+  std::set<std::tuple<int, std::string, int>> edges;
+  for (int node = 0; node < n; ++node) {
+    int src = state_id(group[node]);
+    for (const auto& [label, child] : pta.children[node]) {
+      int dst = state_id(group[child]);
+      if (!edges.insert({src, label, dst}).second) continue;
+      Transition t;
+      t.from = state_prefix + std::to_string(src);
+      t.to = state_prefix + std::to_string(dst);
+      bool is_send = starts_with(label, "snd:");
+      t.trigger.kind = is_send ? TriggerKind::kSend : TriggerKind::kReceive;
+      t.trigger.packet_type = label.substr(4);
+      out.transitions.push_back(std::move(t));
+    }
+  }
+  for (int i = 0; i < static_cast<int>(renumber.size()); ++i)
+    out.states.push_back(state_prefix + std::to_string(i));
+  out.initial = state_prefix + "0";
+  return out;
+}
+
+StateMachine infer_state_machine(const std::string& name,
+                                 const std::vector<EndpointTrace>& client_traces,
+                                 const std::vector<EndpointTrace>& server_traces,
+                                 const InferenceConfig& config) {
+  InferredAutomaton client = infer_automaton(client_traces, "C", config);
+  InferredAutomaton server = infer_automaton(server_traces, "S", config);
+  std::vector<std::string> states = client.states;
+  states.insert(states.end(), server.states.begin(), server.states.end());
+  std::vector<Transition> transitions = client.transitions;
+  transitions.insert(transitions.end(), server.transitions.begin(),
+                     server.transitions.end());
+  return StateMachine(name, std::move(states), std::move(transitions), client.initial,
+                      server.initial);
+}
+
+double explain_score(const InferredAutomaton& automaton, const EndpointTrace& trace) {
+  if (trace.empty()) return 1.0;
+  // Index transitions for the walk.
+  std::map<std::pair<std::string, std::string>, std::string> next;
+  for (const Transition& t : automaton.transitions)
+    next[{t.from, t.trigger.to_string()}] = t.to;
+  std::string state = automaton.initial;
+  std::size_t explained = 0;
+  for (const TraceEvent& event : trace) {
+    std::string label = (event.direction == TriggerKind::kSend ? "snd:" : "rcv:") +
+                        event.packet_type;
+    auto it = next.find({state, label});
+    if (it != next.end()) {
+      ++explained;
+      state = it->second;
+    }
+  }
+  return static_cast<double>(explained) / static_cast<double>(trace.size());
+}
+
+std::string to_dot(const StateMachine& machine) {
+  std::ostringstream out;
+  out << "digraph " << machine.name() << " {\n";
+  for (const std::string& state : machine.states()) {
+    bool client_init = state == machine.initial_state(Role::kClient);
+    bool server_init = state == machine.initial_state(Role::kServer);
+    if (client_init && server_init) {
+      out << "  " << state << " [initial=\"both\"];\n";
+    } else if (client_init) {
+      out << "  " << state << " [initial=\"client\"];\n";
+    } else if (server_init) {
+      out << "  " << state << " [initial=\"server\"];\n";
+    } else {
+      out << "  " << state << ";\n";
+    }
+  }
+  for (const Transition& t : machine.transitions()) {
+    out << "  " << t.from << " -> " << t.to << " [label=\"" << t.trigger.to_string();
+    if (!t.action.empty()) out << " / " << t.action;
+    out << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace snake::statemachine

@@ -1,0 +1,72 @@
+// Passive protocol state-machine inference from packet traces.
+//
+// SNAKE needs a state machine as input; for documented protocols it comes
+// from the specification, but "for proprietary protocols where the
+// specification of the state machine may not be available, recent work in
+// state machine inference may be leveraged [Wang et al., ACNS'11]". This
+// module provides that leverage: given observed per-endpoint event
+// sequences (send/receive of classified packet types — exactly what the
+// attack proxy sees), it learns a deterministic automaton with the classic
+// k-tails state-merging algorithm and emits it as a StateMachine the
+// tracker and strategy generator consume unchanged.
+//
+// Pipeline: traces -> prefix tree acceptor -> merge states whose outgoing
+// behaviour agrees to depth k -> determinization closure -> StateMachine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statemachine/state_machine.h"
+
+namespace snake::statemachine {
+
+/// One observed protocol event at an endpoint.
+struct TraceEvent {
+  TriggerKind direction = TriggerKind::kSend;  ///< kSend or kReceive
+  std::string packet_type;
+
+  auto operator<=>(const TraceEvent&) const = default;
+};
+
+/// One connection's event sequence as seen by one endpoint.
+using EndpointTrace = std::vector<TraceEvent>;
+
+struct InferenceConfig {
+  /// Merge horizon: states are merged when their outgoing event trees agree
+  /// to this depth. k=1 merges aggressively (small machines, may
+  /// overgeneralize); larger k preserves more structure.
+  int k = 2;
+};
+
+/// Learns one endpoint role's automaton from its traces. State names are
+/// synthesized as `<prefix>0`, `<prefix>1`, ...; `<prefix>0` is initial.
+/// Returned transitions use the same snd:/rcv: triggers as parse_dot.
+struct InferredAutomaton {
+  std::vector<std::string> states;
+  std::vector<Transition> transitions;
+  std::string initial;
+};
+
+InferredAutomaton infer_automaton(const std::vector<EndpointTrace>& traces,
+                                  const std::string& state_prefix,
+                                  const InferenceConfig& config = {});
+
+/// Learns a full two-role StateMachine: client states are prefixed "C",
+/// server states "S".
+StateMachine infer_state_machine(const std::string& name,
+                                 const std::vector<EndpointTrace>& client_traces,
+                                 const std::vector<EndpointTrace>& server_traces,
+                                 const InferenceConfig& config = {});
+
+/// Fraction of events in `trace` for which the automaton (walked from its
+/// initial state) has a defined transition — a coverage score for how well
+/// the learned machine explains held-out behaviour. Events with no defined
+/// transition leave the state unchanged (the tracker behaves the same way).
+double explain_score(const InferredAutomaton& automaton, const EndpointTrace& trace);
+
+/// Exports any StateMachine back to dot text (round-trips with parse_dot).
+std::string to_dot(const StateMachine& machine);
+
+}  // namespace snake::statemachine

@@ -1,0 +1,99 @@
+#include "statemachine/protocol_specs.h"
+
+#include "statemachine/dot_parser.h"
+
+namespace snake::statemachine {
+
+const char* tcp_state_machine_dot() {
+  return R"(digraph tcp {
+  CLOSED [initial="client"];
+  LISTEN [initial="server"];
+
+  // Connection establishment
+  CLOSED      -> SYN_SENT    [label="snd:SYN"];
+  LISTEN      -> SYN_RCVD    [label="rcv:SYN / snd:SYN+ACK"];
+  SYN_SENT    -> ESTABLISHED [label="rcv:SYN+ACK / snd:ACK"];
+  SYN_SENT    -> SYN_RCVD    [label="rcv:SYN / snd:SYN+ACK"];  // simultaneous open
+  SYN_RCVD    -> ESTABLISHED [label="rcv:ACK"];
+
+  // Active close
+  ESTABLISHED -> FIN_WAIT_1  [label="snd:FIN+ACK"];
+  FIN_WAIT_1  -> FIN_WAIT_2  [label="rcv:ACK"];
+  FIN_WAIT_1  -> CLOSING     [label="rcv:FIN+ACK / snd:ACK"];
+  FIN_WAIT_2  -> TIME_WAIT   [label="rcv:FIN+ACK / snd:ACK"];
+  CLOSING     -> TIME_WAIT   [label="rcv:ACK"];
+  TIME_WAIT   -> CLOSED      [label="after:60"];  // 2*MSL
+
+  // Passive close
+  ESTABLISHED -> CLOSE_WAIT  [label="rcv:FIN+ACK / snd:ACK"];
+  CLOSE_WAIT  -> LAST_ACK    [label="snd:FIN+ACK"];
+  LAST_ACK    -> CLOSED      [label="rcv:ACK"];
+
+  // Resets: receipt or emission of RST abandons the connection.
+  SYN_SENT    -> CLOSED      [label="rcv:RST"];
+  SYN_SENT    -> CLOSED      [label="rcv:RST+ACK"];
+  SYN_RCVD    -> CLOSED      [label="rcv:RST"];
+  SYN_RCVD    -> CLOSED      [label="rcv:RST+ACK"];
+  ESTABLISHED -> CLOSED      [label="rcv:RST"];
+  ESTABLISHED -> CLOSED      [label="rcv:RST+ACK"];
+  ESTABLISHED -> CLOSED      [label="snd:RST"];
+  ESTABLISHED -> CLOSED      [label="snd:RST+ACK"];
+  FIN_WAIT_1  -> CLOSED      [label="rcv:RST"];
+  FIN_WAIT_1  -> CLOSED      [label="rcv:RST+ACK"];
+  FIN_WAIT_2  -> CLOSED      [label="rcv:RST"];
+  FIN_WAIT_2  -> CLOSED      [label="rcv:RST+ACK"];
+  CLOSE_WAIT  -> CLOSED      [label="rcv:RST"];
+  CLOSE_WAIT  -> CLOSED      [label="rcv:RST+ACK"];
+  CLOSE_WAIT  -> CLOSED      [label="snd:RST"];
+  CLOSE_WAIT  -> CLOSED      [label="snd:RST+ACK"];
+  CLOSING     -> CLOSED      [label="rcv:RST"];
+  CLOSING     -> CLOSED      [label="rcv:RST+ACK"];
+  LAST_ACK    -> CLOSED      [label="rcv:RST"];
+  LAST_ACK    -> CLOSED      [label="rcv:RST+ACK"];
+}
+)";
+}
+
+const StateMachine& tcp_state_machine() {
+  static const StateMachine machine = parse_dot(tcp_state_machine_dot());
+  return machine;
+}
+
+const char* dccp_state_machine_dot() {
+  return R"(digraph dccp {
+  CLOSED [initial="client"];
+  LISTEN [initial="server"];
+
+  // Establishment (RFC 4340 section 8.1)
+  CLOSED   -> REQUEST  [label="snd:DCCP-Request"];
+  LISTEN   -> RESPOND  [label="rcv:DCCP-Request / snd:DCCP-Response"];
+  REQUEST  -> PARTOPEN [label="rcv:DCCP-Response / snd:DCCP-Ack"];
+  RESPOND  -> OPEN     [label="rcv:DCCP-Ack"];
+  RESPOND  -> OPEN     [label="rcv:DCCP-DataAck"];
+  PARTOPEN -> OPEN     [label="rcv:DCCP-Data"];
+  PARTOPEN -> OPEN     [label="rcv:DCCP-DataAck"];
+  PARTOPEN -> OPEN     [label="rcv:DCCP-Ack"];
+
+  // Teardown
+  OPEN     -> CLOSING  [label="snd:DCCP-Close"];
+  OPEN     -> CLOSEREQ [label="snd:DCCP-CloseReq"];
+  CLOSEREQ -> CLOSED   [label="rcv:DCCP-Close / snd:DCCP-Reset"];
+  OPEN     -> CLOSED   [label="rcv:DCCP-Close / snd:DCCP-Reset"];
+  CLOSING  -> TIMEWAIT [label="rcv:DCCP-Reset"];
+  TIMEWAIT -> CLOSED   [label="after:8"];
+
+  // Resets abandon the connection from any live state.
+  REQUEST  -> CLOSED   [label="rcv:DCCP-Reset"];
+  RESPOND  -> CLOSED   [label="rcv:DCCP-Reset"];
+  PARTOPEN -> CLOSED   [label="rcv:DCCP-Reset"];
+  OPEN     -> CLOSED   [label="rcv:DCCP-Reset"];
+}
+)";
+}
+
+const StateMachine& dccp_state_machine() {
+  static const StateMachine machine = parse_dot(dccp_state_machine_dot());
+  return machine;
+}
+
+}  // namespace snake::statemachine

@@ -1,0 +1,21 @@
+// Built-in dot descriptions of the TCP (RFC 793) and DCCP (RFC 4340)
+// connection-lifecycle state machines — the specification inputs SNAKE asks
+// the user for. Packet type names match the classifications produced by the
+// corresponding header formats in src/packet.
+#pragma once
+
+#include "statemachine/state_machine.h"
+
+namespace snake::statemachine {
+
+/// The 11-state TCP connection state machine, with reset edges. "Taking TCP
+/// as an example, the state machine has 11 states in total and all data
+/// transfer ... takes place in a single state" — ESTABLISHED here.
+const char* tcp_state_machine_dot();
+const StateMachine& tcp_state_machine();
+
+/// The DCCP connection state machine (RFC 4340 §8).
+const char* dccp_state_machine_dot();
+const StateMachine& dccp_state_machine();
+
+}  // namespace snake::statemachine

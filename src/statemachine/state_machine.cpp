@@ -1,0 +1,77 @@
+#include "statemachine/state_machine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace snake::statemachine {
+
+const char* to_string(Role role) {
+  switch (role) {
+    case Role::kClient: return "client";
+    case Role::kServer: return "server";
+  }
+  return "?";
+}
+
+std::string Trigger::to_string() const {
+  switch (kind) {
+    case TriggerKind::kSend: return "snd:" + packet_type;
+    case TriggerKind::kReceive: return "rcv:" + packet_type;
+    case TriggerKind::kTimeout: return str_format("after:%.3f", timeout.to_seconds());
+  }
+  return "?";
+}
+
+StateMachine::StateMachine(std::string name, std::vector<std::string> states,
+                           std::vector<Transition> transitions, std::string client_initial,
+                           std::string server_initial)
+    : name_(std::move(name)),
+      states_(std::move(states)),
+      transitions_(std::move(transitions)),
+      client_initial_(std::move(client_initial)),
+      server_initial_(std::move(server_initial)) {
+  auto check_state = [this](const std::string& s, const char* what) {
+    if (!has_state(s))
+      throw std::invalid_argument("StateMachine(" + name_ + "): " + what + " references unknown state '" + s + "'");
+  };
+  check_state(client_initial_, "client initial");
+  check_state(server_initial_, "server initial");
+  for (const auto& t : transitions_) {
+    check_state(t.from, "transition");
+    check_state(t.to, "transition");
+  }
+}
+
+const std::string& StateMachine::initial_state(Role role) const {
+  return role == Role::kClient ? client_initial_ : server_initial_;
+}
+
+bool StateMachine::has_state(const std::string& state) const {
+  return std::find(states_.begin(), states_.end(), state) != states_.end();
+}
+
+std::vector<const Transition*> StateMachine::transitions_from(const std::string& state) const {
+  std::vector<const Transition*> out;
+  for (const auto& t : transitions_)
+    if (t.from == state) out.push_back(&t);
+  return out;
+}
+
+const Transition* StateMachine::match(const std::string& state, TriggerKind kind,
+                                      const std::string& packet_type) const {
+  for (const auto& t : transitions_) {
+    if (t.from != state || t.trigger.kind != kind) continue;
+    if (t.trigger.packet_type == packet_type || t.trigger.packet_type == "*") return &t;
+  }
+  return nullptr;
+}
+
+const Transition* StateMachine::timeout_from(const std::string& state) const {
+  for (const auto& t : transitions_)
+    if (t.from == state && t.trigger.kind == TriggerKind::kTimeout) return &t;
+  return nullptr;
+}
+
+}  // namespace snake::statemachine

@@ -1,0 +1,73 @@
+// In-memory model of a protocol state machine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace snake::statemachine {
+
+/// Which endpoint role a start state belongs to.
+enum class Role { kClient, kServer };
+
+const char* to_string(Role role);
+
+/// What kind of observation triggers a transition.
+enum class TriggerKind {
+  kSend,     ///< the tracked endpoint sent a packet of `packet_type`
+  kReceive,  ///< the tracked endpoint received a packet of `packet_type`
+  kTimeout,  ///< `timeout` elapsed since the state was entered
+};
+
+struct Trigger {
+  TriggerKind kind = TriggerKind::kSend;
+  std::string packet_type;           // for kSend / kReceive
+  Duration timeout = Duration::zero();  // for kTimeout
+
+  std::string to_string() const;
+};
+
+struct Transition {
+  std::string from;
+  std::string to;
+  Trigger trigger;
+  std::string action;  ///< informational "snd:ACK" part of the label, may be empty
+};
+
+class StateMachine {
+ public:
+  StateMachine(std::string name, std::vector<std::string> states,
+               std::vector<Transition> transitions, std::string client_initial,
+               std::string server_initial);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& states() const { return states_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  const std::string& initial_state(Role role) const;
+
+  bool has_state(const std::string& state) const;
+
+  /// All transitions leaving `state`.
+  std::vector<const Transition*> transitions_from(const std::string& state) const;
+
+  /// The transition (if any) taken from `state` when a packet of
+  /// `packet_type` is observed in the given direction.
+  const Transition* match(const std::string& state, TriggerKind kind,
+                          const std::string& packet_type) const;
+
+  /// The timeout transition (if any) leaving `state`.
+  const Transition* timeout_from(const std::string& state) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> states_;
+  std::vector<Transition> transitions_;
+  std::string client_initial_;
+  std::string server_initial_;
+};
+
+}  // namespace snake::statemachine

@@ -1,0 +1,80 @@
+#include "statemachine/tracker.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace snake::statemachine {
+
+EndpointTracker::EndpointTracker(const StateMachine& machine, Role role, TimePoint now)
+    : machine_(&machine), role_(role) {
+  enter(machine.initial_state(role), now);
+}
+
+void EndpointTracker::enter(const std::string& state, TimePoint now) {
+  state_ = state;
+  entered_at_ = now;
+  ++stats_[state].visits;
+}
+
+void EndpointTracker::advance_to(TimePoint now) {
+  // Chase timeout transitions; each consumes its timeout from the entry
+  // time, so chained timeouts resolve in order.
+  while (const Transition* t = machine_->timeout_from(state_)) {
+    TimePoint fire_at = entered_at_ + t->trigger.timeout;
+    if (fire_at > now) break;
+    stats_[state_].total_time += fire_at - entered_at_;
+    SNAKE_TRACE << "tracker[" << to_string(role_) << "] timeout " << state_ << " -> " << t->to;
+    enter(t->to, fire_at);
+  }
+}
+
+bool EndpointTracker::observe(TriggerKind kind, const std::string& packet_type, TimePoint now) {
+  advance_to(now);
+  auto& per_state = stats_[state_];
+  if (kind == TriggerKind::kSend)
+    ++per_state.sent_by_type[packet_type];
+  else
+    ++per_state.received_by_type[packet_type];
+  Observation obs{state_, packet_type, kind};
+  if (std::find(observations_.begin(), observations_.end(), obs) == observations_.end())
+    observations_.push_back(std::move(obs));
+
+  const Transition* t = machine_->match(state_, kind, packet_type);
+  if (t == nullptr) return false;
+  stats_[state_].total_time += now - entered_at_;
+  SNAKE_TRACE << "tracker[" << to_string(role_) << "] " << state_ << " -> " << t->to << " on "
+              << t->trigger.to_string();
+  enter(t->to, now);
+  return true;
+}
+
+const std::map<std::string, StateStats>& EndpointTracker::finalize(TimePoint now) {
+  advance_to(now);
+  stats_[state_].total_time += now - entered_at_;
+  entered_at_ = now;  // make finalize idempotent-ish for repeated calls
+  return stats_;
+}
+
+ConnectionTracker::ConnectionTracker(const StateMachine& machine, std::uint64_t client_id,
+                                     std::uint64_t server_id, TimePoint now)
+    : client_id_(client_id),
+      server_id_(server_id),
+      client_(machine, Role::kClient, now),
+      server_(machine, Role::kServer, now) {}
+
+void ConnectionTracker::observe_packet(std::uint64_t src, std::uint64_t dst,
+                                       const std::string& packet_type, TimePoint now) {
+  if (src == client_id_) client_.observe(TriggerKind::kSend, packet_type, now);
+  if (src == server_id_) server_.observe(TriggerKind::kSend, packet_type, now);
+  if (dst == client_id_) client_.observe(TriggerKind::kReceive, packet_type, now);
+  if (dst == server_id_) server_.observe(TriggerKind::kReceive, packet_type, now);
+}
+
+std::string ConnectionTracker::state_of(std::uint64_t id) const {
+  if (id == client_id_) return client_.state();
+  if (id == server_id_) return server_.state();
+  return "?";
+}
+
+}  // namespace snake::statemachine

@@ -1,0 +1,101 @@
+// Runtime protocol-state inference from observed packets.
+//
+// SNAKE never instruments the implementation under test; it infers each
+// endpoint's current protocol state by watching packets cross the proxy and
+// matching them against the user-supplied state machine. The tracker also
+// collects the per-state statistics the paper describes — which packet types
+// were seen in each state, how long each endpoint spent there, how often it
+// was visited — which the controller feeds back into strategy generation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "statemachine/state_machine.h"
+#include "util/time.h"
+
+namespace snake::statemachine {
+
+/// Statistics kept per protocol state, per endpoint.
+struct StateStats {
+  std::uint64_t visits = 0;
+  Duration total_time = Duration::zero();
+  std::map<std::string, std::uint64_t> sent_by_type;
+  std::map<std::string, std::uint64_t> received_by_type;
+};
+
+/// Tracks one endpoint's walk through the state machine.
+class EndpointTracker {
+ public:
+  EndpointTracker(const StateMachine& machine, Role role, TimePoint now);
+
+  /// Feeds one observation: this endpoint sent (kSend) or received
+  /// (kReceive) a packet of `packet_type` at time `now`. Returns true if a
+  /// state transition fired.
+  bool observe(TriggerKind kind, const std::string& packet_type, TimePoint now);
+
+  /// Applies any pending timeout transitions up to `now` (e.g. TIME_WAIT
+  /// expiry); called automatically by observe.
+  void advance_to(TimePoint now);
+
+  const std::string& state() const { return state_; }
+  Role role() const { return role_; }
+
+  /// Time spent so far in the current state.
+  Duration time_in_state(TimePoint now) const { return now - entered_at_; }
+
+  /// Closes out accounting at end-of-test and returns the full statistics.
+  const std::map<std::string, StateStats>& finalize(TimePoint now);
+  const std::map<std::string, StateStats>& stats() const { return stats_; }
+
+  /// (state, packet type, direction) triples observed; the controller uses
+  /// these to know which strategy targets are actually reachable.
+  struct Observation {
+    std::string state;
+    std::string packet_type;
+    TriggerKind direction;
+    auto operator<=>(const Observation&) const = default;
+  };
+  const std::vector<Observation>& observations() const { return observations_; }
+
+ private:
+  void enter(const std::string& state, TimePoint now);
+
+  const StateMachine* machine_;
+  Role role_;
+  std::string state_;
+  TimePoint entered_at_;
+  std::map<std::string, StateStats> stats_;
+  std::vector<Observation> observations_;
+};
+
+/// Tracks both endpoints of one connection. The proxy feeds every packet it
+/// sees; direction relative to each endpoint is derived from addresses.
+class ConnectionTracker {
+ public:
+  ConnectionTracker(const StateMachine& machine, std::uint64_t client_id,
+                    std::uint64_t server_id, TimePoint now);
+
+  /// Observes a packet flowing src -> dst (ids as given at construction;
+  /// packets between other pairs are ignored).
+  void observe_packet(std::uint64_t src, std::uint64_t dst, const std::string& packet_type,
+                      TimePoint now);
+
+  EndpointTracker& client() { return client_; }
+  EndpointTracker& server() { return server_; }
+  const EndpointTracker& client() const { return client_; }
+  const EndpointTracker& server() const { return server_; }
+
+  /// State of the endpoint with the given id ("?" if unknown id).
+  std::string state_of(std::uint64_t id) const;
+
+ private:
+  std::uint64_t client_id_;
+  std::uint64_t server_id_;
+  EndpointTracker client_;
+  EndpointTracker server_;
+};
+
+}  // namespace snake::statemachine

@@ -1,0 +1,119 @@
+#include "strategy/baselines.h"
+
+namespace snake::strategy {
+
+namespace {
+
+/// Draws one random basic attack (manipulation actions only; injection is
+/// handled separately since only the time-interval approach supports it).
+Strategy random_manipulation(const packet::HeaderFormat& format,
+                             const BaselineSamplerConfig& config, snake::Rng& rng,
+                             std::uint64_t id) {
+  Strategy s;
+  s.id = id;
+  s.direction = rng.chance(0.5) ? TrafficDirection::kClientToServer
+                                : TrafficDirection::kServerToClient;
+  s.packet_type = "*";
+
+  switch (rng.uniform(0, 5)) {
+    case 0:
+      s.action = AttackAction::kDrop;
+      s.drop_probability =
+          config.drop_probabilities[rng.uniform(0, config.drop_probabilities.size() - 1)];
+      break;
+    case 1:
+      s.action = AttackAction::kDuplicate;
+      s.duplicate_count =
+          config.duplicate_counts[rng.uniform(0, config.duplicate_counts.size() - 1)];
+      break;
+    case 2:
+      s.action = AttackAction::kDelay;
+      s.delay_seconds = config.delay_seconds[rng.uniform(0, config.delay_seconds.size() - 1)];
+      break;
+    case 3:
+      s.action = AttackAction::kBatch;
+      s.delay_seconds = config.batch_seconds[rng.uniform(0, config.batch_seconds.size() - 1)];
+      break;
+    case 4:
+      s.action = AttackAction::kReflect;
+      break;
+    default: {
+      s.action = AttackAction::kLie;
+      const auto& fields = format.fields();
+      const packet::FieldSpec* field = nullptr;
+      do {
+        field = &fields[rng.uniform(0, fields.size() - 1)];
+      } while (field->kind == packet::FieldKind::kChecksum);
+      LieSpec lie;
+      lie.field = field->name;
+      switch (rng.uniform(0, 6)) {
+        case 0: lie.mode = LieSpec::Mode::kSet; lie.operand = 0; break;
+        case 1: lie.mode = LieSpec::Mode::kSet; lie.operand = field->max_value(); break;
+        case 2: lie.mode = LieSpec::Mode::kRandom; break;
+        case 3: lie.mode = LieSpec::Mode::kAdd; lie.operand = 1; break;
+        case 4: lie.mode = LieSpec::Mode::kSubtract; lie.operand = 1; break;
+        case 5: lie.mode = LieSpec::Mode::kMultiply; lie.operand = 2; break;
+        default: lie.mode = LieSpec::Mode::kDivide; lie.operand = 2; break;
+      }
+      s.lie = lie;
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<Strategy> sample_send_packet_strategies(const packet::HeaderFormat& format,
+                                                    const BaselineSamplerConfig& config,
+                                                    std::uint64_t budget, snake::Rng& rng) {
+  std::vector<Strategy> out;
+  out.reserve(budget);
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    Strategy s = random_manipulation(format, config, rng, i);
+    s.match_mode = MatchMode::kPacketIndex;
+    s.packet_index = rng.uniform(0, config.packets_per_test - 1);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Strategy> sample_time_interval_strategies(const packet::HeaderFormat& format,
+                                                      const BaselineSamplerConfig& config,
+                                                      std::uint64_t budget, snake::Rng& rng) {
+  std::vector<Strategy> out;
+  out.reserve(budget);
+  std::uint64_t slots =
+      static_cast<std::uint64_t>(config.test_seconds / config.interval_seconds);
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    Strategy s;
+    // ~1 in 8 actions in the paper's 60-strategy menu is an injection; give
+    // injections the same share here (they are the approach's advantage
+    // over send-packet-based).
+    bool injection = !config.inject_packet_types.empty() && rng.uniform(0, 7) == 0;
+    if (injection) {
+      s.id = i;
+      s.action = AttackAction::kInject;
+      s.direction = rng.chance(0.5) ? TrafficDirection::kClientToServer
+                                    : TrafficDirection::kServerToClient;
+      InjectSpec spec;
+      spec.packet_type =
+          config.inject_packet_types[rng.uniform(0, config.inject_packet_types.size() - 1)];
+      spec.fields = config.inject_structural_fields;
+      spec.fields[config.seq_field] = rng.next_u64() % config.sequence_space;
+      spec.spoof_toward_client = rng.chance(0.5);
+      spec.target_competing = rng.chance(0.5);
+      s.inject = std::move(spec);
+    } else {
+      s = random_manipulation(format, config, rng, i);
+    }
+    s.match_mode = MatchMode::kTimeWindow;
+    std::uint64_t slot = rng.uniform(0, slots - 1);
+    s.window_start_seconds = static_cast<double>(slot) * config.interval_seconds;
+    s.window_length_seconds = config.interval_seconds;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace snake::strategy

@@ -1,0 +1,63 @@
+// The two baseline attack-injection approaches from Section IV.B, as
+// runnable generators.
+//
+// Their full search spaces are astronomically large (689,000 strategies for
+// send-packet-based, 720,000,000 for time-interval-based on the paper's
+// numbers — see search_space.h), so these generators return uniform random
+// *samples* of their space under a strategy budget, which is exactly how a
+// fixed compute budget would be spent exploring them. The ablation bench
+// (bench_ablation_injection) then compares attacks-found-per-budget across
+// all three approaches empirically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/header_format.h"
+#include "strategy/strategy.h"
+#include "util/rng.h"
+
+namespace snake::strategy {
+
+struct BaselineSamplerConfig {
+  /// Send-packet-based: the ordinal space to draw packet indices from — the
+  /// number of packets one non-attack test sends per direction ("a one
+  /// minute non-attack test with TCP results in the sending of about 13,000
+  /// packets").
+  std::uint64_t packets_per_test = 13000;
+
+  /// Time-interval-based: the test duration and the interval granularity
+  /// ("intervals of 5 microseconds ... roughly the amount of time needed to
+  /// send a minimum sized TCP packet at 100Mbits/sec").
+  double test_seconds = 60.0;
+  double interval_seconds = 5e-6;
+
+  // Basic-attack parameter lists (same menus the state-based generator uses).
+  std::vector<double> drop_probabilities = {100.0, 50.0};
+  std::vector<int> duplicate_counts = {1, 10};
+  std::vector<double> delay_seconds = {0.1, 1.0};
+  std::vector<double> batch_seconds = {2.0};
+
+  /// Off-path packet types forgeable by the time-interval approach.
+  std::vector<std::string> inject_packet_types;
+  std::map<std::string, std::uint64_t> inject_structural_fields;
+  std::string seq_field = "seq";
+  std::uint64_t sequence_space = 1ULL << 32;
+};
+
+/// Uniform sample of `budget` send-packet-based strategies: (random packet
+/// ordinal, random direction, random basic attack). This approach cannot
+/// express packet injection ("provides no support for packet injection
+/// attacks modeling third party, off-path attackers").
+std::vector<Strategy> sample_send_packet_strategies(const packet::HeaderFormat& format,
+                                                    const BaselineSamplerConfig& config,
+                                                    std::uint64_t budget, snake::Rng& rng);
+
+/// Uniform sample of `budget` time-interval-based strategies: (random 5 us
+/// slot, random basic attack — manipulations apply to packets crossing the
+/// slot, injections fire at the slot start).
+std::vector<Strategy> sample_time_interval_strategies(const packet::HeaderFormat& format,
+                                                      const BaselineSamplerConfig& config,
+                                                      std::uint64_t budget, snake::Rng& rng);
+
+}  // namespace snake::strategy

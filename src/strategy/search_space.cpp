@@ -1,0 +1,47 @@
+#include "strategy/search_space.h"
+
+#include <cmath>
+
+namespace snake::strategy {
+
+std::vector<SearchSpaceRow> search_space_comparison(const SearchSpaceInputs& in) {
+  std::vector<SearchSpaceRow> rows;
+
+  auto hours_for = [&](double strategies) {
+    return strategies * in.minutes_per_strategy / 60.0;
+  };
+  auto wall_days = [&](double hours) { return hours / in.parallel_executors / 24.0; };
+
+  {
+    SearchSpaceRow r;
+    r.approach = "time-interval-based";
+    double points = in.test_seconds / in.injection_interval_seconds;
+    r.strategies = static_cast<std::uint64_t>(std::llround(points)) *
+                   static_cast<std::uint64_t>(in.strategies_per_injection_point);
+    r.compute_hours = hours_for(static_cast<double>(r.strategies));
+    r.wall_clock_days = wall_days(r.compute_hours);
+    r.supports_off_path = true;
+    rows.push_back(r);
+  }
+  {
+    SearchSpaceRow r;
+    r.approach = "send-packet-based";
+    r.strategies = in.packets_per_test * static_cast<std::uint64_t>(in.strategies_per_packet);
+    r.compute_hours = hours_for(static_cast<double>(r.strategies));
+    r.wall_clock_days = wall_days(r.compute_hours);
+    r.supports_off_path = false;  // "provides no support for packet injection attacks"
+    rows.push_back(r);
+  }
+  {
+    SearchSpaceRow r;
+    r.approach = "protocol-state-aware";
+    r.strategies = in.state_based_strategies;
+    r.compute_hours = hours_for(static_cast<double>(r.strategies));
+    r.wall_clock_days = wall_days(r.compute_hours);
+    r.supports_off_path = true;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace snake::strategy

@@ -1,0 +1,39 @@
+// Search-space models for the paper's Section VI.C comparison of attack
+// injection approaches: protocol-state-aware (SNAKE) vs send-packet-based vs
+// time-interval-based. Reproduces the arithmetic behind the "548 years" and
+// "191 days" projections, parameterized so the bench can also plug in the
+// strategy counts our generator actually produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snake::strategy {
+
+struct SearchSpaceInputs {
+  // Paper's numbers for a 1-minute TCP test.
+  double test_seconds = 60.0;
+  double injection_interval_seconds = 5e-6;  ///< min-size TCP packet at 100 Mbit/s
+  int strategies_per_injection_point = 60;   ///< "8 general malicious actions and
+                                             ///< the 13 fields in the TCP header"
+  std::uint64_t packets_per_test = 13000;
+  int strategies_per_packet = 53;
+  double minutes_per_strategy = 2.0;
+  int parallel_executors = 5;
+  std::uint64_t state_based_strategies = 6000;  ///< ~what SNAKE tries per impl
+};
+
+struct SearchSpaceRow {
+  std::string approach;
+  std::uint64_t strategies = 0;
+  double compute_hours = 0;        ///< single-threaded
+  double wall_clock_days = 0;      ///< at `parallel_executors`
+  bool supports_off_path = false;  ///< can model packet injection attacks
+};
+
+/// The three rows of the comparison, in paper order: time-interval-based,
+/// send-packet-based, protocol-state-aware.
+std::vector<SearchSpaceRow> search_space_comparison(const SearchSpaceInputs& inputs);
+
+}  // namespace snake::strategy

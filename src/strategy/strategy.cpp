@@ -1,0 +1,100 @@
+#include "strategy/strategy.h"
+
+#include "util/strings.h"
+
+namespace snake::strategy {
+
+const char* to_string(AttackAction action) {
+  switch (action) {
+    case AttackAction::kDrop: return "drop";
+    case AttackAction::kDuplicate: return "duplicate";
+    case AttackAction::kDelay: return "delay";
+    case AttackAction::kBatch: return "batch";
+    case AttackAction::kReflect: return "reflect";
+    case AttackAction::kLie: return "lie";
+    case AttackAction::kInject: return "inject";
+    case AttackAction::kHitSeqWindow: return "hitseqwindow";
+  }
+  return "?";
+}
+
+const char* to_string(TrafficDirection direction) {
+  switch (direction) {
+    case TrafficDirection::kClientToServer: return "client->server";
+    case TrafficDirection::kServerToClient: return "server->client";
+  }
+  return "?";
+}
+
+const char* to_string(MatchMode mode) {
+  switch (mode) {
+    case MatchMode::kStateBased: return "state-based";
+    case MatchMode::kPacketIndex: return "send-packet-based";
+    case MatchMode::kTimeWindow: return "time-interval-based";
+  }
+  return "?";
+}
+
+std::string LieSpec::describe() const {
+  switch (mode) {
+    case Mode::kSet: return str_format("%s=%llu", field.c_str(), (unsigned long long)operand);
+    case Mode::kRandom: return field + "=random";
+    case Mode::kAdd: return str_format("%s+=%llu", field.c_str(), (unsigned long long)operand);
+    case Mode::kSubtract:
+      return str_format("%s-=%llu", field.c_str(), (unsigned long long)operand);
+    case Mode::kMultiply:
+      return str_format("%s*=%llu", field.c_str(), (unsigned long long)operand);
+    case Mode::kDivide:
+      return str_format("%s/=%llu", field.c_str(), (unsigned long long)operand);
+  }
+  return "?";
+}
+
+std::string Strategy::describe() const {
+  std::string out = str_format("#%llu %s", (unsigned long long)id, to_string(action));
+  switch (action) {
+    case AttackAction::kDrop:
+      out += str_format(" %.0f%%", drop_probability);
+      break;
+    case AttackAction::kDuplicate:
+      out += str_format(" x%d", duplicate_count);
+      break;
+    case AttackAction::kDelay:
+    case AttackAction::kBatch:
+      out += str_format(" %.2fs", delay_seconds);
+      break;
+    case AttackAction::kLie:
+      if (lie.has_value()) out += " " + lie->describe();
+      break;
+    case AttackAction::kInject:
+    case AttackAction::kHitSeqWindow:
+      if (inject.has_value()) {
+        out += " " + inject->packet_type;
+        out += inject->spoof_toward_client ? " ->client" : " ->server";
+        out += inject->target_competing ? " (competing conn)" : " (own conn)";
+        if (action == AttackAction::kHitSeqWindow)
+          out += str_format(" stride=%llu count=%llu", (unsigned long long)inject->seq_stride,
+                            (unsigned long long)inject->count);
+      }
+      break;
+    case AttackAction::kReflect:
+      break;
+  }
+  switch (match_mode) {
+    case MatchMode::kStateBased:
+      out += str_format(" on %s in %s [%s]", packet_type.c_str(), target_state.c_str(),
+                        to_string(direction));
+      break;
+    case MatchMode::kPacketIndex:
+      out += str_format(" on packet #%llu [%s]", (unsigned long long)packet_index,
+                        to_string(direction));
+      break;
+    case MatchMode::kTimeWindow:
+      out += str_format(" in t=[%.6f,%.6f)s [%s]", window_start_seconds,
+                        window_start_seconds + window_length_seconds, to_string(direction));
+      break;
+  }
+  return out;
+}
+
+}  // namespace snake::strategy

@@ -1,0 +1,86 @@
+#include "tcp/congestion.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace snake::tcp {
+
+CongestionControl::CongestionControl(std::size_t mss, const TcpProfile& profile)
+    : mss_(mss),
+      profile_(&profile),
+      cwnd_(mss * profile.initial_cwnd_segments),
+      ssthresh_(profile.initial_ssthresh) {}
+
+void CongestionControl::grow(std::size_t acked, std::size_t flight_before) {
+  if (profile_->naive_cwnd_per_ack) {
+    // The misbehaving-receiver-vulnerable stack (Savage et al.): a full MSS
+    // of growth for EVERY acknowledgment received — duplicates included, no
+    // outstanding-data check, no congestion-avoidance damping. Growth is
+    // proportional to the acknowledgment rate, which the receiver controls.
+    cwnd_ = std::min(cwnd_ + mss_, profile_->max_cwnd);
+    return;
+  }
+  // RFC 5681: only grow when the window is actually being used.
+  if (flight_before + acked < cwnd_) return;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += std::min(acked == 0 ? mss_ : acked, mss_);  // slow start
+  } else {
+    cwnd_ += std::max<std::size_t>(1, mss_ * mss_ / cwnd_);  // congestion avoidance
+  }
+  cwnd_ = std::min(cwnd_, profile_->max_cwnd);
+}
+
+void CongestionControl::on_new_ack(std::size_t acked, std::size_t flight_before) {
+  dup_acks_ = 0;
+  if (in_recovery_) return;  // endpoint routes recovery acks to partial/full
+  grow(acked, flight_before);
+}
+
+bool CongestionControl::on_dup_ack(bool dsack, std::size_t flight_before) {
+  if (profile_->naive_cwnd_per_ack) {
+    // The misbehaving-receiver-vulnerable stack: every ACK grows the window.
+    grow(0, flight_before);
+  }
+  if (dsack && profile_->dsack_dupack_suppression) {
+    // The receiver told us this ACK was caused by a duplicate segment, not a
+    // hole — do not treat it as a loss indication (RFC 2883 §4).
+    return false;
+  }
+  if (!profile_->fast_retransmit) return false;  // dupacks are not a loss signal
+  if (in_recovery_) {
+    // Conservative recovery: without SACK, transmitting new data on an
+    // inflated window plants fresh holes that only an RTO can repair (the
+    // endpoint also refuses to send new data while recovering).
+    return false;
+  }
+  if (++dup_acks_ < kDupAckThreshold) return false;
+  // Enter fast recovery.
+  std::size_t flight = flight_before;
+  ssthresh_ = std::max(flight / 2, 2 * mss_);
+  cwnd_ = ssthresh_ + 3 * mss_;
+  in_recovery_ = true;
+  return true;
+}
+
+void CongestionControl::on_partial_ack(std::size_t acked) {
+  // Deflate by the amount acked (but keep at least one segment), then allow
+  // one more retransmission — handled by the endpoint.
+  cwnd_ = cwnd_ > acked ? cwnd_ - acked : mss_;
+  cwnd_ = std::max(cwnd_, mss_);
+  cwnd_ += mss_;
+}
+
+void CongestionControl::on_full_ack() {
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  cwnd_ = std::max(ssthresh_, mss_);
+}
+
+void CongestionControl::on_rto(std::size_t flight) {
+  ssthresh_ = std::max(flight / 2, 2 * mss_);
+  cwnd_ = mss_;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+}
+
+}  // namespace snake::tcp

@@ -1,0 +1,58 @@
+// TCP New Reno congestion control (RFC 5681/6582), parameterized by the
+// profile quirks the paper's attacks exploit.
+//
+// Separated from the endpoint so the Duplicate ACK Spoofing and Duplicate
+// ACK Rate Limiting mechanics can be unit-tested and ablated in isolation:
+//  - naive_cwnd_per_ack (Windows 95): every ACK, duplicate or not, grows
+//    cwnd and no outstanding-data check is applied.
+//  - dsack_dupack_suppression (Linux): duplicate ACKs flagged as caused by
+//    duplicate segments (DSACK) do not count toward fast retransmit.
+#pragma once
+
+#include <cstdint>
+
+#include "tcp/profile.h"
+
+namespace snake::tcp {
+
+class CongestionControl {
+ public:
+  CongestionControl(std::size_t mss, const TcpProfile& profile);
+
+  /// An ACK advancing snd_una. `acked` is the newly acknowledged byte count;
+  /// `flight_before` the bytes that were outstanding when it arrived.
+  void on_new_ack(std::size_t acked, std::size_t flight_before);
+
+  /// A duplicate ACK. `dsack` is the receiver's duplicate-segment
+  /// indication. Returns true when fast retransmit should fire now (third
+  /// countable duplicate, not already in recovery).
+  bool on_dup_ack(bool dsack, std::size_t flight_before);
+
+  /// NewReno partial ACK: recovery continues, deflate by the acked amount.
+  void on_partial_ack(std::size_t acked);
+
+  /// Recovery point crossed: deflate cwnd to ssthresh and leave recovery.
+  void on_full_ack();
+
+  /// Retransmission timeout: multiplicative decrease to one segment.
+  void on_rto(std::size_t flight);
+
+  bool in_recovery() const { return in_recovery_; }
+  std::size_t cwnd() const { return cwnd_; }
+  std::size_t ssthresh() const { return ssthresh_; }
+  int dup_acks() const { return dup_acks_; }
+
+  static constexpr int kDupAckThreshold = 3;
+
+ private:
+  void grow(std::size_t acked, std::size_t flight_before);
+
+  std::size_t mss_;
+  const TcpProfile* profile_;
+  std::size_t cwnd_;
+  std::size_t ssthresh_;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+};
+
+}  // namespace snake::tcp

@@ -1,0 +1,711 @@
+#include "tcp/endpoint.h"
+
+#include <algorithm>
+
+#include "packet/tcp_format.h"
+#include "util/logging.h"
+
+namespace snake::tcp {
+
+using packet::kTcpAck;
+using packet::kTcpFin;
+using packet::kTcpPsh;
+using packet::kTcpRst;
+using packet::kTcpSyn;
+using packet::kTcpUrg;
+
+namespace {
+constexpr Duration kMaxRto = Duration::seconds(60.0);
+
+/// Flag combinations that are meaningful arrivals on a connection. Anything
+/// else is "nonsensical" in the paper's sense (e.g. SYN+FIN+ACK+RST).
+bool flags_are_sensible(std::uint8_t flags) {
+  switch (flags & 0x3F) {
+    case kTcpSyn:
+    case kTcpSyn | kTcpAck:
+    case kTcpAck:
+    case kTcpAck | kTcpPsh:
+    case kTcpAck | kTcpUrg:
+    case kTcpAck | kTcpPsh | kTcpUrg:
+    case kTcpFin | kTcpAck:
+    case kTcpFin | kTcpAck | kTcpPsh:
+    case kTcpFin:
+    case kTcpRst:
+    case kTcpRst | kTcpAck:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+const char* to_string(TcpState state) {
+  switch (state) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpEndpoint::TcpEndpoint(sim::Node& node, const TcpProfile& profile, TcpEndpointConfig config,
+                         TcpCallbacks callbacks, snake::Rng rng,
+                         std::function<void()> on_released)
+    : node_(node),
+      profile_(&profile),
+      config_(config),
+      callbacks_(std::move(callbacks)),
+      rng_(rng),
+      on_released_(std::move(on_released)),
+      cc_(config.mss, profile),
+      rto_(config.initial_rto) {
+  rto_ = std::max(rto_, profile_->min_rto);
+}
+
+TcpEndpoint::~TcpEndpoint() {
+  retransmit_timer_.cancel();
+  time_wait_timer_.cancel();
+}
+
+// ---------------------------------------------------------------- app API
+
+void TcpEndpoint::connect() {
+  iss_ = rng_.next_u32();
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  snd_max_ = snd_nxt_;
+  set_state(TcpState::kSynSent);
+  emit(kTcpSyn, iss_);
+  arm_retransmit();
+}
+
+void TcpEndpoint::accept(Seq remote_isn) {
+  irs_ = remote_isn;
+  rcv_nxt_ = remote_isn + 1;
+  iss_ = rng_.next_u32();
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  snd_max_ = snd_nxt_;
+  set_state(TcpState::kSynRcvd);
+  emit(kTcpSyn | kTcpAck, iss_);
+  arm_retransmit();
+}
+
+void TcpEndpoint::send(const Bytes& data) {
+  if (released_ || fin_pending_ || fin_sent_) return;
+  send_buf_.insert(send_buf_.end(), data.begin(), data.end());
+  queued_total_ += data.size();
+  push_points_.push_back(queued_total_);  // PSH at the end of this write
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) try_send();
+}
+
+void TcpEndpoint::close() {
+  if (released_ || fin_pending_ || fin_sent_) return;
+  fin_pending_ = true;
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    try_send();
+    send_fin_if_ready();
+  } else if (state_ == TcpState::kSynSent) {
+    // Nothing exchanged yet; just go away.
+    release();
+  }
+}
+
+void TcpEndpoint::app_exit() {
+  app_exited_ = true;
+  close();
+}
+
+void TcpEndpoint::abort() {
+  if (released_) return;
+  if (state_ != TcpState::kSynSent && state_ != TcpState::kClosed) send_rst(snd_nxt_);
+  reset_connection(false);
+}
+
+// ------------------------------------------------------------- wire input
+
+void TcpEndpoint::on_segment(const Segment& s) {
+  if (released_) {
+    // A closed socket answers anything but RST with RST (RFC 793 p.36).
+    if (!s.has(kTcpRst)) send_rst(s.has(kTcpAck) ? s.ack : 0, !s.has(kTcpAck));
+    return;
+  }
+  switch (state_) {
+    case TcpState::kSynSent:
+      handle_syn_sent(s);
+      return;
+    case TcpState::kSynRcvd:
+      handle_syn_rcvd(s);
+      return;
+    case TcpState::kEstablished:
+    case TcpState::kFinWait1:
+    case TcpState::kFinWait2:
+    case TcpState::kCloseWait:
+    case TcpState::kClosing:
+    case TcpState::kLastAck:
+    case TcpState::kTimeWait:
+      handle_synchronized(s);
+      return;
+    case TcpState::kClosed:
+    case TcpState::kListen:
+      return;  // stack-level states; no segment processing here
+  }
+}
+
+void TcpEndpoint::handle_syn_sent(const Segment& s) {
+  if (s.has(kTcpAck) && s.ack != snd_nxt_) {
+    // Unacceptable ACK: RST unless the segment itself is a RST.
+    if (!s.has(kTcpRst)) send_rst(s.ack);
+    return;
+  }
+  if (s.has(kTcpRst)) {
+    if (s.has(kTcpAck)) {
+      ++stats_.rsts_received;
+      reset_connection(true);
+    }
+    return;
+  }
+  if (s.has(kTcpSyn) && s.has(kTcpAck)) {
+    irs_ = s.seq;
+    rcv_nxt_ = s.seq + 1;
+    snd_una_ = s.ack;
+    snd_wnd_ = s.window;
+    retransmit_timer_.cancel();
+    retries_ = 0;
+    set_state(TcpState::kEstablished);
+    send_ack();
+    if (callbacks_.on_established) callbacks_.on_established();
+    try_send();
+    send_fin_if_ready();
+    return;
+  }
+  if (s.has(kTcpSyn)) {
+    // Simultaneous open (also reachable via the proxy's reflect attack —
+    // the TCP Simultaneous Open Attack of Guha & Mukherjee).
+    irs_ = s.seq;
+    rcv_nxt_ = s.seq + 1;
+    set_state(TcpState::kSynRcvd);
+    emit(kTcpSyn | kTcpAck, iss_);
+    arm_retransmit();
+    return;
+  }
+}
+
+void TcpEndpoint::handle_syn_rcvd(const Segment& s) {
+  if (s.has(kTcpRst)) {
+    ++stats_.rsts_received;
+    reset_connection(true);
+    return;
+  }
+  if (s.has(kTcpSyn) && !s.has(kTcpAck)) {
+    // Duplicate SYN: retransmit our SYN+ACK.
+    emit(kTcpSyn | kTcpAck, iss_);
+    return;
+  }
+  if (!s.has(kTcpAck)) return;
+  if (s.ack != snd_nxt_) {
+    send_rst(s.ack);
+    return;
+  }
+  snd_una_ = s.ack;
+  snd_wnd_ = s.window;
+  retransmit_timer_.cancel();
+  retries_ = 0;
+  set_state(TcpState::kEstablished);
+  if (callbacks_.on_established) callbacks_.on_established();
+  if (!s.payload.empty() || s.has(kTcpFin)) {
+    handle_synchronized(s);
+  } else {
+    try_send();
+    send_fin_if_ready();
+  }
+}
+
+bool TcpEndpoint::handle_invalid_flags(const Segment& s) {
+  if (flags_are_sensible(s.flags)) return false;
+  ++stats_.invalid_flag_segments;
+  switch (profile_->invalid_flags) {
+    case InvalidFlagPolicy::kIgnore:
+      return true;  // drop silently (Linux 3.13 / Windows 95)
+    case InvalidFlagPolicy::kRstFirst:
+      // Windows 8.1: RST wins regardless of the other flags.
+      if (s.has(kTcpRst) && in_window(s.seq, rcv_nxt_, advertised_window())) {
+        ++stats_.invalid_flag_responses;
+        ++stats_.rsts_received;
+        reset_connection(true);
+      }
+      return true;
+    case InvalidFlagPolicy::kBestEffort:
+      // Linux 3.0.0: interpret as best it can. A packet with no flags at
+      // all gets answered with a duplicate acknowledgment — "a situation
+      // that is never valid" — and combos like SYN+FIN are processed
+      // bit-by-bit by the regular path below.
+      ++stats_.invalid_flag_responses;
+      if ((s.flags & 0x3F) == 0) {
+        send_ack();
+        return true;
+      }
+      return false;  // fall through to regular processing
+  }
+  return true;
+}
+
+void TcpEndpoint::handle_synchronized(const Segment& s) {
+  if (handle_invalid_flags(s)) return;
+
+  std::uint32_t rwnd = advertised_window();
+  if (!segment_acceptable(s.seq, s.seq_len(), rcv_nxt_, rwnd)) {
+    // Out-of-window segment: RSTs are ignored (this is what forces the
+    // off-path Reset attack to sweep the window), everything else gets a
+    // re-assertive ACK. A segment lying entirely *below* the window is a
+    // duplicate the peer already delivered — that ACK carries the DSACK
+    // indication (RFC 2883) so the sender can tell duplication from loss.
+    if (!s.has(kTcpRst)) {
+      bool entirely_old = s.seq_len() > 0 && seq_leq(s.seq + s.seq_len(), rcv_nxt_);
+      send_ack(/*dsack=*/entirely_old);
+    }
+    return;
+  }
+
+  if (s.has(kTcpRst)) {
+    // In-window RST: connection reset (RFC 793; the "slipping in the
+    // window" attack shows any in-window sequence suffices).
+    ++stats_.rsts_received;
+    reset_connection(true);
+    return;
+  }
+
+  if (s.has(kTcpSyn)) {
+    // In-window SYN on a synchronized connection: reset (the SYN-Reset
+    // attack exploits exactly this clause).
+    send_rst(snd_nxt_);
+    reset_connection(true);
+    return;
+  }
+
+  if (s.has(kTcpAck)) process_ack(s);
+  if (released_) return;  // ack processing may have torn us down
+  if (!s.payload.empty()) process_payload(s);
+  if (released_) return;
+  if (s.has(kTcpFin)) process_fin(s);
+}
+
+void TcpEndpoint::process_ack(const Segment& s) {
+  std::size_t flight_before = flight_bytes();
+
+  if (seq_gt(s.ack, snd_nxt_)) {
+    if (seq_leq(s.ack, snd_max_)) {
+      // A late ACK for data sent before an RTO rewind: that data did arrive
+      // after all — fast-forward past it.
+      snd_nxt_ = s.ack;
+    } else {
+      // Acks data we have never sent: re-assert our state.
+      send_ack();
+      return;
+    }
+  }
+
+  if (seq_gt(s.ack, snd_una_)) {
+    // New data acknowledged.
+    std::uint32_t acked = s.ack - snd_una_;
+    std::size_t data_acked = std::min<std::size_t>(acked, send_buf_.size());
+    send_buf_.erase(send_buf_.begin(), send_buf_.begin() + static_cast<std::ptrdiff_t>(data_acked));
+    acked_total_ += data_acked;
+    while (!push_points_.empty() && push_points_.front() <= acked_total_)
+      push_points_.pop_front();
+    snd_una_ = s.ack;
+    snd_wnd_ = s.window;
+    take_rtt_sample(s.ack);
+    retries_ = 0;
+    // Forward progress clears any exponential RTO backoff (RFC 6298 §5.7
+    // behaviour of real stacks): recompute from the smoothed estimate.
+    if (srtt_.has_value()) {
+      rto_ = std::clamp(*srtt_ + std::max(rttvar_ * 4, Duration::millis(10)),
+                        profile_->min_rto, kMaxRto);
+    } else {
+      rto_ = std::max(config_.initial_rto, profile_->min_rto);
+    }
+
+    if (cc_.in_recovery()) {
+      if (seq_geq(s.ack, recover_)) {
+        SNAKE_DEBUG << node_.scheduler().now().to_seconds() << "s " << node_.name() << " recovery complete ack=" << s.ack;
+        cc_.on_full_ack();
+      } else if (seq_geq(s.ack, last_retx_end_)) {
+        // NewReno partial ack: plug the next hole — but only one
+        // retransmission per hole. Receivers ack every segment, so partial
+        // acks arrive for each pipelined segment; re-retransmitting on all
+        // of them floods the path with duplicates.
+        SNAKE_DEBUG << node_.scheduler().now().to_seconds() << "s " << node_.name()
+                    << " partial ack=" << s.ack << " recover=" << recover_;
+        cc_.on_partial_ack(acked);
+        retransmit_one();
+      }
+    } else {
+      cc_.on_new_ack(acked, flight_before);
+    }
+
+    // FIN accounting.
+    if (fin_sent_ && seq_gt(snd_una_, fin_seq_)) {
+      switch (state_) {
+        case TcpState::kFinWait1:
+          set_state(TcpState::kFinWait2);
+          break;
+        case TcpState::kClosing:
+          enter_time_wait();
+          break;
+        case TcpState::kLastAck:
+          release();
+          return;
+        default:
+          break;
+      }
+    }
+    arm_retransmit(/*restart=*/true);
+    try_send();
+    send_fin_if_ready();
+    return;
+  }
+
+  // Not advancing: duplicate ACK if there is outstanding data (flight
+  // includes an unacked FIN's sequence slot) and the segment carries
+  // nothing else that explains it.
+  snd_wnd_ = s.window;
+  if (s.ack == snd_una_ && s.payload.empty() && !s.has(kTcpFin) && flight_before > 0) {
+    ++stats_.dup_acks_received;
+    if (s.dsack) ++stats_.dsack_acks_received;
+    if (cc_.on_dup_ack(s.dsack, flight_before)) {
+      recover_ = snd_max_;
+      ++stats_.fast_retransmits;
+      SNAKE_DEBUG << node_.scheduler().now().to_seconds() << "s " << node_.name() << " fast-retransmit una=" << snd_una_ << " nxt=" << snd_nxt_
+                  << " cwnd=" << cc_.cwnd() << " ssthresh=" << cc_.ssthresh();
+      retransmit_one();
+    }
+    try_send();  // recovery inflation may open the window
+  }
+}
+
+void TcpEndpoint::process_payload(const Segment& s) {
+  // A client whose application already exited answers data with RST on
+  // Linux-like profiles (see profile.rst_data_after_fin). If those RSTs are
+  // blocked by an attacker, the sending server wedges in CLOSE_WAIT — the
+  // paper's CLOSE_WAIT Resource Exhaustion attack.
+  if (app_exited_ && profile_->rst_data_after_fin) {
+    send_rst(snd_nxt_);
+    reset_connection(false);
+    return;
+  }
+
+  Seq seg_end = s.seq + static_cast<std::uint32_t>(s.payload.size());
+  if (seq_leq(seg_end, rcv_nxt_)) {
+    // Entirely duplicate data: acknowledge with a DSACK indication so the
+    // sender can tell duplication from loss (RFC 2883).
+    send_ack(/*dsack=*/true);
+    return;
+  }
+  if (seq_gt(s.seq, rcv_nxt_)) {
+    // Out of order: buffer (bounded by the receive buffer) and send a
+    // duplicate ACK pointing at the hole.
+    if (out_of_order_bytes_ + s.payload.size() <= config_.recv_buffer &&
+        !out_of_order_.contains(s.seq)) {
+      out_of_order_bytes_ += s.payload.size();
+      out_of_order_[s.seq] = s.payload;
+      ++stats_.ooo_buffered;
+    } else {
+      ++stats_.ooo_discarded;
+    }
+    send_ack();
+    return;
+  }
+
+  // In order (trimming any already-received prefix).
+  std::size_t skip = rcv_nxt_ - s.seq;
+  Bytes fresh(s.payload.begin() + static_cast<std::ptrdiff_t>(skip), s.payload.end());
+  rcv_nxt_ += static_cast<std::uint32_t>(fresh.size());
+  stats_.bytes_delivered += fresh.size();
+  if (callbacks_.on_data) callbacks_.on_data(fresh);
+
+  // Drain now-contiguous buffered segments.
+  auto it = out_of_order_.begin();
+  while (it != out_of_order_.end()) {
+    if (seq_gt(it->first, rcv_nxt_)) break;
+    Seq end = it->first + static_cast<std::uint32_t>(it->second.size());
+    if (seq_gt(end, rcv_nxt_)) {
+      std::size_t offset = rcv_nxt_ - it->first;
+      Bytes chunk(it->second.begin() + static_cast<std::ptrdiff_t>(offset), it->second.end());
+      rcv_nxt_ = end;
+      stats_.bytes_delivered += chunk.size();
+      if (callbacks_.on_data) callbacks_.on_data(chunk);
+    }
+    out_of_order_bytes_ -= it->second.size();
+    it = out_of_order_.erase(it);
+  }
+  send_ack();
+}
+
+void TcpEndpoint::process_fin(const Segment& s) {
+  Seq fin_at = s.seq + static_cast<std::uint32_t>(s.payload.size());
+  if (fin_at != rcv_nxt_) {
+    // FIN beyond a hole: the ACK we already sent covers it; wait for
+    // retransmission.
+    return;
+  }
+  if (remote_fin_seen_) {
+    send_ack();  // retransmitted FIN
+    return;
+  }
+  remote_fin_seen_ = true;
+  rcv_nxt_ += 1;
+  send_ack();
+  switch (state_) {
+    case TcpState::kEstablished:
+      set_state(TcpState::kCloseWait);
+      if (callbacks_.on_remote_close) callbacks_.on_remote_close();
+      break;
+    case TcpState::kFinWait1:
+      // Our FIN not yet acked (else we would be in FIN_WAIT_2).
+      set_state(TcpState::kClosing);
+      break;
+    case TcpState::kFinWait2:
+      enter_time_wait();
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------- output
+
+void TcpEndpoint::emit(std::uint8_t flags, Seq seq, const Bytes& payload, bool dsack) {
+  Segment s;
+  s.src_port = config_.local_port;
+  s.dst_port = config_.remote_port;
+  s.seq = seq;
+  s.flags = flags;
+  s.dsack = dsack;
+  if (flags & kTcpAck) s.ack = rcv_nxt_;
+  s.window = advertised_window();
+  s.payload = payload;
+
+  sim::Packet p;
+  p.dst = config_.remote_addr;
+  p.protocol = sim::kProtoTcp;
+  p.bytes = serialize(s);
+  ++stats_.segments_sent;
+  stats_.bytes_sent_wire += payload.size();
+  SNAKE_TRACE << node_.name() << " tcp tx " << s.summary();
+  node_.send_packet(std::move(p));
+}
+
+void TcpEndpoint::send_ack(bool dsack) {
+  if (dsack) ++stats_.dsack_acks_sent;
+  emit(kTcpAck, snd_nxt_, {}, dsack);
+}
+
+void TcpEndpoint::send_rst(Seq seq, bool with_ack) {
+  ++stats_.rsts_sent;
+  emit(with_ack ? (kTcpRst | kTcpAck) : kTcpRst, seq);
+}
+
+bool TcpEndpoint::covers_push_point(std::uint64_t start_offset,
+                                    std::uint64_t end_offset) const {
+  for (std::uint64_t p : push_points_) {
+    if (p > end_offset) break;  // sorted ascending
+    if (p > start_offset) return true;
+  }
+  return false;
+}
+
+std::uint16_t TcpEndpoint::advertised_window() const {
+  std::size_t free_bytes =
+      config_.recv_buffer > out_of_order_bytes_ ? config_.recv_buffer - out_of_order_bytes_ : 0;
+  return static_cast<std::uint16_t>(std::min<std::size_t>(free_bytes, 65535));
+}
+
+void TcpEndpoint::try_send() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+      state_ != TcpState::kFinWait1 && state_ != TcpState::kClosing)
+    return;
+  if (cc_.in_recovery()) return;  // conservative NewReno: retransmissions only
+  std::size_t window = std::min<std::size_t>(cc_.cwnd(), snd_wnd_);
+  while (unsent_bytes() > 0 && flight_bytes() < window) {
+    std::size_t can_send = std::min({unsent_bytes(), config_.mss, window - flight_bytes()});
+    if (can_send == 0) break;
+    // Sender-side silly window avoidance (RFC 1122 §4.2.3.4 / Nagle): don't
+    // shred the stream into tiny segments while data is outstanding — wait
+    // for the window to open a full MSS or for everything to be acked.
+    if (can_send < config_.mss && flight_bytes() > 0 && unsent_bytes() > can_send) break;
+    std::size_t offset = snd_nxt_ - snd_una_;
+    Bytes chunk(send_buf_.begin() + static_cast<std::ptrdiff_t>(offset),
+                send_buf_.begin() + static_cast<std::ptrdiff_t>(offset + can_send));
+    start_rtt_sample(snd_nxt_ + static_cast<std::uint32_t>(can_send));
+    // PSH marks the end of an application write (real stacks do the same),
+    // so bulk data is mostly plain ACK segments and PSH+ACK "occur[s] only
+    // occasionally in the data stream" as the paper observes.
+    std::uint64_t start = acked_total_ + offset;
+    bool boundary = covers_push_point(start, start + can_send);
+    emit(boundary ? (kTcpPsh | kTcpAck) : kTcpAck, snd_nxt_, chunk);
+    snd_nxt_ += static_cast<std::uint32_t>(can_send);
+    if (seq_gt(snd_nxt_, snd_max_)) snd_max_ = snd_nxt_;
+  }
+  arm_retransmit();
+}
+
+void TcpEndpoint::send_fin_if_ready() {
+  if (!fin_pending_ || fin_sent_ || unsent_bytes() > 0) return;
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) return;
+  fin_seq_ = snd_nxt_;
+  emit(kTcpFin | kTcpAck, snd_nxt_);
+  snd_nxt_ += 1;
+  if (seq_gt(snd_nxt_, snd_max_)) snd_max_ = snd_nxt_;
+  fin_sent_ = true;
+  set_state(state_ == TcpState::kEstablished ? TcpState::kFinWait1 : TcpState::kLastAck);
+  arm_retransmit();
+}
+
+// ------------------------------------------------------- timers & samples
+
+void TcpEndpoint::arm_retransmit(bool restart) {
+  bool outstanding = flight_bytes() > 0 || state_ == TcpState::kSynSent ||
+                     state_ == TcpState::kSynRcvd ||
+                     (unsent_bytes() > 0 && snd_wnd_ == 0);  // zero-window probe duty
+  if (!outstanding) {
+    retransmit_timer_.cancel();
+    return;
+  }
+  if (restart) retransmit_timer_.cancel();
+  if (retransmit_timer_.pending()) return;
+  retransmit_timer_ = node_.scheduler().schedule_in(rto_, [this] { on_retransmit_timeout(); });
+}
+
+void TcpEndpoint::on_retransmit_timeout() {
+  if (released_) return;
+  ++retries_;
+  ++stats_.timeouts;
+  rto_ = std::min(rto_ * 2, kMaxRto);  // backoff applies to everything below
+  SNAKE_DEBUG << node_.scheduler().now().to_seconds() << "s " << node_.name() << " RTO #" << retries_ << " state=" << to_string(state_)
+              << " una=" << snd_una_ << " nxt=" << snd_nxt_ << " rto=" << rto_.to_seconds();
+  if (retries_ > profile_->max_retries) {
+    // Give up — Linux's tcp_retries2 behaviour; this is what eventually
+    // (after "13 to 30 minutes") releases a wedged CLOSE_WAIT socket.
+    SNAKE_DEBUG << node_.name() << " tcp give-up after " << retries_ << " retries in state "
+                << to_string(state_);
+    reset_connection(true);
+    return;
+  }
+  timed_seq_.reset();  // Karn: never sample a retransmitted segment
+  switch (state_) {
+    case TcpState::kSynSent:
+      emit(kTcpSyn, iss_);
+      break;
+    case TcpState::kSynRcvd:
+      emit(kTcpSyn | kTcpAck, iss_);
+      break;
+    default:
+      if (flight_bytes() > 0 || (fin_sent_ && seq_leq(snd_una_, fin_seq_))) {
+        cc_.on_rto(flight_bytes());
+        // Go-back-N: everything past snd_una is presumed lost; rewind and
+        // let slow start resend it (what real stacks do by marking the
+        // whole outstanding window lost on RTO).
+        snd_nxt_ = snd_una_;
+        if (fin_sent_) {
+          fin_sent_ = false;
+          fin_pending_ = true;
+        }
+        ++stats_.retransmissions;
+        timed_seq_.reset();
+        try_send();
+        send_fin_if_ready();
+      } else if (unsent_bytes() > 0 && snd_wnd_ == 0) {
+        // Zero-window probe: one byte past the edge.
+        std::size_t offset = snd_nxt_ - snd_una_;
+        Bytes probe = {send_buf_[offset]};
+        emit(kTcpPsh | kTcpAck, snd_nxt_, probe);
+        snd_nxt_ += 1;
+        if (seq_gt(snd_nxt_, snd_max_)) snd_max_ = snd_nxt_;
+      }
+      break;
+  }
+  // Single re-arm point: the paths above may already have armed the timer
+  // via try_send/send_fin_if_ready; restart so exactly one timer is live
+  // (a second, orphaned handle could never be cancelled by later ACKs).
+  arm_retransmit(/*restart=*/true);
+}
+
+void TcpEndpoint::retransmit_one() {
+  std::size_t in_buf = send_buf_.size();
+  if (in_buf > 0) {
+    std::size_t len = std::min(config_.mss, in_buf);
+    Bytes chunk(send_buf_.begin(), send_buf_.begin() + static_cast<std::ptrdiff_t>(len));
+    ++stats_.retransmissions;
+    timed_seq_.reset();
+    last_retx_end_ = snd_una_ + static_cast<std::uint32_t>(len);
+    emit(covers_push_point(acked_total_, acked_total_ + len) ? (kTcpPsh | kTcpAck) : kTcpAck,
+         snd_una_, chunk);
+  } else if (fin_sent_ && seq_leq(snd_una_, fin_seq_)) {
+    ++stats_.retransmissions;
+    last_retx_end_ = fin_seq_ + 1;
+    emit(kTcpFin | kTcpAck, fin_seq_);
+  }
+}
+
+void TcpEndpoint::start_rtt_sample(Seq seq_end) {
+  if (timed_seq_.has_value()) return;
+  timed_seq_ = seq_end;
+  timed_at_ = node_.scheduler().now();
+}
+
+void TcpEndpoint::take_rtt_sample(Seq acked_to) {
+  if (!timed_seq_.has_value() || seq_lt(acked_to, *timed_seq_)) return;
+  Duration sample = node_.scheduler().now() - timed_at_;
+  timed_seq_.reset();
+  if (!srtt_.has_value()) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    Duration diff = *srtt_ > sample ? *srtt_ - sample : sample - *srtt_;
+    rttvar_ = (rttvar_ * 3 + diff) / 4;
+    srtt_ = (*srtt_ * 7 + sample) / 8;
+  }
+  Duration candidate = *srtt_ + std::max(rttvar_ * 4, Duration::millis(10));
+  rto_ = std::clamp(candidate, profile_->min_rto, kMaxRto);
+}
+
+void TcpEndpoint::enter_time_wait() {
+  set_state(TcpState::kTimeWait);
+  retransmit_timer_.cancel();
+  time_wait_timer_ = node_.scheduler().schedule_in(config_.time_wait, [this] { release(); });
+}
+
+void TcpEndpoint::set_state(TcpState next) {
+  if (state_ == next) return;
+  SNAKE_TRACE << node_.name() << " tcp " << to_string(state_) << " -> " << to_string(next);
+  state_ = next;
+}
+
+void TcpEndpoint::release() {
+  if (released_) return;
+  released_ = true;
+  retransmit_timer_.cancel();
+  time_wait_timer_.cancel();
+  set_state(TcpState::kClosed);
+  if (callbacks_.on_closed) callbacks_.on_closed();
+  if (on_released_) on_released_();
+}
+
+void TcpEndpoint::reset_connection(bool notify) {
+  retransmit_timer_.cancel();
+  time_wait_timer_.cancel();
+  set_state(TcpState::kClosed);
+  if (notify && callbacks_.on_reset) callbacks_.on_reset();
+  release();
+}
+
+}  // namespace snake::tcp

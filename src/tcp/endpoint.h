@@ -1,0 +1,225 @@
+// One TCP connection endpoint: the full RFC 793 connection machine with
+// reliability (RTO + fast retransmit), New Reno congestion control, flow
+// control, and teardown — including the profile-specific behaviours the
+// paper's attacks exploit (see tcp/profile.h).
+//
+// Endpoints live inside a TcpStack (tcp/stack.h), which owns demux and the
+// "netstat" view the resource-exhaustion detector queries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/node.h"
+#include "tcp/congestion.h"
+#include "tcp/profile.h"
+#include "tcp/segment.h"
+#include "tcp/seq.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace snake::tcp {
+
+enum class TcpState {
+  kClosed,
+  kListen,  // only used by the stack's listener bookkeeping
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+/// Names match the dot state machine in statemachine/protocol_specs.cpp.
+const char* to_string(TcpState state);
+
+/// Application-facing callbacks. All optional.
+struct TcpCallbacks {
+  std::function<void()> on_established;
+  std::function<void(const Bytes&)> on_data;
+  std::function<void()> on_remote_close;  ///< peer FIN processed
+  std::function<void()> on_reset;         ///< connection aborted (RST or give-up)
+  std::function<void()> on_closed;        ///< socket fully released
+};
+
+/// Counters exposed for tests, detection, and the experiment reports.
+struct TcpEndpointStats {
+  std::uint64_t bytes_sent_wire = 0;        ///< payload bytes put on the wire
+  std::uint64_t bytes_delivered = 0;        ///< in-order payload handed to the app
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dup_acks_received = 0;
+  std::uint64_t dsack_acks_received = 0;  ///< dupacks carrying a DSACK indication
+  std::uint64_t dsack_acks_sent = 0;       ///< acks we sent flagged DSACK
+  std::uint64_t rsts_sent = 0;
+  std::uint64_t rsts_received = 0;
+  std::uint64_t invalid_flag_segments = 0;  ///< nonsensical flag combos seen
+  std::uint64_t invalid_flag_responses = 0; ///< ...that we answered (fingerprint!)
+  std::uint64_t ooo_buffered = 0;           ///< out-of-order segments buffered
+  std::uint64_t ooo_discarded = 0;          ///< out-of-order segments discarded (buffer full)
+};
+
+struct TcpEndpointConfig {
+  sim::Address remote_addr = 0;
+  std::uint16_t local_port = 0;
+  std::uint16_t remote_port = 0;
+  std::size_t mss = 1400;
+  std::size_t recv_buffer = 65535;
+  Duration time_wait = Duration::seconds(60.0);  // 2*MSL
+  Duration initial_rto = Duration::seconds(1.0);
+};
+
+class TcpEndpoint {
+ public:
+  /// `on_released` lets the owning stack learn when the socket leaves the
+  /// "netstat" table.
+  TcpEndpoint(sim::Node& node, const TcpProfile& profile, TcpEndpointConfig config,
+              TcpCallbacks callbacks, snake::Rng rng, std::function<void()> on_released);
+  ~TcpEndpoint();
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  // ---- Application API -----------------------------------------------
+  /// Installs/replaces the application callbacks (used by the stack's
+  /// accept path, which must construct the endpoint before the application
+  /// can see it).
+  void set_callbacks(TcpCallbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Active open (client). Sends SYN.
+  void connect();
+
+  /// Passive open (server side); called by the stack on an incoming SYN.
+  void accept(Seq remote_isn);
+
+  /// Queues application data for transmission.
+  void send(const Bytes& data);
+
+  /// Graceful close: FIN after queued data drains.
+  void close();
+
+  /// The application process exits abruptly mid-connection (e.g. the paper's
+  /// wget client terminating during an HTTP download). Sends FIN like a
+  /// normal close, but — on profiles with rst_data_after_fin — any data
+  /// arriving afterwards is answered with RST instead of an ACK. Blocking
+  /// those RSTs is the CLOSE_WAIT Resource Exhaustion attack.
+  void app_exit();
+
+  /// Hard abort: RST now, socket released.
+  void abort();
+
+  // ---- Wire input (from the stack demux) ------------------------------
+  void on_segment(const Segment& segment);
+
+  // ---- Introspection ---------------------------------------------------
+  TcpState state() const { return state_; }
+  bool released() const { return released_; }
+  const TcpEndpointStats& stats() const { return stats_; }
+  const TcpEndpointConfig& config() const { return config_; }
+  const TcpProfile& profile() const { return *profile_; }
+  std::size_t send_queue_bytes() const { return send_buf_.size(); }
+  std::size_t cwnd() const { return cc_.cwnd(); }
+  Seq snd_nxt() const { return snd_nxt_; }
+  Seq rcv_nxt() const { return rcv_nxt_; }
+
+ private:
+  // Segment processing, in RFC 793 "segment arrives" order.
+  void handle_syn_sent(const Segment& s);
+  void handle_syn_rcvd(const Segment& s);
+  void handle_synchronized(const Segment& s);
+  bool handle_invalid_flags(const Segment& s);
+  void process_ack(const Segment& s);
+  void process_payload(const Segment& s);
+  void process_fin(const Segment& s);
+
+  // Output.
+  void emit(std::uint8_t flags, Seq seq, const Bytes& payload = {}, bool dsack = false);
+  void send_ack(bool dsack = false);
+  void send_rst(Seq seq, bool with_ack = false);
+  void try_send();
+  void send_fin_if_ready();
+  std::uint16_t advertised_window() const;
+  bool covers_push_point(std::uint64_t start_offset, std::uint64_t end_offset) const;
+
+  // Timers & reliability. `restart` forces the timer deadline to be
+  // recomputed from now (RFC 6298: restart on each ACK of new data).
+  void arm_retransmit(bool restart = false);
+  void on_retransmit_timeout();
+  void retransmit_one();
+  void start_rtt_sample(Seq seq);
+  void take_rtt_sample(Seq acked_to);
+  void enter_time_wait();
+  void set_state(TcpState next);
+  void release();
+  void reset_connection(bool notify);
+
+  std::size_t flight_bytes() const { return snd_nxt_ - snd_una_; }
+  std::size_t unsent_bytes() const {
+    return send_buf_.size() - std::min<std::size_t>(send_buf_.size(), snd_nxt_ - snd_una_);
+  }
+
+  sim::Node& node_;
+  const TcpProfile* profile_;
+  TcpEndpointConfig config_;
+  TcpCallbacks callbacks_;
+  snake::Rng rng_;
+  std::function<void()> on_released_;
+
+  TcpState state_ = TcpState::kClosed;
+  bool released_ = false;
+
+  // Send sequence space.
+  Seq iss_ = 0;
+  Seq snd_una_ = 0;
+  Seq snd_nxt_ = 0;
+  Seq snd_max_ = 0;  ///< highest sequence ever sent (survives RTO rewind)
+  std::uint32_t snd_wnd_ = 0;
+  std::deque<std::uint8_t> send_buf_;  ///< bytes [snd_una_, snd_una_+size)
+  // Stream-offset bookkeeping for PSH: real stacks set PSH on the final
+  // segment of each application write, so bulk data carries PSH "only
+  // occasionally". Offsets are cumulative byte counts since connect.
+  std::uint64_t queued_total_ = 0;
+  std::uint64_t acked_total_ = 0;
+  std::deque<std::uint64_t> push_points_;
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+  Seq fin_seq_ = 0;
+  bool app_exited_ = false;
+
+  // Receive sequence space.
+  Seq irs_ = 0;
+  Seq rcv_nxt_ = 0;
+  std::map<Seq, Bytes, SeqCircularLess> out_of_order_;  ///< wrap-safe ordering
+  std::size_t out_of_order_bytes_ = 0;
+  bool remote_fin_seen_ = false;
+
+  // Congestion control & recovery.
+  CongestionControl cc_;
+  Seq recover_ = 0;
+  Seq last_retx_end_ = 0;  ///< end of the most recent loss-recovery retransmit
+
+  // RTT estimation (RFC 6298).
+  std::optional<Duration> srtt_;
+  Duration rttvar_ = Duration::zero();
+  Duration rto_;
+  std::optional<Seq> timed_seq_;
+  TimePoint timed_at_;
+
+  // Timers.
+  sim::Timer retransmit_timer_;
+  sim::Timer time_wait_timer_;
+  int retries_ = 0;
+
+  TcpEndpointStats stats_;
+};
+
+}  // namespace snake::tcp

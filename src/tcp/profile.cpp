@@ -1,0 +1,76 @@
+#include "tcp/profile.h"
+
+#include <stdexcept>
+
+namespace snake::tcp {
+
+const char* to_string(InvalidFlagPolicy policy) {
+  switch (policy) {
+    case InvalidFlagPolicy::kIgnore: return "ignore";
+    case InvalidFlagPolicy::kBestEffort: return "best-effort";
+    case InvalidFlagPolicy::kRstFirst: return "rst-first";
+  }
+  return "?";
+}
+
+const TcpProfile& linux_3_0_profile() {
+  static const TcpProfile profile = [] {
+    TcpProfile p;
+    p.name = "linux-3.0.0";
+    p.invalid_flags = InvalidFlagPolicy::kBestEffort;
+    p.dsack_dupack_suppression = true;
+    p.rst_data_after_fin = true;
+    return p;
+  }();
+  return profile;
+}
+
+const TcpProfile& linux_3_13_profile() {
+  static const TcpProfile profile = [] {
+    TcpProfile p;
+    p.name = "linux-3.13";
+    p.invalid_flags = InvalidFlagPolicy::kIgnore;  // "appears to have fixed these problems"
+    p.dsack_dupack_suppression = true;
+    p.rst_data_after_fin = true;
+    return p;
+  }();
+  return profile;
+}
+
+const TcpProfile& windows_8_1_profile() {
+  static const TcpProfile profile = [] {
+    TcpProfile p;
+    p.name = "windows-8.1";
+    p.invalid_flags = InvalidFlagPolicy::kRstFirst;
+    p.dsack_dupack_suppression = false;  // enables Duplicate ACK Rate Limiting
+    return p;
+  }();
+  return profile;
+}
+
+const TcpProfile& windows_95_profile() {
+  static const TcpProfile profile = [] {
+    TcpProfile p;
+    p.name = "windows-95";
+    p.invalid_flags = InvalidFlagPolicy::kIgnore;
+    p.naive_cwnd_per_ack = true;   // enables Duplicate ACK Spoofing
+    p.fast_retransmit = false;     // RTO-only loss recovery
+    p.dsack_dupack_suppression = false;
+    return p;
+  }();
+  return profile;
+}
+
+const std::vector<TcpProfile>& all_tcp_profiles() {
+  static const std::vector<TcpProfile> profiles = {
+      linux_3_0_profile(), linux_3_13_profile(), windows_8_1_profile(), windows_95_profile()};
+  return profiles;
+}
+
+const TcpProfile& tcp_profile_by_name(const std::string& name) {
+  for (const TcpProfile& p : all_tcp_profiles())
+    if (p.name == name) return p;
+  throw std::invalid_argument("unknown TCP profile '" + name + "'");
+}
+
+}  // namespace snake::tcp

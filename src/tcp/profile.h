@@ -1,0 +1,101 @@
+// Behavioural profiles for the TCP implementations under test.
+//
+// The paper tests unmodified network stacks inside VMs: Linux 3.0.0, Linux
+// 3.13, Windows 8.1 and Windows 95. This reproduction cannot run those
+// kernels, so each stack's *documented, attack-relevant behaviours* are
+// captured as a profile over one faithful TCP implementation (see DESIGN.md,
+// substitution table). Every flag below traces to a specific finding in the
+// paper's Section VI.A:
+//
+//  - invalid_flags: how nonsensical flag combinations are treated
+//    ("Packets with Invalid Flags": Linux 3.0.0 best-effort processes them,
+//    Windows 8.1 resets if RST is set, Linux 3.13 ignores them).
+//  - naive_cwnd_per_ack: Windows 95 grows its congestion window on every
+//    acknowledgment, duplicate or not, enabling Duplicate Acknowledgment
+//    Spoofing (Savage et al.).
+//  - dsack_dupack_suppression: Linux senders recognize acknowledgments
+//    triggered by duplicate segments (DSACK, RFC 2883) and do not count them
+//    toward fast retransmit; Windows 8.1 does not, enabling Duplicate
+//    Acknowledgment Rate Limiting.
+//  - rst_data_after_fin: a Linux client that exits mid-transfer FINs and
+//    then answers further data with RST — the raw material of the
+//    CLOSE_WAIT Resource Exhaustion attack (blocking those RSTs wedges the
+//    server).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace snake::tcp {
+
+/// Handling of packets whose flag combination matches no valid packet type.
+enum class InvalidFlagPolicy {
+  kIgnore,      ///< silently drop (Linux 3.13, Windows 95)
+  kBestEffort,  ///< interpret the flags as far as possible; answers a
+                ///< flagless packet with a duplicate ACK (Linux 3.0.0)
+  kRstFirst,    ///< if RST is among the flags, reset regardless of the rest;
+                ///< otherwise ignore (Windows 8.1)
+};
+
+const char* to_string(InvalidFlagPolicy policy);
+
+struct TcpProfile {
+  std::string name = "generic";
+
+  InvalidFlagPolicy invalid_flags = InvalidFlagPolicy::kIgnore;
+
+  /// Congestion window grows on every ACK received, including duplicates,
+  /// with no outstanding-data check (pre-RFC-2581 behaviour).
+  bool naive_cwnd_per_ack = false;
+
+  /// Fast retransmit / fast recovery implemented? The original Windows 95
+  /// stack predates them: duplicate ACKs are not loss signals at all (loss
+  /// recovery is RTO-only), which is why feeding it spoofed duplicates is
+  /// pure upside for the attacker.
+  bool fast_retransmit = true;
+
+  /// Duplicate ACKs that carry a DSACK indication (receiver saw a duplicate
+  /// segment, not a hole) do not count toward the fast-retransmit threshold.
+  bool dsack_dupack_suppression = false;
+
+  /// After the local application exits with data still in flight, respond
+  /// to further incoming data with RST instead of acknowledging it.
+  bool rst_data_after_fin = false;
+
+  /// Retransmission give-up threshold (Linux tcp_retries2 defaults to 15,
+  /// which the paper cites as 13-30 minutes of stuck CLOSE_WAIT).
+  int max_retries = 15;
+
+  /// Lower bound on the retransmission timeout.
+  Duration min_rto = Duration::millis(200);
+
+  /// Initial congestion window in segments.
+  std::uint32_t initial_cwnd_segments = 2;
+
+  /// Initial slow-start threshold. Real stacks seed this from route caches /
+  /// receiver windows; an unbounded initial ssthresh makes slow start
+  /// overshoot the path by 2x and burst-lose a whole window, which NewReno
+  /// (no SACK modeled) recovers from painfully.
+  std::size_t initial_ssthresh = 48 * 1024;
+
+  /// Upper clamp on cwnd (including fast-recovery inflation). Matches the
+  /// effect of the un-scaled 16-bit receive windows our stacks advertise.
+  std::size_t max_cwnd = 128 * 1024;
+};
+
+/// The four stacks evaluated in the paper.
+const TcpProfile& linux_3_0_profile();
+const TcpProfile& linux_3_13_profile();
+const TcpProfile& windows_8_1_profile();
+const TcpProfile& windows_95_profile();
+
+/// All four, in Table I order.
+const std::vector<TcpProfile>& all_tcp_profiles();
+
+/// Lookup by name ("linux-3.0.0", ...); throws std::invalid_argument.
+const TcpProfile& tcp_profile_by_name(const std::string& name);
+
+}  // namespace snake::tcp

@@ -1,0 +1,83 @@
+#include "tcp/segment.h"
+
+#include "packet/tcp_format.h"
+#include "util/checksum.h"
+#include "util/strings.h"
+
+namespace snake::tcp {
+
+namespace {
+constexpr std::size_t kHeaderBytes = packet::kTcpHeaderBytes;
+constexpr std::size_t kChecksumOffset = 16;
+// data_offset is expressed in 32-bit words, as in RFC 793.
+constexpr std::uint8_t kDataOffsetWords = kHeaderBytes / 4;
+// The DSACK model bit lives in the top bit of the 6-bit reserved field.
+constexpr std::uint8_t kDsackReservedBit = 0x20;
+}  // namespace
+
+std::uint32_t Segment::seq_len() const {
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  if (has(packet::kTcpSyn)) ++len;
+  if (has(packet::kTcpFin)) ++len;
+  return len;
+}
+
+std::string Segment::summary() const {
+  std::string names;
+  if (has(packet::kTcpSyn)) names += "SYN+";
+  if (has(packet::kTcpFin)) names += "FIN+";
+  if (has(packet::kTcpRst)) names += "RST+";
+  if (has(packet::kTcpPsh)) names += "PSH+";
+  if (has(packet::kTcpAck)) names += "ACK+";
+  if (has(packet::kTcpUrg)) names += "URG+";
+  if (names.empty())
+    names = "none";
+  else
+    names.pop_back();
+  return str_format("%s seq=%u ack=%u len=%zu win=%u", names.c_str(), seq, ack, payload.size(),
+                    window);
+}
+
+Bytes serialize(const Segment& segment) {
+  Bytes out;
+  out.reserve(kHeaderBytes + segment.payload.size());
+  ByteWriter w(out);
+  w.u16(segment.src_port);
+  w.u16(segment.dst_port);
+  w.u32(segment.seq);
+  w.u32(segment.ack);
+  std::uint16_t offset_reserved_flags =
+      static_cast<std::uint16_t>((kDataOffsetWords << 12) |
+                                 ((segment.dsack ? kDsackReservedBit : 0) << 6) |
+                                 (segment.flags & 0x3F));
+  w.u16(offset_reserved_flags);
+  w.u16(segment.window);
+  w.u16(0);  // checksum placeholder
+  w.u16(segment.urgent_ptr);
+  w.raw(segment.payload);
+  fill_embedded_checksum(out, kChecksumOffset);
+  return out;
+}
+
+std::optional<Segment> parse_segment(const Bytes& raw) {
+  if (raw.size() < kHeaderBytes) return std::nullopt;
+  if (!verify_embedded_checksum(raw, kChecksumOffset)) return std::nullopt;
+  ByteReader r(raw);
+  Segment s;
+  s.src_port = r.u16();
+  s.dst_port = r.u16();
+  s.seq = r.u32();
+  s.ack = r.u32();
+  std::uint16_t offset_reserved_flags = r.u16();
+  s.flags = static_cast<std::uint8_t>(offset_reserved_flags & 0x3F);
+  s.dsack = ((offset_reserved_flags >> 6) & kDsackReservedBit) != 0;
+  std::size_t header_bytes = static_cast<std::size_t>((offset_reserved_flags >> 12) & 0xF) * 4;
+  s.window = r.u16();
+  r.u16();  // checksum, already verified
+  s.urgent_ptr = r.u16();
+  if (header_bytes < kHeaderBytes || header_bytes > raw.size()) return std::nullopt;
+  s.payload = Bytes(raw.begin() + static_cast<std::ptrdiff_t>(header_bytes), raw.end());
+  return s;
+}
+
+}  // namespace snake::tcp

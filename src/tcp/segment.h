@@ -1,0 +1,50 @@
+// TCP segment: the typed view the endpoints work with, plus wire
+// serialization matching the DSL layout in src/packet/tcp_format.h (the
+// proxy manipulates segments in wire form, the endpoints in typed form;
+// parse/serialize round-trips between the two).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tcp/seq.h"
+#include "util/bytes.h"
+
+namespace snake::tcp {
+
+struct Segment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Seq seq = 0;
+  Seq ack = 0;
+  std::uint8_t flags = 0;  // TcpFlag bits
+  std::uint16_t window = 0;
+  std::uint16_t urgent_ptr = 0;
+
+  /// Model extension in the `reserved` header bits: DSACK indication. Real
+  /// stacks carry this as a SACK option (RFC 2883); we surface it as one
+  /// header bit so the 20-byte fixed header stays option-free. Set by a
+  /// receiver whose ACK was triggered by a fully-duplicate segment.
+  bool dsack = false;
+
+  Bytes payload;
+
+  bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+
+  /// Sequence space consumed: payload plus one for SYN and one for FIN.
+  std::uint32_t seq_len() const;
+
+  /// Human-readable one-liner for traces: "SYN seq=1 ack=0 len=0".
+  std::string summary() const;
+};
+
+/// Serializes to the 20-byte header + payload wire format with a valid
+/// checksum.
+Bytes serialize(const Segment& segment);
+
+/// Parses wire bytes; returns std::nullopt for truncated input or a bad
+/// checksum (the receiving stack drops such packets silently).
+std::optional<Segment> parse_segment(const Bytes& raw);
+
+}  // namespace snake::tcp

@@ -1,0 +1,41 @@
+// 32-bit TCP sequence-number arithmetic (RFC 793 §3.3).
+//
+// All comparisons are modular: "a < b" means a precedes b on the circle,
+// which is well-defined when |a-b| < 2^31. The Reset and SYN-Reset attacks
+// hinge on the in-window checks defined here.
+#pragma once
+
+#include <cstdint>
+
+namespace snake::tcp {
+
+using Seq = std::uint32_t;
+
+inline bool seq_lt(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) < 0; }
+inline bool seq_leq(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) <= 0; }
+inline bool seq_gt(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) > 0; }
+inline bool seq_geq(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) >= 0; }
+
+/// RFC 793 acceptance test: is `seq` within [rcv_nxt, rcv_nxt + rcv_wnd)?
+/// This is exactly the check the "slipping in the window" reset attack
+/// exploits: any RST whose sequence number lands in this window kills the
+/// connection.
+inline bool in_window(Seq seq, Seq rcv_nxt, std::uint32_t rcv_wnd) {
+  return seq_geq(seq, rcv_nxt) && seq_lt(seq, rcv_nxt + rcv_wnd);
+}
+
+/// Strict-weak ordering on the sequence circle; valid (and total) whenever
+/// all compared values lie within one half-circle of each other — true for
+/// anything window-bounded, e.g. buffered out-of-order segments.
+struct SeqCircularLess {
+  bool operator()(Seq a, Seq b) const { return seq_lt(a, b); }
+};
+
+/// Does the segment [seq, seq+len) overlap the receive window?
+inline bool segment_acceptable(Seq seq, std::uint32_t len, Seq rcv_nxt, std::uint32_t rcv_wnd) {
+  if (rcv_wnd == 0) return len == 0 && seq == rcv_nxt;
+  if (len == 0) return in_window(seq, rcv_nxt, rcv_wnd);
+  return in_window(seq, rcv_nxt, rcv_wnd) || in_window(seq + len - 1, rcv_nxt, rcv_wnd);
+}
+
+}  // namespace snake::tcp

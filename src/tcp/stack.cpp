@@ -1,0 +1,108 @@
+#include "tcp/stack.h"
+
+#include "packet/tcp_format.h"
+#include "util/logging.h"
+
+namespace snake::tcp {
+
+TcpStack::TcpStack(sim::Node& node, const TcpProfile& profile, snake::Rng rng)
+    : node_(node), profile_(&profile), rng_(rng) {
+  node_.register_protocol(sim::kProtoTcp,
+                          [this](const sim::Packet& packet) { on_packet(packet); });
+}
+
+TcpEndpoint& TcpStack::connect(sim::Address remote, std::uint16_t remote_port,
+                               TcpCallbacks callbacks) {
+  TcpEndpointConfig config;
+  config.remote_addr = remote;
+  config.remote_port = remote_port;
+  config.local_port = next_ephemeral_port_++;
+  TcpEndpoint& ep = create_endpoint(config, std::move(callbacks));
+  ep.connect();
+  return ep;
+}
+
+void TcpStack::listen(std::uint16_t port, AcceptHandler on_accept) {
+  listeners_[port] = std::move(on_accept);
+}
+
+TcpEndpoint& TcpStack::create_endpoint(TcpEndpointConfig config, TcpCallbacks callbacks) {
+  endpoints_.push_back(std::make_unique<TcpEndpoint>(node_, *profile_, config,
+                                                     std::move(callbacks), rng_.fork(),
+                                                     /*on_released=*/nullptr));
+  TcpEndpoint* ep = endpoints_.back().get();
+  connections_[ConnKey{config.remote_addr, config.remote_port, config.local_port}] = ep;
+  return *ep;
+}
+
+void TcpStack::on_packet(const sim::Packet& packet) {
+  std::optional<Segment> seg = parse_segment(packet.bytes);
+  if (!seg.has_value()) {
+    SNAKE_TRACE << node_.name() << " tcp rx malformed segment, dropped";
+    return;
+  }
+  ConnKey key{packet.src, seg->src_port, seg->dst_port};
+  auto it = connections_.find(key);
+  if (it != connections_.end() && !it->second->released()) {
+    it->second->on_segment(*seg);
+    return;
+  }
+
+  // No live connection. A SYN to a listening port spawns a new endpoint.
+  if (seg->has(packet::kTcpSyn) && !seg->has(packet::kTcpAck) && !seg->has(packet::kTcpRst)) {
+    auto listener = listeners_.find(seg->dst_port);
+    if (listener != listeners_.end()) {
+      TcpEndpointConfig config;
+      config.remote_addr = packet.src;
+      config.remote_port = seg->src_port;
+      config.local_port = seg->dst_port;
+      TcpEndpoint& ep = create_endpoint(config, TcpCallbacks{});
+      // The accept handler wires the application's callbacks before the
+      // handshake reply goes out, so on_established can fire normally.
+      ep.set_callbacks(listener->second(ep));
+      ep.accept(seg->seq);
+      return;
+    }
+  }
+
+  // Closed port: answer non-RST with RST (RFC 793).
+  if (!seg->has(packet::kTcpRst)) {
+    Segment rst;
+    rst.src_port = seg->dst_port;
+    rst.dst_port = seg->src_port;
+    if (seg->has(packet::kTcpAck)) {
+      rst.flags = packet::kTcpRst;
+      rst.seq = seg->ack;
+    } else {
+      rst.flags = packet::kTcpRst | packet::kTcpAck;
+      rst.seq = 0;
+      rst.ack = seg->seq + seg->seq_len();
+    }
+    sim::Packet reply;
+    reply.dst = packet.src;
+    reply.protocol = sim::kProtoTcp;
+    reply.bytes = serialize(rst);
+    node_.send_packet(std::move(reply));
+  }
+}
+
+std::size_t TcpStack::open_sockets(bool include_time_wait) const {
+  std::size_t count = 0;
+  for (const auto& ep : endpoints_) {
+    if (ep->released()) continue;
+    if (!include_time_wait && ep->state() == TcpState::kTimeWait) continue;
+    ++count;
+  }
+  return count;
+}
+
+std::map<std::string, int> TcpStack::socket_states() const {
+  std::map<std::string, int> out;
+  for (const auto& ep : endpoints_) {
+    if (ep->released()) continue;
+    ++out[to_string(ep->state())];
+  }
+  return out;
+}
+
+}  // namespace snake::tcp

@@ -1,0 +1,67 @@
+// Per-node TCP "network stack": owns the endpoints, demuxes incoming
+// segments by 4-tuple, accepts connections on listening ports, and exposes
+// the netstat-style socket table SNAKE's resource-exhaustion detector
+// queries ("the executor ... queries the OS to determine the number of
+// connections maintained by the server, for example by using the netstat
+// command").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/node.h"
+#include "tcp/endpoint.h"
+#include "tcp/profile.h"
+#include "util/rng.h"
+
+namespace snake::tcp {
+
+class TcpStack {
+ public:
+  TcpStack(sim::Node& node, const TcpProfile& profile, snake::Rng rng);
+
+  /// Active open. Returns the endpoint (owned by the stack; valid for the
+  /// stack's lifetime). The connection starts immediately.
+  TcpEndpoint& connect(sim::Address remote, std::uint16_t remote_port, TcpCallbacks callbacks);
+
+  /// Passive open: `on_accept` is invoked with each new connection's
+  /// endpoint and must return the application callbacks for it.
+  using AcceptHandler = std::function<TcpCallbacks(TcpEndpoint&)>;
+  void listen(std::uint16_t port, AcceptHandler on_accept);
+
+  /// netstat: sockets currently held by the stack (excluding listeners).
+  /// `include_time_wait` controls whether TIME_WAIT sockets count — the
+  /// detector ignores them since they are part of normal teardown.
+  std::size_t open_sockets(bool include_time_wait = false) const;
+
+  /// Socket counts per state name, for reports.
+  std::map<std::string, int> socket_states() const;
+
+  const std::vector<std::unique_ptr<TcpEndpoint>>& endpoints() const { return endpoints_; }
+  const TcpProfile& profile() const { return *profile_; }
+  sim::Node& node() { return node_; }
+
+ private:
+  struct ConnKey {
+    sim::Address remote_addr;
+    std::uint16_t remote_port;
+    std::uint16_t local_port;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+
+  void on_packet(const sim::Packet& packet);
+  TcpEndpoint& create_endpoint(TcpEndpointConfig config, TcpCallbacks callbacks);
+
+  sim::Node& node_;
+  const TcpProfile* profile_;
+  snake::Rng rng_;
+  std::map<std::uint16_t, AcceptHandler> listeners_;
+  std::map<ConnKey, TcpEndpoint*> connections_;
+  std::vector<std::unique_ptr<TcpEndpoint>> endpoints_;
+  std::uint16_t next_ephemeral_port_ = 40000;
+};
+
+}  // namespace snake::tcp

@@ -1,0 +1,49 @@
+#include "util/checksum.h"
+
+#include <stdexcept>
+
+namespace snake {
+
+namespace {
+constexpr std::size_t kNoZeroField = static_cast<std::size_t>(-1);
+
+// Sums the buffer as 16-bit big-endian words, treating the two bytes at
+// `zero_at` (if any) as zero — that is how a header checksum field is
+// excluded from its own computation.
+std::uint16_t checksum_with_zeroed_field(const Bytes& data, std::size_t zero_at) {
+  auto byte_at = [&](std::size_t i) -> std::uint8_t {
+    if (i >= data.size()) return 0;  // odd-length pad
+    if (zero_at != kNoZeroField && (i == zero_at || i == zero_at + 1)) return 0;
+    return data[i];
+  };
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < data.size(); i += 2) {
+    sum += static_cast<std::uint16_t>((byte_at(i) << 8) | byte_at(i + 1));
+    while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+}  // namespace
+
+std::uint16_t internet_checksum(const Bytes& data) {
+  return checksum_with_zeroed_field(data, kNoZeroField);
+}
+
+bool verify_embedded_checksum(const Bytes& data, std::size_t checksum_offset) {
+  if (checksum_offset + 2 > data.size())
+    throw std::out_of_range("verify_embedded_checksum: offset beyond buffer");
+  std::uint16_t stored =
+      static_cast<std::uint16_t>((data[checksum_offset] << 8) | data[checksum_offset + 1]);
+  std::uint16_t computed = checksum_with_zeroed_field(data, checksum_offset);
+  return stored == computed;
+}
+
+void fill_embedded_checksum(Bytes& data, std::size_t checksum_offset) {
+  if (checksum_offset + 2 > data.size())
+    throw std::out_of_range("fill_embedded_checksum: offset beyond buffer");
+  std::uint16_t computed = checksum_with_zeroed_field(data, checksum_offset);
+  data[checksum_offset] = static_cast<std::uint8_t>(computed >> 8);
+  data[checksum_offset + 1] = static_cast<std::uint8_t>(computed & 0xFF);
+}
+
+}  // namespace snake

@@ -1,0 +1,22 @@
+// Internet checksum (RFC 1071), as used by both TCP and DCCP headers.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace snake {
+
+/// One's-complement 16-bit Internet checksum over the buffer (padded with a
+/// zero byte if the length is odd).
+std::uint16_t internet_checksum(const Bytes& data);
+
+/// Convenience: returns true when the buffer's embedded checksum verifies.
+/// `checksum_offset` is the byte offset of the 16-bit checksum field; the
+/// field is treated as zero during computation, per RFC 1071 usage.
+bool verify_embedded_checksum(const Bytes& data, std::size_t checksum_offset);
+
+/// Computes and stores the checksum into the buffer at `checksum_offset`.
+void fill_embedded_checksum(Bytes& data, std::size_t checksum_offset);
+
+}  // namespace snake

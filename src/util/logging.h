@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator and campaign engine are deliberately quiet by default so that
+// campaigns over thousands of strategies do not drown in output; tests and
+// examples can raise the level to trace packet flow.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace snake {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace snake
+
+#define SNAKE_LOG_AT(lvl)                          \
+  if (::snake::log_level() > (lvl)) {              \
+  } else                                           \
+    ::snake::detail::LogLine(lvl)
+
+#define SNAKE_TRACE SNAKE_LOG_AT(::snake::LogLevel::kTrace)
+#define SNAKE_DEBUG SNAKE_LOG_AT(::snake::LogLevel::kDebug)
+#define SNAKE_INFO SNAKE_LOG_AT(::snake::LogLevel::kInfo)
+#define SNAKE_WARN SNAKE_LOG_AT(::snake::LogLevel::kWarn)
+#define SNAKE_ERROR SNAKE_LOG_AT(::snake::LogLevel::kError)

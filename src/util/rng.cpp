@@ -1,0 +1,18 @@
+#include "util/rng.h"
+
+namespace snake {
+
+bool Rng::chance(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  return uniform01() < probability;
+}
+
+Rng Rng::fork() {
+  // Mix two draws so sibling forks do not overlap trivially.
+  std::uint64_t a = engine_();
+  std::uint64_t b = engine_();
+  return Rng(a ^ (b * 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace snake

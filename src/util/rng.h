@@ -1,0 +1,46 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in the reproduction (probabilistic drops, random
+// "lie" field values, initial sequence numbers, application jitter) flows
+// through an explicitly-seeded Rng so that campaigns are exactly repeatable —
+// SNAKE retests candidate attacks a second time to confirm repeatability, and
+// determinism keeps that retest meaningful in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace snake {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(engine_()); }
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// True with the given probability (clamped to [0, 1]).
+  bool chance(double probability);
+
+  /// Derives an independent child stream; used to give each executor and each
+  /// endpoint its own stream while keeping the whole campaign one-seed
+  /// reproducible.
+  Rng fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace snake

@@ -1,0 +1,24 @@
+// Small string utilities shared by the DSL parsers and report formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace snake {
+
+/// Splits on a single-character delimiter; empty pieces are kept.
+std::vector<std::string> split(const std::string& text, char delimiter);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& text);
+
+bool starts_with(const std::string& text, const std::string& prefix);
+bool ends_with(const std::string& text, const std::string& suffix);
+
+/// Lowercases ASCII letters.
+std::string to_lower(const std::string& text);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace snake

@@ -1,0 +1,154 @@
+// CCID-3 (TFRC) tests: equation, loss-interval accounting, feedback wire
+// format, and end-to-end behaviour over the simulator — including how the
+// paper's DCCP attacks translate to a rate-based congestion control.
+#include <gtest/gtest.h>
+
+#include "dccp/ccid3.h"
+#include "dccp/stack.h"
+#include "packet/dccp_format.h"
+#include "sim/network.h"
+#include "snake/detector.h"
+#include "snake/scenario.h"
+#include "util/rng.h"
+
+namespace snake::dccp {
+namespace {
+
+TEST(Ccid3Feedback, EncodeDecodeRoundTrip) {
+  Ccid3Feedback f;
+  f.inverse_p = 123456;
+  f.x_recv_bps = 7890123;
+  auto decoded = Ccid3Feedback::decode(f.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->inverse_p, f.inverse_p);
+  EXPECT_EQ(decoded->x_recv_bps, f.x_recv_bps);
+  EXPECT_FALSE(Ccid3Feedback::decode(Bytes(4, 0)).has_value());
+}
+
+TEST(Ccid3Equation, MatchesKnownValues) {
+  // Sanity points for the TCP throughput equation: for small p, X ~
+  // s / (R * sqrt(2p/3)). s=1000, R=100ms, p=0.01 -> ~122 kB/s.
+  double x = Ccid3Sender::equation_bps(1000, 0.1, 0.01);
+  double approx = 1000.0 / (0.1 * std::sqrt(2.0 * 0.01 / 3.0));
+  EXPECT_GT(x, approx * 0.5);
+  EXPECT_LT(x, approx);  // the RTO term only reduces it
+  // Monotonic: more loss, less rate; longer RTT, less rate.
+  EXPECT_GT(Ccid3Sender::equation_bps(1000, 0.1, 0.001),
+            Ccid3Sender::equation_bps(1000, 0.1, 0.01));
+  EXPECT_GT(Ccid3Sender::equation_bps(1000, 0.05, 0.01),
+            Ccid3Sender::equation_bps(1000, 0.1, 0.01));
+}
+
+TEST(Ccid3Receiver, NoLossMeansZeroRate) {
+  Ccid3Receiver rx;
+  TimePoint t = TimePoint::origin();
+  for (Seq48 s = 1; s <= 100; ++s) rx.on_data(s, 1000, t + Duration::millis(s));
+  EXPECT_DOUBLE_EQ(rx.loss_event_rate(), 0.0);
+  EXPECT_EQ(rx.loss_events(), 0u);
+}
+
+TEST(Ccid3Receiver, GapCreatesLossEvent) {
+  Ccid3Receiver rx;
+  TimePoint t = TimePoint::origin();
+  for (Seq48 s = 1; s <= 50; ++s) rx.on_data(s, 1000, t + Duration::millis(s));
+  rx.on_data(52, 1000, t + Duration::millis(60));  // 51 lost
+  EXPECT_EQ(rx.loss_events(), 1u);
+  EXPECT_GT(rx.loss_event_rate(), 0.0);
+}
+
+TEST(Ccid3Receiver, LossesWithinOneRttCollapse) {
+  Ccid3Receiver rx;
+  TimePoint t = TimePoint::origin() + Duration::seconds(1.0);
+  rx.on_data(1, 1000, t);
+  rx.on_data(3, 1000, t + Duration::millis(1));   // gap -> event
+  rx.on_data(5, 1000, t + Duration::millis(2));   // gap, same RTT -> no new event
+  rx.on_data(7, 1000, t + Duration::millis(3));
+  EXPECT_EQ(rx.loss_events(), 1u);
+  rx.on_data(9, 1000, t + Duration::millis(200));  // beyond spacing -> new event
+  EXPECT_EQ(rx.loss_events(), 2u);
+}
+
+TEST(Ccid3Sender, DoublesWithoutLossAndTracksEquationWithLoss) {
+  Ccid3Sender tx(1000);
+  double start = tx.rate_bps();
+  Ccid3Feedback no_loss;
+  no_loss.inverse_p = 0;
+  no_loss.x_recv_bps = 1u << 30;  // effectively unbounded
+  tx.on_feedback(no_loss, TimePoint::origin());
+  EXPECT_DOUBLE_EQ(tx.rate_bps(), start * 2);
+
+  tx.set_rtt(Duration::millis(100));
+  Ccid3Feedback lossy;
+  lossy.inverse_p = 100;  // p = 0.01
+  lossy.x_recv_bps = 1u << 30;
+  tx.on_feedback(lossy, TimePoint::origin());
+  double expected = Ccid3Sender::equation_bps(1000, 0.1, 0.01);
+  EXPECT_NEAR(tx.rate_bps(), expected, expected * 0.01);
+}
+
+TEST(Ccid3Sender, NoFeedbackHalvesDownToFloor) {
+  Ccid3Sender tx(1000);
+  Ccid3Feedback no_loss;
+  no_loss.inverse_p = 0;
+  no_loss.x_recv_bps = 1u << 30;
+  for (int i = 0; i < 8; ++i) tx.on_feedback(no_loss, TimePoint::origin());
+  double high = tx.rate_bps();
+  for (int i = 0; i < 40; ++i) tx.on_no_feedback();
+  EXPECT_LT(tx.rate_bps(), high);
+  EXPECT_GE(tx.rate_bps(), 200.0);  // the floor: the "minimum rate"
+  double floor = tx.rate_bps();
+  tx.on_no_feedback();
+  EXPECT_DOUBLE_EQ(tx.rate_bps(), floor);
+}
+
+// ----------------------------------------------------------- end to end
+
+using core::Protocol;
+using core::RunMetrics;
+using core::ScenarioConfig;
+
+ScenarioConfig ccid3_config() {
+  ScenarioConfig c;
+  c.protocol = Protocol::kDccp;
+  c.dccp_ccid = 3;
+  c.test_duration = Duration::seconds(25.0);
+  c.seed = 5;
+  return c;
+}
+
+TEST(Ccid3Integration, TransfersAndSharesFairly) {
+  ScenarioConfig c = ccid3_config();
+  c.dccp_data_fraction = 1.0;
+  RunMetrics m = run_scenario(c, std::nullopt);
+  EXPECT_TRUE(m.target_established);
+  EXPECT_GT(m.target_bytes, 1000000u);
+  double ratio = static_cast<double>(m.target_bytes) / static_cast<double>(m.competing_bytes);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Ccid3Integration, CleanTeardown) {
+  RunMetrics m = run_scenario(ccid3_config(), std::nullopt);
+  EXPECT_EQ(m.server1_stuck_sockets, 0u);
+}
+
+TEST(Ccid3Integration, AckMungStillExhaustsResources) {
+  // The Acknowledgment Mung attack translates to CCID-3 as *feedback
+  // starvation*: wrecked acks are dropped as invalid, the no-feedback timer
+  // halves the rate to the floor, the queue can't drain, close() blocks.
+  strategy::Strategy s;
+  s.action = strategy::AttackAction::kLie;
+  s.packet_type = "DCCP-Ack";
+  s.target_state = "OPEN";
+  s.direction = strategy::TrafficDirection::kServerToClient;
+  s.lie = strategy::LieSpec{"ack", strategy::LieSpec::Mode::kSet, 0x123456};
+  ScenarioConfig c = ccid3_config();
+  RunMetrics baseline = run_scenario(c, std::nullopt);
+  RunMetrics attacked = run_scenario(c, s);
+  core::Detection d = core::detect(baseline, attacked);
+  EXPECT_TRUE(d.is_attack);
+  EXPECT_GT(attacked.server1_stuck_sockets, baseline.server1_stuck_sockets);
+}
+
+}  // namespace
+}  // namespace snake::dccp

@@ -1,0 +1,231 @@
+// Combined-strategy and baseline injection-mode tests (the paper's "more
+// complex attack strategies that combine the basic attacks" future work,
+// plus the runnable Section IV.B baselines).
+#include <gtest/gtest.h>
+
+#include "packet/tcp_format.h"
+#include "proxy/attack_proxy.h"
+#include "sim/network.h"
+#include "snake/detector.h"
+#include "snake/scenario.h"
+#include "statemachine/protocol_specs.h"
+#include "strategy/baselines.h"
+#include "tcp/segment.h"
+#include "util/rng.h"
+
+namespace snake {
+namespace {
+
+using core::Detection;
+using core::Protocol;
+using core::RunMetrics;
+using core::ScenarioConfig;
+using strategy::AttackAction;
+using strategy::LieSpec;
+using strategy::MatchMode;
+using strategy::Strategy;
+using strategy::TrafficDirection;
+
+// -------------------------------------------------------- proxy composition
+
+class ComposeHarness : public ::testing::Test {
+ protected:
+  ComposeHarness()
+      : client_(net_.add_node(1, "client")),
+        server_(net_.add_node(2, "server")),
+        proxy_(client_, packet::tcp_codec(), statemachine::tcp_state_machine(), targets(),
+               snake::Rng(7)) {
+    auto [cs, sc] = net_.connect(client_, server_, sim::LinkConfig{});
+    client_.set_default_route(cs);
+    server_.set_default_route(sc);
+    client_.set_filter(&proxy_);
+    server_.register_protocol(sim::kProtoTcp,
+                              [this](const sim::Packet& p) { server_rx_.push_back(p); });
+  }
+
+  static proxy::ProxyTargets targets() {
+    proxy::ProxyTargets t;
+    t.protocol = sim::kProtoTcp;
+    t.client_addr = 1;
+    t.server_addr = 2;
+    t.server_port = 80;
+    t.competing_client_addr = 1;
+    t.competing_server_addr = 2;
+    t.competing_server_port = 81;
+    t.competing_client_port_guess = 40000;
+    return t;
+  }
+
+  void client_sends(std::uint8_t flags, tcp::Seq seq = 0, std::uint16_t window = 65535) {
+    tcp::Segment s;
+    s.src_port = 40000;
+    s.dst_port = 80;
+    s.flags = flags;
+    s.seq = seq;
+    s.window = window;
+    sim::Packet p;
+    p.dst = 2;
+    p.protocol = sim::kProtoTcp;
+    p.bytes = tcp::serialize(s);
+    client_.send_packet(std::move(p));
+    net_.scheduler().run_all();
+  }
+
+  Strategy lie(const char* field, LieSpec::Mode mode, std::uint64_t operand) {
+    Strategy s;
+    s.action = AttackAction::kLie;
+    s.packet_type = "SYN";
+    s.target_state = "CLOSED";
+    s.direction = TrafficDirection::kClientToServer;
+    s.lie = LieSpec{field, mode, operand};
+    return s;
+  }
+
+  sim::Network net_;
+  sim::Node& client_;
+  sim::Node& server_;
+  proxy::AttackProxy proxy_;
+  std::vector<sim::Packet> server_rx_;
+};
+
+TEST_F(ComposeHarness, NonConsumingActionsStack) {
+  // Two lies on the same packet: both field modifications land.
+  proxy_.set_strategies({lie("window", LieSpec::Mode::kSet, 123),
+                         lie("seq", LieSpec::Mode::kAdd, 1000)});
+  client_sends(packet::kTcpSyn, /*seq=*/1);
+  ASSERT_EQ(server_rx_.size(), 1u);
+  auto parsed = tcp::parse_segment(server_rx_[0].bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->window, 123u);
+  EXPECT_EQ(parsed->seq, 1001u);
+  EXPECT_EQ(proxy_.stats().modified, 2u);
+}
+
+TEST_F(ComposeHarness, ConsumingActionStopsTheChain) {
+  Strategy drop;
+  drop.action = AttackAction::kDrop;
+  drop.packet_type = "SYN";
+  drop.target_state = "CLOSED";
+  drop.direction = TrafficDirection::kClientToServer;
+  proxy_.set_strategies({drop, lie("window", LieSpec::Mode::kSet, 123)});
+  client_sends(packet::kTcpSyn, 1);
+  EXPECT_TRUE(server_rx_.empty());
+  EXPECT_EQ(proxy_.stats().dropped, 1u);
+  EXPECT_EQ(proxy_.stats().modified, 0u);  // the lie never ran
+}
+
+TEST_F(ComposeHarness, ComponentsMatchIndependently) {
+  // A lie on SYN and a duplicate on ACK: each fires only on its own match.
+  Strategy dup;
+  dup.action = AttackAction::kDuplicate;
+  dup.packet_type = "ACK";
+  dup.target_state = "SYN_SENT";
+  dup.direction = TrafficDirection::kClientToServer;
+  dup.duplicate_count = 1;
+  proxy_.set_strategies({lie("window", LieSpec::Mode::kSet, 9), dup});
+  client_sends(packet::kTcpSyn, 1);       // matches the lie (CLOSED)
+  client_sends(packet::kTcpAck, 2, 500);  // matches the duplicate (SYN_SENT)
+  EXPECT_EQ(proxy_.stats().modified, 1u);
+  EXPECT_EQ(proxy_.stats().duplicates_created, 1u);
+  EXPECT_EQ(server_rx_.size(), 3u);  // SYN + ACK + 1 copy
+}
+
+// ------------------------------------------------------ baseline match modes
+
+TEST_F(ComposeHarness, PacketIndexModeHitsExactlyTheNthPacket) {
+  Strategy s;
+  s.action = AttackAction::kDrop;
+  s.match_mode = MatchMode::kPacketIndex;
+  s.packet_index = 2;  // third egress packet
+  s.direction = TrafficDirection::kClientToServer;
+  proxy_.set_strategies({s});
+  for (int i = 0; i < 5; ++i) client_sends(packet::kTcpAck, 100 + i);
+  EXPECT_EQ(server_rx_.size(), 4u);
+  EXPECT_EQ(proxy_.stats().dropped, 1u);
+  // Verify the right one vanished: seqs 100,101,103,104 arrive.
+  auto second = tcp::parse_segment(server_rx_[1].bytes);
+  auto third = tcp::parse_segment(server_rx_[2].bytes);
+  EXPECT_EQ(second->seq, 101u);
+  EXPECT_EQ(third->seq, 103u);
+}
+
+TEST_F(ComposeHarness, TimeWindowModeMatchesOnlyInsideWindow) {
+  Strategy s;
+  s.action = AttackAction::kDrop;
+  s.match_mode = MatchMode::kTimeWindow;
+  s.window_start_seconds = 1.0;
+  s.window_length_seconds = 0.5;
+  s.direction = TrafficDirection::kClientToServer;
+  proxy_.set_strategies({s});
+  client_sends(packet::kTcpAck, 1);  // t=0: outside
+  net_.scheduler().run_until(TimePoint::origin() + Duration::seconds(1.2));
+  client_sends(packet::kTcpAck, 2);  // t=1.2: inside -> dropped
+  net_.scheduler().run_until(TimePoint::origin() + Duration::seconds(2.0));
+  client_sends(packet::kTcpAck, 3);  // t=2.0: outside
+  EXPECT_EQ(server_rx_.size(), 2u);
+  EXPECT_EQ(proxy_.stats().dropped, 1u);
+}
+
+TEST(BaselineSamplers, ProduceBoundedValidStrategies) {
+  strategy::BaselineSamplerConfig cfg;
+  cfg.packets_per_test = 1000;
+  cfg.test_seconds = 10.0;
+  cfg.inject_packet_types = {"RST", "SYN"};
+  cfg.inject_structural_fields = {{"data_offset", 5}};
+  Rng rng(5);
+  auto sp = strategy::sample_send_packet_strategies(packet::tcp_format(), cfg, 200, rng);
+  ASSERT_EQ(sp.size(), 200u);
+  for (const Strategy& s : sp) {
+    EXPECT_EQ(s.match_mode, MatchMode::kPacketIndex);
+    EXPECT_LT(s.packet_index, 1000u);
+    // Send-packet-based cannot express injection.
+    EXPECT_NE(s.action, AttackAction::kInject);
+    EXPECT_NE(s.action, AttackAction::kHitSeqWindow);
+  }
+  auto ti = strategy::sample_time_interval_strategies(packet::tcp_format(), cfg, 200, rng);
+  ASSERT_EQ(ti.size(), 200u);
+  bool saw_injection = false;
+  for (const Strategy& s : ti) {
+    EXPECT_EQ(s.match_mode, MatchMode::kTimeWindow);
+    EXPECT_GE(s.window_start_seconds, 0.0);
+    EXPECT_LT(s.window_start_seconds, 10.0);
+    EXPECT_DOUBLE_EQ(s.window_length_seconds, 5e-6);
+    if (s.action == AttackAction::kInject) saw_injection = true;
+  }
+  EXPECT_TRUE(saw_injection);  // the approach's differentiator
+}
+
+// ------------------------------------------------ combined attack, end to end
+
+TEST(CombinedScenario, MultiStateRstBlockadeIsRobustWhereSinglesAreNot) {
+  // The CLOSE_WAIT attack's RSTs can be emitted while the tracker sees the
+  // client in FIN_WAIT_1 *or* FIN_WAIT_2, depending on timing. A combined
+  // strategy covering both states wedges the server no matter the split —
+  // exactly the kind of robustness the paper's future-work combinations buy.
+  ScenarioConfig c;
+  c.protocol = Protocol::kTcp;
+  c.tcp_profile = tcp::linux_3_0_profile();
+  c.test_duration = Duration::seconds(20.0);
+  c.seed = 5;
+
+  auto drop_rst_in = [](const char* state) {
+    Strategy s;
+    s.action = AttackAction::kDrop;
+    s.packet_type = "RST";
+    s.target_state = state;
+    s.direction = TrafficDirection::kClientToServer;
+    return s;
+  };
+
+  RunMetrics baseline = core::run_scenario(c, std::nullopt);
+  RunMetrics combined = core::run_scenario(
+      c, std::vector<Strategy>{drop_rst_in("FIN_WAIT_1"), drop_rst_in("FIN_WAIT_2"),
+                               drop_rst_in("CLOSED")});
+  Detection d = core::detect(baseline, combined);
+  EXPECT_TRUE(d.is_attack);
+  EXPECT_TRUE(d.resource_exhaustion);
+  EXPECT_GT(combined.server1_stuck_sockets, baseline.server1_stuck_sockets);
+}
+
+}  // namespace
+}  // namespace snake

@@ -1,0 +1,271 @@
+// Unit tests for the discrete-event network simulator substrate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/dumbbell.h"
+#include "sim/link.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/scheduler.h"
+
+namespace snake::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint::from_ns(300), [&] { order.push_back(3); });
+  s.schedule_at(TimePoint::from_ns(100), [&] { order.push_back(1); });
+  s.schedule_at(TimePoint::from_ns(200), [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, StableOrderAtSameTime) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    s.schedule_at(TimePoint::from_ns(50), [&order, i] { order.push_back(i); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, RunUntilStopsAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(TimePoint::from_ns(100), [&] { ++fired; });
+  s.schedule_at(TimePoint::from_ns(500), [&] { ++fired; });
+  s.run_until(TimePoint::from_ns(200));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now().ns(), 200);
+  s.run_until(TimePoint::from_ns(1000));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CancelledTimerDoesNotFire) {
+  Scheduler s;
+  int fired = 0;
+  Timer t = s.schedule_at(TimePoint::from_ns(10), [&] { ++fired; });
+  EXPECT_TRUE(t.pending());
+  t.cancel();
+  EXPECT_FALSE(t.pending());
+  s.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.schedule_in(Duration::nanos(10), chain);
+  };
+  s.schedule_in(Duration::nanos(10), chain);
+  s.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now().ns(), 50);
+}
+
+TEST(Scheduler, PastEventClampsToNow) {
+  Scheduler s;
+  s.schedule_at(TimePoint::from_ns(100), [] {});
+  s.run_all();
+  bool fired = false;
+  s.schedule_at(TimePoint::from_ns(5), [&] { fired = true; });  // in the past
+  s.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now().ns(), 100);
+}
+
+Packet make_packet(Address src, Address dst, std::size_t payload_bytes) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.protocol = kProtoTcp;
+  p.bytes.assign(payload_bytes, 0xAA);
+  return p;
+}
+
+TEST(Link, DeliversWithSerializationPlusPropagation) {
+  Scheduler s;
+  std::vector<TimePoint> arrivals;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;  // 1 byte per microsecond
+  cfg.delay = Duration::millis(1);
+  Link link(s, cfg, [&](Packet) { arrivals.push_back(s.now()); });
+  link.send(make_packet(1, 2, 980));  // wire size 1000B -> 1ms serialization
+  s.run_all();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0].ns(), Duration::millis(2).ns());
+}
+
+TEST(Link, QueueSerializesBackToBack) {
+  Scheduler s;
+  std::vector<TimePoint> arrivals;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.delay = Duration::zero();
+  Link link(s, cfg, [&](Packet) { arrivals.push_back(s.now()); });
+  link.send(make_packet(1, 2, 980));
+  link.send(make_packet(1, 2, 980));
+  s.run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].ns(), Duration::millis(1).ns());
+  EXPECT_EQ(arrivals[1].ns(), Duration::millis(2).ns());
+}
+
+TEST(Link, DropTailOnOverflow) {
+  Scheduler s;
+  int delivered = 0;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e3;  // slow: 1ms per byte
+  cfg.queue_limit_packets = 2;
+  Link link(s, cfg, [&](Packet) { ++delivered; });
+  for (int i = 0; i < 10; ++i) link.send(make_packet(1, 2, 100));
+  s.run_all();
+  EXPECT_EQ(delivered, 3);  // 1 in flight + 2 queued
+  EXPECT_EQ(link.packets_dropped(), 7u);
+  EXPECT_EQ(link.packets_sent(), 3u);
+}
+
+TEST(Node, DemuxesByProtocol) {
+  Network net;
+  Node& a = net.add_node(1, "a");
+  Node& b = net.add_node(2, "b");
+  auto [ab, ba] = net.connect(a, b, LinkConfig{});
+  (void)ba;
+  a.set_default_route(ab);
+  int tcp_count = 0, dccp_count = 0;
+  b.register_protocol(kProtoTcp, [&](const Packet&) { ++tcp_count; });
+  b.register_protocol(kProtoDccp, [&](const Packet&) { ++dccp_count; });
+  Packet p = make_packet(1, 2, 10);
+  a.send_packet(p);
+  p.protocol = kProtoDccp;
+  a.send_packet(p);
+  net.scheduler().run_all();
+  EXPECT_EQ(tcp_count, 1);
+  EXPECT_EQ(dccp_count, 1);
+}
+
+TEST(Node, ForwardsTransitTraffic) {
+  Network net;
+  Node& a = net.add_node(1, "a");
+  Node& r = net.add_node(10, "r");
+  Node& b = net.add_node(2, "b");
+  auto [ar, ra] = net.connect(a, r, LinkConfig{});
+  auto [rb, br] = net.connect(r, b, LinkConfig{});
+  (void)ra;
+  (void)br;
+  a.set_default_route(ar);
+  r.add_route(2, rb);
+  int got = 0;
+  b.register_protocol(kProtoTcp, [&](const Packet&) { ++got; });
+  a.send_packet(make_packet(1, 2, 10));
+  net.scheduler().run_all();
+  EXPECT_EQ(got, 1);
+}
+
+// Filter that drops every ingress packet and counts what it saw.
+class DropAllIngress : public PacketFilter {
+ public:
+  FilterVerdict on_packet(Packet&, FilterDirection direction, Injector&) override {
+    if (direction == FilterDirection::kIngress) {
+      ++ingress_seen;
+      return FilterVerdict::kConsume;
+    }
+    ++egress_seen;
+    return FilterVerdict::kForward;
+  }
+  int ingress_seen = 0;
+  int egress_seen = 0;
+};
+
+TEST(Node, FilterInterceptsBothDirections) {
+  Network net;
+  Node& a = net.add_node(1, "a");
+  Node& b = net.add_node(2, "b");
+  auto [ab, ba] = net.connect(a, b, LinkConfig{});
+  a.set_default_route(ab);
+  b.set_default_route(ba);
+  int a_got = 0, b_got = 0;
+  a.register_protocol(kProtoTcp, [&](const Packet&) { ++a_got; });
+  b.register_protocol(kProtoTcp, [&](const Packet&) { ++b_got; });
+  DropAllIngress filter;
+  a.set_filter(&filter);
+  a.send_packet(make_packet(1, 2, 10));  // egress: forwarded
+  b.send_packet(make_packet(2, 1, 10));  // ingress at a: consumed
+  net.scheduler().run_all();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(a_got, 0);
+  EXPECT_EQ(filter.egress_seen, 1);
+  EXPECT_EQ(filter.ingress_seen, 1);
+}
+
+// Filter that duplicates every egress packet via the injector.
+class DuplicateEgress : public PacketFilter {
+ public:
+  FilterVerdict on_packet(Packet& p, FilterDirection direction, Injector& injector) override {
+    if (direction == FilterDirection::kEgress && !p.bytes.empty()) {
+      injector.inject(p, FilterDirection::kEgress, Duration::zero());
+    }
+    return FilterVerdict::kForward;
+  }
+};
+
+TEST(Node, InjectedPacketsBypassFilter) {
+  Network net;
+  Node& a = net.add_node(1, "a");
+  Node& b = net.add_node(2, "b");
+  auto [ab, ba] = net.connect(a, b, LinkConfig{});
+  (void)ba;
+  a.set_default_route(ab);
+  int b_got = 0;
+  b.register_protocol(kProtoTcp, [&](const Packet&) { ++b_got; });
+  DuplicateEgress filter;
+  a.set_filter(&filter);
+  a.send_packet(make_packet(1, 2, 10));
+  net.scheduler().run_all();
+  // Original + one duplicate; if injection re-entered the filter this would
+  // recurse indefinitely instead.
+  EXPECT_EQ(b_got, 2);
+}
+
+TEST(Trace, RecordsSendAndDeliver) {
+  Network net;
+  Node& a = net.add_node(1, "a");
+  Node& b = net.add_node(2, "b");
+  auto [ab, ba] = net.connect(a, b, LinkConfig{});
+  (void)ba;
+  a.set_default_route(ab);
+  b.register_protocol(kProtoTcp, [](const Packet&) {});
+  net.enable_trace();
+  a.send_packet(make_packet(1, 2, 10));
+  net.scheduler().run_all();
+  EXPECT_EQ(net.trace().count(TraceKind::kSend), 1u);
+  EXPECT_EQ(net.trace().count(TraceKind::kDeliver), 1u);
+}
+
+TEST(Dumbbell, EndToEndAcrossBottleneck) {
+  Dumbbell d;
+  int s1_got = 0, c2_got = 0;
+  d.server1().register_protocol(kProtoTcp, [&](const Packet&) { ++s1_got; });
+  d.client2().register_protocol(kProtoTcp, [&](const Packet&) { ++c2_got; });
+  d.client1().send_packet(make_packet(0, DumbbellAddresses::kServer1, 100));
+  d.server2().send_packet(make_packet(0, DumbbellAddresses::kClient2, 100));
+  d.scheduler().run_all();
+  EXPECT_EQ(s1_got, 1);
+  EXPECT_EQ(c2_got, 1);
+}
+
+TEST(Dumbbell, BottleneckCarriesCrossTraffic) {
+  Dumbbell d;
+  d.server1().register_protocol(kProtoTcp, [](const Packet&) {});
+  for (int i = 0; i < 5; ++i)
+    d.client1().send_packet(make_packet(0, DumbbellAddresses::kServer1, 100));
+  d.scheduler().run_all();
+  EXPECT_EQ(d.bottleneck_left_to_right()->packets_sent(), 5u);
+  EXPECT_EQ(d.bottleneck_right_to_left()->packets_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace snake::sim

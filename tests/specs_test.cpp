@@ -1,0 +1,43 @@
+// Keeps the standalone specification files in specs/ byte-identical to the
+// built-in strings, so users can edit/copy real artifacts that are known to
+// parse.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "packet/dccp_format.h"
+#include "packet/format_dsl.h"
+#include "packet/tcp_format.h"
+#include "statemachine/dot_parser.h"
+#include "statemachine/protocol_specs.h"
+
+namespace snake {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// SNAKE_SPECS_DIR is injected by CMake as the absolute path to specs/.
+TEST(Specs, FilesMatchBuiltins) {
+  std::string dir = SNAKE_SPECS_DIR;
+  EXPECT_EQ(read_file(dir + "/tcp.fmt"), packet::tcp_format_dsl());
+  EXPECT_EQ(read_file(dir + "/dccp.fmt"), packet::dccp_format_dsl());
+  EXPECT_EQ(read_file(dir + "/tcp.dot"), statemachine::tcp_state_machine_dot());
+  EXPECT_EQ(read_file(dir + "/dccp.dot"), statemachine::dccp_state_machine_dot());
+}
+
+TEST(Specs, FilesParseStandalone) {
+  std::string dir = SNAKE_SPECS_DIR;
+  EXPECT_NO_THROW(packet::parse_header_format(read_file(dir + "/tcp.fmt")));
+  EXPECT_NO_THROW(packet::parse_header_format(read_file(dir + "/dccp.fmt")));
+  EXPECT_NO_THROW(statemachine::parse_dot(read_file(dir + "/tcp.dot")));
+  EXPECT_NO_THROW(statemachine::parse_dot(read_file(dir + "/dccp.dot")));
+}
+
+}  // namespace
+}  // namespace snake

@@ -1,0 +1,208 @@
+// Tests for the dot parser, state machine model, and packet-driven tracker.
+#include <gtest/gtest.h>
+
+#include "statemachine/dot_parser.h"
+#include "statemachine/protocol_specs.h"
+#include "statemachine/tracker.h"
+
+namespace snake::statemachine {
+namespace {
+
+const char* kToyDot = R"(digraph toy {
+  A [initial="client"];
+  B [initial="server"];
+  A -> C [label="snd:X"];
+  C -> D [label="rcv:Y / snd:Z"];
+  B -> D [label="rcv:X"];
+  D -> A [label="after:2"];
+}
+)";
+
+TEST(DotParser, ParsesToyMachine) {
+  StateMachine m = parse_dot(kToyDot);
+  EXPECT_EQ(m.name(), "toy");
+  EXPECT_EQ(m.states().size(), 4u);
+  EXPECT_EQ(m.initial_state(Role::kClient), "A");
+  EXPECT_EQ(m.initial_state(Role::kServer), "B");
+  ASSERT_EQ(m.transitions().size(), 4u);
+  EXPECT_EQ(m.transitions()[1].action, "snd:Z");
+  EXPECT_EQ(m.transitions()[3].trigger.kind, TriggerKind::kTimeout);
+  EXPECT_EQ(m.transitions()[3].trigger.timeout.to_seconds(), 2.0);
+}
+
+TEST(DotParser, RejectsMalformed) {
+  EXPECT_THROW(parse_dot("digraph x {\n A -> B;\n}"), std::invalid_argument);  // no label
+  EXPECT_THROW(parse_dot("digraph x {\n A -> B [label=\"bogus:T\"];\n}"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dot("A -> B [label=\"snd:T\"];"), std::invalid_argument);  // no digraph
+  // Missing initial-state markers.
+  EXPECT_THROW(parse_dot("digraph x {\n A -> B [label=\"snd:T\"];\n}"), std::invalid_argument);
+}
+
+TEST(StateMachine, MatchRespectsDirectionAndType) {
+  StateMachine m = parse_dot(kToyDot);
+  EXPECT_NE(m.match("A", TriggerKind::kSend, "X"), nullptr);
+  EXPECT_EQ(m.match("A", TriggerKind::kReceive, "X"), nullptr);
+  EXPECT_EQ(m.match("A", TriggerKind::kSend, "Y"), nullptr);
+  EXPECT_EQ(m.match("C", TriggerKind::kReceive, "Y")->to, "D");
+}
+
+TEST(StateMachine, TransitionsFrom) {
+  StateMachine m = parse_dot(kToyDot);
+  EXPECT_EQ(m.transitions_from("A").size(), 1u);
+  EXPECT_EQ(m.transitions_from("D").size(), 1u);
+  EXPECT_TRUE(m.transitions_from("nonexistent").empty());
+}
+
+TEST(EndpointTracker, FollowsTransitionsAndTimeouts) {
+  StateMachine m = parse_dot(kToyDot);
+  EndpointTracker t(m, Role::kClient, TimePoint::origin());
+  EXPECT_EQ(t.state(), "A");
+  EXPECT_TRUE(t.observe(TriggerKind::kSend, "X", TimePoint::from_ns(100)));
+  EXPECT_EQ(t.state(), "C");
+  EXPECT_FALSE(t.observe(TriggerKind::kSend, "X", TimePoint::from_ns(200)));  // no edge
+  EXPECT_TRUE(t.observe(TriggerKind::kReceive, "Y", TimePoint::from_ns(300)));
+  EXPECT_EQ(t.state(), "D");
+  // after:2 fires once 2 virtual seconds pass in D.
+  t.advance_to(TimePoint::origin() + Duration::seconds(5.0));
+  EXPECT_EQ(t.state(), "A");
+}
+
+TEST(EndpointTracker, CollectsStats) {
+  StateMachine m = parse_dot(kToyDot);
+  EndpointTracker t(m, Role::kClient, TimePoint::origin());
+  t.observe(TriggerKind::kSend, "X", TimePoint::from_ns(1000));
+  t.observe(TriggerKind::kReceive, "Q", TimePoint::from_ns(2000));
+  t.observe(TriggerKind::kReceive, "Y", TimePoint::from_ns(3000));
+  const auto& stats = t.finalize(TimePoint::from_ns(5000));
+  EXPECT_EQ(stats.at("A").visits, 1u);
+  EXPECT_EQ(stats.at("A").sent_by_type.at("X"), 1u);
+  EXPECT_EQ(stats.at("A").total_time.ns(), 1000);
+  EXPECT_EQ(stats.at("C").received_by_type.at("Q"), 1u);
+  EXPECT_EQ(stats.at("C").received_by_type.at("Y"), 1u);
+  EXPECT_EQ(stats.at("C").total_time.ns(), 2000);
+  EXPECT_EQ(stats.at("D").visits, 1u);
+  EXPECT_EQ(stats.at("D").total_time.ns(), 2000);
+  // Observations deduplicate (state, type, direction) triples.
+  EXPECT_EQ(t.observations().size(), 3u);
+}
+
+TEST(TcpMachine, HasElevenStates) {
+  const StateMachine& m = tcp_state_machine();
+  EXPECT_EQ(m.states().size(), 11u);
+  EXPECT_EQ(m.initial_state(Role::kClient), "CLOSED");
+  EXPECT_EQ(m.initial_state(Role::kServer), "LISTEN");
+}
+
+TEST(TcpMachine, ThreeWayHandshakeWalk) {
+  ConnectionTracker conn(tcp_state_machine(), 1, 2, TimePoint::origin());
+  conn.observe_packet(1, 2, "SYN", TimePoint::from_ns(1));
+  EXPECT_EQ(conn.client().state(), "SYN_SENT");
+  EXPECT_EQ(conn.server().state(), "SYN_RCVD");
+  conn.observe_packet(2, 1, "SYN+ACK", TimePoint::from_ns(2));
+  EXPECT_EQ(conn.client().state(), "ESTABLISHED");
+  conn.observe_packet(1, 2, "ACK", TimePoint::from_ns(3));
+  EXPECT_EQ(conn.server().state(), "ESTABLISHED");
+}
+
+TEST(TcpMachine, FullLifecycleWithActiveCloseByClient) {
+  ConnectionTracker conn(tcp_state_machine(), 1, 2, TimePoint::origin());
+  conn.observe_packet(1, 2, "SYN", TimePoint::from_ns(1));
+  conn.observe_packet(2, 1, "SYN+ACK", TimePoint::from_ns(2));
+  conn.observe_packet(1, 2, "ACK", TimePoint::from_ns(3));
+  // Data flows within ESTABLISHED — no transitions.
+  conn.observe_packet(2, 1, "PSH+ACK", TimePoint::from_ns(4));
+  conn.observe_packet(1, 2, "ACK", TimePoint::from_ns(5));
+  EXPECT_EQ(conn.client().state(), "ESTABLISHED");
+  EXPECT_EQ(conn.server().state(), "ESTABLISHED");
+  // Client closes.
+  conn.observe_packet(1, 2, "FIN+ACK", TimePoint::from_ns(6));
+  EXPECT_EQ(conn.client().state(), "FIN_WAIT_1");
+  EXPECT_EQ(conn.server().state(), "CLOSE_WAIT");
+  conn.observe_packet(2, 1, "ACK", TimePoint::from_ns(7));
+  EXPECT_EQ(conn.client().state(), "FIN_WAIT_2");
+  conn.observe_packet(2, 1, "FIN+ACK", TimePoint::from_ns(8));
+  EXPECT_EQ(conn.client().state(), "TIME_WAIT");
+  EXPECT_EQ(conn.server().state(), "LAST_ACK");
+  conn.observe_packet(1, 2, "ACK", TimePoint::from_ns(9));
+  EXPECT_EQ(conn.server().state(), "CLOSED");
+  // TIME_WAIT expires after 60 virtual seconds.
+  conn.client().advance_to(TimePoint::origin() + Duration::seconds(100.0));
+  EXPECT_EQ(conn.client().state(), "CLOSED");
+}
+
+TEST(TcpMachine, RstAbandonsConnection) {
+  ConnectionTracker conn(tcp_state_machine(), 1, 2, TimePoint::origin());
+  conn.observe_packet(1, 2, "SYN", TimePoint::from_ns(1));
+  conn.observe_packet(2, 1, "SYN+ACK", TimePoint::from_ns(2));
+  conn.observe_packet(1, 2, "ACK", TimePoint::from_ns(3));
+  conn.observe_packet(2, 1, "RST", TimePoint::from_ns(4));
+  EXPECT_EQ(conn.client().state(), "CLOSED");
+}
+
+TEST(TcpMachine, DataTransferAllInEstablished) {
+  // The paper's premise: all data transfer happens in a single state.
+  ConnectionTracker conn(tcp_state_machine(), 1, 2, TimePoint::origin());
+  conn.observe_packet(1, 2, "SYN", TimePoint::from_ns(1));
+  conn.observe_packet(2, 1, "SYN+ACK", TimePoint::from_ns(2));
+  conn.observe_packet(1, 2, "ACK", TimePoint::from_ns(3));
+  for (int i = 0; i < 50; ++i) {
+    conn.observe_packet(2, 1, "PSH+ACK", TimePoint::from_ns(10 + 2 * i));
+    conn.observe_packet(1, 2, "ACK", TimePoint::from_ns(11 + 2 * i));
+  }
+  EXPECT_EQ(conn.client().state(), "ESTABLISHED");
+  EXPECT_EQ(conn.server().state(), "ESTABLISHED");
+  const auto& stats = conn.server().finalize(TimePoint::from_ns(1000));
+  EXPECT_EQ(stats.at("ESTABLISHED").sent_by_type.at("PSH+ACK"), 50u);
+  EXPECT_EQ(stats.at("ESTABLISHED").received_by_type.at("ACK"), 50u);
+}
+
+TEST(DccpMachine, HandshakeWalk) {
+  ConnectionTracker conn(dccp_state_machine(), 1, 2, TimePoint::origin());
+  EXPECT_EQ(conn.client().state(), "CLOSED");
+  EXPECT_EQ(conn.server().state(), "LISTEN");
+  conn.observe_packet(1, 2, "DCCP-Request", TimePoint::from_ns(1));
+  EXPECT_EQ(conn.client().state(), "REQUEST");
+  EXPECT_EQ(conn.server().state(), "RESPOND");
+  conn.observe_packet(2, 1, "DCCP-Response", TimePoint::from_ns(2));
+  EXPECT_EQ(conn.client().state(), "PARTOPEN");
+  conn.observe_packet(1, 2, "DCCP-Ack", TimePoint::from_ns(3));
+  EXPECT_EQ(conn.server().state(), "OPEN");
+  conn.observe_packet(2, 1, "DCCP-Data", TimePoint::from_ns(4));
+  EXPECT_EQ(conn.client().state(), "OPEN");
+}
+
+TEST(DccpMachine, CloseHandshake) {
+  ConnectionTracker conn(dccp_state_machine(), 1, 2, TimePoint::origin());
+  conn.observe_packet(1, 2, "DCCP-Request", TimePoint::from_ns(1));
+  conn.observe_packet(2, 1, "DCCP-Response", TimePoint::from_ns(2));
+  conn.observe_packet(1, 2, "DCCP-Ack", TimePoint::from_ns(3));
+  conn.observe_packet(2, 1, "DCCP-Ack", TimePoint::from_ns(4));
+  EXPECT_EQ(conn.client().state(), "OPEN");
+  conn.observe_packet(1, 2, "DCCP-Close", TimePoint::from_ns(5));
+  EXPECT_EQ(conn.client().state(), "CLOSING");
+  EXPECT_EQ(conn.server().state(), "CLOSED");
+  conn.observe_packet(2, 1, "DCCP-Reset", TimePoint::from_ns(6));
+  EXPECT_EQ(conn.client().state(), "TIMEWAIT");
+  conn.client().advance_to(TimePoint::origin() + Duration::seconds(10.0));
+  EXPECT_EQ(conn.client().state(), "CLOSED");
+}
+
+TEST(DccpMachine, ResetInRequestState) {
+  // The REQUEST-state termination attack turns on this transition existing.
+  ConnectionTracker conn(dccp_state_machine(), 1, 2, TimePoint::origin());
+  conn.observe_packet(1, 2, "DCCP-Request", TimePoint::from_ns(1));
+  conn.observe_packet(2, 1, "DCCP-Reset", TimePoint::from_ns(2));
+  EXPECT_EQ(conn.client().state(), "CLOSED");
+}
+
+TEST(ConnectionTracker, IgnoresForeignPackets) {
+  ConnectionTracker conn(tcp_state_machine(), 1, 2, TimePoint::origin());
+  conn.observe_packet(7, 8, "SYN", TimePoint::from_ns(1));
+  EXPECT_EQ(conn.client().state(), "CLOSED");
+  EXPECT_EQ(conn.server().state(), "LISTEN");
+  EXPECT_EQ(conn.state_of(99), "?");
+}
+
+}  // namespace
+}  // namespace snake::statemachine

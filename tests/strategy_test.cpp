@@ -1,0 +1,189 @@
+// Strategy model, generator, and search-space model tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "packet/dccp_format.h"
+#include "packet/tcp_format.h"
+#include "statemachine/protocol_specs.h"
+#include "strategy/generator.h"
+#include "strategy/search_space.h"
+#include "strategy/strategy.h"
+
+namespace snake::strategy {
+namespace {
+
+using statemachine::EndpointTracker;
+using statemachine::TriggerKind;
+
+TEST(StrategyModel, DescribeIsInformative) {
+  Strategy s;
+  s.id = 7;
+  s.action = AttackAction::kLie;
+  s.packet_type = "ACK";
+  s.target_state = "ESTABLISHED";
+  s.direction = TrafficDirection::kClientToServer;
+  s.lie = LieSpec{"seq", LieSpec::Mode::kAdd, 1};
+  std::string d = s.describe();
+  EXPECT_NE(d.find("lie"), std::string::npos);
+  EXPECT_NE(d.find("seq+=1"), std::string::npos);
+  EXPECT_NE(d.find("ESTABLISHED"), std::string::npos);
+  EXPECT_NE(d.find("ACK"), std::string::npos);
+}
+
+EndpointTracker::Observation send_obs(const std::string& state, const std::string& type) {
+  return EndpointTracker::Observation{state, type, TriggerKind::kSend};
+}
+
+TEST(Generator, ObservationsYieldPerTypeStateStrategies) {
+  StrategyGenerator gen(packet::tcp_format(), statemachine::tcp_state_machine(),
+                        tcp_generator_config());
+  auto batch = gen.on_observations({send_obs("ESTABLISHED", "ACK")}, {});
+  ASSERT_FALSE(batch.empty());
+  // Parameter lists: 2 drop + 2 duplicate + 2 delay + 1 batch + 1 reflect
+  // + 7 lie modes x 9 non-checksum fields = 71.
+  EXPECT_EQ(batch.size(), 71u);
+  for (const Strategy& s : batch) {
+    EXPECT_EQ(s.target_state, "ESTABLISHED");
+    EXPECT_EQ(s.packet_type, "ACK");
+    EXPECT_EQ(s.direction, TrafficDirection::kClientToServer);
+  }
+}
+
+TEST(Generator, ServerObservationsTargetIngress) {
+  StrategyGenerator gen(packet::tcp_format(), statemachine::tcp_state_machine(),
+                        tcp_generator_config());
+  auto batch = gen.on_observations({}, {send_obs("ESTABLISHED", "PSH+ACK")});
+  ASSERT_FALSE(batch.empty());
+  for (const Strategy& s : batch)
+    EXPECT_EQ(s.direction, TrafficDirection::kServerToClient);
+}
+
+TEST(Generator, DuplicateObservationsGenerateNothing) {
+  // The feedback loop dedups (type, state) pairs — this is the paper's
+  // search-space reduction in action.
+  StrategyGenerator gen(packet::tcp_format(), statemachine::tcp_state_machine(),
+                        tcp_generator_config());
+  auto first = gen.on_observations({send_obs("ESTABLISHED", "ACK")}, {});
+  EXPECT_FALSE(first.empty());
+  auto second = gen.on_observations({send_obs("ESTABLISHED", "ACK")}, {});
+  EXPECT_TRUE(second.empty());
+  // A new state for the same type does generate new strategies.
+  auto third = gen.on_observations({send_obs("CLOSE_WAIT", "ACK")}, {});
+  EXPECT_FALSE(third.empty());
+}
+
+TEST(Generator, ReceiveObservationsIgnored) {
+  StrategyGenerator gen(packet::tcp_format(), statemachine::tcp_state_machine(),
+                        tcp_generator_config());
+  EndpointTracker::Observation rcv{"ESTABLISHED", "ACK", TriggerKind::kReceive};
+  EXPECT_TRUE(gen.on_observations({rcv}, {}).empty());
+}
+
+TEST(Generator, OffPathCoversEveryState) {
+  // "We also use the protocol state machine to ensure that we test all
+  // protocol states."
+  StrategyGenerator gen(packet::tcp_format(), statemachine::tcp_state_machine(),
+                        tcp_generator_config());
+  auto off = gen.off_path_strategies();
+  std::set<std::string> states;
+  for (const Strategy& s : off) {
+    ASSERT_TRUE(s.inject.has_value());
+    states.insert(s.target_state);
+    EXPECT_TRUE(s.action == AttackAction::kInject || s.action == AttackAction::kHitSeqWindow);
+  }
+  EXPECT_EQ(states.size(), statemachine::tcp_state_machine().states().size());
+  // 11 states x 6 types x 2 spoof-directions x 2 targets x (3 injects + 1 sweep)
+  EXPECT_EQ(off.size(), 11u * 6 * 2 * 2 * 4);
+}
+
+TEST(Generator, HitSeqWindowUsesReceiveWindowStride) {
+  StrategyGenerator gen(packet::tcp_format(), statemachine::tcp_state_machine(),
+                        tcp_generator_config());
+  for (const Strategy& s : gen.off_path_strategies()) {
+    if (s.action != AttackAction::kHitSeqWindow) continue;
+    EXPECT_EQ(s.inject->seq_stride, 65535u);
+    // Covers the whole 2^32 space: count * stride >= 2^32.
+    EXPECT_GE(s.inject->count * s.inject->seq_stride, 1ULL << 32);
+  }
+}
+
+TEST(Generator, DccpSweepIsCappedBecauseSpaceIsUnsweepable) {
+  StrategyGenerator gen(packet::dccp_format(), statemachine::dccp_state_machine(),
+                        dccp_generator_config());
+  for (const Strategy& s : gen.off_path_strategies()) {
+    if (s.action != AttackAction::kHitSeqWindow) continue;
+    EXPECT_LE(s.inject->count, dccp_generator_config().hitseq_max_packets);
+    // The cap means the sweep covers a vanishing fraction of 2^48 — these
+    // are the strategies behind the paper's DCCP false positives.
+    EXPECT_LT(s.inject->count * s.inject->seq_stride, 1ULL << 48);
+  }
+}
+
+TEST(Generator, InjectStrategiesCarryStructuralFields) {
+  StrategyGenerator tcp_gen(packet::tcp_format(), statemachine::tcp_state_machine(),
+                            tcp_generator_config());
+  for (const Strategy& s : tcp_gen.off_path_strategies())
+    EXPECT_EQ(s.inject->fields.at("data_offset"), 5u);
+  StrategyGenerator dccp_gen(packet::dccp_format(), statemachine::dccp_state_machine(),
+                             dccp_generator_config());
+  for (const Strategy& s : dccp_gen.off_path_strategies()) {
+    EXPECT_EQ(s.inject->fields.at("data_offset"), 6u);
+    EXPECT_EQ(s.inject->fields.at("x"), 1u);
+  }
+}
+
+TEST(Generator, IdsAreUnique) {
+  StrategyGenerator gen(packet::tcp_format(), statemachine::tcp_state_machine(),
+                        tcp_generator_config());
+  std::set<std::uint64_t> ids;
+  for (const Strategy& s : gen.off_path_strategies()) ids.insert(s.id);
+  auto more = gen.on_observations({send_obs("ESTABLISHED", "ACK")}, {});
+  for (const Strategy& s : more) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), gen.total_generated());
+}
+
+// ------------------------------------------------------------ search space
+
+TEST(SearchSpace, ReproducesPaperProjections) {
+  SearchSpaceInputs in;  // paper defaults
+  auto rows = search_space_comparison(in);
+  ASSERT_EQ(rows.size(), 3u);
+
+  // Time-interval-based: 12M injection points x 60 strategies = 720M;
+  // 24M compute hours; ~548 years at 5 executors.
+  EXPECT_EQ(rows[0].approach, "time-interval-based");
+  EXPECT_EQ(rows[0].strategies, 720'000'000u);
+  EXPECT_NEAR(rows[0].compute_hours, 24e6, 1e5);
+  EXPECT_NEAR(rows[0].wall_clock_days / 365.0, 548.0, 5.0);
+  EXPECT_TRUE(rows[0].supports_off_path);
+
+  // Send-packet-based: 13000 x 53 = 689k; ~23k hours; ~191 days.
+  EXPECT_EQ(rows[1].approach, "send-packet-based");
+  EXPECT_EQ(rows[1].strategies, 689'000u);
+  EXPECT_NEAR(rows[1].compute_hours, 22'967.0, 50.0);
+  EXPECT_NEAR(rows[1].wall_clock_days, 191.0, 2.0);
+  EXPECT_FALSE(rows[1].supports_off_path);
+
+  // Protocol-state-aware: ~6000 strategies, 200 compute hours.
+  EXPECT_EQ(rows[2].approach, "protocol-state-aware");
+  EXPECT_EQ(rows[2].strategies, 6000u);
+  EXPECT_LT(rows[2].compute_hours, 300.0);
+  EXPECT_TRUE(rows[2].supports_off_path);
+
+  // The reduction spans orders of magnitude.
+  EXPECT_GT(rows[0].strategies / rows[2].strategies, 100'000u);
+  EXPECT_GT(rows[1].strategies / rows[2].strategies, 100u);
+}
+
+TEST(SearchSpace, ScalesWithInputs) {
+  SearchSpaceInputs in;
+  in.state_based_strategies = 3000;
+  in.parallel_executors = 10;
+  auto rows = search_space_comparison(in);
+  EXPECT_EQ(rows[2].strategies, 3000u);
+  EXPECT_NEAR(rows[2].compute_hours, 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace snake::strategy

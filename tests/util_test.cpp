@@ -1,0 +1,195 @@
+// Unit tests for src/util: time, rng, bytes, checksum, strings.
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/checksum.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/time.h"
+
+namespace snake {
+namespace {
+
+TEST(Duration, ConversionsAndArithmetic) {
+  EXPECT_EQ(Duration::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::millis(3).ns(), 3'000'000);
+  EXPECT_EQ(Duration::micros(7).ns(), 7'000);
+  EXPECT_EQ((Duration::millis(2) + Duration::millis(3)).ns(), Duration::millis(5).ns());
+  EXPECT_EQ((Duration::millis(5) - Duration::millis(3)).ns(), Duration::millis(2).ns());
+  EXPECT_EQ((Duration::millis(5) * 2).ns(), Duration::millis(10).ns());
+  EXPECT_EQ((Duration::millis(10) / 2).ns(), Duration::millis(5).ns());
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_TRUE(Duration::zero().is_zero());
+}
+
+TEST(TimePoint, Arithmetic) {
+  TimePoint t = TimePoint::origin() + Duration::seconds(2.0);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 2.0);
+  TimePoint u = t + Duration::millis(500);
+  EXPECT_EQ((u - t).ns(), Duration::millis(500).ns());
+  EXPECT_GT(u, t);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.uniform(5, 10);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(123);
+  int hits = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i)
+    if (rng.chance(0.3)) ++hits;
+  double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  // Streams should differ in their next values (overwhelmingly likely).
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    if (parent.next_u64() != child.next_u64()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u48(0x123456789ABCULL);
+  w.u64(0x0102030405060708ULL);
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u48(), 0x123456789ABCULL);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderThrowsOnTruncation) {
+  Bytes buf = {0x01, 0x02};
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+TEST(Bytes, BigEndianOrder) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u16(0x0102);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Bits, ReadWriteAligned) {
+  Bytes buf(4, 0);
+  write_bits(buf, 0, 16, 0xABCD);
+  EXPECT_EQ(read_bits(buf, 0, 16), 0xABCDu);
+  write_bits(buf, 16, 16, 0x1234);
+  EXPECT_EQ(read_bits(buf, 16, 16), 0x1234u);
+  EXPECT_EQ(read_bits(buf, 0, 16), 0xABCDu);  // unchanged
+}
+
+TEST(Bits, ReadWriteUnaligned) {
+  Bytes buf(4, 0);
+  write_bits(buf, 3, 7, 0x55);
+  EXPECT_EQ(read_bits(buf, 3, 7), 0x55u);
+  // Neighbors untouched.
+  EXPECT_EQ(read_bits(buf, 0, 3), 0u);
+  EXPECT_EQ(read_bits(buf, 10, 22), 0u);
+}
+
+TEST(Bits, ValueTruncatedToWidth) {
+  Bytes buf(2, 0);
+  write_bits(buf, 0, 4, 0xFF);  // only low 4 bits fit
+  EXPECT_EQ(read_bits(buf, 0, 4), 0xFu);
+  EXPECT_EQ(read_bits(buf, 4, 4), 0u);
+}
+
+TEST(Bits, OutOfRangeThrows) {
+  Bytes buf(2, 0);
+  EXPECT_THROW(read_bits(buf, 8, 16), std::out_of_range);
+  EXPECT_THROW(write_bits(buf, 0, 65, 0), std::out_of_range);
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // RFC 1071 example bytes: 00 01 f2 03 f4 f5 f6 f7 -> one's-complement sum
+  // 0xddf2, so the checksum (its complement) is 0x220d.
+  Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, EmbeddedRoundTrip) {
+  Bytes data = {0x12, 0x34, 0x00, 0x00, 0x56, 0x78, 0x9a};  // odd length
+  fill_embedded_checksum(data, 2);
+  EXPECT_TRUE(verify_embedded_checksum(data, 2));
+  data[6] ^= 0xFF;  // corrupt
+  EXPECT_FALSE(verify_embedded_checksum(data, 2));
+}
+
+TEST(Checksum, FillIsIdempotent) {
+  Bytes data(12, 0xA7);
+  fill_embedded_checksum(data, 4);
+  Bytes once = data;
+  fill_embedded_checksum(data, 4);
+  EXPECT_EQ(data, once);
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Predicates) {
+  EXPECT_TRUE(starts_with("snake", "sna"));
+  EXPECT_FALSE(starts_with("sn", "snake"));
+  EXPECT_TRUE(ends_with("snake", "ake"));
+  EXPECT_FALSE(ends_with("ke", "snake"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(str_format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format_seconds(1.5), "1.500000s");
+}
+
+TEST(Hex, Dump) {
+  EXPECT_EQ(to_hex({0xde, 0xad}), "de ad");
+  EXPECT_EQ(to_hex({}), "");
+}
+
+}  // namespace
+}  // namespace snake
