@@ -1,6 +1,13 @@
 // Table I reproduction: full SNAKE campaigns against each implementation.
 //
 //   bench_table1 [--full] [--cap N] [--duration SECONDS] [--executors N]
+//                [--json PATH]
+//
+// --json records the whole bench trajectory as a structured report (schema
+// "snake-bench-table1/v1"): run configuration plus one full campaign report
+// per implementation — Table-I columns, every outcome with detection ratios
+// and signature, and the merged metrics snapshot (per-stage wall-clock
+// timings, per-attack-action counts, scheduler/link/tracker counters).
 //
 // The default is a bounded campaign (250 strategies per implementation,
 // 10 s virtual tests, partial hitseqwindow sweeps) sized for a laptop core;
@@ -21,6 +28,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/json.h"
 #include "snake/controller.h"
 #include "strategy/generator.h"
 #include "tcp/profile.h"
@@ -34,6 +42,7 @@ int main(int argc, char** argv) {
   double duration = 10.0;
   unsigned hc = std::thread::hardware_concurrency();
   int executors = hc > 4 ? static_cast<int>(hc) - 2 : 2;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--full")) {
       cap = 0;         // every generated strategy
@@ -45,6 +54,8 @@ int main(int argc, char** argv) {
       duration = std::strtod(argv[++i], nullptr);
     } else if (!std::strcmp(argv[i], "--executors") && i + 1 < argc) {
       executors = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
     }
   }
 
@@ -81,6 +92,31 @@ int main(int argc, char** argv) {
     std::printf("  %s (%s):\n", r.implementation.c_str(),
                 r.protocol == Protocol::kTcp ? "TCP" : "DCCP");
     for (const std::string& sig : r.unique_signatures) std::printf("    %s\n", sig.c_str());
+  }
+
+  if (json_path != nullptr) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("snake-bench-table1/v1");
+    w.key("config").begin_object();
+    w.key("cap").value(cap);
+    w.key("hitseq_cap").value(hitseq_cap);
+    w.key("duration_seconds").value(duration);
+    w.key("executors").value(executors);
+    w.end_object();
+    w.key("campaigns").begin_array();
+    for (const CampaignResult& r : results) w.raw(r.to_json());
+    w.end_array();
+    w.end_object();
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote JSON report to %s\n", json_path);
   }
   return 0;
 }

@@ -1,9 +1,17 @@
 // Table II reproduction: every attack SNAKE discovered, executed end to end
 // against the implementation profiles the paper lists, with the measured
 // impact next to the paper's description.
+//
+//   bench_table2 [--json PATH]
+//
+// --json records every row as a structured report ("snake-bench-table2/v1")
+// so bench trajectories can be diffed across revisions.
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "obs/json.h"
 #include "packet/dccp_format.h"
 #include "packet/tcp_format.h"
 #include "sim/network.h"
@@ -40,9 +48,20 @@ ScenarioConfig dccp_config() {
   return c;
 }
 
+struct RowRecord {
+  std::string protocol;
+  std::string attack;
+  std::string impact;
+  std::string known;
+  std::string result;
+};
+
+std::vector<RowRecord> collected_rows;
+
 void row(const char* protocol, const char* attack, const char* impact, const char* known,
          const std::string& result) {
   std::printf("%-5s %-38s %-22s %-9s %s\n", protocol, attack, impact, known, result.c_str());
+  collected_rows.push_back(RowRecord{protocol, attack, impact, known, result});
 }
 
 std::string ratio_str(double r) {
@@ -253,7 +272,11 @@ void dccp_request_termination() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) json_path = argv[++i];
+
   std::printf("== Table II: attacks discovered by SNAKE, re-executed ==\n\n");
   std::printf("%-5s %-38s %-22s %-9s %s\n", "Proto", "Attack", "Impact", "Known",
               "Measured in this reproduction");
@@ -267,5 +290,32 @@ int main() {
   dccp_ack_mung();
   dccp_inwindow_ack_mod();
   dccp_request_termination();
+
+  if (json_path != nullptr) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("snake-bench-table2/v1");
+    w.key("rows").begin_array();
+    for (const RowRecord& r : collected_rows) {
+      w.begin_object();
+      w.key("protocol").value(r.protocol);
+      w.key("attack").value(r.attack);
+      w.key("impact").value(r.impact);
+      w.key("known").value(r.known);
+      w.key("measured").value(r.result);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote JSON report to %s\n", json_path);
+  }
   return 0;
 }

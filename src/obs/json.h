@@ -1,0 +1,86 @@
+// Minimal JSON support for the observability layer: a streaming writer used
+// to emit campaign/bench reports, and a small recursive-descent parser used
+// by tests and tooling to validate those reports. No external dependencies —
+// the reports must be writable from any layer of the system.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snake::obs {
+
+/// Escapes a string for inclusion in a JSON string literal (no quotes added).
+std::string json_escape(std::string_view text);
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.begin_object().key("n").value(3).key("xs").begin_array()
+///    .value(1).value(2).end_array().end_object();
+///   std::string doc = w.take();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null_value();
+
+  /// Embeds a pre-rendered JSON document as one value (no validation).
+  JsonWriter& raw(std::string_view pre_rendered);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< one flag per open container
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value. Numbers are kept as double (sufficient for reports).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> array_v;
+  std::map<std::string, JsonValue> object_v;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& k) const;
+  double number_or(double fallback) const { return is_number() ? num_v : fallback; }
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, nothing
+/// else). Returns nullopt on malformed input; `error`, when given, receives
+/// a byte offset + message.
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error = nullptr);
+
+}  // namespace snake::obs

@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace snake::obs {
+
+void Histogram::record(double v) {
+  if (counts.empty()) counts.assign(bounds.size() + 1, 0);
+  std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds.begin(), bounds.end(), v) -
+                               bounds.begin());
+  ++counts[bucket];
+  ++count;
+  sum += v;
+  min = std::min(min, v);
+  max = std::max(max, v);
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count == 0) return;
+  if (count == 0 && counts.empty()) {
+    *this = other;
+    return;
+  }
+  if (bounds == other.bounds) {
+    if (counts.empty()) counts.assign(bounds.size() + 1, 0);
+    for (std::size_t i = 0; i < counts.size() && i < other.counts.size(); ++i)
+      counts[i] += other.counts[i];
+  } else {
+    // Bucket layouts differ (shouldn't happen for same-named metrics); fold
+    // the other side's summary in so totals stay right, buckets best-effort.
+    if (counts.empty()) counts.assign(bounds.size() + 1, 0);
+    counts.back() += other.count;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+const std::vector<double>& default_time_bounds() {
+  static const std::vector<double> kBounds = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                                              0.1,  0.3,  1.0,  3.0,  10.0, 30.0};
+  return kBounds;
+}
+
+std::uint64_t& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) it = counters_.emplace(std::string(name), 0).first;
+  return it->second;
+}
+
+double& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.emplace(std::string(name), 0.0).first;
+  return it->second;
+}
+
+void MetricsRegistry::gauge_max(std::string_view name, double v) {
+  double& g = gauge(name);
+  g = std::max(g, v);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<double>& bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram h;
+    h.bounds = bounds;
+    h.counts.assign(h.bounds.size() + 1, 0);
+    it = histograms_.emplace(std::string(name), std::move(h)).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counter(name) += v;
+  for (const auto& [name, v] : other.gauges_) gauge_max(name, v);
+  for (const auto& [name, h] : other.histograms_) histogram(name, h.bounds).merge_from(h);
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters_) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges_) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    if (h.count > 0) {
+      w.key("min").value(h.min);
+      w.key("max").value(h.max);
+    }
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      w.begin_object();
+      w.key("le");
+      if (i < h.bounds.size())
+        w.value(h.bounds[i]);
+      else
+        w.null_value();  // +inf tail bucket
+      w.key("count").value(h.counts[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+double ScopedTimer::stop() {
+  if (registry_ == nullptr) return 0.0;
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  registry_->histogram(name_).record(elapsed);
+  registry_ = nullptr;
+  return elapsed;
+}
+
+}  // namespace snake::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace snake::proxy {
@@ -340,6 +341,22 @@ void AttackProxy::inject_one(const Armed& armed, std::uint64_t sweep_index) {
   node_.inject_packet(std::move(forged),
                       local_delivery ? sim::FilterDirection::kIngress
                                      : sim::FilterDirection::kEgress);
+}
+
+void AttackProxy::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("proxy.intercepted") += stats_.intercepted;
+  registry.counter("proxy.matched") += stats_.matched;
+  registry.counter("proxy.action.dropped") += stats_.dropped;
+  registry.counter("proxy.action.duplicates_created") += stats_.duplicates_created;
+  registry.counter("proxy.action.delayed") += stats_.delayed;
+  registry.counter("proxy.action.batched") += stats_.batched;
+  registry.counter("proxy.action.reflected") += stats_.reflected;
+  registry.counter("proxy.action.modified") += stats_.modified;
+  registry.counter("proxy.action.injected") += stats_.injected;
+  registry.counter("tracker.client.transitions") += tracker_.client().transitions();
+  registry.counter("tracker.client.unknown_packets") += tracker_.client().unknown_packets();
+  registry.counter("tracker.server.transitions") += tracker_.server().transitions();
+  registry.counter("tracker.server.unknown_packets") += tracker_.server().unknown_packets();
 }
 
 }  // namespace snake::proxy

@@ -31,6 +31,10 @@
 #include "strategy/strategy.h"
 #include "util/rng.h"
 
+namespace snake::obs {
+class MetricsRegistry;
+}
+
 namespace snake::proxy {
 
 /// Addresses and ports of the two connections in the test topology.
@@ -90,6 +94,10 @@ class AttackProxy : public sim::PacketFilter {
   const ProxyStats& stats() const { return stats_; }
   const statemachine::ConnectionTracker& tracker() const { return tracker_; }
   statemachine::ConnectionTracker& tracker() { return tracker_; }
+
+  /// Dumps per-basic-attack action counts ("proxy.*") and state-tracker
+  /// counters ("tracker.*") into the registry.
+  void export_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   struct Armed {

@@ -1,7 +1,9 @@
 #include "sim/link.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace snake::sim {
@@ -32,6 +34,7 @@ void Link::send(Packet packet) {
       return;
     }
     queue_.push_back(std::move(packet));
+    queue_highwater_ = std::max(queue_highwater_, queue_depth());
     return;
   }
   start_transmission(std::move(packet));
@@ -39,6 +42,7 @@ void Link::send(Packet packet) {
 
 void Link::start_transmission(Packet packet) {
   busy_ = true;
+  queue_highwater_ = std::max(queue_highwater_, queue_depth());
   Duration tx = serialization_time(packet);
   ++packets_sent_;
   bytes_sent_ += packet.wire_size();
@@ -56,6 +60,14 @@ void Link::transmission_complete() {
     queue_.pop_front();
     start_transmission(std::move(next));
   }
+}
+
+void Link::export_metrics(obs::MetricsRegistry& registry) const {
+  const std::string prefix = "link." + config_.name + ".";
+  registry.counter(prefix + "packets_forwarded") += packets_sent_;
+  registry.counter(prefix + "packets_dropped") += packets_dropped_;
+  registry.counter(prefix + "bytes_forwarded") += bytes_sent_;
+  registry.gauge_max(prefix + "queue_highwater", static_cast<double>(queue_highwater_));
 }
 
 Duration Link::serialization_time(const Packet& packet) const {

@@ -12,6 +12,10 @@
 #include "util/rng.h"
 #include "util/time.h"
 
+namespace snake::obs {
+class MetricsRegistry;
+}
+
 namespace snake::sim {
 
 class Node;
@@ -48,6 +52,12 @@ class Link {
   std::uint64_t packets_dropped() const { return packets_dropped_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  /// Deepest the queue (including the packet in serialization) ever got.
+  std::size_t queue_highwater() const { return queue_highwater_; }
+
+  /// Dumps link counters into the registry as "link.<name>.*" (packets
+  /// forwarded/dropped, bytes, queue high-watermark).
+  void export_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   void start_transmission(Packet packet);
@@ -63,6 +73,7 @@ class Link {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::size_t queue_highwater_ = 0;
 };
 
 }  // namespace snake::sim

@@ -2,12 +2,15 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace snake::sim {
 
 Timer Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
   if (at < now_) at = now_;
   auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), alive});
+  queue_.push(Entry{at, next_seq_++,
+                    std::make_shared<std::function<void()>>(std::move(fn)), alive});
   return Timer(std::move(alive));
 }
 
@@ -15,13 +18,15 @@ void Scheduler::run_until(TimePoint until) {
   while (!queue_.empty()) {
     const Entry& top = queue_.top();
     if (top.at > until) break;
-    Entry entry{top.at, top.seq, std::move(const_cast<Entry&>(top).fn), top.alive};
+    Entry entry = top;  // copies the shared handles; the queue stays intact
     queue_.pop();
     now_ = entry.at;
     if (*entry.alive) {
       *entry.alive = false;
       ++executed_;
-      entry.fn();
+      (*entry.fn)();
+    } else {
+      ++cancelled_;
     }
   }
   // Advance the clock to the horizon so "run for N seconds" works even when
@@ -30,5 +35,11 @@ void Scheduler::run_until(TimePoint until) {
 }
 
 void Scheduler::run_all() { run_until(TimePoint::max()); }
+
+void Scheduler::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("sim.events_executed") += executed_;
+  registry.counter("sim.events_cancelled") += cancelled_;
+  registry.gauge_max("sim.virtual_time_seconds", now_.to_seconds());
+}
 
 }  // namespace snake::sim

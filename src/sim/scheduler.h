@@ -15,6 +15,10 @@
 
 #include "util/time.h"
 
+namespace snake::obs {
+class MetricsRegistry;
+}
+
 namespace snake::sim {
 
 /// Cancellable handle to a scheduled event. Copies share the same underlying
@@ -55,12 +59,21 @@ class Scheduler {
 
   bool empty() const { return queue_.empty(); }
   std::uint64_t events_executed() const { return executed_; }
+  /// Events popped whose timer had been cancelled before they fired.
+  std::uint64_t events_cancelled() const { return cancelled_; }
+
+  /// Dumps scheduler counters (events executed/cancelled, virtual time
+  /// advanced) into the registry under the "sim." prefix.
+  void export_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   struct Entry {
     TimePoint at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    // Shared (not inline) so entries can be copied out of priority_queue's
+    // const top() without const_cast tricks — mutating top() through
+    // const_cast was undefined behaviour (see tests/sim_test.cpp regression).
+    std::shared_ptr<std::function<void()>> fn;
     std::shared_ptr<bool> alive;
     bool operator>(const Entry& o) const {
       if (at != o.at) return at > o.at;
@@ -72,6 +85,7 @@ class Scheduler {
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
 };
 
 }  // namespace snake::sim

@@ -8,6 +8,7 @@
 #include <set>
 #include <thread>
 
+#include "obs/json.h"
 #include "packet/dccp_format.h"
 #include "packet/tcp_format.h"
 #include "statemachine/protocol_specs.h"
@@ -27,6 +28,47 @@ const statemachine::StateMachine& machine_for(Protocol protocol) {
                                     : statemachine::dccp_state_machine();
 }
 
+/// Tallies *why* a run was flagged, using the same threshold detection used.
+/// The reason strings in Detection are for humans; these counters are the
+/// machine-readable aggregate.
+void count_detection_reasons(obs::MetricsRegistry* reg, const Detection& d,
+                             double threshold) {
+  if (reg == nullptr || !d.is_attack) return;
+  if (d.target_ratio <= threshold) ++reg->counter("campaign.reason.target_throughput_down");
+  if (d.target_ratio >= 1.0 + threshold)
+    ++reg->counter("campaign.reason.target_throughput_up");
+  if (d.competing_ratio <= threshold)
+    ++reg->counter("campaign.reason.competing_throughput_down");
+  if (d.competing_ratio >= 1.0 + threshold)
+    ++reg->counter("campaign.reason.competing_throughput_up");
+  if (d.resource_exhaustion) ++reg->counter("campaign.reason.resource_exhaustion");
+}
+
+void write_detection_json(obs::JsonWriter& w, const Detection& d) {
+  w.begin_object();
+  w.key("is_attack").value(d.is_attack);
+  w.key("target_ratio").value(d.target_ratio);
+  w.key("competing_ratio").value(d.competing_ratio);
+  w.key("resource_exhaustion").value(d.resource_exhaustion);
+  w.key("reasons").begin_array();
+  for (const std::string& r : d.reasons) w.value(r);
+  w.end_array();
+  w.end_object();
+}
+
+void write_baseline_json(obs::JsonWriter& w, const RunMetrics& m) {
+  w.begin_object();
+  w.key("target_bytes").value(m.target_bytes);
+  w.key("competing_bytes").value(m.competing_bytes);
+  w.key("target_established").value(m.target_established);
+  w.key("competing_established").value(m.competing_established);
+  w.key("target_reset").value(m.target_reset);
+  w.key("competing_reset").value(m.competing_reset);
+  w.key("server1_stuck_sockets").value(static_cast<std::uint64_t>(m.server1_stuck_sockets));
+  w.key("server2_stuck_sockets").value(static_cast<std::uint64_t>(m.server2_stuck_sockets));
+  w.end_object();
+}
+
 }  // namespace
 
 std::string table1_header() {
@@ -44,10 +86,65 @@ std::string CampaignResult::summary_row() const {
                     (unsigned long long)unique_true_attacks);
 }
 
+std::string CampaignResult::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("snake-campaign-report/v1");
+  w.key("protocol").value(to_string(protocol));
+  w.key("implementation").value(implementation);
+  w.key("table1").begin_object();
+  w.key("strategies_tried").value(strategies_tried);
+  w.key("attack_strategies_found").value(attack_strategies_found);
+  w.key("on_path").value(on_path);
+  w.key("false_positives").value(false_positives);
+  w.key("true_attack_strategies").value(true_attack_strategies);
+  w.key("unique_true_attacks").value(unique_true_attacks);
+  w.end_object();
+  w.key("baseline");
+  write_baseline_json(w, baseline);
+  w.key("outcomes").begin_array();
+  for (const StrategyOutcome& o : found) {
+    w.begin_object();
+    w.key("strategy").value(o.strat.describe());
+    w.key("class").value(to_string(o.cls));
+    w.key("signature").value(o.signature);
+    w.key("detection");
+    write_detection_json(w, o.detection);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("unique_signatures").begin_array();
+  for (const std::string& sig : unique_signatures) w.value(sig);
+  w.end_array();
+  w.key("combinations").begin_object();
+  w.key("tried").value(combinations_tried);
+  w.key("stronger_than_parts").value(combinations_stronger);
+  w.key("pairs").begin_array();
+  for (const CombinedOutcome& c : combined) {
+    w.begin_object();
+    w.key("first").value(c.first.describe());
+    w.key("second").value(c.second.describe());
+    w.key("impact_score").value(c.impact_score);
+    w.key("best_single_score").value(c.best_single_score);
+    w.key("stronger_than_parts").value(c.stronger_than_parts);
+    w.key("detection");
+    write_detection_json(w, c.detection);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("metrics");
+  metrics.write_json(w);
+  w.end_object();
+  return w.take();
+}
+
 CampaignResult run_campaign(const CampaignConfig& config) {
   const packet::HeaderFormat& format = format_for(config.scenario.protocol);
   const statemachine::StateMachine& machine = machine_for(config.scenario.protocol);
   strategy::StrategyGenerator generator(format, machine, config.generator);
+  const double threshold = config.detect_threshold;
+  const int n = std::max(1, config.executors);
 
   CampaignResult result;
   result.protocol = config.scenario.protocol;
@@ -55,11 +152,25 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                               ? config.scenario.tcp_profile.name
                               : "linux-3.13";
 
+  // Per-executor registries plus one for the main thread (baselines and the
+  // combination phase); merged into result.metrics at the end so the sim
+  // hot path never shares a metrics slot across threads.
+  obs::MetricsRegistry main_registry;
+  std::vector<obs::MetricsRegistry> executor_registries(static_cast<std::size_t>(n));
+  obs::MetricsRegistry* main_reg = config.collect_metrics ? &main_registry : nullptr;
+
   // Non-attack baselines, one per seed used ("runs a non-attack test").
-  ScenarioConfig retest_scenario = config.scenario;
+  ScenarioConfig base_scenario = config.scenario;
+  base_scenario.metrics = main_reg;
+  ScenarioConfig retest_scenario = base_scenario;
   retest_scenario.seed += config.retest_seed_offset;
-  RunMetrics baseline = run_scenario(config.scenario, std::nullopt);
-  RunMetrics retest_baseline = run_scenario(retest_scenario, std::nullopt);
+  RunMetrics baseline;
+  RunMetrics retest_baseline;
+  {
+    obs::ScopedTimer timer(main_reg, "campaign.baseline_seconds");
+    baseline = run_scenario(base_scenario, std::nullopt);
+    retest_baseline = run_scenario(retest_scenario, std::nullopt);
+  }
   result.baseline = baseline;
 
   // Work queue, fed up front with every off-path strategy and incrementally
@@ -93,7 +204,13 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     enqueue(generator.off_path_strategies());
   }
 
-  auto worker = [&] {
+  auto worker = [&](obs::MetricsRegistry* reg) {
+    // Thread-private scenario configs pointing at this executor's registry.
+    ScenarioConfig run_config = config.scenario;
+    run_config.metrics = reg;
+    ScenarioConfig retest_config = run_config;
+    retest_config.seed += config.retest_seed_offset;
+
     while (true) {
       strategy::Strategy strat;
       {
@@ -117,24 +234,37 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         ++active;
       }
 
-      RunMetrics run = run_scenario(config.scenario, strat);
-      Detection first = detect(baseline, run);
+      obs::ScopedTimer strategy_timer(reg, "campaign.strategy_seconds");
+      RunMetrics run = run_scenario(run_config, strat);
+      Detection first = detect(baseline, run, threshold);
+      count_detection_reasons(reg, first, threshold);
 
       std::optional<StrategyOutcome> outcome;
       if (first.is_attack) {
+        if (reg != nullptr) ++reg->counter("campaign.detected_first_pass");
         // Repeatability check under a different seed.
-        RunMetrics again = run_scenario(retest_scenario, strat);
-        Detection second = detect(retest_baseline, again);
+        obs::ScopedTimer retest_timer(reg, "campaign.retest_seconds");
+        RunMetrics again = run_scenario(retest_config, strat);
+        Detection second = detect(retest_baseline, again, threshold);
         if (second.is_attack) {
+          if (reg != nullptr) ++reg->counter("campaign.retest_confirmed");
           StrategyOutcome o;
           o.strat = strat;
           o.detection = first;
           o.cls = classify(strat, format, first, run);
-          o.signature = attack_signature(strat, format, first, run);
+          o.signature = attack_signature(strat, format, first, run, threshold);
           outcome = std::move(o);
+        } else if (reg != nullptr) {
+          ++reg->counter("campaign.retest_rejected");
         }
       }
+      strategy_timer.stop();
 
+      // Commit under the lock, but snapshot the progress numbers and leave
+      // before invoking the user callback: a callback that blocks (or
+      // re-enters campaign-adjacent locks) must not stall the whole pool.
+      std::uint64_t progress_done = 0;
+      std::uint64_t progress_total = 0;
       {
         std::lock_guard<std::mutex> lock(mutex);
         ++completed;
@@ -144,16 +274,20 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         enqueue(generator.on_observations(run.client_observations,
                                           run.server_observations));
         if (outcome.has_value()) result.found.push_back(std::move(*outcome));
-        if (config.on_progress) config.on_progress(completed, queued_total);
+        progress_done = completed;
+        progress_total = queued_total;
       }
       cv.notify_all();
+      if (config.on_progress) config.on_progress(progress_done, progress_total);
     }
   };
 
   std::vector<std::thread> threads;
-  int n = std::max(1, config.executors);
   threads.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) threads.emplace_back(worker);
+  for (int i = 0; i < n; ++i)
+    threads.emplace_back(worker, config.collect_metrics
+                                     ? &executor_registries[static_cast<std::size_t>(i)]
+                                     : nullptr);
   for (auto& t : threads) t.join();
 
   result.strategies_tried = started;
@@ -180,6 +314,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   // ---- Combination phase (optional): pair the strongest distinct true
   // attacks and test whether any pair beats both of its components.
   if (config.combine_top >= 2 && !result.found.empty()) {
+    obs::ScopedTimer combine_timer(main_reg, "campaign.combination_seconds");
     std::vector<const StrategyOutcome*> ranked;
     std::set<std::string> taken;
     for (const StrategyOutcome& o : result.found)
@@ -197,8 +332,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     for (std::size_t i = 0; i < top.size(); ++i) {
       for (std::size_t j = i + 1; j < top.size(); ++j) {
         std::vector<strategy::Strategy> pair = {top[i]->strat, top[j]->strat};
-        RunMetrics run = run_scenario(config.scenario, pair);
-        Detection d = detect(baseline, run);
+        RunMetrics run = run_scenario(base_scenario, pair);
+        Detection d = detect(baseline, run, threshold);
+        count_detection_reasons(main_reg, d, threshold);
         ++result.combinations_tried;
         CombinedOutcome c;
         c.first = top[i]->strat;
@@ -212,6 +348,14 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         result.combined.push_back(std::move(c));
       }
     }
+  }
+
+  if (config.collect_metrics) {
+    result.metrics.merge_from(main_registry);
+    for (const obs::MetricsRegistry& reg : executor_registries)
+      result.metrics.merge_from(reg);
+    result.metrics.counter("campaign.strategies_tried") += result.strategies_tried;
+    result.metrics.gauge("campaign.detect_threshold") = threshold;
   }
   return result;
 }

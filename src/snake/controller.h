@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "snake/detector.h"
 #include "snake/scenario.h"
 #include "strategy/generator.h"
@@ -34,7 +35,25 @@ struct CampaignConfig {
   /// strongest distinct true-attack strategies and test each pair as a
   /// combined strategy. 0 disables the phase.
   std::size_t combine_top = 0;
-  /// Progress callback (strategies completed, total queued so far).
+
+  /// Detection threshold: a run is flagged when a throughput ratio leaves
+  /// [threshold, 1 + threshold] (the paper's "at least 50%" criterion at the
+  /// default). Used consistently by detection *and* signature/effect
+  /// classification.
+  double detect_threshold = 0.5;
+
+  /// When true (default), the campaign records counters, stage timings and
+  /// per-attack-action counts into CampaignResult::metrics. Each executor
+  /// thread writes to a private registry, merged after the pool joins, so
+  /// the sim hot path never takes a lock. Instrumentation does not perturb
+  /// results: identical seeds give identical outcomes either way (enforced
+  /// by the determinism test in observability_test.cpp).
+  bool collect_metrics = true;
+
+  /// Progress callback (strategies completed, total queued so far). Invoked
+  /// from executor threads *without* any campaign lock held, so it may
+  /// block or call back into campaign-adjacent code without stalling or
+  /// deadlocking the pool; it must be thread-safe.
   std::function<void(std::uint64_t, std::uint64_t)> on_progress;
 };
 
@@ -78,8 +97,19 @@ struct CampaignResult {
 
   RunMetrics baseline;
 
+  /// Campaign observability: merged per-executor registries (stage timings,
+  /// scheduler/link/proxy/tracker counters, retest outcomes, detection
+  /// reasons). Empty when CampaignConfig::collect_metrics was false.
+  obs::MetricsRegistry metrics;
+
   /// Renders a Table-I-style row.
   std::string summary_row() const;
+
+  /// Structured machine-readable report: Table-I columns, baseline metrics,
+  /// every outcome with detection ratios + signature, combination-phase
+  /// results, and the full metrics snapshot. Schema tag:
+  /// "snake-campaign-report/v1" (see observability_test.cpp).
+  std::string to_json() const;
 };
 
 /// Runs a full campaign for one implementation.

@@ -95,24 +95,30 @@ AttackClass classify(const strategy::Strategy& s, const packet::HeaderFormat& fo
 
 namespace {
 /// What the strategy actually did — the coarse grouping the paper reaches by
-/// inspecting each finding ("functionally the same attack").
+/// inspecting each finding ("functionally the same attack"). The ratio
+/// cut-offs are the *same* configurable threshold detection uses: with a
+/// hardcoded 0.5 here, a campaign run at a different threshold could detect
+/// an attack this function then couldn't attribute to a throughput effect.
 std::string effect_class(const strategy::Strategy& s, const Detection& detection,
-                         const RunMetrics& run) {
+                         const RunMetrics& run, double threshold) {
+  double low = threshold;
+  double high = 1.0 + threshold;
   bool competing_target =
       s.inject.has_value() ? s.inject->target_competing : false;
   if (detection.resource_exhaustion) return "server-resource-exhaustion";
   if (competing_target ? run.competing_reset : run.target_reset) return "connection-reset";
   if (!run.target_established && !competing_target) return "establishment-prevented";
   if (!run.competing_established && competing_target) return "establishment-prevented";
-  if (detection.target_ratio >= 1.5) return "fairness-gain";
-  if (detection.target_ratio <= 0.5 && !competing_target) return "throughput-degradation";
-  if (detection.competing_ratio <= 0.5) return "competing-degradation";
+  if (detection.target_ratio >= high) return "fairness-gain";
+  if (detection.target_ratio <= low && !competing_target) return "throughput-degradation";
+  if (detection.competing_ratio <= low) return "competing-degradation";
   return "performance-shift";
 }
 }  // namespace
 
 std::string attack_signature(const strategy::Strategy& s, const packet::HeaderFormat& format,
-                             const Detection& detection, const RunMetrics& run) {
+                             const Detection& detection, const RunMetrics& run,
+                             double threshold) {
   using strategy::AttackAction;
   std::string sig = to_string(s.action);
   sig += "/";
@@ -141,7 +147,8 @@ std::string attack_signature(const strategy::Strategy& s, const packet::HeaderFo
       sig += s.duplicate_count >= 3 ? "/burst" : "/light";
       break;
   }
-  sig += "=" + effect_class(s, detection, run);
+  sig += '=';
+  sig += effect_class(s, detection, run, threshold);
   return sig;
 }
 

@@ -63,8 +63,11 @@ AttackClass classify(const strategy::Strategy& s, const packet::HeaderFormat& fo
 /// fold by mechanism (action, direction, field kind / packet type) and by
 /// observed effect (reset, resource exhaustion, establishment prevention,
 /// throughput shift) — the automated stand-in for the paper's manual
-/// "functionally the same attack" analysis.
+/// "functionally the same attack" analysis. `threshold` must match the one
+/// given to detect(): the effect grouping uses the same ratio cut-offs, so
+/// a detected attack always lands in a concrete effect class.
 std::string attack_signature(const strategy::Strategy& s, const packet::HeaderFormat& format,
-                             const Detection& detection, const RunMetrics& run);
+                             const Detection& detection, const RunMetrics& run,
+                             double threshold = 0.5);
 
 }  // namespace snake::core

@@ -5,6 +5,7 @@
 #include "apps/bulk_http.h"
 #include "apps/iperf_dccp.h"
 #include "dccp/stack.h"
+#include "obs/metrics.h"
 #include "packet/dccp_format.h"
 #include "packet/tcp_format.h"
 #include "statemachine/protocol_specs.h"
@@ -54,8 +55,25 @@ RunMetrics finish_metrics(proxy::AttackProxy& attack_proxy, TimePoint end) {
   return m;
 }
 
+/// Dumps the run's substrate counters into the configured registry (no-op
+/// without one). Runs after the simulation finishes so the hot path carries
+/// zero instrumentation cost.
+void export_run_observability(const ScenarioConfig& config, sim::Dumbbell& net,
+                              proxy::AttackProxy& attack_proxy, bool attacked) {
+  if (config.metrics == nullptr) return;
+  obs::MetricsRegistry& reg = *config.metrics;
+  ++reg.counter(attacked ? "scenario.attack_runs" : "scenario.baseline_runs");
+  net.scheduler().export_metrics(reg);
+  if (net.bottleneck_left_to_right() != nullptr)
+    net.bottleneck_left_to_right()->export_metrics(reg);
+  if (net.bottleneck_right_to_left() != nullptr)
+    net.bottleneck_right_to_left()->export_metrics(reg);
+  attack_proxy.export_metrics(reg);
+}
+
 RunMetrics run_tcp(const ScenarioConfig& config,
                    const std::vector<strategy::Strategy>& attacks) {
+  obs::ScopedTimer run_timer(config.metrics, "scenario.run_seconds");
   sim::Dumbbell net(config.topology);
   snake::Rng rng(config.seed);
 
@@ -90,11 +108,13 @@ RunMetrics run_tcp(const ScenarioConfig& config,
   m.server1_stuck_sockets = server1.open_sockets();
   m.server2_stuck_sockets = server2.open_sockets();
   m.server1_socket_states = server1.socket_states();
+  export_run_observability(config, net, attack_proxy, !attacks.empty());
   return m;
 }
 
 RunMetrics run_dccp(const ScenarioConfig& config,
                     const std::vector<strategy::Strategy>& attacks) {
+  obs::ScopedTimer run_timer(config.metrics, "scenario.run_seconds");
   sim::Dumbbell net(config.topology);
   snake::Rng rng(config.seed);
 
@@ -138,6 +158,7 @@ RunMetrics run_dccp(const ScenarioConfig& config,
   m.server1_stuck_sockets = server1.open_sockets();
   m.server2_stuck_sockets = server2.open_sockets();
   m.server1_socket_states = server1.socket_states();
+  export_run_observability(config, net, attack_proxy, !attacks.empty());
   return m;
 }
 

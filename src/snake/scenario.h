@@ -22,6 +22,10 @@
 #include "tcp/profile.h"
 #include "util/time.h"
 
+namespace snake::obs {
+class MetricsRegistry;
+}
+
 namespace snake::core {
 
 enum class Protocol { kTcp, kDccp };
@@ -53,6 +57,13 @@ struct ScenarioConfig {
   int dccp_ccid = 2;  ///< 2 = TCP-like (paper), 3 = TFRC (extension)
 
   std::uint64_t seed = 1;
+
+  /// Observability sink (optional, not owned). When set, the run records
+  /// wall-clock timing plus scheduler / bottleneck-link / proxy / tracker
+  /// counters into it. Instrumentation never feeds back into simulation
+  /// behaviour: identical seeds produce identical RunMetrics with or
+  /// without a registry attached.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything the executor reports back to the controller after one run.

@@ -25,6 +25,7 @@ void EndpointTracker::advance_to(TimePoint now) {
     if (fire_at > now) break;
     stats_[state_].total_time += fire_at - entered_at_;
     SNAKE_TRACE << "tracker[" << to_string(role_) << "] timeout " << state_ << " -> " << t->to;
+    ++transitions_;
     enter(t->to, fire_at);
   }
 }
@@ -41,10 +42,14 @@ bool EndpointTracker::observe(TriggerKind kind, const std::string& packet_type, 
     observations_.push_back(std::move(obs));
 
   const Transition* t = machine_->match(state_, kind, packet_type);
-  if (t == nullptr) return false;
+  if (t == nullptr) {
+    ++unknown_packets_;
+    return false;
+  }
   stats_[state_].total_time += now - entered_at_;
   SNAKE_TRACE << "tracker[" << to_string(role_) << "] " << state_ << " -> " << t->to << " on "
               << t->trigger.to_string();
+  ++transitions_;
   enter(t->to, now);
   return true;
 }

@@ -60,6 +60,13 @@ class EndpointTracker {
   };
   const std::vector<Observation>& observations() const { return observations_; }
 
+  /// State transitions taken (packet-triggered and timeout-driven).
+  std::uint64_t transitions() const { return transitions_; }
+  /// Observed packets that matched no transition from the current state —
+  /// the tracker's "unknown packet" fallback (it stays put). A high count
+  /// means the supplied state machine is missing edges for this traffic.
+  std::uint64_t unknown_packets() const { return unknown_packets_; }
+
  private:
   void enter(const std::string& state, TimePoint now);
 
@@ -69,6 +76,8 @@ class EndpointTracker {
   TimePoint entered_at_;
   std::map<std::string, StateStats> stats_;
   std::vector<Observation> observations_;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t unknown_packets_ = 0;
 };
 
 /// Tracks both endpoints of one connection. The proxy feeds every packet it

@@ -13,7 +13,7 @@ Strategy random_manipulation(const packet::HeaderFormat& format,
   s.id = id;
   s.direction = rng.chance(0.5) ? TrafficDirection::kClientToServer
                                 : TrafficDirection::kServerToClient;
-  s.packet_type = "*";
+  s.packet_type = '*';  // any type (char form sidesteps a GCC 12 -Wrestrict FP)
 
   switch (rng.uniform(0, 5)) {
     case 0:

@@ -64,12 +64,16 @@ std::string Strategy::describe() const {
       out += str_format(" %.2fs", delay_seconds);
       break;
     case AttackAction::kLie:
-      if (lie.has_value()) out += " " + lie->describe();
+      if (lie.has_value()) {
+        out += ' ';
+        out += lie->describe();
+      }
       break;
     case AttackAction::kInject:
     case AttackAction::kHitSeqWindow:
       if (inject.has_value()) {
-        out += " " + inject->packet_type;
+        out += ' ';
+        out += inject->packet_type;
         out += inject->spoof_toward_client ? " ->client" : " ->server";
         out += inject->target_competing ? " (competing conn)" : " (own conn)";
         if (action == AttackAction::kHitSeqWindow)

@@ -1,0 +1,194 @@
+// Unit tests for the observability layer: metrics registry semantics
+// (counters, gauges, histograms, per-executor merge) and the JSON
+// writer/parser the structured reports are built on.
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace snake::obs {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(Metrics, CounterSlotsAreStableAndAdditive) {
+  MetricsRegistry reg;
+  std::uint64_t& c = reg.counter("events");
+  ++c;
+  c += 41;
+  EXPECT_EQ(reg.counter("events"), 42u);
+  EXPECT_EQ(&reg.counter("events"), &c) << "slot reference must be stable";
+  EXPECT_EQ(reg.counter("other"), 0u) << "new counters start at zero";
+}
+
+TEST(Metrics, GaugeMaxKeepsHighWatermark) {
+  MetricsRegistry reg;
+  reg.gauge_max("queue.highwater", 3.0);
+  reg.gauge_max("queue.highwater", 17.0);
+  reg.gauge_max("queue.highwater", 5.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("queue.highwater"), 17.0);
+}
+
+TEST(Metrics, HistogramBucketsAndSummary) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0});
+  h.record(0.5);   // bucket 0 (<= 1.0)
+  h.record(1.0);   // bucket 0 (bounds are inclusive upper bounds)
+  h.record(5.0);   // bucket 1 (<= 10.0)
+  h.record(100.0); // +inf tail
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 106.5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 100.0);
+}
+
+TEST(Metrics, MergeFoldsExecutorRegistries) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("runs") = 3;
+  b.counter("runs") = 4;
+  b.counter("only_b") = 1;
+  a.gauge_max("hw", 2.0);
+  b.gauge_max("hw", 9.0);
+  a.histogram("t", {1.0}).record(0.5);
+  b.histogram("t", {1.0}).record(2.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("runs"), 7u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("hw"), 9.0);
+  const Histogram& h = a.histogram("t", {1.0});
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_DOUBLE_EQ(h.sum, 2.5);
+}
+
+TEST(Metrics, ScopedTimerRecordsOnceAndNullRegistryIsNoop) {
+  MetricsRegistry reg;
+  {
+    ScopedTimer t(&reg, "stage_seconds");
+  }
+  EXPECT_EQ(reg.histogram("stage_seconds").count, 1u);
+  EXPECT_GE(reg.histogram("stage_seconds").sum, 0.0);
+
+  {
+    ScopedTimer t(&reg, "stopped");
+    double elapsed = t.stop();
+    EXPECT_GE(elapsed, 0.0);
+  }  // destructor must not double-record after stop()
+  EXPECT_EQ(reg.histogram("stopped").count, 1u);
+
+  ScopedTimer none(nullptr, "ignored");
+  EXPECT_EQ(none.stop(), 0.0);
+}
+
+TEST(Metrics, RegistryJsonRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("a.count") = 12;
+  reg.gauge("b.level") = 2.5;
+  reg.histogram("c.time", {1.0}).record(0.25);
+
+  std::string doc = reg.to_json();
+  std::string error;
+  auto parsed = parse_json(doc, &error);
+  ASSERT_TRUE(parsed.has_value()) << error << "\n" << doc;
+  const JsonValue* counters = parsed->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("a.count"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("a.count")->num_v, 12.0);
+  const JsonValue* gauges = parsed->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("b.level")->num_v, 2.5);
+  const JsonValue* hists = parsed->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* h = hists->find("c.time");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->find("count")->num_v, 1.0);
+  ASSERT_TRUE(h->find("buckets")->is_array());
+  EXPECT_EQ(h->find("buckets")->array_v.size(), 2u);
+  // The +inf tail bucket serializes its bound as null.
+  EXPECT_TRUE(h->find("buckets")->array_v.back().find("le")->is_null());
+}
+
+// ----------------------------------------------------------------- JSON
+
+TEST(Json, WriterProducesValidNestedDocument) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name")
+      .value("tab\"le\n1")
+      .key("n")
+      .value(3)
+      .key("ok")
+      .value(true)
+      .key("ratio")
+      .value(0.5)
+      .key("none")
+      .null_value()
+      .key("xs")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .begin_object()
+      .key("k")
+      .value("v")
+      .end_object()
+      .end_array()
+      .end_object();
+
+  std::string error;
+  auto parsed = parse_json(w.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error << "\n" << w.str();
+  EXPECT_EQ(parsed->find("name")->str_v, "tab\"le\n1");
+  EXPECT_DOUBLE_EQ(parsed->find("n")->num_v, 3.0);
+  EXPECT_TRUE(parsed->find("ok")->bool_v);
+  EXPECT_TRUE(parsed->find("none")->is_null());
+  ASSERT_EQ(parsed->find("xs")->array_v.size(), 3u);
+  EXPECT_EQ(parsed->find("xs")->array_v[2].find("k")->str_v, "v");
+}
+
+TEST(Json, RawEmbedsPreRenderedDocuments) {
+  JsonWriter inner;
+  inner.begin_object().key("a").value(1).end_object();
+  JsonWriter w;
+  w.begin_object().key("docs").begin_array().raw(inner.str()).raw(inner.str()).end_array();
+  w.end_object();
+  auto parsed = parse_json(w.str());
+  ASSERT_TRUE(parsed.has_value()) << w.str();
+  ASSERT_EQ(parsed->find("docs")->array_v.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->find("docs")->array_v[1].find("a")->num_v, 1.0);
+}
+
+TEST(Json, ParserHandlesEscapesAndNumbers) {
+  auto v = parse_json(R"({"s":"aA\n\\","x":-1.5e2,"arr":[true,false,null]})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("s")->str_v, "aA\n\\");
+  EXPECT_DOUBLE_EQ(v->find("x")->num_v, -150.0);
+  ASSERT_EQ(v->find("arr")->array_v.size(), 3u);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(parse_json("[1,]", &error).has_value());
+  EXPECT_FALSE(parse_json("{} trailing", &error).has_value());
+  EXPECT_FALSE(parse_json("\"unterminated", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter w;
+  w.begin_array().value(std::numeric_limits<double>::infinity()).end_array();
+  auto v = parse_json(w.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->array_v[0].is_null());
+}
+
+}  // namespace
+}  // namespace snake::obs

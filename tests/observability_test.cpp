@@ -1,0 +1,191 @@
+// Campaign observability tests:
+//  - determinism: metrics instrumentation must not perturb campaign results
+//    (identical-seed campaigns, metrics on vs off, byte-identical summaries);
+//  - schema sanity: CampaignResult::to_json() parses and carries the fields
+//    the bench reports promise (Table-I columns, per-stage timings,
+//    per-attack-action counts);
+//  - regression: the progress callback runs outside the campaign mutex, so a
+//    blocking callback cannot serialize or deadlock the executor pool;
+//  - the configurable detection threshold is honoured end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "obs/json.h"
+#include "snake/controller.h"
+#include "tcp/profile.h"
+
+namespace snake::core {
+namespace {
+
+CampaignConfig small_campaign_config() {
+  CampaignConfig config;
+  config.scenario.protocol = Protocol::kTcp;
+  config.scenario.tcp_profile = tcp::linux_3_13_profile();
+  config.scenario.test_duration = Duration::seconds(6.0);
+  config.scenario.seed = 5;
+  config.generator = strategy::tcp_generator_config();
+  config.generator.hitseq_max_packets = 2000;
+  config.executors = 2;
+  config.max_strategies = 24;
+  return config;
+}
+
+// ---------------------------------------------------------- determinism
+
+TEST(Observability, MetricsDoNotPerturbCampaignResults) {
+  // Single executor: with one worker the strategy schedule is fully
+  // deterministic, so any divergence between the two runs can only come
+  // from the instrumentation itself.
+  CampaignConfig config = small_campaign_config();
+  config.executors = 1;
+  config.max_strategies = 30;
+  config.combine_top = 2;  // the combination phase must be unperturbed too
+
+  config.collect_metrics = true;
+  CampaignResult with_metrics = run_campaign(config);
+  config.collect_metrics = false;
+  CampaignResult without_metrics = run_campaign(config);
+
+  EXPECT_EQ(with_metrics.summary_row(), without_metrics.summary_row());
+  EXPECT_EQ(with_metrics.unique_signatures, without_metrics.unique_signatures);
+  EXPECT_EQ(with_metrics.strategies_tried, without_metrics.strategies_tried);
+  EXPECT_EQ(with_metrics.combinations_tried, without_metrics.combinations_tried);
+  EXPECT_EQ(with_metrics.baseline.target_bytes, without_metrics.baseline.target_bytes);
+  EXPECT_EQ(with_metrics.found.size(), without_metrics.found.size());
+  for (std::size_t i = 0; i < with_metrics.found.size(); ++i) {
+    EXPECT_EQ(with_metrics.found[i].signature, without_metrics.found[i].signature);
+    EXPECT_EQ(with_metrics.found[i].cls, without_metrics.found[i].cls);
+  }
+
+  // And the instrumented run actually collected something.
+  EXPECT_FALSE(with_metrics.metrics.empty());
+  EXPECT_TRUE(without_metrics.metrics.empty());
+}
+
+// --------------------------------------------------------- JSON schema
+
+TEST(Observability, CampaignReportMatchesSchema) {
+  CampaignConfig config = small_campaign_config();
+  CampaignResult result = run_campaign(config);
+
+  std::string doc = result.to_json();
+  std::string error;
+  auto parsed = obs::parse_json(doc, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  ASSERT_NE(parsed->find("schema"), nullptr);
+  EXPECT_EQ(parsed->find("schema")->str_v, "snake-campaign-report/v1");
+  EXPECT_EQ(parsed->find("protocol")->str_v, "tcp");
+  EXPECT_EQ(parsed->find("implementation")->str_v, "linux-3.13");
+
+  // Table-I columns.
+  const obs::JsonValue* table1 = parsed->find("table1");
+  ASSERT_NE(table1, nullptr);
+  for (const char* column :
+       {"strategies_tried", "attack_strategies_found", "on_path", "false_positives",
+        "true_attack_strategies", "unique_true_attacks"}) {
+    ASSERT_NE(table1->find(column), nullptr) << column;
+    EXPECT_TRUE(table1->find(column)->is_number()) << column;
+  }
+  EXPECT_DOUBLE_EQ(table1->find("strategies_tried")->num_v,
+                   static_cast<double>(result.strategies_tried));
+
+  // Baseline and outcomes with detection ratios + signature.
+  ASSERT_NE(parsed->find("baseline"), nullptr);
+  EXPECT_TRUE(parsed->find("baseline")->find("target_bytes")->is_number());
+  const obs::JsonValue* outcomes = parsed->find("outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  ASSERT_TRUE(outcomes->is_array());
+  EXPECT_EQ(outcomes->array_v.size(), result.found.size());
+  for (const obs::JsonValue& o : outcomes->array_v) {
+    ASSERT_NE(o.find("strategy"), nullptr);
+    ASSERT_NE(o.find("signature"), nullptr);
+    const obs::JsonValue* det = o.find("detection");
+    ASSERT_NE(det, nullptr);
+    EXPECT_TRUE(det->find("target_ratio")->is_number());
+    EXPECT_TRUE(det->find("competing_ratio")->is_number());
+  }
+
+  // Combination phase block is always present (empty when disabled).
+  ASSERT_NE(parsed->find("combinations"), nullptr);
+  EXPECT_TRUE(parsed->find("combinations")->find("tried")->is_number());
+
+  // Metrics snapshot: per-stage timings and per-attack-action counts.
+  const obs::JsonValue* metrics = parsed->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::JsonValue* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* counter :
+       {"proxy.intercepted", "proxy.action.dropped", "proxy.action.injected",
+        "sim.events_executed", "tracker.client.transitions", "campaign.strategies_tried",
+        "scenario.attack_runs", "scenario.baseline_runs"}) {
+    ASSERT_NE(counters->find(counter), nullptr) << counter;
+  }
+  EXPECT_GT(counters->find("sim.events_executed")->num_v, 0.0);
+  const obs::JsonValue* histograms = metrics->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  for (const char* stage :
+       {"campaign.baseline_seconds", "campaign.strategy_seconds", "scenario.run_seconds"}) {
+    const obs::JsonValue* h = histograms->find(stage);
+    ASSERT_NE(h, nullptr) << stage;
+    EXPECT_GT(h->find("count")->num_v, 0.0) << stage;
+  }
+}
+
+// ------------------------------------------------- progress callback fix
+
+TEST(Observability, BlockingProgressCallbackDoesNotSerializePool) {
+  // Regression: the controller used to invoke on_progress while holding the
+  // campaign mutex, so callbacks could never overlap and a blocking callback
+  // stalled every worker. Each callback here waits (bounded) until a second
+  // callback is running concurrently — possible only when the callback runs
+  // outside the lock.
+  CampaignConfig config = small_campaign_config();
+  config.executors = 4;
+  config.max_strategies = 24;
+
+  std::atomic<int> in_callback{0};
+  std::atomic<bool> overlapped{false};
+  config.on_progress = [&](std::uint64_t, std::uint64_t) {
+    if (in_callback.fetch_add(1) + 1 > 1) overlapped = true;
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+    while (!overlapped.load() && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+    in_callback.fetch_sub(1);
+  };
+
+  CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.strategies_tried, 24u);
+  EXPECT_TRUE(overlapped.load())
+      << "progress callbacks never overlapped: callback is being invoked "
+         "with the campaign mutex held";
+}
+
+// --------------------------------------------- configurable threshold
+
+TEST(Observability, CampaignHonoursDetectThreshold) {
+  CampaignConfig config = small_campaign_config();
+  config.executors = 2;
+  config.max_strategies = 20;
+  config.detect_threshold = 0.3;
+
+  CampaignResult result = run_campaign(config);
+  // Every confirmed outcome must satisfy the 0.3 criterion — and its
+  // signature must carry a concrete effect class under that same threshold.
+  for (const StrategyOutcome& o : result.found) {
+    const Detection& d = o.detection;
+    EXPECT_TRUE(d.target_ratio <= 0.3 || d.target_ratio >= 1.3 ||
+                d.competing_ratio <= 0.3 || d.competing_ratio >= 1.3 ||
+                d.resource_exhaustion)
+        << "outcome detected outside the configured threshold: "
+        << o.strat.describe();
+    EXPECT_NE(o.signature.find('='), std::string::npos);
+  }
+  EXPECT_DOUBLE_EQ(result.metrics.gauge("campaign.detect_threshold"), 0.3);
+}
+
+}  // namespace
+}  // namespace snake::core

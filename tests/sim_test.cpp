@@ -54,6 +54,52 @@ TEST(Scheduler, CancelledTimerDoesNotFire) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(Scheduler, NestedScheduleAndCancelAtIdenticalTimestamp) {
+  // Regression: run_until used to move the callback out of priority_queue's
+  // const top() via const_cast (undefined behaviour). A callback that pushes
+  // and cancels other entries at the *same* timestamp while the top entry is
+  // live exercises exactly the heap-mutation-during-dispatch window.
+  Scheduler s;
+  std::vector<int> order;
+  Timer doomed;
+  s.schedule_at(TimePoint::from_ns(100), [&] {
+    order.push_back(1);
+    s.schedule_at(TimePoint::from_ns(100), [&] { order.push_back(3); });
+    doomed.cancel();  // same-timestamp entry scheduled below, never fires
+  });
+  doomed = s.schedule_at(TimePoint::from_ns(100), [&] { order.push_back(2); });
+  s.schedule_at(TimePoint::from_ns(100), [&] { order.push_back(4); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 3}));
+  EXPECT_EQ(s.events_executed(), 3u);
+  EXPECT_EQ(s.events_cancelled(), 1u);
+}
+
+TEST(Scheduler, SameTimestampChurnKeepsHeapConsistent) {
+  // Stress the copy-then-pop dispatch path: every event schedules more work
+  // at its own timestamp and cancels every other pending sibling. Under the
+  // old const_cast move this corrupted entries; ASan/UBSan runs of this test
+  // guard the fix.
+  Scheduler s;
+  int fired = 0;
+  std::vector<Timer> timers;
+  for (int round = 0; round < 50; ++round) {
+    TimePoint at = TimePoint::from_ns(1000 + round);
+    for (int i = 0; i < 8; ++i) {
+      timers.push_back(s.schedule_at(at, [&, at] {
+        ++fired;
+        s.schedule_at(at, [&] { ++fired; });
+      }));
+    }
+  }
+  for (std::size_t i = 0; i < timers.size(); i += 2) timers[i].cancel();
+  s.run_all();
+  // Half of the 400 seeded events fire, each spawning one follow-up.
+  EXPECT_EQ(fired, 400);
+  EXPECT_EQ(s.events_cancelled(), 200u);
+  EXPECT_EQ(s.events_executed(), 400u);
+}
+
 TEST(Scheduler, EventsScheduledDuringRunExecute) {
   Scheduler s;
   int count = 0;

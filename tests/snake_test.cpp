@@ -64,6 +64,45 @@ TEST(Detector, ExactlyAtThresholdCounts) {
   EXPECT_FALSE(d2.is_attack);
 }
 
+TEST(Detector, ConfigurableThresholdWidensAndNarrowsDetection) {
+  // ratio 1.4: not an attack at the default 0.5 threshold, flagged at 0.3.
+  Detection strict = detect(metrics(1000, 1000), metrics(1400, 1000));
+  EXPECT_FALSE(strict.is_attack);
+  Detection loose = detect(metrics(1000, 1000), metrics(1400, 1000), 0.3);
+  EXPECT_TRUE(loose.is_attack);
+  EXPECT_DOUBLE_EQ(loose.target_ratio, 1.4);
+
+  // ratio 0.4: flagged at the default (cut-off 0.5) but not at 0.3, whose
+  // down-side cut-off is 0.3 — the threshold moves both sides symmetrically.
+  EXPECT_TRUE(detect(metrics(1000, 1000), metrics(400, 1000)).is_attack);
+  EXPECT_FALSE(detect(metrics(1000, 1000), metrics(400, 1000), 0.3).is_attack);
+  EXPECT_TRUE(detect(metrics(1000, 1000), metrics(250, 1000), 0.3).is_attack);
+}
+
+TEST(Detector, SignatureEffectClassUsesDetectionThreshold) {
+  // Regression: effect_class hardcoded the 0.5 ratio cut-offs, so a campaign
+  // run at threshold 0.3 could detect a fairness attack (ratio 1.4 >= 1.3)
+  // that the signature then filed under the catch-all "performance-shift"
+  // instead of "fairness-gain". Signature grouping must use the same
+  // threshold detection used.
+  Strategy s;
+  s.action = AttackAction::kLie;
+  s.packet_type = "ACK";
+  s.direction = TrafficDirection::kClientToServer;
+  s.lie = LieSpec{"window", LieSpec::Mode::kSet, 0};
+  RunMetrics run = metrics(1400, 1000);
+  run.target_established = true;
+  run.competing_established = true;
+
+  Detection d = detect(metrics(1000, 1000), run, 0.3);
+  ASSERT_TRUE(d.is_attack);
+  std::string sig = attack_signature(s, packet::tcp_format(), d, run, 0.3);
+  EXPECT_NE(sig.find("fairness-gain"), std::string::npos) << sig;
+  // The old behaviour (defaulted 0.5 cut-offs) cannot attribute the effect.
+  std::string stale = attack_signature(s, packet::tcp_format(), d, run);
+  EXPECT_NE(stale.find("performance-shift"), std::string::npos) << stale;
+}
+
 // ------------------------------------------------------------ classifier
 
 TEST(Classifier, PortLieIsOnPath) {
