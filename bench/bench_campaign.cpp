@@ -1,0 +1,178 @@
+// Campaign throughput benchmark: how many attack-strategy trials per second
+// the engine sustains end to end (controller + executors + simulator).
+//
+//   bench_campaign [--cap N] [--duration SECONDS] [--executors N]
+//                  [--protocol tcp|dccp] [--json PATH] [--baseline PATH]
+//
+// Test throughput is the bottleneck for stateful protocol testing at scale
+// (the paper spends ~2 minutes of wall clock per strategy; ProFuzzBench ranks
+// stateful fuzzers by executions/sec), so this bench is the perf north-star
+// gauge: it runs one bounded campaign, measures wall time, and reports
+//
+//   strategies/sec  - strategy trials completed per wall second (headline)
+//   runs/sec        - scenario executions (baselines + trials + retests)
+//   events/sec      - simulator events executed across all executors
+//   peak RSS        - max resident set, so memory-pooling work stays honest
+//
+// The JSON report (schema "snake-bench-campaign/v1", default path
+// BENCH_campaign.json) records config + results. When --baseline points at a
+// previous report (bench/BENCH_campaign_baseline.json holds the checked-in
+// pre-optimization run), the report embeds the baseline numbers and the
+// speedup so the perf trajectory is tracked PR over PR. Speedups are only
+// meaningful against a baseline recorded on the same machine.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.h"
+#include "snake/controller.h"
+#include "strategy/generator.h"
+#include "tcp/profile.h"
+
+using namespace snake;
+using namespace snake::core;
+
+namespace {
+
+double peak_rss_mib() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB -> MiB
+}
+
+std::uint64_t metric_counter(const obs::MetricsRegistry& reg, const std::string& name) {
+  auto it = reg.counters().find(name);
+  return it == reg.counters().end() ? 0 : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t cap = 64;
+  double duration = 5.0;
+  unsigned hc = std::thread::hardware_concurrency();
+  int executors = hc > 4 ? static_cast<int>(hc) - 2 : 2;
+  Protocol protocol = Protocol::kTcp;
+  const char* json_path = "BENCH_campaign.json";
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) {
+      cap = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--duration") && i + 1 < argc) {
+      duration = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "--executors") && i + 1 < argc) {
+      executors = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--protocol") && i + 1 < argc) {
+      protocol = !std::strcmp(argv[++i], "dccp") ? Protocol::kDccp : Protocol::kTcp;
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+
+  CampaignConfig config;
+  config.scenario.protocol = protocol;
+  config.scenario.tcp_profile = tcp::linux_3_13_profile();
+  config.scenario.test_duration = Duration::seconds(duration);
+  config.scenario.seed = 7;
+  config.generator = protocol == Protocol::kTcp ? strategy::tcp_generator_config()
+                                                : strategy::dccp_generator_config();
+  config.generator.hitseq_max_packets = 4000;  // partial sweeps: bounded bench
+  config.executors = executors;
+  config.max_strategies = cap;
+
+  std::printf("== Campaign throughput: %llu strategies, %.0fs virtual, %d executors (%s) ==\n",
+              (unsigned long long)cap, duration, executors, to_string(protocol));
+
+  auto t0 = std::chrono::steady_clock::now();
+  CampaignResult result = run_campaign(config);
+  double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::uint64_t events = metric_counter(result.metrics, "sim.events_executed");
+  std::uint64_t runs = metric_counter(result.metrics, "scenario.baseline_runs") +
+                       metric_counter(result.metrics, "scenario.attack_runs");
+  double strategies_per_sec = wall > 0 ? static_cast<double>(result.strategies_tried) / wall : 0;
+  double runs_per_sec = wall > 0 ? static_cast<double>(runs) / wall : 0;
+  double events_per_sec = wall > 0 ? static_cast<double>(events) / wall : 0;
+  double rss = peak_rss_mib();
+
+  std::printf("  wall time ............ %.3f s\n", wall);
+  std::printf("  strategies tried ..... %llu (%.2f strategies/sec)\n",
+              (unsigned long long)result.strategies_tried, strategies_per_sec);
+  std::printf("  scenario runs ........ %llu (%.2f runs/sec)\n", (unsigned long long)runs,
+              runs_per_sec);
+  std::printf("  simulator events ..... %llu (%.3g events/sec)\n", (unsigned long long)events,
+              events_per_sec);
+  std::printf("  peak RSS ............. %.1f MiB\n", rss);
+
+  // Baseline comparison (same-machine trajectories only).
+  double baseline_sps = 0;
+  bool have_baseline = false;
+  if (baseline_path != nullptr) {
+    std::ifstream in(baseline_path);
+    if (in) {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      if (auto doc = obs::parse_json(buf.str())) {
+        if (const obs::JsonValue* results = doc->find("results"))
+          if (const obs::JsonValue* sps = results->find("strategies_per_sec")) {
+            baseline_sps = sps->number_or(0);
+            have_baseline = baseline_sps > 0;
+          }
+      }
+    }
+    if (have_baseline) {
+      std::printf("  baseline ............. %.2f strategies/sec (speedup %.2fx)\n",
+                  baseline_sps, strategies_per_sec / baseline_sps);
+    } else {
+      std::printf("  baseline ............. %s unreadable, no comparison\n", baseline_path);
+    }
+  }
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("snake-bench-campaign/v1");
+  w.key("config").begin_object();
+  w.key("protocol").value(to_string(protocol));
+  w.key("cap").value(cap);
+  w.key("duration_seconds").value(duration);
+  w.key("executors").value(executors);
+  w.key("seed").value(config.scenario.seed);
+  w.end_object();
+  w.key("results").begin_object();
+  w.key("wall_seconds").value(wall);
+  w.key("strategies_tried").value(result.strategies_tried);
+  w.key("strategies_per_sec").value(strategies_per_sec);
+  w.key("scenario_runs").value(runs);
+  w.key("runs_per_sec").value(runs_per_sec);
+  w.key("events_executed").value(events);
+  w.key("events_per_sec").value(events_per_sec);
+  w.key("peak_rss_mib").value(rss);
+  w.key("attack_strategies_found").value(result.attack_strategies_found);
+  w.end_object();
+  if (have_baseline) {
+    w.key("baseline").begin_object();
+    w.key("path").value(baseline_path);
+    w.key("strategies_per_sec").value(baseline_sps);
+    w.key("speedup").value(strategies_per_sec / baseline_sps);
+    w.end_object();
+  }
+  w.end_object();
+
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+    return 1;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("  wrote %s\n", json_path);
+  return 0;
+}

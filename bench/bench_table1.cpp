@@ -26,6 +26,7 @@
 // a handful of unique true attacks remain).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <thread>
 
 #include "obs/json.h"
@@ -82,10 +83,45 @@ int main(int argc, char** argv) {
     return result;
   };
 
+  // With --json each campaign's report is appended to the file as soon as
+  // the campaign finishes (JsonWriter in streaming mode, flushed per
+  // document), so the process never holds more than one report in memory
+  // and a killed run leaves the completed campaigns on disk.
+  std::FILE* json_file = nullptr;
+  std::unique_ptr<obs::JsonWriter> json;
+  if (json_path != nullptr) {
+    json_file = std::fopen(json_path, "w");
+    if (json_file == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    json = std::make_unique<obs::JsonWriter>(
+        [json_file](std::string_view chunk) {
+          std::fwrite(chunk.data(), 1, chunk.size(), json_file);
+        });
+    json->begin_object();
+    json->key("schema").value("snake-bench-table1/v1");
+    json->key("config").begin_object();
+    json->key("cap").value(cap);
+    json->key("hitseq_cap").value(hitseq_cap);
+    json->key("duration_seconds").value(duration);
+    json->key("executors").value(executors);
+    json->end_object();
+    json->key("campaigns").begin_array();
+    json->flush();
+  }
+
   std::vector<CampaignResult> results;
+  auto record = [&](CampaignResult r) {
+    if (json != nullptr) {
+      r.write_json(*json);
+      json->flush();
+    }
+    results.push_back(std::move(r));
+  };
   for (const tcp::TcpProfile& profile : tcp::all_tcp_profiles())
-    results.push_back(run_one(Protocol::kTcp, profile));
-  results.push_back(run_one(Protocol::kDccp, tcp::linux_3_13_profile()));
+    record(run_one(Protocol::kTcp, profile));
+  record(run_one(Protocol::kDccp, tcp::linux_3_13_profile()));
 
   std::printf("\nUnique true attacks per implementation (deduplicated signatures):\n");
   for (const CampaignResult& r : results) {
@@ -94,28 +130,13 @@ int main(int argc, char** argv) {
     for (const std::string& sig : r.unique_signatures) std::printf("    %s\n", sig.c_str());
   }
 
-  if (json_path != nullptr) {
-    obs::JsonWriter w;
-    w.begin_object();
-    w.key("schema").value("snake-bench-table1/v1");
-    w.key("config").begin_object();
-    w.key("cap").value(cap);
-    w.key("hitseq_cap").value(hitseq_cap);
-    w.key("duration_seconds").value(duration);
-    w.key("executors").value(executors);
-    w.end_object();
-    w.key("campaigns").begin_array();
-    for (const CampaignResult& r : results) w.raw(r.to_json());
-    w.end_array();
-    w.end_object();
-    std::FILE* f = std::fopen(json_path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
-      return 1;
-    }
-    std::fputs(w.str().c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
+  if (json != nullptr) {
+    json->end_array();
+    json->end_object();
+    json->flush();
+    json.reset();
+    std::fputc('\n', json_file);
+    std::fclose(json_file);
     std::printf("\nwrote JSON report to %s\n", json_path);
   }
   return 0;

@@ -8,6 +8,7 @@
 // so bench trajectories can be diffed across revisions.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,20 +49,24 @@ ScenarioConfig dccp_config() {
   return c;
 }
 
-struct RowRecord {
-  std::string protocol;
-  std::string attack;
-  std::string impact;
-  std::string known;
-  std::string result;
-};
-
-std::vector<RowRecord> collected_rows;
+// Streaming report writer: each row is appended to the --json file the
+// moment it is measured (some rows take minutes; a killed run keeps the
+// finished ones).
+obs::JsonWriter* json_writer = nullptr;
 
 void row(const char* protocol, const char* attack, const char* impact, const char* known,
          const std::string& result) {
   std::printf("%-5s %-38s %-22s %-9s %s\n", protocol, attack, impact, known, result.c_str());
-  collected_rows.push_back(RowRecord{protocol, attack, impact, known, result});
+  if (json_writer != nullptr) {
+    json_writer->begin_object();
+    json_writer->key("protocol").value(protocol);
+    json_writer->key("attack").value(attack);
+    json_writer->key("impact").value(impact);
+    json_writer->key("known").value(known);
+    json_writer->key("measured").value(result);
+    json_writer->end_object();
+    json_writer->flush();
+  }
 }
 
 std::string ratio_str(double r) {
@@ -277,6 +282,25 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (!std::strcmp(argv[i], "--json") && i + 1 < argc) json_path = argv[++i];
 
+  std::FILE* json_file = nullptr;
+  std::unique_ptr<obs::JsonWriter> json;
+  if (json_path != nullptr) {
+    json_file = std::fopen(json_path, "w");
+    if (json_file == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    json = std::make_unique<obs::JsonWriter>(
+        [json_file](std::string_view chunk) {
+          std::fwrite(chunk.data(), 1, chunk.size(), json_file);
+        });
+    json->begin_object();
+    json->key("schema").value("snake-bench-table2/v1");
+    json->key("rows").begin_array();
+    json->flush();
+    json_writer = json.get();
+  }
+
   std::printf("== Table II: attacks discovered by SNAKE, re-executed ==\n\n");
   std::printf("%-5s %-38s %-22s %-9s %s\n", "Proto", "Attack", "Impact", "Known",
               "Measured in this reproduction");
@@ -291,30 +315,14 @@ int main(int argc, char** argv) {
   dccp_inwindow_ack_mod();
   dccp_request_termination();
 
-  if (json_path != nullptr) {
-    obs::JsonWriter w;
-    w.begin_object();
-    w.key("schema").value("snake-bench-table2/v1");
-    w.key("rows").begin_array();
-    for (const RowRecord& r : collected_rows) {
-      w.begin_object();
-      w.key("protocol").value(r.protocol);
-      w.key("attack").value(r.attack);
-      w.key("impact").value(r.impact);
-      w.key("known").value(r.known);
-      w.key("measured").value(r.result);
-      w.end_object();
-    }
-    w.end_array();
-    w.end_object();
-    std::FILE* f = std::fopen(json_path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
-      return 1;
-    }
-    std::fputs(w.str().c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
+  if (json != nullptr) {
+    json_writer = nullptr;
+    json->end_array();
+    json->end_object();
+    json->flush();
+    json.reset();
+    std::fputc('\n', json_file);
+    std::fclose(json_file);
     std::printf("\nwrote JSON report to %s\n", json_path);
   }
   return 0;

@@ -1,8 +1,41 @@
 #include "apps/bulk_http.h"
 
+#include <array>
+#include <cstring>
 #include <memory>
 
 namespace snake::apps {
+
+namespace {
+
+// The response byte at absolute offset q is (q * 31) & 0xFF, which has
+// period 256. A doubled table lets any 256-byte window starting at q % 256
+// be copied in one memcpy instead of a byte-at-a-time multiply loop (this
+// fill was ~20% of a campaign profile).
+constexpr std::size_t kPatternPeriod = 256;
+
+const std::uint8_t* pattern_table() {
+  static const std::array<std::uint8_t, 2 * kPatternPeriod> table = [] {
+    std::array<std::uint8_t, 2 * kPatternPeriod> t{};
+    for (std::size_t k = 0; k < t.size(); ++k)
+      t[k] = static_cast<std::uint8_t>(k * 31);
+    return t;
+  }();
+  return table.data();
+}
+
+void fill_response_pattern(Bytes& chunk, std::uint64_t offset) {
+  const std::uint8_t* table = pattern_table();
+  std::size_t i = 0;
+  while (i < chunk.size()) {
+    std::size_t phase = static_cast<std::size_t>((offset + i) % kPatternPeriod);
+    std::size_t run = std::min(chunk.size() - i, kPatternPeriod);
+    std::memcpy(chunk.data() + i, table + phase, run);
+    i += run;
+  }
+}
+
+}  // namespace
 
 struct BulkHttpServer::PerConnection {
   std::uint64_t queued = 0;  ///< bytes handed to the socket so far
@@ -30,8 +63,7 @@ void BulkHttpServer::pump(tcp::TcpEndpoint* endpoint, std::shared_ptr<PerConnect
     std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(kChunk, response_bytes_ - state->queued));
     Bytes chunk(n);
-    for (std::size_t i = 0; i < n; ++i)
-      chunk[i] = static_cast<std::uint8_t>((state->queued + i) * 31);
+    fill_response_pattern(chunk, state->queued);
     endpoint->send(chunk);
     state->queued += n;
   }

@@ -369,7 +369,8 @@ void DccpEndpoint::emit(DccpType type, Seq48 seq, Seq48 ack, Bytes payload) {
   sim::Packet wire;
   wire.dst = config_.remote_addr;
   wire.protocol = sim::kProtoDccp;
-  wire.bytes = serialize(p);
+  wire.bytes = node_.scheduler().buffer_pool().acquire();
+  serialize_into(p, wire.bytes);
   ++stats_.packets_sent;
   if (p.is_data()) ++stats_.data_packets_sent;
   if (type == kDccpReset) ++stats_.resets_sent;

@@ -45,6 +45,12 @@ std::string DccpPacket::summary() const {
 
 Bytes serialize(const DccpPacket& p) {
   Bytes out;
+  serialize_into(p, out);
+  return out;
+}
+
+void serialize_into(const DccpPacket& p, Bytes& out) {
+  out.clear();
   out.reserve(kHeaderBytes + p.payload.size());
   ByteWriter w(out);
   w.u16(p.src_port);
@@ -60,7 +66,6 @@ Bytes serialize(const DccpPacket& p) {
   w.u48(p.ack & kSeqMask);
   w.raw(p.payload);
   fill_embedded_checksum(out, kChecksumOffset);
-  return out;
 }
 
 std::optional<DccpPacket> parse_dccp(const Bytes& raw) {

@@ -38,6 +38,11 @@ const char* type_name(DccpType type);
 
 Bytes serialize(const DccpPacket& packet);
 
+/// Serializes into `out` (cleared first), reusing its capacity — see
+/// tcp::serialize_into; this is the pooled-buffer variant for the endpoint
+/// hot path.
+void serialize_into(const DccpPacket& packet, Bytes& out);
+
 /// Returns std::nullopt on truncation or checksum failure.
 std::optional<DccpPacket> parse_dccp(const Bytes& raw);
 

@@ -9,6 +9,16 @@ DccpStack::DccpStack(sim::Node& node, snake::Rng rng) : node_(node), rng_(rng) {
                           [this](const sim::Packet& packet) { on_packet(packet); });
 }
 
+void DccpStack::reset(snake::Rng rng) {
+  endpoints_.clear();
+  connections_.clear();
+  listeners_.clear();
+  next_ephemeral_port_ = 41000;
+  rng_ = rng;
+  node_.register_protocol(sim::kProtoDccp,
+                          [this](const sim::Packet& packet) { on_packet(packet); });
+}
+
 DccpEndpoint& DccpStack::connect(sim::Address remote, std::uint16_t remote_port,
                                  DccpCallbacks callbacks, DccpEndpointConfig base) {
   base.remote_addr = remote;
@@ -68,7 +78,8 @@ void DccpStack::on_packet(const sim::Packet& packet) {
     sim::Packet reply;
     reply.dst = packet.src;
     reply.protocol = sim::kProtoDccp;
-    reply.bytes = serialize(reset);
+    reply.bytes = node_.scheduler().buffer_pool().acquire();
+    serialize_into(reset, reply.bytes);
     node_.send_packet(std::move(reply));
   }
 }

@@ -18,6 +18,10 @@ class DccpStack {
  public:
   DccpStack(sim::Node& node, snake::Rng rng);
 
+  /// Returns the stack to its just-constructed state for scenario-arena
+  /// reuse (mirrors TcpStack::reset).
+  void reset(snake::Rng rng);
+
   DccpEndpoint& connect(sim::Address remote, std::uint16_t remote_port,
                         DccpCallbacks callbacks, DccpEndpointConfig base = {});
 

@@ -31,6 +31,12 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+void JsonWriter::flush() {
+  if (!sink_ || out_.empty()) return;
+  sink_(out_);
+  out_.clear();
+}
+
 void JsonWriter::before_value() {
   if (after_key_) {
     after_key_ = false;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -23,6 +24,26 @@ std::string json_escape(std::string_view text);
 ///   std::string doc = w.take();
 class JsonWriter {
  public:
+  /// Receives completed chunks of output in order; chunk boundaries carry no
+  /// meaning (a chunk is whatever accumulated between flushes).
+  using Sink = std::function<void(std::string_view)>;
+
+  /// Buffered mode: everything accumulates until take()/str().
+  JsonWriter() = default;
+
+  /// Streaming mode: flush() (and the destructor) hand the buffered bytes to
+  /// `sink` and clear them, so a report much larger than memory can be
+  /// written incrementally — flush after each array element. The structural
+  /// state (open containers, comma placement) survives flushes.
+  explicit JsonWriter(Sink sink) : sink_(std::move(sink)) {}
+
+  ~JsonWriter() { flush(); }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  /// Pushes buffered output to the sink (no-op in buffered mode).
+  void flush();
+
   JsonWriter& begin_object();
   JsonWriter& end_object();
   JsonWriter& begin_array();
@@ -44,6 +65,8 @@ class JsonWriter {
   /// Embeds a pre-rendered JSON document as one value (no validation).
   JsonWriter& raw(std::string_view pre_rendered);
 
+  /// Buffered-mode accessors: in streaming mode these only see bytes not
+  /// yet flushed to the sink.
   const std::string& str() const { return out_; }
   std::string take() { return std::move(out_); }
 
@@ -51,6 +74,7 @@ class JsonWriter {
   void before_value();
 
   std::string out_;
+  Sink sink_;                      ///< empty in buffered mode
   std::vector<bool> needs_comma_;  ///< one flag per open container
   bool after_key_ = false;
 };

@@ -6,8 +6,41 @@
 
 namespace snake::obs {
 
+namespace {
+
+/// Next upper bound on the 1-3-10 log ladder (1, 3, 10, 30, 100, ...).
+/// Computed multiplicatively rather than via log10 so the produced bounds
+/// are bit-identical wherever the same ladder is walked (merge_from relies
+/// on exact bound equality to line buckets up).
+double next_ladder_bound(double top) {
+  double decade = 1.0;
+  while (decade * 10.0 <= top) decade *= 10.0;
+  while (decade > top) decade /= 10.0;
+  return (top < 3.0 * decade) ? 3.0 * decade : 10.0 * decade;
+}
+
+/// True when `shorter` is a strict prefix of `longer` — the shape produced
+/// when one histogram auto-extended and a sibling (same metric, different
+/// executor) did not.
+bool bounds_prefix_of(const std::vector<double>& shorter, const std::vector<double>& longer) {
+  return shorter.size() < longer.size() &&
+         std::equal(shorter.begin(), shorter.end(), longer.begin());
+}
+
+}  // namespace
+
+void Histogram::extend_bounds_to(double v) {
+  if (counts.empty()) counts.assign(bounds.size() + 1, 0);
+  while (!bounds.empty() && bounds.back() < v && bounds.size() < kMaxAutoBounds) {
+    bounds.push_back(next_ladder_bound(bounds.back()));
+    counts.insert(counts.end() - 1, 0);
+  }
+}
+
 void Histogram::record(double v) {
   if (counts.empty()) counts.assign(bounds.size() + 1, 0);
+  if (auto_extend && !bounds.empty() && v > bounds.back() && counts.back() == 0)
+    extend_bounds_to(v);
   std::size_t bucket =
       static_cast<std::size_t>(std::lower_bound(bounds.begin(), bounds.end(), v) -
                                bounds.begin());
@@ -24,14 +57,22 @@ void Histogram::merge_from(const Histogram& other) {
     *this = other;
     return;
   }
-  if (bounds == other.bounds) {
-    if (counts.empty()) counts.assign(bounds.size() + 1, 0);
-    for (std::size_t i = 0; i < counts.size() && i < other.counts.size(); ++i)
-      counts[i] += other.counts[i];
+  if (counts.empty()) counts.assign(bounds.size() + 1, 0);
+  if (bounds_prefix_of(bounds, other.bounds) && counts.back() == 0) {
+    // The other side auto-extended past our ladder; adopt its bounds (our
+    // empty tail guarantees no sample is mis-bucketed by the widening).
+    counts.insert(counts.end() - 1, other.bounds.size() - bounds.size(), 0);
+    bounds = other.bounds;
+  }
+  if (bounds == other.bounds || bounds_prefix_of(other.bounds, bounds)) {
+    // Identical layouts add bucket-wise; a shorter other side lines up
+    // exactly except its tail, which stays the tail (values beyond its top
+    // bound would need re-bucketing information we don't have).
+    for (std::size_t i = 0; i + 1 < other.counts.size(); ++i) counts[i] += other.counts[i];
+    if (!other.counts.empty()) counts.back() += other.counts.back();
   } else {
     // Bucket layouts differ (shouldn't happen for same-named metrics); fold
     // the other side's summary in so totals stay right, buckets best-effort.
-    if (counts.empty()) counts.assign(bounds.size() + 1, 0);
     counts.back() += other.count;
   }
   count += other.count;
@@ -64,12 +105,14 @@ void MetricsRegistry::gauge_max(std::string_view name, double v) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
-                                      const std::vector<double>& bounds) {
+                                      const std::vector<double>& bounds,
+                                      bool auto_extend) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     Histogram h;
     h.bounds = bounds;
     h.counts.assign(h.bounds.size() + 1, 0);
+    h.auto_extend = auto_extend;
     it = histograms_.emplace(std::string(name), std::move(h)).first;
   }
   return it->second;
@@ -126,7 +169,10 @@ double ScopedTimer::stop() {
   if (registry_ == nullptr) return 0.0;
   double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  registry_->histogram(name_).record(elapsed);
+  // Wall-clock stage timings auto-range: a pathological run (say a minutes-
+  // long campaign stage) widens the ladder instead of vanishing into the
+  // +inf tail.
+  registry_->histogram(name_, default_time_bounds(), /*auto_extend=*/true).record(elapsed);
   registry_ = nullptr;
   return elapsed;
 }

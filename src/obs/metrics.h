@@ -42,8 +42,23 @@ struct Histogram {
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
 
+  /// Log-scale auto-ranging: when a value lands beyond the top bound and
+  /// nothing has reached the +inf tail yet, append bounds along the same
+  /// 1-3-10 ladder default_time_bounds() uses until the value is covered
+  /// (capped at kMaxAutoBounds; later outliers then fall in the tail as
+  /// usual). Off by default so explicitly-bounded histograms stay fixed.
+  bool auto_extend = false;
+
+  /// Hard cap on bounds growth under auto_extend (64 half-decade steps cover
+  /// any representable double we could plausibly time).
+  static constexpr std::size_t kMaxAutoBounds = 64;
+
   void record(double v);
   void merge_from(const Histogram& other);
+
+  /// Grows `bounds` along the 1-3-10 ladder until `v` is covered (or the
+  /// cap is hit), inserting empty buckets before the +inf tail.
+  void extend_bounds_to(double v);
 };
 
 /// Upper bounds (seconds) suited to wall-clock stage timings: 100 us .. 30 s.
@@ -59,9 +74,11 @@ class MetricsRegistry {
   double& gauge(std::string_view name);
   /// Convenience: gauge(name) = max(gauge(name), v) — for high-watermarks.
   void gauge_max(std::string_view name, double v);
-  /// Histogram slot; `bounds` applies only on first creation.
+  /// Histogram slot; `bounds` and `auto_extend` apply only on first
+  /// creation.
   Histogram& histogram(std::string_view name,
-                       const std::vector<double>& bounds = default_time_bounds());
+                       const std::vector<double>& bounds = default_time_bounds(),
+                       bool auto_extend = false);
 
   /// Folds another registry in: counters add, gauges keep the maximum
   /// (every gauge in this system is a high-watermark), histograms add

@@ -45,4 +45,14 @@ Dumbbell::Dumbbell(DumbbellConfig config) : config_(config) {
   router_right_->set_default_route(bottleneck_rl_);
 }
 
+bool Dumbbell::config_equals(const DumbbellConfig& other) const {
+  const DumbbellConfig& c = config_;
+  return c.access_rate_bps == other.access_rate_bps && c.access_delay == other.access_delay &&
+         c.access_queue_packets == other.access_queue_packets &&
+         c.bottleneck_rate_bps == other.bottleneck_rate_bps &&
+         c.bottleneck_delay == other.bottleneck_delay &&
+         c.bottleneck_queue_packets == other.bottleneck_queue_packets &&
+         c.bottleneck_drop_policy == other.bottleneck_drop_policy;
+}
+
 }  // namespace snake::sim

@@ -64,6 +64,14 @@ class Dumbbell {
 
   const DumbbellConfig& config() const { return config_; }
 
+  /// Rewinds the whole topology for reuse by a ScenarioArena; the node
+  /// graph, routes and link configurations stay, all scenario state goes.
+  void reset() { network_.reset(); }
+
+  /// Whether this dumbbell was built from exactly `other`'s parameters —
+  /// the arena reuses a topology only for identical configurations.
+  bool config_equals(const DumbbellConfig& other) const;
+
  private:
   DumbbellConfig config_;
   Network network_;

@@ -25,12 +25,14 @@ void Link::send(Packet packet) {
         if (victim < queue_.size()) {
           SNAKE_TRACE << config_.name << ": queue full, evicting queued packet id="
                       << queue_[victim].id;
+          scheduler_.buffer_pool().release(std::move(queue_[victim].bytes));
           queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
           queue_.push_back(std::move(packet));
           return;
         }
       }
       SNAKE_TRACE << config_.name << ": queue full, dropping packet id=" << packet.id;
+      scheduler_.buffer_pool().release(std::move(packet.bytes));
       return;
     }
     queue_.push_back(std::move(packet));
@@ -60,6 +62,17 @@ void Link::transmission_complete() {
     queue_.pop_front();
     start_transmission(std::move(next));
   }
+}
+
+void Link::reset() {
+  for (Packet& queued : queue_) scheduler_.buffer_pool().release(std::move(queued.bytes));
+  queue_.clear();
+  busy_ = false;
+  packets_sent_ = 0;
+  packets_dropped_ = 0;
+  bytes_sent_ = 0;
+  queue_highwater_ = 0;
+  drop_rng_ = snake::Rng(config_.drop_rng_seed);
 }
 
 void Link::export_metrics(obs::MetricsRegistry& registry) const {

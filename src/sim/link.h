@@ -59,6 +59,10 @@ class Link {
   /// forwarded/dropped, bytes, queue high-watermark).
   void export_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Rewinds to a just-constructed state for scenario-arena reuse: queue
+  /// emptied (buffers recycled), counters zeroed, drop RNG re-seeded.
+  void reset();
+
  private:
   void start_transmission(Packet packet);
   void transmission_complete();

@@ -27,4 +27,13 @@ void Network::enable_trace() {
   for (auto& node : nodes_) node->set_trace(&trace_);
 }
 
+void Network::reset() {
+  // Links first so queued packets recycle their buffers into the pool the
+  // scheduler keeps across the reset.
+  for (auto& link : links_) link->reset();
+  for (auto& node : nodes_) node->reset();
+  scheduler_.reset();
+  trace_.clear();
+}
+
 }  // namespace snake::sim

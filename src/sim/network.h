@@ -30,6 +30,11 @@ class Network {
   /// Enables packet capture on every node created so far.
   void enable_trace();
 
+  /// Rewinds every component (scheduler, nodes, links, trace) to its
+  /// just-constructed state while keeping the topology and warm pools —
+  /// the scenario-arena reuse hook.
+  void reset();
+
   const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 

@@ -21,6 +21,7 @@ class Node::NodeInjector : public Injector {
         node.route_and_send(std::move(packet));
       } else {
         node.demux(packet);
+        node.scheduler_.buffer_pool().release(std::move(packet.bytes));
       }
     };
     if (delay.is_zero()) {
@@ -60,6 +61,8 @@ void Node::receive_from_wire(Packet packet) {
     if (verdict == FilterVerdict::kConsume) return;
   }
   demux(packet);
+  // The packet dies here; its wire buffer goes back to the scenario pool.
+  scheduler_.buffer_pool().release(std::move(packet.bytes));
 }
 
 void Node::inject_packet(Packet packet, FilterDirection direction) {
@@ -69,7 +72,16 @@ void Node::inject_packet(Packet packet, FilterDirection direction) {
     route_and_send(std::move(packet));
   } else {
     demux(packet);
+    scheduler_.buffer_pool().release(std::move(packet.bytes));
   }
+}
+
+void Node::reset() {
+  protocols_.clear();
+  filter_ = nullptr;
+  trace_ = nullptr;
+  next_packet_id_ = 1;
+  // Routes survive: they describe the (static) topology, not scenario state.
 }
 
 void Node::register_protocol(std::uint8_t protocol, std::function<void(const Packet&)> handler) {
@@ -81,6 +93,7 @@ void Node::route_and_send(Packet packet) {
   if (link == nullptr) {
     SNAKE_WARN << name_ << ": no route to " << packet.dst << ", dropping";
     if (trace_) trace_->record(scheduler_.now(), TraceKind::kDrop, name_, packet);
+    scheduler_.buffer_pool().release(std::move(packet.bytes));
     return;
   }
   link->send(std::move(packet));

@@ -57,6 +57,10 @@ class Node {
 
   void set_trace(Trace* trace) { trace_ = trace; }
 
+  /// Rewinds scenario state (protocol handlers, filter, trace, packet-id
+  /// counter) for scenario-arena reuse; static routes are kept.
+  void reset();
+
  private:
   class NodeInjector;
 

@@ -1,32 +1,60 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.h"
 
 namespace snake::sim {
 
-Timer Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
+Timer Scheduler::do_schedule(TimePoint at, SmallFunction fn) {
   if (at < now_) at = now_;
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{at, next_seq_++,
-                    std::make_shared<std::function<void()>>(std::move(fn)), alive});
-  return Timer(std::move(alive));
+  std::uint32_t slot = acquire_slot();
+  EventSlot& event = slots_[slot];
+  event.fn = std::move(fn);
+  event.armed = true;
+  heap_.push_back(HeapEntry{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>());
+  return Timer(this, slot, event.generation);
+}
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_.empty()) {
+    std::uint32_t index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t index) {
+  EventSlot& event = slots_[index];
+  event.fn.reset();
+  event.armed = false;
+  ++event.generation;  // invalidates every outstanding Timer for this slot
+  free_.push_back(index);
 }
 
 void Scheduler::run_until(TimePoint until) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.at > until) break;
-    Entry entry = top;  // copies the shared handles; the queue stays intact
-    queue_.pop();
+  while (!heap_.empty()) {
+    HeapEntry entry = heap_.front();
+    if (entry.at > until) break;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>());
+    heap_.pop_back();
     now_ = entry.at;
-    if (*entry.alive) {
-      *entry.alive = false;
+    EventSlot& event = slots_[entry.slot];
+    if (event.armed) {
+      // Move the callback out and recycle the slot *before* invoking, so the
+      // callback observes its own timer as !pending() and may immediately
+      // reuse the slot for a rescheduled event (the retransmit pattern).
+      SmallFunction fn = std::move(event.fn);
+      release_slot(entry.slot);
       ++executed_;
-      (*entry.fn)();
+      fn();
     } else {
       ++cancelled_;
+      release_slot(entry.slot);
     }
   }
   // Advance the clock to the horizon so "run for N seconds" works even when
@@ -36,10 +64,30 @@ void Scheduler::run_until(TimePoint until) {
 
 void Scheduler::run_all() { run_until(TimePoint::max()); }
 
+void Scheduler::reset() {
+  heap_.clear();
+  free_.clear();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    EventSlot& event = slots_[i];
+    event.fn.reset();  // destroys any still-pending callback
+    event.armed = false;
+    ++event.generation;
+    free_.push_back(i);
+  }
+  buffers_.reset_stats();
+  now_ = TimePoint::origin();
+  next_seq_ = 0;
+  executed_ = 0;
+  cancelled_ = 0;
+}
+
 void Scheduler::export_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("sim.events_executed") += executed_;
   registry.counter("sim.events_cancelled") += cancelled_;
   registry.gauge_max("sim.virtual_time_seconds", now_.to_seconds());
+  registry.counter("sim.buffers_acquired") += buffers_.acquired();
+  registry.counter("sim.buffers_reused") += buffers_.reused();
+  registry.gauge_max("sim.event_pool_slots", static_cast<double>(slots_.size()));
 }
 
 }  // namespace snake::sim

@@ -5,14 +5,24 @@
 // every scenario bit-for-bit reproducible for a given seed. Timers are
 // cancellable handles so protocol endpoints can manage retransmission and
 // delayed-ACK timers naturally.
+//
+// Memory model: events live in a slab of pooled slots recycled through a
+// free list, callbacks are stored in place (util::SmallFunction), and the
+// ready queue is a binary heap of plain {time, seq, slot} records — the
+// common schedule/fire/cancel cycle allocates nothing once the slab is
+// warm. The scheduler also owns the scenario's packet BufferPool so every
+// component on the data path (links, nodes, transport stacks) can recycle
+// wire buffers without a second ownership channel. reset() rewinds the
+// scheduler to its initial state while keeping slab and buffer capacity,
+// which is what lets a campaign executor's ScenarioArena reuse one
+// scheduler across thousands of strategy trials.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "util/pool.h"
 #include "util/time.h"
 
 namespace snake::obs {
@@ -21,22 +31,29 @@ class MetricsRegistry;
 
 namespace snake::sim {
 
+class Scheduler;
+
 /// Cancellable handle to a scheduled event. Copies share the same underlying
 /// event; cancelling any copy cancels the event. Default-constructed handles
-/// are inert.
+/// are inert. A handle refers to its slot by (index, generation), so handles
+/// that outlive their event — or whose slot was recycled for a newer event —
+/// safely report !pending(). Handles must not outlive the scheduler itself
+/// (endpoints and apps are always torn down or reset before it).
 class Timer {
  public:
   Timer() = default;
 
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
-  bool pending() const { return alive_ && *alive_; }
+  inline void cancel();
+  inline bool pending() const;
 
  private:
   friend class Scheduler;
-  explicit Timer(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  Timer(Scheduler* scheduler, std::uint32_t slot, std::uint32_t generation)
+      : scheduler_(scheduler), slot_(slot), generation_(generation) {}
+
+  Scheduler* scheduler_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Scheduler {
@@ -44,11 +61,15 @@ class Scheduler {
   TimePoint now() const { return now_; }
 
   /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
-  Timer schedule_at(TimePoint at, std::function<void()> fn);
+  template <typename F>
+  Timer schedule_at(TimePoint at, F&& fn) {
+    return do_schedule(at, SmallFunction(std::forward<F>(fn)));
+  }
 
   /// Schedules `fn` after `delay` of virtual time.
-  Timer schedule_in(Duration delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  Timer schedule_in(Duration delay, F&& fn) {
+    return do_schedule(now_ + delay, SmallFunction(std::forward<F>(fn)));
   }
 
   /// Runs events until the queue is empty or virtual time would pass `until`.
@@ -57,35 +78,80 @@ class Scheduler {
   /// Runs until the event queue drains completely.
   void run_all();
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return heap_.empty(); }
   std::uint64_t events_executed() const { return executed_; }
   /// Events popped whose timer had been cancelled before they fired.
   std::uint64_t events_cancelled() const { return cancelled_; }
 
+  /// The scenario-wide recycled packet-buffer pool. Links, nodes and
+  /// transport stacks acquire wire buffers here and release them at the
+  /// point a packet dies (delivery or drop).
+  BufferPool& buffer_pool() { return buffers_; }
+
+  /// Event-slot slab size / current free-list depth (pool observability).
+  std::size_t event_pool_slots() const { return slots_.size(); }
+  std::size_t event_pool_free() const { return free_.size(); }
+
+  /// Rewinds to a just-constructed state — pending events destroyed, clock
+  /// at origin, counters zeroed — while keeping the event slab and buffer
+  /// pool capacity warm. Outstanding Timer handles become inert.
+  void reset();
+
   /// Dumps scheduler counters (events executed/cancelled, virtual time
-  /// advanced) into the registry under the "sim." prefix.
+  /// advanced, pool activity) into the registry under the "sim." prefix.
   void export_metrics(obs::MetricsRegistry& registry) const;
 
  private:
-  struct Entry {
+  friend class Timer;
+
+  /// One pooled event. `generation` increments on every release, so stale
+  /// Timer handles (and queue entries, though those can't outlive the slot
+  /// in practice) never touch a recycled event.
+  struct EventSlot {
+    SmallFunction fn;
+    std::uint32_t generation = 0;
+    bool armed = false;
+  };
+
+  /// Heap record: 24 bytes, trivially copyable, no ownership.
+  struct HeapEntry {
     TimePoint at;
     std::uint64_t seq;
-    // Shared (not inline) so entries can be copied out of priority_queue's
-    // const top() without const_cast tricks — mutating top() through
-    // const_cast was undefined behaviour (see tests/sim_test.cpp regression).
-    std::shared_ptr<std::function<void()>> fn;
-    std::shared_ptr<bool> alive;
-    bool operator>(const Entry& o) const {
+    std::uint32_t slot;
+    bool operator>(const HeapEntry& o) const {
       if (at != o.at) return at > o.at;
       return seq > o.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  Timer do_schedule(TimePoint at, SmallFunction fn);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
+  bool timer_pending(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation &&
+           slots_[slot].armed;
+  }
+  void timer_cancel(std::uint32_t slot, std::uint32_t generation) {
+    if (timer_pending(slot, generation)) slots_[slot].armed = false;
+  }
+
+  std::vector<HeapEntry> heap_;  ///< min-heap via std::push_heap/pop_heap
+  std::vector<EventSlot> slots_;
+  std::vector<std::uint32_t> free_;
+  BufferPool buffers_;
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
 };
+
+inline void Timer::cancel() {
+  if (scheduler_ != nullptr) scheduler_->timer_cancel(slot_, generation_);
+}
+
+inline bool Timer::pending() const {
+  return scheduler_ != nullptr && scheduler_->timer_pending(slot_, generation_);
+}
 
 }  // namespace snake::sim

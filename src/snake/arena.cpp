@@ -1,0 +1,86 @@
+#include "snake/arena.h"
+
+namespace snake::core {
+
+struct ScenarioArena::TcpStacks {
+  tcp::TcpStack client1;
+  tcp::TcpStack client2;
+  tcp::TcpStack server1;
+  tcp::TcpStack server2;
+
+  TcpStacks(sim::Dumbbell& net, const tcp::TcpProfile& profile, snake::Rng& rng)
+      : client1(net.client1(), profile, rng.fork()),
+        client2(net.client2(), profile, rng.fork()),
+        server1(net.server1(), profile, rng.fork()),
+        server2(net.server2(), profile, rng.fork()) {}
+};
+
+struct ScenarioArena::DccpStacks {
+  dccp::DccpStack client1;
+  dccp::DccpStack client2;
+  dccp::DccpStack server1;
+  dccp::DccpStack server2;
+
+  DccpStacks(sim::Dumbbell& net, snake::Rng& rng)
+      : client1(net.client1(), rng.fork()),
+        client2(net.client2(), rng.fork()),
+        server1(net.server1(), rng.fork()),
+        server2(net.server2(), rng.fork()) {}
+};
+
+ScenarioArena::ScenarioArena() = default;
+
+// Members are destroyed in reverse declaration order, so the stacks (whose
+// endpoint destructors cancel timers against the scheduler) go before net_.
+ScenarioArena::~ScenarioArena() = default;
+
+void ScenarioArena::prepare_network(const sim::DumbbellConfig& topology) {
+  if (net_ == nullptr || !net_->config_equals(topology)) {
+    // The stacks hold references to nodes inside the old dumbbell; drop
+    // them before the network they point into.
+    tcp_.reset();
+    dccp_.reset();
+    net_ = std::make_unique<sim::Dumbbell>(topology);
+  } else {
+    net_->reset();
+  }
+}
+
+ScenarioArena::TcpRig ScenarioArena::acquire_tcp(const sim::DumbbellConfig& topology,
+                                                 const tcp::TcpProfile& profile,
+                                                 snake::Rng& rng) {
+  prepare_network(topology);
+  // Stale endpoints from a previous DCCP trial would otherwise linger with
+  // dangling timer handles; a rig is protocol-exclusive.
+  dccp_.reset();
+  // Overwriting the profile copy while last trial's endpoints still point at
+  // it is fine: they are destroyed (without reading it) in reset() below.
+  tcp_profile_ = profile;
+  if (tcp_ == nullptr) {
+    tcp_ = std::make_unique<TcpStacks>(*net_, tcp_profile_, rng);
+  } else {
+    tcp_->client1.reset(tcp_profile_, rng.fork());
+    tcp_->client2.reset(tcp_profile_, rng.fork());
+    tcp_->server1.reset(tcp_profile_, rng.fork());
+    tcp_->server2.reset(tcp_profile_, rng.fork());
+  }
+  return TcpRig{net_.get(), &tcp_->client1, &tcp_->client2, &tcp_->server1, &tcp_->server2};
+}
+
+ScenarioArena::DccpRig ScenarioArena::acquire_dccp(const sim::DumbbellConfig& topology,
+                                                   snake::Rng& rng) {
+  prepare_network(topology);
+  tcp_.reset();
+  if (dccp_ == nullptr) {
+    dccp_ = std::make_unique<DccpStacks>(*net_, rng);
+  } else {
+    dccp_->client1.reset(rng.fork());
+    dccp_->client2.reset(rng.fork());
+    dccp_->server1.reset(rng.fork());
+    dccp_->server2.reset(rng.fork());
+  }
+  return DccpRig{net_.get(), &dccp_->client1, &dccp_->client2, &dccp_->server1,
+                 &dccp_->server2};
+}
+
+}  // namespace snake::core

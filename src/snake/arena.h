@@ -1,0 +1,77 @@
+// Per-executor scenario arena: keeps one dumbbell network and one set of
+// protocol stacks alive across trials so each run_scenario call resets them
+// in place instead of rebuilding the whole rig. A campaign worker runs
+// thousands of trials against the same topology; reconstruction was pure
+// allocator churn (the paper's executors restore VM snapshots between runs
+// for the same isolation guarantee this reset provides).
+//
+// Determinism contract: a run through a reused arena is bit-identical to a
+// run through a fresh one — reset restores every piece of state a
+// constructor would have initialised, and the RNG fork order (client1,
+// client2, server1, server2, then proxy in the caller) is the same on both
+// paths. tests/arena_test.cpp enforces this.
+#pragma once
+
+#include <memory>
+
+#include "dccp/stack.h"
+#include "sim/dumbbell.h"
+#include "tcp/profile.h"
+#include "tcp/stack.h"
+#include "util/rng.h"
+
+namespace snake::core {
+
+class ScenarioArena {
+ public:
+  ScenarioArena();
+  ~ScenarioArena();
+  ScenarioArena(const ScenarioArena&) = delete;
+  ScenarioArena& operator=(const ScenarioArena&) = delete;
+
+  /// Non-owning view of the prepared rig, valid until the next acquire_*
+  /// call or arena destruction.
+  struct TcpRig {
+    sim::Dumbbell* net;
+    tcp::TcpStack* client1;
+    tcp::TcpStack* client2;
+    tcp::TcpStack* server1;
+    tcp::TcpStack* server2;
+  };
+  struct DccpRig {
+    sim::Dumbbell* net;
+    dccp::DccpStack* client1;
+    dccp::DccpStack* client2;
+    dccp::DccpStack* server1;
+    dccp::DccpStack* server2;
+  };
+
+  /// Returns a fully reset TCP rig for `topology`, reusing the cached
+  /// dumbbell and stacks when possible (the dumbbell is rebuilt only when
+  /// the topology config differs). Forks `rng` once per stack in the
+  /// canonical order client1, client2, server1, server2.
+  TcpRig acquire_tcp(const sim::DumbbellConfig& topology, const tcp::TcpProfile& profile,
+                     snake::Rng& rng);
+
+  /// DCCP counterpart of acquire_tcp.
+  DccpRig acquire_dccp(const sim::DumbbellConfig& topology, snake::Rng& rng);
+
+ private:
+  struct TcpStacks;
+  struct DccpStacks;
+
+  /// Rebuilds the dumbbell if `topology` differs from the cached one
+  /// (dropping every stack first — they hold references into it), otherwise
+  /// resets it in place.
+  void prepare_network(const sim::DumbbellConfig& topology);
+
+  std::unique_ptr<sim::Dumbbell> net_;
+  /// Arena-owned copy of the trial's profile: stacks and their endpoints
+  /// keep pointers into this, so it must outlive them and stay at a stable
+  /// address across trials.
+  tcp::TcpProfile tcp_profile_;
+  std::unique_ptr<TcpStacks> tcp_;
+  std::unique_ptr<DccpStacks> dccp_;
+};
+
+}  // namespace snake::core

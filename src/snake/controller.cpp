@@ -11,6 +11,7 @@
 #include "obs/json.h"
 #include "packet/dccp_format.h"
 #include "packet/tcp_format.h"
+#include "snake/arena.h"
 #include "statemachine/protocol_specs.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -88,6 +89,11 @@ std::string CampaignResult::summary_row() const {
 
 std::string CampaignResult::to_json() const {
   obs::JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+void CampaignResult::write_json(obs::JsonWriter& w) const {
   w.begin_object();
   w.key("schema").value("snake-campaign-report/v1");
   w.key("protocol").value(to_string(protocol));
@@ -136,7 +142,6 @@ std::string CampaignResult::to_json() const {
   w.key("metrics");
   metrics.write_json(w);
   w.end_object();
-  return w.take();
 }
 
 CampaignResult run_campaign(const CampaignConfig& config) {
@@ -164,12 +169,15 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   base_scenario.metrics = main_reg;
   ScenarioConfig retest_scenario = base_scenario;
   retest_scenario.seed += config.retest_seed_offset;
+  // The main thread's arena serves the baselines now and the combination
+  // phase later; each worker owns its own (arenas are single-threaded).
+  ScenarioArena main_arena;
   RunMetrics baseline;
   RunMetrics retest_baseline;
   {
     obs::ScopedTimer timer(main_reg, "campaign.baseline_seconds");
-    baseline = run_scenario(base_scenario, std::nullopt);
-    retest_baseline = run_scenario(retest_scenario, std::nullopt);
+    baseline = run_scenario(main_arena, base_scenario, std::nullopt);
+    retest_baseline = run_scenario(main_arena, retest_scenario, std::nullopt);
   }
   result.baseline = baseline;
 
@@ -205,7 +213,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   }
 
   auto worker = [&](obs::MetricsRegistry* reg) {
-    // Thread-private scenario configs pointing at this executor's registry.
+    // Thread-private scenario configs pointing at this executor's registry,
+    // plus the executor's arena: network and stacks built once, reset
+    // between trials.
+    ScenarioArena arena;
     ScenarioConfig run_config = config.scenario;
     run_config.metrics = reg;
     ScenarioConfig retest_config = run_config;
@@ -235,7 +246,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       }
 
       obs::ScopedTimer strategy_timer(reg, "campaign.strategy_seconds");
-      RunMetrics run = run_scenario(run_config, strat);
+      RunMetrics run = run_scenario(arena, run_config, strat);
       Detection first = detect(baseline, run, threshold);
       count_detection_reasons(reg, first, threshold);
 
@@ -244,7 +255,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         if (reg != nullptr) ++reg->counter("campaign.detected_first_pass");
         // Repeatability check under a different seed.
         obs::ScopedTimer retest_timer(reg, "campaign.retest_seconds");
-        RunMetrics again = run_scenario(retest_config, strat);
+        RunMetrics again = run_scenario(arena, retest_config, strat);
         Detection second = detect(retest_baseline, again, threshold);
         if (second.is_attack) {
           if (reg != nullptr) ++reg->counter("campaign.retest_confirmed");
@@ -332,7 +343,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     for (std::size_t i = 0; i < top.size(); ++i) {
       for (std::size_t j = i + 1; j < top.size(); ++j) {
         std::vector<strategy::Strategy> pair = {top[i]->strat, top[j]->strat};
-        RunMetrics run = run_scenario(base_scenario, pair);
+        RunMetrics run = run_scenario(main_arena, base_scenario, pair);
         Detection d = detect(baseline, run, threshold);
         count_detection_reasons(main_reg, d, threshold);
         ++result.combinations_tried;

@@ -110,6 +110,11 @@ struct CampaignResult {
   /// results, and the full metrics snapshot. Schema tag:
   /// "snake-campaign-report/v1" (see observability_test.cpp).
   std::string to_json() const;
+
+  /// Streaming variant: writes the same document as one JSON value into `w`
+  /// (which may be a sink-backed writer flushed between campaigns, so a long
+  /// bench run never holds every report in memory at once).
+  void write_json(obs::JsonWriter& w) const;
 };
 
 /// Runs a full campaign for one implementation.

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "packet/dccp_format.h"
 #include "packet/tcp_format.h"
+#include "snake/arena.h"
 #include "statemachine/protocol_specs.h"
 #include "tcp/stack.h"
 
@@ -71,16 +72,16 @@ void export_run_observability(const ScenarioConfig& config, sim::Dumbbell& net,
   attack_proxy.export_metrics(reg);
 }
 
-RunMetrics run_tcp(const ScenarioConfig& config,
+RunMetrics run_tcp(ScenarioArena& arena, const ScenarioConfig& config,
                    const std::vector<strategy::Strategy>& attacks) {
   obs::ScopedTimer run_timer(config.metrics, "scenario.run_seconds");
-  sim::Dumbbell net(config.topology);
   snake::Rng rng(config.seed);
-
-  tcp::TcpStack client1(net.client1(), config.tcp_profile, rng.fork());
-  tcp::TcpStack client2(net.client2(), config.tcp_profile, rng.fork());
-  tcp::TcpStack server1(net.server1(), config.tcp_profile, rng.fork());
-  tcp::TcpStack server2(net.server2(), config.tcp_profile, rng.fork());
+  ScenarioArena::TcpRig rig = arena.acquire_tcp(config.topology, config.tcp_profile, rng);
+  sim::Dumbbell& net = *rig.net;
+  tcp::TcpStack& client1 = *rig.client1;
+  tcp::TcpStack& client2 = *rig.client2;
+  tcp::TcpStack& server1 = *rig.server1;
+  tcp::TcpStack& server2 = *rig.server2;
 
   proxy::AttackProxy attack_proxy(net.client1(), packet::tcp_codec(),
                                   statemachine::tcp_state_machine(),
@@ -112,16 +113,16 @@ RunMetrics run_tcp(const ScenarioConfig& config,
   return m;
 }
 
-RunMetrics run_dccp(const ScenarioConfig& config,
+RunMetrics run_dccp(ScenarioArena& arena, const ScenarioConfig& config,
                     const std::vector<strategy::Strategy>& attacks) {
   obs::ScopedTimer run_timer(config.metrics, "scenario.run_seconds");
-  sim::Dumbbell net(config.topology);
   snake::Rng rng(config.seed);
-
-  dccp::DccpStack client1(net.client1(), rng.fork());
-  dccp::DccpStack client2(net.client2(), rng.fork());
-  dccp::DccpStack server1(net.server1(), rng.fork());
-  dccp::DccpStack server2(net.server2(), rng.fork());
+  ScenarioArena::DccpRig rig = arena.acquire_dccp(config.topology, rng);
+  sim::Dumbbell& net = *rig.net;
+  dccp::DccpStack& client1 = *rig.client1;
+  dccp::DccpStack& client2 = *rig.client2;
+  dccp::DccpStack& server1 = *rig.server1;
+  dccp::DccpStack& server2 = *rig.server2;
 
   proxy::AttackProxy attack_proxy(net.client1(), packet::dccp_codec(),
                                   statemachine::dccp_state_machine(),
@@ -164,17 +165,29 @@ RunMetrics run_dccp(const ScenarioConfig& config,
 
 }  // namespace
 
+RunMetrics run_scenario(ScenarioArena& arena, const ScenarioConfig& config,
+                        const std::vector<strategy::Strategy>& attacks) {
+  return config.protocol == Protocol::kTcp ? run_tcp(arena, config, attacks)
+                                           : run_dccp(arena, config, attacks);
+}
+
+RunMetrics run_scenario(ScenarioArena& arena, const ScenarioConfig& config,
+                        const std::optional<strategy::Strategy>& attack) {
+  std::vector<strategy::Strategy> attacks;
+  if (attack.has_value()) attacks.push_back(*attack);
+  return run_scenario(arena, config, attacks);
+}
+
 RunMetrics run_scenario(const ScenarioConfig& config,
                         const std::vector<strategy::Strategy>& attacks) {
-  return config.protocol == Protocol::kTcp ? run_tcp(config, attacks)
-                                           : run_dccp(config, attacks);
+  ScenarioArena arena;
+  return run_scenario(arena, config, attacks);
 }
 
 RunMetrics run_scenario(const ScenarioConfig& config,
                         const std::optional<strategy::Strategy>& attack) {
-  std::vector<strategy::Strategy> attacks;
-  if (attack.has_value()) attacks.push_back(*attack);
-  return run_scenario(config, attacks);
+  ScenarioArena arena;
+  return run_scenario(arena, config, attack);
 }
 
 }  // namespace snake::core

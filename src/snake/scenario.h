@@ -93,15 +93,27 @@ struct RunMetrics {
   proxy::ProxyStats proxy;
 };
 
-/// Runs one scenario to completion and returns its metrics. Fresh network,
-/// stacks and applications every time (the paper's executors restore VM
-/// snapshots for the same reason: runs must be independent).
+class ScenarioArena;
+
+/// Runs one scenario to completion and returns its metrics. Runs are
+/// independent every time (the paper's executors restore VM snapshots for
+/// the same reason); these convenience overloads build a throwaway
+/// ScenarioArena per call.
 RunMetrics run_scenario(const ScenarioConfig& config,
                         const std::optional<strategy::Strategy>& attack);
 
 /// Combined-strategy variant: all strategies in `attacks` are active at
 /// once (see AttackProxy::set_strategies for composition semantics).
 RunMetrics run_scenario(const ScenarioConfig& config,
+                        const std::vector<strategy::Strategy>& attacks);
+
+/// Arena variants: the network and stacks are borrowed from `arena` and
+/// reset in place rather than rebuilt — the hot path for campaign workers,
+/// which run thousands of trials against one topology. Bit-identical to the
+/// arena-less overloads for the same config (see arena.h).
+RunMetrics run_scenario(ScenarioArena& arena, const ScenarioConfig& config,
+                        const std::optional<strategy::Strategy>& attack);
+RunMetrics run_scenario(ScenarioArena& arena, const ScenarioConfig& config,
                         const std::vector<strategy::Strategy>& attacks);
 
 }  // namespace snake::core

@@ -497,7 +497,8 @@ void TcpEndpoint::emit(std::uint8_t flags, Seq seq, const Bytes& payload, bool d
   sim::Packet p;
   p.dst = config_.remote_addr;
   p.protocol = sim::kProtoTcp;
-  p.bytes = serialize(s);
+  p.bytes = node_.scheduler().buffer_pool().acquire();
+  serialize_into(s, p.bytes);
   ++stats_.segments_sent;
   stats_.bytes_sent_wire += payload.size();
   SNAKE_TRACE << node_.name() << " tcp tx " << s.summary();

@@ -40,6 +40,12 @@ std::string Segment::summary() const {
 
 Bytes serialize(const Segment& segment) {
   Bytes out;
+  serialize_into(segment, out);
+  return out;
+}
+
+void serialize_into(const Segment& segment, Bytes& out) {
+  out.clear();
   out.reserve(kHeaderBytes + segment.payload.size());
   ByteWriter w(out);
   w.u16(segment.src_port);
@@ -56,7 +62,6 @@ Bytes serialize(const Segment& segment) {
   w.u16(segment.urgent_ptr);
   w.raw(segment.payload);
   fill_embedded_checksum(out, kChecksumOffset);
-  return out;
 }
 
 std::optional<Segment> parse_segment(const Bytes& raw) {

@@ -43,6 +43,11 @@ struct Segment {
 /// checksum.
 Bytes serialize(const Segment& segment);
 
+/// Serializes into `out` (cleared first), reusing its capacity — the
+/// endpoint hot path feeds this recycled buffers from the scenario's
+/// sim::BufferPool so steady-state sends allocate nothing.
+void serialize_into(const Segment& segment, Bytes& out);
+
 /// Parses wire bytes; returns std::nullopt for truncated input or a bad
 /// checksum (the receiving stack drops such packets silently).
 std::optional<Segment> parse_segment(const Bytes& raw);

@@ -11,6 +11,19 @@ TcpStack::TcpStack(sim::Node& node, const TcpProfile& profile, snake::Rng rng)
                           [this](const sim::Packet& packet) { on_packet(packet); });
 }
 
+void TcpStack::reset(const TcpProfile& profile, snake::Rng rng) {
+  // Endpoint destructors may cancel timers; after Scheduler::reset those
+  // handles are stale, which generation counters make a safe no-op.
+  endpoints_.clear();
+  connections_.clear();
+  listeners_.clear();
+  next_ephemeral_port_ = 40000;
+  profile_ = &profile;
+  rng_ = rng;
+  node_.register_protocol(sim::kProtoTcp,
+                          [this](const sim::Packet& packet) { on_packet(packet); });
+}
+
 TcpEndpoint& TcpStack::connect(sim::Address remote, std::uint16_t remote_port,
                                TcpCallbacks callbacks) {
   TcpEndpointConfig config;
@@ -81,7 +94,8 @@ void TcpStack::on_packet(const sim::Packet& packet) {
     sim::Packet reply;
     reply.dst = packet.src;
     reply.protocol = sim::kProtoTcp;
-    reply.bytes = serialize(rst);
+    reply.bytes = node_.scheduler().buffer_pool().acquire();
+    serialize_into(rst, reply.bytes);
     node_.send_packet(std::move(reply));
   }
 }

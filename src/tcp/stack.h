@@ -23,6 +23,12 @@ class TcpStack {
  public:
   TcpStack(sim::Node& node, const TcpProfile& profile, snake::Rng rng);
 
+  /// Returns the stack to its just-constructed state for scenario-arena
+  /// reuse: drops all endpoints/listeners/connections, restores the
+  /// ephemeral port counter, swaps in the trial's profile and forked RNG,
+  /// and re-registers the protocol handler (Node::reset cleared it).
+  void reset(const TcpProfile& profile, snake::Rng rng);
+
   /// Active open. Returns the endpoint (owned by the stack; valid for the
   /// stack's lifetime). The connection starts immediately.
   TcpEndpoint& connect(sim::Address remote, std::uint16_t remote_port, TcpCallbacks callbacks);

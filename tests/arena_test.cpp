@@ -1,0 +1,154 @@
+// ScenarioArena state-isolation and determinism guarantees.
+//
+// The arena reuses one dumbbell + stack rig across trials, resetting in
+// place. The whole design is only admissible if reuse is invisible: a run
+// through a dirty arena must be bit-identical to the same run through a
+// fresh one, and campaign results must not depend on how trials were
+// distributed over arenas. These tests are the enforcement.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "snake/arena.h"
+#include "snake/controller.h"
+#include "snake/scenario.h"
+#include "strategy/strategy.h"
+#include "tcp/profile.h"
+
+namespace snake::core {
+namespace {
+
+ScenarioConfig quick_config(Protocol protocol, std::uint64_t seed) {
+  ScenarioConfig c;
+  c.protocol = protocol;
+  c.tcp_profile = tcp::linux_3_13_profile();
+  c.test_duration = Duration::seconds(3.0);
+  c.seed = seed;
+  return c;
+}
+
+strategy::Strategy drop_strategy(const char* packet_type, const char* state) {
+  strategy::Strategy s;
+  s.action = strategy::AttackAction::kDrop;
+  s.packet_type = packet_type;
+  s.target_state = state;
+  s.direction = strategy::TrafficDirection::kClientToServer;
+  return s;
+}
+
+/// Field-by-field equality over everything a detector or report reads.
+/// (RunMetrics has no operator==; spelling the fields out also gives usable
+/// failure messages.)
+void expect_runs_equal(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.target_bytes, b.target_bytes);
+  EXPECT_EQ(a.competing_bytes, b.competing_bytes);
+  EXPECT_EQ(a.target_established, b.target_established);
+  EXPECT_EQ(a.competing_established, b.competing_established);
+  EXPECT_EQ(a.target_reset, b.target_reset);
+  EXPECT_EQ(a.competing_reset, b.competing_reset);
+  EXPECT_EQ(a.server1_stuck_sockets, b.server1_stuck_sockets);
+  EXPECT_EQ(a.server2_stuck_sockets, b.server2_stuck_sockets);
+  EXPECT_EQ(a.server1_socket_states, b.server1_socket_states);
+  EXPECT_EQ(a.client_observations, b.client_observations);
+  EXPECT_EQ(a.server_observations, b.server_observations);
+  ASSERT_EQ(a.client_state_stats.size(), b.client_state_stats.size());
+  for (const auto& [state, stats] : a.client_state_stats) {
+    auto it = b.client_state_stats.find(state);
+    ASSERT_NE(it, b.client_state_stats.end()) << state;
+    EXPECT_EQ(stats.visits, it->second.visits) << state;
+    EXPECT_EQ(stats.total_time.to_seconds(), it->second.total_time.to_seconds()) << state;
+    EXPECT_EQ(stats.sent_by_type, it->second.sent_by_type) << state;
+    EXPECT_EQ(stats.received_by_type, it->second.received_by_type) << state;
+  }
+  EXPECT_EQ(a.proxy.intercepted, b.proxy.intercepted);
+  EXPECT_EQ(a.proxy.matched, b.proxy.matched);
+  EXPECT_EQ(a.proxy.dropped, b.proxy.dropped);
+  EXPECT_EQ(a.proxy.duplicates_created, b.proxy.duplicates_created);
+  EXPECT_EQ(a.proxy.delayed, b.proxy.delayed);
+  EXPECT_EQ(a.proxy.batched, b.proxy.batched);
+  EXPECT_EQ(a.proxy.reflected, b.proxy.reflected);
+  EXPECT_EQ(a.proxy.modified, b.proxy.modified);
+  EXPECT_EQ(a.proxy.injected, b.proxy.injected);
+}
+
+TEST(ScenarioArena, ReusedTcpRunEqualsFreshRun) {
+  ScenarioConfig run_a = quick_config(Protocol::kTcp, 11);
+  ScenarioConfig run_b = quick_config(Protocol::kTcp, 22);
+
+  // Dirty the arena with run A (an attack run, so proxy state, drops, and
+  // half-torn-down connections are all left behind), then run B through it.
+  ScenarioArena arena;
+  run_scenario(arena, run_a, drop_strategy("RST", "FIN_WAIT_2"));
+  RunMetrics reused = run_scenario(arena, run_b, std::nullopt);
+
+  RunMetrics fresh = run_scenario(run_b, std::nullopt);
+  expect_runs_equal(reused, fresh);
+}
+
+TEST(ScenarioArena, ReusedDccpRunEqualsFreshRun) {
+  ScenarioConfig run_a = quick_config(Protocol::kDccp, 11);
+  ScenarioConfig run_b = quick_config(Protocol::kDccp, 22);
+
+  ScenarioArena arena;
+  run_scenario(arena, run_a, drop_strategy("DCCP-Ack", "OPEN"));
+  RunMetrics reused = run_scenario(arena, run_b, std::nullopt);
+
+  RunMetrics fresh = run_scenario(run_b, std::nullopt);
+  expect_runs_equal(reused, fresh);
+}
+
+TEST(ScenarioArena, ProtocolSwitchInOneArenaStaysClean) {
+  // TCP -> DCCP -> TCP through one arena: the rig is rebuilt per protocol
+  // and nothing from the other protocol's trials may bleed through.
+  ScenarioConfig tcp_run = quick_config(Protocol::kTcp, 7);
+  ScenarioConfig dccp_run = quick_config(Protocol::kDccp, 7);
+
+  ScenarioArena arena;
+  run_scenario(arena, tcp_run, std::nullopt);
+  RunMetrics dccp_reused = run_scenario(arena, dccp_run, std::nullopt);
+  RunMetrics tcp_reused = run_scenario(arena, tcp_run, std::nullopt);
+
+  expect_runs_equal(dccp_reused, run_scenario(dccp_run, std::nullopt));
+  expect_runs_equal(tcp_reused, run_scenario(tcp_run, std::nullopt));
+}
+
+TEST(ScenarioArena, TopologyChangeRebuildsRig) {
+  ScenarioConfig small = quick_config(Protocol::kTcp, 5);
+  ScenarioConfig big = quick_config(Protocol::kTcp, 5);
+  big.topology.bottleneck_queue_packets = small.topology.bottleneck_queue_packets * 4;
+
+  ScenarioArena arena;
+  run_scenario(arena, small, std::nullopt);
+  RunMetrics reused = run_scenario(arena, big, std::nullopt);
+  expect_runs_equal(reused, run_scenario(big, std::nullopt));
+}
+
+// Golden determinism at campaign scope: same config -> byte-identical
+// summary and outcomes, run after run, with arenas being reused across
+// every worker's trial sequence internally.
+TEST(ScenarioArena, CampaignResultsAreReproducible) {
+  CampaignConfig config;
+  config.scenario = quick_config(Protocol::kTcp, 9);
+  config.generator = strategy::tcp_generator_config();
+  config.generator.hitseq_max_packets = 2000;
+  config.executors = 2;
+  config.max_strategies = 12;
+
+  CampaignResult first = run_campaign(config);
+  CampaignResult second = run_campaign(config);
+
+  EXPECT_EQ(first.summary_row(), second.summary_row());
+  EXPECT_EQ(first.unique_signatures, second.unique_signatures);
+  ASSERT_EQ(first.found.size(), second.found.size());
+  for (std::size_t i = 0; i < first.found.size(); ++i) {
+    EXPECT_EQ(first.found[i].strat.describe(), second.found[i].strat.describe());
+    EXPECT_EQ(first.found[i].signature, second.found[i].signature);
+    EXPECT_EQ(first.found[i].detection.is_attack, second.found[i].detection.is_attack);
+  }
+  expect_runs_equal(first.baseline, second.baseline);
+}
+
+}  // namespace
+}  // namespace snake::core

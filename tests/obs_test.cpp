@@ -190,5 +190,93 @@ TEST(Json, NonFiniteDoublesSerializeAsNull) {
   EXPECT_TRUE(v->array_v[0].is_null());
 }
 
+// ------------------------------------------------- histogram auto-ranging
+
+TEST(Metrics, AutoExtendWidensBoundsAlongLogLadder) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t", default_time_bounds(), /*auto_extend=*/true);
+  h.record(0.5);
+  h.record(250.0);  // past the default 30 s top bound
+  // The ladder continues 30 -> 100 -> 300; 250 lands in the (100, 300]
+  // bucket and the +inf tail stays empty.
+  ASSERT_GE(h.bounds.size(), default_time_bounds().size() + 2);
+  EXPECT_DOUBLE_EQ(h.bounds[default_time_bounds().size()], 100.0);
+  EXPECT_DOUBLE_EQ(h.bounds[default_time_bounds().size() + 1], 300.0);
+  EXPECT_EQ(h.counts.back(), 0u);
+  EXPECT_EQ(h.counts[h.counts.size() - 2], 1u);
+  EXPECT_EQ(h.count, 2u);
+}
+
+TEST(Metrics, FixedBoundsHistogramsDoNotAutoExtend) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0});
+  h.record(100.0);
+  EXPECT_EQ(h.bounds.size(), 2u);
+  EXPECT_EQ(h.counts.back(), 1u);  // tail keeps catching outliers
+}
+
+TEST(Metrics, MergeAlignsPrefixExtendedBounds) {
+  // Executor A auto-extended; executor B (same metric) never saw a large
+  // value. Merging either direction must line buckets up exactly.
+  Histogram extended;
+  extended.bounds = default_time_bounds();
+  extended.auto_extend = true;
+  extended.record(0.05);
+  extended.record(70.0);  // extends to ..., 100
+
+  Histogram plain;
+  plain.bounds = default_time_bounds();
+  plain.record(0.05);
+
+  Histogram into_plain = plain;
+  into_plain.merge_from(extended);
+  EXPECT_EQ(into_plain.bounds, extended.bounds);
+  EXPECT_EQ(into_plain.count, 3u);
+  EXPECT_EQ(into_plain.counts.back(), 0u);
+
+  Histogram into_extended = extended;
+  into_extended.merge_from(plain);
+  EXPECT_EQ(into_extended.bounds, extended.bounds);
+  EXPECT_EQ(into_extended.count, 3u);
+  EXPECT_EQ(into_extended.counts.back(), 0u);
+}
+
+// ------------------------------------------------------ streaming writer
+
+TEST(Json, StreamingWriterFlushesChunksPreservingStructure) {
+  std::string sunk;
+  std::size_t flushes = 0;
+  {
+    JsonWriter w([&](std::string_view chunk) {
+      sunk += chunk;
+      ++flushes;
+    });
+    w.begin_object();
+    w.key("items").begin_array();
+    w.flush();  // header chunk
+    for (int i = 0; i < 3; ++i) {
+      w.begin_object().key("i").value(i).end_object();
+      w.flush();  // one chunk per element — comma state survives the flush
+    }
+    w.end_array();
+    w.end_object();
+    // Destructor flushes the trailer.
+  }
+  EXPECT_GE(flushes, 4u);
+  auto v = parse_json(sunk);
+  ASSERT_TRUE(v.has_value()) << sunk;
+  const JsonValue* items = v->find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->array_v.size(), 3u);
+  EXPECT_DOUBLE_EQ(items->array_v[2].find("i")->num_v, 2.0);
+}
+
+TEST(Json, BufferedWriterStillAccumulates) {
+  JsonWriter w;
+  w.begin_array().value(1).end_array();
+  w.flush();  // no sink: must be a no-op, not a data loss
+  EXPECT_EQ(w.str(), "[1]");
+}
+
 }  // namespace
 }  // namespace snake::obs

@@ -1,0 +1,220 @@
+// Hot-path memory machinery: SmallFunction (the scheduler's in-place
+// callback type), BufferPool (packet wire-buffer recycling), and the
+// scheduler's slab event pool. These are the pieces that let a campaign
+// schedule/fire/cancel events and move packets with no steady-state heap
+// traffic — and they must do it without ever changing simulation results.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/pool.h"
+
+namespace snake {
+namespace {
+
+// ------------------------------------------------------------ SmallFunction
+
+TEST(SmallFunction, EmptyByDefault) {
+  SmallFunction f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(SmallFunction, InvokesInlineCallable) {
+  int hits = 0;
+  SmallFunction f([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallFunction a([&hits] { ++hits; });
+  SmallFunction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  SmallFunction c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, HeapFallbackForOversizedCaptures) {
+  // 4 KiB of captured state cannot fit the inline storage; the callable
+  // must still work (and destroy its capture exactly once).
+  auto big = std::make_shared<std::vector<int>>(1024, 7);
+  std::weak_ptr<std::vector<int>> watch = big;
+  {
+    SmallFunction f([big, payload = std::array<char, 4096>{}]() mutable {
+      payload[0] = static_cast<char>((*big)[0]);
+    });
+    big.reset();
+    EXPECT_FALSE(watch.expired());
+    f();
+    SmallFunction g(std::move(f));
+    g();
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SmallFunction, DestroysInlineCaptureOnce) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  {
+    SmallFunction f([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SmallFunction, ResetReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  SmallFunction f([token] {});
+  token.reset();
+  f.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+// --------------------------------------------------------------- BufferPool
+
+TEST(BufferPool, RecyclesReleasedBuffers) {
+  BufferPool pool;
+  Bytes b = pool.acquire();
+  b.assign(100, 0xAB);
+  const std::uint8_t* data = b.data();
+  std::size_t cap = b.capacity();
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.free_count(), 1u);
+
+  Bytes again = pool.acquire();
+  EXPECT_TRUE(again.empty());  // recycled buffers come back cleared
+  EXPECT_EQ(again.capacity(), cap);
+  EXPECT_EQ(again.data(), data);  // same allocation, not a fresh one
+  EXPECT_EQ(pool.acquired(), 2u);
+  EXPECT_EQ(pool.reused(), 1u);
+}
+
+TEST(BufferPool, DropsZeroCapacityAndOverflowReleases) {
+  BufferPool pool;
+  pool.release(Bytes());  // nothing to recycle
+  EXPECT_EQ(pool.free_count(), 0u);
+
+  for (std::size_t i = 0; i < BufferPool::kDefaultMaxFree + 10; ++i) {
+    Bytes b;
+    b.reserve(8);
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.free_count(), BufferPool::kDefaultMaxFree);
+}
+
+// ------------------------------------------------------ scheduler event pool
+
+TEST(SchedulerPool, SlotCountStabilizesUnderChurn) {
+  sim::Scheduler sched;
+  // Self-rescheduling event: steady state needs O(1) slots no matter how
+  // many times it fires.
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 1000) sched.schedule_in(Duration::seconds(0.001), [&] { tick(); });
+  };
+  sched.schedule_in(Duration::seconds(0.001), [&] { tick(); });
+  sched.run_until(TimePoint::origin() + Duration::seconds(10.0));
+  EXPECT_EQ(fires, 1000);
+  EXPECT_LE(sched.event_pool_slots(), 4u);
+}
+
+TEST(SchedulerPool, CancelAndRescheduleAtIdenticalTimestamp) {
+  sim::Scheduler sched;
+  std::string order;
+  TimePoint at = TimePoint::origin() + Duration::seconds(1.0);
+
+  sim::Timer a = sched.schedule_at(at, [&] { order += 'a'; });
+  sim::Timer b = sched.schedule_at(at, [&] { order += 'b'; });
+  a.cancel();
+  // The recycled slot must not resurrect the cancelled callback, and
+  // insertion order among same-timestamp events must follow seq numbers.
+  sim::Timer c = sched.schedule_at(at, [&] { order += 'c'; });
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  EXPECT_TRUE(c.pending());
+
+  sched.run_until(at + Duration::seconds(0.1));
+  EXPECT_EQ(order, "bc");
+  EXPECT_FALSE(b.pending());
+  EXPECT_FALSE(c.pending());
+}
+
+TEST(SchedulerPool, StaleTimerHandleIsInertAfterSlotReuse) {
+  sim::Scheduler sched;
+  int hits = 0;
+  sim::Timer old = sched.schedule_in(Duration::seconds(0.5), [&] { ++hits; });
+  sched.run_until(TimePoint::origin() + Duration::seconds(1.0));
+  EXPECT_EQ(hits, 1);
+  EXPECT_FALSE(old.pending());
+
+  // The fired event's slot is free; the next schedule reuses it with a new
+  // generation. The stale handle must not cancel the new event.
+  sim::Timer fresh = sched.schedule_in(Duration::seconds(0.5), [&] { ++hits; });
+  old.cancel();
+  EXPECT_TRUE(fresh.pending());
+  sched.run_until(TimePoint::origin() + Duration::seconds(2.0));
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SchedulerPool, CallbackSeesItsOwnTimerNotPending) {
+  sim::Scheduler sched;
+  sim::Timer t;
+  bool pending_inside = true;
+  t = sched.schedule_in(Duration::seconds(0.1), [&] { pending_inside = t.pending(); });
+  sched.run_until(TimePoint::origin() + Duration::seconds(1.0));
+  EXPECT_FALSE(pending_inside);
+}
+
+TEST(SchedulerPool, ResetRestoresPristineStateKeepingSlabs) {
+  sim::Scheduler sched;
+  int hits = 0;
+  for (int i = 0; i < 10; ++i)
+    sched.schedule_in(Duration::seconds(100.0), [&] { ++hits; });
+  sim::Timer survivor = sched.schedule_in(Duration::seconds(100.0), [&] { ++hits; });
+  std::size_t slots = sched.event_pool_slots();
+
+  sched.reset();
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.now().to_seconds(), TimePoint::origin().to_seconds());
+  EXPECT_FALSE(survivor.pending());          // generations bumped
+  survivor.cancel();                         // stale handle: harmless no-op
+  EXPECT_EQ(sched.event_pool_slots(), slots);  // slabs retained for reuse
+  EXPECT_EQ(sched.event_pool_free(), slots);   // ... and all free
+
+  // Post-reset scheduling starts from a clean clock and fires normally.
+  sched.schedule_in(Duration::seconds(0.5), [&] { ++hits; });
+  sched.run_until(TimePoint::origin() + Duration::seconds(1.0));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SchedulerPool, BufferPoolCountersExported) {
+  sim::Scheduler sched;
+  Bytes b = sched.buffer_pool().acquire();
+  b.reserve(32);
+  sched.buffer_pool().release(std::move(b));
+  Bytes c = sched.buffer_pool().acquire();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(sched.buffer_pool().acquired(), 2u);
+  EXPECT_EQ(sched.buffer_pool().reused(), 1u);
+}
+
+}  // namespace
+}  // namespace snake
