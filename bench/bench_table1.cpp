@@ -1,7 +1,13 @@
 // Table I reproduction: full SNAKE campaigns against each implementation.
 //
 //   bench_table1 [--full] [--cap N] [--duration SECONDS] [--executors N]
-//                [--json PATH]
+//                [--json PATH] [--journal PREFIX] [--resume]
+//
+// --journal PREFIX checkpoints every finished trial to a per-campaign JSONL
+// journal (PREFIX.<implementation>.<protocol>.jsonl); --resume loads those
+// journals back and skips the trials they already record, so a killed bench
+// restarted with the same configuration picks up where it died and still
+// produces the exact results of an uninterrupted run.
 //
 // --json records the whole bench trajectory as a structured report (schema
 // "snake-bench-table1/v1"): run configuration plus one full campaign report
@@ -27,15 +33,33 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "obs/json.h"
 #include "snake/controller.h"
+#include "snake/journal.h"
 #include "strategy/generator.h"
 #include "tcp/profile.h"
 
 using namespace snake;
 using namespace snake::core;
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t cap = 250;
@@ -44,6 +68,8 @@ int main(int argc, char** argv) {
   unsigned hc = std::thread::hardware_concurrency();
   int executors = hc > 4 ? static_cast<int>(hc) - 2 : 2;
   const char* json_path = nullptr;
+  const char* journal_prefix = nullptr;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--full")) {
       cap = 0;         // every generated strategy
@@ -57,7 +83,15 @@ int main(int argc, char** argv) {
       executors = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--journal") && i + 1 < argc) {
+      journal_prefix = argv[++i];
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume = true;
     }
+  }
+  if (resume && journal_prefix == nullptr) {
+    std::fprintf(stderr, "--resume requires --journal PREFIX\n");
+    return 1;
   }
 
   std::printf("== Table I: SNAKE campaign summary ==\n");
@@ -77,7 +111,55 @@ int main(int argc, char** argv) {
     if (hitseq_cap != 0) config.generator.hitseq_max_packets = hitseq_cap;
     config.executors = executors;
     config.max_strategies = cap;
+
+    // Per-campaign checkpoint journal. Each finished trial is appended and
+    // flushed immediately, so a killed bench leaves every complete line
+    // behind; --resume replays them instead of re-running the trials.
+    std::FILE* journal_file = nullptr;
+    std::unique_ptr<TrialJournal> journal;
+    std::optional<JournalSnapshot> snapshot;
+    if (journal_prefix != nullptr) {
+      std::string path = std::string(journal_prefix) + "." + profile.name + "." +
+                         (protocol == Protocol::kTcp ? "tcp" : "dccp") + ".jsonl";
+      if (resume) {
+        if (std::optional<std::string> text = read_file(path)) {
+          std::size_t skipped = 0;
+          snapshot = load_journal(*text, &skipped);
+          if (!snapshot.has_value())
+            std::fprintf(stderr, "  (journal %s unreadable; starting fresh)\n", path.c_str());
+          else if (skipped > 0)
+            std::fprintf(stderr, "  (journal %s: skipped %zu incomplete line(s))\n",
+                         path.c_str(), skipped);
+        }
+      }
+      if (snapshot.has_value() && !snapshot->compatible_with(config)) {
+        std::fprintf(stderr,
+                     "  (journal %s was recorded by a different configuration; "
+                     "starting fresh)\n", path.c_str());
+        snapshot.reset();
+      }
+      // Compatible snapshot: append new trials after the recorded ones.
+      // Fresh (or unusable) journal: truncate and let the campaign write a
+      // new header.
+      journal_file = std::fopen(path.c_str(), snapshot.has_value() ? "a" : "w");
+      if (journal_file == nullptr) {
+        std::fprintf(stderr, "cannot open journal %s\n", path.c_str());
+        std::exit(1);
+      }
+      journal = std::make_unique<TrialJournal>([journal_file](std::string_view line) {
+        std::fwrite(line.data(), 1, line.size(), journal_file);
+        std::fflush(journal_file);
+      });
+      config.journal = journal.get();
+      if (snapshot.has_value()) config.resume = &*snapshot;
+    }
+
     CampaignResult result = run_campaign(config);
+    if (journal_file != nullptr) std::fclose(journal_file);
+    if (result.resume_skipped > 0)
+      std::printf("  (resumed: %llu of %llu trials replayed from the journal)\n",
+                  static_cast<unsigned long long>(result.resume_skipped),
+                  static_cast<unsigned long long>(result.strategies_tried));
     std::printf("%s\n", result.summary_row().c_str());
     std::fflush(stdout);
     return result;

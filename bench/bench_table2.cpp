@@ -2,13 +2,23 @@
 // against the implementation profiles the paper lists, with the measured
 // impact next to the paper's description.
 //
-//   bench_table2 [--json PATH]
+//   bench_table2 [--json PATH] [--journal PATH] [--resume]
 //
 // --json records every row as a structured report ("snake-bench-table2/v1")
 // so bench trajectories can be diffed across revisions.
+//
+// --journal checkpoints each finished row as one flushed JSONL line
+// ("snake-bench-table2-row/v1"); --resume reads that file back and replays
+// recorded rows instead of re-measuring them, so a killed run restarted with
+// the same flags finishes only the missing attacks. Some rows take minutes —
+// row granularity is the natural checkpoint unit here, mirroring the
+// trial-granularity journals run_campaign uses for Table I.
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +64,15 @@ ScenarioConfig dccp_config() {
 // finished ones).
 obs::JsonWriter* json_writer = nullptr;
 
+// Row journal: one complete JSONL line per finished row, flushed before the
+// next attack starts, so every line in a killed run's journal is replayable.
+std::FILE* row_journal = nullptr;
+bool replaying_row = false;
+
+struct JournaledRow {
+  std::string protocol, impact, known, measured;
+};
+
 void row(const char* protocol, const char* attack, const char* impact, const char* known,
          const std::string& result) {
   std::printf("%-5s %-38s %-22s %-9s %s\n", protocol, attack, impact, known, result.c_str());
@@ -67,6 +86,57 @@ void row(const char* protocol, const char* attack, const char* impact, const cha
     json_writer->end_object();
     json_writer->flush();
   }
+  if (row_journal != nullptr && !replaying_row) {
+    std::string line;
+    obs::JsonWriter w([&line](std::string_view chunk) { line.append(chunk); });
+    w.begin_object();
+    w.key("schema").value("snake-bench-table2-row/v1");
+    w.key("protocol").value(protocol);
+    w.key("attack").value(attack);
+    w.key("impact").value(impact);
+    w.key("known").value(known);
+    w.key("measured").value(result);
+    w.end_object();
+    w.flush();
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), row_journal);
+    std::fflush(row_journal);
+  }
+}
+
+// Parses an existing row journal into attack-name → recorded row. Lines that
+// fail to parse (the truncated tail of a killed run) are skipped.
+std::map<std::string, JournaledRow> load_row_journal(const std::string& path) {
+  std::map<std::string, JournaledRow> rows;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return rows;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // incomplete tail line: not trustworthy
+    std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    auto parsed = obs::parse_json(line, nullptr);
+    if (!parsed.has_value() || !parsed->is_object()) continue;
+    const obs::JsonValue* schema = parsed->find("schema");
+    const obs::JsonValue* attack = parsed->find("attack");
+    if (schema == nullptr || schema->str_v != "snake-bench-table2-row/v1" ||
+        attack == nullptr)
+      continue;
+    auto field = [&](const char* k) {
+      const obs::JsonValue* v = parsed->find(k);
+      return v != nullptr ? v->str_v : std::string();
+    };
+    rows[attack->str_v] =
+        JournaledRow{field("protocol"), field("impact"), field("known"), field("measured")};
+  }
+  return rows;
 }
 
 std::string ratio_str(double r) {
@@ -279,8 +349,28 @@ void dccp_request_termination() {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i)
+  const char* journal_path = nullptr;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--json") && i + 1 < argc) json_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--journal") && i + 1 < argc) journal_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--resume")) resume = true;
+  }
+  if (resume && journal_path == nullptr) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 1;
+  }
+
+  std::map<std::string, JournaledRow> done;
+  if (resume) done = load_row_journal(journal_path);
+  if (journal_path != nullptr) {
+    // Append after replayable rows; truncate when starting fresh.
+    row_journal = std::fopen(journal_path, done.empty() ? "w" : "a");
+    if (row_journal == nullptr) {
+      std::fprintf(stderr, "cannot open journal %s\n", journal_path);
+      return 1;
+    }
+  }
 
   std::FILE* json_file = nullptr;
   std::unique_ptr<obs::JsonWriter> json;
@@ -305,15 +395,44 @@ int main(int argc, char** argv) {
   std::printf("%-5s %-38s %-22s %-9s %s\n", "Proto", "Attack", "Impact", "Known",
               "Measured in this reproduction");
   std::printf("%s\n", std::string(140, '-').c_str());
-  close_wait_exhaustion();
-  invalid_flags_fingerprint();
-  dupack_spoofing();
-  reset_sweeps("RST", "Reset Attack");
-  reset_sweeps("SYN", "SYN-Reset Attack");
-  dupack_rate_limiting();
-  dccp_ack_mung();
-  dccp_inwindow_ack_mod();
-  dccp_request_termination();
+
+  struct Step {
+    const char* attack;  // must match the name the step passes to row()
+    std::function<void()> run;
+  };
+  const std::vector<Step> steps = {
+      {"CLOSE_WAIT Resource Exhaustion", close_wait_exhaustion},
+      {"Packets with Invalid Flags", invalid_flags_fingerprint},
+      {"Duplicate Acknowledgment Spoofing", dupack_spoofing},
+      {"Reset Attack", [] { reset_sweeps("RST", "Reset Attack"); }},
+      {"SYN-Reset Attack", [] { reset_sweeps("SYN", "SYN-Reset Attack"); }},
+      {"Duplicate Acknowledgment Rate Limiting", dupack_rate_limiting},
+      {"Acknowledgment Mung Resource Exhaustion", dccp_ack_mung},
+      {"In-window Ack Sequence Modification", dccp_inwindow_ack_mod},
+      {"REQUEST Connection Termination", dccp_request_termination},
+  };
+  std::size_t replayed = 0;
+  for (const Step& step : steps) {
+    auto it = done.find(step.attack);
+    if (it != done.end()) {
+      // Journaled row: replay the recorded measurement (prints and feeds the
+      // --json report, but is not re-appended to the journal).
+      replaying_row = true;
+      row(it->second.protocol.c_str(), step.attack, it->second.impact.c_str(),
+          it->second.known.c_str(), it->second.measured);
+      replaying_row = false;
+      ++replayed;
+    } else {
+      step.run();
+    }
+  }
+  if (replayed > 0)
+    std::printf("\n(%zu of %zu rows replayed from journal %s)\n", replayed, steps.size(),
+                journal_path);
+  if (row_journal != nullptr) {
+    std::fclose(row_journal);
+    row_journal = nullptr;
+  }
 
   if (json != nullptr) {
     json_writer = nullptr;

@@ -106,8 +106,12 @@ JsonWriter& JsonWriter::value(double v) {
     out_ += "null";  // JSON has no inf/nan
     return *this;
   }
+  // Round-trippable: checkpoint journals replay these values into exact
+  // equality comparisons, so the parsed double must equal the written one.
+  // %.15g keeps common values short; fall back to %.17g when it loses bits.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
   out_ += buf;
   return *this;
 }

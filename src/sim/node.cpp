@@ -44,7 +44,12 @@ void Node::send_packet(Packet packet) {
   if (filter_ != nullptr) {
     NodeInjector injector(*this);
     FilterVerdict verdict = filter_->on_packet(packet, FilterDirection::kEgress, injector);
-    if (verdict == FilterVerdict::kConsume) return;
+    if (verdict == FilterVerdict::kConsume) {
+      // Consumed packets die here too; a filter that held on to the payload
+      // moved the bytes out, leaving a zero-capacity no-op release.
+      scheduler_.buffer_pool().release(std::move(packet.bytes));
+      return;
+    }
   }
   route_and_send(std::move(packet));
 }
@@ -58,7 +63,10 @@ void Node::receive_from_wire(Packet packet) {
   if (filter_ != nullptr) {
     NodeInjector injector(*this);
     FilterVerdict verdict = filter_->on_packet(packet, FilterDirection::kIngress, injector);
-    if (verdict == FilterVerdict::kConsume) return;
+    if (verdict == FilterVerdict::kConsume) {
+      scheduler_.buffer_pool().release(std::move(packet.bytes));
+      return;
+    }
   }
   demux(packet);
   // The packet dies here; its wire buffer goes back to the scenario pool.

@@ -7,6 +7,15 @@
 
 namespace snake::sim {
 
+const char* to_string(WatchdogTrip trip) {
+  switch (trip) {
+    case WatchdogTrip::kNone: return "none";
+    case WatchdogTrip::kEventBudget: return "event-budget";
+    case WatchdogTrip::kWallClock: return "wall-clock";
+  }
+  return "?";
+}
+
 Timer Scheduler::do_schedule(TimePoint at, SmallFunction fn) {
   if (at < now_) at = now_;
   std::uint32_t slot = acquire_slot();
@@ -36,8 +45,37 @@ void Scheduler::release_slot(std::uint32_t index) {
   free_.push_back(index);
 }
 
+void Scheduler::arm_watchdog(const WatchdogConfig& config) {
+  watchdog_event_limit_ =
+      config.max_events == 0 ? 0 : executed_ + cancelled_ + config.max_events;
+  watchdog_wall_armed_ = config.wall_seconds > 0.0;
+  if (watchdog_wall_armed_) {
+    watchdog_deadline_ = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(config.wall_seconds));
+    watchdog_wall_countdown_ = kWallCheckInterval;
+  }
+  watchdog_trip_ = WatchdogTrip::kNone;
+}
+
 void Scheduler::run_until(TimePoint until) {
   while (!heap_.empty()) {
+    // Watchdog gate: a tripped run stays stopped (so nested run_until calls
+    // from callbacks unwind too) until re-armed or reset.
+    if (watchdog_trip_ != WatchdogTrip::kNone) return;
+    if (watchdog_event_limit_ != 0 && executed_ + cancelled_ >= watchdog_event_limit_) {
+      watchdog_trip_ = WatchdogTrip::kEventBudget;
+      ++watchdog_trips_total_;
+      return;
+    }
+    if (watchdog_wall_armed_ && --watchdog_wall_countdown_ == 0) {
+      watchdog_wall_countdown_ = kWallCheckInterval;
+      if (std::chrono::steady_clock::now() >= watchdog_deadline_) {
+        watchdog_trip_ = WatchdogTrip::kWallClock;
+        ++watchdog_trips_total_;
+        return;
+      }
+    }
     HeapEntry entry = heap_.front();
     if (entry.at > until) break;
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>());
@@ -79,6 +117,11 @@ void Scheduler::reset() {
   next_seq_ = 0;
   executed_ = 0;
   cancelled_ = 0;
+  watchdog_event_limit_ = 0;
+  watchdog_wall_armed_ = false;
+  watchdog_wall_countdown_ = kWallCheckInterval;
+  watchdog_trip_ = WatchdogTrip::kNone;
+  watchdog_trips_total_ = 0;
 }
 
 void Scheduler::export_metrics(obs::MetricsRegistry& registry) const {
@@ -87,6 +130,8 @@ void Scheduler::export_metrics(obs::MetricsRegistry& registry) const {
   registry.gauge_max("sim.virtual_time_seconds", now_.to_seconds());
   registry.counter("sim.buffers_acquired") += buffers_.acquired();
   registry.counter("sim.buffers_reused") += buffers_.reused();
+  registry.counter("sim.buffers_released") += buffers_.released();
+  registry.counter("sim.watchdog_trips") += watchdog_trips_total_;
   registry.gauge_max("sim.event_pool_slots", static_cast<double>(slots_.size()));
 }
 

@@ -18,6 +18,7 @@
 // scheduler across thousands of strategy trials.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -32,6 +33,25 @@ class MetricsRegistry;
 namespace snake::sim {
 
 class Scheduler;
+
+/// Trial watchdog limits for one run_until episode. A runaway scenario (event
+/// storm, virtual clock that stops advancing while callbacks burn wall time)
+/// is cut off instead of hanging its executor; the campaign layer records the
+/// trial as aborted and moves on.
+struct WatchdogConfig {
+  /// Abort after this many events (executed + cancelled) since arming.
+  /// 0 = no event budget.
+  std::uint64_t max_events = 0;
+  /// Abort once this much wall-clock time has elapsed since arming, checked
+  /// every kWallCheckInterval events so the hot loop never pays a clock read
+  /// per event. 0 = no wall deadline.
+  double wall_seconds = 0.0;
+};
+
+/// Why (whether) the armed watchdog stopped a run.
+enum class WatchdogTrip : std::uint8_t { kNone, kEventBudget, kWallClock };
+
+const char* to_string(WatchdogTrip trip);
 
 /// Cancellable handle to a scheduled event. Copies share the same underlying
 /// event; cancelling any copy cancels the event. Default-constructed handles
@@ -72,11 +92,26 @@ class Scheduler {
     return do_schedule(now_ + delay, SmallFunction(std::forward<F>(fn)));
   }
 
-  /// Runs events until the queue is empty or virtual time would pass `until`.
+  /// Runs events until the queue is empty, virtual time would pass `until`,
+  /// or the armed watchdog trips (see arm_watchdog).
   void run_until(TimePoint until);
 
   /// Runs until the event queue drains completely.
   void run_all();
+
+  /// Arms (or, with a default-constructed config, disarms) the watchdog for
+  /// subsequent run_until work. Budgets count from the moment of arming; any
+  /// previous trip is cleared. Disarmed costs the hot loop two predictable
+  /// branches per event.
+  void arm_watchdog(const WatchdogConfig& config);
+
+  /// Why the last run_until stopped early (kNone when it ran to its horizon).
+  /// Once tripped, further run_until calls return immediately until the
+  /// watchdog is re-armed or the scheduler reset.
+  WatchdogTrip watchdog_trip() const { return watchdog_trip_; }
+
+  /// How often (in events) the wall-clock deadline is polled.
+  static constexpr std::uint32_t kWallCheckInterval = 64;
 
   bool empty() const { return heap_.empty(); }
   std::uint64_t events_executed() const { return executed_; }
@@ -144,6 +179,15 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
+
+  // Watchdog state: event_limit is an absolute (executed_ + cancelled_)
+  // threshold computed at arm time, 0 when disarmed.
+  std::uint64_t watchdog_event_limit_ = 0;
+  std::chrono::steady_clock::time_point watchdog_deadline_{};
+  bool watchdog_wall_armed_ = false;
+  std::uint32_t watchdog_wall_countdown_ = kWallCheckInterval;
+  WatchdogTrip watchdog_trip_ = WatchdogTrip::kNone;
+  std::uint64_t watchdog_trips_total_ = 0;  ///< for export_metrics
 };
 
 inline void Timer::cancel() {

@@ -57,6 +57,28 @@ void write_detection_json(obs::JsonWriter& w, const Detection& d) {
   w.end_object();
 }
 
+/// Converts a run's raw observation stream into the journaled form: the
+/// deduplicated (state, packet type) *send* pairs in first-occurrence order.
+/// This is exactly the subset StrategyGenerator::on_observations consumes
+/// (it ignores receive-events and dedups via its covered set), so replaying
+/// these pairs on resume reproduces the generator's output verbatim.
+std::vector<JournalObservation> journal_observations(
+    const std::vector<statemachine::EndpointTracker::Observation>& obs) {
+  std::vector<JournalObservation> out;
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& o : obs) {
+    if (o.direction != statemachine::TriggerKind::kSend) continue;
+    if (!seen.emplace(o.state, o.packet_type).second) continue;
+    out.push_back(JournalObservation{o.state, o.packet_type});
+  }
+  return out;
+}
+
+const TrialRecord* find_record(const JournalSnapshot& snapshot, const std::string& key) {
+  auto it = snapshot.trials.find(key);
+  return it == snapshot.trials.end() ? nullptr : &it->second;
+}
+
 void write_baseline_json(obs::JsonWriter& w, const RunMetrics& m) {
   w.begin_object();
   w.key("target_bytes").value(m.target_bytes);
@@ -139,6 +161,25 @@ void CampaignResult::write_json(obs::JsonWriter& w) const {
   }
   w.end_array();
   w.end_object();
+  w.key("resilience").begin_object();
+  w.key("trials_aborted").value(trials_aborted);
+  w.key("trials_errored").value(trials_errored);
+  w.key("trials_retried").value(trials_retried);
+  w.key("strategies_quarantined").value(static_cast<std::uint64_t>(quarantined.size()));
+  w.key("resume_skipped").value(resume_skipped);
+  w.key("journal_errors").value(journal_errors);
+  w.key("quarantined").begin_array();
+  for (const Quarantined& q : quarantined) {
+    w.begin_object();
+    w.key("strategy").value(q.strat.describe());
+    w.key("key").value(q.key);
+    w.key("verdict").value(to_string(q.verdict));
+    w.key("attempts").value(static_cast<std::uint64_t>(q.attempts));
+    w.key("reason").value(q.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.key("metrics");
   metrics.write_json(w);
   w.end_object();
@@ -164,9 +205,29 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   std::vector<obs::MetricsRegistry> executor_registries(static_cast<std::size_t>(n));
   obs::MetricsRegistry* main_reg = config.collect_metrics ? &main_registry : nullptr;
 
+  // Resume: an incompatible snapshot (different protocol / implementation /
+  // seed / threshold / duration) would silently mix outcomes from a
+  // different campaign — ignore it and run everything live.
+  const JournalSnapshot* resume = config.resume;
+  if (resume != nullptr && !resume->compatible_with(config)) {
+    if (main_reg != nullptr) ++main_reg->counter("campaign.resume_incompatible");
+    resume = nullptr;
+  }
+  if (config.journal != nullptr && config.resume == nullptr) {
+    try {
+      config.journal->write_header(config);
+    } catch (...) {
+      ++result.journal_errors;
+      if (main_reg != nullptr) ++main_reg->counter("campaign.journal_errors");
+    }
+  }
+
   // Non-attack baselines, one per seed used ("runs a non-attack test").
+  // Fault rules are keyed by strategy id and target trials; the baselines
+  // (and the combination phase, which reuses these configs) run clean.
   ScenarioConfig base_scenario = config.scenario;
   base_scenario.metrics = main_reg;
+  base_scenario.faults = nullptr;
   ScenarioConfig retest_scenario = base_scenario;
   retest_scenario.seed += config.retest_seed_offset;
   // The main thread's arena serves the baselines now and the combination
@@ -221,6 +282,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     run_config.metrics = reg;
     ScenarioConfig retest_config = run_config;
     retest_config.seed += config.retest_seed_offset;
+    const std::uint32_t max_attempts = std::max<std::uint32_t>(1, config.trial_attempts);
 
     while (true) {
       strategy::Strategy strat;
@@ -245,31 +307,140 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         ++active;
       }
 
-      obs::ScopedTimer strategy_timer(reg, "campaign.strategy_seconds");
-      RunMetrics run = run_scenario(arena, run_config, strat);
-      Detection first = detect(baseline, run, threshold);
-      count_detection_reasons(reg, first, threshold);
-
+      TrialRecord record;
+      record.key = strategy::canonical_key(strat);
       std::optional<StrategyOutcome> outcome;
-      if (first.is_attack) {
-        if (reg != nullptr) ++reg->counter("campaign.detected_first_pass");
-        // Repeatability check under a different seed.
-        obs::ScopedTimer retest_timer(reg, "campaign.retest_seconds");
-        RunMetrics again = run_scenario(arena, retest_config, strat);
-        Detection second = detect(retest_baseline, again, threshold);
-        if (second.is_attack) {
-          if (reg != nullptr) ++reg->counter("campaign.retest_confirmed");
-          StrategyOutcome o;
-          o.strat = strat;
-          o.detection = first;
-          o.cls = classify(strat, format, first, run);
-          o.signature = attack_signature(strat, format, first, run, threshold);
-          outcome = std::move(o);
-        } else if (reg != nullptr) {
-          ++reg->counter("campaign.retest_rejected");
+      // Feedback fed to the generator when the trial completed: the
+      // successful attempt's observations, or the journaled copy on replay.
+      std::vector<statemachine::EndpointTracker::Observation> feedback_client;
+      std::vector<statemachine::EndpointTracker::Observation> feedback_server;
+
+      const TrialRecord* prior =
+          resume != nullptr ? find_record(*resume, record.key) : nullptr;
+      if (prior != nullptr) {
+        // Resume fast path: replay the journaled outcome — detection payload,
+        // failure tallies, and the generator feedback — without running the
+        // simulation. The replayed feedback keeps the incremental strategy
+        // generation (and the queue-shuffling RNG) walking the same sequence
+        // the uninterrupted campaign walked.
+        if (reg != nullptr) ++reg->counter("campaign.resume_skipped");
+        record = *prior;
+        feedback_client.reserve(record.client_obs.size());
+        for (const JournalObservation& o : record.client_obs)
+          feedback_client.push_back(
+              {o.state, o.packet_type, statemachine::TriggerKind::kSend});
+        feedback_server.reserve(record.server_obs.size());
+        for (const JournalObservation& o : record.server_obs)
+          feedback_server.push_back(
+              {o.state, o.packet_type, statemachine::TriggerKind::kSend});
+      } else {
+        // Live trial, guarded: a watchdog abort or an exception fails the
+        // attempt instead of wedging or killing the executor; failed
+        // attempts retry once (by default) under a perturbed seed.
+        obs::ScopedTimer strategy_timer(reg, "campaign.strategy_seconds");
+        RunMetrics run;
+        bool trial_completed = false;
+        TrialVerdict fail_verdict = TrialVerdict::kErrored;
+        std::uint32_t attempts_used = 0;
+        for (std::uint32_t attempt = 0; attempt < max_attempts && !trial_completed;
+             ++attempt) {
+          attempts_used = attempt + 1;
+          if (attempt > 0 && reg != nullptr) ++reg->counter("campaign.trials_retried");
+          // The retry seed is a pure function of the retry index so results
+          // stay reproducible; the fault key/attempt let seed-driven fault
+          // rules target specific strategies and model transient failures.
+          ScenarioConfig attempt_config = run_config;
+          attempt_config.seed += attempt * config.retry_seed_offset;
+          attempt_config.fault_key = strat.id;
+          attempt_config.fault_attempt = attempt;
+          ScenarioConfig attempt_retest = retest_config;
+          attempt_retest.seed += attempt * config.retry_seed_offset;
+          attempt_retest.fault_key = strat.id;
+          attempt_retest.fault_attempt = attempt;
+          try {
+            run = run_scenario(arena, attempt_config, strat);
+            if (run.aborted) {
+              fail_verdict = TrialVerdict::kAborted;
+              record.failure_reason = run.abort_reason;
+              ++record.aborted_attempts;
+              if (reg != nullptr) ++reg->counter("campaign.trials_aborted");
+              continue;
+            }
+            Detection first = detect(baseline, run, threshold);
+            count_detection_reasons(reg, first, threshold);
+            if (first.is_attack) {
+              if (reg != nullptr) ++reg->counter("campaign.detected_first_pass");
+              // Repeatability check under a different seed.
+              obs::ScopedTimer retest_timer(reg, "campaign.retest_seconds");
+              RunMetrics again = run_scenario(arena, attempt_retest, strat);
+              if (again.aborted) {
+                fail_verdict = TrialVerdict::kAborted;
+                record.failure_reason = again.abort_reason;
+                ++record.aborted_attempts;
+                if (reg != nullptr) ++reg->counter("campaign.trials_aborted");
+                continue;
+              }
+              Detection second = detect(retest_baseline, again, threshold);
+              if (second.is_attack) {
+                if (reg != nullptr) ++reg->counter("campaign.retest_confirmed");
+                record.found = true;
+                record.detection = first;
+                record.cls = classify(strat, format, first, run);
+                record.signature = attack_signature(strat, format, first, run, threshold);
+              } else if (reg != nullptr) {
+                ++reg->counter("campaign.retest_rejected");
+              }
+            }
+            trial_completed = true;
+          } catch (const std::exception& e) {
+            fail_verdict = TrialVerdict::kErrored;
+            record.failure_reason = e.what();
+            ++record.errored_attempts;
+            if (reg != nullptr) ++reg->counter("campaign.trials_errored");
+          } catch (...) {
+            fail_verdict = TrialVerdict::kErrored;
+            record.failure_reason = "unknown exception";
+            ++record.errored_attempts;
+            if (reg != nullptr) ++reg->counter("campaign.trials_errored");
+          }
+        }
+        record.attempts = attempts_used;
+        if (trial_completed) {
+          record.verdict = TrialVerdict::kCompleted;
+          record.client_obs = journal_observations(run.client_observations);
+          record.server_obs = journal_observations(run.server_observations);
+          feedback_client = std::move(run.client_observations);
+          feedback_server = std::move(run.server_observations);
+        } else {
+          // Every attempt failed: quarantine. Partial observations from an
+          // aborted run would poison the deterministic feedback loop, so a
+          // quarantined trial contributes none.
+          record.verdict = fail_verdict;
+          if (reg != nullptr) ++reg->counter("campaign.strategies_quarantined");
+        }
+        strategy_timer.stop();
+      }
+
+      if (record.found) {
+        StrategyOutcome o;
+        o.strat = strat;
+        o.detection = record.detection;
+        o.cls = record.cls;
+        o.signature = record.signature;
+        outcome = std::move(o);
+      }
+
+      // Checkpoint (live trials only — replayed ones are already in the
+      // journal). Best-effort: the results matter, the checkpoint does not.
+      bool journal_failed = false;
+      if (prior == nullptr && config.journal != nullptr) {
+        try {
+          config.journal->append(record);
+        } catch (...) {
+          journal_failed = true;
+          if (reg != nullptr) ++reg->counter("campaign.journal_errors");
         }
       }
-      strategy_timer.stop();
 
       // Commit under the lock, but snapshot the progress numbers and leave
       // before invoking the user callback: a callback that blocks (or
@@ -280,11 +451,25 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         std::lock_guard<std::mutex> lock(mutex);
         ++completed;
         --active;
-        // Feedback: states/types observed during this run may unlock new
-        // (type, state) targets.
-        enqueue(generator.on_observations(run.client_observations,
-                                          run.server_observations));
-        if (outcome.has_value()) result.found.push_back(std::move(*outcome));
+        result.trials_aborted += record.aborted_attempts;
+        result.trials_errored += record.errored_attempts;
+        result.trials_retried += record.attempts - 1;
+        if (prior != nullptr) ++result.resume_skipped;
+        if (journal_failed) ++result.journal_errors;
+        if (record.verdict == TrialVerdict::kCompleted) {
+          // Feedback: states/types observed during this run may unlock new
+          // (type, state) targets.
+          enqueue(generator.on_observations(feedback_client, feedback_server));
+          if (outcome.has_value()) result.found.push_back(std::move(*outcome));
+        } else {
+          CampaignResult::Quarantined q;
+          q.strat = std::move(strat);
+          q.key = std::move(record.key);
+          q.verdict = record.verdict;
+          q.attempts = record.attempts;
+          q.reason = std::move(record.failure_reason);
+          result.quarantined.push_back(std::move(q));
+        }
         progress_done = completed;
         progress_total = queued_total;
       }
@@ -302,6 +487,13 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   for (auto& t : threads) t.join();
 
   result.strategies_tried = started;
+
+  // Quarantine order depends on executor interleaving; sort by canonical key
+  // so reports and resumed-vs-uninterrupted comparisons are stable.
+  std::sort(result.quarantined.begin(), result.quarantined.end(),
+            [](const CampaignResult::Quarantined& a, const CampaignResult::Quarantined& b) {
+              return a.key < b.key;
+            });
 
   std::set<std::string> unique;
   for (const StrategyOutcome& o : result.found) {

@@ -14,6 +14,7 @@
 
 #include "obs/metrics.h"
 #include "snake/detector.h"
+#include "snake/journal.h"
 #include "snake/scenario.h"
 #include "strategy/generator.h"
 
@@ -55,6 +56,29 @@ struct CampaignConfig {
   /// block or call back into campaign-adjacent code without stalling or
   /// deadlocking the pool; it must be thread-safe.
   std::function<void(std::uint64_t, std::uint64_t)> on_progress;
+
+  // --- Resilience layer ----------------------------------------------------
+  /// Total attempts per trial (min 1). An attempt that fails — watchdog
+  /// abort (scenario.event_budget / scenario.wall_limit_seconds) or an
+  /// exception escaping the trial body — is retried with a perturbed seed; a
+  /// strategy whose every attempt fails is quarantined and excluded from
+  /// results (but listed in CampaignResult::quarantined).
+  std::uint32_t trial_attempts = 2;
+  /// Per-retry seed perturbation. A pure function of the retry index, so
+  /// campaigns stay reproducible for equal seeds.
+  std::uint64_t retry_seed_offset = 7919;
+  /// Optional checkpoint journal (not owned). Every finished strategy is
+  /// appended as one JSONL line; append failures increment
+  /// campaign.journal_errors and never fail the campaign. The campaign
+  /// writes the header line iff `resume` is null (a resumed journal already
+  /// carries one).
+  TrialJournal* journal = nullptr;
+  /// Optional resume snapshot (not owned). Strategies found in it are not
+  /// re-run: their outcome, failure tallies and generator feedback are
+  /// replayed, so a resumed campaign reproduces the uninterrupted campaign's
+  /// result for equal seeds. Snapshots from an incompatible campaign
+  /// identity are ignored (campaign.resume_incompatible).
+  const JournalSnapshot* resume = nullptr;
 };
 
 /// Outcome of one successful (detected + repeatable) strategy.
@@ -96,6 +120,28 @@ struct CampaignResult {
   std::uint64_t combinations_stronger = 0;
 
   RunMetrics baseline;
+
+  // --- Resilience tallies (see DESIGN.md, "Resilience architecture") -------
+  std::uint64_t trials_aborted = 0;  ///< attempts cut off by the watchdog
+  std::uint64_t trials_errored = 0;  ///< attempts that threw
+  std::uint64_t trials_retried = 0;  ///< retry attempts performed
+  /// Trials replayed from the resume snapshot instead of run. The only
+  /// resilience field that legitimately differs between a resumed campaign
+  /// and its uninterrupted twin (which has 0).
+  std::uint64_t resume_skipped = 0;
+  std::uint64_t journal_errors = 0;  ///< journal appends that threw
+
+  /// A strategy excluded from results because every attempt failed.
+  struct Quarantined {
+    strategy::Strategy strat;
+    std::string key;  ///< strategy::canonical_key(strat)
+    TrialVerdict verdict = TrialVerdict::kErrored;  ///< final attempt's fate
+    std::uint32_t attempts = 1;
+    std::string reason;  ///< last abort/error reason
+  };
+  /// Sorted by canonical key so the list is independent of executor
+  /// interleaving.
+  std::vector<Quarantined> quarantined;
 
   /// Campaign observability: merged per-executor registries (stage timings,
   /// scheduler/link/proxy/tracker counters, retest outcomes, detection

@@ -1,0 +1,57 @@
+#include "snake/faultpoint.h"
+
+#include <chrono>
+#include <thread>
+
+#include "sim/scheduler.h"
+
+namespace snake::core {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrowInTrial: return "throw-in-trial";
+    case FaultKind::kEventStorm: return "event-storm";
+    case FaultKind::kSerializeFailure: return "serialize-failure";
+    case FaultKind::kClockStall: return "clock-stall";
+  }
+  return "?";
+}
+
+bool FaultPlan::should_fire(FaultKind kind, std::uint64_t key, std::uint32_t attempt) const {
+  for (const FaultRule& rule : rules_) {
+    if (rule.matches(kind, key, attempt)) {
+      fires_[static_cast<std::size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void storm_tick(sim::Scheduler& scheduler) {
+  scheduler.schedule_in(Duration::seconds(0), [&scheduler] { storm_tick(scheduler); });
+}
+
+void stall_tick(sim::Scheduler& scheduler) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  scheduler.schedule_in(Duration::seconds(1e-6), [&scheduler] { stall_tick(scheduler); });
+}
+
+}  // namespace
+
+void arm_event_storm(sim::Scheduler& scheduler, Duration after) {
+  scheduler.schedule_in(after, [&scheduler] { storm_tick(scheduler); });
+}
+
+void arm_clock_stall(sim::Scheduler& scheduler, Duration after) {
+  scheduler.schedule_in(after, [&scheduler] { stall_tick(scheduler); });
+}
+
+void arm_throw_in_trial(sim::Scheduler& scheduler, Duration after) {
+  scheduler.schedule_in(after, [] {
+    throw FaultInjectedError("fault point: throw-in-trial");
+  });
+}
+
+}  // namespace snake::core

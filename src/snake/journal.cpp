@@ -1,0 +1,219 @@
+#include "snake/journal.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "obs/json.h"
+#include "snake/controller.h"
+
+namespace snake::core {
+
+namespace {
+
+constexpr const char* kJournalSchema = "snake-trial-journal/v1";
+
+void write_observations(obs::JsonWriter& w, const char* key,
+                        const std::vector<JournalObservation>& obs_list) {
+  w.key(key).begin_array();
+  for (const JournalObservation& o : obs_list) {
+    w.begin_array();
+    w.value(o.state);
+    w.value(o.packet_type);
+    w.end_array();
+  }
+  w.end_array();
+}
+
+std::vector<JournalObservation> read_observations(const obs::JsonValue& v) {
+  std::vector<JournalObservation> out;
+  if (!v.is_array()) return out;
+  for (const obs::JsonValue& pair : v.array_v) {
+    if (!pair.is_array() || pair.array_v.size() != 2) continue;
+    out.push_back(JournalObservation{pair.array_v[0].str_v, pair.array_v[1].str_v});
+  }
+  return out;
+}
+
+std::optional<TrialVerdict> verdict_from_string(const std::string& s) {
+  if (s == "completed") return TrialVerdict::kCompleted;
+  if (s == "aborted") return TrialVerdict::kAborted;
+  if (s == "errored") return TrialVerdict::kErrored;
+  if (s == "quarantined") return TrialVerdict::kQuarantined;
+  return std::nullopt;
+}
+
+std::optional<AttackClass> class_from_string(const std::string& s) {
+  if (s == "on-path") return AttackClass::kOnPath;
+  if (s == "false-positive") return AttackClass::kFalsePositive;
+  if (s == "true-attack") return AttackClass::kTrueAttack;
+  return std::nullopt;
+}
+
+std::uint64_t u64_field(const obs::JsonValue& obj, const char* key, std::uint64_t fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? static_cast<std::uint64_t>(v->num_v) : fallback;
+}
+
+std::string str_field(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->str_v : std::string();
+}
+
+bool bool_field(const obs::JsonValue& obj, const char* key, bool fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_bool() ? v->bool_v : fallback;
+}
+
+double num_field(const obs::JsonValue& obj, const char* key, double fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr ? v->number_or(fallback) : fallback;
+}
+
+std::optional<TrialRecord> parse_trial_line(const obs::JsonValue& doc) {
+  TrialRecord rec;
+  rec.key = str_field(doc, "key");
+  if (rec.key.empty()) return std::nullopt;
+  auto verdict = verdict_from_string(str_field(doc, "verdict"));
+  if (!verdict.has_value()) return std::nullopt;
+  rec.verdict = *verdict;
+  rec.attempts = static_cast<std::uint32_t>(u64_field(doc, "attempts", 1));
+  rec.aborted_attempts = static_cast<std::uint32_t>(u64_field(doc, "aborted_attempts", 0));
+  rec.errored_attempts = static_cast<std::uint32_t>(u64_field(doc, "errored_attempts", 0));
+  rec.failure_reason = str_field(doc, "reason");
+  rec.found = bool_field(doc, "found", false);
+  if (rec.found) {
+    auto cls = class_from_string(str_field(doc, "class"));
+    if (!cls.has_value()) return std::nullopt;
+    rec.cls = *cls;
+    rec.signature = str_field(doc, "signature");
+    const obs::JsonValue* det = doc.find("detection");
+    if (det == nullptr || !det->is_object()) return std::nullopt;
+    rec.detection.is_attack = bool_field(*det, "is_attack", false);
+    rec.detection.target_ratio = num_field(*det, "target_ratio", 1.0);
+    rec.detection.competing_ratio = num_field(*det, "competing_ratio", 1.0);
+    rec.detection.resource_exhaustion = bool_field(*det, "resource_exhaustion", false);
+    if (const obs::JsonValue* reasons = det->find("reasons"); reasons != nullptr)
+      for (const obs::JsonValue& r : reasons->array_v) rec.detection.reasons.push_back(r.str_v);
+  }
+  if (const obs::JsonValue* c = doc.find("client_obs"); c != nullptr)
+    rec.client_obs = read_observations(*c);
+  if (const obs::JsonValue* s = doc.find("server_obs"); s != nullptr)
+    rec.server_obs = read_observations(*s);
+  return rec;
+}
+
+}  // namespace
+
+const char* to_string(TrialVerdict verdict) {
+  switch (verdict) {
+    case TrialVerdict::kCompleted: return "completed";
+    case TrialVerdict::kAborted: return "aborted";
+    case TrialVerdict::kErrored: return "errored";
+    case TrialVerdict::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+void TrialJournal::write_header(const CampaignConfig& config) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kJournalSchema);
+  w.key("protocol").value(to_string(config.scenario.protocol));
+  w.key("implementation")
+      .value(config.scenario.protocol == Protocol::kTcp ? config.scenario.tcp_profile.name
+                                                        : "linux-3.13");
+  w.key("seed").value(config.scenario.seed);
+  w.key("detect_threshold").value(config.detect_threshold);
+  w.key("duration_seconds").value(config.scenario.test_duration.to_seconds());
+  w.end_object();
+  std::string line = w.take();
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_(line);
+}
+
+void TrialJournal::append(const TrialRecord& record) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("key").value(record.key);
+  w.key("verdict").value(to_string(record.verdict));
+  w.key("attempts").value(static_cast<std::uint64_t>(record.attempts));
+  w.key("aborted_attempts").value(static_cast<std::uint64_t>(record.aborted_attempts));
+  w.key("errored_attempts").value(static_cast<std::uint64_t>(record.errored_attempts));
+  w.key("reason").value(record.failure_reason);
+  w.key("found").value(record.found);
+  if (record.found) {
+    w.key("class").value(to_string(record.cls));
+    w.key("signature").value(record.signature);
+    w.key("detection").begin_object();
+    w.key("is_attack").value(record.detection.is_attack);
+    w.key("target_ratio").value(record.detection.target_ratio);
+    w.key("competing_ratio").value(record.detection.competing_ratio);
+    w.key("resource_exhaustion").value(record.detection.resource_exhaustion);
+    w.key("reasons").begin_array();
+    for (const std::string& r : record.detection.reasons) w.value(r);
+    w.end_array();
+    w.end_object();
+  }
+  write_observations(w, "client_obs", record.client_obs);
+  write_observations(w, "server_obs", record.server_obs);
+  w.end_object();
+  std::string line = w.take();
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_(line);
+}
+
+bool JournalSnapshot::compatible_with(const CampaignConfig& config) const {
+  const std::string impl = config.scenario.protocol == Protocol::kTcp
+                               ? config.scenario.tcp_profile.name
+                               : "linux-3.13";
+  return protocol == to_string(config.scenario.protocol) && implementation == impl &&
+         seed == config.scenario.seed &&
+         std::abs(detect_threshold - config.detect_threshold) < 1e-12 &&
+         std::abs(duration_seconds - config.scenario.test_duration.to_seconds()) < 1e-9;
+}
+
+std::optional<JournalSnapshot> load_journal(std::string_view text,
+                                            std::size_t* skipped_lines) {
+  JournalSnapshot snap;
+  if (skipped_lines != nullptr) *skipped_lines = 0;
+  bool have_header = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    // A journal line is only trustworthy once its newline hit the disk; an
+    // unterminated tail is the signature of a killed writer — skip it.
+    bool complete = nl != std::string_view::npos;
+    std::string_view line = complete ? text.substr(pos, nl - pos) : text.substr(pos);
+    pos = complete ? nl + 1 : text.size();
+    if (line.empty()) continue;
+    std::optional<obs::JsonValue> doc = complete ? obs::parse_json(line) : std::nullopt;
+    if (!doc.has_value() || !doc->is_object()) {
+      if (skipped_lines != nullptr) ++*skipped_lines;
+      continue;
+    }
+    if (!have_header) {
+      // First parseable line must be the header.
+      const obs::JsonValue* schema = doc->find("schema");
+      if (schema == nullptr || schema->str_v != kJournalSchema) return std::nullopt;
+      snap.protocol = str_field(*doc, "protocol");
+      snap.implementation = str_field(*doc, "implementation");
+      snap.seed = u64_field(*doc, "seed", 0);
+      snap.detect_threshold = num_field(*doc, "detect_threshold", 0.5);
+      snap.duration_seconds = num_field(*doc, "duration_seconds", 0.0);
+      have_header = true;
+      continue;
+    }
+    std::optional<TrialRecord> rec = parse_trial_line(*doc);
+    if (!rec.has_value()) {
+      if (skipped_lines != nullptr) ++*skipped_lines;
+      continue;
+    }
+    snap.trials[rec->key] = std::move(*rec);
+  }
+  if (!have_header) return std::nullopt;
+  return snap;
+}
+
+}  // namespace snake::core

@@ -1,0 +1,120 @@
+// Checkpoint/resume for campaigns: a JSONL trial journal.
+//
+// Executors append one line per *finished* strategy (completed or
+// quarantined) through a shared, mutex-guarded sink. Because each line is a
+// self-contained JSON document flushed at once, a killed campaign leaves a
+// journal whose every complete line is valid — the loader simply ignores a
+// truncated tail. A resumed campaign skips journaled strategies, replaying
+// their recorded outcome *and* their recorded state-machine observations
+// (the controller's feedback loop input), so the resumed run walks exactly
+// the strategy sequence the uninterrupted run would have and reproduces its
+// CampaignResult for equal seeds.
+//
+// This is the SNPSFuzzer idea — cheap mid-campaign state capture — realized
+// without process snapshots: the journal *is* the campaign state, because
+// every other input (topology, stacks, RNG streams) is derived
+// deterministically from the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snake/detector.h"
+
+namespace snake::core {
+
+struct CampaignConfig;
+
+/// Terminal state of one strategy's trial (after any retries).
+enum class TrialVerdict : std::uint8_t {
+  kCompleted,    ///< ran to a detection verdict (found or not)
+  kAborted,      ///< final attempt cut off by the trial watchdog
+  kErrored,      ///< final attempt threw; converted to an errored outcome
+  kQuarantined,  ///< failed every attempt; excluded from results
+};
+
+const char* to_string(TrialVerdict verdict);
+
+/// A deduplicated (state, packet type) send-observation — the part of a
+/// run's tracker feedback the strategy generator consumes.
+struct JournalObservation {
+  std::string state;
+  std::string packet_type;
+  auto operator<=>(const JournalObservation&) const = default;
+};
+
+/// Everything the controller needs to treat a journaled strategy as done.
+struct TrialRecord {
+  std::string key;  ///< strategy::canonical_key of the trial's strategy
+  TrialVerdict verdict = TrialVerdict::kCompleted;
+  std::uint32_t attempts = 1;
+  std::uint32_t aborted_attempts = 0;
+  std::uint32_t errored_attempts = 0;
+  std::string failure_reason;  ///< last abort/error reason ("" when clean)
+
+  /// Detection payload, present when the strategy was found (detected and
+  /// retest-confirmed).
+  bool found = false;
+  Detection detection;
+  AttackClass cls = AttackClass::kTrueAttack;
+  std::string signature;
+
+  /// Send-observations from the successful attempt's run, replayed into the
+  /// generator on resume so incremental strategy generation continues
+  /// identically.
+  std::vector<JournalObservation> client_obs;
+  std::vector<JournalObservation> server_obs;
+};
+
+/// Thread-safe JSONL appender. The sink receives one complete line
+/// (newline-terminated) per call — an fwrite to an append-mode FILE gives a
+/// crash-tolerant checkpoint.
+class TrialJournal {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  explicit TrialJournal(Sink sink) : sink_(std::move(sink)) {}
+
+  /// Writes the header line identifying the campaign this journal belongs
+  /// to. Call once on a fresh journal; resumed journals already carry one.
+  void write_header(const CampaignConfig& config);
+
+  /// Appends one finished trial. Thread-safe; may throw if the sink throws
+  /// (the controller converts that into a journal_errors counter and keeps
+  /// the campaign running — checkpointing is best-effort, results are not).
+  void append(const TrialRecord& record);
+
+ private:
+  std::mutex mutex_;
+  Sink sink_;
+};
+
+/// Parsed journal: the campaign identity from the header plus every complete
+/// trial line, keyed by canonical strategy key.
+struct JournalSnapshot {
+  std::string protocol;
+  std::string implementation;
+  std::uint64_t seed = 0;
+  double detect_threshold = 0.5;
+  double duration_seconds = 0.0;
+  std::map<std::string, TrialRecord> trials;
+
+  /// Whether this journal was recorded by a campaign with the same identity
+  /// (protocol, implementation, seed, threshold, duration) — resuming across
+  /// differing configs would silently mix incompatible outcomes.
+  bool compatible_with(const CampaignConfig& config) const;
+};
+
+/// Parses a JSONL journal. Lines that fail to parse — including a truncated
+/// final line from a killed run — are skipped; a missing/invalid header
+/// yields nullopt. `skipped_lines`, when given, receives the ignored count.
+std::optional<JournalSnapshot> load_journal(std::string_view text,
+                                            std::size_t* skipped_lines = nullptr);
+
+}  // namespace snake::core

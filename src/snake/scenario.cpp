@@ -6,6 +6,7 @@
 #include "apps/iperf_dccp.h"
 #include "dccp/stack.h"
 #include "obs/metrics.h"
+#include "snake/faultpoint.h"
 #include "packet/dccp_format.h"
 #include "packet/tcp_format.h"
 #include "snake/arena.h"
@@ -56,6 +57,43 @@ RunMetrics finish_metrics(proxy::AttackProxy& attack_proxy, TimePoint end) {
   return m;
 }
 
+/// Arms the trial watchdog and plants any scenario-level fault points before
+/// run_until. The fault checks cost one null test in production; the armed
+/// degradations (storm, stall, throw) are what the watchdog and the trial
+/// guard exist to contain.
+void arm_run_guards(const ScenarioConfig& config, sim::Scheduler& scheduler) {
+  sim::WatchdogConfig watchdog;
+  watchdog.max_events = config.event_budget;
+  watchdog.wall_seconds = config.wall_limit_seconds;
+  scheduler.arm_watchdog(watchdog);
+  if (config.faults == nullptr) return;
+  // Plant faults a moment into the run so connection setup has begun and the
+  // degradation exercises a mid-trial state, not an empty scheduler.
+  const Duration after = Duration::seconds(0.5);
+  if (config.faults->should_fire(FaultKind::kEventStorm, config.fault_key,
+                                 config.fault_attempt))
+    arm_event_storm(scheduler, after);
+  if (config.faults->should_fire(FaultKind::kClockStall, config.fault_key,
+                                 config.fault_attempt))
+    arm_clock_stall(scheduler, after);
+  if (config.faults->should_fire(FaultKind::kThrowInTrial, config.fault_key,
+                                 config.fault_attempt))
+    arm_throw_in_trial(scheduler, after);
+}
+
+/// Harvests the watchdog verdict after run_until returned.
+void finish_watchdog(RunMetrics& m, sim::Scheduler& scheduler,
+                     const ScenarioConfig& config) {
+  sim::WatchdogTrip trip = scheduler.watchdog_trip();
+  if (trip == sim::WatchdogTrip::kNone) return;
+  m.aborted = true;
+  m.abort_reason = sim::to_string(trip);
+  if (config.metrics != nullptr) {
+    ++config.metrics->counter("scenario.aborted_runs");
+    ++config.metrics->counter(std::string("scenario.aborted_runs.") + m.abort_reason);
+  }
+}
+
 /// Dumps the run's substrate counters into the configured registry (no-op
 /// without one). Runs after the simulation finishes so the hot path carries
 /// zero instrumentation cost.
@@ -97,9 +135,11 @@ RunMetrics run_tcp(ScenarioArena& arena, const ScenarioConfig& config,
   apps::BulkHttpClient wget2(client2, sim::DumbbellAddresses::kServer2, kHttpPort);
 
   TimePoint end = net.scheduler().now() + config.test_duration;
+  arm_run_guards(config, net.scheduler());
   net.scheduler().run_until(end);
 
   RunMetrics m = finish_metrics(attack_proxy, end);
+  finish_watchdog(m, net.scheduler(), config);
   m.target_bytes = wget1.bytes_received();
   m.competing_bytes = wget2.bytes_received();
   m.target_established = wget1.established();
@@ -145,9 +185,11 @@ RunMetrics run_dccp(ScenarioArena& arena, const ScenarioConfig& config,
   apps::DccpIperfSource src2(client2, sim::DumbbellAddresses::kServer2, kIperfPort, opts);
 
   TimePoint end = net.scheduler().now() + config.test_duration;
+  arm_run_guards(config, net.scheduler());
   net.scheduler().run_until(end);
 
   RunMetrics m = finish_metrics(attack_proxy, end);
+  finish_watchdog(m, net.scheduler(), config);
   // "Since DCCP is not a reliable protocol, we measured performance based on
   // server goodput, or actual data received."
   m.target_bytes = sink1.goodput_bytes();

@@ -28,6 +28,8 @@ class MetricsRegistry;
 
 namespace snake::core {
 
+class FaultPlan;
+
 enum class Protocol { kTcp, kDccp };
 
 const char* to_string(Protocol protocol);
@@ -64,6 +66,24 @@ struct ScenarioConfig {
   /// behaviour: identical seeds produce identical RunMetrics with or
   /// without a registry attached.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // --- Trial watchdog (resilience layer) -----------------------------------
+  /// Abort the run after this many scheduler events (0 = unlimited). A
+  /// pathological strategy that floods the event queue is cut off and the
+  /// run reported with RunMetrics::aborted instead of hanging its executor.
+  std::uint64_t event_budget = 0;
+  /// Wall-clock deadline for this one run, in seconds (0 = none). Catches
+  /// runs whose virtual clock stops advancing while callbacks burn real time.
+  double wall_limit_seconds = 0.0;
+
+  /// Fault-injection plan (tests/benches only; not owned, nullptr in
+  /// production — the only cost then is this null check). Scenario-level
+  /// rules (event storm, clock stall, throw-in-trial) are keyed by
+  /// `fault_key`/`fault_attempt`, which the campaign controller sets to the
+  /// strategy id and retry attempt.
+  const FaultPlan* faults = nullptr;
+  std::uint64_t fault_key = 0;
+  std::uint32_t fault_attempt = 0;
 };
 
 /// Everything the executor reports back to the controller after one run.
@@ -91,6 +111,13 @@ struct RunMetrics {
   std::map<std::string, statemachine::StateStats> server_state_stats;
 
   proxy::ProxyStats proxy;
+
+  /// Watchdog verdict: true when the run was cut off by its event budget or
+  /// wall-clock deadline instead of reaching the virtual-time horizon. The
+  /// other fields then describe the truncated run and must not be compared
+  /// against a full-length baseline.
+  bool aborted = false;
+  std::string abort_reason;  ///< "event-budget" or "wall-clock" when aborted
 };
 
 class ScenarioArena;

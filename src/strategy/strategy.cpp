@@ -50,6 +50,29 @@ std::string LieSpec::describe() const {
   return "?";
 }
 
+std::string canonical_key(const Strategy& s) {
+  std::string out = str_format("%s|%s|%s|%s|%s|idx=%llu|w=%.9g+%.9g|p=%.9g|n=%d|d=%.9g",
+                               to_string(s.action), to_string(s.match_mode),
+                               s.packet_type.c_str(), s.target_state.c_str(),
+                               to_string(s.direction), (unsigned long long)s.packet_index,
+                               s.window_start_seconds, s.window_length_seconds,
+                               s.drop_probability, s.duplicate_count, s.delay_seconds);
+  if (s.lie.has_value())
+    out += str_format("|lie=%s:%d:%llu", s.lie->field.c_str(), static_cast<int>(s.lie->mode),
+                      (unsigned long long)s.lie->operand);
+  if (s.inject.has_value()) {
+    const InjectSpec& i = *s.inject;
+    out += str_format("|inj=%s:%d%d:%s:%llu:%llu:%llu:%.9g", i.packet_type.c_str(),
+                      i.spoof_toward_client ? 1 : 0, i.target_competing ? 1 : 0,
+                      i.seq_field.c_str(), (unsigned long long)i.seq_start,
+                      (unsigned long long)i.seq_stride, (unsigned long long)i.count,
+                      i.pace_pps);
+    for (const auto& [field, value] : i.fields)
+      out += str_format(",%s=%llu", field.c_str(), (unsigned long long)value);
+  }
+  return out;
+}
+
 std::string Strategy::describe() const {
   std::string out = str_format("#%llu %s", (unsigned long long)id, to_string(action));
   switch (action) {

@@ -151,7 +151,9 @@ class BufferPool {
   }
 
   void release(Bytes&& buf) {
-    if (buf.capacity() == 0 || free_.size() >= max_free_) return;  // nothing to recycle
+    if (buf.capacity() == 0) return;  // moved-from / never-written: nothing real to return
+    ++released_;
+    if (free_.size() >= max_free_) return;  // over cap: freed, not pooled
     buf.clear();
     free_.push_back(std::move(buf));
   }
@@ -159,6 +161,10 @@ class BufferPool {
   /// Total acquire() calls and how many were served from the free list.
   std::uint64_t acquired() const { return acquired_; }
   std::uint64_t reused() const { return reused_; }
+  /// Real (capacity-carrying) buffers handed back at a death point — the
+  /// pool-balance signal: in a run where every packet dies at a release site,
+  /// released() catches up to acquired() minus the packets still in flight.
+  std::uint64_t released() const { return released_; }
   std::size_t free_count() const { return free_.size(); }
 
   /// Drops every pooled buffer (used when a scenario arena is torn down).
@@ -169,6 +175,7 @@ class BufferPool {
   void reset_stats() {
     acquired_ = 0;
     reused_ = 0;
+    released_ = 0;
   }
 
   static constexpr std::size_t kDefaultMaxFree = 512;
@@ -178,6 +185,7 @@ class BufferPool {
   std::size_t max_free_;
   std::uint64_t acquired_ = 0;
   std::uint64_t reused_ = 0;
+  std::uint64_t released_ = 0;
 };
 
 }  // namespace snake

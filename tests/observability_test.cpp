@@ -15,6 +15,7 @@
 
 #include "obs/json.h"
 #include "snake/controller.h"
+#include "snake/faultpoint.h"
 #include "tcp/profile.h"
 
 namespace snake::core {
@@ -113,6 +114,18 @@ TEST(Observability, CampaignReportMatchesSchema) {
   ASSERT_NE(parsed->find("combinations"), nullptr);
   EXPECT_TRUE(parsed->find("combinations")->find("tried")->is_number());
 
+  // Resilience block (additive to the v1 schema).
+  const obs::JsonValue* resilience = parsed->find("resilience");
+  ASSERT_NE(resilience, nullptr);
+  for (const char* field : {"trials_aborted", "trials_errored", "trials_retried",
+                            "strategies_quarantined", "resume_skipped", "journal_errors"}) {
+    ASSERT_NE(resilience->find(field), nullptr) << field;
+    EXPECT_TRUE(resilience->find(field)->is_number()) << field;
+  }
+  ASSERT_NE(resilience->find("quarantined"), nullptr);
+  EXPECT_TRUE(resilience->find("quarantined")->is_array());
+  EXPECT_EQ(resilience->find("quarantined")->array_v.size(), result.quarantined.size());
+
   // Metrics snapshot: per-stage timings and per-attack-action counts.
   const obs::JsonValue* metrics = parsed->find("metrics");
   ASSERT_NE(metrics, nullptr);
@@ -162,6 +175,36 @@ TEST(Observability, BlockingProgressCallbackDoesNotSerializePool) {
   EXPECT_TRUE(overlapped.load())
       << "progress callbacks never overlapped: callback is being invoked "
          "with the campaign mutex held";
+}
+
+// ------------------------------------------------ resilience counters
+
+TEST(Observability, ResilienceCountersMergeAcrossExecutors) {
+  // Each executor tallies aborts/retries/quarantines into its private
+  // registry; the merged campaign metrics must agree with the result-level
+  // tallies exactly, whichever thread did the work.
+  FaultPlan faults;
+  faults.add(FaultRule{FaultKind::kThrowInTrial, 4, 1, 1});  // transient
+  faults.add(FaultRule{FaultKind::kThrowInTrial, 4, 3, FaultRule::kAllAttempts});
+  faults.add(FaultRule{FaultKind::kEventStorm, 4, 2, FaultRule::kAllAttempts});
+  CampaignConfig config = small_campaign_config();
+  config.executors = 3;
+  config.scenario.faults = &faults;
+  config.scenario.event_budget = 400000;
+
+  CampaignResult result = run_campaign(config);
+  EXPECT_GT(result.trials_aborted, 0u);
+  EXPECT_GT(result.trials_errored, 0u);
+  EXPECT_GT(result.trials_retried, 0u);
+  EXPECT_FALSE(result.quarantined.empty());
+  EXPECT_EQ(result.metrics.counter("campaign.trials_aborted"), result.trials_aborted);
+  EXPECT_EQ(result.metrics.counter("campaign.trials_errored"), result.trials_errored);
+  EXPECT_EQ(result.metrics.counter("campaign.trials_retried"), result.trials_retried);
+  EXPECT_EQ(result.metrics.counter("campaign.strategies_quarantined"),
+            result.quarantined.size());
+  EXPECT_EQ(result.resume_skipped, 0u);
+  // The scheduler-level watchdog counter saw at least every campaign abort.
+  EXPECT_GE(result.metrics.counter("sim.watchdog_trips"), result.trials_aborted);
 }
 
 // --------------------------------------------- configurable threshold

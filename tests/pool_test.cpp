@@ -120,6 +120,27 @@ TEST(BufferPool, DropsZeroCapacityAndOverflowReleases) {
   EXPECT_EQ(pool.free_count(), BufferPool::kDefaultMaxFree);
 }
 
+TEST(BufferPool, ReleasedCounterSeesEveryRealRelease) {
+  // released() is the pool-balance ledger: it counts every buffer handed
+  // back, including ones the full free list then drops — so
+  // released == acquired after a cycle proves no caller leaked its buffer.
+  BufferPool pool;
+  pool.release(Bytes());  // zero-capacity: not a real release
+  EXPECT_EQ(pool.released(), 0u);
+
+  for (std::size_t i = 0; i < BufferPool::kDefaultMaxFree + 10; ++i) {
+    Bytes b;
+    b.reserve(8);
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.released(), BufferPool::kDefaultMaxFree + 10);
+  EXPECT_EQ(pool.free_count(), BufferPool::kDefaultMaxFree);
+
+  pool.reset_stats();
+  EXPECT_EQ(pool.released(), 0u);
+  EXPECT_EQ(pool.free_count(), BufferPool::kDefaultMaxFree);  // buffers kept
+}
+
 // ------------------------------------------------------ scheduler event pool
 
 TEST(SchedulerPool, SlotCountStabilizesUnderChurn) {
@@ -203,6 +224,38 @@ TEST(SchedulerPool, ResetRestoresPristineStateKeepingSlabs) {
   sched.schedule_in(Duration::seconds(0.5), [&] { ++hits; });
   sched.run_until(TimePoint::origin() + Duration::seconds(1.0));
   EXPECT_EQ(hits, 1);
+}
+
+TEST(SchedulerPool, WatchdogAbortKeepsBufferPoolBalanced) {
+  // A watchdog-aborted run must not strand pooled buffers: callbacks that
+  // completed before the trip returned theirs, and reset() reclaims the
+  // machinery for the next trial on the same scheduler.
+  sim::Scheduler sched;
+  std::function<void()> tick = [&] {
+    Bytes b = sched.buffer_pool().acquire();
+    b.assign(64, 0x5A);
+    sched.buffer_pool().release(std::move(b));
+    sched.schedule_in(Duration::seconds(0.001), [&] { tick(); });
+  };
+  sched.schedule_in(Duration::seconds(0.001), [&] { tick(); });
+
+  sim::WatchdogConfig w;
+  w.max_events = 200;
+  sched.arm_watchdog(w);
+  sched.run_until(TimePoint::origin() + Duration::seconds(60.0));
+  ASSERT_EQ(sched.watchdog_trip(), sim::WatchdogTrip::kEventBudget);
+
+  // Pool balance: every acquired buffer came back.
+  EXPECT_EQ(sched.buffer_pool().released(), sched.buffer_pool().acquired());
+  EXPECT_GE(sched.buffer_pool().acquired(), 100u);
+  EXPECT_LE(sched.buffer_pool().free_count(), 1u);  // steady-state reuse
+
+  // The next trial on this scheduler starts clean.
+  sched.reset();
+  EXPECT_EQ(sched.watchdog_trip(), sim::WatchdogTrip::kNone);
+  EXPECT_TRUE(sched.empty());
+  Bytes again = sched.buffer_pool().acquire();
+  EXPECT_TRUE(again.empty());
 }
 
 TEST(SchedulerPool, BufferPoolCountersExported) {

@@ -1,0 +1,419 @@
+// Campaign resilience layer tests: trial watchdogs (event budget +
+// wall-clock deadline), deterministic fault injection, the trial guard with
+// retry/quarantine, and the JSONL checkpoint journal. Every degradation
+// path the layer exists to contain is driven here on purpose:
+//   - event storm       -> event-budget abort
+//   - clock stall       -> wall-clock abort
+//   - throw-in-trial    -> errored attempt, retry or quarantine
+//   - serialize failure -> journal_errors, campaign unharmed
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/scheduler.h"
+#include "snake/controller.h"
+#include "snake/faultpoint.h"
+#include "snake/journal.h"
+#include "tcp/profile.h"
+
+namespace snake::core {
+namespace {
+
+// A 5s TCP run executes ~46k scheduler events; this budget never cuts a
+// real trial but stops an event storm within tens of milliseconds.
+constexpr std::uint64_t kGenerousEventBudget = 400000;
+
+ScenarioConfig short_tcp_scenario() {
+  ScenarioConfig c;
+  c.protocol = Protocol::kTcp;
+  c.tcp_profile = tcp::linux_3_13_profile();
+  c.test_duration = Duration::seconds(5.0);
+  c.seed = 3;
+  return c;
+}
+
+CampaignConfig small_campaign() {
+  CampaignConfig c;
+  c.scenario = short_tcp_scenario();
+  c.generator = strategy::tcp_generator_config();
+  c.generator.hitseq_max_packets = 2000;
+  c.executors = 2;
+  c.max_strategies = 12;
+  return c;
+}
+
+// ------------------------------------------------------ scheduler watchdog
+
+TEST(Watchdog, EventBudgetLatchesAndStopsRun) {
+  sim::Scheduler sched;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    ++fires;
+    sched.schedule_in(Duration::seconds(0.001), [&] { tick(); });
+  };
+  sched.schedule_in(Duration::seconds(0.001), [&] { tick(); });
+
+  sim::WatchdogConfig w;
+  w.max_events = 100;
+  sched.arm_watchdog(w);
+  sched.run_until(TimePoint::origin() + Duration::seconds(10.0));
+  EXPECT_EQ(sched.watchdog_trip(), sim::WatchdogTrip::kEventBudget);
+  EXPECT_LE(fires, 101);
+  // A tripped watchdog latches: further run_until calls do nothing, and the
+  // clock was not advanced to the horizon.
+  int fires_at_trip = fires;
+  sched.run_until(TimePoint::origin() + Duration::seconds(20.0));
+  EXPECT_EQ(fires, fires_at_trip);
+  EXPECT_LT(sched.now().to_seconds(), 10.0);
+
+  // Re-arming (even disarmed) clears the trip and the run resumes.
+  sched.arm_watchdog(sim::WatchdogConfig{});
+  EXPECT_EQ(sched.watchdog_trip(), sim::WatchdogTrip::kNone);
+  sched.run_until(sched.now() + Duration::seconds(0.01));
+  EXPECT_GT(fires, fires_at_trip);
+}
+
+TEST(Watchdog, WallClockDeadlineCatchesStalledClock) {
+  sim::Scheduler sched;
+  arm_clock_stall(sched, Duration::seconds(0.0));
+  sim::WatchdogConfig w;
+  w.wall_seconds = 0.05;
+  sched.arm_watchdog(w);
+  // 1 s of virtual time would need ~1e6 stalled events (~17 min of wall
+  // sleep); the deadline must cut it off after ~kWallCheckInterval events.
+  sched.run_until(TimePoint::origin() + Duration::seconds(1.0));
+  EXPECT_EQ(sched.watchdog_trip(), sim::WatchdogTrip::kWallClock);
+  EXPECT_LT(sched.now().to_seconds(), 1.0);
+}
+
+TEST(Watchdog, ResetClearsTripAndBudget) {
+  sim::Scheduler sched;
+  std::function<void()> tick = [&] {
+    sched.schedule_in(Duration::seconds(0.001), [&] { tick(); });
+  };
+  sched.schedule_in(Duration::seconds(0.001), [&] { tick(); });
+  sim::WatchdogConfig w;
+  w.max_events = 50;
+  sched.arm_watchdog(w);
+  sched.run_until(TimePoint::origin() + Duration::seconds(10.0));
+  ASSERT_EQ(sched.watchdog_trip(), sim::WatchdogTrip::kEventBudget);
+
+  sched.reset();
+  EXPECT_EQ(sched.watchdog_trip(), sim::WatchdogTrip::kNone);
+  // Post-reset runs are unconstrained by the stale budget.
+  int hits = 0;
+  for (int i = 0; i < 200; ++i)
+    sched.schedule_in(Duration::seconds(0.001), [&hits] { ++hits; });
+  sched.run_until(TimePoint::origin() + Duration::seconds(1.0));
+  EXPECT_EQ(hits, 200);
+}
+
+// ----------------------------------------------------------- fault rules
+
+TEST(FaultPlan, RulesMatchByKindKeyAndAttempt) {
+  FaultPlan plan;
+  FaultRule transient;
+  transient.kind = FaultKind::kThrowInTrial;
+  transient.modulus = 3;
+  transient.remainder = 1;
+  transient.attempts = 1;
+  plan.add(transient);
+  FaultRule persistent;
+  persistent.kind = FaultKind::kEventStorm;
+  persistent.modulus = 4;
+  persistent.remainder = 2;
+  plan.add(persistent);
+
+  EXPECT_TRUE(plan.should_fire(FaultKind::kThrowInTrial, 7, 0));
+  EXPECT_FALSE(plan.should_fire(FaultKind::kThrowInTrial, 7, 1));  // transient
+  EXPECT_FALSE(plan.should_fire(FaultKind::kThrowInTrial, 8, 0));  // wrong key
+  EXPECT_TRUE(plan.should_fire(FaultKind::kEventStorm, 6, 0));
+  EXPECT_TRUE(plan.should_fire(FaultKind::kEventStorm, 6, 5));  // persistent
+  EXPECT_FALSE(plan.should_fire(FaultKind::kClockStall, 6, 0));  // no rule
+
+  EXPECT_EQ(plan.fires(FaultKind::kThrowInTrial), 1u);
+  EXPECT_EQ(plan.fires(FaultKind::kEventStorm), 2u);
+  EXPECT_EQ(plan.fires(FaultKind::kSerializeFailure), 0u);
+}
+
+// ------------------------------------------------- scenario-level guards
+
+TEST(ScenarioGuards, EventBudgetAbortsRunaway) {
+  ScenarioConfig c = short_tcp_scenario();
+  c.event_budget = 1000;  // far below what 5s of simulation needs
+  RunMetrics m = run_scenario(c, std::nullopt);
+  EXPECT_TRUE(m.aborted);
+  EXPECT_EQ(m.abort_reason, "event-budget");
+}
+
+TEST(ScenarioGuards, GenerousBudgetDoesNotPerturbResults) {
+  ScenarioConfig c = short_tcp_scenario();
+  RunMetrics unguarded = run_scenario(c, std::nullopt);
+  c.event_budget = kGenerousEventBudget;
+  c.wall_limit_seconds = 120.0;
+  RunMetrics guarded = run_scenario(c, std::nullopt);
+  EXPECT_FALSE(guarded.aborted);
+  EXPECT_EQ(guarded.target_bytes, unguarded.target_bytes);
+  EXPECT_EQ(guarded.competing_bytes, unguarded.competing_bytes);
+}
+
+TEST(ScenarioGuards, EventStormIsCutByBudget) {
+  FaultPlan plan;
+  plan.add(FaultRule{FaultKind::kEventStorm, 1, 0, FaultRule::kAllAttempts});
+  ScenarioConfig c = short_tcp_scenario();
+  c.event_budget = kGenerousEventBudget;
+  c.faults = &plan;
+  RunMetrics m = run_scenario(c, std::nullopt);
+  EXPECT_TRUE(m.aborted);
+  EXPECT_EQ(m.abort_reason, "event-budget");
+  EXPECT_GE(plan.fires(FaultKind::kEventStorm), 1u);
+}
+
+TEST(ScenarioGuards, ClockStallIsCutByWallDeadline) {
+  FaultPlan plan;
+  plan.add(FaultRule{FaultKind::kClockStall, 1, 0, FaultRule::kAllAttempts});
+  ScenarioConfig c = short_tcp_scenario();
+  c.wall_limit_seconds = 0.05;
+  c.faults = &plan;
+  RunMetrics m = run_scenario(c, std::nullopt);
+  EXPECT_TRUE(m.aborted);
+  EXPECT_EQ(m.abort_reason, "wall-clock");
+}
+
+TEST(ScenarioGuards, ThrowInTrialEscapesAsFaultInjectedError) {
+  FaultPlan plan;
+  plan.add(FaultRule{FaultKind::kThrowInTrial, 1, 0, FaultRule::kAllAttempts});
+  ScenarioConfig c = short_tcp_scenario();
+  c.faults = &plan;
+  EXPECT_THROW(run_scenario(c, std::nullopt), FaultInjectedError);
+}
+
+// ------------------------------------------------ campaign guard + retry
+
+TEST(CampaignResilience, TransientFaultIsRetriedNotQuarantined) {
+  FaultPlan plan;
+  // Odd strategy ids throw on their first attempt only.
+  plan.add(FaultRule{FaultKind::kThrowInTrial, 2, 1, 1});
+  CampaignConfig config = small_campaign();
+  config.scenario.faults = &plan;
+
+  CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.strategies_tried, 12u);
+  EXPECT_GT(result.trials_errored, 0u);
+  EXPECT_EQ(result.trials_retried, result.trials_errored);  // one retry each
+  EXPECT_TRUE(result.quarantined.empty());
+  EXPECT_EQ(result.metrics.counter("campaign.trials_errored"), result.trials_errored);
+  EXPECT_EQ(result.metrics.counter("campaign.trials_retried"), result.trials_retried);
+}
+
+TEST(CampaignResilience, PersistentThrowQuarantinesStrategy) {
+  FaultPlan plan;
+  plan.add(FaultRule{FaultKind::kThrowInTrial, 3, 1, FaultRule::kAllAttempts});
+  CampaignConfig config = small_campaign();
+  config.scenario.faults = &plan;
+
+  CampaignResult result = run_campaign(config);
+  ASSERT_FALSE(result.quarantined.empty());
+  for (const CampaignResult::Quarantined& q : result.quarantined) {
+    EXPECT_EQ(q.strat.id % 3, 1u);
+    EXPECT_EQ(q.verdict, TrialVerdict::kErrored);
+    EXPECT_EQ(q.attempts, 2u);
+    EXPECT_NE(q.reason.find("throw-in-trial"), std::string::npos);
+    for (const StrategyOutcome& o : result.found)
+      EXPECT_NE(strategy::canonical_key(o.strat), q.key);
+  }
+  // Every quarantined strategy burned all its attempts.
+  EXPECT_EQ(result.trials_errored, 2 * result.quarantined.size());
+  EXPECT_EQ(result.metrics.counter("campaign.strategies_quarantined"),
+            result.quarantined.size());
+  // Quarantined strategies still count as tried.
+  EXPECT_EQ(result.strategies_tried, 12u);
+}
+
+TEST(CampaignResilience, WatchdogAbortQuarantinesAndExecutorStaysClean) {
+  FaultPlan plan;
+  plan.add(FaultRule{FaultKind::kEventStorm, 2, 1, FaultRule::kAllAttempts});
+  CampaignConfig config = small_campaign();
+  config.executors = 1;
+  config.max_strategies = 8;
+  config.scenario.faults = &plan;
+  config.scenario.event_budget = kGenerousEventBudget;
+
+  CampaignResult result = run_campaign(config);
+  ASSERT_FALSE(result.quarantined.empty());
+  for (const CampaignResult::Quarantined& q : result.quarantined) {
+    EXPECT_EQ(q.verdict, TrialVerdict::kAborted);
+    EXPECT_EQ(q.reason, "event-budget");
+  }
+  EXPECT_EQ(result.trials_aborted, 2 * result.quarantined.size());
+  EXPECT_EQ(result.metrics.counter("campaign.trials_aborted"), result.trials_aborted);
+  // Aborted trials shared one executor (and its arena) with the clean ones:
+  // a second identical campaign must reproduce the first exactly, which
+  // fails if an abort leaks state into the next trial.
+  CampaignResult again = run_campaign(config);
+  EXPECT_EQ(result.summary_row(), again.summary_row());
+  EXPECT_EQ(result.unique_signatures, again.unique_signatures);
+  ASSERT_EQ(result.quarantined.size(), again.quarantined.size());
+  for (std::size_t i = 0; i < result.quarantined.size(); ++i)
+    EXPECT_EQ(result.quarantined[i].key, again.quarantined[i].key);
+}
+
+// ------------------------------------------------------------- journal
+
+TrialRecord sample_found_record() {
+  TrialRecord r;
+  r.key = "drop|state-based|RST|FIN_WAIT_2|client->server";
+  r.verdict = TrialVerdict::kCompleted;
+  r.attempts = 2;
+  r.errored_attempts = 1;
+  r.failure_reason = "fault point: throw-in-trial";
+  r.found = true;
+  r.detection.is_attack = true;
+  r.detection.target_ratio = 0.12;
+  r.detection.competing_ratio = 1.01;
+  r.detection.resource_exhaustion = true;
+  r.detection.reasons = {"target down", "stuck sockets"};
+  r.cls = AttackClass::kTrueAttack;
+  r.signature = "drop/RST effect=resource_exhaustion";
+  r.client_obs = {{"ESTABLISHED", "ACK"}, {"FIN_WAIT_1", "FIN+ACK"}};
+  r.server_obs = {{"CLOSE_WAIT", "ACK"}};
+  return r;
+}
+
+TEST(Journal, RoundTripsHeaderAndRecords) {
+  std::string text;
+  TrialJournal journal([&](std::string_view line) { text.append(line); });
+  CampaignConfig config = small_campaign();
+  journal.write_header(config);
+  journal.append(sample_found_record());
+  TrialRecord quarantined;
+  quarantined.key = "inject|...|SYN";
+  quarantined.verdict = TrialVerdict::kAborted;
+  quarantined.attempts = 2;
+  quarantined.aborted_attempts = 2;
+  quarantined.failure_reason = "event-budget";
+  journal.append(quarantined);
+
+  std::size_t skipped = 99;
+  auto snap = load_journal(text, &skipped);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_TRUE(snap->compatible_with(config));
+  ASSERT_EQ(snap->trials.size(), 2u);
+
+  const TrialRecord& f = snap->trials.at(sample_found_record().key);
+  EXPECT_EQ(f.verdict, TrialVerdict::kCompleted);
+  EXPECT_EQ(f.attempts, 2u);
+  EXPECT_EQ(f.errored_attempts, 1u);
+  EXPECT_TRUE(f.found);
+  EXPECT_TRUE(f.detection.is_attack);
+  EXPECT_DOUBLE_EQ(f.detection.target_ratio, 0.12);
+  EXPECT_TRUE(f.detection.resource_exhaustion);
+  EXPECT_EQ(f.detection.reasons.size(), 2u);
+  EXPECT_EQ(f.cls, AttackClass::kTrueAttack);
+  EXPECT_EQ(f.signature, "drop/RST effect=resource_exhaustion");
+  EXPECT_EQ(f.client_obs, sample_found_record().client_obs);
+  EXPECT_EQ(f.server_obs, sample_found_record().server_obs);
+
+  const TrialRecord& q = snap->trials.at("inject|...|SYN");
+  EXPECT_EQ(q.verdict, TrialVerdict::kAborted);
+  EXPECT_EQ(q.aborted_attempts, 2u);
+  EXPECT_EQ(q.failure_reason, "event-budget");
+  EXPECT_FALSE(q.found);
+
+  // A differently-seeded campaign is a different identity.
+  CampaignConfig other = config;
+  other.scenario.seed += 1;
+  EXPECT_FALSE(snap->compatible_with(other));
+}
+
+TEST(Journal, ToleratesTruncatedTailFromKilledRun) {
+  std::string text;
+  TrialJournal journal([&](std::string_view line) { text.append(line); });
+  CampaignConfig config = small_campaign();
+  journal.write_header(config);
+  journal.append(sample_found_record());
+  TrialRecord second = sample_found_record();
+  second.key = "another|key";
+  journal.append(second);
+
+  // Kill the writer mid-line: the last record loses its tail.
+  std::string truncated = text.substr(0, text.size() - 25);
+  std::size_t skipped = 0;
+  auto snap = load_journal(truncated, &skipped);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->trials.size(), 1u);
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_TRUE(snap->trials.contains(sample_found_record().key));
+
+  // Garbage-only input has no header: refuse rather than resume from noise.
+  EXPECT_FALSE(load_journal("not json\n{\"key\":\"x\"}\n").has_value());
+}
+
+TEST(Journal, SerializeFailureCountsErrorsButCampaignSurvives) {
+  FaultPlan plan;
+  plan.add(FaultRule{FaultKind::kSerializeFailure, 2, 0, FaultRule::kAllAttempts});
+  std::uint64_t appended = 0;
+  std::uint64_t seq = 0;
+  TrialJournal journal([&](std::string_view) {
+    // The sink consults the plan the way a failing disk would: every other
+    // line fails to persist.
+    if (plan.should_fire(FaultKind::kSerializeFailure, seq++))
+      throw FaultInjectedError("fault point: serialize-failure");
+    ++appended;
+  });
+
+  CampaignConfig config = small_campaign();
+  config.journal = &journal;
+  CampaignResult with_journal = run_campaign(config);
+  config.journal = nullptr;
+  CampaignResult without_journal = run_campaign(config);
+
+  EXPECT_GT(with_journal.journal_errors, 0u);
+  EXPECT_GT(appended, 0u);
+  // Checkpointing is best-effort: a failing journal never changes results.
+  EXPECT_EQ(with_journal.summary_row(), without_journal.summary_row());
+  EXPECT_EQ(with_journal.unique_signatures, without_journal.unique_signatures);
+}
+
+TEST(Journal, IncompatibleResumeSnapshotIsIgnored) {
+  std::string text;
+  TrialJournal journal([&](std::string_view line) { text.append(line); });
+  CampaignConfig recorded = small_campaign();
+  recorded.scenario.seed = 777;  // journal from a different campaign
+  journal.write_header(recorded);
+  journal.append(sample_found_record());
+  auto snap = load_journal(text);
+  ASSERT_TRUE(snap.has_value());
+
+  CampaignConfig config = small_campaign();
+  config.resume = &*snap;
+  CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.resume_skipped, 0u);
+  EXPECT_EQ(result.metrics.counter("campaign.resume_incompatible"), 1u);
+  EXPECT_EQ(result.strategies_tried, 12u);
+}
+
+// ----------------------------------------------------- canonical identity
+
+TEST(CanonicalKey, IgnoresGenerationOrderIdOnly) {
+  strategy::Strategy a;
+  a.id = 7;
+  a.action = strategy::AttackAction::kDrop;
+  a.packet_type = "RST";
+  a.target_state = "FIN_WAIT_2";
+  strategy::Strategy b = a;
+  b.id = 99;  // same content, different emission order
+  EXPECT_EQ(strategy::canonical_key(a), strategy::canonical_key(b));
+
+  b.packet_type = "SYN";
+  EXPECT_NE(strategy::canonical_key(a), strategy::canonical_key(b));
+  b = a;
+  b.lie = strategy::LieSpec{"window", strategy::LieSpec::Mode::kSet, 0};
+  EXPECT_NE(strategy::canonical_key(a), strategy::canonical_key(b));
+}
+
+}  // namespace
+}  // namespace snake::core
