@@ -3,6 +3,13 @@
 //
 //   bench_campaign [--cap N] [--duration SECONDS] [--executors N]
 //                  [--protocol tcp|dccp] [--json PATH] [--baseline PATH]
+//                  [--selfcheck]
+//
+// --selfcheck attaches the property-suite invariant oracles (clock
+// monotonicity, TCP sequence space, tracker legality, pool balance; see
+// src/testing/oracles.h) to every trial. It costs a packet trace per run, so
+// throughput numbers from a selfcheck bench are not comparable to plain
+// ones; the exit code turns nonzero if any trial violates an invariant.
 //
 // Test throughput is the bottleneck for stateful protocol testing at scale
 // (the paper spends ~2 minutes of wall clock per strategy; ProFuzzBench ranks
@@ -31,8 +38,10 @@
 
 #include "obs/json.h"
 #include "snake/controller.h"
+#include "statemachine/protocol_specs.h"
 #include "strategy/generator.h"
 #include "tcp/profile.h"
+#include "testing/oracles.h"
 
 using namespace snake;
 using namespace snake::core;
@@ -60,6 +69,7 @@ int main(int argc, char** argv) {
   Protocol protocol = Protocol::kTcp;
   const char* json_path = "BENCH_campaign.json";
   const char* baseline_path = nullptr;
+  bool selfcheck = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) {
       cap = std::strtoull(argv[++i], nullptr, 10);
@@ -73,6 +83,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--selfcheck")) {
+      selfcheck = true;
     }
   }
 
@@ -87,8 +99,16 @@ int main(int argc, char** argv) {
   config.executors = executors;
   config.max_strategies = cap;
 
-  std::printf("== Campaign throughput: %llu strategies, %.0fs virtual, %d executors (%s) ==\n",
-              (unsigned long long)cap, duration, executors, to_string(protocol));
+  // --selfcheck: one oracle bundle shared by every executor (thread-safe).
+  testing::ScenarioOracles oracles(protocol == Protocol::kTcp
+                                       ? statemachine::tcp_state_machine()
+                                       : statemachine::dccp_state_machine(),
+                                   protocol == Protocol::kTcp);
+  if (selfcheck) config.scenario.inspector = &oracles;
+
+  std::printf("== Campaign throughput: %llu strategies, %.0fs virtual, %d executors (%s%s) ==\n",
+              (unsigned long long)cap, duration, executors, to_string(protocol),
+              selfcheck ? ", selfcheck" : "");
 
   auto t0 = std::chrono::steady_clock::now();
   CampaignResult result = run_campaign(config);
@@ -110,6 +130,15 @@ int main(int argc, char** argv) {
   std::printf("  simulator events ..... %llu (%.3g events/sec)\n", (unsigned long long)events,
               events_per_sec);
   std::printf("  peak RSS ............. %.1f MiB\n", rss);
+
+  bool oracles_ok = true;
+  if (selfcheck) {
+    testing::OracleReport report = oracles.report();
+    oracles_ok = report.ok();
+    std::printf("  selfcheck ............ %llu runs, %zu violations\n",
+                (unsigned long long)oracles.runs_checked(), report.violations.size());
+    if (!oracles_ok) std::fprintf(stderr, "%s\n", report.summary().c_str());
+  }
 
   // Baseline comparison (same-machine trajectories only).
   double baseline_sps = 0;
@@ -155,6 +184,12 @@ int main(int argc, char** argv) {
   w.key("events_per_sec").value(events_per_sec);
   w.key("peak_rss_mib").value(rss);
   w.key("attack_strategies_found").value(result.attack_strategies_found);
+  if (selfcheck) {
+    w.key("selfcheck").begin_object();
+    w.key("runs_checked").value(oracles.runs_checked());
+    w.key("violations").value(static_cast<std::uint64_t>(oracles.report().violations.size()));
+    w.end_object();
+  }
   w.end_object();
   if (have_baseline) {
     w.key("baseline").begin_object();
@@ -174,5 +209,5 @@ int main(int argc, char** argv) {
   std::fputc('\n', f);
   std::fclose(f);
   std::printf("  wrote %s\n", json_path);
-  return 0;
+  return oracles_ok ? 0 : 2;
 }

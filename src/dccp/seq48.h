@@ -18,10 +18,15 @@ inline Seq48 seq_add(Seq48 a, std::int64_t delta) {
   return (a + static_cast<std::uint64_t>(delta)) & kSeqMask;
 }
 
-/// Circular signed distance from b to a in (-2^47, 2^47].
+/// Circular signed distance from b to a in (-2^47, 2^47]. The boundary
+/// distance 2^47 used to be folded to -2^47 (contradicting this contract),
+/// which made seq48_lt(a, b) and seq48_lt(b, a) both true for values exactly
+/// half the space apart — the same antisymmetry break the property suite's
+/// ordering oracle caught in tcp/seq.h. The exact-half case now keeps the
+/// documented positive sign.
 inline std::int64_t seq_distance(Seq48 a, Seq48 b) {
   std::uint64_t diff = (a - b) & kSeqMask;
-  if (diff >= kSeqHalf) return static_cast<std::int64_t>(diff) - (1LL << 48);
+  if (diff > kSeqHalf) return static_cast<std::int64_t>(diff) - (1LL << 48);
   return static_cast<std::int64_t>(diff);
 }
 

@@ -151,6 +151,7 @@ namespace {
 class Parser {
  public:
   Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+  static constexpr int kMaxDepth = kJsonMaxDepth;
 
   std::optional<JsonValue> run() {
     JsonValue v;
@@ -213,33 +214,32 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              fail("truncated \\u escape");
-              return false;
-            }
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else {
-                fail("bad \\u escape");
-                return false;
+            if (!hex4(code)) return false;
+            // Surrogate pairs (fuzz hardening): a high surrogate must be
+            // followed by \uDC00-\uDFFF; the pair combines into one
+            // supplementary code point. A lone surrogate is not a code point
+            // at all — emit U+FFFD instead of fabricating invalid UTF-8.
+            std::uint32_t cp = code;
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+                std::size_t saved = pos_;
+                pos_ += 2;
+                unsigned low = 0;
+                if (!hex4(low)) return false;
+                if (low >= 0xDC00 && low <= 0xDFFF) {
+                  cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                } else {
+                  pos_ = saved;  // not a low surrogate: re-scan it normally
+                  cp = 0xFFFD;
+                }
+              } else {
+                cp = 0xFFFD;
               }
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              cp = 0xFFFD;  // lone low surrogate
             }
-            // UTF-8 encode the BMP code point (reports are ASCII in practice).
-            if (code < 0x80) {
-              out += static_cast<char>(code);
-            } else if (code < 0x800) {
-              out += static_cast<char>(0xC0 | (code >> 6));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
-              out += static_cast<char>(0xE0 | (code >> 12));
-              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            }
+            append_utf8(out, cp);
             break;
           }
           default:
@@ -254,18 +254,115 @@ class Parser {
     return false;
   }
 
+  bool hex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else {
+        fail("bad \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  /// Scans a JSON number (RFC 8259 grammar) starting at pos_ and converts
+  /// the validated slice through strtod on a NUL-terminated copy. strtod on
+  /// the raw view was doubly wrong: it reads past a string_view that is not
+  /// NUL-terminated (out-of-bounds read on a fuzzed buffer), and it accepts
+  /// "inf", "nan" and hex floats that JSON forbids.
+  bool parse_number(JsonValue& out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    std::size_t int_digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      ++int_digits;
+    }
+    if (int_digits == 0) {
+      pos_ = start;
+      fail("expected value");
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      std::size_t frac_digits = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++frac_digits;
+      }
+      if (frac_digits == 0) {
+        fail("digits required after decimal point");
+        return false;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      std::size_t exp_digits = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++exp_digits;
+      }
+      if (exp_digits == 0) {
+        fail("digits required in exponent");
+        return false;
+      }
+    }
+    std::string slice(text_.substr(start, pos_ - start));
+    out.type = JsonValue::Type::kNumber;
+    out.num_v = std::strtod(slice.c_str(), nullptr);  // overflow → ±inf, fine
+    return true;
+  }
+
   bool parse_value(JsonValue& out) {
     skip_ws();
     if (pos_ >= text_.size()) {
       fail("unexpected end of input");
       return false;
     }
+    if (depth_ >= kMaxDepth) {
+      // Fuzz hardening: unbounded recursion on "[[[[..." overflowed the
+      // stack before any other limit applied.
+      fail("nesting too deep");
+      return false;
+    }
     char c = text_[pos_];
     if (c == '{') {
       ++pos_;
+      ++depth_;
       out.type = JsonValue::Type::kObject;
       skip_ws();
-      if (consume('}')) return true;
+      if (consume('}')) {
+        --depth_;
+        return true;
+      }
       while (true) {
         skip_ws();
         std::string k;
@@ -278,22 +375,32 @@ class Parser {
         if (!parse_value(v)) return false;
         out.object_v.emplace(std::move(k), std::move(v));
         if (consume(',')) continue;
-        if (consume('}')) return true;
+        if (consume('}')) {
+          --depth_;
+          return true;
+        }
         fail("expected ',' or '}'");
         return false;
       }
     }
     if (c == '[') {
       ++pos_;
+      ++depth_;
       out.type = JsonValue::Type::kArray;
       skip_ws();
-      if (consume(']')) return true;
+      if (consume(']')) {
+        --depth_;
+        return true;
+      }
       while (true) {
         JsonValue v;
         if (!parse_value(v)) return false;
         out.array_v.push_back(std::move(v));
         if (consume(',')) continue;
-        if (consume(']')) return true;
+        if (consume(']')) {
+          --depth_;
+          return true;
+        }
         fail("expected ',' or ']'");
         return false;
       }
@@ -316,23 +423,13 @@ class Parser {
       out.type = JsonValue::Type::kNull;
       return true;
     }
-    // Number.
-    const char* begin = text_.data() + pos_;
-    char* end = nullptr;
-    double v = std::strtod(begin, &end);
-    if (end == begin) {
-      fail("expected value");
-      return false;
-    }
-    out.type = JsonValue::Type::kNumber;
-    out.num_v = v;
-    pos_ += static_cast<std::size_t>(end - begin);
-    return true;
+    return parse_number(out);
   }
 
   std::string_view text_;
   std::string* error_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -102,9 +102,18 @@ struct JsonValue {
   double number_or(double fallback) const { return is_number() ? num_v : fallback; }
 };
 
+/// Maximum container nesting parse_json accepts. Every report and journal
+/// this repo writes nests a handful of levels; the limit exists so a
+/// malicious or corrupted document ("[[[[[...") cannot overflow the parser's
+/// recursion stack (found by the codec fuzz suite, tests/fuzz_test.cpp).
+inline constexpr int kJsonMaxDepth = 256;
+
 /// Parses a complete JSON document (trailing whitespace allowed, nothing
 /// else). Returns nullopt on malformed input; `error`, when given, receives
-/// a byte offset + message.
+/// a byte offset + message. Hardened against untrusted input: container
+/// nesting is capped at kJsonMaxDepth, numbers follow the RFC 8259 grammar
+/// exactly (no "inf"/"nan"/hex floats, no reads past `text`), and \u
+/// surrogate pairs are combined (lone surrogates become U+FFFD).
 std::optional<JsonValue> parse_json(std::string_view text, std::string* error = nullptr);
 
 }  // namespace snake::obs

@@ -12,6 +12,11 @@ namespace snake::packet {
 
 namespace {
 
+/// Upper bound on a declared header size. Generous next to any real
+/// transport header (TCP with every option is 60 bytes) while keeping
+/// per-packet allocations bounded on malformed descriptions.
+constexpr std::size_t kMaxHeaderBytes = 4096;
+
 [[noreturn]] void fail(int line_number, const std::string& message) {
   throw std::invalid_argument("header format DSL, line " + std::to_string(line_number) + ": " +
                               message);
@@ -31,10 +36,18 @@ FieldKind parse_kind(const std::string& word, int line_number) {
 }
 
 std::uint64_t parse_number(const std::string& word, int line_number) {
+  // stoull silently wraps a leading '-' to a huge value; reject it up front
+  // (fuzz-found: "header tcp -1 {" produced a ~2^64-byte header size).
+  if (!word.empty() && word[0] == '-') fail(line_number, "number must be non-negative");
   try {
-    return std::stoull(word, nullptr, 0);  // base 0: handles 0x.. and decimal
-  } catch (const std::exception&) {
+    std::size_t consumed = 0;
+    std::uint64_t v = std::stoull(word, &consumed, 0);  // base 0: 0x.. and decimal
+    if (consumed != word.size()) fail(line_number, "trailing junk in number '" + word + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
     fail(line_number, "expected a number, got '" + word + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_number, "number out of range: '" + word + "'");
   }
 }
 
@@ -87,6 +100,11 @@ HeaderFormat parse_header_format(const std::string& text) {
         fail(line_number, "expected 'header <name> <bytes> {'");
       protocol_name = tokens[1];
       header_bytes = static_cast<std::size_t>(parse_number(tokens[2], line_number));
+      // Every Codec::build allocates header_bytes; an absurd declared size
+      // (fuzz input or a typo'd format) must not turn into a giant
+      // allocation downstream. Real transport headers are tens of bytes.
+      if (header_bytes == 0 || header_bytes > kMaxHeaderBytes)
+        fail(line_number, "header size must be 1.." + std::to_string(kMaxHeaderBytes) + " bytes");
       in_header = true;
       continue;
     }

@@ -29,6 +29,7 @@ std::vector<JournalObservation> read_observations(const obs::JsonValue& v) {
   if (!v.is_array()) return out;
   for (const obs::JsonValue& pair : v.array_v) {
     if (!pair.is_array() || pair.array_v.size() != 2) continue;
+    if (!pair.array_v[0].is_string() || !pair.array_v[1].is_string()) continue;
     out.push_back(JournalObservation{pair.array_v[0].str_v, pair.array_v[1].str_v});
   }
   return out;
@@ -51,7 +52,13 @@ std::optional<AttackClass> class_from_string(const std::string& s) {
 
 std::uint64_t u64_field(const obs::JsonValue& obj, const char* key, std::uint64_t fallback) {
   const obs::JsonValue* v = obj.find(key);
-  return v != nullptr && v->is_number() ? static_cast<std::uint64_t>(v->num_v) : fallback;
+  if (v == nullptr || !v->is_number()) return fallback;
+  // Range-check before converting: casting a negative / huge / NaN double to
+  // an unsigned integer is undefined behaviour (fuzz-found via UBSan's
+  // float-cast-overflow on hand-corrupted journal lines).
+  double d = v->num_v;
+  if (!(d >= 0.0) || d >= 18446744073709551616.0) return fallback;  // !(>=0) catches NaN
+  return static_cast<std::uint64_t>(d);
 }
 
 std::string str_field(const obs::JsonValue& obj, const char* key) {
@@ -93,7 +100,8 @@ std::optional<TrialRecord> parse_trial_line(const obs::JsonValue& doc) {
     rec.detection.competing_ratio = num_field(*det, "competing_ratio", 1.0);
     rec.detection.resource_exhaustion = bool_field(*det, "resource_exhaustion", false);
     if (const obs::JsonValue* reasons = det->find("reasons"); reasons != nullptr)
-      for (const obs::JsonValue& r : reasons->array_v) rec.detection.reasons.push_back(r.str_v);
+      for (const obs::JsonValue& r : reasons->array_v)
+        if (r.is_string()) rec.detection.reasons.push_back(r.str_v);
   }
   if (const obs::JsonValue* c = doc.find("client_obs"); c != nullptr)
     rec.client_obs = read_observations(*c);

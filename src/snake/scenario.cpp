@@ -126,6 +126,7 @@ RunMetrics run_tcp(ScenarioArena& arena, const ScenarioConfig& config,
                                   make_targets(Protocol::kTcp), rng.fork());
   net.client1().set_filter(&attack_proxy);
   if (!attacks.empty()) attack_proxy.set_strategies(attacks);
+  if (config.inspector != nullptr) net.network().enable_trace();
 
   apps::BulkHttpServer http1(server1, kHttpPort, config.download_bytes);
   apps::BulkHttpServer http2(server2, kHttpPort, config.download_bytes);
@@ -150,6 +151,7 @@ RunMetrics run_tcp(ScenarioArena& arena, const ScenarioConfig& config,
   m.server2_stuck_sockets = server2.open_sockets();
   m.server1_socket_states = server1.socket_states();
   export_run_observability(config, net, attack_proxy, !attacks.empty());
+  if (config.inspector != nullptr) config.inspector->on_run_complete(net, attack_proxy, m);
   return m;
 }
 
@@ -169,6 +171,7 @@ RunMetrics run_dccp(ScenarioArena& arena, const ScenarioConfig& config,
                                   make_targets(Protocol::kDccp), rng.fork());
   net.client1().set_filter(&attack_proxy);
   if (!attacks.empty()) attack_proxy.set_strategies(attacks);
+  if (config.inspector != nullptr) net.network().enable_trace();
 
   dccp::DccpEndpointConfig accept_config;
   accept_config.ccid = config.dccp_ccid;
@@ -202,6 +205,7 @@ RunMetrics run_dccp(ScenarioArena& arena, const ScenarioConfig& config,
   m.server2_stuck_sockets = server2.open_sockets();
   m.server1_socket_states = server1.socket_states();
   export_run_observability(config, net, attack_proxy, !attacks.empty());
+  if (config.inspector != nullptr) config.inspector->on_run_complete(net, attack_proxy, m);
   return m;
 }
 

@@ -29,6 +29,7 @@ class MetricsRegistry;
 namespace snake::core {
 
 class FaultPlan;
+class RunInspector;
 
 enum class Protocol { kTcp, kDccp };
 
@@ -84,6 +85,15 @@ struct ScenarioConfig {
   const FaultPlan* faults = nullptr;
   std::uint64_t fault_key = 0;
   std::uint32_t fault_attempt = 0;
+
+  /// Post-run inspection hook (tests/benches only; not owned). When set, the
+  /// run enables packet capture on every node and calls the inspector after
+  /// the simulation finishes, while the network, proxy and trace are still
+  /// alive — this is how the property suite's invariant oracles see inside a
+  /// trial. Tracing costs memory and time, so production campaigns leave it
+  /// null; like `metrics`, the hook never feeds back into simulation
+  /// behaviour.
+  RunInspector* inspector = nullptr;
 };
 
 /// Everything the executor reports back to the controller after one run.
@@ -118,6 +128,17 @@ struct RunMetrics {
   /// against a full-length baseline.
   bool aborted = false;
   std::string abort_reason;  ///< "event-budget" or "wall-clock" when aborted
+};
+
+/// Observer given read access to a finished run's live objects (network with
+/// its packet trace, attack proxy with its trackers) plus the metrics about
+/// to be returned. Implementations must not mutate the simulation; when one
+/// inspector is shared across campaign executors it must be thread-safe.
+class RunInspector {
+ public:
+  virtual ~RunInspector() = default;
+  virtual void on_run_complete(sim::Dumbbell& net, proxy::AttackProxy& attack_proxy,
+                               const RunMetrics& metrics) = 0;
 };
 
 class ScenarioArena;

@@ -138,4 +138,29 @@ StateMachine parse_dot(const std::string& text) {
                       std::move(client_initial), std::move(server_initial));
 }
 
+std::string emit_dot(const StateMachine& machine) {
+  std::string out = "digraph " + machine.name() + " {\n";
+  const std::string& client_initial = machine.initial_state(Role::kClient);
+  const std::string& server_initial = machine.initial_state(Role::kServer);
+  // Node statements first, so a re-parse discovers states in the same order.
+  for (const std::string& state : machine.states()) {
+    out += "  " + state;
+    if (state == client_initial && state == server_initial) {
+      out += " [initial=\"both\"]";
+    } else if (state == client_initial) {
+      out += " [initial=\"client\"]";
+    } else if (state == server_initial) {
+      out += " [initial=\"server\"]";
+    }
+    out += ";\n";
+  }
+  for (const Transition& t : machine.transitions()) {
+    std::string label = t.trigger.to_string();
+    if (!t.action.empty()) label += " / " + t.action;
+    out += "  " + t.from + " -> " + t.to + " [label=\"" + label + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
 }  // namespace snake::statemachine

@@ -34,4 +34,10 @@ namespace snake::statemachine {
 /// Parses dot text; throws std::invalid_argument on malformed input.
 StateMachine parse_dot(const std::string& text);
 
+/// Renders a machine back to the dot subset parse_dot accepts. The round
+/// trip parse_dot(emit_dot(m)) reproduces m exactly — states in order,
+/// transitions in order, triggers, actions and initial-state markers — which
+/// is what lets inferred or modified machines be saved as specs.
+std::string emit_dot(const StateMachine& machine);
+
 }  // namespace snake::statemachine

@@ -11,10 +11,25 @@ namespace snake::tcp {
 
 using Seq = std::uint32_t;
 
-inline bool seq_lt(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) < 0; }
-inline bool seq_leq(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) <= 0; }
-inline bool seq_gt(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) > 0; }
-inline bool seq_geq(Seq a, Seq b) { return static_cast<std::int32_t>(a - b) >= 0; }
+/// Half the sequence space; the one distance where "a before b" is ambiguous.
+constexpr std::uint32_t kSeqHalf = 0x80000000u;
+
+/// True when a precedes b on the circle. The textbook signed-subtraction
+/// trick maps a distance of exactly 2^31 to the same negative value in both
+/// directions, making seq_lt(a, b) and seq_lt(b, a) simultaneously true —
+/// which breaks antisymmetry and, through SeqCircularLess, strict weak
+/// ordering (undefined behaviour once such keys coexist in a std::map of
+/// buffered segments). Found by the property suite's ordering oracle
+/// (property_test.cpp); the exact-half case now tie-breaks on the raw values
+/// so exactly one direction wins.
+inline bool seq_lt(Seq a, Seq b) {
+  std::uint32_t ahead = b - a;  // how far b is ahead of a, mod 2^32
+  if (ahead == kSeqHalf) return a < b;
+  return ahead != 0 && ahead < kSeqHalf;
+}
+inline bool seq_gt(Seq a, Seq b) { return seq_lt(b, a); }
+inline bool seq_leq(Seq a, Seq b) { return !seq_lt(b, a); }
+inline bool seq_geq(Seq a, Seq b) { return !seq_lt(a, b); }
 
 /// RFC 793 acceptance test: is `seq` within [rcv_nxt, rcv_nxt + rcv_wnd)?
 /// This is exactly the check the "slipping in the window" reset attack
@@ -24,9 +39,11 @@ inline bool in_window(Seq seq, Seq rcv_nxt, std::uint32_t rcv_wnd) {
   return seq_geq(seq, rcv_nxt) && seq_lt(seq, rcv_nxt + rcv_wnd);
 }
 
-/// Strict-weak ordering on the sequence circle; valid (and total) whenever
-/// all compared values lie within one half-circle of each other — true for
-/// anything window-bounded, e.g. buffered out-of-order segments.
+/// Strict-weak ordering on the sequence circle; transitive whenever all
+/// compared values lie within one half-circle of each other — true for
+/// anything window-bounded, e.g. buffered out-of-order segments. Thanks to
+/// the exact-half tie-break in seq_lt, no pair of keys ever compares
+/// "both less", so irreflexivity and antisymmetry hold unconditionally.
 struct SeqCircularLess {
   bool operator()(Seq a, Seq b) const { return seq_lt(a, b); }
 };

@@ -1,0 +1,216 @@
+#include "testing/differential.h"
+
+#include "proxy/attack_proxy.h"
+#include "sim/dumbbell.h"
+#include "util/strings.h"
+
+namespace snake::testing {
+
+namespace {
+
+/// Captures the final tracker states while the proxy is still alive.
+class FinalStateCapture : public core::RunInspector {
+ public:
+  void on_run_complete(sim::Dumbbell& net, proxy::AttackProxy& attack_proxy,
+                       const core::RunMetrics& metrics) override {
+    (void)net;
+    (void)metrics;
+    client_state_ = attack_proxy.tracker().client().state();
+    server_state_ = attack_proxy.tracker().server().state();
+  }
+
+  const std::string& client_state() const { return client_state_; }
+  const std::string& server_state() const { return server_state_; }
+
+ private:
+  std::string client_state_;
+  std::string server_state_;
+};
+
+Fingerprint fingerprint_run(const core::ScenarioConfig& config,
+                            const std::vector<strategy::Strategy>& attacks) {
+  core::ScenarioConfig c = config;
+  FinalStateCapture capture;
+  c.inspector = &capture;
+  core::RunMetrics m = core::run_scenario(c, attacks);
+  Fingerprint fp;
+  fp.target_established = m.target_established;
+  fp.competing_established = m.competing_established;
+  fp.target_reset = m.target_reset;
+  fp.competing_reset = m.competing_reset;
+  fp.target_delivered = m.target_bytes > 0;
+  fp.competing_delivered = m.competing_bytes > 0;
+  fp.aborted = m.aborted;
+  fp.server1_stuck_sockets = m.server1_stuck_sockets;
+  fp.client_final_state = capture.client_state();
+  fp.server_final_state = capture.server_state();
+  for (const auto& o : m.client_observations)
+    if (o.direction == statemachine::TriggerKind::kSend) fp.client_sent_types.insert(o.packet_type);
+  for (const auto& o : m.server_observations)
+    if (o.direction == statemachine::TriggerKind::kSend) fp.server_sent_types.insert(o.packet_type);
+  return fp;
+}
+
+std::string join_types(const std::set<std::string>& types) {
+  std::string out;
+  for (const std::string& t : types) {
+    if (!out.empty()) out += '+';
+    out += t;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+const char* yn(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace
+
+std::map<std::string, std::string> fingerprint_dimensions(const Fingerprint& fp) {
+  return {
+      {"target_established", yn(fp.target_established)},
+      {"competing_established", yn(fp.competing_established)},
+      {"target_reset", yn(fp.target_reset)},
+      {"competing_reset", yn(fp.competing_reset)},
+      {"target_delivered", yn(fp.target_delivered)},
+      {"competing_delivered", yn(fp.competing_delivered)},
+      {"aborted", yn(fp.aborted)},
+      {"server1_stuck_sockets", str_format("%zu", fp.server1_stuck_sockets)},
+      {"client_final_state", fp.client_final_state},
+      {"server_final_state", fp.server_final_state},
+      {"client_sent_types", join_types(fp.client_sent_types)},
+      {"server_sent_types", join_types(fp.server_sent_types)},
+  };
+}
+
+bool DifferentialResult::has_undocumented() const {
+  for (const Divergence& d : divergences)
+    if (!d.documented) return true;
+  return false;
+}
+
+std::string DifferentialResult::summary() const {
+  std::string out;
+  for (const Divergence& d : divergences) {
+    out += str_format("%s [%s] vs %s: %s = '%s' (reference '%s') — %s\n", d.variant.c_str(),
+                      d.documented ? "documented" : "UNDOCUMENTED", reference.c_str(),
+                      d.dimension.c_str(), d.variant_value.c_str(), d.reference_value.c_str(),
+                      d.documented ? d.reason.c_str() : "no quirk manifest entry");
+  }
+  return out;
+}
+
+DifferentialResult run_differential(const DifferentialConfig& config) {
+  DifferentialResult result;
+  const bool tcp = config.base.protocol == core::Protocol::kTcp;
+  result.reference =
+      !config.reference.empty() ? config.reference : (tcp ? "linux-3.13" : "ccid2");
+
+  // Run every variant under the identical script.
+  if (tcp) {
+    for (const tcp::TcpProfile& profile : tcp::all_tcp_profiles()) {
+      core::ScenarioConfig c = config.base;
+      c.tcp_profile = profile;
+      result.fingerprints[profile.name] = fingerprint_run(c, config.attacks);
+    }
+  } else {
+    for (int ccid : {2, 3}) {
+      core::ScenarioConfig c = config.base;
+      c.dccp_ccid = ccid;
+      result.fingerprints[str_format("ccid%d", ccid)] = fingerprint_run(c, config.attacks);
+    }
+  }
+
+  auto reference_it = result.fingerprints.find(result.reference);
+  if (reference_it == result.fingerprints.end()) {
+    Divergence d;
+    d.variant = result.reference;
+    d.dimension = "(reference)";
+    d.variant_value = "missing";
+    result.divergences.push_back(std::move(d));
+    return result;
+  }
+  std::map<std::string, std::string> reference_dims = fingerprint_dimensions(reference_it->second);
+
+  for (const auto& [variant, fp] : result.fingerprints) {
+    if (variant == result.reference) continue;
+    std::map<std::string, std::string> dims = fingerprint_dimensions(fp);
+    for (const auto& [dimension, value] : dims) {
+      const std::string& reference_value = reference_dims[dimension];
+      if (value == reference_value) continue;
+      Divergence d;
+      d.variant = variant;
+      d.dimension = dimension;
+      d.reference_value = reference_value;
+      d.variant_value = value;
+      for (const QuirkEntry& q : config.quirks) {
+        if (q.variant == variant && (q.dimension == dimension || q.dimension == "*")) {
+          d.documented = true;
+          d.reason = q.reason;
+          break;
+        }
+      }
+      result.divergences.push_back(std::move(d));
+    }
+  }
+  return result;
+}
+
+std::vector<QuirkEntry> default_tcp_quirks() {
+  // Each entry traces a fingerprint dimension to the profile flag that makes
+  // the divergence expected (paper Section VI.A / src/tcp/profile.h).
+  return {
+      // Windows clients lack rst_data_after_fin: after the target app exits
+      // mid-download they FIN and silently drop further data instead of
+      // RSTing, so the target connection does not report a reset and the
+      // client's emitted packet-type set has no RST.
+      {"windows-8.1", "target_reset", "no rst_data_after_fin: data after FIN is not RST'd"},
+      {"windows-8.1", "client_sent_types", "no rst_data_after_fin: client never emits RST"},
+      {"windows-8.1", "client_final_state", "teardown ends without the RST-induced CLOSED hop"},
+      {"windows-8.1", "server_final_state", "server-side teardown mirrors the missing RST"},
+      {"windows-8.1", "server1_stuck_sockets",
+       "without the client RST the server socket can linger past end of test"},
+      {"windows-8.1", "server_sent_types",
+       "no rst_data_after_fin: the full FIN handshake runs, so the server emits its own FIN"},
+      {"windows-95", "target_reset", "no rst_data_after_fin: data after FIN is not RST'd"},
+      {"windows-95", "client_sent_types", "no rst_data_after_fin: client never emits RST"},
+      {"windows-95", "client_final_state", "teardown ends without the RST-induced CLOSED hop"},
+      {"windows-95", "server_final_state", "server-side teardown mirrors the missing RST"},
+      {"windows-95", "server1_stuck_sockets",
+       "without the client RST the server socket can linger past end of test"},
+      {"windows-95", "server_sent_types",
+       "no rst_data_after_fin: the full FIN handshake runs, so the server emits its own FIN"},
+      // Windows 95 has no fast retransmit (RTO-only loss recovery): under
+      // lossy scripts its transfers can stall to zero delivery or keep a
+      // connection in a different final state at the horizon.
+      {"windows-95", "target_delivered", "no fast_retransmit: RTO-only recovery can starve"},
+      {"windows-95", "competing_delivered", "no fast_retransmit: RTO-only recovery can starve"},
+      // Linux 3.0.0 best-effort-processes invalid flag combinations where
+      // the reference (3.13) ignores them; scripted invalid-flag packets can
+      // elicit extra duplicate ACKs and different teardown timing.
+      {"linux-3.0.0", "client_sent_types",
+       "invalid_flags=kBestEffort answers flagless packets with duplicate ACKs"},
+      {"linux-3.0.0", "server_sent_types",
+       "invalid_flags=kBestEffort answers flagless packets with duplicate ACKs"},
+      // Windows 8.1 resets on any packet carrying RST among invalid flags
+      // where the reference ignores the combination.
+      {"windows-8.1", "target_established",
+       "invalid_flags=kRstFirst: crafted flag combos can reset the handshake"},
+      {"windows-8.1", "target_delivered",
+       "invalid_flags=kRstFirst: crafted flag combos can kill the transfer"},
+  };
+}
+
+std::vector<QuirkEntry> default_dccp_quirks() {
+  return {
+      // CCID-3 (TFRC) is rate-based: its equation-driven ramp-up and
+      // feedback timers change teardown timing and can leave the horizon in
+      // a different connection phase than CCID-2's window-based AIMD.
+      {"ccid3", "client_final_state", "TFRC rate control alters close timing vs CCID-2"},
+      {"ccid3", "server_final_state", "TFRC rate control alters close timing vs CCID-2"},
+      {"ccid3", "client_sent_types", "TFRC feedback uses different packet mix (Ack vs DataAck)"},
+      {"ccid3", "server_sent_types", "TFRC feedback uses different packet mix (Ack vs DataAck)"},
+      {"ccid3", "target_delivered", "slow TFRC ramp can deliver nothing in very short runs"},
+      {"ccid3", "server1_stuck_sockets", "close timing differences leave sockets at horizon"},
+  };
+}
+
+}  // namespace snake::testing

@@ -1,0 +1,97 @@
+// Cross-variant differential testing.
+//
+// The same packet script (scenario seed + attack strategies) is replayed
+// against every behavioural variant the reproduction models — the four TCP
+// profiles of the paper's Table I, and DCCP under CCID-2 vs CCID-3 — and the
+// observable behaviour of each run is condensed into a coarse fingerprint.
+// Variants are then diffed against a reference variant; every differing
+// fingerprint dimension must be matched by an entry in a *quirk manifest*
+// documenting the profile flag that explains it. Undocumented divergence is
+// a failure: either a behaviour regression in one variant's code path or a
+// quirk the manifest (i.e. the paper's Section VI.A catalogue) is missing.
+//
+// Fingerprints are deliberately coarse — established/reset flags, whether
+// data was delivered at all, stuck-socket counts, final tracker states, and
+// the sets of packet types each endpoint emitted — because raw throughput
+// legitimately varies across congestion-control variants and would drown
+// the signal.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "snake/scenario.h"
+#include "strategy/strategy.h"
+
+namespace snake::testing {
+
+/// Observable behaviour of one variant under one script.
+struct Fingerprint {
+  bool target_established = false;
+  bool competing_established = false;
+  bool target_reset = false;
+  bool competing_reset = false;
+  bool target_delivered = false;    ///< any target-connection bytes at all
+  bool competing_delivered = false;
+  bool aborted = false;
+  std::size_t server1_stuck_sockets = 0;
+  std::string client_final_state;   ///< tracker state at end of run
+  std::string server_final_state;
+  std::set<std::string> client_sent_types;  ///< packet types the client emitted
+  std::set<std::string> server_sent_types;
+};
+
+/// Flattens a fingerprint into named dimensions for diffing/reporting.
+std::map<std::string, std::string> fingerprint_dimensions(const Fingerprint& fp);
+
+/// One documented cross-variant divergence: `variant` may differ from the
+/// reference in `dimension` ("*" = any dimension) because of `reason`.
+struct QuirkEntry {
+  std::string variant;
+  std::string dimension;
+  std::string reason;
+};
+
+/// One observed divergence, resolved against the manifest.
+struct Divergence {
+  std::string variant;
+  std::string dimension;
+  std::string reference_value;
+  std::string variant_value;
+  bool documented = false;
+  std::string reason;  ///< manifest reason when documented
+};
+
+struct DifferentialConfig {
+  /// Base scenario; `protocol` selects the variant set (4 TCP profiles, or
+  /// DCCP CCID-2/CCID-3). The per-variant runs override tcp_profile /
+  /// dccp_ccid and share everything else, seed included.
+  core::ScenarioConfig base;
+  std::vector<strategy::Strategy> attacks;
+  std::vector<QuirkEntry> quirks;
+  /// Variant every other one is diffed against; defaults to "linux-3.13"
+  /// (TCP) / "ccid2" (DCCP) when empty.
+  std::string reference;
+};
+
+struct DifferentialResult {
+  std::string reference;
+  std::map<std::string, Fingerprint> fingerprints;  ///< by variant name
+  std::vector<Divergence> divergences;
+
+  bool has_undocumented() const;
+  /// Human-readable account of every divergence (for test failure output).
+  std::string summary() const;
+};
+
+/// Replays the script against every variant and diffs the fingerprints.
+DifferentialResult run_differential(const DifferentialConfig& config);
+
+/// The documented-divergence manifests for the built-in variant sets. Each
+/// entry's reason names the profile flag (paper Section VI.A) behind it.
+std::vector<QuirkEntry> default_tcp_quirks();
+std::vector<QuirkEntry> default_dccp_quirks();
+
+}  // namespace snake::testing

@@ -1,0 +1,99 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace snake::testing {
+
+std::vector<CorpusFile> load_corpus(const std::string& dir) {
+  std::vector<CorpusFile> corpus;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    corpus.push_back(CorpusFile{entry.path().filename().string(), buf.str()});
+  }
+  std::sort(corpus.begin(), corpus.end(),
+            [](const CorpusFile& a, const CorpusFile& b) { return a.name < b.name; });
+  return corpus;
+}
+
+namespace {
+
+template <typename Container>
+void mutate_once(snake::Rng& rng, Container& data, std::size_t max_len) {
+  switch (rng.uniform(0, 5)) {
+    case 0:  // bit flip
+      if (!data.empty()) {
+        std::size_t i = rng.uniform(0, data.size() - 1);
+        data[i] = static_cast<typename Container::value_type>(
+            static_cast<unsigned char>(data[i]) ^ (1u << rng.uniform(0, 7)));
+      }
+      break;
+    case 1:  // byte rewrite
+      if (!data.empty())
+        data[rng.uniform(0, data.size() - 1)] =
+            static_cast<typename Container::value_type>(rng.uniform(0, 255));
+      break;
+    case 2:  // insert a random byte
+      if (data.size() < max_len)
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(rng.uniform(0, data.size())),
+                    static_cast<typename Container::value_type>(rng.uniform(0, 255)));
+      break;
+    case 3:  // erase a span
+      if (!data.empty()) {
+        std::size_t start = rng.uniform(0, data.size() - 1);
+        std::size_t len = std::min<std::size_t>(rng.uniform(1, 16), data.size() - start);
+        data.erase(data.begin() + static_cast<std::ptrdiff_t>(start),
+                   data.begin() + static_cast<std::ptrdiff_t>(start + len));
+      }
+      break;
+    case 4:  // duplicate a span (in place, bounded)
+      if (!data.empty() && data.size() < max_len) {
+        std::size_t start = rng.uniform(0, data.size() - 1);
+        std::size_t len = std::min<std::size_t>(rng.uniform(1, 32), data.size() - start);
+        len = std::min(len, max_len - data.size());
+        Container span(data.begin() + static_cast<std::ptrdiff_t>(start),
+                       data.begin() + static_cast<std::ptrdiff_t>(start + len));
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(start), span.begin(), span.end());
+      }
+      break;
+    default:  // truncate
+      if (!data.empty()) data.resize(rng.uniform(0, data.size() - 1));
+      break;
+  }
+}
+
+}  // namespace
+
+Bytes mutate_bytes(snake::Rng& rng, const Bytes& seed_bytes, std::size_t max_len) {
+  Bytes out = seed_bytes;
+  std::uint64_t mutations = rng.uniform(1, 8);
+  for (std::uint64_t i = 0; i < mutations; ++i) mutate_once(rng, out, max_len);
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
+std::string mutate_text(snake::Rng& rng, const std::string& seed_text, std::size_t max_len) {
+  static const char kTokens[] = "{}[]\",:\\ue+-.0123456789\n";
+  std::string out = seed_text;
+  std::uint64_t mutations = rng.uniform(1, 8);
+  for (std::uint64_t i = 0; i < mutations; ++i) {
+    if (rng.chance(0.4) && out.size() < max_len) {
+      // Structural-token insertion: parsers care about these bytes.
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(rng.uniform(0, out.size())),
+                 kTokens[rng.uniform(0, sizeof(kTokens) - 2)]);
+    } else {
+      mutate_once(rng, out, max_len);
+    }
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
+}  // namespace snake::testing

@@ -1,0 +1,39 @@
+#include "testing/property.h"
+
+#include <cstdlib>
+
+namespace snake::testing {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+PropertyConfig PropertyConfig::from_env(int default_iterations, std::uint64_t default_seed) {
+  PropertyConfig config;
+  config.iterations = static_cast<int>(
+      env_u64("SNAKE_PROPERTY_ITERS", static_cast<std::uint64_t>(default_iterations)));
+  config.base_seed = env_u64("SNAKE_PROPERTY_SEED", default_seed);
+  return config;
+}
+
+std::optional<PropertyFailure> for_each_seed(
+    const PropertyConfig& config,
+    const std::function<std::optional<std::string>(std::uint64_t seed)>& property) {
+  for (int i = 0; i < config.iterations; ++i) {
+    std::uint64_t seed = config.base_seed + static_cast<std::uint64_t>(i);
+    if (std::optional<std::string> message = property(seed); message.has_value())
+      return PropertyFailure{seed, *message};
+  }
+  return std::nullopt;
+}
+
+}  // namespace snake::testing

@@ -1,0 +1,116 @@
+// Deterministic property-based testing: seeded iteration plus iterative
+// shrinking of failing inputs to minimal reproducers.
+//
+// The campaign engine is a large deterministic system (seeded Rng streams,
+// strict event ordering), which makes it an ideal property-testing target:
+// any failing input is exactly replayable from its seed. This header supplies
+// the two generic pieces every property suite here shares:
+//
+//  - for_each_seed: run a predicate over a deterministic seed sequence,
+//    reporting the first failing seed. Iteration count and base seed come
+//    from SNAKE_PROPERTY_ITERS / SNAKE_PROPERTY_SEED so CI can run shallow
+//    on pull requests and deep on the nightly schedule without code changes.
+//  - shrink_sequence: ddmin-style minimization of a failing step sequence —
+//    chunk removal from large to single steps, then per-step simplification
+//    via a caller-supplied candidate generator — so a 40-step random failure
+//    lands in a bug report as the 2 steps that matter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snake::testing {
+
+/// Knobs for one property run. Tests construct via from_env so local runs,
+/// PR CI and the nightly deep run share one binary.
+struct PropertyConfig {
+  std::uint64_t base_seed = 1;
+  int iterations = 25;
+
+  /// Reads SNAKE_PROPERTY_SEED / SNAKE_PROPERTY_ITERS; the arguments are the
+  /// defaults when the variables are unset or unparsable. SNAKE_PROPERTY_ITERS
+  /// scales every suite at once, so it is interpreted as a *multiplier
+  /// percentage* would be surprising — it simply replaces the default count.
+  static PropertyConfig from_env(int default_iterations, std::uint64_t default_seed = 1);
+};
+
+/// First failing seed of a property, with the property's own message.
+struct PropertyFailure {
+  std::uint64_t seed = 0;
+  std::string message;
+};
+
+/// Runs `property` for config.iterations seeds derived from base_seed
+/// (base_seed, base_seed+1, ...). The property returns nullopt on success or
+/// a failure description. Stops at the first failure so the reported seed is
+/// the canonical reproducer.
+std::optional<PropertyFailure> for_each_seed(
+    const PropertyConfig& config,
+    const std::function<std::optional<std::string>(std::uint64_t seed)>& property);
+
+/// ddmin-style sequence minimization. `still_fails(candidate)` must return
+/// true when the candidate sequence still reproduces the failure; `simplify`
+/// maps one step to simpler variants to try in place (may return an empty
+/// vector). The returned sequence still fails and is locally minimal: no
+/// single chunk can be removed and no offered simplification applies.
+///
+/// `still_fails` is invoked O(n log n + n * variants) times; properties
+/// replayed through the simulator should keep their scenario durations short.
+template <typename Step, typename Fails, typename Simplify>
+std::vector<Step> shrink_sequence(std::vector<Step> steps, Fails&& still_fails,
+                                  Simplify&& simplify, int max_rounds = 64) {
+  bool progress = true;
+  for (int round = 0; progress && round < max_rounds; ++round) {
+    progress = false;
+    // Phase 1: remove chunks, halving the granularity down to single steps.
+    std::size_t chunk = steps.size() / 2;
+    if (chunk == 0 && !steps.empty()) chunk = 1;
+    while (chunk >= 1) {
+      for (std::size_t start = 0; start + chunk <= steps.size();) {
+        std::vector<Step> candidate;
+        candidate.reserve(steps.size() - chunk);
+        candidate.insert(candidate.end(), steps.begin(),
+                         steps.begin() + static_cast<std::ptrdiff_t>(start));
+        candidate.insert(candidate.end(),
+                         steps.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+                         steps.end());
+        if (still_fails(candidate)) {
+          steps = std::move(candidate);
+          progress = true;
+          // Keep `start` in place: the next chunk slid into this window.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+    // Phase 2: simplify surviving steps one at a time.
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      std::vector<Step> variants = simplify(steps[i]);
+      for (Step& variant : variants) {
+        std::vector<Step> candidate = steps;
+        candidate[i] = std::move(variant);
+        if (still_fails(candidate)) {
+          steps = std::move(candidate);
+          progress = true;
+          break;  // re-simplify this (now simpler) step next round
+        }
+      }
+    }
+  }
+  return steps;
+}
+
+/// Removal-only overload for steps with no meaningful simplification.
+template <typename Step, typename Fails>
+std::vector<Step> shrink_sequence(std::vector<Step> steps, Fails&& still_fails) {
+  return shrink_sequence(std::move(steps), std::forward<Fails>(still_fails),
+                         [](const Step&) { return std::vector<Step>{}; });
+}
+
+}  // namespace snake::testing

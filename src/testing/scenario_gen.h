@@ -1,0 +1,53 @@
+// Seed-driven random scenario generation for the property suite.
+//
+// One seed deterministically expands into a full scenario: dumbbell
+// parameters drawn from realistic ranges, workload knobs, and a short script
+// of attack steps (loss, delay, duplication, field lies, malformed-packet
+// injections) — the same vocabulary the campaign's StrategyGenerator speaks,
+// but sampled broadly instead of enumerated, so the property suite explores
+// corners the curated campaign never visits.
+//
+// When a generated scenario violates an oracle, shrink_scenario minimizes it:
+// attack steps are removed and simplified (shrink_sequence) and the
+// configuration is walked back toward defaults, yielding a reproducer of a
+// handful of steps that describe() renders as a copy-pasteable test case.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "snake/scenario.h"
+#include "strategy/strategy.h"
+
+namespace snake::testing {
+
+/// A generated scenario: base configuration plus the attack script.
+struct GeneratedScenario {
+  std::uint64_t gen_seed = 0;  ///< the seed this scenario was expanded from
+  core::ScenarioConfig config;
+  std::vector<strategy::Strategy> attacks;
+};
+
+/// Expands `seed` into a random scenario for `protocol`. Deterministic:
+/// equal inputs produce equal scenarios.
+GeneratedScenario generate_scenario(std::uint64_t seed, core::Protocol protocol);
+
+/// Simpler variants of one attack step, in decreasing order of aggression
+/// (fewer duplicates, milder delay, smaller injected field values, ...).
+std::vector<strategy::Strategy> simplify_attack(const strategy::Strategy& attack);
+
+/// Minimizes a failing scenario. `still_fails(candidate)` replays the
+/// candidate and reports whether the original violation persists. Attack
+/// steps are minimized first, then the topology/workload configuration is
+/// stepped back toward defaults where the failure allows.
+GeneratedScenario shrink_scenario(
+    const GeneratedScenario& failing,
+    const std::function<bool(const GeneratedScenario&)>& still_fails);
+
+/// Copy-pasteable reproducer: renders the scenario as the C++ statements a
+/// regression test needs to replay it.
+std::string describe(const GeneratedScenario& scenario);
+
+}  // namespace snake::testing

@@ -40,6 +40,22 @@ TEST(Seq48, NegativeAdd) {
   EXPECT_EQ(seq_add(0, -1), kSeqMask);
 }
 
+TEST(Seq48, HalfCircleDistanceKeepsDocumentedSign) {
+  // Regression (property suite, ordering oracle): a distance of exactly 2^47
+  // was folded to -2^47, contradicting the documented (-2^47, 2^47] range
+  // and making seq48_lt(a, b) and seq48_lt(b, a) both true at the boundary.
+  for (Seq48 a : {Seq48{0}, Seq48{12345}, kSeqHalf - 1, kSeqHalf, kSeqMask}) {
+    Seq48 b = seq_add(a, static_cast<std::int64_t>(kSeqHalf));
+    EXPECT_EQ(seq_distance(b, a), static_cast<std::int64_t>(kSeqHalf)) << "a=" << a;
+    EXPECT_EQ(seq_distance(a, b), static_cast<std::int64_t>(kSeqHalf)) << "a=" << a;
+    EXPECT_FALSE(seq48_lt(a, b) && seq48_lt(b, a)) << "a=" << a;
+    // One step inside the half circle, the usual antisymmetric semantics.
+    Seq48 c = seq_add(a, static_cast<std::int64_t>(kSeqHalf) - 1);
+    EXPECT_TRUE(seq48_lt(a, c));
+    EXPECT_FALSE(seq48_lt(c, a));
+  }
+}
+
 // -------------------------------------------------------------- wire format
 
 TEST(DccpWire, SerializeParseRoundTrip) {

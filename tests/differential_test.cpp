@@ -1,0 +1,152 @@
+// Cross-variant differential tests: identical packet scripts replayed
+// against all four TCP profiles (paper Table I) and DCCP CCID-2/CCID-3,
+// with every behavioural divergence from the reference variant required to
+// match an entry in the quirk manifest. Undocumented divergence fails.
+#include <gtest/gtest.h>
+
+#include "testing/differential.h"
+#include "testing/property.h"
+#include "testing/scenario_gen.h"
+#include "tcp/profile.h"
+
+using namespace snake;
+using namespace snake::testing;
+
+namespace {
+
+core::ScenarioConfig base_tcp_config(std::uint64_t seed) {
+  core::ScenarioConfig config;
+  config.protocol = core::Protocol::kTcp;
+  config.seed = seed;
+  config.test_duration = Duration::seconds(3.0);
+  config.event_budget = 3'000'000;
+  return config;
+}
+
+core::ScenarioConfig base_dccp_config(std::uint64_t seed) {
+  core::ScenarioConfig config;
+  config.protocol = core::Protocol::kDccp;
+  config.seed = seed;
+  config.test_duration = Duration::seconds(3.0);
+  config.event_budget = 3'000'000;
+  return config;
+}
+
+}  // namespace
+
+TEST(Differential, TcpBaselineCoversAllFourProfiles) {
+  DifferentialConfig config;
+  config.base = base_tcp_config(1);
+  config.quirks = default_tcp_quirks();
+  DifferentialResult result = run_differential(config);
+
+  EXPECT_EQ(result.reference, "linux-3.13");
+  ASSERT_EQ(result.fingerprints.size(), tcp::all_tcp_profiles().size());
+  for (const tcp::TcpProfile& profile : tcp::all_tcp_profiles())
+    EXPECT_TRUE(result.fingerprints.count(profile.name)) << profile.name;
+
+  // A clean (attack-free) run must establish and deliver on every variant.
+  for (const auto& [variant, fp] : result.fingerprints) {
+    EXPECT_TRUE(fp.target_established) << variant;
+    EXPECT_TRUE(fp.target_delivered) << variant;
+    EXPECT_FALSE(fp.aborted) << variant;
+  }
+
+  EXPECT_FALSE(result.has_undocumented()) << result.summary();
+}
+
+TEST(Differential, DccpBaselineCoversBothCcids) {
+  DifferentialConfig config;
+  config.base = base_dccp_config(1);
+  config.quirks = default_dccp_quirks();
+  DifferentialResult result = run_differential(config);
+
+  EXPECT_EQ(result.reference, "ccid2");
+  ASSERT_EQ(result.fingerprints.size(), 2u);
+  ASSERT_TRUE(result.fingerprints.count("ccid2"));
+  ASSERT_TRUE(result.fingerprints.count("ccid3"));
+  for (const auto& [variant, fp] : result.fingerprints) {
+    EXPECT_TRUE(fp.target_established) << variant;
+    EXPECT_FALSE(fp.aborted) << variant;
+  }
+  EXPECT_FALSE(result.has_undocumented()) << result.summary();
+}
+
+TEST(Differential, EmptyManifestFlagsRealDivergenceAsUndocumented) {
+  // Force a profile-dependent divergence: data injected into a half-open
+  // connection is RST'd by kRstFirst (windows-8.1) but tolerated by
+  // kBestEffort (linux-3.0.0); windows-95 lacks fast retransmit entirely.
+  // With an attack script aggressive enough to diverge and an EMPTY quirk
+  // manifest, every divergence must surface as undocumented.
+  DifferentialConfig config;
+  config.base = base_tcp_config(7);
+  strategy::Strategy drop;
+  drop.id = 1;
+  drop.direction = strategy::TrafficDirection::kServerToClient;
+  drop.target_state = "ESTABLISHED";
+  drop.packet_type = "*";
+  drop.action = strategy::AttackAction::kDrop;
+  drop.drop_probability = 50.0;
+  config.attacks.push_back(drop);
+  config.quirks.clear();  // no documentation at all
+
+  DifferentialResult result = run_differential(config);
+  if (!result.divergences.empty()) {
+    // Whatever diverged, with no manifest it must all read as undocumented.
+    EXPECT_TRUE(result.has_undocumented());
+    for (const Divergence& d : result.divergences) {
+      EXPECT_FALSE(d.documented) << d.variant << "/" << d.dimension;
+      EXPECT_TRUE(d.reason.empty());
+    }
+  }
+  // And the same script with the real manifest must be fully documented.
+  config.quirks = default_tcp_quirks();
+  DifferentialResult documented = run_differential(config);
+  EXPECT_FALSE(documented.has_undocumented()) << documented.summary();
+}
+
+TEST(Differential, AttackScriptsStayDocumentedAcrossSeeds) {
+  // Replay generated attack scripts: documented-only divergence must hold
+  // not just for the clean baseline but under adversarial scripts too.
+  PropertyConfig pconfig = PropertyConfig::from_env(3);
+  auto failure = for_each_seed(pconfig, [&](std::uint64_t seed) -> std::optional<std::string> {
+    GeneratedScenario scenario = generate_scenario(seed, core::Protocol::kTcp);
+    DifferentialConfig config;
+    config.base = scenario.config;
+    config.attacks = scenario.attacks;
+    config.quirks = default_tcp_quirks();
+    DifferentialResult result = run_differential(config);
+    if (result.has_undocumented())
+      return result.summary() + "\n" + describe(scenario);
+    return std::nullopt;
+  });
+  EXPECT_FALSE(failure.has_value())
+      << "seed " << failure->seed << " produced undocumented divergence:\n" << failure->message;
+}
+
+TEST(Differential, WildcardQuirkDocumentsAnyDimension) {
+  Fingerprint ref, other;
+  ref.target_established = true;
+  other.target_established = false;
+  other.client_final_state = "CLOSED";
+  ref.client_final_state = "ESTABLISHED";
+  auto ref_dims = fingerprint_dimensions(ref);
+  auto other_dims = fingerprint_dimensions(other);
+  EXPECT_NE(ref_dims.at("target_established"), other_dims.at("target_established"));
+  EXPECT_NE(ref_dims.at("client_final_state"), other_dims.at("client_final_state"));
+  // Dimension maps are the diffing substrate; every Fingerprint field must
+  // appear so no behaviour change can hide from the diff.
+  EXPECT_EQ(ref_dims.size(), 12u);
+}
+
+TEST(Differential, SummaryNamesVariantDimensionAndReason) {
+  DifferentialConfig config;
+  config.base = base_tcp_config(1);
+  config.quirks = default_tcp_quirks();
+  DifferentialResult result = run_differential(config);
+  std::string summary = result.summary();
+  for (const Divergence& d : result.divergences) {
+    EXPECT_NE(summary.find(d.variant), std::string::npos);
+    EXPECT_NE(summary.find(d.dimension), std::string::npos);
+  }
+}

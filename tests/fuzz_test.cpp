@@ -1,0 +1,340 @@
+// Mutation fuzzing of the untrusted-input surfaces: the packet codec and
+// header-format DSL, the JSON parser behind reports/journals, and the
+// journal loader. Deterministic — every mutant derives from a printed seed.
+// The CI sanitizer jobs run this suite under ASan/UBSan; the assertions here
+// are no-crash (only documented exception types escape) plus round-trip
+// identity where a codec promises one.
+//
+// tests/corpus/ holds previously-found crashing/rejecting inputs; each file
+// is replayed verbatim every run (regression) and used as a mutation seed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "packet/dccp_format.h"
+#include "packet/format_dsl.h"
+#include "packet/tcp_format.h"
+#include "snake/journal.h"
+#include "testing/fuzz.h"
+#include "testing/property.h"
+#include "util/rng.h"
+
+using namespace snake;
+using namespace snake::testing;
+
+namespace {
+
+std::vector<CorpusFile> corpus(const std::string& category) {
+  return load_corpus(std::string(SNAKE_CORPUS_DIR) + "/" + category);
+}
+
+const CorpusFile* find_file(const std::vector<CorpusFile>& files, const std::string& name) {
+  for (const CorpusFile& f : files)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Regression corpus replay: every past finding stays fixed.
+
+TEST(CorpusRegression, JsonCorpusParsesWithoutCrashing) {
+  std::vector<CorpusFile> files = corpus("json");
+  ASSERT_FALSE(files.empty()) << "corpus dir missing: " SNAKE_CORPUS_DIR "/json";
+  for (const CorpusFile& f : files) {
+    std::string error;
+    // Must terminate and must not crash; acceptance is file-specific below.
+    (void)obs::parse_json(f.contents, &error);
+  }
+}
+
+TEST(CorpusRegression, JsonDepthLimitEnforced) {
+  std::vector<CorpusFile> files = corpus("json");
+  const CorpusFile* arrays = find_file(files, "deep_nesting_arrays.json");
+  const CorpusFile* objects = find_file(files, "deep_nesting_objects.json");
+  const CorpusFile* at_limit = find_file(files, "nesting_at_limit.json");
+  const CorpusFile* over_limit = find_file(files, "nesting_over_limit.json");
+  ASSERT_TRUE(arrays && objects && at_limit && over_limit);
+  EXPECT_FALSE(obs::parse_json(arrays->contents).has_value());
+  EXPECT_FALSE(obs::parse_json(objects->contents).has_value());
+  EXPECT_TRUE(obs::parse_json(at_limit->contents).has_value());
+  EXPECT_FALSE(obs::parse_json(over_limit->contents).has_value());
+}
+
+TEST(CorpusRegression, JsonMalformedTokensRejected) {
+  std::vector<CorpusFile> files = corpus("json");
+  for (const char* name : {"truncated_unicode_escape.json", "truncated_escape.json",
+                           "truncated_string.json", "number_inf.json", "number_minus_inf.json",
+                           "number_nan.json", "number_hex.json", "number_leading_plus.json",
+                           "number_bare_dot.json", "number_bare_exp.json", "trailing_junk.json",
+                           "empty.json", "only_whitespace.json", "unbalanced_close.json"}) {
+    const CorpusFile* f = find_file(files, name);
+    ASSERT_TRUE(f) << name;
+    EXPECT_FALSE(obs::parse_json(f->contents).has_value()) << name;
+  }
+  const CorpusFile* surrogate = find_file(files, "surrogate_pair.json");
+  ASSERT_TRUE(surrogate);
+  auto parsed = obs::parse_json(surrogate->contents);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_string());
+  // Lone surrogates are not rejected: the parser substitutes U+FFFD rather
+  // than fabricating invalid UTF-8 (documented in obs/json.cpp).
+  for (const char* name : {"lone_high_surrogate.json", "lone_low_surrogate.json"}) {
+    const CorpusFile* f = find_file(files, name);
+    ASSERT_TRUE(f) << name;
+    auto lone = obs::parse_json(f->contents);
+    ASSERT_TRUE(lone.has_value()) << name;
+    EXPECT_EQ(lone->str_v, "\xEF\xBF\xBD") << name;  // U+FFFD
+  }
+}
+
+TEST(CorpusRegression, JournalCorpusLoadsWithoutCrashing) {
+  std::vector<CorpusFile> files = corpus("journal");
+  ASSERT_FALSE(files.empty());
+  for (const CorpusFile& f : files) (void)core::load_journal(f.contents);
+}
+
+TEST(CorpusRegression, JournalTruncatedTailSkippedGarbageTolerated) {
+  std::vector<CorpusFile> files = corpus("journal");
+  const CorpusFile* truncated = find_file(files, "truncated_tail.jsonl");
+  ASSERT_TRUE(truncated);
+  std::size_t skipped = 0;
+  auto snap = core::load_journal(truncated->contents, &skipped);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(snap->trials.count("k5"));
+  EXPECT_FALSE(snap->trials.count("k6"));
+  EXPECT_GE(skipped, 1u);
+
+  const CorpusFile* garbage = find_file(files, "garbage_lines.jsonl");
+  ASSERT_TRUE(garbage);
+  snap = core::load_journal(garbage->contents);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(snap->trials.count("k7"));
+
+  for (const char* name : {"missing_header.jsonl", "wrong_schema.jsonl"}) {
+    const CorpusFile* f = find_file(files, name);
+    ASSERT_TRUE(f) << name;
+    EXPECT_FALSE(core::load_journal(f->contents).has_value()) << name;
+  }
+}
+
+TEST(CorpusRegression, DslCorpusAllThrowInvalidArgument) {
+  std::vector<CorpusFile> files = corpus("dsl");
+  ASSERT_FALSE(files.empty());
+  for (const CorpusFile& f : files)
+    EXPECT_THROW(packet::parse_header_format(f.contents), std::invalid_argument) << f.name;
+}
+
+// ---------------------------------------------------------------------------
+// Codec fuzzing: random bytes through classify/get, round-trip identity on
+// built packets. Defaults to 10k iterations; SNAKE_PROPERTY_ITERS overrides.
+
+namespace {
+
+/// classify + read every field; the only escapes allowed are the documented
+/// std::out_of_range (buffer shorter than the field span).
+void probe_codec(const packet::HeaderFormat& format, const packet::Codec& codec,
+                 const Bytes& raw) {
+  (void)format.classify(raw);
+  for (const auto& f : format.fields()) {
+    try {
+      (void)codec.get(raw, f.name);
+    } catch (const std::out_of_range&) {
+      EXPECT_LT(raw.size(), format.header_bytes());  // only legal on short buffers
+    }
+  }
+}
+
+bool overlaps_discriminator(const packet::HeaderFormat& format, const std::string& type,
+                            const std::map<std::string, std::uint64_t>& fields) {
+  for (const auto& t : format.packet_types()) {
+    if (t.name != type) continue;
+    const packet::FieldSpec& d = format.field_or_throw(t.discriminator_field);
+    for (const auto& [name, value] : fields) {
+      (void)value;
+      const packet::FieldSpec& f = format.field_or_throw(name);
+      if (f.bit_offset < d.bit_offset + d.bit_width && d.bit_offset < f.bit_offset + f.bit_width)
+        return true;
+    }
+  }
+  return false;
+}
+
+void fuzz_codec(const packet::HeaderFormat& format, const packet::Codec& codec) {
+  PropertyConfig config = PropertyConfig::from_env(10'000);
+  auto failure = for_each_seed(config, [&](std::uint64_t seed) -> std::optional<std::string> {
+    Rng rng(seed);
+    // 1. Build a packet from a random type + random field values.
+    const auto& types = format.packet_types();
+    const auto& type = types[rng.uniform(0, types.size() - 1)];
+    std::map<std::string, std::uint64_t> values;
+    for (const auto& f : format.fields())
+      if (f.kind != packet::FieldKind::kChecksum && rng.chance(0.5))
+        values[f.name] = rng.next_u64();
+    Bytes built = codec.build(type.name, values);
+    if (built.size() != format.header_bytes()) return "built wrong size";
+
+    // 2. Round-trip identity: every user field reads back masked to width.
+    for (const auto& [name, value] : values) {
+      const packet::FieldSpec& f = format.field_or_throw(name);
+      if (codec.get(built, name) != (value & f.max_value()))
+        return "round-trip mismatch on field " + name;
+    }
+    // Classification honours the discriminator unless a user field overwrote it.
+    if (!overlaps_discriminator(format, type.name, values) &&
+        format.classify(built) != type.name)
+      return "classify(" + format.classify(built) + ") != built type " + type.name;
+
+    // 3. set() keeps the identity on an already-valid packet.
+    const auto& fields = format.fields();
+    const packet::FieldSpec& f = fields[rng.uniform(0, fields.size() - 1)];
+    std::uint64_t v = rng.next_u64();
+    codec.set(built, f.name, v);
+    if (f.kind != packet::FieldKind::kChecksum &&
+        codec.get(built, f.name) != (v & f.max_value()))
+      return "set/get mismatch on field " + f.name;
+
+    // 4. Mutated buffers (length changes included) must never crash.
+    Bytes mutant = mutate_bytes(rng, built);
+    probe_codec(format, codec, mutant);
+    probe_codec(format, codec, Bytes());
+    return std::nullopt;
+  });
+  EXPECT_FALSE(failure.has_value())
+      << "seed " << failure->seed << ": " << failure->message;
+}
+
+}  // namespace
+
+TEST(CodecFuzz, TcpCodecRoundTripsAndSurvivesMutants) {
+  fuzz_codec(packet::tcp_format(), packet::tcp_codec());
+}
+
+TEST(CodecFuzz, DccpCodecRoundTripsAndSurvivesMutants) {
+  fuzz_codec(packet::dccp_format(), packet::dccp_codec());
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser fuzzing, with a parse -> emit -> parse -> emit fixpoint check.
+
+namespace {
+
+void emit_value(obs::JsonWriter& w, const obs::JsonValue& v) {
+  switch (v.type) {
+    case obs::JsonValue::Type::kNull: w.null_value(); break;
+    case obs::JsonValue::Type::kBool: w.value(v.bool_v); break;
+    case obs::JsonValue::Type::kNumber: w.value(v.num_v); break;
+    case obs::JsonValue::Type::kString: w.value(v.str_v); break;
+    case obs::JsonValue::Type::kArray:
+      w.begin_array();
+      for (const obs::JsonValue& e : v.array_v) emit_value(w, e);
+      w.end_array();
+      break;
+    case obs::JsonValue::Type::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.object_v) {
+        w.key(k);
+        emit_value(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+std::string emit(const obs::JsonValue& v) {
+  obs::JsonWriter w;
+  emit_value(w, v);
+  return w.take();
+}
+
+}  // namespace
+
+TEST(ParserFuzz, JsonMutantsNeverCrashAndSurvivorsReachEmitFixpoint) {
+  std::vector<CorpusFile> seeds = corpus("json");
+  ASSERT_FALSE(seeds.empty());
+  // A well-formed report-shaped document seeds the interesting mutants.
+  seeds.push_back({"report", R"({"campaign":{"seed":42,"trials":[{"key":"a","found":true},)"
+                             R"({"key":"b","score":0.25}],"notes":"é\n"}})"});
+  PropertyConfig config = PropertyConfig::from_env(2'000);
+  auto failure = for_each_seed(config, [&](std::uint64_t seed) -> std::optional<std::string> {
+    Rng rng(seed);
+    const CorpusFile& base = seeds[rng.uniform(0, seeds.size() - 1)];
+    std::string mutant = mutate_text(rng, base.contents);
+    auto parsed = obs::parse_json(mutant);
+    if (!parsed.has_value()) return std::nullopt;  // rejection is fine
+    // Accepted documents must round-trip: emit is parseable and a fixpoint.
+    std::string first = emit(*parsed);
+    auto reparsed = obs::parse_json(first);
+    if (!reparsed.has_value()) return "emitted JSON failed to re-parse: " + first;
+    if (emit(*reparsed) != first) return "emit not a fixpoint for: " + first;
+    return std::nullopt;
+  });
+  EXPECT_FALSE(failure.has_value())
+      << "seed " << failure->seed << " (base corpus varies by seed): " << failure->message;
+}
+
+TEST(ParserFuzz, JournalMutantsNeverCrash) {
+  std::vector<CorpusFile> seeds = corpus("journal");
+  ASSERT_FALSE(seeds.empty());
+  PropertyConfig config = PropertyConfig::from_env(2'000);
+  auto failure = for_each_seed(config, [&](std::uint64_t seed) -> std::optional<std::string> {
+    Rng rng(seed);
+    const CorpusFile& base = seeds[rng.uniform(0, seeds.size() - 1)];
+    std::string mutant = mutate_text(rng, base.contents);
+    std::size_t skipped = 0;
+    (void)core::load_journal(mutant, &skipped);  // must terminate, no crash/UB
+    return std::nullopt;
+  });
+  EXPECT_FALSE(failure.has_value())
+      << "seed " << failure->seed << ": " << failure->message;
+}
+
+TEST(ParserFuzz, FormatDslMutantsNeverCrash) {
+  std::vector<CorpusFile> seeds = corpus("dsl");
+  seeds.push_back({"tcp", packet::tcp_format_dsl()});
+  seeds.push_back({"dccp", packet::dccp_format_dsl()});
+  PropertyConfig config = PropertyConfig::from_env(2'000);
+  auto failure = for_each_seed(config, [&](std::uint64_t seed) -> std::optional<std::string> {
+    Rng rng(seed);
+    const CorpusFile& base = seeds[rng.uniform(0, seeds.size() - 1)];
+    std::string mutant = mutate_text(rng, base.contents);
+    try {
+      packet::HeaderFormat format = packet::parse_header_format(mutant);
+      // A mutant the DSL accepts must produce a usable format: bounded
+      // header, fields inside it, and a codec that can build every type.
+      if (format.header_bytes() == 0 || format.header_bytes() > 4096)
+        return "accepted format with absurd header size";
+      packet::Codec codec(format);
+      for (const auto& t : format.packet_types()) (void)codec.build(t.name, {});
+    } catch (const std::invalid_argument&) {
+      // The documented rejection path.
+    }
+    return std::nullopt;
+  });
+  EXPECT_FALSE(failure.has_value())
+      << "seed " << failure->seed << ": " << failure->message;
+}
+
+// ---------------------------------------------------------------------------
+// The mutators themselves are deterministic (replayability contract).
+
+TEST(Mutators, DeterministicForSameSeed) {
+  Bytes seed_bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  Rng a(9), b(9);
+  EXPECT_EQ(mutate_bytes(a, seed_bytes), mutate_bytes(b, seed_bytes));
+  Rng c(11), d(11);
+  EXPECT_EQ(mutate_text(c, "{\"k\": [1, 2]}"), mutate_text(d, "{\"k\": [1, 2]}"));
+}
+
+TEST(Mutators, RespectLengthCap) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Bytes out = mutate_bytes(rng, Bytes(64, 0xAA), 128);
+    EXPECT_LE(out.size(), 128u);
+    std::string text = mutate_text(rng, std::string(64, 'x'), 128);
+    EXPECT_LE(text.size(), 128u);
+  }
+}

@@ -1,9 +1,12 @@
 // Unit tests for the discrete-event network simulator substrate.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/dumbbell.h"
+#include "sim/filter.h"
+#include "sim/trace.h"
 #include "sim/link.h"
 #include "sim/network.h"
 #include "sim/node.h"
@@ -289,6 +292,107 @@ TEST(Trace, RecordsSendAndDeliver) {
   net.scheduler().run_all();
   EXPECT_EQ(net.trace().count(TraceKind::kSend), 1u);
   EXPECT_EQ(net.trace().count(TraceKind::kDeliver), 1u);
+}
+
+TEST(Trace, CapsEntriesAndCountsDroppedRecords) {
+  Trace trace(2);
+  Packet p = make_packet(1, 2, 10);
+  for (int i = 0; i < 5; ++i)
+    trace.record(TimePoint::from_ns(i), TraceKind::kSend, "a", p);
+  EXPECT_EQ(trace.entries().size(), 2u);
+  EXPECT_EQ(trace.dropped_records(), 3u);
+  trace.clear();
+  EXPECT_TRUE(trace.entries().empty());
+  EXPECT_EQ(trace.dropped_records(), 0u);
+  // After clear() the cap applies afresh.
+  trace.record(TimePoint::from_ns(9), TraceKind::kDeliver, "b", p);
+  EXPECT_EQ(trace.entries().size(), 1u);
+  EXPECT_EQ(trace.entries()[0].where, "b");
+}
+
+TEST(Trace, KindAndDirectionNames) {
+  EXPECT_STREQ(to_string(TraceKind::kSend), "send");
+  EXPECT_STREQ(to_string(TraceKind::kDeliver), "deliver");
+  EXPECT_STREQ(to_string(TraceKind::kDrop), "drop");
+  EXPECT_STREQ(to_string(TraceKind::kInject), "inject");
+  EXPECT_NE(std::string(to_string(FilterDirection::kEgress)),
+            std::string(to_string(FilterDirection::kIngress)));
+}
+
+TEST(Trace, RecordsDropWhenRouteMissing) {
+  Network net;
+  Node& a = net.add_node(1, "a");
+  net.enable_trace();
+  a.send_packet(make_packet(1, 99, 10));  // no route anywhere
+  net.scheduler().run_all();
+  ASSERT_EQ(net.trace().count(TraceKind::kDrop), 1u);
+  EXPECT_EQ(net.trace().count(TraceKind::kDeliver), 0u);
+}
+
+// Filter that consumes every egress packet and re-injects it after a delay.
+class DelayEgress : public PacketFilter {
+ public:
+  explicit DelayEgress(Duration delay) : delay_(delay) {}
+  FilterVerdict on_packet(Packet& p, FilterDirection direction, Injector& injector) override {
+    if (direction != FilterDirection::kEgress) return FilterVerdict::kForward;
+    injector.inject(std::move(p), FilterDirection::kEgress, delay_);
+    return FilterVerdict::kConsume;
+  }
+
+ private:
+  Duration delay_;
+};
+
+TEST(Trace, DelayedInjectionStampedAtDeliveryTime) {
+  Network net;
+  Node& a = net.add_node(1, "a");
+  Node& b = net.add_node(2, "b");
+  auto [ab, ba] = net.connect(a, b, LinkConfig{});
+  (void)ba;
+  a.set_default_route(ab);
+  int b_got = 0;
+  b.register_protocol(kProtoTcp, [&](const Packet&) { ++b_got; });
+  DelayEgress filter(Duration::millis(7));
+  a.set_filter(&filter);
+  net.enable_trace();
+  a.send_packet(make_packet(1, 2, 10));
+  net.scheduler().run_all();
+  EXPECT_EQ(b_got, 1);
+  // kInject entries carry the future delivery time, not the decision time —
+  // the property-suite clock oracle relies on exactly this contract.
+  ASSERT_EQ(net.trace().count(TraceKind::kInject), 1u);
+  for (const TraceEntry& e : net.trace().entries())
+    if (e.kind == TraceKind::kInject) EXPECT_EQ(e.at.ns(), Duration::millis(7).ns());
+}
+
+// Filter that rewrites the first payload byte in place before forwarding.
+class TagEgress : public PacketFilter {
+ public:
+  FilterVerdict on_packet(Packet& p, FilterDirection direction, Injector&) override {
+    if (direction == FilterDirection::kEgress && !p.bytes.empty()) p.bytes[0] = 0x5A;
+    return FilterVerdict::kForward;
+  }
+};
+
+TEST(Node, FilterMutationIsVisibleAtReceiver) {
+  Network net;
+  Node& a = net.add_node(1, "a");
+  Node& b = net.add_node(2, "b");
+  auto [ab, ba] = net.connect(a, b, LinkConfig{});
+  (void)ba;
+  a.set_default_route(ab);
+  std::uint8_t first = 0;
+  b.register_protocol(kProtoTcp, [&](const Packet& p) { first = p.bytes.at(0); });
+  TagEgress filter;
+  a.set_filter(&filter);
+  net.enable_trace();
+  a.send_packet(make_packet(1, 2, 10));
+  net.scheduler().run_all();
+  EXPECT_EQ(first, 0x5A);
+  // The kSend record was taken before the filter ran: it keeps the honest
+  // pre-mutation bytes (what the endpoint actually emitted).
+  for (const TraceEntry& e : net.trace().entries())
+    if (e.kind == TraceKind::kSend) EXPECT_EQ(e.packet.bytes.at(0), 0xAA);
 }
 
 TEST(Dumbbell, EndToEndAcrossBottleneck) {

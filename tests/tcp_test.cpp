@@ -104,6 +104,31 @@ TEST(SeqArithmetic, WrapAround) {
   EXPECT_FALSE(in_window(near_max - 5, near_max, 100));
 }
 
+TEST(SeqArithmetic, HalfCircleDistanceIsAntisymmetric) {
+  // Regression (property suite, ordering oracle): with the signed-cast
+  // comparison, two values exactly 2^31 apart satisfied BOTH seq_lt(a, b)
+  // and seq_lt(b, a) — a strict-weak-ordering violation that is undefined
+  // behaviour once such keys coexist in a SeqCircularLess map. The exact
+  // half distance now tie-breaks on the raw values.
+  for (Seq a : {0u, 1u, 0x12345678u, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu}) {
+    Seq b = a + kSeqHalf;
+    EXPECT_NE(seq_lt(a, b), seq_lt(b, a)) << "a=" << a;
+    EXPECT_NE(seq_gt(a, b), seq_gt(b, a)) << "a=" << a;
+    EXPECT_FALSE(seq_lt(a, a));
+    SeqCircularLess less;
+    EXPECT_FALSE(less(a, b) && less(b, a)) << "a=" << a;
+  }
+}
+
+TEST(SeqArithmetic, ComparisonsStayConsistentNearHalfCircle) {
+  // One step either side of the ambiguous point keeps the usual semantics.
+  Seq a = 1000;
+  EXPECT_TRUE(seq_lt(a, a + kSeqHalf - 1));
+  EXPECT_FALSE(seq_lt(a, a + kSeqHalf + 1));  // b is now "behind" a
+  EXPECT_TRUE(seq_gt(a, a + kSeqHalf + 1));
+  EXPECT_TRUE(seq_leq(a, a) && seq_geq(a, a));
+}
+
 class InWindowSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(InWindowSweep, WindowMembershipConsistentAcrossBase) {
