@@ -3,13 +3,20 @@
 //
 //   bench_campaign [--cap N] [--duration SECONDS] [--executors N]
 //                  [--protocol tcp|dccp] [--json PATH] [--baseline PATH]
-//                  [--selfcheck]
+//                  [--selfcheck] [--workers N] [--result-cache PATH]
 //
 // --selfcheck attaches the property-suite invariant oracles (clock
 // monotonicity, TCP sequence space, tracker legality, pool balance; see
 // src/testing/oracles.h) to every trial. It costs a packet trace per run, so
 // throughput numbers from a selfcheck bench are not comparable to plain
 // ones; the exit code turns nonzero if any trial violates an invariant.
+//
+// --workers N runs the campaign on N forked worker processes instead of the
+// in-process executor pool (src/dist; the result is bit-identical either
+// way). With --selfcheck the oracles run inside each worker and violation
+// tallies come back over the wire. --result-cache PATH memoizes trial
+// verdicts in a cross-campaign JSONL cache; a re-run with the same
+// configuration replays from the cache instead of simulating.
 //
 // Test throughput is the bottleneck for stateful protocol testing at scale
 // (the paper spends ~2 minutes of wall clock per strategy; ProFuzzBench ranks
@@ -36,6 +43,9 @@
 #include <sstream>
 #include <thread>
 
+#include "dist/coordinator.h"
+#include "dist/result_cache.h"
+#include "dist/worker.h"
 #include "obs/json.h"
 #include "snake/controller.h"
 #include "statemachine/protocol_specs.h"
@@ -59,9 +69,32 @@ std::uint64_t metric_counter(const obs::MetricsRegistry& reg, const std::string&
   return it == reg.counters().end() ? 0 : it->second;
 }
 
+// Oracle wiring for worker processes: snake_dist cannot link the testing
+// layer, so the worker re-entry hands these hooks down and each worker
+// builds its own protocol-appropriate oracle bundle.
+dist::WorkerHooks oracle_hooks() {
+  dist::WorkerHooks hooks;
+  hooks.make_inspector = [](const ScenarioConfig& sc) -> std::unique_ptr<RunInspector> {
+    return std::make_unique<testing::ScenarioOracles>(
+        sc.protocol == Protocol::kTcp ? statemachine::tcp_state_machine()
+                                      : statemachine::dccp_state_machine(),
+        sc.protocol == Protocol::kTcp);
+  };
+  hooks.violations = [](RunInspector& inspector) {
+    return static_cast<std::uint64_t>(
+        static_cast<testing::ScenarioOracles&>(inspector).report().violations.size());
+  };
+  return hooks;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker re-entry: when the coordinator forked us with
+  // --snake-worker-child, run the worker loop and exit — before touching
+  // anything else.
+  if (auto code = dist::maybe_run_worker(argc, argv, oracle_hooks())) return *code;
+
   std::uint64_t cap = 64;
   double duration = 5.0;
   unsigned hc = std::thread::hardware_concurrency();
@@ -69,7 +102,9 @@ int main(int argc, char** argv) {
   Protocol protocol = Protocol::kTcp;
   const char* json_path = "BENCH_campaign.json";
   const char* baseline_path = nullptr;
+  const char* cache_path = nullptr;
   bool selfcheck = false;
+  int workers = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) {
       cap = std::strtoull(argv[++i], nullptr, 10);
@@ -85,6 +120,10 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--selfcheck")) {
       selfcheck = true;
+    } else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--result-cache") && i + 1 < argc) {
+      cache_path = argv[++i];
     }
   }
 
@@ -100,15 +139,45 @@ int main(int argc, char** argv) {
   config.max_strategies = cap;
 
   // --selfcheck: one oracle bundle shared by every executor (thread-safe).
+  // In workers mode the inspector pointer cannot cross the process boundary;
+  // each worker builds its own bundle via oracle_hooks() and the violation
+  // tallies come back in the bye messages instead.
   testing::ScenarioOracles oracles(protocol == Protocol::kTcp
                                        ? statemachine::tcp_state_machine()
                                        : statemachine::dccp_state_machine(),
                                    protocol == Protocol::kTcp);
-  if (selfcheck) config.scenario.inspector = &oracles;
+  if (selfcheck && workers <= 0) config.scenario.inspector = &oracles;
 
-  std::printf("== Campaign throughput: %llu strategies, %.0fs virtual, %d executors (%s%s) ==\n",
-              (unsigned long long)cap, duration, executors, to_string(protocol),
-              selfcheck ? ", selfcheck" : "");
+  std::optional<dist::DistributedBackend> backend;
+  if (workers > 0) {
+    dist::DistOptions opt;
+    opt.workers = workers;
+    opt.selfcheck = selfcheck;
+    backend.emplace(std::move(opt));
+    config.backend = &*backend;
+  }
+
+  // --result-cache: cross-campaign memoized verdicts, scoped to this
+  // campaign's identity hash so a config change can never replay stale
+  // records.
+  std::optional<dist::ResultCache> cache;
+  std::optional<dist::ResultCache::View> cache_view;
+  if (cache_path != nullptr) {
+    cache.emplace(cache_path);
+    if (!cache->load())
+      std::fprintf(stderr, "result cache %s unreadable; starting cold\n", cache_path);
+    if (cache->rejected() > 0)
+      std::fprintf(stderr, "result cache %s: dropped %llu invalid line(s)\n", cache_path,
+                   (unsigned long long)cache->rejected());
+    cache_view.emplace(cache->view(campaign_identity_hash(config)));
+    config.cache = &*cache_view;
+  }
+
+  std::printf(
+      "== Campaign throughput: %llu strategies, %.0fs virtual, %d executors (%s%s%s) ==\n",
+      (unsigned long long)cap, duration, executors, to_string(protocol),
+      selfcheck ? ", selfcheck" : "",
+      workers > 0 ? ", distributed" : "");
 
   auto t0 = std::chrono::steady_clock::now();
   CampaignResult result = run_campaign(config);
@@ -131,14 +200,38 @@ int main(int argc, char** argv) {
               events_per_sec);
   std::printf("  peak RSS ............. %.1f MiB\n", rss);
 
-  bool oracles_ok = true;
-  if (selfcheck) {
-    testing::OracleReport report = oracles.report();
-    oracles_ok = report.ok();
-    std::printf("  selfcheck ............ %llu runs, %zu violations\n",
-                (unsigned long long)oracles.runs_checked(), report.violations.size());
-    if (!oracles_ok) std::fprintf(stderr, "%s\n", report.summary().c_str());
+  std::uint64_t fallback = metric_counter(result.metrics, "campaign.backend_fallback");
+  if (workers > 0) {
+    std::printf("  distribution ......... %d workers spawned, %d lost, "
+                "%llu trials stolen, %llu run inline\n",
+                backend->workers_spawned(), backend->workers_lost(),
+                (unsigned long long)backend->trials_stolen(),
+                (unsigned long long)backend->inline_trials());
+    if (fallback > 0)
+      std::fprintf(stderr,
+                   "  (distributed backend failed to start; campaign ran in-process%s)\n",
+                   selfcheck ? ", selfcheck skipped" : "");
   }
+  if (cache_path != nullptr)
+    std::printf("  result cache ......... %llu hits, %llu stores (%s)\n",
+                (unsigned long long)result.cache_hits,
+                (unsigned long long)result.cache_stores, cache_path);
+
+  std::uint64_t violations = 0;
+  if (selfcheck) {
+    if (workers > 0 && fallback == 0) {
+      violations = backend->selfcheck_violations();
+      std::printf("  selfcheck ............ distributed, %llu violations\n",
+                  (unsigned long long)violations);
+    } else {
+      testing::OracleReport report = oracles.report();
+      violations = report.violations.size();
+      std::printf("  selfcheck ............ %llu runs, %zu violations\n",
+                  (unsigned long long)oracles.runs_checked(), report.violations.size());
+      if (!report.ok()) std::fprintf(stderr, "%s\n", report.summary().c_str());
+    }
+  }
+  bool oracles_ok = violations == 0;
 
   // Baseline comparison (same-machine trajectories only).
   double baseline_sps = 0;
@@ -172,7 +265,9 @@ int main(int argc, char** argv) {
   w.key("cap").value(cap);
   w.key("duration_seconds").value(duration);
   w.key("executors").value(executors);
+  w.key("workers").value(workers);
   w.key("seed").value(config.scenario.seed);
+  if (cache_path != nullptr) w.key("result_cache").value(cache_path);
   w.end_object();
   w.key("results").begin_object();
   w.key("wall_seconds").value(wall);
@@ -184,10 +279,25 @@ int main(int argc, char** argv) {
   w.key("events_per_sec").value(events_per_sec);
   w.key("peak_rss_mib").value(rss);
   w.key("attack_strategies_found").value(result.attack_strategies_found);
+  if (workers > 0) {
+    w.key("distribution").begin_object();
+    w.key("workers_spawned").value(backend->workers_spawned());
+    w.key("workers_lost").value(backend->workers_lost());
+    w.key("trials_stolen").value(backend->trials_stolen());
+    w.key("inline_trials").value(backend->inline_trials());
+    w.key("backend_fallback").value(fallback);
+    w.end_object();
+  }
+  if (cache_path != nullptr) {
+    w.key("result_cache").begin_object();
+    w.key("hits").value(result.cache_hits);
+    w.key("stores").value(result.cache_stores);
+    w.end_object();
+  }
   if (selfcheck) {
     w.key("selfcheck").begin_object();
-    w.key("runs_checked").value(oracles.runs_checked());
-    w.key("violations").value(static_cast<std::uint64_t>(oracles.report().violations.size()));
+    if (workers <= 0) w.key("runs_checked").value(oracles.runs_checked());
+    w.key("violations").value(violations);
     w.end_object();
   }
   w.end_object();

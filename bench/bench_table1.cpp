@@ -2,6 +2,16 @@
 //
 //   bench_table1 [--full] [--cap N] [--duration SECONDS] [--executors N]
 //                [--json PATH] [--journal PREFIX] [--resume]
+//                [--workers N] [--result-cache PATH]
+//
+// --workers N runs each campaign on N forked worker processes (src/dist)
+// instead of the in-process executor pool; results are bit-identical either
+// way, so the distributed run produces the exact Table-I rows of the
+// single-process one. --result-cache PATH memoizes trial verdicts across
+// campaigns and process runs in a checksummed JSONL file: re-running the
+// bench with the same configuration replays cached verdicts instead of
+// re-simulating (cache entries are scoped per campaign identity, so the five
+// implementation sweeps never cross-contaminate).
 //
 // --journal PREFIX checkpoints every finished trial to a per-campaign JSONL
 // journal (PREFIX.<implementation>.<protocol>.jsonl); --resume loads those
@@ -37,6 +47,9 @@
 #include <string>
 #include <thread>
 
+#include "dist/coordinator.h"
+#include "dist/result_cache.h"
+#include "dist/worker.h"
 #include "obs/json.h"
 #include "snake/controller.h"
 #include "snake/journal.h"
@@ -62,6 +75,10 @@ std::optional<std::string> read_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker re-entry: when a coordinator forked us with --snake-worker-child,
+  // run the worker loop and exit — before parsing anything else.
+  if (auto code = dist::maybe_run_worker(argc, argv)) return *code;
+
   std::uint64_t cap = 250;
   std::uint64_t hitseq_cap = 8000;  // partial sweeps: probabilistic hits
   double duration = 10.0;
@@ -69,7 +86,9 @@ int main(int argc, char** argv) {
   int executors = hc > 4 ? static_cast<int>(hc) - 2 : 2;
   const char* json_path = nullptr;
   const char* journal_prefix = nullptr;
+  const char* cache_path = nullptr;
   bool resume = false;
+  int workers = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--full")) {
       cap = 0;         // every generated strategy
@@ -87,6 +106,10 @@ int main(int argc, char** argv) {
       journal_prefix = argv[++i];
     } else if (!std::strcmp(argv[i], "--resume")) {
       resume = true;
+    } else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--result-cache") && i + 1 < argc) {
+      cache_path = argv[++i];
     }
   }
   if (resume && journal_prefix == nullptr) {
@@ -94,10 +117,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One cross-campaign result cache shared by all five implementation
+  // sweeps; each campaign binds a view scoped to its own identity hash.
+  std::optional<dist::ResultCache> result_cache;
+  if (cache_path != nullptr) {
+    result_cache.emplace(cache_path);
+    if (!result_cache->load())
+      std::fprintf(stderr, "result cache %s unreadable; starting cold\n", cache_path);
+    if (result_cache->rejected() > 0)
+      std::fprintf(stderr, "result cache %s: dropped %llu invalid line(s)\n", cache_path,
+                   (unsigned long long)result_cache->rejected());
+  }
+
   std::printf("== Table I: SNAKE campaign summary ==\n");
   std::printf("(%s strategy budget, %.0fs virtual per test, %d executors; "
-              "counts scale with the budget — see EXPERIMENTS.md)\n\n",
+              "counts scale with the budget — see EXPERIMENTS.md)\n",
               cap == 0 ? "full" : "capped", duration, executors);
+  if (workers > 0)
+    std::printf("(distributed: %d worker processes per campaign)\n", workers);
+  std::printf("\n");
   std::printf("%s\n", table1_header().c_str());
 
   auto run_one = [&](Protocol protocol, const tcp::TcpProfile& profile) {
@@ -154,8 +192,28 @@ int main(int argc, char** argv) {
       if (snapshot.has_value()) config.resume = &*snapshot;
     }
 
+    // Distribution: a fresh worker fleet per campaign (spawned in start(),
+    // torn down in finish()); the coordinator-side journal above keeps
+    // working unchanged since trials are committed coordinator-side.
+    std::optional<dist::DistributedBackend> backend;
+    if (workers > 0) {
+      dist::DistOptions opt;
+      opt.workers = workers;
+      backend.emplace(std::move(opt));
+      config.backend = &*backend;
+    }
+    std::optional<dist::ResultCache::View> cache_view;
+    if (result_cache.has_value()) {
+      cache_view.emplace(result_cache->view(campaign_identity_hash(config)));
+      config.cache = &*cache_view;
+    }
+
     CampaignResult result = run_campaign(config);
     if (journal_file != nullptr) std::fclose(journal_file);
+    if (result.cache_hits > 0)
+      std::printf("  (result cache: %llu of %llu trials replayed)\n",
+                  static_cast<unsigned long long>(result.cache_hits),
+                  static_cast<unsigned long long>(result.strategies_tried));
     if (result.resume_skipped > 0)
       std::printf("  (resumed: %llu of %llu trials replayed from the journal)\n",
                   static_cast<unsigned long long>(result.resume_skipped),
@@ -188,6 +246,7 @@ int main(int argc, char** argv) {
     json->key("hitseq_cap").value(hitseq_cap);
     json->key("duration_seconds").value(duration);
     json->key("executors").value(executors);
+    json->key("workers").value(workers);
     json->end_object();
     json->key("campaigns").begin_array();
     json->flush();

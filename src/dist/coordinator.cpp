@@ -1,0 +1,499 @@
+#include "dist/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "dist/wire.h"
+#include "obs/metrics.h"
+#include "snake/arena.h"
+#include "snake/trial_runner.h"
+
+namespace snake::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string render_metrics(const core::RunMetrics& m) {
+  obs::JsonWriter w;
+  core::write_json(w, m);
+  return w.take();
+}
+
+}  // namespace
+
+struct DistributedBackend::Impl {
+  DistOptions options;
+
+  struct Worker {
+    pid_t pid = -1;
+    std::unique_ptr<Channel> ch;
+    std::deque<std::uint64_t> assigned;  // dispatch order; front runs first
+    Clock::time_point last_heard;
+    bool steal_pending = false;
+    bool reaped = false;
+    std::string journal_path;
+  };
+  std::vector<Worker> workers;
+
+  // Campaign context for inline fallback execution (fleet lost entirely).
+  core::ScenarioConfig run_template;
+  core::ScenarioConfig retest_template;
+  core::RunMetrics baseline;
+  core::RunMetrics retest_baseline;
+  const packet::HeaderFormat* format = nullptr;
+  double threshold = 0.5;
+  std::uint32_t max_attempts = 1;
+  std::uint64_t retry_seed_offset = 7919;
+  bool collect_metrics = true;
+  std::unique_ptr<core::ScenarioArena> inline_arena;
+  obs::MetricsRegistry inline_registry;
+
+  // Dispatch state.
+  std::map<std::uint64_t, strategy::Strategy> strategies;  // in flight, by seq
+  std::deque<core::TrialTask> unassigned;                  // awaiting a worker
+  std::deque<core::TrialOutcome> outcomes;
+
+  // Accounting.
+  int spawned = 0;
+  int lost = 0;
+  std::uint64_t inline_ran = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t violations = 0;
+  std::vector<std::string> worker_metrics_json;
+  std::vector<std::string> journal_files;
+
+  bool started = false;
+
+  // ---- fleet management --------------------------------------------------
+
+  bool spawn_worker(int index, Worker& w) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+    // Parent end must not leak into this (or any later) worker's exec image.
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+    std::string exe = options.worker_exe.empty() ? "/proc/self/exe" : options.worker_exe;
+    std::string fd_arg = std::to_string(sv[1]);
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      return false;
+    }
+    if (pid == 0) {
+      const char* argv[] = {exe.c_str(), "--snake-worker-child", fd_arg.c_str(), nullptr};
+      ::execv(exe.c_str(), const_cast<char**>(argv));
+      ::_exit(127);
+    }
+    ::close(sv[1]);
+    w.pid = pid;
+    w.ch = std::make_unique<Channel>(sv[0]);
+    w.last_heard = Clock::now();
+    (void)index;
+    return true;
+  }
+
+  void kill_worker(Worker& w) {
+    if (w.ch != nullptr) w.ch->close();
+    if (w.pid > 0 && !w.reaped) {
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.reaped = true;
+    }
+  }
+
+  void declare_dead(Worker& w) {
+    kill_worker(w);
+    ++lost;
+    // Requeue its whole in-flight shard, in seq order, to keep reassignment
+    // reproducible to a reader of the logs (results stay deterministic
+    // regardless — commits are ordered by the controller).
+    std::vector<std::uint64_t> seqs(w.assigned.begin(), w.assigned.end());
+    w.assigned.clear();
+    std::sort(seqs.begin(), seqs.end());
+    for (std::uint64_t seq : seqs) {
+      auto it = strategies.find(seq);
+      if (it != strategies.end()) unassigned.push_back(core::TrialTask{seq, it->second});
+    }
+  }
+
+  bool worker_alive(const Worker& w) const { return w.ch != nullptr && w.ch->alive(); }
+
+  std::size_t alive_count() const {
+    std::size_t n = 0;
+    for (const Worker& w : workers)
+      if (worker_alive(w)) ++n;
+    return n;
+  }
+
+  Worker* least_loaded_alive() {
+    Worker* best = nullptr;
+    for (Worker& w : workers) {
+      if (!worker_alive(w)) continue;
+      if (best == nullptr || w.assigned.size() < best->assigned.size()) best = &w;
+    }
+    return best;
+  }
+
+  // ---- message handling --------------------------------------------------
+
+  void handle_frame(Worker& w, const std::string& frame) {
+    auto m = parse_message(frame);
+    if (!m.has_value()) return;  // garbage on the wire: ignore the frame
+    w.last_heard = Clock::now();
+    switch (m->type) {
+      case MsgType::kResult: {
+        auto it = std::find(w.assigned.begin(), w.assigned.end(), m->seq);
+        if (it == w.assigned.end() || strategies.count(m->seq) == 0)
+          return;  // duplicate or never-assigned seq: drop
+        w.assigned.erase(it);
+        strategies.erase(m->seq);
+        outcomes.push_back(core::TrialOutcome{m->seq, std::move(m->record)});
+        break;
+      }
+      case MsgType::kStolen: {
+        w.steal_pending = false;
+        for (std::uint64_t seq : m->seqs) {
+          auto it = std::find(w.assigned.begin(), w.assigned.end(), seq);
+          if (it == w.assigned.end()) continue;
+          w.assigned.erase(it);
+          auto sit = strategies.find(seq);
+          if (sit != strategies.end()) {
+            unassigned.push_back(core::TrialTask{seq, sit->second});
+            ++stolen;
+          }
+        }
+        break;
+      }
+      case MsgType::kHeartbeat:
+        break;  // last_heard already refreshed
+      case MsgType::kBye:
+        violations += m->selfcheck_violations;
+        if (!m->metrics_json.empty()) worker_metrics_json.push_back(std::move(m->metrics_json));
+        break;
+      default:
+        break;
+    }
+  }
+
+  void pump_worker(Worker& w) {
+    if (!worker_alive(w)) return;
+    w.ch->pump();  // an EOF marks the channel broken, handled by the caller
+    while (auto frame = w.ch->pop_frame()) handle_frame(w, *frame);
+  }
+
+  // ---- dispatch ----------------------------------------------------------
+
+  void dispatch_unassigned() {
+    while (!unassigned.empty()) {
+      Worker* w = least_loaded_alive();
+      if (w == nullptr) return;
+      if (static_cast<int>(w->assigned.size()) >= options.per_worker_depth) return;
+      core::TrialTask task = std::move(unassigned.front());
+      unassigned.pop_front();
+      std::uint64_t seq = task.seq;
+      if (!w->ch->send_frame(encode_trials({WireTrial{task.seq, std::move(task.strat)}}))) {
+        declare_dead(*w);
+        auto it = strategies.find(seq);
+        if (it != strategies.end()) unassigned.push_back(core::TrialTask{seq, it->second});
+        continue;
+      }
+      w->assigned.push_back(seq);
+    }
+  }
+
+  void maybe_steal() {
+    // Rebalance the campaign tail: an idle worker with nothing left to be
+    // dispatched pulls the unstarted end of the most loaded worker's shard.
+    if (!unassigned.empty()) return;
+    Worker* idle = nullptr;
+    Worker* loaded = nullptr;
+    for (Worker& w : workers) {
+      if (!worker_alive(w)) continue;
+      if (w.assigned.empty() && idle == nullptr) idle = &w;
+      if (w.assigned.size() >= 2 && (loaded == nullptr || w.assigned.size() > loaded->assigned.size()))
+        loaded = &w;
+    }
+    if (idle == nullptr || loaded == nullptr || loaded->steal_pending) return;
+    std::uint64_t count = loaded->assigned.size() / 2;
+    if (count == 0) return;
+    if (loaded->ch->send_frame(encode_steal(count)))
+      loaded->steal_pending = true;
+    else
+      declare_dead(*loaded);
+  }
+
+  core::TrialOutcome run_inline(core::TrialTask task) {
+    // Whole fleet lost: the show goes on in-process. Same trial body, same
+    // templates, so results are still bit-identical.
+    if (inline_arena == nullptr) inline_arena = std::make_unique<core::ScenarioArena>();
+    obs::MetricsRegistry* reg = collect_metrics ? &inline_registry : nullptr;
+    core::ScenarioConfig run_config = run_template;
+    run_config.metrics = reg;
+    core::ScenarioConfig retest_config = retest_template;
+    retest_config.metrics = reg;
+    core::TrialContext ctx;
+    ctx.run_template = &run_config;
+    ctx.retest_template = &retest_config;
+    ctx.baseline = &baseline;
+    ctx.retest_baseline = &retest_baseline;
+    ctx.format = format;
+    ctx.threshold = threshold;
+    ctx.max_attempts = max_attempts;
+    ctx.retry_seed_offset = retry_seed_offset;
+    core::TrialOutcome out;
+    out.seq = task.seq;
+    out.record = core::execute_trial(*inline_arena, ctx, task.strat, reg);
+    strategies.erase(task.seq);
+    ++inline_ran;
+    return out;
+  }
+};
+
+DistributedBackend::DistributedBackend(DistOptions options) : impl_(new Impl) {
+  impl_->options = std::move(options);
+}
+
+DistributedBackend::~DistributedBackend() {
+  for (auto& w : impl_->workers) impl_->kill_worker(w);
+}
+
+bool DistributedBackend::start(const core::CampaignConfig& config,
+                               const core::RunMetrics& baseline,
+                               const core::RunMetrics& retest_baseline) {
+  Impl& im = *impl_;
+  // Pointer-carrying campaign features cannot cross a process boundary: a
+  // fault plan or inspector would silently not run in workers, so refuse
+  // distribution and let the controller fall back to the in-process pool
+  // (bench selfcheck uses DistOptions::selfcheck + WorkerHooks instead).
+  if (config.scenario.faults != nullptr || config.scenario.inspector != nullptr) return false;
+  if (im.options.workers < 1) return false;
+
+  im.run_template = config.scenario;
+  im.run_template.metrics = nullptr;
+  im.retest_template = im.run_template;
+  im.retest_template.seed += config.retest_seed_offset;
+  im.baseline = baseline;
+  im.retest_baseline = retest_baseline;
+  im.format = &core::format_for_protocol(config.scenario.protocol);
+  im.threshold = config.detect_threshold;
+  im.max_attempts = std::max<std::uint32_t>(1, config.trial_attempts);
+  im.retry_seed_offset = config.retry_seed_offset;
+  im.collect_metrics = config.collect_metrics;
+
+  const std::string expected_baseline = render_metrics(baseline);
+  const std::string expected_retest = render_metrics(retest_baseline);
+  const std::uint64_t identity = core::campaign_identity_hash(config);
+
+  im.workers.resize(static_cast<std::size_t>(im.options.workers));
+  for (int i = 0; i < im.options.workers; ++i) {
+    Impl::Worker& w = im.workers[static_cast<std::size_t>(i)];
+    if (!im.spawn_worker(i, w)) continue;
+    ++im.spawned;
+
+    auto hello_frame = w.ch->recv_frame(30000);
+    std::optional<Message> hello;
+    if (hello_frame.has_value()) hello = parse_message(*hello_frame);
+    if (!hello.has_value() || hello->type != MsgType::kHello ||
+        hello->version != kWireVersion) {
+      im.kill_worker(w);
+      continue;
+    }
+
+    WorkerCampaign wc;
+    wc.scenario = config.scenario;
+    wc.scenario.metrics = nullptr;
+    wc.scenario.faults = nullptr;
+    wc.scenario.inspector = nullptr;
+    wc.detect_threshold = config.detect_threshold;
+    wc.trial_attempts = im.max_attempts;
+    wc.retry_seed_offset = config.retry_seed_offset;
+    wc.retest_seed_offset = config.retest_seed_offset;
+    wc.collect_metrics = config.collect_metrics;
+    wc.identity_hash = identity;
+    wc.worker_index = i;
+    if (!im.options.journal_dir.empty())
+      wc.journal_path = im.options.journal_dir + "/worker-" + std::to_string(i) + ".jsonl";
+    wc.heartbeat_interval_ms = im.options.heartbeat_interval_ms;
+    wc.selfcheck = im.options.selfcheck;
+    if (static_cast<std::size_t>(i) < im.options.exit_after_results.size())
+      wc.exit_after_results = im.options.exit_after_results[static_cast<std::size_t>(i)];
+    if (!w.ch->send_frame(encode_campaign(wc))) {
+      im.kill_worker(w);
+      continue;
+    }
+    w.journal_path = wc.journal_path;
+  }
+
+  // Collect readiness second, so workers compute their baselines in
+  // parallel with each other instead of serially behind the handshake.
+  bool determinism_ok = true;
+  for (Impl::Worker& w : im.workers) {
+    if (!im.worker_alive(w)) continue;
+    auto ready_frame = w.ch->recv_frame(300000);
+    std::optional<Message> ready;
+    if (ready_frame.has_value()) ready = parse_message(*ready_frame);
+    if (!ready.has_value() || ready->type != MsgType::kReady) {
+      im.kill_worker(w);
+      continue;
+    }
+    if (render_metrics(ready->baseline) != expected_baseline ||
+        render_metrics(ready->retest_baseline) != expected_retest) {
+      // The worker simulates differently from the coordinator. That must
+      // never happen; if it does, no worker verdict is trustworthy.
+      determinism_ok = false;
+      break;
+    }
+    w.last_heard = Clock::now();
+    if (!w.journal_path.empty()) im.journal_files.push_back(w.journal_path);
+  }
+  if (!determinism_ok || im.alive_count() == 0) {
+    for (auto& w : im.workers) im.kill_worker(w);
+    im.workers.clear();
+    im.journal_files.clear();
+    return false;
+  }
+  im.started = true;
+  return true;
+}
+
+std::size_t DistributedBackend::capacity() const {
+  std::size_t alive = impl_->alive_count();
+  return std::max<std::size_t>(1, alive * static_cast<std::size_t>(impl_->options.per_worker_depth));
+}
+
+void DistributedBackend::submit(core::TrialTask task) {
+  Impl& im = *impl_;
+  im.strategies.emplace(task.seq, task.strat);
+  im.unassigned.push_back(std::move(task));
+  im.dispatch_unassigned();
+}
+
+core::TrialOutcome DistributedBackend::wait_outcome() {
+  Impl& im = *impl_;
+  while (true) {
+    if (!im.outcomes.empty()) {
+      core::TrialOutcome out = std::move(im.outcomes.front());
+      im.outcomes.pop_front();
+      return out;
+    }
+    im.dispatch_unassigned();
+    if (im.alive_count() == 0) {
+      // Fleet gone: run the oldest outstanding trial inline.
+      core::TrialTask task;
+      if (!im.unassigned.empty()) {
+        task = std::move(im.unassigned.front());
+        im.unassigned.pop_front();
+      } else {
+        auto it = im.strategies.begin();
+        task = core::TrialTask{it->first, it->second};
+      }
+      return im.run_inline(std::move(task));
+    }
+    im.maybe_steal();
+
+    std::vector<struct pollfd> fds;
+    std::vector<Impl::Worker*> by_fd;
+    for (Impl::Worker& w : im.workers) {
+      if (!im.worker_alive(w)) continue;
+      fds.push_back({w.ch->fd(), POLLIN, 0});
+      by_fd.push_back(&w);
+    }
+    int rc = ::poll(fds.data(), fds.size(), 100);
+    if (rc < 0 && errno != EINTR) continue;
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      Impl::Worker& w = *by_fd[i];
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) im.pump_worker(w);
+      if (!im.worker_alive(w)) {
+        im.declare_dead(w);
+        continue;
+      }
+      const auto silence =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - w.last_heard).count();
+      if (silence > im.options.heartbeat_timeout_ms) im.declare_dead(w);
+    }
+  }
+}
+
+void DistributedBackend::on_feedback(const std::vector<core::JournalObservation>& pairs) {
+  if (pairs.empty()) return;
+  const std::string frame = encode_feedback(pairs);
+  for (Impl::Worker& w : impl_->workers)
+    if (impl_->worker_alive(w)) w.ch->send_frame(frame);
+}
+
+void DistributedBackend::finish(obs::MetricsRegistry* into) {
+  Impl& im = *impl_;
+  // Orderly shutdown: every worker gets shutdown, answers bye (metrics +
+  // selfcheck tally), and exits; stragglers are killed.
+  for (Impl::Worker& w : im.workers) {
+    if (!im.worker_alive(w)) continue;
+    w.ch->send_frame(encode_shutdown());
+  }
+  for (Impl::Worker& w : im.workers) {
+    if (!im.worker_alive(w)) continue;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(im.options.heartbeat_timeout_ms);
+    while (im.worker_alive(w) && Clock::now() < deadline) {
+      auto frame = w.ch->recv_frame(200);
+      if (!frame.has_value()) continue;
+      auto m = parse_message(*frame);
+      if (!m.has_value()) continue;
+      const bool was_bye = m->type == MsgType::kBye;
+      im.handle_frame(w, *frame);
+      if (was_bye) break;
+    }
+    im.kill_worker(w);
+  }
+  for (Impl::Worker& w : im.workers) im.kill_worker(w);
+
+  if (into != nullptr) {
+    // Deterministic merge order: bye arrival order follows worker index
+    // (the loop above collects sequentially).
+    for (const std::string& doc_text : im.worker_metrics_json) {
+      auto doc = obs::parse_json(doc_text);
+      if (doc.has_value()) into->merge_from_json(*doc);
+    }
+    into->merge_from(im.inline_registry);
+  }
+  im.started = false;
+}
+
+std::uint64_t DistributedBackend::selfcheck_violations() const { return impl_->violations; }
+int DistributedBackend::workers_spawned() const { return impl_->spawned; }
+int DistributedBackend::workers_lost() const { return impl_->lost; }
+std::uint64_t DistributedBackend::inline_trials() const { return impl_->inline_ran; }
+std::uint64_t DistributedBackend::trials_stolen() const { return impl_->stolen; }
+
+const std::vector<std::string>& DistributedBackend::journal_paths() const {
+  return impl_->journal_files;
+}
+
+std::optional<core::JournalSnapshot> DistributedBackend::merged_journal(
+    std::size_t* skipped) const {
+  std::vector<std::string> texts;
+  for (const std::string& path : impl_->journal_files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    texts.push_back(buf.str());
+  }
+  std::vector<std::string_view> parts(texts.begin(), texts.end());
+  return core::merge_journals(parts, skipped);
+}
+
+}  // namespace snake::dist

@@ -1,0 +1,103 @@
+// Coordinator side of the distributed campaign (see DESIGN.md,
+// "Distribution architecture").
+//
+// DistributedBackend is a core::TrialBackend that runs trial shards on a
+// fleet of forked worker *processes* instead of in-process threads. The
+// campaign controller stays the single deterministic coordinator: it
+// dispatches numbered trials, this backend spreads them across workers
+// (least-loaded first, rebalanced by work-stealing), and outcomes flow back
+// to be committed in dispatch order — so `bench_table1 --workers 4` produces
+// the byte-identical report of the single-process run for equal seeds.
+//
+// Resilience: a worker that dies (EOF) or wedges (heartbeat silence past the
+// timeout) is SIGKILLed and reaped, and its in-flight shard is requeued onto
+// the survivors; with the whole fleet gone the backend executes the
+// remainder inline, so a campaign never loses trials to worker failure
+// (kill-a-worker test in dist_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "snake/backend.h"
+#include "snake/journal.h"
+
+namespace snake::dist {
+
+struct DistOptions {
+  int workers = 2;
+
+  /// Worker liveness cadence. A worker heartbeats from a dedicated thread,
+  /// so the timeout bounds coordinator reaction to a *dead* process, not the
+  /// duration of a trial.
+  int heartbeat_interval_ms = 250;
+  int heartbeat_timeout_ms = 5000;
+
+  /// Directory for per-worker journals ("" = none). Worker i appends to
+  /// <dir>/worker-<i>.jsonl; merge with core::merge_journals (or the
+  /// merged_journal() convenience below).
+  std::string journal_dir;
+
+  /// Ask workers to attach the embedding executable's oracle inspector
+  /// (WorkerHooks::make_inspector) to every run; violation counts come back
+  /// in the bye message and sum into selfcheck_violations().
+  bool selfcheck = false;
+
+  /// Worker binary; "" = /proc/self/exe (the usual case — any SNAKE
+  /// executable whose main() calls maybe_run_worker can host workers).
+  std::string worker_exe;
+
+  /// Test-only fault injection: worker i exits abruptly (no bye, SIGKILL
+  /// semantics) after entry i results. Empty = never.
+  std::vector<std::uint64_t> exit_after_results;
+
+  /// Trials kept in flight per worker; also the shard size work-stealing
+  /// aims to level out.
+  int per_worker_depth = 4;
+};
+
+class DistributedBackend : public core::TrialBackend {
+ public:
+  explicit DistributedBackend(DistOptions options);
+  ~DistributedBackend() override;
+
+  /// Spawns and handshakes the fleet. Fails (-> controller falls back to the
+  /// in-process pool) when: the campaign carries a fault plan or inspector
+  /// (neither crosses a process boundary), no worker completes the
+  /// handshake, or any worker's baseline RunMetrics differ from the
+  /// coordinator's (cross-process determinism guard — a silently divergent
+  /// worker must never contribute verdicts).
+  bool start(const core::CampaignConfig& config, const core::RunMetrics& baseline,
+             const core::RunMetrics& retest_baseline) override;
+  std::size_t capacity() const override;
+  void submit(core::TrialTask task) override;
+  core::TrialOutcome wait_outcome() override;
+  void on_feedback(const std::vector<core::JournalObservation>& pairs) override;
+  void finish(obs::MetricsRegistry* into) override;
+
+  // ---- post-campaign accessors (valid after finish()) ----
+
+  /// Sum of oracle violations reported by workers' bye messages.
+  std::uint64_t selfcheck_violations() const;
+  /// Fleet accounting: processes spawned / declared dead mid-campaign /
+  /// trials the coordinator ran inline after losing workers.
+  int workers_spawned() const;
+  int workers_lost() const;
+  std::uint64_t inline_trials() const;
+  /// Trials reassigned between workers by the steal protocol.
+  std::uint64_t trials_stolen() const;
+
+  /// Per-worker journal paths (empty when journal_dir was "").
+  const std::vector<std::string>& journal_paths() const;
+  /// Reads and merges the per-worker journals (core::merge_journals).
+  std::optional<core::JournalSnapshot> merged_journal(std::size_t* skipped = nullptr) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace snake::dist

@@ -1,0 +1,90 @@
+// Cross-campaign trial result cache (content-addressed memoization).
+//
+// Running Table-I/II sweeps repeats a lot of work: the same strategy under
+// the same campaign identity (implementation, seed, workload, topology,
+// thresholds — see campaign_identity_hash) always produces the same
+// TrialRecord, because a trial is a pure function of (identity, canonical
+// strategy key). The cache remembers those records across campaigns *and*
+// across process runs: a JSONL file where each line carries the identity
+// hash, the record in the journal encoding, and a content checksum.
+//
+// Safety properties (tested in dist_test.cpp):
+//  - a View is pre-bound to one identity hash; entries stored under any
+//    other identity can never hit, so changing any outcome-relevant config
+//    field evicts the whole identity's entries from consideration;
+//  - every line is checksummed over its identity + canonically re-rendered
+//    record, so a tampered line (key swapped onto another verdict, edited
+//    detection payload, wrong campaign hash pasted in) fails validation and
+//    is dropped at load, counted in rejected();
+//  - a hit replays exactly like a journal resume — recorded verdict plus
+//    recorded generator feedback — so warm- and cold-cache campaigns produce
+//    equal CampaignResults (the controller commits hits in dispatch order
+//    like everything else).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snake/backend.h"
+#include "snake/journal.h"
+
+namespace snake::dist {
+
+class ResultCache {
+ public:
+  /// In-memory cache (tests, or campaigns that only want intra-run reuse).
+  ResultCache() = default;
+
+  /// File-backed cache: load() reads `path` if it exists; every store()
+  /// appends one line to it (crash-atomic: a torn final line is skipped on
+  /// the next load like a torn journal tail).
+  explicit ResultCache(std::string path) : path_(std::move(path)) {}
+
+  /// Loads the backing file. Missing file = empty cache, returns true.
+  /// Unreadable file returns false. Invalid lines are dropped, not fatal.
+  bool load();
+
+  /// Parses cache lines from text (exposed for tests; load() uses it).
+  void ingest(std::string_view text);
+
+  /// Entries that survived validation.
+  std::size_t size() const { return entries_.size(); }
+  /// Lines dropped for failing parse or checksum validation.
+  std::uint64_t rejected() const { return rejected_; }
+
+  /// The core::TrialCache the controller plugs in: lookups and stores are
+  /// scoped to one campaign identity. The view borrows the cache; one view
+  /// at a time per cache (the controller is single-threaded about it).
+  class View : public core::TrialCache {
+   public:
+    View(ResultCache& cache, std::uint64_t identity) : cache_(&cache), identity_(identity) {}
+    const core::TrialRecord* lookup(const std::string& key) override;
+    void store(const core::TrialRecord& record) override;
+
+   private:
+    ResultCache* cache_;
+    std::uint64_t identity_;
+  };
+
+  View view(std::uint64_t identity_hash) { return View(*this, identity_hash); }
+
+  /// Renders one cache line (newline-terminated) for an entry; exposed so
+  /// tests can construct well-formed and tampered lines.
+  static std::string encode_line(std::uint64_t identity, const core::TrialRecord& record);
+
+ private:
+  friend class View;
+
+  const core::TrialRecord* find(std::uint64_t identity, const std::string& key) const;
+  void put(std::uint64_t identity, const core::TrialRecord& record);
+
+  std::string path_;  ///< "" = memory-only
+  std::map<std::pair<std::uint64_t, std::string>, core::TrialRecord> entries_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace snake::dist

@@ -1,0 +1,15 @@
+// Standalone distributed-campaign worker. Usually workers are the
+// coordinator's own executable re-entered via maybe_run_worker(); this
+// binary exists for fleets that want a dedicated worker image
+// (DistOptions::worker_exe).
+#include <cstdio>
+
+#include "dist/worker.h"
+
+int main(int argc, char** argv) {
+  if (auto code = snake::dist::maybe_run_worker(argc, argv)) return *code;
+  std::fprintf(stderr,
+               "snake_worker: campaign worker process; spawned by a SNAKE\n"
+               "coordinator as: snake_worker --snake-worker-child <fd>\n");
+  return 64;
+}

@@ -1,0 +1,543 @@
+#include "dist/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "tcp/profile.h"
+
+namespace snake::dist {
+
+// ---------------------------------------------------------------- framing
+
+Channel::~Channel() { close(); }
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Channel::send_frame(std::string_view payload) {
+  if (!alive() || payload.size() > kMaxFrameBytes) return false;
+  unsigned char prefix[4];
+  std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  prefix[0] = static_cast<unsigned char>(n & 0xff);
+  prefix[1] = static_cast<unsigned char>((n >> 8) & 0xff);
+  prefix[2] = static_cast<unsigned char>((n >> 16) & 0xff);
+  prefix[3] = static_cast<unsigned char>((n >> 24) & 0xff);
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  frame.append(reinterpret_cast<const char*>(prefix), 4);
+  frame.append(payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not a process-killing
+    // SIGPIPE (worker death is an expected, handled event).
+    ssize_t wrote = ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      broken_ = true;
+      return false;
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool Channel::pump() {
+  if (!alive()) return false;
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t got = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
+    if (got > 0) {
+      rx_.append(buf, static_cast<std::size_t>(got));
+      if (static_cast<std::size_t>(got) < sizeof buf) return true;
+      continue;
+    }
+    if (got == 0) {
+      broken_ = true;  // orderly EOF: peer exited
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    broken_ = true;
+    return false;
+  }
+}
+
+std::optional<std::string> Channel::pop_frame() {
+  if (rx_.size() < 4) return std::nullopt;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(rx_.data());
+  std::uint32_t n = static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+                    (static_cast<std::uint32_t>(p[2]) << 16) |
+                    (static_cast<std::uint32_t>(p[3]) << 24);
+  if (n > kMaxFrameBytes) {
+    broken_ = true;  // corrupted prefix; nothing downstream is trustworthy
+    return std::nullopt;
+  }
+  if (rx_.size() < 4 + static_cast<std::size_t>(n)) return std::nullopt;
+  std::string payload = rx_.substr(4, n);
+  rx_.erase(0, 4 + static_cast<std::size_t>(n));
+  return payload;
+}
+
+std::optional<std::string> Channel::recv_frame(int timeout_ms) {
+  while (true) {
+    if (auto frame = pop_frame(); frame.has_value()) return frame;
+    if (!alive()) return std::nullopt;
+    struct pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      broken_ = true;
+      return std::nullopt;
+    }
+    if (rc == 0) return std::nullopt;  // timeout
+    if (!pump() && rx_.size() < 4) return std::nullopt;
+  }
+}
+
+// --------------------------------------------------------------- messages
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kCampaign: return "campaign";
+    case MsgType::kReady: return "ready";
+    case MsgType::kTrials: return "trials";
+    case MsgType::kResult: return "result";
+    case MsgType::kSteal: return "steal";
+    case MsgType::kStolen: return "stolen";
+    case MsgType::kFeedback: return "feedback";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kBye: return "bye";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<MsgType> type_from_string(const std::string& s) {
+  if (s == "hello") return MsgType::kHello;
+  if (s == "campaign") return MsgType::kCampaign;
+  if (s == "ready") return MsgType::kReady;
+  if (s == "trials") return MsgType::kTrials;
+  if (s == "result") return MsgType::kResult;
+  if (s == "steal") return MsgType::kSteal;
+  if (s == "stolen") return MsgType::kStolen;
+  if (s == "feedback") return MsgType::kFeedback;
+  if (s == "heartbeat") return MsgType::kHeartbeat;
+  if (s == "shutdown") return MsgType::kShutdown;
+  if (s == "bye") return MsgType::kBye;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> u64_of(const obs::JsonValue& v) {
+  if (!v.is_number()) return std::nullopt;
+  double d = v.num_v;
+  if (!(d >= 0.0) || d >= 18446744073709551616.0) return std::nullopt;
+  return static_cast<std::uint64_t>(d);
+}
+
+std::uint64_t u64_field(const obs::JsonValue& obj, const char* key,
+                        std::uint64_t fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  return u64_of(*v).value_or(fallback);
+}
+
+double num_field(const obs::JsonValue& obj, const char* key, double fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr ? v->number_or(fallback) : fallback;
+}
+
+std::string str_field(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->str_v : std::string();
+}
+
+bool bool_field(const obs::JsonValue& obj, const char* key, bool fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_bool() ? v->bool_v : fallback;
+}
+
+std::int64_t i64_field(const obs::JsonValue& obj, const char* key, std::int64_t fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  double d = v->num_v;
+  if (!(d >= -9223372036854775808.0) || d >= 9223372036854775808.0) return fallback;
+  return static_cast<std::int64_t>(d);
+}
+
+void write_scenario(obs::JsonWriter& w, const core::ScenarioConfig& s) {
+  w.begin_object();
+  w.key("protocol").value(core::to_string(s.protocol));
+  w.key("tcp_profile").value(s.tcp_profile.name);
+  w.key("test_duration_ns").value(s.test_duration.ns());
+  w.key("download_bytes").value(s.download_bytes);
+  w.key("client1_exit_fraction").value(s.client1_exit_fraction);
+  w.key("dccp_offer_rate_pps").value(s.dccp_offer_rate_pps);
+  w.key("dccp_payload_bytes").value(static_cast<std::uint64_t>(s.dccp_payload_bytes));
+  w.key("dccp_data_fraction").value(s.dccp_data_fraction);
+  w.key("dccp_tx_queue_packets").value(static_cast<std::uint64_t>(s.dccp_tx_queue_packets));
+  w.key("dccp_ccid").value(s.dccp_ccid);
+  w.key("seed").value(s.seed);
+  w.key("event_budget").value(s.event_budget);
+  w.key("wall_limit_seconds").value(s.wall_limit_seconds);
+  w.key("topology").begin_object();
+  w.key("access_rate_bps").value(s.topology.access_rate_bps);
+  w.key("access_delay_ns").value(s.topology.access_delay.ns());
+  w.key("access_queue_packets").value(static_cast<std::uint64_t>(s.topology.access_queue_packets));
+  w.key("bottleneck_rate_bps").value(s.topology.bottleneck_rate_bps);
+  w.key("bottleneck_delay_ns").value(s.topology.bottleneck_delay.ns());
+  w.key("bottleneck_queue_packets")
+      .value(static_cast<std::uint64_t>(s.topology.bottleneck_queue_packets));
+  w.key("bottleneck_drop_policy")
+      .value(static_cast<std::uint64_t>(s.topology.bottleneck_drop_policy));
+  w.end_object();
+  w.end_object();
+}
+
+std::optional<core::ScenarioConfig> parse_scenario(const obs::JsonValue& v) {
+  if (!v.is_object()) return std::nullopt;
+  core::ScenarioConfig s;
+  const std::string proto = str_field(v, "protocol");
+  if (proto == "tcp") {
+    s.protocol = core::Protocol::kTcp;
+  } else if (proto == "dccp") {
+    s.protocol = core::Protocol::kDccp;
+  } else {
+    return std::nullopt;
+  }
+  const std::string profile_name = str_field(v, "tcp_profile");
+  bool profile_found = false;
+  for (const tcp::TcpProfile& p : tcp::all_tcp_profiles()) {
+    if (p.name == profile_name) {
+      s.tcp_profile = p;
+      profile_found = true;
+      break;
+    }
+  }
+  // An unknown profile name cannot be reconstructed; running the default
+  // would silently test the wrong implementation. The ready-message baseline
+  // cross-check would catch it, but reject early and loudly instead.
+  if (!profile_found && s.protocol == core::Protocol::kTcp) return std::nullopt;
+  s.test_duration = Duration::nanos(i64_field(v, "test_duration_ns", 0));
+  s.download_bytes = u64_field(v, "download_bytes", s.download_bytes);
+  s.client1_exit_fraction = num_field(v, "client1_exit_fraction", s.client1_exit_fraction);
+  s.dccp_offer_rate_pps = num_field(v, "dccp_offer_rate_pps", s.dccp_offer_rate_pps);
+  s.dccp_payload_bytes =
+      static_cast<std::size_t>(u64_field(v, "dccp_payload_bytes", s.dccp_payload_bytes));
+  s.dccp_data_fraction = num_field(v, "dccp_data_fraction", s.dccp_data_fraction);
+  s.dccp_tx_queue_packets =
+      static_cast<std::size_t>(u64_field(v, "dccp_tx_queue_packets", s.dccp_tx_queue_packets));
+  s.dccp_ccid = static_cast<int>(i64_field(v, "dccp_ccid", s.dccp_ccid));
+  s.seed = u64_field(v, "seed", 1);
+  s.event_budget = u64_field(v, "event_budget", 0);
+  s.wall_limit_seconds = num_field(v, "wall_limit_seconds", 0.0);
+  const obs::JsonValue* topo = v.find("topology");
+  if (topo == nullptr || !topo->is_object()) return std::nullopt;
+  s.topology.access_rate_bps = num_field(*topo, "access_rate_bps", s.topology.access_rate_bps);
+  s.topology.access_delay = Duration::nanos(i64_field(*topo, "access_delay_ns", 0));
+  s.topology.access_queue_packets = static_cast<std::size_t>(
+      u64_field(*topo, "access_queue_packets", s.topology.access_queue_packets));
+  s.topology.bottleneck_rate_bps =
+      num_field(*topo, "bottleneck_rate_bps", s.topology.bottleneck_rate_bps);
+  s.topology.bottleneck_delay = Duration::nanos(i64_field(*topo, "bottleneck_delay_ns", 0));
+  s.topology.bottleneck_queue_packets = static_cast<std::size_t>(
+      u64_field(*topo, "bottleneck_queue_packets", s.topology.bottleneck_queue_packets));
+  s.topology.bottleneck_drop_policy =
+      static_cast<sim::DropPolicy>(u64_field(*topo, "bottleneck_drop_policy", 0));
+  return s;
+}
+
+std::string finish(obs::JsonWriter& w) { return w.take(); }
+
+obs::JsonWriter& begin(obs::JsonWriter& w, MsgType type) {
+  w.begin_object();
+  w.key("type").value(to_string(type));
+  return w;
+}
+
+}  // namespace
+
+std::string encode_hello() {
+  obs::JsonWriter w;
+  begin(w, MsgType::kHello);
+  w.key("version").value(kWireVersion);
+  w.key("pid").value(static_cast<std::int64_t>(::getpid()));
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_campaign(const WorkerCampaign& wc) {
+  obs::JsonWriter w;
+  begin(w, MsgType::kCampaign);
+  w.key("scenario");
+  write_scenario(w, wc.scenario);
+  w.key("detect_threshold").value(wc.detect_threshold);
+  w.key("trial_attempts").value(wc.trial_attempts);
+  w.key("retry_seed_offset").value(wc.retry_seed_offset);
+  w.key("retest_seed_offset").value(wc.retest_seed_offset);
+  w.key("collect_metrics").value(wc.collect_metrics);
+  w.key("identity_hash").value(wc.identity_hash);
+  w.key("worker_index").value(wc.worker_index);
+  w.key("journal_path").value(wc.journal_path);
+  w.key("heartbeat_interval_ms").value(wc.heartbeat_interval_ms);
+  w.key("selfcheck").value(wc.selfcheck);
+  w.key("exit_after_results").value(wc.exit_after_results);
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_ready(const core::RunMetrics& baseline,
+                         const core::RunMetrics& retest_baseline) {
+  obs::JsonWriter w;
+  begin(w, MsgType::kReady);
+  w.key("baseline");
+  core::write_json(w, baseline);
+  w.key("retest_baseline");
+  core::write_json(w, retest_baseline);
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_trials(const std::vector<WireTrial>& trials) {
+  obs::JsonWriter w;
+  begin(w, MsgType::kTrials);
+  w.key("trials").begin_array();
+  for (const WireTrial& t : trials) {
+    w.begin_object();
+    w.key("seq").value(t.seq);
+    w.key("strategy");
+    strategy::write_json(w, t.strat);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_result(std::uint64_t seq, const core::TrialRecord& record) {
+  obs::JsonWriter w;
+  begin(w, MsgType::kResult);
+  w.key("seq").value(seq);
+  w.key("record");
+  core::write_json(w, record);
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_steal(std::uint64_t count) {
+  obs::JsonWriter w;
+  begin(w, MsgType::kSteal);
+  w.key("count").value(count);
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_stolen(const std::vector<std::uint64_t>& seqs) {
+  obs::JsonWriter w;
+  begin(w, MsgType::kStolen);
+  w.key("seqs").begin_array();
+  for (std::uint64_t s : seqs) w.value(s);
+  w.end_array();
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_feedback(const std::vector<core::JournalObservation>& pairs) {
+  obs::JsonWriter w;
+  begin(w, MsgType::kFeedback);
+  w.key("pairs").begin_array();
+  for (const core::JournalObservation& p : pairs) {
+    w.begin_array();
+    w.value(p.state);
+    w.value(p.packet_type);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_heartbeat(std::uint64_t queued) {
+  obs::JsonWriter w;
+  begin(w, MsgType::kHeartbeat);
+  w.key("queued").value(queued);
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_shutdown() {
+  obs::JsonWriter w;
+  begin(w, MsgType::kShutdown);
+  w.end_object();
+  return finish(w);
+}
+
+std::string encode_bye(const std::string& metrics_json, std::uint64_t violations) {
+  obs::JsonWriter w;
+  begin(w, MsgType::kBye);
+  if (metrics_json.empty())
+    w.key("metrics").null_value();
+  else
+    w.key("metrics").raw(metrics_json);
+  w.key("selfcheck_violations").value(violations);
+  w.end_object();
+  return finish(w);
+}
+
+std::optional<Message> parse_message(std::string_view payload) {
+  std::optional<obs::JsonValue> doc = obs::parse_json(payload);
+  if (!doc.has_value() || !doc->is_object()) return std::nullopt;
+  auto type = type_from_string(str_field(*doc, "type"));
+  if (!type.has_value()) return std::nullopt;
+  Message m;
+  m.type = *type;
+  switch (m.type) {
+    case MsgType::kHello: {
+      const obs::JsonValue* v = doc->find("version");
+      if (v == nullptr) return std::nullopt;
+      auto ver = u64_of(*v);
+      if (!ver.has_value() || *ver > 0xffffffffull) return std::nullopt;
+      m.version = static_cast<std::uint32_t>(*ver);
+      m.pid = i64_field(*doc, "pid", 0);
+      break;
+    }
+    case MsgType::kCampaign: {
+      const obs::JsonValue* scenario = doc->find("scenario");
+      if (scenario == nullptr) return std::nullopt;
+      auto s = parse_scenario(*scenario);
+      if (!s.has_value()) return std::nullopt;
+      m.campaign.scenario = std::move(*s);
+      m.campaign.detect_threshold = num_field(*doc, "detect_threshold", 0.5);
+      m.campaign.trial_attempts =
+          static_cast<std::uint32_t>(u64_field(*doc, "trial_attempts", 2));
+      m.campaign.retry_seed_offset = u64_field(*doc, "retry_seed_offset", 7919);
+      m.campaign.retest_seed_offset = u64_field(*doc, "retest_seed_offset", 1000003);
+      m.campaign.collect_metrics = bool_field(*doc, "collect_metrics", true);
+      m.campaign.identity_hash = u64_field(*doc, "identity_hash", 0);
+      m.campaign.worker_index = static_cast<int>(i64_field(*doc, "worker_index", 0));
+      m.campaign.journal_path = str_field(*doc, "journal_path");
+      m.campaign.heartbeat_interval_ms =
+          static_cast<int>(i64_field(*doc, "heartbeat_interval_ms", 250));
+      m.campaign.selfcheck = bool_field(*doc, "selfcheck", false);
+      m.campaign.exit_after_results = u64_field(*doc, "exit_after_results", 0);
+      break;
+    }
+    case MsgType::kReady: {
+      const obs::JsonValue* baseline = doc->find("baseline");
+      const obs::JsonValue* retest = doc->find("retest_baseline");
+      if (baseline == nullptr || retest == nullptr) return std::nullopt;
+      auto b = core::run_metrics_from_json(*baseline);
+      auto r = core::run_metrics_from_json(*retest);
+      if (!b.has_value() || !r.has_value()) return std::nullopt;
+      m.baseline = std::move(*b);
+      m.retest_baseline = std::move(*r);
+      break;
+    }
+    case MsgType::kTrials: {
+      const obs::JsonValue* trials = doc->find("trials");
+      if (trials == nullptr || !trials->is_array()) return std::nullopt;
+      for (const obs::JsonValue& t : trials->array_v) {
+        if (!t.is_object()) return std::nullopt;
+        const obs::JsonValue* seq = t.find("seq");
+        const obs::JsonValue* strat = t.find("strategy");
+        if (seq == nullptr || strat == nullptr) return std::nullopt;
+        auto seq_v = u64_of(*seq);
+        auto strat_v = strategy::strategy_from_json(*strat);
+        if (!seq_v.has_value() || !strat_v.has_value()) return std::nullopt;
+        m.trials.push_back(WireTrial{*seq_v, std::move(*strat_v)});
+      }
+      break;
+    }
+    case MsgType::kResult: {
+      const obs::JsonValue* seq = doc->find("seq");
+      const obs::JsonValue* record = doc->find("record");
+      if (seq == nullptr || record == nullptr) return std::nullopt;
+      auto seq_v = u64_of(*seq);
+      auto rec = core::trial_record_from_json(*record);
+      if (!seq_v.has_value() || !rec.has_value()) return std::nullopt;
+      m.seq = *seq_v;
+      m.record = std::move(*rec);
+      break;
+    }
+    case MsgType::kSteal: {
+      const obs::JsonValue* count = doc->find("count");
+      if (count == nullptr) return std::nullopt;
+      auto c = u64_of(*count);
+      if (!c.has_value()) return std::nullopt;
+      m.steal_count = *c;
+      break;
+    }
+    case MsgType::kStolen: {
+      const obs::JsonValue* seqs = doc->find("seqs");
+      if (seqs == nullptr || !seqs->is_array()) return std::nullopt;
+      for (const obs::JsonValue& s : seqs->array_v) {
+        auto v = u64_of(s);
+        if (!v.has_value()) return std::nullopt;
+        m.seqs.push_back(*v);
+      }
+      break;
+    }
+    case MsgType::kFeedback: {
+      const obs::JsonValue* pairs = doc->find("pairs");
+      if (pairs == nullptr || !pairs->is_array()) return std::nullopt;
+      for (const obs::JsonValue& p : pairs->array_v) {
+        if (!p.is_array() || p.array_v.size() != 2 || !p.array_v[0].is_string() ||
+            !p.array_v[1].is_string())
+          return std::nullopt;
+        m.pairs.push_back(core::JournalObservation{p.array_v[0].str_v, p.array_v[1].str_v});
+      }
+      break;
+    }
+    case MsgType::kHeartbeat:
+      m.queued = u64_field(*doc, "queued", 0);
+      break;
+    case MsgType::kShutdown:
+      break;
+    case MsgType::kBye: {
+      const obs::JsonValue* metrics = doc->find("metrics");
+      if (metrics != nullptr && metrics->is_object()) {
+        // Keep the raw text for merge_from_json at the coordinator; re-render
+        // from the parsed value so the stored string is self-contained.
+        obs::JsonWriter w;
+        std::function<void(const obs::JsonValue&)> render = [&](const obs::JsonValue& v) {
+          switch (v.type) {
+            case obs::JsonValue::Type::kNull: w.null_value(); break;
+            case obs::JsonValue::Type::kBool: w.value(v.bool_v); break;
+            case obs::JsonValue::Type::kNumber: w.value(v.num_v); break;
+            case obs::JsonValue::Type::kString: w.value(v.str_v); break;
+            case obs::JsonValue::Type::kArray:
+              w.begin_array();
+              for (const obs::JsonValue& e : v.array_v) render(e);
+              w.end_array();
+              break;
+            case obs::JsonValue::Type::kObject:
+              w.begin_object();
+              for (const auto& [k, e] : v.object_v) {
+                w.key(k);
+                render(e);
+              }
+              w.end_object();
+              break;
+          }
+        };
+        render(*metrics);
+        m.metrics_json = w.take();
+      }
+      m.selfcheck_violations = u64_field(*doc, "selfcheck_violations", 0);
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace snake::dist

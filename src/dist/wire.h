@@ -1,0 +1,194 @@
+// Wire protocol for distributed campaigns (see DESIGN.md, "Distribution
+// architecture").
+//
+// Coordinator and workers talk over a SOCK_STREAM socketpair in
+// length-prefixed JSON frames: a 4-byte little-endian payload length
+// followed by one JSON document. JSON keeps every payload shared with the
+// journal / report / cache encodings (a TrialRecord travels the wire as the
+// exact journal line object), which is what makes the distributed campaign
+// bit-compatible with the single-process one; the length prefix makes
+// framing trivial and torn frames detectable.
+//
+// Message flow, coordinator's view ("C" = coordinator, "W" = worker):
+//   W->C hello      protocol version + pid (sent immediately after exec)
+//   C->W campaign   the full campaign wire form (WorkerCampaign)
+//   W->C ready      worker's own baseline RunMetrics — "an executor first
+//                   runs a non-attack test"; C verifies them byte-equal to
+//                   its own as a cross-process determinism guard
+//   C->W trials     a shard of numbered trials (dynamic sizing)
+//   W->C result     one finished TrialRecord, tagged with its seq
+//   C->W steal      give back up to N not-yet-started trials
+//   W->C stolen     the seqs handed back (reassigned to an idle worker)
+//   C->W feedback   newly covered (state, packet type) pairs, broadcast so
+//                   workers can prune already-known observations from
+//                   result payloads
+//   W->C heartbeat  liveness + queue depth (timeout => worker declared dead)
+//   C->W shutdown   campaign drained; worker answers bye and exits
+//   W->C bye        final metrics-registry snapshot + selfcheck tally
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "snake/controller.h"
+
+namespace snake::dist {
+
+/// Protocol version carried in hello; a mismatch aborts the handshake (the
+/// coordinator falls back to in-process execution rather than guessing).
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Frames larger than this are treated as a protocol violation (a corrupted
+/// length prefix would otherwise ask for gigabytes).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+// ---------------------------------------------------------------- framing
+
+/// One end of a coordinator<->worker socket. Owns the fd. Reads are
+/// buffered so a frame arriving in pieces across poll() wakeups is
+/// reassembled transparently; writes are blocking-complete.
+class Channel {
+ public:
+  explicit Channel(int fd) : fd_(fd) {}
+  ~Channel();
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  int fd() const { return fd_; }
+  bool alive() const { return fd_ >= 0 && !broken_; }
+
+  /// Sends one frame (length prefix + payload). Returns false when the peer
+  /// is gone (EPIPE/EBADF...); the channel is then marked broken.
+  bool send_frame(std::string_view payload);
+
+  /// Non-blocking: pulls whatever bytes the socket has into the buffer.
+  /// Returns false on EOF or a hard error (channel broken).
+  bool pump();
+
+  /// Pops the next complete frame from the buffer, if any. A frame whose
+  /// declared length exceeds kMaxFrameBytes breaks the channel.
+  std::optional<std::string> pop_frame();
+
+  /// Blocking receive: polls + pumps until one frame is available or
+  /// `timeout_ms` elapses (-1 = wait forever). nullopt on timeout or death.
+  std::optional<std::string> recv_frame(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  bool broken_ = false;
+  std::string rx_;
+};
+
+// --------------------------------------------------------------- messages
+
+enum class MsgType {
+  kHello,
+  kCampaign,
+  kReady,
+  kTrials,
+  kResult,
+  kSteal,
+  kStolen,
+  kFeedback,
+  kHeartbeat,
+  kShutdown,
+  kBye,
+};
+
+const char* to_string(MsgType type);
+
+/// Everything a worker needs to run trials for one campaign, plus the
+/// worker-specific options. The scenario travels field-by-field (TCP profile
+/// by name, durations as integer nanoseconds) so the worker reconstructs a
+/// config whose trials are bit-identical to the coordinator's. Pointers
+/// (metrics, faults, inspector, journal, resume, backend, cache) never
+/// cross the wire: metrics/inspector are worker-local, and a campaign with
+/// a fault plan refuses distribution outright (coordinator.cpp).
+struct WorkerCampaign {
+  core::ScenarioConfig scenario;  ///< pointer fields left null
+  double detect_threshold = 0.5;
+  std::uint32_t trial_attempts = 2;
+  std::uint64_t retry_seed_offset = 7919;
+  std::uint64_t retest_seed_offset = 1000003;
+  bool collect_metrics = true;
+
+  std::uint64_t identity_hash = 0;  ///< campaign_identity_hash, cross-checked
+  int worker_index = 0;
+  std::string journal_path;  ///< per-worker journal file ("" = none)
+  int heartbeat_interval_ms = 250;
+  bool selfcheck = false;  ///< attach the caller's oracle inspector (hooks)
+  /// Test-only fault: _exit(2) after this many results (0 = never). Drives
+  /// the kill-a-worker-mid-campaign resilience test without OS-level help.
+  std::uint64_t exit_after_results = 0;
+};
+
+struct WireTrial {
+  std::uint64_t seq = 0;
+  strategy::Strategy strat;
+};
+
+/// A decoded message. Only the fields for its type are meaningful.
+struct Message {
+  MsgType type = MsgType::kHeartbeat;
+
+  // hello
+  std::uint32_t version = 0;
+  std::int64_t pid = 0;
+
+  // campaign
+  WorkerCampaign campaign;
+
+  // ready (baselines; exact round-trip RunMetrics)
+  core::RunMetrics baseline;
+  core::RunMetrics retest_baseline;
+
+  // trials
+  std::vector<WireTrial> trials;
+
+  // result
+  std::uint64_t seq = 0;
+  core::TrialRecord record;
+
+  // steal
+  std::uint64_t steal_count = 0;
+
+  // stolen
+  std::vector<std::uint64_t> seqs;
+
+  // feedback
+  std::vector<core::JournalObservation> pairs;
+
+  // heartbeat
+  std::uint64_t queued = 0;
+
+  // bye
+  std::string metrics_json;  ///< registry snapshot ("" when metrics off)
+  std::uint64_t selfcheck_violations = 0;
+};
+
+// Encoders: one per message type, returning the frame payload (not framed).
+std::string encode_hello();
+std::string encode_campaign(const WorkerCampaign& wc);
+std::string encode_ready(const core::RunMetrics& baseline,
+                         const core::RunMetrics& retest_baseline);
+std::string encode_trials(const std::vector<WireTrial>& trials);
+std::string encode_result(std::uint64_t seq, const core::TrialRecord& record);
+std::string encode_steal(std::uint64_t count);
+std::string encode_stolen(const std::vector<std::uint64_t>& seqs);
+std::string encode_feedback(const std::vector<core::JournalObservation>& pairs);
+std::string encode_heartbeat(std::uint64_t queued);
+std::string encode_shutdown();
+std::string encode_bye(const std::string& metrics_json, std::uint64_t violations);
+
+/// Decodes one frame payload. nullopt on anything malformed — unknown type,
+/// missing field, bad strategy/record/metrics encoding. Decoding is
+/// hardened (fuzzed in tests/fuzz_test.cpp): no input may crash it.
+std::optional<Message> parse_message(std::string_view payload);
+
+}  // namespace snake::dist

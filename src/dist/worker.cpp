@@ -1,0 +1,263 @@
+#include "dist/worker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dist/wire.h"
+#include "obs/metrics.h"
+#include "snake/arena.h"
+#include "snake/trial_runner.h"
+
+namespace snake::dist {
+
+namespace {
+
+/// Serializes frame writes: the trial loop and the heartbeat thread share
+/// one channel (the worker process was exec'd fresh, so spawning a thread
+/// here is safe even under TSan's fork rules).
+class LockedSender {
+ public:
+  explicit LockedSender(Channel& ch) : ch_(&ch) {}
+  bool send(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ch_->send_frame(payload);
+  }
+
+ private:
+  Channel* ch_;
+  std::mutex mutex_;
+};
+
+core::CampaignConfig campaign_config_for(const WorkerCampaign& wc) {
+  core::CampaignConfig cc;
+  cc.scenario = wc.scenario;
+  cc.detect_threshold = wc.detect_threshold;
+  cc.trial_attempts = wc.trial_attempts;
+  cc.retry_seed_offset = wc.retry_seed_offset;
+  cc.retest_seed_offset = wc.retest_seed_offset;
+  cc.collect_metrics = wc.collect_metrics;
+  return cc;
+}
+
+void prune_observations(std::vector<core::JournalObservation>& obs,
+                        const std::set<std::pair<std::string, std::string>>& covered) {
+  std::erase_if(obs, [&](const core::JournalObservation& o) {
+    return covered.count({o.state, o.packet_type}) > 0;
+  });
+}
+
+}  // namespace
+
+int run_worker(int fd, const WorkerHooks& hooks) {
+  Channel ch(fd);
+  LockedSender sender(ch);
+  if (!sender.send(encode_hello())) return 1;
+
+  // Campaign assignment (generous timeout: the coordinator may be spawning
+  // and handshaking a whole fleet before it gets to us).
+  auto campaign_frame = ch.recv_frame(/*timeout_ms=*/60000);
+  if (!campaign_frame.has_value()) return 1;
+  auto campaign_msg = parse_message(*campaign_frame);
+  if (!campaign_msg.has_value() || campaign_msg->type != MsgType::kCampaign) return 1;
+  const WorkerCampaign wc = std::move(campaign_msg->campaign);
+
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* reg = wc.collect_metrics ? &registry : nullptr;
+
+  std::unique_ptr<core::RunInspector> inspector;
+  if (wc.selfcheck && hooks.make_inspector) inspector = hooks.make_inspector(wc.scenario);
+
+  // The worker's own non-attack baselines, computed exactly as the
+  // coordinator computes its pair (controller.cpp): same configs, same
+  // seeds, fresh arena. Shipping them back lets the coordinator verify
+  // byte-for-byte that this process simulates identically.
+  core::ScenarioConfig run_config = wc.scenario;
+  run_config.metrics = reg;
+  run_config.faults = nullptr;
+  run_config.inspector = inspector.get();
+  core::ScenarioConfig retest_config = run_config;
+  retest_config.seed += wc.retest_seed_offset;
+
+  core::ScenarioArena arena;
+  core::RunMetrics baseline = core::run_scenario(arena, run_config, std::nullopt);
+  core::RunMetrics retest_baseline = core::run_scenario(arena, retest_config, std::nullopt);
+  if (!sender.send(encode_ready(baseline, retest_baseline))) return 1;
+
+  // Per-worker journal: private file, so the multi-writer campaign journal
+  // is crash-atomic by construction (nobody interleaves; the coordinator
+  // merges with merge_journals).
+  std::FILE* journal_file = nullptr;
+  std::unique_ptr<core::TrialJournal> journal;
+  if (!wc.journal_path.empty()) {
+    journal_file = std::fopen(wc.journal_path.c_str(), "ab");
+    if (journal_file != nullptr) {
+      journal = std::make_unique<core::TrialJournal>([journal_file](std::string_view line) {
+        std::fwrite(line.data(), 1, line.size(), journal_file);
+        std::fflush(journal_file);
+      });
+      try {
+        journal->write_header(campaign_config_for(wc));
+      } catch (...) {
+        journal.reset();
+      }
+    }
+  }
+
+  core::TrialContext ctx;
+  ctx.run_template = &run_config;
+  ctx.retest_template = &retest_config;
+  ctx.baseline = &baseline;
+  ctx.retest_baseline = &retest_baseline;
+  ctx.format = &core::format_for_protocol(wc.scenario.protocol);
+  ctx.threshold = wc.detect_threshold;
+  ctx.max_attempts = wc.trial_attempts;
+  ctx.retry_seed_offset = wc.retry_seed_offset;
+
+  std::deque<WireTrial> queue;
+  std::mutex queue_mutex;  // heartbeat thread reads the depth
+  std::set<std::pair<std::string, std::string>> covered;
+  std::uint64_t results_sent = 0;
+  bool shutdown = false;
+  int exit_code = 0;
+
+  // Liveness heartbeats from a dedicated thread, so a multi-second trial
+  // does not read as a wedged worker to the coordinator.
+  std::atomic<bool> stop_heartbeat{false};
+  std::thread heartbeat([&] {
+    const auto interval = std::chrono::milliseconds(std::max(10, wc.heartbeat_interval_ms));
+    while (!stop_heartbeat.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(interval);
+      if (stop_heartbeat.load(std::memory_order_relaxed)) break;
+      std::uint64_t depth;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        depth = queue.size();
+      }
+      sender.send(encode_heartbeat(depth));
+    }
+  });
+
+  auto handle_message = [&](Message&& m) {
+    switch (m.type) {
+      case MsgType::kTrials: {
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        for (WireTrial& t : m.trials) queue.push_back(std::move(t));
+        break;
+      }
+      case MsgType::kSteal: {
+        // Hand back the *tail* — the shard's not-yet-started end — so local
+        // execution order for what remains is untouched.
+        std::vector<std::uint64_t> handed;
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        while (handed.size() < m.steal_count && queue.size() > 1) {
+          handed.push_back(queue.back().seq);
+          queue.pop_back();
+        }
+        sender.send(encode_stolen(handed));
+        break;
+      }
+      case MsgType::kFeedback:
+        for (core::JournalObservation& p : m.pairs)
+          covered.insert({std::move(p.state), std::move(p.packet_type)});
+        break;
+      case MsgType::kShutdown:
+        shutdown = true;
+        break;
+      default:
+        break;  // unexpected direction: ignore rather than die
+    }
+  };
+
+  while (!shutdown) {
+    // Drain everything the coordinator has sent, then run at most one trial
+    // before looking again — steals and feedback stay responsive even while
+    // a shard is queued. pop_frame() only parses buffered bytes, so pump
+    // first: anything that arrived while the last trial ran (a steal
+    // request, typically) must be seen *before* committing to the next
+    // trial, or a loaded worker would starve the rebalance path exactly
+    // when it matters.
+    ch.pump();
+    while (auto frame = ch.pop_frame()) {
+      auto m = parse_message(*frame);
+      if (m.has_value()) handle_message(std::move(*m));
+    }
+    if (shutdown) break;
+    if (!ch.alive()) {
+      exit_code = 1;  // coordinator died; nothing useful left to do
+      break;
+    }
+
+    bool have_trial = false;
+    WireTrial trial;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (!queue.empty()) {
+        trial = std::move(queue.front());
+        queue.pop_front();
+        have_trial = true;
+      }
+    }
+    if (!have_trial) {
+      // Idle: block for the next frame (or poll again on timeout).
+      if (auto frame = ch.recv_frame(wc.heartbeat_interval_ms)) {
+        auto m = parse_message(*frame);
+        if (m.has_value()) handle_message(std::move(*m));
+      }
+      continue;
+    }
+
+    core::TrialRecord record = core::execute_trial(arena, ctx, trial.strat, reg);
+    if (journal != nullptr) {
+      try {
+        journal->append(record);  // full record; pruning is wire-only
+      } catch (...) {
+      }
+    }
+    prune_observations(record.client_obs, covered);
+    prune_observations(record.server_obs, covered);
+    sender.send(encode_result(trial.seq, record));
+    ++results_sent;
+    if (wc.exit_after_results != 0 && results_sent >= wc.exit_after_results) {
+      // Test-only fault injection: die abruptly mid-campaign, exactly like a
+      // crashed worker (no bye, no flush of the channel, journal left as-is).
+      std::_Exit(2);
+    }
+  }
+
+  stop_heartbeat.store(true, std::memory_order_relaxed);
+  heartbeat.join();
+
+  if (exit_code == 0) {
+    std::uint64_t violations = 0;
+    if (inspector != nullptr && hooks.violations) violations = hooks.violations(*inspector);
+    std::string metrics_json = reg != nullptr ? reg->to_json() : std::string();
+    sender.send(encode_bye(metrics_json, violations));
+  }
+  if (journal_file != nullptr) std::fclose(journal_file);
+  return exit_code;
+}
+
+std::optional<int> maybe_run_worker(int argc, char** argv, const WorkerHooks& hooks) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--snake-worker-child") == 0) {
+      int fd = std::atoi(argv[i + 1]);
+      if (fd <= 2) return 1;  // refuse stdio / garbage
+      return run_worker(fd, hooks);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace snake::dist

@@ -165,6 +165,66 @@ std::string MetricsRegistry::to_json() const {
   return w.take();
 }
 
+bool MetricsRegistry::merge_from_json(const JsonValue& doc) {
+  if (!doc.is_object()) return false;
+  const JsonValue* counters = doc.find("counters");
+  const JsonValue* gauges = doc.find("gauges");
+  const JsonValue* histograms = doc.find("histograms");
+  if (counters == nullptr || !counters->is_object() || gauges == nullptr ||
+      !gauges->is_object() || histograms == nullptr || !histograms->is_object())
+    return false;
+
+  // Parse into a scratch registry first so a malformed histogram mid-way
+  // cannot leave this registry half-merged.
+  MetricsRegistry scratch;
+  for (const auto& [name, v] : counters->object_v) {
+    if (!v.is_number() || !(v.num_v >= 0.0) || v.num_v >= 18446744073709551616.0)
+      return false;
+    scratch.counter(name) = static_cast<std::uint64_t>(v.num_v);
+  }
+  for (const auto& [name, v] : gauges->object_v) {
+    if (!v.is_number()) return false;
+    scratch.gauge(name) = v.num_v;
+  }
+  for (const auto& [name, v] : histograms->object_v) {
+    if (!v.is_object()) return false;
+    const JsonValue* buckets = v.find("buckets");
+    if (buckets == nullptr || !buckets->is_array() || buckets->array_v.empty())
+      return false;
+    Histogram h;
+    for (std::size_t i = 0; i < buckets->array_v.size(); ++i) {
+      const JsonValue& bucket = buckets->array_v[i];
+      if (!bucket.is_object()) return false;
+      const JsonValue* le = bucket.find("le");
+      const JsonValue* n = bucket.find("count");
+      if (le == nullptr || n == nullptr || !n->is_number() || !(n->num_v >= 0.0))
+        return false;
+      const bool tail = i + 1 == buckets->array_v.size();
+      if (tail != le->is_null()) return false;  // exactly the last "le" is null
+      if (!tail) h.bounds.push_back(le->number_or(0.0));
+      h.counts.push_back(static_cast<std::uint64_t>(n->num_v));
+    }
+    const JsonValue* count = v.find("count");
+    const JsonValue* sum = v.find("sum");
+    if (count == nullptr || !count->is_number() || !(count->num_v >= 0.0) ||
+        sum == nullptr || !sum->is_number())
+      return false;
+    h.count = static_cast<std::uint64_t>(count->num_v);
+    h.sum = sum->num_v;
+    if (h.count > 0) {
+      const JsonValue* min = v.find("min");
+      const JsonValue* max = v.find("max");
+      if (min == nullptr || !min->is_number() || max == nullptr || !max->is_number())
+        return false;
+      h.min = min->num_v;
+      h.max = max->num_v;
+    }
+    scratch.histogram(name, h.bounds).merge_from(h);
+  }
+  merge_from(scratch);
+  return true;
+}
+
 double ScopedTimer::stop() {
   if (registry_ == nullptr) return 0.0;
   double elapsed =

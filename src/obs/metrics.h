@@ -31,6 +31,7 @@
 namespace snake::obs {
 
 class JsonWriter;
+struct JsonValue;
 
 /// Fixed-bucket histogram. `bounds` are ascending upper bounds; an implicit
 /// +inf bucket catches the tail, so `counts.size() == bounds.size() + 1`.
@@ -84,6 +85,14 @@ class MetricsRegistry {
   /// (every gauge in this system is a high-watermark), histograms add
   /// bucket-wise. Used to merge per-executor registries at campaign end.
   void merge_from(const MetricsRegistry& other);
+
+  /// Folds a parsed write_json() document in with merge_from() semantics —
+  /// the cross-process form used when worker processes ship their registry
+  /// snapshots to the coordinator (src/dist). Histogram bucket layouts are
+  /// reconstructed from the "le" bounds, so merged snapshots line up exactly
+  /// with in-process merges. Returns false (registry untouched) when the
+  /// document does not have write_json's shape.
+  bool merge_from_json(const JsonValue& doc);
 
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();

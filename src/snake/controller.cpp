@@ -1,37 +1,33 @@
 #include "snake/controller.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
+#include <map>
+#include <memory>
 #include <random>
 #include <set>
-#include <thread>
 
 #include "obs/json.h"
 #include "packet/dccp_format.h"
 #include "packet/tcp_format.h"
 #include "snake/arena.h"
+#include "snake/backend.h"
+#include "snake/trial_runner.h"
 #include "statemachine/protocol_specs.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace snake::core {
 
-namespace {
-
-const packet::HeaderFormat& format_for(Protocol protocol) {
+const packet::HeaderFormat& format_for_protocol(Protocol protocol) {
   return protocol == Protocol::kTcp ? packet::tcp_format() : packet::dccp_format();
 }
 
-const statemachine::StateMachine& machine_for(Protocol protocol) {
+const statemachine::StateMachine& machine_for_protocol(Protocol protocol) {
   return protocol == Protocol::kTcp ? statemachine::tcp_state_machine()
                                     : statemachine::dccp_state_machine();
 }
 
-/// Tallies *why* a run was flagged, using the same threshold detection used.
-/// The reason strings in Detection are for humans; these counters are the
-/// machine-readable aggregate.
 void count_detection_reasons(obs::MetricsRegistry* reg, const Detection& d,
                              double threshold) {
   if (reg == nullptr || !d.is_attack) return;
@@ -45,34 +41,7 @@ void count_detection_reasons(obs::MetricsRegistry* reg, const Detection& d,
   if (d.resource_exhaustion) ++reg->counter("campaign.reason.resource_exhaustion");
 }
 
-void write_detection_json(obs::JsonWriter& w, const Detection& d) {
-  w.begin_object();
-  w.key("is_attack").value(d.is_attack);
-  w.key("target_ratio").value(d.target_ratio);
-  w.key("competing_ratio").value(d.competing_ratio);
-  w.key("resource_exhaustion").value(d.resource_exhaustion);
-  w.key("reasons").begin_array();
-  for (const std::string& r : d.reasons) w.value(r);
-  w.end_array();
-  w.end_object();
-}
-
-/// Converts a run's raw observation stream into the journaled form: the
-/// deduplicated (state, packet type) *send* pairs in first-occurrence order.
-/// This is exactly the subset StrategyGenerator::on_observations consumes
-/// (it ignores receive-events and dedups via its covered set), so replaying
-/// these pairs on resume reproduces the generator's output verbatim.
-std::vector<JournalObservation> journal_observations(
-    const std::vector<statemachine::EndpointTracker::Observation>& obs) {
-  std::vector<JournalObservation> out;
-  std::set<std::pair<std::string, std::string>> seen;
-  for (const auto& o : obs) {
-    if (o.direction != statemachine::TriggerKind::kSend) continue;
-    if (!seen.emplace(o.state, o.packet_type).second) continue;
-    out.push_back(JournalObservation{o.state, o.packet_type});
-  }
-  return out;
-}
+namespace {
 
 const TrialRecord* find_record(const JournalSnapshot& snapshot, const std::string& key) {
   auto it = snapshot.trials.find(key);
@@ -91,6 +60,24 @@ void write_baseline_json(obs::JsonWriter& w, const RunMetrics& m) {
   w.key("server2_stuck_sockets").value(static_cast<std::uint64_t>(m.server2_stuck_sockets));
   w.end_object();
 }
+
+/// Rebuilds the tracker-observation form on_observations consumes from the
+/// journaled (state, packet type) send-pairs. The generator ignores
+/// receive-events and dedups internally, so feeding the deduplicated list —
+/// whether the trial ran live, was replayed from a journal or cache, or
+/// crossed a process boundary — reproduces its output verbatim.
+std::vector<statemachine::EndpointTracker::Observation> feedback_observations(
+    const std::vector<JournalObservation>& pairs) {
+  std::vector<statemachine::EndpointTracker::Observation> out;
+  out.reserve(pairs.size());
+  for (const JournalObservation& o : pairs)
+    out.push_back({o.state, o.packet_type, statemachine::TriggerKind::kSend});
+  return out;
+}
+
+/// Where a committed trial record came from; decides which tallies move and
+/// whether the record is journaled/cached.
+enum class TrialSource { kLive, kResume, kCache };
 
 }  // namespace
 
@@ -137,7 +124,7 @@ void CampaignResult::write_json(obs::JsonWriter& w) const {
     w.key("class").value(to_string(o.cls));
     w.key("signature").value(o.signature);
     w.key("detection");
-    write_detection_json(w, o.detection);
+    core::write_json(w, o.detection);
     w.end_object();
   }
   w.end_array();
@@ -156,7 +143,7 @@ void CampaignResult::write_json(obs::JsonWriter& w) const {
     w.key("best_single_score").value(c.best_single_score);
     w.key("stronger_than_parts").value(c.stronger_than_parts);
     w.key("detection");
-    write_detection_json(w, c.detection);
+    core::write_json(w, c.detection);
     w.end_object();
   }
   w.end_array();
@@ -180,17 +167,20 @@ void CampaignResult::write_json(obs::JsonWriter& w) const {
   }
   w.end_array();
   w.end_object();
+  w.key("cache").begin_object();
+  w.key("hits").value(cache_hits);
+  w.key("stores").value(cache_stores);
+  w.end_object();
   w.key("metrics");
   metrics.write_json(w);
   w.end_object();
 }
 
 CampaignResult run_campaign(const CampaignConfig& config) {
-  const packet::HeaderFormat& format = format_for(config.scenario.protocol);
-  const statemachine::StateMachine& machine = machine_for(config.scenario.protocol);
+  const packet::HeaderFormat& format = format_for_protocol(config.scenario.protocol);
+  const statemachine::StateMachine& machine = machine_for_protocol(config.scenario.protocol);
   strategy::StrategyGenerator generator(format, machine, config.generator);
   const double threshold = config.detect_threshold;
-  const int n = std::max(1, config.executors);
 
   CampaignResult result;
   result.protocol = config.scenario.protocol;
@@ -198,11 +188,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                               ? config.scenario.tcp_profile.name
                               : "linux-3.13";
 
-  // Per-executor registries plus one for the main thread (baselines and the
-  // combination phase); merged into result.metrics at the end so the sim
-  // hot path never shares a metrics slot across threads.
+  // The coordinator's registry (baselines, commit path, combination phase);
+  // backends keep per-executor registries and fold them in at finish(), so
+  // the sim hot path never shares a metrics slot across threads.
   obs::MetricsRegistry main_registry;
-  std::vector<obs::MetricsRegistry> executor_registries(static_cast<std::size_t>(n));
   obs::MetricsRegistry* main_reg = config.collect_metrics ? &main_registry : nullptr;
 
   // Resume: an incompatible snapshot (different protocol / implementation /
@@ -230,8 +219,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   base_scenario.faults = nullptr;
   ScenarioConfig retest_scenario = base_scenario;
   retest_scenario.seed += config.retest_seed_offset;
-  // The main thread's arena serves the baselines now and the combination
-  // phase later; each worker owns its own (arenas are single-threaded).
+  // The coordinator's arena serves the baselines now and the combination
+  // phase later; each executor owns its own (arenas are single-threaded).
   ScenarioArena main_arena;
   RunMetrics baseline;
   RunMetrics retest_baseline;
@@ -243,14 +232,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.baseline = baseline;
 
   // Work queue, fed up front with every off-path strategy and incrementally
-  // with (type, state) strategies from observed traffic.
-  std::mutex mutex;
-  std::condition_variable cv;
+  // with (type, state) strategies committed from trial feedback. Only the
+  // coordinating thread touches it.
   std::deque<strategy::Strategy> queue;
   std::uint64_t queued_total = 0;
-  std::uint64_t started = 0;
-  std::uint64_t completed = 0;
-  int active = 0;
 
   // Batches are shuffled (deterministically) before queueing so a capped
   // campaign samples across attack categories instead of exhausting the
@@ -264,232 +249,184 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     }
   };
 
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    // Malicious-client strategies from the baseline's observations first,
-    // then the full off-path sweep.
-    enqueue(generator.on_observations(baseline.client_observations,
-                                      baseline.server_observations));
-    enqueue(generator.off_path_strategies());
+  // Malicious-client strategies from the baseline's observations first,
+  // then the full off-path sweep.
+  enqueue(generator.on_observations(baseline.client_observations,
+                                    baseline.server_observations));
+  enqueue(generator.off_path_strategies());
+
+  // Trial backend: the caller's (worker processes, say), falling back to the
+  // in-process pool when absent or failing to start.
+  std::unique_ptr<ThreadBackend> local_backend;
+  TrialBackend* backend = config.backend;
+  if (backend == nullptr || !backend->start(config, baseline, retest_baseline)) {
+    if (backend != nullptr) {
+      backend->finish(nullptr);
+      if (main_reg != nullptr) ++main_reg->counter("campaign.backend_fallback");
+    }
+    local_backend = std::make_unique<ThreadBackend>(config.executors);
+    local_backend->start(config, baseline, retest_baseline);
+    backend = local_backend.get();
   }
 
-  auto worker = [&](obs::MetricsRegistry* reg) {
-    // Thread-private scenario configs pointing at this executor's registry,
-    // plus the executor's arena: network and stacks built once, reset
-    // between trials.
-    ScenarioArena arena;
-    ScenarioConfig run_config = config.scenario;
-    run_config.metrics = reg;
-    ScenarioConfig retest_config = run_config;
-    retest_config.seed += config.retest_seed_offset;
-    const std::uint32_t max_attempts = std::max<std::uint32_t>(1, config.trial_attempts);
+  // ---- The deterministic dispatch/commit loop. Trials are numbered in
+  // dispatch order and committed strictly in that order, whatever order the
+  // backend finishes them in: generator feedback, the queue-shuffling RNG,
+  // journal appends and result accumulation all observe the same sequence a
+  // one-executor campaign would, so the outcome is a pure function of the
+  // seed for every backend and executor count.
+  struct Pending {
+    TrialRecord record;
+    strategy::Strategy strat;
+    TrialSource source = TrialSource::kLive;
+  };
+  std::map<std::uint64_t, Pending> pending;               // finished, awaiting commit
+  std::map<std::uint64_t, strategy::Strategy> in_flight;  // submitted to the backend
+  std::uint64_t dispatched = 0;
+  std::uint64_t committed = 0;
+  // Send-pairs already fed back, so the backend broadcast carries each
+  // newly covered pair once.
+  std::set<std::pair<std::string, std::string>> covered_pairs;
 
-    while (true) {
-      strategy::Strategy strat;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        cv.wait(lock, [&] { return !queue.empty() || active == 0; });
-        if (queue.empty()) {
-          if (active == 0) return;
-          continue;
-        }
-        if (config.max_strategies != 0 && started >= config.max_strategies) {
-          queue.clear();
-          if (active == 0) {
-            cv.notify_all();
-            return;
-          }
-          continue;
-        }
-        strat = std::move(queue.front());
-        queue.pop_front();
-        ++started;
-        ++active;
+  auto dispatch_one = [&]() {
+    strategy::Strategy strat = std::move(queue.front());
+    queue.pop_front();
+    const std::uint64_t seq = dispatched++;
+    const std::string key = strategy::canonical_key(strat);
+
+    if (const TrialRecord* prior = resume != nullptr ? find_record(*resume, key) : nullptr;
+        prior != nullptr) {
+      // Resume fast path: replay the journaled outcome — detection payload,
+      // failure tallies, and the generator feedback — without running the
+      // simulation.
+      if (main_reg != nullptr) ++main_reg->counter("campaign.resume_skipped");
+      pending.emplace(seq, Pending{*prior, std::move(strat), TrialSource::kResume});
+      return;
+    }
+    if (config.cache != nullptr) {
+      if (const TrialRecord* hit = config.cache->lookup(key); hit != nullptr) {
+        // Cross-campaign cache hit: same replay discipline as resume.
+        if (main_reg != nullptr) ++main_reg->counter("campaign.cache_hits");
+        pending.emplace(seq, Pending{*hit, std::move(strat), TrialSource::kCache});
+        return;
       }
+    }
+    TrialTask task;
+    task.seq = seq;
+    task.strat = strat;
+    in_flight.emplace(seq, std::move(strat));
+    backend->submit(std::move(task));
+  };
 
-      TrialRecord record;
-      record.key = strategy::canonical_key(strat);
-      std::optional<StrategyOutcome> outcome;
-      // Feedback fed to the generator when the trial completed: the
-      // successful attempt's observations, or the journaled copy on replay.
-      std::vector<statemachine::EndpointTracker::Observation> feedback_client;
-      std::vector<statemachine::EndpointTracker::Observation> feedback_server;
+  auto commit_one = [&](Pending p) {
+    TrialRecord& record = p.record;
+    result.trials_aborted += record.aborted_attempts;
+    result.trials_errored += record.errored_attempts;
+    result.trials_retried += record.attempts - 1;
+    if (p.source == TrialSource::kResume) ++result.resume_skipped;
+    if (p.source == TrialSource::kCache) ++result.cache_hits;
 
-      const TrialRecord* prior =
-          resume != nullptr ? find_record(*resume, record.key) : nullptr;
-      if (prior != nullptr) {
-        // Resume fast path: replay the journaled outcome — detection payload,
-        // failure tallies, and the generator feedback — without running the
-        // simulation. The replayed feedback keeps the incremental strategy
-        // generation (and the queue-shuffling RNG) walking the same sequence
-        // the uninterrupted campaign walked.
-        if (reg != nullptr) ++reg->counter("campaign.resume_skipped");
-        record = *prior;
-        feedback_client.reserve(record.client_obs.size());
-        for (const JournalObservation& o : record.client_obs)
-          feedback_client.push_back(
-              {o.state, o.packet_type, statemachine::TriggerKind::kSend});
-        feedback_server.reserve(record.server_obs.size());
-        for (const JournalObservation& o : record.server_obs)
-          feedback_server.push_back(
-              {o.state, o.packet_type, statemachine::TriggerKind::kSend});
-      } else {
-        // Live trial, guarded: a watchdog abort or an exception fails the
-        // attempt instead of wedging or killing the executor; failed
-        // attempts retry once (by default) under a perturbed seed.
-        obs::ScopedTimer strategy_timer(reg, "campaign.strategy_seconds");
-        RunMetrics run;
-        bool trial_completed = false;
-        TrialVerdict fail_verdict = TrialVerdict::kErrored;
-        std::uint32_t attempts_used = 0;
-        for (std::uint32_t attempt = 0; attempt < max_attempts && !trial_completed;
-             ++attempt) {
-          attempts_used = attempt + 1;
-          if (attempt > 0 && reg != nullptr) ++reg->counter("campaign.trials_retried");
-          // The retry seed is a pure function of the retry index so results
-          // stay reproducible; the fault key/attempt let seed-driven fault
-          // rules target specific strategies and model transient failures.
-          ScenarioConfig attempt_config = run_config;
-          attempt_config.seed += attempt * config.retry_seed_offset;
-          attempt_config.fault_key = strat.id;
-          attempt_config.fault_attempt = attempt;
-          ScenarioConfig attempt_retest = retest_config;
-          attempt_retest.seed += attempt * config.retry_seed_offset;
-          attempt_retest.fault_key = strat.id;
-          attempt_retest.fault_attempt = attempt;
-          try {
-            run = run_scenario(arena, attempt_config, strat);
-            if (run.aborted) {
-              fail_verdict = TrialVerdict::kAborted;
-              record.failure_reason = run.abort_reason;
-              ++record.aborted_attempts;
-              if (reg != nullptr) ++reg->counter("campaign.trials_aborted");
-              continue;
-            }
-            Detection first = detect(baseline, run, threshold);
-            count_detection_reasons(reg, first, threshold);
-            if (first.is_attack) {
-              if (reg != nullptr) ++reg->counter("campaign.detected_first_pass");
-              // Repeatability check under a different seed.
-              obs::ScopedTimer retest_timer(reg, "campaign.retest_seconds");
-              RunMetrics again = run_scenario(arena, attempt_retest, strat);
-              if (again.aborted) {
-                fail_verdict = TrialVerdict::kAborted;
-                record.failure_reason = again.abort_reason;
-                ++record.aborted_attempts;
-                if (reg != nullptr) ++reg->counter("campaign.trials_aborted");
-                continue;
-              }
-              Detection second = detect(retest_baseline, again, threshold);
-              if (second.is_attack) {
-                if (reg != nullptr) ++reg->counter("campaign.retest_confirmed");
-                record.found = true;
-                record.detection = first;
-                record.cls = classify(strat, format, first, run);
-                record.signature = attack_signature(strat, format, first, run, threshold);
-              } else if (reg != nullptr) {
-                ++reg->counter("campaign.retest_rejected");
-              }
-            }
-            trial_completed = true;
-          } catch (const std::exception& e) {
-            fail_verdict = TrialVerdict::kErrored;
-            record.failure_reason = e.what();
-            ++record.errored_attempts;
-            if (reg != nullptr) ++reg->counter("campaign.trials_errored");
-          } catch (...) {
-            fail_verdict = TrialVerdict::kErrored;
-            record.failure_reason = "unknown exception";
-            ++record.errored_attempts;
-            if (reg != nullptr) ++reg->counter("campaign.trials_errored");
-          }
-        }
-        record.attempts = attempts_used;
-        if (trial_completed) {
-          record.verdict = TrialVerdict::kCompleted;
-          record.client_obs = journal_observations(run.client_observations);
-          record.server_obs = journal_observations(run.server_observations);
-          feedback_client = std::move(run.client_observations);
-          feedback_server = std::move(run.server_observations);
-        } else {
-          // Every attempt failed: quarantine. Partial observations from an
-          // aborted run would poison the deterministic feedback loop, so a
-          // quarantined trial contributes none.
-          record.verdict = fail_verdict;
-          if (reg != nullptr) ++reg->counter("campaign.strategies_quarantined");
-        }
-        strategy_timer.stop();
+    // Checkpoint (resume replays are already in this journal). Best-effort:
+    // the results matter, the checkpoint does not.
+    if (p.source != TrialSource::kResume && config.journal != nullptr) {
+      try {
+        config.journal->append(record);
+      } catch (...) {
+        ++result.journal_errors;
+        if (main_reg != nullptr) ++main_reg->counter("campaign.journal_errors");
       }
+    }
+    // Memoize fresh verdicts for future campaigns.
+    if (p.source == TrialSource::kLive && config.cache != nullptr) {
+      try {
+        config.cache->store(record);
+        ++result.cache_stores;
+        if (main_reg != nullptr) ++main_reg->counter("campaign.cache_stores");
+      } catch (...) {
+        if (main_reg != nullptr) ++main_reg->counter("campaign.cache_errors");
+      }
+    }
 
+    if (record.verdict == TrialVerdict::kCompleted) {
+      // Feedback: states/types observed during this run may unlock new
+      // (type, state) targets.
+      enqueue(generator.on_observations(feedback_observations(record.client_obs),
+                                        feedback_observations(record.server_obs)));
+      std::vector<JournalObservation> fresh;
+      for (const std::vector<JournalObservation>* o :
+           {&record.client_obs, &record.server_obs})
+        for (const JournalObservation& pair : *o)
+          if (covered_pairs.emplace(pair.state, pair.packet_type).second)
+            fresh.push_back(pair);
+      if (!fresh.empty()) backend->on_feedback(fresh);
       if (record.found) {
         StrategyOutcome o;
-        o.strat = strat;
+        o.strat = std::move(p.strat);
         o.detection = record.detection;
         o.cls = record.cls;
         o.signature = record.signature;
-        outcome = std::move(o);
+        result.found.push_back(std::move(o));
       }
-
-      // Checkpoint (live trials only — replayed ones are already in the
-      // journal). Best-effort: the results matter, the checkpoint does not.
-      bool journal_failed = false;
-      if (prior == nullptr && config.journal != nullptr) {
-        try {
-          config.journal->append(record);
-        } catch (...) {
-          journal_failed = true;
-          if (reg != nullptr) ++reg->counter("campaign.journal_errors");
-        }
-      }
-
-      // Commit under the lock, but snapshot the progress numbers and leave
-      // before invoking the user callback: a callback that blocks (or
-      // re-enters campaign-adjacent locks) must not stall the whole pool.
-      std::uint64_t progress_done = 0;
-      std::uint64_t progress_total = 0;
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        ++completed;
-        --active;
-        result.trials_aborted += record.aborted_attempts;
-        result.trials_errored += record.errored_attempts;
-        result.trials_retried += record.attempts - 1;
-        if (prior != nullptr) ++result.resume_skipped;
-        if (journal_failed) ++result.journal_errors;
-        if (record.verdict == TrialVerdict::kCompleted) {
-          // Feedback: states/types observed during this run may unlock new
-          // (type, state) targets.
-          enqueue(generator.on_observations(feedback_client, feedback_server));
-          if (outcome.has_value()) result.found.push_back(std::move(*outcome));
-        } else {
-          CampaignResult::Quarantined q;
-          q.strat = std::move(strat);
-          q.key = std::move(record.key);
-          q.verdict = record.verdict;
-          q.attempts = record.attempts;
-          q.reason = std::move(record.failure_reason);
-          result.quarantined.push_back(std::move(q));
-        }
-        progress_done = completed;
-        progress_total = queued_total;
-      }
-      cv.notify_all();
-      if (config.on_progress) config.on_progress(progress_done, progress_total);
+    } else {
+      CampaignResult::Quarantined q;
+      q.strat = std::move(p.strat);
+      q.key = std::move(record.key);
+      q.verdict = record.verdict;
+      q.attempts = record.attempts;
+      q.reason = std::move(record.failure_reason);
+      result.quarantined.push_back(std::move(q));
     }
+    ++committed;
+    if (config.on_progress) config.on_progress(committed, queued_total);
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
-    threads.emplace_back(worker, config.collect_metrics
-                                     ? &executor_registries[static_cast<std::size_t>(i)]
-                                     : nullptr);
-  for (auto& t : threads) t.join();
+  while (true) {
+    // Dispatch ahead while there is queue and backend capacity; replayed
+    // trials (resume/cache) go straight to the commit buffer.
+    while (!queue.empty() && in_flight.size() < backend->capacity()) {
+      if (config.max_strategies != 0 && dispatched >= config.max_strategies) {
+        queue.clear();
+        break;
+      }
+      dispatch_one();
+    }
+    if (config.max_strategies != 0 && dispatched >= config.max_strategies) queue.clear();
 
-  result.strategies_tried = started;
+    // Commit everything contiguous from the committed watermark.
+    bool committed_any = false;
+    while (true) {
+      auto it = pending.find(committed);
+      if (it == pending.end()) break;
+      Pending p = std::move(it->second);
+      pending.erase(it);
+      commit_one(std::move(p));
+      committed_any = true;
+    }
+    if (committed_any) continue;  // feedback may have refilled the queue
 
-  // Quarantine order depends on executor interleaving; sort by canonical key
-  // so reports and resumed-vs-uninterrupted comparisons are stable.
+    if (in_flight.empty()) {
+      if (queue.empty()) break;  // drained: every dispatched trial committed
+      continue;                  // more queue, capacity freed up
+    }
+    TrialOutcome out = backend->wait_outcome();
+    auto it = in_flight.find(out.seq);
+    if (it == in_flight.end()) {
+      // A backend must hand back exactly the seqs it was given; anything
+      // else (a confused worker resent a result) is dropped, not committed.
+      if (main_reg != nullptr) ++main_reg->counter("campaign.backend_bad_seq");
+      continue;
+    }
+    pending.emplace(out.seq, Pending{std::move(out.record), std::move(it->second),
+                                     TrialSource::kLive});
+    in_flight.erase(it);
+  }
+
+  backend->finish(config.collect_metrics ? &result.metrics : nullptr);
+  result.strategies_tried = dispatched;
+
+  // Quarantine commits happen in dispatch order already, but sort by
+  // canonical key so reports stay comparable with historic journals and
+  // independent of queue composition.
   std::sort(result.quarantined.begin(), result.quarantined.end(),
             [](const CampaignResult::Quarantined& a, const CampaignResult::Quarantined& b) {
               return a.key < b.key;
@@ -555,8 +492,6 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 
   if (config.collect_metrics) {
     result.metrics.merge_from(main_registry);
-    for (const obs::MetricsRegistry& reg : executor_registries)
-      result.metrics.merge_from(reg);
     result.metrics.counter("campaign.strategies_tried") += result.strategies_tried;
     result.metrics.gauge("campaign.detect_threshold") = threshold;
   }

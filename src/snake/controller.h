@@ -20,6 +20,9 @@
 
 namespace snake::core {
 
+class TrialBackend;
+class TrialCache;
+
 struct CampaignConfig {
   ScenarioConfig scenario;
   strategy::GeneratorConfig generator;
@@ -51,10 +54,11 @@ struct CampaignConfig {
   /// by the determinism test in observability_test.cpp).
   bool collect_metrics = true;
 
-  /// Progress callback (strategies completed, total queued so far). Invoked
-  /// from executor threads *without* any campaign lock held, so it may
-  /// block or call back into campaign-adjacent code without stalling or
-  /// deadlocking the pool; it must be thread-safe.
+  /// Progress callback (strategies committed, total queued so far). Invoked
+  /// from the coordinating thread, in commit order, with no campaign lock
+  /// held — both arguments are monotonically non-decreasing across calls
+  /// regardless of executor/worker interleaving (regression-tested in
+  /// dist_test.cpp). It may block without stalling the executor pool.
   std::function<void(std::uint64_t, std::uint64_t)> on_progress;
 
   // --- Resilience layer ----------------------------------------------------
@@ -79,6 +83,22 @@ struct CampaignConfig {
   /// result for equal seeds. Snapshots from an incompatible campaign
   /// identity are ignored (campaign.resume_incompatible).
   const JournalSnapshot* resume = nullptr;
+
+  // --- Distribution layer (see DESIGN.md, "Distribution architecture") -----
+  /// Optional trial-execution backend (not owned). Null runs the default
+  /// in-process thread pool (`executors` threads); dist::DistributedBackend
+  /// runs the same campaign across worker *processes*. Outcomes are
+  /// committed in dispatch order whatever the backend, so the result is a
+  /// pure function of the seed — a distributed campaign equals its
+  /// single-process twin bit for bit (enforced in dist_test.cpp). A backend
+  /// whose start() fails is abandoned for the in-process pool
+  /// (campaign.backend_fallback).
+  TrialBackend* backend = nullptr;
+  /// Optional cross-campaign result cache (not owned), pre-bound to this
+  /// campaign's identity hash (see dist::ResultCache). A hit skips the
+  /// simulation and replays the memoized record exactly like a journal
+  /// resume; cached and uncached campaigns produce equal results.
+  TrialCache* cache = nullptr;
 };
 
 /// Outcome of one successful (detected + repeatable) strategy.
@@ -130,6 +150,11 @@ struct CampaignResult {
   /// and its uninterrupted twin (which has 0).
   std::uint64_t resume_skipped = 0;
   std::uint64_t journal_errors = 0;  ///< journal appends that threw
+  /// Trials whose verdict was replayed from the cross-campaign result cache
+  /// instead of simulated (CampaignConfig::cache). Like resume_skipped, a
+  /// legitimate difference between warm- and cold-cache twins.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_stores = 0;  ///< fresh verdicts written to the cache
 
   /// A strategy excluded from results because every attempt failed.
   struct Quarantined {
@@ -168,5 +193,17 @@ CampaignResult run_campaign(const CampaignConfig& config);
 
 /// Renders the Table I header matching CampaignResult::summary_row.
 std::string table1_header();
+
+/// Shared protocol plumbing, used by the controller, the in-process trial
+/// runner and the distributed worker (src/dist) so every backend builds the
+/// campaign from identical pieces.
+const packet::HeaderFormat& format_for_protocol(Protocol protocol);
+const statemachine::StateMachine& machine_for_protocol(Protocol protocol);
+
+/// Tallies *why* a run was flagged, using the same threshold detection used.
+/// The reason strings in Detection are for humans; these counters are the
+/// machine-readable aggregate.
+void count_detection_reasons(obs::MetricsRegistry* reg, const Detection& d,
+                             double threshold);
 
 }  // namespace snake::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/json.h"
 #include "util/strings.h"
 
 namespace snake::core {
@@ -150,6 +151,37 @@ std::string attack_signature(const strategy::Strategy& s, const packet::HeaderFo
   sig += '=';
   sig += effect_class(s, detection, run, threshold);
   return sig;
+}
+
+void write_json(obs::JsonWriter& w, const Detection& d) {
+  w.begin_object();
+  w.key("is_attack").value(d.is_attack);
+  w.key("target_ratio").value(d.target_ratio);
+  w.key("competing_ratio").value(d.competing_ratio);
+  w.key("resource_exhaustion").value(d.resource_exhaustion);
+  w.key("reasons").begin_array();
+  for (const std::string& r : d.reasons) w.value(r);
+  w.end_array();
+  w.end_object();
+}
+
+Detection detection_from_json(const obs::JsonValue& v) {
+  Detection d;
+  if (!v.is_object()) return d;
+  if (const obs::JsonValue* f = v.find("is_attack"); f != nullptr && f->is_bool())
+    d.is_attack = f->bool_v;
+  if (const obs::JsonValue* f = v.find("target_ratio"); f != nullptr)
+    d.target_ratio = f->number_or(d.target_ratio);
+  if (const obs::JsonValue* f = v.find("competing_ratio"); f != nullptr)
+    d.competing_ratio = f->number_or(d.competing_ratio);
+  if (const obs::JsonValue* f = v.find("resource_exhaustion");
+      f != nullptr && f->is_bool())
+    d.resource_exhaustion = f->bool_v;
+  if (const obs::JsonValue* reasons = v.find("reasons");
+      reasons != nullptr && reasons->is_array())
+    for (const obs::JsonValue& r : reasons->array_v)
+      if (r.is_string()) d.reasons.push_back(r.str_v);
+  return d;
 }
 
 }  // namespace snake::core

@@ -76,7 +76,30 @@ double num_field(const obs::JsonValue& obj, const char* key, double fallback) {
   return v != nullptr ? v->number_or(fallback) : fallback;
 }
 
-std::optional<TrialRecord> parse_trial_line(const obs::JsonValue& doc) {
+}  // namespace
+
+void write_json(obs::JsonWriter& w, const TrialRecord& record) {
+  w.begin_object();
+  w.key("key").value(record.key);
+  w.key("verdict").value(to_string(record.verdict));
+  w.key("attempts").value(static_cast<std::uint64_t>(record.attempts));
+  w.key("aborted_attempts").value(static_cast<std::uint64_t>(record.aborted_attempts));
+  w.key("errored_attempts").value(static_cast<std::uint64_t>(record.errored_attempts));
+  w.key("reason").value(record.failure_reason);
+  w.key("found").value(record.found);
+  if (record.found) {
+    w.key("class").value(to_string(record.cls));
+    w.key("signature").value(record.signature);
+    w.key("detection");
+    write_json(w, record.detection);
+  }
+  write_observations(w, "client_obs", record.client_obs);
+  write_observations(w, "server_obs", record.server_obs);
+  w.end_object();
+}
+
+std::optional<TrialRecord> trial_record_from_json(const obs::JsonValue& doc) {
+  if (!doc.is_object()) return std::nullopt;
   TrialRecord rec;
   rec.key = str_field(doc, "key");
   if (rec.key.empty()) return std::nullopt;
@@ -95,13 +118,7 @@ std::optional<TrialRecord> parse_trial_line(const obs::JsonValue& doc) {
     rec.signature = str_field(doc, "signature");
     const obs::JsonValue* det = doc.find("detection");
     if (det == nullptr || !det->is_object()) return std::nullopt;
-    rec.detection.is_attack = bool_field(*det, "is_attack", false);
-    rec.detection.target_ratio = num_field(*det, "target_ratio", 1.0);
-    rec.detection.competing_ratio = num_field(*det, "competing_ratio", 1.0);
-    rec.detection.resource_exhaustion = bool_field(*det, "resource_exhaustion", false);
-    if (const obs::JsonValue* reasons = det->find("reasons"); reasons != nullptr)
-      for (const obs::JsonValue& r : reasons->array_v)
-        if (r.is_string()) rec.detection.reasons.push_back(r.str_v);
+    rec.detection = detection_from_json(*det);
   }
   if (const obs::JsonValue* c = doc.find("client_obs"); c != nullptr)
     rec.client_obs = read_observations(*c);
@@ -109,8 +126,6 @@ std::optional<TrialRecord> parse_trial_line(const obs::JsonValue& doc) {
     rec.server_obs = read_observations(*s);
   return rec;
 }
-
-}  // namespace
 
 const char* to_string(TrialVerdict verdict) {
   switch (verdict) {
@@ -142,30 +157,7 @@ void TrialJournal::write_header(const CampaignConfig& config) {
 
 void TrialJournal::append(const TrialRecord& record) {
   obs::JsonWriter w;
-  w.begin_object();
-  w.key("key").value(record.key);
-  w.key("verdict").value(to_string(record.verdict));
-  w.key("attempts").value(static_cast<std::uint64_t>(record.attempts));
-  w.key("aborted_attempts").value(static_cast<std::uint64_t>(record.aborted_attempts));
-  w.key("errored_attempts").value(static_cast<std::uint64_t>(record.errored_attempts));
-  w.key("reason").value(record.failure_reason);
-  w.key("found").value(record.found);
-  if (record.found) {
-    w.key("class").value(to_string(record.cls));
-    w.key("signature").value(record.signature);
-    w.key("detection").begin_object();
-    w.key("is_attack").value(record.detection.is_attack);
-    w.key("target_ratio").value(record.detection.target_ratio);
-    w.key("competing_ratio").value(record.detection.competing_ratio);
-    w.key("resource_exhaustion").value(record.detection.resource_exhaustion);
-    w.key("reasons").begin_array();
-    for (const std::string& r : record.detection.reasons) w.value(r);
-    w.end_array();
-    w.end_object();
-  }
-  write_observations(w, "client_obs", record.client_obs);
-  write_observations(w, "server_obs", record.server_obs);
-  w.end_object();
+  write_json(w, record);
   std::string line = w.take();
   line.push_back('\n');
   std::lock_guard<std::mutex> lock(mutex_);
@@ -213,7 +205,7 @@ std::optional<JournalSnapshot> load_journal(std::string_view text,
       have_header = true;
       continue;
     }
-    std::optional<TrialRecord> rec = parse_trial_line(*doc);
+    std::optional<TrialRecord> rec = trial_record_from_json(*doc);
     if (!rec.has_value()) {
       if (skipped_lines != nullptr) ++*skipped_lines;
       continue;
@@ -222,6 +214,85 @@ std::optional<JournalSnapshot> load_journal(std::string_view text,
   }
   if (!have_header) return std::nullopt;
   return snap;
+}
+
+std::optional<JournalSnapshot> merge_journals(const std::vector<std::string_view>& parts,
+                                              std::size_t* skipped_lines) {
+  if (skipped_lines != nullptr) *skipped_lines = 0;
+  std::optional<JournalSnapshot> merged;
+  for (std::string_view part : parts) {
+    std::size_t skipped = 0;
+    std::optional<JournalSnapshot> snap = load_journal(part, &skipped);
+    if (skipped_lines != nullptr) *skipped_lines += skipped;
+    if (!snap.has_value()) return std::nullopt;
+    if (!merged.has_value()) {
+      merged = std::move(snap);
+      continue;
+    }
+    const bool same_identity =
+        merged->protocol == snap->protocol &&
+        merged->implementation == snap->implementation && merged->seed == snap->seed &&
+        std::abs(merged->detect_threshold - snap->detect_threshold) < 1e-12 &&
+        std::abs(merged->duration_seconds - snap->duration_seconds) < 1e-9;
+    if (!same_identity) return std::nullopt;
+    for (auto& [key, rec] : snap->trials) merged->trials.try_emplace(key, std::move(rec));
+  }
+  return merged;
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void b(bool v) { u64(v ? 1 : 0); }
+};
+
+}  // namespace
+
+std::uint64_t campaign_identity_hash(const CampaignConfig& config) {
+  const ScenarioConfig& s = config.scenario;
+  Fnv1a h;
+  h.str("snake-campaign-identity/v1");
+  h.str(to_string(s.protocol));
+  h.str(s.protocol == Protocol::kTcp ? s.tcp_profile.name : "linux-3.13");
+  h.u64(s.seed);
+  h.i64(s.test_duration.ns());
+  h.u64(s.download_bytes);
+  h.f64(s.client1_exit_fraction);
+  h.f64(s.dccp_offer_rate_pps);
+  h.u64(s.dccp_payload_bytes);
+  h.f64(s.dccp_data_fraction);
+  h.u64(s.dccp_tx_queue_packets);
+  h.i64(s.dccp_ccid);
+  h.f64(s.topology.access_rate_bps);
+  h.i64(s.topology.access_delay.ns());
+  h.u64(s.topology.access_queue_packets);
+  h.f64(s.topology.bottleneck_rate_bps);
+  h.i64(s.topology.bottleneck_delay.ns());
+  h.u64(s.topology.bottleneck_queue_packets);
+  h.u64(static_cast<std::uint64_t>(s.topology.bottleneck_drop_policy));
+  h.u64(s.event_budget);
+  h.f64(s.wall_limit_seconds);
+  h.b(s.faults != nullptr);
+  h.f64(config.detect_threshold);
+  h.u64(config.retest_seed_offset);
+  h.u64(config.trial_attempts);
+  h.u64(config.retry_seed_offset);
+  return h.h;
 }
 
 }  // namespace snake::core

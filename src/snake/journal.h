@@ -117,4 +117,34 @@ struct JournalSnapshot {
 std::optional<JournalSnapshot> load_journal(std::string_view text,
                                             std::size_t* skipped_lines = nullptr);
 
+/// Writes one trial record as a JSON object — the journal line encoding,
+/// also used verbatim by the dist wire protocol and the result cache so a
+/// record survives any of the three round trips unchanged.
+void write_json(obs::JsonWriter& w, const TrialRecord& record);
+
+/// Parses write_json's encoding. nullopt on a line that is not a valid
+/// record (missing key/verdict, or a found-record without its detection
+/// payload).
+std::optional<TrialRecord> trial_record_from_json(const obs::JsonValue& v);
+
+/// Merges per-worker journals into one snapshot (coordinator side of the
+/// crash-atomic multi-writer scheme: every worker appends to a private file,
+/// nobody interleaves). Parts must agree on the campaign identity header —
+/// a mismatched part is rejected (nullopt) rather than silently mixed.
+/// Truncated tails and corrupt lines are skipped per part, summed into
+/// `skipped_lines`; duplicate keys keep the first occurrence.
+std::optional<JournalSnapshot> merge_journals(const std::vector<std::string_view>& parts,
+                                              std::size_t* skipped_lines = nullptr);
+
+/// Content-addressed campaign identity: a 64-bit FNV-1a over every config
+/// field that can change a trial's outcome for a given canonical strategy
+/// key — protocol, implementation profile, seed, durations, workload and
+/// topology shape, detection threshold, retry/retest plumbing. Strategies
+/// are *not* part of it (the cache keys trials by canonical_key under this
+/// hash); neither is anything that only changes which strategies get tried
+/// (generator config, max_strategies, executors, backend). Campaigns with a
+/// fault plan get a distinct identity: injected faults perturb verdicts, and
+/// memoizing them would poison real campaigns.
+std::uint64_t campaign_identity_hash(const CampaignConfig& config);
+
 }  // namespace snake::core

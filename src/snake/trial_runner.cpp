@@ -1,0 +1,259 @@
+#include "snake/trial_runner.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "snake/arena.h"
+#include "snake/controller.h"
+#include "snake/detector.h"
+
+namespace snake::core {
+
+std::vector<JournalObservation> journal_observations(
+    const std::vector<statemachine::EndpointTracker::Observation>& obs) {
+  std::vector<JournalObservation> out;
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& o : obs) {
+    if (o.direction != statemachine::TriggerKind::kSend) continue;
+    if (!seen.emplace(o.state, o.packet_type).second) continue;
+    out.push_back(JournalObservation{o.state, o.packet_type});
+  }
+  return out;
+}
+
+TrialRecord execute_trial(ScenarioArena& arena, const TrialContext& ctx,
+                          const strategy::Strategy& strat, obs::MetricsRegistry* reg) {
+  TrialRecord record;
+  record.key = strategy::canonical_key(strat);
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(1, ctx.max_attempts);
+
+  // Live trial, guarded: a watchdog abort or an exception fails the attempt
+  // instead of wedging or killing the executor; failed attempts retry (once
+  // by default) under a perturbed seed.
+  obs::ScopedTimer strategy_timer(reg, "campaign.strategy_seconds");
+  RunMetrics run;
+  bool trial_completed = false;
+  TrialVerdict fail_verdict = TrialVerdict::kErrored;
+  std::uint32_t attempts_used = 0;
+  for (std::uint32_t attempt = 0; attempt < max_attempts && !trial_completed; ++attempt) {
+    attempts_used = attempt + 1;
+    if (attempt > 0 && reg != nullptr) ++reg->counter("campaign.trials_retried");
+    // The retry seed is a pure function of the retry index so results stay
+    // reproducible; the fault key/attempt let seed-driven fault rules target
+    // specific strategies and model transient failures.
+    ScenarioConfig attempt_config = *ctx.run_template;
+    attempt_config.seed += attempt * ctx.retry_seed_offset;
+    attempt_config.fault_key = strat.id;
+    attempt_config.fault_attempt = attempt;
+    ScenarioConfig attempt_retest = *ctx.retest_template;
+    attempt_retest.seed += attempt * ctx.retry_seed_offset;
+    attempt_retest.fault_key = strat.id;
+    attempt_retest.fault_attempt = attempt;
+    try {
+      run = run_scenario(arena, attempt_config, strat);
+      if (run.aborted) {
+        fail_verdict = TrialVerdict::kAborted;
+        record.failure_reason = run.abort_reason;
+        ++record.aborted_attempts;
+        if (reg != nullptr) ++reg->counter("campaign.trials_aborted");
+        continue;
+      }
+      Detection first = detect(*ctx.baseline, run, ctx.threshold);
+      count_detection_reasons(reg, first, ctx.threshold);
+      if (first.is_attack) {
+        if (reg != nullptr) ++reg->counter("campaign.detected_first_pass");
+        // Repeatability check under a different seed.
+        obs::ScopedTimer retest_timer(reg, "campaign.retest_seconds");
+        RunMetrics again = run_scenario(arena, attempt_retest, strat);
+        if (again.aborted) {
+          fail_verdict = TrialVerdict::kAborted;
+          record.failure_reason = again.abort_reason;
+          ++record.aborted_attempts;
+          if (reg != nullptr) ++reg->counter("campaign.trials_aborted");
+          continue;
+        }
+        Detection second = detect(*ctx.retest_baseline, again, ctx.threshold);
+        if (second.is_attack) {
+          if (reg != nullptr) ++reg->counter("campaign.retest_confirmed");
+          record.found = true;
+          record.detection = first;
+          record.cls = classify(strat, *ctx.format, first, run);
+          record.signature = attack_signature(strat, *ctx.format, first, run, ctx.threshold);
+        } else if (reg != nullptr) {
+          ++reg->counter("campaign.retest_rejected");
+        }
+      }
+      trial_completed = true;
+    } catch (const std::exception& e) {
+      fail_verdict = TrialVerdict::kErrored;
+      record.failure_reason = e.what();
+      ++record.errored_attempts;
+      if (reg != nullptr) ++reg->counter("campaign.trials_errored");
+    } catch (...) {
+      fail_verdict = TrialVerdict::kErrored;
+      record.failure_reason = "unknown exception";
+      ++record.errored_attempts;
+      if (reg != nullptr) ++reg->counter("campaign.trials_errored");
+    }
+  }
+  record.attempts = attempts_used;
+  if (trial_completed) {
+    record.verdict = TrialVerdict::kCompleted;
+    record.client_obs = journal_observations(run.client_observations);
+    record.server_obs = journal_observations(run.server_observations);
+  } else {
+    // Every attempt failed: the caller quarantines. Partial observations
+    // from an aborted run would poison the deterministic feedback loop, so
+    // a failed trial contributes none.
+    record.verdict = fail_verdict;
+    if (reg != nullptr) ++reg->counter("campaign.strategies_quarantined");
+  }
+  return record;
+}
+
+// ---------------------------------------------------------------- ThreadBackend
+
+struct ThreadBackend::Impl {
+  int executors = 1;
+
+  // Campaign context, fixed at start().
+  ScenarioConfig run_template;
+  ScenarioConfig retest_template;
+  RunMetrics baseline;
+  RunMetrics retest_baseline;
+  const packet::HeaderFormat* format = nullptr;
+  double threshold = 0.5;
+  std::uint32_t max_attempts = 1;
+  std::uint64_t retry_seed_offset = 7919;
+  bool collect_metrics = true;
+
+  std::mutex mutex;
+  std::condition_variable inbox_cv;
+  std::condition_variable outbox_cv;
+  std::deque<TrialTask> inbox;
+  std::deque<TrialOutcome> outbox;
+  bool stopping = false;
+
+  std::vector<std::thread> threads;
+  std::vector<obs::MetricsRegistry> registries;
+
+  void executor_main(obs::MetricsRegistry* reg) {
+    // Thread-private scenario configs pointing at this executor's registry,
+    // plus the executor's arena: network and stacks built once, reset
+    // between trials.
+    ScenarioArena arena;
+    ScenarioConfig run_config = run_template;
+    run_config.metrics = reg;
+    ScenarioConfig retest_config = retest_template;
+    retest_config.metrics = reg;
+    TrialContext ctx;
+    ctx.run_template = &run_config;
+    ctx.retest_template = &retest_config;
+    ctx.baseline = &baseline;
+    ctx.retest_baseline = &retest_baseline;
+    ctx.format = format;
+    ctx.threshold = threshold;
+    ctx.max_attempts = max_attempts;
+    ctx.retry_seed_offset = retry_seed_offset;
+
+    while (true) {
+      TrialTask task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        inbox_cv.wait(lock, [&] { return stopping || !inbox.empty(); });
+        if (inbox.empty()) return;  // stopping and drained
+        task = std::move(inbox.front());
+        inbox.pop_front();
+      }
+      TrialOutcome out;
+      out.seq = task.seq;
+      out.record = execute_trial(arena, ctx, task.strat, reg);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        outbox.push_back(std::move(out));
+      }
+      outbox_cv.notify_one();
+    }
+  }
+};
+
+ThreadBackend::ThreadBackend(int executors) : impl_(new Impl) {
+  impl_->executors = std::max(1, executors);
+}
+
+ThreadBackend::~ThreadBackend() {
+  finish(nullptr);
+  delete impl_;
+}
+
+bool ThreadBackend::start(const CampaignConfig& config, const RunMetrics& baseline,
+                          const RunMetrics& retest_baseline) {
+  Impl& im = *impl_;
+  im.run_template = config.scenario;
+  im.retest_template = config.scenario;
+  im.retest_template.seed += config.retest_seed_offset;
+  im.baseline = baseline;
+  im.retest_baseline = retest_baseline;
+  im.format = &format_for_protocol(config.scenario.protocol);
+  im.threshold = config.detect_threshold;
+  im.max_attempts = std::max<std::uint32_t>(1, config.trial_attempts);
+  im.retry_seed_offset = config.retry_seed_offset;
+  im.collect_metrics = config.collect_metrics;
+
+  im.registries.clear();
+  im.registries.resize(static_cast<std::size_t>(im.executors));
+  im.stopping = false;
+  im.threads.reserve(static_cast<std::size_t>(im.executors));
+  for (int i = 0; i < im.executors; ++i) {
+    obs::MetricsRegistry* reg =
+        im.collect_metrics ? &im.registries[static_cast<std::size_t>(i)] : nullptr;
+    im.threads.emplace_back([&im, reg] { im.executor_main(reg); });
+  }
+  return true;
+}
+
+std::size_t ThreadBackend::capacity() const {
+  // Dispatch ahead 2x the pool so a committing coordinator never leaves an
+  // executor idle; the in-order commit buffer absorbs the reordering.
+  return static_cast<std::size_t>(impl_->executors) * 2;
+}
+
+void ThreadBackend::submit(TrialTask task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->inbox.push_back(std::move(task));
+  }
+  impl_->inbox_cv.notify_one();
+}
+
+TrialOutcome ThreadBackend::wait_outcome() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->outbox_cv.wait(lock, [&] { return !impl_->outbox.empty(); });
+  TrialOutcome out = std::move(impl_->outbox.front());
+  impl_->outbox.pop_front();
+  return out;
+}
+
+void ThreadBackend::finish(obs::MetricsRegistry* into) {
+  Impl& im = *impl_;
+  if (!im.threads.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(im.mutex);
+      im.stopping = true;
+    }
+    im.inbox_cv.notify_all();
+    for (auto& t : im.threads) t.join();
+    im.threads.clear();
+  }
+  if (into != nullptr)
+    for (const obs::MetricsRegistry& reg : im.registries) into->merge_from(reg);
+  im.registries.clear();
+}
+
+}  // namespace snake::core

@@ -17,6 +17,11 @@
 #include <optional>
 #include <string>
 
+namespace snake::obs {
+class JsonWriter;
+struct JsonValue;
+}
+
 namespace snake::strategy {
 
 enum class AttackAction {
@@ -123,5 +128,19 @@ struct Strategy {
 /// order the generator happened to emit it in. Two strategies compare equal
 /// under this key iff they drive the proxy identically.
 std::string canonical_key(const Strategy& s);
+
+/// Writes the strategy as one JSON object (strategy_json.cpp). The encoding
+/// round-trips exactly through strategy_from_json — every field including
+/// `id`, with doubles rendered round-trippably by the JSON writer — so a
+/// strategy shipped to a worker process (src/dist wire protocol) executes
+/// identically to one kept in memory. Integer fields above 2^53 would lose
+/// precision in the double-backed parser; nothing the generator emits gets
+/// near that.
+void write_json(obs::JsonWriter& w, const Strategy& s);
+
+/// Parses write_json's encoding. Returns nullopt on a malformed document
+/// (wrong shape, unknown enum name) rather than guessing — a half-parsed
+/// strategy executing the wrong attack would silently corrupt a campaign.
+std::optional<Strategy> strategy_from_json(const obs::JsonValue& v);
 
 }  // namespace snake::strategy

@@ -1,0 +1,706 @@
+// Distributed campaign orchestration tests (src/dist):
+//  - determinism: a campaign run across worker processes produces the same
+//    CampaignResult as its single-process twin for equal seeds, including
+//    with a worker killed mid-campaign and with a warm result cache;
+//  - the coordinator's progress callback stays sequential and monotonic
+//    whatever the fleet does;
+//  - the wire protocol: exact round-trips for Strategy / Detection /
+//    RunMetrics / TrialRecord, frame codec behaviour, worker-side steal
+//    handling driven by a hand-rolled coordinator;
+//  - the cross-campaign result cache: hit/miss scoping by campaign identity,
+//    checksum rejection of tampered (poisoned) lines, persistence;
+//  - crash-atomic multi-writer journals: merge_journals on interleaved
+//    parts, truncated tails, mismatched identities.
+//
+// This binary supplies its own main(): a worker re-entered through
+// /proc/self/exe must take the --snake-worker-child branch before gtest
+// parses argv.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/result_cache.h"
+#include "dist/wire.h"
+#include "dist/worker.h"
+#include "obs/json.h"
+#include "snake/controller.h"
+#include "snake/trial_runner.h"
+#include "strategy/generator.h"
+#include "tcp/profile.h"
+
+namespace snake {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::CampaignConfig small_campaign() {
+  core::CampaignConfig config;
+  config.scenario.protocol = core::Protocol::kTcp;
+  config.scenario.tcp_profile = tcp::linux_3_13_profile();
+  config.scenario.test_duration = Duration::seconds(5.0);
+  config.scenario.seed = 7;
+  config.generator = strategy::tcp_generator_config();
+  config.generator.hitseq_max_packets = 2000;
+  config.executors = 2;
+  config.max_strategies = 14;
+  return config;
+}
+
+/// The deterministic surface of a CampaignResult, as one comparable string.
+/// Metrics are excluded on purpose: wall-clock histograms never repeat, and
+/// workers legitimately run extra baselines. Everything else must match.
+std::string result_fingerprint(const core::CampaignResult& r) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("summary").value(r.summary_row());
+  w.key("tried").value(r.strategies_tried);
+  w.key("found").begin_array();
+  for (const core::StrategyOutcome& o : r.found) {
+    w.begin_object();
+    w.key("key").value(strategy::canonical_key(o.strat));
+    w.key("signature").value(o.signature);
+    w.key("cls").value(static_cast<int>(o.cls));
+    w.key("target_ratio").value(o.detection.target_ratio);
+    w.key("competing_ratio").value(o.detection.competing_ratio);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("signatures").begin_array();
+  for (const std::string& s : r.unique_signatures) w.value(s);
+  w.end_array();
+  w.key("quarantined").begin_array();
+  for (const auto& q : r.quarantined) {
+    w.begin_object();
+    w.key("key").value(q.key);
+    w.key("verdict").value(core::to_string(q.verdict));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("baseline_target").value(r.baseline.target_bytes);
+  w.key("baseline_competing").value(r.baseline.competing_bytes);
+  w.key("aborted").value(r.trials_aborted);
+  w.key("errored").value(r.trials_errored);
+  w.key("retried").value(r.trials_retried);
+  w.end_object();
+  return w.take();
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("snake-dist-" + std::to_string(::getpid()) + "-" + std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+};
+
+core::TrialRecord sample_record() {
+  core::TrialRecord record;
+  record.key = "drop|ESTABLISHED|ACK|client->server";
+  record.verdict = core::TrialVerdict::kCompleted;
+  record.attempts = 2;
+  record.aborted_attempts = 1;
+  record.failure_reason = "event-budget";
+  record.found = true;
+  record.detection.is_attack = true;
+  record.detection.target_ratio = 0.125;
+  record.detection.competing_ratio = 1.0625;
+  record.detection.resource_exhaustion = false;
+  record.detection.reasons = {"target throughput 0.125x baseline"};
+  record.cls = core::AttackClass::kTrueAttack;
+  record.signature = "target=degraded";
+  record.client_obs = {{"ESTABLISHED", "ACK"}, {"FIN_WAIT_1", "FIN"}};
+  record.server_obs = {{"CLOSE_WAIT", "ACK"}};
+  return record;
+}
+
+std::string render_record(const core::TrialRecord& r) {
+  obs::JsonWriter w;
+  core::write_json(w, r);
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: distributed == single-process, bit for bit.
+
+TEST(Distributed, MatchesSingleProcessCampaignExactly) {
+  core::CampaignConfig config = small_campaign();
+  core::CampaignResult single = core::run_campaign(config);
+
+  TempDir dir;
+  dist::DistOptions options;
+  options.workers = 2;
+  options.journal_dir = dir.path.string();
+  dist::DistributedBackend backend(options);
+  config.backend = &backend;
+
+  std::uint64_t last_done = 0, last_queued = 0;
+  bool monotonic = true;
+  config.on_progress = [&](std::uint64_t done, std::uint64_t queued) {
+    if (done != last_done + 1 || queued < last_queued) monotonic = false;
+    last_done = done;
+    last_queued = queued;
+  };
+
+  core::CampaignResult distributed = core::run_campaign(config);
+
+  EXPECT_EQ(result_fingerprint(single), result_fingerprint(distributed));
+  EXPECT_EQ(distributed.metrics.counter("campaign.backend_fallback"), 0u)
+      << "distributed backend fell back to the in-process pool";
+  EXPECT_TRUE(monotonic) << "coordinator progress regressed or skipped";
+  EXPECT_EQ(last_done, distributed.strategies_tried);
+  EXPECT_EQ(backend.workers_spawned(), 2);
+  EXPECT_EQ(backend.workers_lost(), 0);
+
+  // Satellite: the per-worker journals merge into one snapshot covering
+  // every live-run trial, under the single campaign identity.
+  std::size_t skipped = 0;
+  auto merged = backend.merged_journal(&skipped);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(merged->seed, config.scenario.seed);
+  EXPECT_EQ(merged->trials.size(), distributed.strategies_tried);
+}
+
+TEST(Distributed, SurvivesWorkerKilledMidCampaign) {
+  core::CampaignConfig config = small_campaign();
+  core::CampaignResult single = core::run_campaign(config);
+
+  dist::DistOptions options;
+  options.workers = 2;
+  options.exit_after_results = {2, 0};  // worker 0 dies abruptly after 2 trials
+  options.heartbeat_timeout_ms = 2000;
+  dist::DistributedBackend backend(options);
+  config.backend = &backend;
+  core::CampaignResult distributed = core::run_campaign(config);
+
+  EXPECT_EQ(result_fingerprint(single), result_fingerprint(distributed));
+  EXPECT_GE(backend.workers_lost(), 1);
+  EXPECT_EQ(distributed.metrics.counter("campaign.backend_fallback"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Worker protocol, driven by a hand-rolled coordinator over a socketpair.
+
+class FakeCoordinator {
+ public:
+  FakeCoordinator() {
+    int sv[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      std::string fd_arg = std::to_string(sv[1]);
+      const char* argv[] = {"/proc/self/exe", "--snake-worker-child", fd_arg.c_str(), nullptr};
+      ::execv("/proc/self/exe", const_cast<char**>(argv));
+      ::_exit(127);
+    }
+    ::close(sv[1]);
+    ch_ = std::make_unique<dist::Channel>(sv[0]);
+  }
+
+  ~FakeCoordinator() {
+    ch_.reset();
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  dist::Channel& ch() { return *ch_; }
+
+  /// Receives frames until one parses to `want` (skipping heartbeats etc.).
+  std::optional<dist::Message> expect(dist::MsgType want, int timeout_ms = 60000) {
+    for (int i = 0; i < 200; ++i) {
+      auto frame = ch_->recv_frame(timeout_ms);
+      if (!frame.has_value()) return std::nullopt;
+      auto m = dist::parse_message(*frame);
+      if (m.has_value() && m->type == want) return m;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  std::unique_ptr<dist::Channel> ch_;
+};
+
+dist::WorkerCampaign tiny_worker_campaign() {
+  dist::WorkerCampaign wc;
+  wc.scenario.protocol = core::Protocol::kTcp;
+  wc.scenario.tcp_profile = tcp::linux_3_13_profile();
+  wc.scenario.test_duration = Duration::seconds(3.0);
+  wc.scenario.seed = 11;
+  wc.heartbeat_interval_ms = 50;
+  return wc;
+}
+
+TEST(WorkerProtocol, HandshakeBaselinesMatchCoordinatorsOwn) {
+  FakeCoordinator fc;
+  auto hello = fc.expect(dist::MsgType::kHello);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->version, dist::kWireVersion);
+
+  dist::WorkerCampaign wc = tiny_worker_campaign();
+  ASSERT_TRUE(fc.ch().send_frame(dist::encode_campaign(wc)));
+  auto ready = fc.expect(dist::MsgType::kReady, 300000);
+  ASSERT_TRUE(ready.has_value());
+
+  // Cross-process determinism: the worker's baselines equal ours exactly.
+  core::ScenarioConfig base = wc.scenario;
+  core::ScenarioConfig retest = base;
+  retest.seed += wc.retest_seed_offset;
+  core::RunMetrics mine = core::run_scenario(base, std::nullopt);
+  core::RunMetrics mine_retest = core::run_scenario(retest, std::nullopt);
+  obs::JsonWriter w1, w2, w3, w4;
+  core::write_json(w1, mine);
+  core::write_json(w2, ready->baseline);
+  core::write_json(w3, mine_retest);
+  core::write_json(w4, ready->retest_baseline);
+  EXPECT_EQ(w1.take(), w2.take());
+  EXPECT_EQ(w3.take(), w4.take());
+
+  ASSERT_TRUE(fc.ch().send_frame(dist::encode_shutdown()));
+  EXPECT_TRUE(fc.expect(dist::MsgType::kBye).has_value());
+}
+
+TEST(WorkerProtocol, StealHandsBackUnstartedTailAndKeepsRunning) {
+  FakeCoordinator fc;
+  ASSERT_TRUE(fc.expect(dist::MsgType::kHello).has_value());
+  dist::WorkerCampaign wc = tiny_worker_campaign();
+  ASSERT_TRUE(fc.ch().send_frame(dist::encode_campaign(wc)));
+  ASSERT_TRUE(fc.expect(dist::MsgType::kReady, 300000).has_value());
+
+  // Queue four trials, then demand three back: the worker must keep at
+  // least its current head, so at most three of the *tail* return.
+  core::CampaignConfig cc = small_campaign();
+  strategy::StrategyGenerator generator(core::format_for_protocol(cc.scenario.protocol),
+                                        core::machine_for_protocol(cc.scenario.protocol),
+                                        cc.generator);
+  std::vector<strategy::Strategy> pool = generator.off_path_strategies();
+  ASSERT_GE(pool.size(), 4u);
+  std::vector<dist::WireTrial> shard;
+  for (std::uint64_t i = 0; i < 4; ++i) shard.push_back({i, pool[i]});
+
+  // Both frames go out in ONE send syscall so the worker's next pump sees
+  // the steal together with the shard — otherwise a scheduling hiccup
+  // between two separate sends lets the worker burn through trials first
+  // and the steal legitimately (but flakily) comes back smaller.
+  auto framed = [](const std::string& payload) {
+    std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    std::string out;
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+    out += payload;
+    return out;
+  };
+  std::string batch = framed(dist::encode_trials(shard)) + framed(dist::encode_steal(3));
+  ASSERT_EQ(::send(fc.ch().fd(), batch.data(), batch.size(), 0),
+            static_cast<ssize_t>(batch.size()));
+
+  auto stolen = fc.expect(dist::MsgType::kStolen, 300000);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_FALSE(stolen->seqs.empty());
+  EXPECT_LE(stolen->seqs.size(), 3u);
+  // The hand-back is the unstarted *tail* of the shard: a suffix of the
+  // queue (highest seqs), never the running head.
+  std::set<std::uint64_t> stolen_set(stolen->seqs.begin(), stolen->seqs.end());
+  ASSERT_EQ(stolen_set.size(), stolen->seqs.size()) << "duplicate stolen seq";
+  EXPECT_EQ(stolen_set.count(0), 0u) << "stole the running head";
+  for (std::uint64_t seq = *stolen_set.begin(); seq < 4; ++seq)
+    EXPECT_EQ(stolen_set.count(seq), 1u) << "stolen seqs are not a tail suffix";
+
+  // Everything not stolen still completes, each seq exactly once.
+  std::set<std::uint64_t> outstanding;
+  for (std::uint64_t i = 0; i < 4; ++i) outstanding.insert(i);
+  for (std::uint64_t seq : stolen->seqs) outstanding.erase(seq);
+  while (!outstanding.empty()) {
+    auto result = fc.expect(dist::MsgType::kResult, 300000);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(outstanding.erase(result->seq), 1u);
+  }
+  ASSERT_TRUE(fc.ch().send_frame(dist::encode_shutdown()));
+  EXPECT_TRUE(fc.expect(dist::MsgType::kBye).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Wire serialization: exact round-trips.
+
+TEST(WireRoundTrip, StrategyExact) {
+  core::CampaignConfig cc = small_campaign();
+  strategy::StrategyGenerator generator(core::format_for_protocol(cc.scenario.protocol),
+                                        core::machine_for_protocol(cc.scenario.protocol),
+                                        cc.generator);
+  std::vector<strategy::Strategy> pool = generator.off_path_strategies();
+  ASSERT_FALSE(pool.empty());
+  // Cover every action kind the generator emits, plus a hand-built lie.
+  strategy::Strategy lie;
+  lie.id = 99;
+  lie.action = strategy::AttackAction::kLie;
+  lie.target_state = "ESTABLISHED";
+  lie.packet_type = "ACK";
+  lie.lie = strategy::LieSpec{};
+  lie.lie->field = "window";
+  lie.lie->mode = strategy::LieSpec::Mode::kDivide;
+  lie.lie->operand = 4;
+  pool.push_back(lie);
+
+  for (const strategy::Strategy& s : pool) {
+    obs::JsonWriter w;
+    strategy::write_json(w, s);
+    std::string doc = w.take();
+    auto parsed = obs::parse_json(doc);
+    ASSERT_TRUE(parsed.has_value()) << doc;
+    auto back = strategy::strategy_from_json(*parsed);
+    ASSERT_TRUE(back.has_value()) << doc;
+    EXPECT_EQ(strategy::canonical_key(s), strategy::canonical_key(*back));
+    obs::JsonWriter w2;
+    strategy::write_json(w2, *back);
+    EXPECT_EQ(doc, w2.take()) << "re-render differs: not an exact round-trip";
+  }
+}
+
+TEST(WireRoundTrip, DetectionAndTrialRecordExact) {
+  core::TrialRecord record = sample_record();
+  std::string doc = render_record(record);
+  auto parsed = obs::parse_json(doc);
+  ASSERT_TRUE(parsed.has_value());
+  auto back = core::trial_record_from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(doc, render_record(*back));
+  EXPECT_EQ(back->key, record.key);
+  EXPECT_TRUE(back->found);
+  EXPECT_DOUBLE_EQ(back->detection.target_ratio, 0.125);
+  EXPECT_EQ(back->detection.reasons, record.detection.reasons);
+  EXPECT_EQ(back->client_obs, record.client_obs);
+}
+
+TEST(WireRoundTrip, RunMetricsFromRealRunExact) {
+  core::ScenarioConfig config;
+  config.protocol = core::Protocol::kTcp;
+  config.tcp_profile = tcp::linux_3_13_profile();
+  config.test_duration = Duration::seconds(4.0);
+  config.seed = 3;
+  core::RunMetrics m = core::run_scenario(config, std::nullopt);
+  ASSERT_FALSE(m.client_observations.empty());
+
+  obs::JsonWriter w;
+  core::write_json(w, m);
+  std::string doc = w.take();
+  auto parsed = obs::parse_json(doc);
+  ASSERT_TRUE(parsed.has_value());
+  auto back = core::run_metrics_from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  obs::JsonWriter w2;
+  core::write_json(w2, *back);
+  EXPECT_EQ(doc, w2.take());
+  EXPECT_EQ(back->target_bytes, m.target_bytes);
+  EXPECT_EQ(back->client_observations.size(), m.client_observations.size());
+  EXPECT_EQ(back->client_state_stats.size(), m.client_state_stats.size());
+}
+
+TEST(WireRoundTrip, EveryMessageTypeSurvivesEncodeDecode) {
+  auto check = [](const std::string& payload, dist::MsgType want) {
+    auto m = dist::parse_message(payload);
+    ASSERT_TRUE(m.has_value()) << payload;
+    EXPECT_EQ(m->type, want);
+  };
+  check(dist::encode_hello(), dist::MsgType::kHello);
+  check(dist::encode_campaign(tiny_worker_campaign()), dist::MsgType::kCampaign);
+  check(dist::encode_steal(5), dist::MsgType::kSteal);
+  check(dist::encode_stolen({3, 4, 5}), dist::MsgType::kStolen);
+  check(dist::encode_feedback({{"ESTABLISHED", "ACK"}}), dist::MsgType::kFeedback);
+  check(dist::encode_heartbeat(7), dist::MsgType::kHeartbeat);
+  check(dist::encode_shutdown(), dist::MsgType::kShutdown);
+  check(dist::encode_bye("", 2), dist::MsgType::kBye);
+  check(dist::encode_result(9, sample_record()), dist::MsgType::kResult);
+
+  auto campaign = dist::parse_message(dist::encode_campaign(tiny_worker_campaign()));
+  ASSERT_TRUE(campaign.has_value());
+  EXPECT_EQ(campaign->campaign.scenario.seed, 11u);
+  EXPECT_EQ(campaign->campaign.scenario.tcp_profile.name, "linux-3.13");
+
+  auto result = dist::parse_message(dist::encode_result(9, sample_record()));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->seq, 9u);
+  EXPECT_EQ(render_record(result->record), render_record(sample_record()));
+
+  EXPECT_FALSE(dist::parse_message("{}").has_value());
+  EXPECT_FALSE(dist::parse_message(R"({"type":"warp"})").has_value());
+  EXPECT_FALSE(dist::parse_message("not json").has_value());
+  EXPECT_FALSE(dist::parse_message(R"({"type":"result","seq":1})").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+TEST(FrameCodec, ReassemblesSplitAndBatchedFrames) {
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  dist::Channel a(sv[0]);
+  dist::Channel b(sv[1]);
+
+  // Two frames written back-to-back arrive as two frames.
+  ASSERT_TRUE(a.send_frame("first"));
+  ASSERT_TRUE(a.send_frame(std::string(100000, 'x')));
+  auto f1 = b.recv_frame(5000);
+  auto f2 = b.recv_frame(5000);
+  ASSERT_TRUE(f1.has_value() && f2.has_value());
+  EXPECT_EQ(*f1, "first");
+  EXPECT_EQ(f2->size(), 100000u);
+
+  // A frame delivered byte-by-byte still reassembles.
+  std::string payload = "split-delivery";
+  std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string framed;
+  for (int i = 0; i < 4; ++i) framed.push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+  framed += payload;
+  for (char c : framed) ASSERT_EQ(::send(sv[0], &c, 1, 0), 1);
+  auto f3 = b.recv_frame(5000);
+  ASSERT_TRUE(f3.has_value());
+  EXPECT_EQ(*f3, payload);
+}
+
+TEST(FrameCodec, OversizedLengthPrefixBreaksChannel) {
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  dist::Channel b(sv[1]);
+  unsigned char evil[4] = {0xff, 0xff, 0xff, 0xff};  // ~4GB frame
+  ASSERT_EQ(::send(sv[0], evil, 4, 0), 4);
+  EXPECT_FALSE(b.recv_frame(1000).has_value());
+  EXPECT_FALSE(b.alive());
+  ::close(sv[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache.
+
+TEST(ResultCache, HitMissAndIdentityScoping) {
+  dist::ResultCache cache;
+  auto view_a = cache.view(0xAAAA);
+  auto view_b = cache.view(0xBBBB);
+  core::TrialRecord record = sample_record();
+
+  EXPECT_EQ(view_a.lookup(record.key), nullptr);
+  view_a.store(record);
+  const core::TrialRecord* hit = view_a.lookup(record.key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(render_record(*hit), render_record(record));
+  EXPECT_EQ(view_a.lookup("some-other-key"), nullptr);
+  // The identity hash scopes everything: same key, different campaign — no
+  // hit. Any config change that alters outcomes changes the hash, so stale
+  // entries are never replayed into a differing campaign.
+  EXPECT_EQ(view_b.lookup(record.key), nullptr);
+}
+
+TEST(ResultCache, PoisonedLinesAreRejected) {
+  core::TrialRecord record = sample_record();
+  std::string good = dist::ResultCache::encode_line(0x1234, record);
+
+  {
+    dist::ResultCache cache;
+    cache.ingest(good);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.rejected(), 0u);
+  }
+  {
+    // Tampered canonical key: checksum mismatch, line dropped.
+    std::string bad = good;
+    auto pos = bad.find("drop|ESTABLISHED");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 4, "lie!");
+    dist::ResultCache cache;
+    cache.ingest(bad);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.rejected(), 1u);
+  }
+  {
+    // Re-homed under a different campaign hash: checksum covers the
+    // identity, so pasting a line under a new identity fails too.
+    std::string bad = good;
+    auto pos = bad.find("0000000000001234");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 16, "00000000deadbeef");
+    dist::ResultCache cache;
+    cache.ingest(bad);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.rejected(), 1u);
+  }
+  {
+    // Forged verdict inside the record: same story.
+    std::string bad = good;
+    auto pos = bad.find("\"found\":true");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 12, "\"found\":false");
+    dist::ResultCache cache;
+    cache.ingest(bad);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.rejected(), 1u);
+  }
+  {
+    // Torn tail (crash mid-append) is skipped without losing earlier lines.
+    dist::ResultCache cache;
+    cache.ingest(good + good.substr(0, good.size() / 2));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.rejected(), 1u);
+  }
+}
+
+TEST(ResultCache, WarmCacheReproducesColdCampaignAndPersists) {
+  TempDir dir;
+  const std::string cache_path = (dir.path / "cache.jsonl").string();
+
+  core::CampaignConfig config = small_campaign();
+  config.max_strategies = 10;
+  const std::uint64_t identity = core::campaign_identity_hash(config);
+
+  dist::ResultCache cold_cache(cache_path);
+  ASSERT_TRUE(cold_cache.load());
+  EXPECT_EQ(cold_cache.size(), 0u);
+  auto cold_view = cold_cache.view(identity);
+  config.cache = &cold_view;
+  core::CampaignResult cold = core::run_campaign(config);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_stores, cold.strategies_tried);
+
+  // Fresh cache object, loaded from disk: the campaign replays entirely
+  // from memoized verdicts and still produces the identical result.
+  dist::ResultCache warm_cache(cache_path);
+  ASSERT_TRUE(warm_cache.load());
+  EXPECT_EQ(warm_cache.size(), cold.cache_stores);
+  EXPECT_EQ(warm_cache.rejected(), 0u);
+  auto warm_view = warm_cache.view(identity);
+  config.cache = &warm_view;
+  core::CampaignResult warm = core::run_campaign(config);
+
+  EXPECT_EQ(result_fingerprint(cold), result_fingerprint(warm));
+  EXPECT_EQ(warm.cache_hits, warm.strategies_tried);
+  EXPECT_EQ(warm.cache_stores, 0u);
+
+  // A different campaign identity (different seed) gets no hits from it.
+  config.scenario.seed += 1;
+  auto other_view = warm_cache.view(core::campaign_identity_hash(config));
+  config.cache = &other_view;
+  core::CampaignResult other = core::run_campaign(config);
+  EXPECT_EQ(other.cache_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign identity hash.
+
+TEST(CampaignIdentity, SensitiveToOutcomeFieldsOnly) {
+  core::CampaignConfig config = small_campaign();
+  const std::uint64_t base = core::campaign_identity_hash(config);
+
+  core::CampaignConfig changed = config;
+  changed.scenario.seed += 1;
+  EXPECT_NE(core::campaign_identity_hash(changed), base);
+  changed = config;
+  changed.detect_threshold = 0.3;
+  EXPECT_NE(core::campaign_identity_hash(changed), base);
+  changed = config;
+  changed.scenario.test_duration = Duration::seconds(9.0);
+  EXPECT_NE(core::campaign_identity_hash(changed), base);
+  changed = config;
+  changed.scenario.tcp_profile = tcp::linux_3_0_profile();
+  EXPECT_NE(core::campaign_identity_hash(changed), base);
+
+  // Fields that only change *which* strategies run, not any single trial's
+  // outcome, must not invalidate the cache.
+  changed = config;
+  changed.executors = 13;
+  changed.max_strategies = 500;
+  changed.combine_top = 3;
+  changed.collect_metrics = false;
+  EXPECT_EQ(core::campaign_identity_hash(changed), base);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-atomic multi-writer journals.
+
+std::string journal_text(const core::CampaignConfig& config,
+                         const std::vector<core::TrialRecord>& records, bool header = true) {
+  std::string text;
+  core::TrialJournal journal([&](std::string_view line) { text.append(line); });
+  if (header) journal.write_header(config);
+  for (const core::TrialRecord& r : records) journal.append(r);
+  return text;
+}
+
+TEST(JournalMerge, InterleavedPartsUnionWithTruncatedTails) {
+  core::CampaignConfig config = small_campaign();
+  core::TrialRecord a = sample_record();
+  core::TrialRecord b = sample_record();
+  b.key = "delay|SYN_SENT|SYN|client->server";
+  b.found = false;
+  core::TrialRecord c = sample_record();
+  c.key = "duplicate|LAST_ACK|ACK|server->client";
+  c.verdict = core::TrialVerdict::kQuarantined;
+  c.found = false;
+
+  std::string part1 = journal_text(config, {a, b});
+  std::string part2 = journal_text(config, {c});
+  // Crash-truncate part2 mid-line: the complete lines must survive.
+  std::string part2_torn = part2 + journal_text(config, {a}, /*header=*/false)
+                                       .substr(0, 40);
+
+  std::size_t skipped = 0;
+  auto merged = core::merge_journals({part1, part2_torn}, &skipped);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->trials.size(), 3u);
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_TRUE(merged->trials.count(a.key));
+  EXPECT_TRUE(merged->trials.count(b.key));
+  EXPECT_EQ(merged->trials.at(c.key).verdict, core::TrialVerdict::kQuarantined);
+  EXPECT_EQ(merged->seed, config.scenario.seed);
+
+  // Duplicate keys across parts keep the first occurrence.
+  core::TrialRecord a2 = a;
+  a2.found = false;
+  std::string part3 = journal_text(config, {a2});
+  merged = core::merge_journals({part1, part3});
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_TRUE(merged->trials.at(a.key).found) << "later part overwrote earlier record";
+}
+
+TEST(JournalMerge, MismatchedIdentityRejected) {
+  core::CampaignConfig config = small_campaign();
+  core::CampaignConfig other = config;
+  other.scenario.seed += 5;
+  std::string part1 = journal_text(config, {sample_record()});
+  std::string part2 = journal_text(other, {sample_record()});
+  EXPECT_FALSE(core::merge_journals({part1, part2}).has_value());
+  EXPECT_FALSE(core::merge_journals({part1, "no header\n"}).has_value());
+  EXPECT_TRUE(core::merge_journals({part1, part1}).has_value());
+}
+
+}  // namespace
+}  // namespace snake
+
+int main(int argc, char** argv) {
+  // Worker re-entry MUST come before gtest sees argv: when this binary is
+  // exec'd as a campaign worker, it is not a test run at all.
+  if (auto code = snake::dist::maybe_run_worker(argc, argv)) return *code;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

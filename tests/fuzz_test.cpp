@@ -12,6 +12,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "dist/wire.h"
 #include "obs/json.h"
 #include "packet/dccp_format.h"
 #include "packet/format_dsl.h"
@@ -119,6 +120,38 @@ TEST(CorpusRegression, JournalTruncatedTailSkippedGarbageTolerated) {
     ASSERT_TRUE(f) << name;
     EXPECT_FALSE(core::load_journal(f->contents).has_value()) << name;
   }
+}
+
+TEST(CorpusRegression, WireCorpusParsesWithoutCrashing) {
+  std::vector<CorpusFile> files = corpus("wire");
+  ASSERT_FALSE(files.empty()) << "corpus dir missing: " SNAKE_CORPUS_DIR "/wire";
+  for (const CorpusFile& f : files) (void)dist::parse_message(f.contents);
+}
+
+TEST(CorpusRegression, WireDecoderAcceptsAndRejectsAsDocumented) {
+  std::vector<CorpusFile> files = corpus("wire");
+  // Hardened rejections: unknown type / profile, missing required payloads,
+  // out-of-range numbers. Each must fail cleanly with nullopt.
+  for (const char* name :
+       {"bad_type.json", "campaign_unknown_profile.json", "campaign_missing_topology.json",
+        "result_missing_record.json", "trials_bad_strategy.json", "feedback_bad_pairs.json",
+        "stolen_huge_seq.json", "steal_negative.json", "frame_garbage.json"}) {
+    const CorpusFile* f = find_file(files, name);
+    ASSERT_TRUE(f) << name;
+    EXPECT_FALSE(dist::parse_message(f->contents).has_value()) << name;
+  }
+  for (const char* name : {"hello.json", "campaign.json", "heartbeat.json", "bye_metrics.json"}) {
+    const CorpusFile* f = find_file(files, name);
+    ASSERT_TRUE(f) << name;
+    EXPECT_TRUE(dist::parse_message(f->contents).has_value()) << name;
+  }
+  const CorpusFile* campaign = find_file(files, "campaign.json");
+  auto m = dist::parse_message(campaign->contents);
+  ASSERT_TRUE(m.has_value());
+  // Decode -> encode -> decode fixpoint for the richest message type.
+  auto again = dist::parse_message(dist::encode_campaign(m->campaign));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(dist::encode_campaign(again->campaign), dist::encode_campaign(m->campaign));
 }
 
 TEST(CorpusRegression, DslCorpusAllThrowInvalidArgument) {
@@ -286,6 +319,41 @@ TEST(ParserFuzz, JournalMutantsNeverCrash) {
     std::string mutant = mutate_text(rng, base.contents);
     std::size_t skipped = 0;
     (void)core::load_journal(mutant, &skipped);  // must terminate, no crash/UB
+    return std::nullopt;
+  });
+  EXPECT_FALSE(failure.has_value())
+      << "seed " << failure->seed << ": " << failure->message;
+}
+
+TEST(ParserFuzz, WireDecoderMutantsNeverCrash) {
+  // Seeds: the regression corpus plus one live encoding of every message
+  // type, so mutants explore the neighbourhood of real traffic.
+  std::vector<CorpusFile> seeds = corpus("wire");
+  ASSERT_FALSE(seeds.empty());
+  seeds.push_back({"live_hello", dist::encode_hello()});
+  seeds.push_back({"live_steal", dist::encode_steal(4)});
+  seeds.push_back({"live_stolen", dist::encode_stolen({5, 6, 7})});
+  seeds.push_back({"live_feedback", dist::encode_feedback({{"ESTABLISHED", "ACK"}})});
+  seeds.push_back({"live_heartbeat", dist::encode_heartbeat(2)});
+  seeds.push_back({"live_shutdown", dist::encode_shutdown()});
+  core::TrialRecord record;
+  record.key = "k";
+  seeds.push_back({"live_result", dist::encode_result(1, record)});
+  seeds.push_back({"live_bye", dist::encode_bye(R"({"counters":{"a":1}})", 0)});
+
+  PropertyConfig config = PropertyConfig::from_env(2'000);
+  auto failure = for_each_seed(config, [&](std::uint64_t seed) -> std::optional<std::string> {
+    Rng rng(seed);
+    const CorpusFile& base = seeds[rng.uniform(0, seeds.size() - 1)];
+    std::string mutant = mutate_text(rng, base.contents);
+    // Must terminate without crashing; acceptance is optional, but an
+    // accepted message must carry a known type (the decoder never invents
+    // one) — and decoding twice must agree (pure function of the input).
+    auto first = dist::parse_message(mutant);
+    auto second = dist::parse_message(mutant);
+    if (first.has_value() != second.has_value()) return "non-deterministic decode";
+    if (first.has_value() && second.has_value() && first->type != second->type)
+      return "non-deterministic message type";
     return std::nullopt;
   });
   EXPECT_FALSE(failure.has_value())

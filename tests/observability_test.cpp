@@ -4,8 +4,9 @@
 //  - schema sanity: CampaignResult::to_json() parses and carries the fields
 //    the bench reports promise (Table-I columns, per-stage timings,
 //    per-attack-action counts);
-//  - regression: the progress callback runs outside the campaign mutex, so a
-//    blocking callback cannot serialize or deadlock the executor pool;
+//  - regression: the progress callback fires from the coordinating thread in
+//    commit order — sequential, monotonic, and free to block without
+//    stalling the executor pool;
 //  - the configurable detection threshold is honoured end to end.
 #include <gtest/gtest.h>
 
@@ -150,31 +151,36 @@ TEST(Observability, CampaignReportMatchesSchema) {
 
 // ------------------------------------------------- progress callback fix
 
-TEST(Observability, BlockingProgressCallbackDoesNotSerializePool) {
-  // Regression: the controller used to invoke on_progress while holding the
-  // campaign mutex, so callbacks could never overlap and a blocking callback
-  // stalled every worker. Each callback here waits (bounded) until a second
-  // callback is running concurrently — possible only when the callback runs
-  // outside the lock.
+TEST(Observability, ProgressCallbackIsSequentialAndMonotonic) {
+  // The coordinator invokes on_progress from its own thread, in commit
+  // order: calls never overlap (no locking needed in the callback), the
+  // committed count advances by exactly one per call, and the queued total
+  // never goes backwards — the contract the distributed coordinator also
+  // honours (see dist_test.cpp). The old pool invoked callbacks from worker
+  // threads, where aggregate progress could appear to regress.
   CampaignConfig config = small_campaign_config();
   config.executors = 4;
   config.max_strategies = 24;
 
   std::atomic<int> in_callback{0};
   std::atomic<bool> overlapped{false};
-  config.on_progress = [&](std::uint64_t, std::uint64_t) {
+  std::uint64_t last_done = 0;
+  std::uint64_t last_queued = 0;
+  bool monotonic = true;
+  config.on_progress = [&](std::uint64_t done, std::uint64_t queued) {
     if (in_callback.fetch_add(1) + 1 > 1) overlapped = true;
-    auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
-    while (!overlapped.load() && std::chrono::steady_clock::now() < deadline)
-      std::this_thread::yield();
+    if (done != last_done + 1 || queued < last_queued) monotonic = false;
+    last_done = done;
+    last_queued = queued;
     in_callback.fetch_sub(1);
   };
 
   CampaignResult result = run_campaign(config);
   EXPECT_EQ(result.strategies_tried, 24u);
-  EXPECT_TRUE(overlapped.load())
-      << "progress callbacks never overlapped: callback is being invoked "
-         "with the campaign mutex held";
+  EXPECT_FALSE(overlapped.load())
+      << "progress callbacks overlapped: commits must be sequential";
+  EXPECT_TRUE(monotonic) << "progress went backwards or skipped a commit";
+  EXPECT_EQ(last_done, result.strategies_tried);
 }
 
 // ------------------------------------------------ resilience counters
