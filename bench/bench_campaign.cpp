@@ -4,6 +4,12 @@
 //   bench_campaign [--cap N] [--duration SECONDS] [--executors N]
 //                  [--protocol tcp|dccp] [--json PATH] [--baseline PATH]
 //                  [--selfcheck] [--workers N] [--result-cache PATH]
+//                  [--snapshots on|off]
+//
+// --snapshots off disables the per-executor snapshot stores, so every trial
+// replays its scenario from t=0; this is the A/B switch for measuring the
+// snapshot-forked execution speedup (results are bit-identical either way —
+// snapshot_test.cpp enforces it).
 //
 // --selfcheck attaches the property-suite invariant oracles (clock
 // monotonicity, TCP sequence space, tracker legality, pool balance; see
@@ -104,6 +110,7 @@ int main(int argc, char** argv) {
   const char* baseline_path = nullptr;
   const char* cache_path = nullptr;
   bool selfcheck = false;
+  bool use_snapshots = true;
   int workers = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) {
@@ -124,6 +131,8 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--result-cache") && i + 1 < argc) {
       cache_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--snapshots") && i + 1 < argc) {
+      use_snapshots = std::strcmp(argv[++i], "off") != 0;
     }
   }
 
@@ -137,6 +146,7 @@ int main(int argc, char** argv) {
   config.generator.hitseq_max_packets = 4000;  // partial sweeps: bounded bench
   config.executors = executors;
   config.max_strategies = cap;
+  config.use_snapshots = use_snapshots;
 
   // --selfcheck: one oracle bundle shared by every executor (thread-safe).
   // In workers mode the inspector pointer cannot cross the process boundary;
@@ -174,10 +184,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "== Campaign throughput: %llu strategies, %.0fs virtual, %d executors (%s%s%s) ==\n",
+      "== Campaign throughput: %llu strategies, %.0fs virtual, %d executors (%s%s%s%s) ==\n",
       (unsigned long long)cap, duration, executors, to_string(protocol),
       selfcheck ? ", selfcheck" : "",
-      workers > 0 ? ", distributed" : "");
+      workers > 0 ? ", distributed" : "",
+      use_snapshots ? "" : ", snapshots off");
 
   auto t0 = std::chrono::steady_clock::now();
   CampaignResult result = run_campaign(config);
@@ -199,6 +210,14 @@ int main(int argc, char** argv) {
   std::printf("  simulator events ..... %llu (%.3g events/sec)\n", (unsigned long long)events,
               events_per_sec);
   std::printf("  peak RSS ............. %.1f MiB\n", rss);
+
+  std::uint64_t forked = metric_counter(result.metrics, "snapshot.forked_runs");
+  std::uint64_t snap_fallback = metric_counter(result.metrics, "snapshot.fallback_runs");
+  std::uint64_t sessions = metric_counter(result.metrics, "snapshot.sessions_built");
+  if (use_snapshots && workers <= 0)
+    std::printf("  snapshot forking ..... %llu forked, %llu fallback, %llu sessions\n",
+                (unsigned long long)forked, (unsigned long long)snap_fallback,
+                (unsigned long long)sessions);
 
   std::uint64_t fallback = metric_counter(result.metrics, "campaign.backend_fallback");
   if (workers > 0) {
@@ -267,6 +286,7 @@ int main(int argc, char** argv) {
   w.key("executors").value(executors);
   w.key("workers").value(workers);
   w.key("seed").value(config.scenario.seed);
+  w.key("use_snapshots").value(use_snapshots);
   if (cache_path != nullptr) w.key("result_cache").value(cache_path);
   w.end_object();
   w.key("results").begin_object();
@@ -279,6 +299,13 @@ int main(int argc, char** argv) {
   w.key("events_per_sec").value(events_per_sec);
   w.key("peak_rss_mib").value(rss);
   w.key("attack_strategies_found").value(result.attack_strategies_found);
+  if (use_snapshots && workers <= 0) {
+    w.key("snapshots").begin_object();
+    w.key("forked_runs").value(forked);
+    w.key("fallback_runs").value(snap_fallback);
+    w.key("sessions_built").value(sessions);
+    w.end_object();
+  }
   if (workers > 0) {
     w.key("distribution").begin_object();
     w.key("workers_spawned").value(backend->workers_spawned());

@@ -48,6 +48,7 @@ BulkHttpServer::BulkHttpServer(tcp::TcpStack& stack, std::uint16_t port,
   stack_.listen(port, [this](tcp::TcpEndpoint& ep) {
     ++connections_accepted_;
     auto state = std::make_shared<PerConnection>();
+    registry_.push_back(state);
     tcp::TcpCallbacks cb;
     cb.on_established = [this, &ep, state] { pump(&ep, state); };
     cb.on_remote_close = [&ep] { ep.close(); };
@@ -74,6 +75,25 @@ void BulkHttpServer::pump(tcp::TcpEndpoint* endpoint, std::shared_ptr<PerConnect
   }
   stack_.node().scheduler().schedule_in(kPumpInterval,
                                         [this, endpoint, state] { pump(endpoint, state); });
+}
+
+BulkHttpServer::Snapshot BulkHttpServer::capture() const {
+  Snapshot snap;
+  snap.connections_accepted = connections_accepted_;
+  snap.conns.reserve(registry_.size());
+  for (const auto& state : registry_)
+    snap.conns.push_back(Snapshot::Conn{state, state->queued, state->closed});
+  return snap;
+}
+
+void BulkHttpServer::restore(const Snapshot& snap) {
+  connections_accepted_ = snap.connections_accepted;
+  registry_.clear();
+  for (const auto& conn : snap.conns) {
+    conn.object->queued = conn.queued;
+    conn.object->closed = conn.closed;
+    registry_.push_back(conn.object);
+  }
 }
 
 BulkHttpClient::BulkHttpClient(tcp::TcpStack& stack, sim::Address server, std::uint16_t port,

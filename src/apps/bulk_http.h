@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "tcp/stack.h"
 #include "util/time.h"
@@ -26,13 +28,34 @@ class BulkHttpServer {
 
   std::uint64_t connections_accepted() const { return connections_accepted_; }
 
- private:
   struct PerConnection;
+
+  /// Mutable server state frozen between two scheduler events. Per-connection
+  /// pump state lives in shared objects referenced both here and by cloned
+  /// scheduler closures; restore writes the frozen values back INTO those
+  /// same objects, so every closure cloned from the snapshot observes the
+  /// rewound state.
+  struct Snapshot {
+    std::uint64_t connections_accepted = 0;
+    struct Conn {
+      std::shared_ptr<PerConnection> object;
+      std::uint64_t queued = 0;
+      bool closed = false;
+    };
+    std::vector<Conn> conns;
+  };
+  Snapshot capture() const;
+  void restore(const Snapshot& snap);
+
+ private:
   void pump(tcp::TcpEndpoint* endpoint, std::shared_ptr<PerConnection> state);
 
   tcp::TcpStack& stack_;
   std::uint64_t response_bytes_;
   std::uint64_t connections_accepted_ = 0;
+  /// Every PerConnection ever created, in accept order — the snapshot layer's
+  /// handle on pump state otherwise reachable only through closures.
+  std::vector<std::shared_ptr<PerConnection>> registry_;
 
   static constexpr std::size_t kChunk = 64 * 1024;       ///< send-buffer top-up target
   static constexpr Duration kPumpInterval = Duration::millis(10);
@@ -50,6 +73,19 @@ class BulkHttpClient {
   bool established() const { return established_; }
   bool reset() const { return reset_; }
   tcp::TcpEndpoint& endpoint() { return *endpoint_; }
+
+  /// Mutable client state (the endpoint pointer is session-stable).
+  struct Snapshot {
+    std::uint64_t bytes_received = 0;
+    bool established = false;
+    bool reset = false;
+  };
+  Snapshot capture() const { return Snapshot{bytes_received_, established_, reset_}; }
+  void restore(const Snapshot& snap) {
+    bytes_received_ = snap.bytes_received;
+    established_ = snap.established;
+    reset_ = snap.reset;
+  }
 
  private:
   std::uint64_t bytes_received_ = 0;

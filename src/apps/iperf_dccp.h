@@ -20,6 +20,17 @@ class DccpIperfSink {
   std::uint64_t goodput_bytes() const { return goodput_bytes_; }
   std::uint64_t connections_accepted() const { return connections_accepted_; }
 
+  /// Mutable sink state for the snapshot layer.
+  struct Snapshot {
+    std::uint64_t goodput_bytes = 0;
+    std::uint64_t connections_accepted = 0;
+  };
+  Snapshot capture() const { return Snapshot{goodput_bytes_, connections_accepted_}; }
+  void restore(const Snapshot& snap) {
+    goodput_bytes_ = snap.goodput_bytes;
+    connections_accepted_ = snap.connections_accepted;
+  }
+
  private:
   std::uint64_t goodput_bytes_ = 0;
   std::uint64_t connections_accepted_ = 0;
@@ -43,6 +54,22 @@ class DccpIperfSource {
   bool reset() const { return reset_; }
   std::uint64_t datagrams_offered() const { return offered_; }
   dccp::DccpEndpoint& endpoint() { return *endpoint_; }
+
+  /// Mutable source state (stop_at_ and the endpoint pointer are fixed at
+  /// construction and session-stable; tick events live in the scheduler).
+  struct Snapshot {
+    bool established = false;
+    bool reset = false;
+    bool closed = false;
+    std::uint64_t offered = 0;
+  };
+  Snapshot capture() const { return Snapshot{established_, reset_, closed_, offered_}; }
+  void restore(const Snapshot& snap) {
+    established_ = snap.established;
+    reset_ = snap.reset;
+    closed_ = snap.closed;
+    offered_ = snap.offered;
+  }
 
  private:
   void tick();

@@ -109,6 +109,40 @@ class DccpEndpoint {
   // ---- Wire input --------------------------------------------------------
   void on_packet(const DccpPacket& packet);
 
+  // ---- Snapshot support --------------------------------------------------
+  /// Every mutable per-connection member by value; identity members (node_,
+  /// config_, callbacks_) are session-stable and excluded. Timer handles are
+  /// captured verbatim — valid against the matching Scheduler::Snapshot.
+  /// Keep in lockstep with the member list below.
+  struct Snapshot {
+    snake::Rng rng{0};
+    DccpState state = DccpState::kClosed;
+    bool released = false;
+    Seq48 iss = 0, gss = 0, isr = 0, gsr = 0;
+    bool have_gsr = false;
+    std::deque<Bytes> tx_queue;
+    bool close_pending = false;
+    Ccid2 cc;
+    std::optional<Ccid3Sender> ccid3_tx;
+    std::optional<Ccid3Receiver> ccid3_rx;
+    sim::Timer pace_timer, feedback_timer, no_feedback_timer;
+    std::optional<Duration> srtt;
+    TimePoint connect_time;
+    Duration rttvar = Duration::zero();
+    Duration rto = Duration::zero();
+    sim::Timer rto_timer, time_wait_timer, handshake_timer;
+    int handshake_retries = 0;
+    TimePoint last_sync_sent;
+    DccpEndpointStats stats;
+  };
+
+  Snapshot capture_state() const;
+  void restore_state(const Snapshot& snap);
+
+  /// Marks the endpoint dead without cancelling timers or firing callbacks;
+  /// see TcpEndpoint::snapshot_zombify for the rationale.
+  void snapshot_zombify();
+
   // ---- Introspection -----------------------------------------------------
   DccpState state() const { return state_; }
   bool released() const { return released_; }

@@ -84,6 +84,42 @@ void DccpStack::on_packet(const sim::Packet& packet) {
   }
 }
 
+DccpStack::Snapshot DccpStack::capture() const {
+  Snapshot snap;
+  snap.rng = rng_;
+  snap.next_ephemeral_port = next_ephemeral_port_;
+  snap.endpoints.reserve(endpoints_.size());
+  for (const auto& ep : endpoints_) snap.endpoints.push_back(ep->capture_state());
+  snap.connections.reserve(connections_.size());
+  for (const auto& [key, ep] : connections_) {
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      if (endpoints_[i].get() == ep) {
+        snap.connections.emplace_back(key, static_cast<std::uint32_t>(i));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void DccpStack::truncate_endpoints(std::size_t keep) {
+  if (endpoints_.size() > keep) endpoints_.resize(keep);
+}
+
+void DccpStack::restore(const Snapshot& snap) {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (i < snap.endpoints.size()) {
+      endpoints_[i]->restore_state(snap.endpoints[i]);
+    } else {
+      endpoints_[i]->snapshot_zombify();
+    }
+  }
+  connections_.clear();
+  for (const auto& [key, index] : snap.connections) connections_[key] = endpoints_[index].get();
+  rng_ = snap.rng;
+  next_ephemeral_port_ = snap.next_ephemeral_port;
+}
+
 std::size_t DccpStack::open_sockets(bool include_time_wait) const {
   std::size_t count = 0;
   for (const auto& ep : endpoints_) {

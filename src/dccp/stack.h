@@ -40,6 +40,22 @@ class DccpStack {
     std::uint16_t local_port;
     auto operator<=>(const ConnKey&) const = default;
   };
+
+ public:
+  /// Frozen stack state for the snapshot layer (mirrors TcpStack::Snapshot;
+  /// see there for the capture/truncate/restore contract and ordering rules).
+  struct Snapshot {
+    snake::Rng rng{0};
+    std::uint16_t next_ephemeral_port = 41000;
+    std::vector<DccpEndpoint::Snapshot> endpoints;
+    std::vector<std::pair<ConnKey, std::uint32_t>> connections;
+  };
+
+  Snapshot capture() const;
+  void truncate_endpoints(std::size_t keep);
+  void restore(const Snapshot& snap);
+
+ private:
   struct Listener {
     AcceptHandler on_accept;
     DccpEndpointConfig base;

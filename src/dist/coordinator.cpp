@@ -323,6 +323,7 @@ bool DistributedBackend::start(const core::CampaignConfig& config,
     wc.retry_seed_offset = config.retry_seed_offset;
     wc.retest_seed_offset = config.retest_seed_offset;
     wc.collect_metrics = config.collect_metrics;
+    wc.use_snapshots = config.use_snapshots;
     wc.identity_hash = identity;
     wc.worker_index = i;
     if (!im.options.journal_dir.empty())

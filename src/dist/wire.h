@@ -117,6 +117,10 @@ struct WorkerCampaign {
   std::uint64_t retry_seed_offset = 7919;
   std::uint64_t retest_seed_offset = 1000003;
   bool collect_metrics = true;
+  /// Serve first-attempt trials from per-worker snapshot checkpoints instead
+  /// of replaying from t=0. Bit-identical either way (snapshot_test.cpp), so
+  /// it never enters the campaign identity hash.
+  bool use_snapshots = true;
 
   std::uint64_t identity_hash = 0;  ///< campaign_identity_hash, cross-checked
   int worker_index = 0;

@@ -18,6 +18,7 @@
 #include "dist/wire.h"
 #include "obs/metrics.h"
 #include "snake/arena.h"
+#include "snake/snapshot.h"
 #include "snake/trial_runner.h"
 
 namespace snake::dist {
@@ -48,6 +49,7 @@ core::CampaignConfig campaign_config_for(const WorkerCampaign& wc) {
   cc.retry_seed_offset = wc.retry_seed_offset;
   cc.retest_seed_offset = wc.retest_seed_offset;
   cc.collect_metrics = wc.collect_metrics;
+  cc.use_snapshots = wc.use_snapshots;
   return cc;
 }
 
@@ -124,6 +126,11 @@ int run_worker(int fd, const WorkerHooks& hooks) {
   ctx.threshold = wc.detect_threshold;
   ctx.max_attempts = wc.trial_attempts;
   ctx.retry_seed_offset = wc.retry_seed_offset;
+  // Per-worker snapshot store, same as a ThreadBackend executor. Selfcheck
+  // campaigns carry an inspector, which the store declines per-trial, so the
+  // oracle always sees a from-zero run.
+  core::SnapshotStore snapshots;
+  ctx.snapshots = wc.use_snapshots ? &snapshots : nullptr;
 
   std::deque<WireTrial> queue;
   std::mutex queue_mutex;  // heartbeat thread reads the depth

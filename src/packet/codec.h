@@ -30,11 +30,29 @@ class Codec {
 
   /// Builds a minimal header-only packet of the named packet type with the
   /// given fields; unspecified fields are zero. Used by the off-path inject
-  /// and hitseqwindow attacks to forge packets from scratch.
+  /// and hitseqwindow attacks to forge packets from scratch. Throws
+  /// std::invalid_argument for an unknown type or when `fields` names the
+  /// type's discriminator field — a caller-supplied discriminator would
+  /// silently overwrite the type tag and build a different packet than asked.
   Bytes build(const std::string& packet_type,
               const std::map<std::string, std::uint64_t>& fields) const;
 
   std::string classify(const Bytes& raw) const { return format_->classify(raw); }
+
+  // ---- Compiled fast path ------------------------------------------------
+  // Per-packet code resolves CompiledField pointers once at setup
+  // (format().compiled(name)) and then reads/writes through fixed offsets;
+  // no string lookup per packet. Semantics match get/set exactly — set_fast
+  // refreshes the embedded checksum unless the written field IS the checksum.
+  std::uint64_t get_fast(const Bytes& raw, const CompiledField& f) const {
+    return format_->read(raw, f);
+  }
+  void set_fast(Bytes& raw, const CompiledField& f, std::uint64_t value) const {
+    format_->write(raw, f, value);
+    if (f.kind != FieldKind::kChecksum) refresh_checksum(raw);
+  }
+  int classify_index(const Bytes& raw) const { return format_->classify_index(raw); }
+  const std::string& type_name(int type_index) const { return format_->type_name(type_index); }
 
   void refresh_checksum(Bytes& raw) const;
 

@@ -59,8 +59,38 @@ struct PacketTypeSpec {
   std::uint64_t match_value = 0;
 };
 
+/// Fixed-offset accessor for one field, compiled at HeaderFormat
+/// construction — the runtime equivalent of the paper's generated C++
+/// parsing code. The hot path dispatches on `access` to a direct big-endian
+/// load/store; no string lookup, no per-bit loop for the common shapes.
+struct CompiledField {
+  /// How to reach the field's bits.
+  enum class Access : std::uint8_t {
+    kU8,     ///< byte-aligned 8-bit
+    kU16,    ///< byte-aligned 16-bit
+    kU32,    ///< byte-aligned 32-bit
+    kU48,    ///< byte-aligned 48-bit
+    kU64,    ///< byte-aligned 64-bit
+    kWindow  ///< arbitrary bit field within an 8-byte window
+  };
+
+  std::uint32_t index = 0;        ///< position in HeaderFormat::fields()
+  Access access = Access::kU8;
+  FieldKind kind = FieldKind::kGeneric;
+  std::uint32_t byte_offset = 0;  ///< first byte touched
+  std::uint32_t span_bytes = 0;   ///< bytes touched (window mode)
+  std::uint32_t shift = 0;        ///< right-shift after loading the window
+  std::uint64_t value_mask = 0;   ///< (1 << bit_width) - 1
+};
+
 class HeaderFormat {
  public:
+  /// Validates the description and compiles the per-field accessors and the
+  /// classification table. Throws std::invalid_argument when a field exceeds
+  /// the header, a packet type references an unknown discriminator, or a
+  /// checksum field is not a byte-aligned 16-bit quantity (the embedded
+  /// ones-complement checksum writer stamps exactly two bytes at a byte
+  /// offset, so anything else would be silently corrupted).
   HeaderFormat(std::string protocol_name, std::size_t header_bytes,
                std::vector<FieldSpec> fields, std::vector<PacketTypeSpec> types);
 
@@ -72,18 +102,65 @@ class HeaderFormat {
   const FieldSpec* field(const std::string& name) const;
   const FieldSpec& field_or_throw(const std::string& name) const;
 
-  /// Checksum field byte offset, if the format declares one.
+  /// Checksum field byte offset, if the format declares one. Alignment and
+  /// width are validated at construction, so the byte offset is exact.
   std::optional<std::size_t> checksum_offset() const;
 
   /// Classifies raw bytes into a packet-type name ("SYN+ACK", "DCCP-Request",
-  /// ...); returns "unknown" for unmatched or truncated packets.
+  /// ...); returns "unknown" for unmatched or truncated packets. Reference
+  /// implementation: resolves the discriminator by name per type. The hot
+  /// path uses classify_index().
   std::string classify(const Bytes& raw) const;
 
+  // ---- Compiled accessors ----------------------------------------------
+  /// Compiled accessor for a field, by fields() position or by name
+  /// (nullptr when no such field). Name lookup is for setup-time resolution;
+  /// per-packet code holds the returned pointer.
+  const CompiledField& compiled_at(std::size_t index) const { return compiled_[index]; }
+  const CompiledField* compiled(const std::string& name) const;
+
+  /// fields() position for a name, or -1. Setup-time only.
+  int field_index(const std::string& name) const;
+
+  /// Compiled read/write through a fixed-offset accessor. `raw` must be at
+  /// least header_bytes() long (same contract as read_bits/write_bits).
+  /// Writes truncate to the field width and do NOT refresh the checksum —
+  /// that policy lives in Codec.
+  std::uint64_t read(const Bytes& raw, const CompiledField& f) const;
+  void write(Bytes& raw, const CompiledField& f, std::uint64_t value) const;
+
+  /// Compiled classification: packet_types() index, or -1 for unmatched or
+  /// truncated packets. Discriminator accessors are resolved at construction
+  /// (no string compares); when every type shares one discriminator field —
+  /// true of both shipped formats — it is read once per packet.
+  int classify_index(const Bytes& raw) const;
+
+  /// Name for a classify_index() result ("unknown" for -1).
+  const std::string& type_name(int type_index) const;
+
+  /// packet_types() position for a type name, or -1. Setup-time only.
+  int type_index(const std::string& name) const;
+
  private:
+  CompiledField compile_field(std::size_t index) const;
+
   std::string protocol_name_;
   std::size_t header_bytes_;
   std::vector<FieldSpec> fields_;
   std::vector<PacketTypeSpec> types_;
+
+  // Compiled at construction.
+  std::vector<CompiledField> compiled_;
+  struct CompiledType {
+    std::uint32_t discriminator = 0;  ///< index into compiled_ (copy-safe)
+    std::uint64_t match_mask = 0;
+    std::uint64_t match_value = 0;
+  };
+  std::vector<CompiledType> compiled_types_;
+  /// compiled_ index of the discriminator shared by every packet type, or -1
+  /// when types disagree (then each type reads its own).
+  int common_discriminator_ = -1;
+  std::optional<std::size_t> checksum_byte_offset_;
 };
 
 }  // namespace snake::packet

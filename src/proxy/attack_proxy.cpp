@@ -19,6 +19,8 @@ AttackProxy::AttackProxy(sim::Node& attach_node, const packet::Codec& codec,
     : node_(attach_node),
       codec_(&codec),
       targets_(targets),
+      src_port_field_(codec.format().compiled("src_port")),
+      dst_port_field_(codec.format().compiled("dst_port")),
       rng_(rng),
       tracker_(machine, targets.client_addr, targets.server_addr,
                attach_node.scheduler().now()) {}
@@ -41,6 +43,19 @@ void AttackProxy::set_strategies(std::vector<Strategy> set) {
 
 void AttackProxy::arm(Armed& armed) {
   const Strategy& s = armed.strat;
+  // Resolve the per-packet match machinery once; on_packet then compares
+  // integers and dereferences fixed offsets instead of comparing strings.
+  if (s.packet_type == "*") {
+    armed.match_type = kMatchAnyType;
+  } else if (int ti = codec_->format().type_index(s.packet_type); ti >= 0) {
+    armed.match_type = ti;
+  } else if (s.packet_type == "unknown") {
+    armed.match_type = -1;  // classify_index's unclassifiable result
+  } else {
+    armed.match_type = kMatchNever;
+  }
+  if (s.action == AttackAction::kLie && s.lie.has_value())
+    armed.lie_field = codec_->format().compiled(s.lie->field);
   bool is_injection =
       s.action == AttackAction::kInject || s.action == AttackAction::kHitSeqWindow;
   if (is_injection && s.match_mode == MatchMode::kTimeWindow) {
@@ -65,16 +80,15 @@ sim::FilterVerdict AttackProxy::on_packet(sim::Packet& packet, sim::FilterDirect
   if (packet.protocol != targets_.protocol) return sim::FilterVerdict::kForward;
   ++stats_.intercepted;
 
-  std::string type = codec_->classify(packet.bytes);
+  int type_index = codec_->classify_index(packet.bytes);
+  const std::string& type = codec_->type_name(type_index);
 
   // Learn the proxied connection's client port from its first packet so
   // injections into the proxied connection can address it.
-  if (!learned_client_port_.has_value() && direction == sim::FilterDirection::kEgress) {
-    const packet::FieldSpec* f = codec_->format().field("src_port");
-    if (f != nullptr) {
-      learned_client_port_ =
-          static_cast<std::uint16_t>(codec_->get(packet.bytes, "src_port"));
-    }
+  if (!learned_client_port_.has_value() && direction == sim::FilterDirection::kEgress &&
+      src_port_field_ != nullptr) {
+    learned_client_port_ =
+        static_cast<std::uint16_t>(codec_->get_fast(packet.bytes, *src_port_field_));
   }
 
   // The strategy targets the state the packet was sent *in*, so capture the
@@ -93,7 +107,7 @@ sim::FilterVerdict AttackProxy::on_packet(sim::Packet& packet, sim::FilterDirect
   // the first one that consumes the packet ends processing.
   bool any_matched = false;
   for (auto& armed : strategies_) {
-    if (!matches(*armed, type, direction, sender_state, ordinal)) continue;
+    if (!matches(*armed, type_index, direction, sender_state, ordinal)) continue;
     if (!any_matched) {
       any_matched = true;
       ++stats_.matched;
@@ -104,7 +118,7 @@ sim::FilterVerdict AttackProxy::on_packet(sim::Packet& packet, sim::FilterDirect
   return sim::FilterVerdict::kForward;
 }
 
-bool AttackProxy::matches(const Armed& armed, const std::string& type,
+bool AttackProxy::matches(const Armed& armed, int type_index,
                           sim::FilterDirection direction, const std::string& sender_state,
                           std::uint64_t ordinal) const {
   const Strategy& s = armed.strat;
@@ -124,7 +138,8 @@ bool AttackProxy::matches(const Armed& armed, const std::string& type,
     return false;
   switch (s.match_mode) {
     case MatchMode::kStateBased:
-      if (s.packet_type != "*" && s.packet_type != type) return false;
+      if (armed.match_type == kMatchNever) return false;
+      if (armed.match_type != kMatchAnyType && armed.match_type != type_index) return false;
       return sender_state == s.target_state;
     case MatchMode::kPacketIndex:
       return ordinal == s.packet_index;
@@ -199,13 +214,13 @@ sim::FilterVerdict AttackProxy::apply(Armed& armed, sim::Packet& packet,
 
 void AttackProxy::apply_lie(const Armed& armed, sim::Packet& packet) {
   const LieSpec& lie = *armed.strat.lie;
-  const packet::FieldSpec* field = codec_->format().field(lie.field);
+  const packet::CompiledField* field = armed.lie_field;  // resolved at arm time
   if (field == nullptr) return;
-  std::uint64_t current = codec_->get(packet.bytes, lie.field);
+  std::uint64_t current = codec_->get_fast(packet.bytes, *field);
   std::uint64_t next = current;
   switch (lie.mode) {
     case LieSpec::Mode::kSet: next = lie.operand; break;
-    case LieSpec::Mode::kRandom: next = rng_.next_u64() & field->max_value(); break;
+    case LieSpec::Mode::kRandom: next = rng_.next_u64() & field->value_mask; break;
     case LieSpec::Mode::kAdd: next = current + lie.operand; break;
     case LieSpec::Mode::kSubtract: next = current - lie.operand; break;
     case LieSpec::Mode::kMultiply: next = current * lie.operand; break;
@@ -213,7 +228,7 @@ void AttackProxy::apply_lie(const Armed& armed, sim::Packet& packet) {
       next = lie.operand == 0 ? current : current / lie.operand;
       break;
   }
-  codec_->set(packet.bytes, lie.field, next);  // refreshes the checksum
+  codec_->set_fast(packet.bytes, *field, next);  // refreshes the checksum
   ++stats_.modified;
 }
 
@@ -226,12 +241,11 @@ void AttackProxy::reflect(const sim::Packet& packet, sim::FilterDirection direct
   back.dst = packet.src;
   back.protocol = packet.protocol;
   back.bytes = packet.bytes;
-  const packet::HeaderFormat& fmt = codec_->format();
-  if (fmt.field("src_port") != nullptr && fmt.field("dst_port") != nullptr) {
-    std::uint64_t sp = codec_->get(back.bytes, "src_port");
-    std::uint64_t dp = codec_->get(back.bytes, "dst_port");
-    codec_->set(back.bytes, "src_port", dp);
-    codec_->set(back.bytes, "dst_port", sp);
+  if (src_port_field_ != nullptr && dst_port_field_ != nullptr) {
+    std::uint64_t sp = codec_->get_fast(back.bytes, *src_port_field_);
+    std::uint64_t dp = codec_->get_fast(back.bytes, *dst_port_field_);
+    codec_->set_fast(back.bytes, *src_port_field_, dp);
+    codec_->set_fast(back.bytes, *dst_port_field_, sp);
   }
   // A packet reflected at the proxy heads back toward its sender: egress
   // packets return to the proxied client's stack, ingress ones to the wire.
@@ -341,6 +355,33 @@ void AttackProxy::inject_one(const Armed& armed, std::uint64_t sweep_index) {
   node_.inject_packet(std::move(forged),
                       local_delivery ? sim::FilterDirection::kIngress
                                      : sim::FilterDirection::kEgress);
+}
+
+AttackProxy::Snapshot AttackProxy::capture() const {
+  Snapshot snap;
+  snap.tracker = tracker_;
+  snap.rng = rng_;
+  snap.learned_client_port = learned_client_port_;
+  snap.egress_ordinal = egress_ordinal_;
+  snap.ingress_ordinal = ingress_ordinal_;
+  snap.stats = stats_;
+  return snap;
+}
+
+void AttackProxy::restore(const Snapshot& snap) {
+  tracker_ = *snap.tracker;
+  rng_ = snap.rng;
+  learned_client_port_ = snap.learned_client_port;
+  egress_ordinal_ = snap.egress_ordinal;
+  ingress_ordinal_ = snap.ingress_ordinal;
+  stats_ = snap.stats;
+  // Leftovers from the previous forked run. Their timer handles refer to the
+  // slot table being replaced, so detach rather than cancel (cancel could hit
+  // a recycled slot that now names a live restored event).
+  for (auto& armed : strategies_) *armed->alive = false;
+  strategies_.clear();
+  batch_.clear();
+  batch_timer_ = sim::Timer();
 }
 
 void AttackProxy::export_metrics(obs::MetricsRegistry& registry) const {

@@ -95,6 +95,22 @@ class AttackProxy : public sim::PacketFilter {
   const statemachine::ConnectionTracker& tracker() const { return tracker_; }
   statemachine::ConnectionTracker& tracker() { return tracker_; }
 
+  /// Mutable proxy state frozen between two scheduler events. Captured on an
+  /// *unarmed* proxy (no strategies installed, no batch pending); restore
+  /// rewinds to that point and detaches any strategy/batch machinery left
+  /// over from the previous forked run without cancelling — the timer handles
+  /// it holds refer to the pre-restore slot table.
+  struct Snapshot {
+    std::optional<statemachine::ConnectionTracker> tracker;
+    snake::Rng rng{0};
+    std::optional<std::uint16_t> learned_client_port;
+    std::uint64_t egress_ordinal = 0;
+    std::uint64_t ingress_ordinal = 0;
+    ProxyStats stats;
+  };
+  Snapshot capture() const;
+  void restore(const Snapshot& snap);
+
   /// Dumps per-basic-attack action counts ("proxy.*") and state-tracker
   /// counters ("tracker.*") into the registry.
   void export_metrics(obs::MetricsRegistry& registry) const;
@@ -104,12 +120,22 @@ class AttackProxy : public sim::PacketFilter {
     strategy::Strategy strat;
     bool injection_fired = false;
     sim::Timer window_timer;
+    /// Compiled packet-type match, resolved once at arm time: kMatchAnyType
+    /// for "*", kMatchNever for names the format doesn't know, otherwise a
+    /// packet_types() index (-1 matches unclassifiable packets).
+    int match_type = kMatchNever;
+    /// Compiled accessor for the lie target field; nullptr when the strategy
+    /// is not a lie or names an unknown field.
+    const packet::CompiledField* lie_field = nullptr;
     /// Invalidated when the strategy set is replaced, so injection events
     /// already in the scheduler become no-ops instead of dangling.
     std::shared_ptr<bool> alive = std::make_shared<bool>(true);
   };
 
-  bool matches(const Armed& armed, const std::string& type, sim::FilterDirection direction,
+  static constexpr int kMatchAnyType = -2;
+  static constexpr int kMatchNever = -3;
+
+  bool matches(const Armed& armed, int type_index, sim::FilterDirection direction,
                const std::string& sender_state, std::uint64_t ordinal) const;
   sim::FilterVerdict apply(Armed& armed, sim::Packet& packet, sim::FilterDirection direction);
   void apply_lie(const Armed& armed, sim::Packet& packet);
@@ -123,6 +149,10 @@ class AttackProxy : public sim::PacketFilter {
   sim::Node& node_;
   const packet::Codec* codec_;
   ProxyTargets targets_;
+  /// Port accessors resolved once at construction for the per-packet
+  /// learn/reflect paths; nullptr when the format has no such field.
+  const packet::CompiledField* src_port_field_ = nullptr;
+  const packet::CompiledField* dst_port_field_ = nullptr;
   snake::Rng rng_;
   statemachine::ConnectionTracker tracker_;
   std::vector<std::unique_ptr<Armed>> strategies_;

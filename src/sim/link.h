@@ -63,6 +63,34 @@ class Link {
   /// emptied (buffers recycled), counters zeroed, drop RNG re-seeded.
   void reset();
 
+  /// Mutable per-run state frozen by the snapshot layer. The in-serialization
+  /// packet is not part of this: its bytes live inside the scheduler's
+  /// transmission-complete closure, which the scheduler snapshot clones.
+  struct Snapshot {
+    std::deque<Packet> queue;
+    snake::Rng drop_rng{0};
+    bool busy = false;
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t bytes_sent = 0;
+    std::size_t queue_highwater = 0;
+  };
+
+  Snapshot capture() const {
+    return Snapshot{queue_,        drop_rng_,   busy_,          packets_sent_,
+                    packets_dropped_, bytes_sent_, queue_highwater_};
+  }
+
+  void restore(const Snapshot& snap) {
+    queue_ = snap.queue;
+    drop_rng_ = snap.drop_rng;
+    busy_ = snap.busy;
+    packets_sent_ = snap.packets_sent;
+    packets_dropped_ = snap.packets_dropped;
+    bytes_sent_ = snap.bytes_sent;
+    queue_highwater_ = snap.queue_highwater;
+  }
+
  private:
   void start_transmission(Packet packet);
   void transmission_complete();

@@ -61,6 +61,11 @@ class Node {
   /// counter) for scenario-arena reuse; static routes are kept.
   void reset();
 
+  /// Packet-id counter capture/restore for the snapshot layer. Handlers,
+  /// filter and trace wiring are session-stable and stay untouched.
+  std::uint64_t next_packet_id() const { return next_packet_id_; }
+  void set_next_packet_id(std::uint64_t id) { next_packet_id_ = id; }
+
  private:
   class NodeInjector;
 

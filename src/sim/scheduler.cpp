@@ -48,6 +48,7 @@ void Scheduler::release_slot(std::uint32_t index) {
 void Scheduler::arm_watchdog(const WatchdogConfig& config) {
   watchdog_event_limit_ =
       config.max_events == 0 ? 0 : executed_ + cancelled_ + config.max_events;
+  watchdog_wall_seconds_ = config.wall_seconds;
   watchdog_wall_armed_ = config.wall_seconds > 0.0;
   if (watchdog_wall_armed_) {
     watchdog_deadline_ = std::chrono::steady_clock::now() +
@@ -101,6 +102,102 @@ void Scheduler::run_until(TimePoint until) {
 }
 
 void Scheduler::run_all() { run_until(TimePoint::max()); }
+
+std::uint64_t Scheduler::run_events(std::uint64_t count) {
+  // Same gate order and pop mechanics as run_until, but bounded by pop count
+  // instead of a time horizon: the snapshot layer replays a verified prefix
+  // of a deterministic run and must stop on an exact event boundary.
+  std::uint64_t popped = 0;
+  while (popped < count && !heap_.empty()) {
+    if (watchdog_trip_ != WatchdogTrip::kNone) break;
+    if (watchdog_event_limit_ != 0 && executed_ + cancelled_ >= watchdog_event_limit_) {
+      watchdog_trip_ = WatchdogTrip::kEventBudget;
+      ++watchdog_trips_total_;
+      break;
+    }
+    if (watchdog_wall_armed_ && --watchdog_wall_countdown_ == 0) {
+      watchdog_wall_countdown_ = kWallCheckInterval;
+      if (std::chrono::steady_clock::now() >= watchdog_deadline_) {
+        watchdog_trip_ = WatchdogTrip::kWallClock;
+        ++watchdog_trips_total_;
+        break;
+      }
+    }
+    HeapEntry entry = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>());
+    heap_.pop_back();
+    now_ = entry.at;
+    EventSlot& event = slots_[entry.slot];
+    if (event.armed) {
+      SmallFunction fn = std::move(event.fn);
+      release_slot(entry.slot);
+      ++executed_;
+      fn();
+    } else {
+      ++cancelled_;
+      release_slot(entry.slot);
+    }
+    ++popped;
+  }
+  return popped;
+}
+
+bool Scheduler::capture(Snapshot& out) const {
+  if (watchdog_trip_ != WatchdogTrip::kNone) return false;
+  for (const EventSlot& slot : slots_) {
+    if (slot.armed && !slot.fn.clonable()) return false;
+  }
+  out.slots.clear();
+  out.slots.reserve(slots_.size());
+  for (const EventSlot& slot : slots_) {
+    Snapshot::Slot copy;
+    copy.generation = slot.generation;
+    copy.armed = slot.armed;
+    if (slot.armed) copy.fn = slot.fn.clone();
+    out.slots.push_back(std::move(copy));
+  }
+  out.heap = heap_;
+  out.free_slots = free_;
+  out.now = now_;
+  out.next_seq = next_seq_;
+  out.executed = executed_;
+  out.cancelled = cancelled_;
+  out.watchdog_event_limit = watchdog_event_limit_;
+  out.watchdog_wall_seconds = watchdog_wall_seconds_;
+  out.watchdog_wall_armed = watchdog_wall_armed_;
+  return true;
+}
+
+void Scheduler::restore(const Snapshot& snap) {
+  // Shrinking the slab destroys callbacks scheduled after the capture point;
+  // any Timer handle still naming a dropped slot reports !pending() via the
+  // slot-bounds check.
+  slots_.resize(snap.slots.size());
+  for (std::size_t i = 0; i < snap.slots.size(); ++i) {
+    const Snapshot::Slot& from = snap.slots[i];
+    EventSlot& into = slots_[i];
+    into.fn = from.armed ? from.fn.clone() : SmallFunction();
+    into.generation = from.generation;
+    into.armed = from.armed;
+  }
+  heap_ = snap.heap;
+  free_ = snap.free_slots;
+  now_ = snap.now;
+  next_seq_ = snap.next_seq;
+  executed_ = snap.executed;
+  cancelled_ = snap.cancelled;
+  watchdog_event_limit_ = snap.watchdog_event_limit;
+  watchdog_wall_seconds_ = snap.watchdog_wall_seconds;
+  watchdog_wall_armed_ = snap.watchdog_wall_armed;
+  if (watchdog_wall_armed_) {
+    watchdog_deadline_ = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(watchdog_wall_seconds_));
+  }
+  watchdog_wall_countdown_ = kWallCheckInterval;
+  watchdog_trip_ = WatchdogTrip::kNone;
+  watchdog_trips_total_ = 0;
+}
 
 void Scheduler::reset() {
   heap_.clear();

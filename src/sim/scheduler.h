@@ -99,6 +99,14 @@ class Scheduler {
   /// Runs until the event queue drains completely.
   void run_all();
 
+  /// Pops exactly `count` heap entries (executed or cancelled both count) with
+  /// no time horizon, stopping early only if the queue drains or the watchdog
+  /// trips. Returns the number of entries actually popped. The clock is left
+  /// at the last popped event's time — never advanced past it — so the
+  /// scheduler sits exactly on an event boundary, which is what the snapshot
+  /// layer needs to checkpoint between two events of a deterministic run.
+  std::uint64_t run_events(std::uint64_t count);
+
   /// Arms (or, with a default-constructed config, disarms) the watchdog for
   /// subsequent run_until work. Budgets count from the moment of arming; any
   /// previous trip is cleared. Disarmed costs the hot loop two predictable
@@ -132,6 +140,53 @@ class Scheduler {
   /// pool capacity warm. Outstanding Timer handles become inert.
   void reset();
 
+  /// Heap record: 24 bytes, trivially copyable, no ownership. Public only so
+  /// Snapshot can embed the ready queue verbatim.
+  struct HeapEntry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    bool operator>(const HeapEntry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  /// Deep-frozen scheduler state captured between two events. A Snapshot
+  /// preserves slot indices and generations bit-for-bit, so Timer handles
+  /// captured alongside it (inside endpoint/app state) remain valid against
+  /// the restored slot table. Armed callbacks are stored as clones and are
+  /// re-cloned on every restore, so one Snapshot can seed many forked runs.
+  /// Move-only (SmallFunction is move-only).
+  struct Snapshot {
+    struct Slot {
+      SmallFunction fn;  ///< clone of the armed callback; empty when !armed
+      std::uint32_t generation = 0;
+      bool armed = false;
+    };
+    std::vector<Slot> slots;
+    std::vector<HeapEntry> heap;
+    std::vector<std::uint32_t> free_slots;
+    TimePoint now = TimePoint::origin();
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t watchdog_event_limit = 0;
+    double watchdog_wall_seconds = 0.0;  ///< wall deadline is re-armed fresh
+    bool watchdog_wall_armed = false;
+  };
+
+  /// Captures the full scheduler state into `out`. Returns false (leaving
+  /// `out` unspecified) when the state cannot be checkpointed: the watchdog
+  /// has tripped, or some armed callback holds a non-copyable capture.
+  bool capture(Snapshot& out) const;
+
+  /// Restores state captured by capture(). The wall-clock watchdog deadline
+  /// is re-armed relative to the current wall time (virtual state is exact;
+  /// wall budgets are per-episode by design). Timer handles referring to
+  /// slots beyond the snapshot's slab safely report !pending() afterwards.
+  void restore(const Snapshot& snap);
+
   /// Dumps scheduler counters (events executed/cancelled, virtual time
   /// advanced, pool activity) into the registry under the "sim." prefix.
   void export_metrics(obs::MetricsRegistry& registry) const;
@@ -146,17 +201,6 @@ class Scheduler {
     SmallFunction fn;
     std::uint32_t generation = 0;
     bool armed = false;
-  };
-
-  /// Heap record: 24 bytes, trivially copyable, no ownership.
-  struct HeapEntry {
-    TimePoint at;
-    std::uint64_t seq;
-    std::uint32_t slot;
-    bool operator>(const HeapEntry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
   };
 
   Timer do_schedule(TimePoint at, SmallFunction fn);
@@ -184,6 +228,7 @@ class Scheduler {
   // threshold computed at arm time, 0 when disarmed.
   std::uint64_t watchdog_event_limit_ = 0;
   std::chrono::steady_clock::time_point watchdog_deadline_{};
+  double watchdog_wall_seconds_ = 0.0;  ///< last armed wall budget, for capture()
   bool watchdog_wall_armed_ = false;
   std::uint32_t watchdog_wall_countdown_ = kWallCheckInterval;
   WatchdogTrip watchdog_trip_ = WatchdogTrip::kNone;

@@ -54,6 +54,14 @@ struct CampaignConfig {
   /// by the determinism test in observability_test.cpp).
   bool collect_metrics = true;
 
+  /// When true (default), executors serve eligible trials from per-seed
+  /// world checkpoints instead of replaying every run from t=0 (see
+  /// snake/snapshot.h). Forked trials are bit-identical to replayed ones —
+  /// campaigns produce byte-identical results either way (enforced in
+  /// snapshot_test.cpp); this switch exists for benchmarking the speedup and
+  /// as an escape hatch.
+  bool use_snapshots = true;
+
   /// Progress callback (strategies committed, total queued so far). Invoked
   /// from the coordinating thread, in commit order, with no campaign lock
   /// held — both arguments are monotonically non-decreasing across calls

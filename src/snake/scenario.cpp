@@ -1,24 +1,10 @@
 #include "snake/scenario.h"
 
-#include <memory>
-
-#include "apps/bulk_http.h"
-#include "apps/iperf_dccp.h"
-#include "dccp/stack.h"
 #include "obs/metrics.h"
-#include "snake/faultpoint.h"
-#include "packet/dccp_format.h"
-#include "packet/tcp_format.h"
 #include "snake/arena.h"
-#include "statemachine/protocol_specs.h"
-#include "tcp/stack.h"
+#include "snake/scenario_world.h"
 
 namespace snake::core {
-
-namespace {
-constexpr std::uint16_t kHttpPort = 80;
-constexpr std::uint16_t kIperfPort = 5001;
-}  // namespace
 
 const char* to_string(Protocol protocol) {
   return protocol == Protocol::kTcp ? "tcp" : "dccp";
@@ -26,187 +12,26 @@ const char* to_string(Protocol protocol) {
 
 namespace {
 
-proxy::ProxyTargets make_targets(Protocol protocol) {
-  using A = sim::DumbbellAddresses;
-  proxy::ProxyTargets t;
-  t.client_addr = A::kClient1;
-  t.server_addr = A::kServer1;
-  t.competing_client_addr = A::kClient2;
-  t.competing_server_addr = A::kServer2;
-  if (protocol == Protocol::kTcp) {
-    t.protocol = sim::kProtoTcp;
-    t.server_port = kHttpPort;
-    t.competing_server_port = kHttpPort;
-    t.competing_client_port_guess = 40000;  // our stacks allocate from 40000
-  } else {
-    t.protocol = sim::kProtoDccp;
-    t.server_port = kIperfPort;
-    t.competing_server_port = kIperfPort;
-    t.competing_client_port_guess = 41000;
-  }
-  return t;
-}
-
-RunMetrics finish_metrics(proxy::AttackProxy& attack_proxy, TimePoint end) {
-  RunMetrics m;
-  m.client_observations = attack_proxy.tracker().client().observations();
-  m.server_observations = attack_proxy.tracker().server().observations();
-  m.client_state_stats = attack_proxy.tracker().client().finalize(end);
-  m.server_state_stats = attack_proxy.tracker().server().finalize(end);
-  m.proxy = attack_proxy.stats();
-  return m;
-}
-
-/// Arms the trial watchdog and plants any scenario-level fault points before
-/// run_until. The fault checks cost one null test in production; the armed
-/// degradations (storm, stall, throw) are what the watchdog and the trial
-/// guard exist to contain.
-void arm_run_guards(const ScenarioConfig& config, sim::Scheduler& scheduler) {
-  sim::WatchdogConfig watchdog;
-  watchdog.max_events = config.event_budget;
-  watchdog.wall_seconds = config.wall_limit_seconds;
-  scheduler.arm_watchdog(watchdog);
-  if (config.faults == nullptr) return;
-  // Plant faults a moment into the run so connection setup has begun and the
-  // degradation exercises a mid-trial state, not an empty scheduler.
-  const Duration after = Duration::seconds(0.5);
-  if (config.faults->should_fire(FaultKind::kEventStorm, config.fault_key,
-                                 config.fault_attempt))
-    arm_event_storm(scheduler, after);
-  if (config.faults->should_fire(FaultKind::kClockStall, config.fault_key,
-                                 config.fault_attempt))
-    arm_clock_stall(scheduler, after);
-  if (config.faults->should_fire(FaultKind::kThrowInTrial, config.fault_key,
-                                 config.fault_attempt))
-    arm_throw_in_trial(scheduler, after);
-}
-
-/// Harvests the watchdog verdict after run_until returned.
-void finish_watchdog(RunMetrics& m, sim::Scheduler& scheduler,
-                     const ScenarioConfig& config) {
-  sim::WatchdogTrip trip = scheduler.watchdog_trip();
-  if (trip == sim::WatchdogTrip::kNone) return;
-  m.aborted = true;
-  m.abort_reason = sim::to_string(trip);
-  if (config.metrics != nullptr) {
-    ++config.metrics->counter("scenario.aborted_runs");
-    ++config.metrics->counter(std::string("scenario.aborted_runs.") + m.abort_reason);
-  }
-}
-
-/// Dumps the run's substrate counters into the configured registry (no-op
-/// without one). Runs after the simulation finishes so the hot path carries
-/// zero instrumentation cost.
-void export_run_observability(const ScenarioConfig& config, sim::Dumbbell& net,
-                              proxy::AttackProxy& attack_proxy, bool attacked) {
-  if (config.metrics == nullptr) return;
-  obs::MetricsRegistry& reg = *config.metrics;
-  ++reg.counter(attacked ? "scenario.attack_runs" : "scenario.baseline_runs");
-  net.scheduler().export_metrics(reg);
-  if (net.bottleneck_left_to_right() != nullptr)
-    net.bottleneck_left_to_right()->export_metrics(reg);
-  if (net.bottleneck_right_to_left() != nullptr)
-    net.bottleneck_right_to_left()->export_metrics(reg);
-  attack_proxy.export_metrics(reg);
-}
+// The scenario bodies (graph construction, run, metric harvest) live in
+// scenario_world.cpp so the snapshot layer can keep a world alive across
+// forked trials; these thin drivers preserve run_scenario's exact behaviour.
 
 RunMetrics run_tcp(ScenarioArena& arena, const ScenarioConfig& config,
                    const std::vector<strategy::Strategy>& attacks) {
   obs::ScopedTimer run_timer(config.metrics, "scenario.run_seconds");
-  snake::Rng rng(config.seed);
-  ScenarioArena::TcpRig rig = arena.acquire_tcp(config.topology, config.tcp_profile, rng);
-  sim::Dumbbell& net = *rig.net;
-  tcp::TcpStack& client1 = *rig.client1;
-  tcp::TcpStack& client2 = *rig.client2;
-  tcp::TcpStack& server1 = *rig.server1;
-  tcp::TcpStack& server2 = *rig.server2;
-
-  proxy::AttackProxy attack_proxy(net.client1(), packet::tcp_codec(),
-                                  statemachine::tcp_state_machine(),
-                                  make_targets(Protocol::kTcp), rng.fork());
-  net.client1().set_filter(&attack_proxy);
-  if (!attacks.empty()) attack_proxy.set_strategies(attacks);
-  if (config.inspector != nullptr) net.network().enable_trace();
-
-  apps::BulkHttpServer http1(server1, kHttpPort, config.download_bytes);
-  apps::BulkHttpServer http2(server2, kHttpPort, config.download_bytes);
-  Duration exit_after =
-      Duration::seconds(config.test_duration.to_seconds() * config.client1_exit_fraction);
-  apps::BulkHttpClient wget1(client1, sim::DumbbellAddresses::kServer1, kHttpPort, exit_after);
-  apps::BulkHttpClient wget2(client2, sim::DumbbellAddresses::kServer2, kHttpPort);
-
-  TimePoint end = net.scheduler().now() + config.test_duration;
-  arm_run_guards(config, net.scheduler());
-  net.scheduler().run_until(end);
-
-  RunMetrics m = finish_metrics(attack_proxy, end);
-  finish_watchdog(m, net.scheduler(), config);
-  m.target_bytes = wget1.bytes_received();
-  m.competing_bytes = wget2.bytes_received();
-  m.target_established = wget1.established();
-  m.competing_established = wget2.established();
-  m.target_reset = wget1.reset();
-  m.competing_reset = wget2.reset();
-  m.server1_stuck_sockets = server1.open_sockets();
-  m.server2_stuck_sockets = server2.open_sockets();
-  m.server1_socket_states = server1.socket_states();
-  export_run_observability(config, net, attack_proxy, !attacks.empty());
-  if (config.inspector != nullptr) config.inspector->on_run_complete(net, attack_proxy, m);
-  return m;
+  detail::TcpWorld world;
+  world.init(arena, config, attacks);
+  world.rig.net->scheduler().run_until(world.end);
+  return world.finish(config, !attacks.empty());
 }
 
 RunMetrics run_dccp(ScenarioArena& arena, const ScenarioConfig& config,
                     const std::vector<strategy::Strategy>& attacks) {
   obs::ScopedTimer run_timer(config.metrics, "scenario.run_seconds");
-  snake::Rng rng(config.seed);
-  ScenarioArena::DccpRig rig = arena.acquire_dccp(config.topology, rng);
-  sim::Dumbbell& net = *rig.net;
-  dccp::DccpStack& client1 = *rig.client1;
-  dccp::DccpStack& client2 = *rig.client2;
-  dccp::DccpStack& server1 = *rig.server1;
-  dccp::DccpStack& server2 = *rig.server2;
-
-  proxy::AttackProxy attack_proxy(net.client1(), packet::dccp_codec(),
-                                  statemachine::dccp_state_machine(),
-                                  make_targets(Protocol::kDccp), rng.fork());
-  net.client1().set_filter(&attack_proxy);
-  if (!attacks.empty()) attack_proxy.set_strategies(attacks);
-  if (config.inspector != nullptr) net.network().enable_trace();
-
-  dccp::DccpEndpointConfig accept_config;
-  accept_config.ccid = config.dccp_ccid;
-  apps::DccpIperfSink sink1(server1, kIperfPort, accept_config);
-  apps::DccpIperfSink sink2(server2, kIperfPort, accept_config);
-  apps::DccpIperfSource::Options opts;
-  opts.offer_rate_pps = config.dccp_offer_rate_pps;
-  opts.payload_bytes = config.dccp_payload_bytes;
-  opts.duration =
-      Duration::seconds(config.test_duration.to_seconds() * config.dccp_data_fraction);
-  opts.tx_queue_packets = config.dccp_tx_queue_packets;
-  opts.ccid = config.dccp_ccid;
-  apps::DccpIperfSource src1(client1, sim::DumbbellAddresses::kServer1, kIperfPort, opts);
-  apps::DccpIperfSource src2(client2, sim::DumbbellAddresses::kServer2, kIperfPort, opts);
-
-  TimePoint end = net.scheduler().now() + config.test_duration;
-  arm_run_guards(config, net.scheduler());
-  net.scheduler().run_until(end);
-
-  RunMetrics m = finish_metrics(attack_proxy, end);
-  finish_watchdog(m, net.scheduler(), config);
-  // "Since DCCP is not a reliable protocol, we measured performance based on
-  // server goodput, or actual data received."
-  m.target_bytes = sink1.goodput_bytes();
-  m.competing_bytes = sink2.goodput_bytes();
-  m.target_established = src1.established();
-  m.competing_established = src2.established();
-  m.target_reset = src1.reset();
-  m.competing_reset = src2.reset();
-  m.server1_stuck_sockets = server1.open_sockets();
-  m.server2_stuck_sockets = server2.open_sockets();
-  m.server1_socket_states = server1.socket_states();
-  export_run_observability(config, net, attack_proxy, !attacks.empty());
-  if (config.inspector != nullptr) config.inspector->on_run_complete(net, attack_proxy, m);
-  return m;
+  detail::DccpWorld world;
+  world.init(arena, config, attacks);
+  world.rig.net->scheduler().run_until(world.end);
+  return world.finish(config, !attacks.empty());
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+#include "snake/scenario_world.h"
+
+#include "obs/metrics.h"
+#include "packet/dccp_format.h"
+#include "packet/tcp_format.h"
+#include "snake/faultpoint.h"
+#include "statemachine/protocol_specs.h"
+
+namespace snake::core::detail {
+
+namespace {
+
+constexpr std::uint16_t kHttpPort = 80;
+constexpr std::uint16_t kIperfPort = 5001;
+
+proxy::ProxyTargets make_targets(Protocol protocol) {
+  using A = sim::DumbbellAddresses;
+  proxy::ProxyTargets t;
+  t.client_addr = A::kClient1;
+  t.server_addr = A::kServer1;
+  t.competing_client_addr = A::kClient2;
+  t.competing_server_addr = A::kServer2;
+  if (protocol == Protocol::kTcp) {
+    t.protocol = sim::kProtoTcp;
+    t.server_port = kHttpPort;
+    t.competing_server_port = kHttpPort;
+    t.competing_client_port_guess = 40000;  // our stacks allocate from 40000
+  } else {
+    t.protocol = sim::kProtoDccp;
+    t.server_port = kIperfPort;
+    t.competing_server_port = kIperfPort;
+    t.competing_client_port_guess = 41000;
+  }
+  return t;
+}
+
+RunMetrics finish_metrics(proxy::AttackProxy& attack_proxy, TimePoint end) {
+  RunMetrics m;
+  m.client_observations = attack_proxy.tracker().client().observations();
+  m.server_observations = attack_proxy.tracker().server().observations();
+  m.client_state_stats = attack_proxy.tracker().client().finalize(end);
+  m.server_state_stats = attack_proxy.tracker().server().finalize(end);
+  m.proxy = attack_proxy.stats();
+  return m;
+}
+
+/// Harvests the watchdog verdict after the run returned.
+void finish_watchdog(RunMetrics& m, sim::Scheduler& scheduler, const ScenarioConfig& config) {
+  sim::WatchdogTrip trip = scheduler.watchdog_trip();
+  if (trip == sim::WatchdogTrip::kNone) return;
+  m.aborted = true;
+  m.abort_reason = sim::to_string(trip);
+  if (config.metrics != nullptr) {
+    ++config.metrics->counter("scenario.aborted_runs");
+    ++config.metrics->counter(std::string("scenario.aborted_runs.") + m.abort_reason);
+  }
+}
+
+/// Dumps the run's substrate counters into the configured registry (no-op
+/// without one). Runs after the simulation finishes so the hot path carries
+/// zero instrumentation cost.
+void export_run_observability(const ScenarioConfig& config, sim::Dumbbell& net,
+                              proxy::AttackProxy& attack_proxy, bool attacked) {
+  if (config.metrics == nullptr) return;
+  obs::MetricsRegistry& reg = *config.metrics;
+  ++reg.counter(attacked ? "scenario.attack_runs" : "scenario.baseline_runs");
+  net.scheduler().export_metrics(reg);
+  if (net.bottleneck_left_to_right() != nullptr)
+    net.bottleneck_left_to_right()->export_metrics(reg);
+  if (net.bottleneck_right_to_left() != nullptr)
+    net.bottleneck_right_to_left()->export_metrics(reg);
+  attack_proxy.export_metrics(reg);
+}
+
+}  // namespace
+
+void arm_run_guards(const ScenarioConfig& config, sim::Scheduler& scheduler) {
+  sim::WatchdogConfig watchdog;
+  watchdog.max_events = config.event_budget;
+  watchdog.wall_seconds = config.wall_limit_seconds;
+  scheduler.arm_watchdog(watchdog);
+  if (config.faults == nullptr) return;
+  // Plant faults a moment into the run so connection setup has begun and the
+  // degradation exercises a mid-trial state, not an empty scheduler.
+  const Duration after = Duration::seconds(0.5);
+  if (config.faults->should_fire(FaultKind::kEventStorm, config.fault_key,
+                                 config.fault_attempt))
+    arm_event_storm(scheduler, after);
+  if (config.faults->should_fire(FaultKind::kClockStall, config.fault_key,
+                                 config.fault_attempt))
+    arm_clock_stall(scheduler, after);
+  if (config.faults->should_fire(FaultKind::kThrowInTrial, config.fault_key,
+                                 config.fault_attempt))
+    arm_throw_in_trial(scheduler, after);
+}
+
+// ------------------------------------------------------------------ TcpWorld
+
+void TcpWorld::init(ScenarioArena& arena, const ScenarioConfig& config,
+                    const std::vector<strategy::Strategy>& attacks,
+                    const std::function<void(proxy::AttackProxy&)>& after_proxy) {
+  snake::Rng rng(config.seed);
+  rig = arena.acquire_tcp(config.topology, config.tcp_profile, rng);
+  sim::Dumbbell& net = *rig.net;
+
+  proxy.emplace(net.client1(), packet::tcp_codec(), statemachine::tcp_state_machine(),
+                make_targets(Protocol::kTcp), rng.fork());
+  net.client1().set_filter(&*proxy);
+  if (!attacks.empty()) proxy->set_strategies(attacks);
+  if (config.inspector != nullptr) net.network().enable_trace();
+  if (after_proxy) after_proxy(*proxy);
+
+  http1.emplace(*rig.server1, kHttpPort, config.download_bytes);
+  http2.emplace(*rig.server2, kHttpPort, config.download_bytes);
+  Duration exit_after =
+      Duration::seconds(config.test_duration.to_seconds() * config.client1_exit_fraction);
+  wget1.emplace(*rig.client1, sim::DumbbellAddresses::kServer1, kHttpPort, exit_after);
+  wget2.emplace(*rig.client2, sim::DumbbellAddresses::kServer2, kHttpPort);
+
+  end = net.scheduler().now() + config.test_duration;
+  arm_run_guards(config, net.scheduler());
+}
+
+RunMetrics TcpWorld::finish(const ScenarioConfig& config, bool attacked) {
+  sim::Dumbbell& net = *rig.net;
+  RunMetrics m = finish_metrics(*proxy, end);
+  finish_watchdog(m, net.scheduler(), config);
+  m.target_bytes = wget1->bytes_received();
+  m.competing_bytes = wget2->bytes_received();
+  m.target_established = wget1->established();
+  m.competing_established = wget2->established();
+  m.target_reset = wget1->reset();
+  m.competing_reset = wget2->reset();
+  m.server1_stuck_sockets = rig.server1->open_sockets();
+  m.server2_stuck_sockets = rig.server2->open_sockets();
+  m.server1_socket_states = rig.server1->socket_states();
+  export_run_observability(config, net, *proxy, attacked);
+  if (config.inspector != nullptr) config.inspector->on_run_complete(net, *proxy, m);
+  return m;
+}
+
+bool TcpWorld::capture(Snapshot& out) const {
+  sim::Dumbbell& net = *rig.net;
+  if (!net.scheduler().capture(out.scheduler)) return false;
+  out.links.clear();
+  for (const auto& link : net.network().links()) out.links.push_back(link->capture());
+  out.node_packet_ids.clear();
+  for (const auto& node : net.network().nodes())
+    out.node_packet_ids.push_back(node->next_packet_id());
+  out.client1 = rig.client1->capture();
+  out.client2 = rig.client2->capture();
+  out.server1 = rig.server1->capture();
+  out.server2 = rig.server2->capture();
+  out.proxy = proxy->capture();
+  out.http1 = http1->capture();
+  out.http2 = http2->capture();
+  out.wget1 = wget1->capture();
+  out.wget2 = wget2->capture();
+  return true;
+}
+
+void TcpWorld::freeze() {
+  canonical_endpoints_ = {rig.client1->endpoints().size(), rig.client2->endpoints().size(),
+                          rig.server1->endpoints().size(), rig.server2->endpoints().size()};
+}
+
+void TcpWorld::restore(const Snapshot& snap) {
+  sim::Dumbbell& net = *rig.net;
+  // 1. Destroy endpoints created after the session's last capture (by a
+  //    previous forked run): their destructors cancel timers, which must
+  //    happen against the scheduler state those handles refer to.
+  tcp::TcpStack* stacks[4] = {rig.client1, rig.client2, rig.server1, rig.server2};
+  for (std::size_t i = 0; i < 4; ++i) stacks[i]->truncate_endpoints(canonical_endpoints_[i]);
+  // 2. Scheduler: slot table, heap, clock, counters.
+  net.scheduler().restore(snap.scheduler);
+  // 3. Everything above the scheduler.
+  for (std::size_t i = 0; i < snap.links.size(); ++i)
+    net.network().links()[i]->restore(snap.links[i]);
+  for (std::size_t i = 0; i < snap.node_packet_ids.size(); ++i)
+    net.network().nodes()[i]->set_next_packet_id(snap.node_packet_ids[i]);
+  rig.client1->restore(snap.client1);
+  rig.client2->restore(snap.client2);
+  rig.server1->restore(snap.server1);
+  rig.server2->restore(snap.server2);
+  proxy->restore(snap.proxy);
+  http1->restore(snap.http1);
+  http2->restore(snap.http2);
+  wget1->restore(snap.wget1);
+  wget2->restore(snap.wget2);
+}
+
+// ----------------------------------------------------------------- DccpWorld
+
+void DccpWorld::init(ScenarioArena& arena, const ScenarioConfig& config,
+                     const std::vector<strategy::Strategy>& attacks,
+                     const std::function<void(proxy::AttackProxy&)>& after_proxy) {
+  snake::Rng rng(config.seed);
+  rig = arena.acquire_dccp(config.topology, rng);
+  sim::Dumbbell& net = *rig.net;
+
+  proxy.emplace(net.client1(), packet::dccp_codec(), statemachine::dccp_state_machine(),
+                make_targets(Protocol::kDccp), rng.fork());
+  net.client1().set_filter(&*proxy);
+  if (!attacks.empty()) proxy->set_strategies(attacks);
+  if (config.inspector != nullptr) net.network().enable_trace();
+  if (after_proxy) after_proxy(*proxy);
+
+  dccp::DccpEndpointConfig accept_config;
+  accept_config.ccid = config.dccp_ccid;
+  sink1.emplace(*rig.server1, kIperfPort, accept_config);
+  sink2.emplace(*rig.server2, kIperfPort, accept_config);
+  apps::DccpIperfSource::Options opts;
+  opts.offer_rate_pps = config.dccp_offer_rate_pps;
+  opts.payload_bytes = config.dccp_payload_bytes;
+  opts.duration =
+      Duration::seconds(config.test_duration.to_seconds() * config.dccp_data_fraction);
+  opts.tx_queue_packets = config.dccp_tx_queue_packets;
+  opts.ccid = config.dccp_ccid;
+  src1.emplace(*rig.client1, sim::DumbbellAddresses::kServer1, kIperfPort, opts);
+  src2.emplace(*rig.client2, sim::DumbbellAddresses::kServer2, kIperfPort, opts);
+
+  end = net.scheduler().now() + config.test_duration;
+  arm_run_guards(config, net.scheduler());
+}
+
+RunMetrics DccpWorld::finish(const ScenarioConfig& config, bool attacked) {
+  sim::Dumbbell& net = *rig.net;
+  RunMetrics m = finish_metrics(*proxy, end);
+  finish_watchdog(m, net.scheduler(), config);
+  // "Since DCCP is not a reliable protocol, we measured performance based on
+  // server goodput, or actual data received."
+  m.target_bytes = sink1->goodput_bytes();
+  m.competing_bytes = sink2->goodput_bytes();
+  m.target_established = src1->established();
+  m.competing_established = src2->established();
+  m.target_reset = src1->reset();
+  m.competing_reset = src2->reset();
+  m.server1_stuck_sockets = rig.server1->open_sockets();
+  m.server2_stuck_sockets = rig.server2->open_sockets();
+  m.server1_socket_states = rig.server1->socket_states();
+  export_run_observability(config, net, *proxy, attacked);
+  if (config.inspector != nullptr) config.inspector->on_run_complete(net, *proxy, m);
+  return m;
+}
+
+bool DccpWorld::capture(Snapshot& out) const {
+  sim::Dumbbell& net = *rig.net;
+  if (!net.scheduler().capture(out.scheduler)) return false;
+  out.links.clear();
+  for (const auto& link : net.network().links()) out.links.push_back(link->capture());
+  out.node_packet_ids.clear();
+  for (const auto& node : net.network().nodes())
+    out.node_packet_ids.push_back(node->next_packet_id());
+  out.client1 = rig.client1->capture();
+  out.client2 = rig.client2->capture();
+  out.server1 = rig.server1->capture();
+  out.server2 = rig.server2->capture();
+  out.proxy = proxy->capture();
+  out.sink1 = sink1->capture();
+  out.sink2 = sink2->capture();
+  out.src1 = src1->capture();
+  out.src2 = src2->capture();
+  return true;
+}
+
+void DccpWorld::freeze() {
+  canonical_endpoints_ = {rig.client1->endpoints().size(), rig.client2->endpoints().size(),
+                          rig.server1->endpoints().size(), rig.server2->endpoints().size()};
+}
+
+void DccpWorld::restore(const Snapshot& snap) {
+  sim::Dumbbell& net = *rig.net;
+  dccp::DccpStack* stacks[4] = {rig.client1, rig.client2, rig.server1, rig.server2};
+  for (std::size_t i = 0; i < 4; ++i) stacks[i]->truncate_endpoints(canonical_endpoints_[i]);
+  net.scheduler().restore(snap.scheduler);
+  for (std::size_t i = 0; i < snap.links.size(); ++i)
+    net.network().links()[i]->restore(snap.links[i]);
+  for (std::size_t i = 0; i < snap.node_packet_ids.size(); ++i)
+    net.network().nodes()[i]->set_next_packet_id(snap.node_packet_ids[i]);
+  rig.client1->restore(snap.client1);
+  rig.client2->restore(snap.client2);
+  rig.server1->restore(snap.server1);
+  rig.server2->restore(snap.server2);
+  proxy->restore(snap.proxy);
+  sink1->restore(snap.sink1);
+  sink2->restore(snap.sink2);
+  src1->restore(snap.src1);
+  src2->restore(snap.src2);
+}
+
+}  // namespace snake::core::detail

@@ -1,0 +1,119 @@
+// Internal: the live object graph of one scenario run — rig, proxy, apps —
+// extracted from scenario.cpp so the snapshot layer (snake/snapshot.h) can
+// keep a world alive across forked trials. run_scenario builds a world, runs
+// the scheduler to the horizon, and finishes it; a snapshot session builds a
+// world once, checkpoints it at attack injection states, and re-finishes it
+// once per forked trial.
+//
+// Not installed API: include only from src/snake and tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "apps/bulk_http.h"
+#include "apps/iperf_dccp.h"
+#include "proxy/attack_proxy.h"
+#include "snake/arena.h"
+#include "snake/scenario.h"
+
+namespace snake::core::detail {
+
+/// Arms the trial watchdog and plants any scenario-level fault points before
+/// the run starts.
+void arm_run_guards(const ScenarioConfig& config, sim::Scheduler& scheduler);
+
+/// The TCP scenario graph. Members are declared in the exact construction
+/// order of the former run_tcp locals so teardown order is preserved.
+struct TcpWorld {
+  ScenarioArena::TcpRig rig{};
+  std::optional<proxy::AttackProxy> proxy;
+  std::optional<apps::BulkHttpServer> http1, http2;
+  std::optional<apps::BulkHttpClient> wget1, wget2;
+  TimePoint end;
+
+  /// Builds (or rebuilds, resetting the arena) the full graph for `config`
+  /// and arms the run guards; the caller then drives the scheduler. Must not
+  /// be called again once any snapshot of this world exists — snapshots hold
+  /// cloned closures referencing the current graph objects.
+  ///
+  /// `after_proxy`, when set, runs right after the proxy is attached and
+  /// armed, *before* the applications are constructed. App construction
+  /// already moves packets through the proxy (the client's connect sends its
+  /// SYN synchronously), so this is the only point where the snapshot
+  /// layer's discovery hooks can see those time-zero state entries.
+  void init(ScenarioArena& arena, const ScenarioConfig& config,
+            const std::vector<strategy::Strategy>& attacks,
+            const std::function<void(proxy::AttackProxy&)>& after_proxy = {});
+
+  /// Harvests RunMetrics exactly as run_tcp did. Safe to call once per
+  /// (from-zero or forked) run; tracker finalization is undone by the next
+  /// restore().
+  RunMetrics finish(const ScenarioConfig& config, bool attacked);
+
+  /// Composite checkpoint of every piece of mutable world state. Move-only
+  /// (the scheduler snapshot owns cloned callbacks).
+  struct Snapshot {
+    sim::Scheduler::Snapshot scheduler;
+    std::vector<sim::Link::Snapshot> links;
+    std::vector<std::uint64_t> node_packet_ids;
+    tcp::TcpStack::Snapshot client1, client2, server1, server2;
+    proxy::AttackProxy::Snapshot proxy;
+    apps::BulkHttpServer::Snapshot http1, http2;
+    apps::BulkHttpClient::Snapshot wget1, wget2;
+  };
+
+  /// Captures the world between two scheduler events. False when the
+  /// scheduler state cannot be checkpointed (watchdog tripped, non-clonable
+  /// armed callback).
+  bool capture(Snapshot& out) const;
+
+  /// Freezes the canonical endpoint counts. Call once, immediately after the
+  /// last capture of the session: endpoints that exist at that point may be
+  /// referenced by any snapshot and are never destroyed, only zombified;
+  /// endpoints created later (during forked runs) are truncated on restore.
+  void freeze();
+
+  /// Rewinds the graph to `snap`. Ordering inside: truncate forked-run
+  /// endpoints (their destructors cancel timers against the dying run's
+  /// scheduler state) -> scheduler restore -> links/nodes/stacks/proxy/apps.
+  /// Leaves the proxy unarmed; install strategies afterwards.
+  void restore(const Snapshot& snap);
+
+ private:
+  std::vector<std::size_t> canonical_endpoints_;
+};
+
+/// The DCCP scenario graph; mirrors TcpWorld.
+struct DccpWorld {
+  ScenarioArena::DccpRig rig{};
+  std::optional<proxy::AttackProxy> proxy;
+  std::optional<apps::DccpIperfSink> sink1, sink2;
+  std::optional<apps::DccpIperfSource> src1, src2;
+  TimePoint end;
+
+  void init(ScenarioArena& arena, const ScenarioConfig& config,
+            const std::vector<strategy::Strategy>& attacks,
+            const std::function<void(proxy::AttackProxy&)>& after_proxy = {});
+  RunMetrics finish(const ScenarioConfig& config, bool attacked);
+
+  struct Snapshot {
+    sim::Scheduler::Snapshot scheduler;
+    std::vector<sim::Link::Snapshot> links;
+    std::vector<std::uint64_t> node_packet_ids;
+    dccp::DccpStack::Snapshot client1, client2, server1, server2;
+    proxy::AttackProxy::Snapshot proxy;
+    apps::DccpIperfSink::Snapshot sink1, sink2;
+    apps::DccpIperfSource::Snapshot src1, src2;
+  };
+  bool capture(Snapshot& out) const;
+  void freeze();
+  void restore(const Snapshot& snap);
+
+ private:
+  std::vector<std::size_t> canonical_endpoints_;
+};
+
+}  // namespace snake::core::detail

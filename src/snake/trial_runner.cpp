@@ -12,8 +12,28 @@
 #include "snake/arena.h"
 #include "snake/controller.h"
 #include "snake/detector.h"
+#include "snake/snapshot.h"
 
 namespace snake::core {
+
+namespace {
+
+/// One scenario run, snapshot-forked when the context allows it. Only first
+/// attempts qualify: retries carry perturbed seeds that would each cost a
+/// fresh two-pass session build for (usually) a single run.
+RunMetrics run_one(ScenarioArena& arena, const TrialContext& ctx,
+                   const ScenarioConfig& config, const strategy::Strategy& strat,
+                   std::uint32_t attempt) {
+  if (ctx.snapshots != nullptr && attempt == 0) {
+    std::vector<strategy::Strategy> attacks;
+    attacks.push_back(strat);
+    std::optional<RunMetrics> forked = ctx.snapshots->run_trial(config, attacks);
+    if (forked.has_value()) return *forked;
+  }
+  return run_scenario(arena, config, strat);
+}
+
+}  // namespace
 
 std::vector<JournalObservation> journal_observations(
     const std::vector<statemachine::EndpointTracker::Observation>& obs) {
@@ -56,7 +76,7 @@ TrialRecord execute_trial(ScenarioArena& arena, const TrialContext& ctx,
     attempt_retest.fault_key = strat.id;
     attempt_retest.fault_attempt = attempt;
     try {
-      run = run_scenario(arena, attempt_config, strat);
+      run = run_one(arena, ctx, attempt_config, strat, attempt);
       if (run.aborted) {
         fail_verdict = TrialVerdict::kAborted;
         record.failure_reason = run.abort_reason;
@@ -70,7 +90,7 @@ TrialRecord execute_trial(ScenarioArena& arena, const TrialContext& ctx,
         if (reg != nullptr) ++reg->counter("campaign.detected_first_pass");
         // Repeatability check under a different seed.
         obs::ScopedTimer retest_timer(reg, "campaign.retest_seconds");
-        RunMetrics again = run_scenario(arena, attempt_retest, strat);
+        RunMetrics again = run_one(arena, ctx, attempt_retest, strat, attempt);
         if (again.aborted) {
           fail_verdict = TrialVerdict::kAborted;
           record.failure_reason = again.abort_reason;
@@ -132,6 +152,7 @@ struct ThreadBackend::Impl {
   std::uint32_t max_attempts = 1;
   std::uint64_t retry_seed_offset = 7919;
   bool collect_metrics = true;
+  bool use_snapshots = true;
 
   std::mutex mutex;
   std::condition_variable inbox_cv;
@@ -148,11 +169,13 @@ struct ThreadBackend::Impl {
     // plus the executor's arena: network and stacks built once, reset
     // between trials.
     ScenarioArena arena;
+    SnapshotStore snapshots;
     ScenarioConfig run_config = run_template;
     run_config.metrics = reg;
     ScenarioConfig retest_config = retest_template;
     retest_config.metrics = reg;
     TrialContext ctx;
+    ctx.snapshots = use_snapshots ? &snapshots : nullptr;
     ctx.run_template = &run_config;
     ctx.retest_template = &retest_config;
     ctx.baseline = &baseline;
@@ -205,6 +228,7 @@ bool ThreadBackend::start(const CampaignConfig& config, const RunMetrics& baseli
   im.max_attempts = std::max<std::uint32_t>(1, config.trial_attempts);
   im.retry_seed_offset = config.retry_seed_offset;
   im.collect_metrics = config.collect_metrics;
+  im.use_snapshots = config.use_snapshots;
 
   im.registries.clear();
   im.registries.resize(static_cast<std::size_t>(im.executors));

@@ -18,6 +18,8 @@
 
 namespace snake::core {
 
+class SnapshotStore;
+
 /// Everything a trial body needs besides the strategy itself. The pointed-to
 /// objects must outlive the calls (they live in the campaign coordinator or
 /// the worker process main loop).
@@ -30,6 +32,10 @@ struct TrialContext {
   double threshold = 0.5;
   std::uint32_t max_attempts = 1;
   std::uint64_t retry_seed_offset = 7919;
+  /// Snapshot-fork layer for this executor (optional, not owned). When set,
+  /// first-attempt runs are served from checkpoints where eligible (see
+  /// snapshot.h); retries and ineligible runs replay from zero as before.
+  SnapshotStore* snapshots = nullptr;
 };
 
 /// Converts a run's raw observation stream into the journaled form: the

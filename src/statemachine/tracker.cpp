@@ -15,6 +15,7 @@ void EndpointTracker::enter(const std::string& state, TimePoint now) {
   state_ = state;
   entered_at_ = now;
   ++stats_[state].visits;
+  if (on_enter_) on_enter_(role_, state_);
 }
 
 void EndpointTracker::advance_to(TimePoint now) {

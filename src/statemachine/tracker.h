@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -60,6 +61,15 @@ class EndpointTracker {
   };
   const std::vector<Observation>& observations() const { return observations_; }
 
+  /// Observer invoked after every state entry (packet-triggered and
+  /// timeout-driven transitions; not the constructor's initial entry). Used
+  /// by the snapshot layer's discovery pass to learn where each state is
+  /// first entered; unset in normal runs and deliberately side-effect-free
+  /// with respect to tracking behaviour. Copied along with the tracker.
+  void set_enter_hook(std::function<void(Role, const std::string&)> hook) {
+    on_enter_ = std::move(hook);
+  }
+
   /// State transitions taken (packet-triggered and timeout-driven).
   std::uint64_t transitions() const { return transitions_; }
   /// Observed packets that matched no transition from the current state —
@@ -72,6 +82,7 @@ class EndpointTracker {
 
   const StateMachine* machine_;
   Role role_;
+  std::function<void(Role, const std::string&)> on_enter_;
   std::string state_;
   TimePoint entered_at_;
   std::map<std::string, StateStats> stats_;

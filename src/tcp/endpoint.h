@@ -120,6 +120,54 @@ class TcpEndpoint {
   // ---- Wire input (from the stack demux) ------------------------------
   void on_segment(const Segment& segment);
 
+  // ---- Snapshot support ------------------------------------------------
+  /// Every mutable per-connection member, frozen by value. Identity members
+  /// (node_, profile_, config_, callbacks_, on_released_) are session-stable
+  /// and excluded — a restore writes into the same endpoint object whose
+  /// callbacks were wired at creation. Timer handles are captured verbatim;
+  /// they stay valid because the scheduler snapshot preserves slot indices
+  /// and generations. Keep this struct and capture/restore in lockstep with
+  /// the member list below.
+  struct Snapshot {
+    snake::Rng rng{0};
+    TcpState state = TcpState::kClosed;
+    bool released = false;
+    Seq iss = 0, snd_una = 0, snd_nxt = 0, snd_max = 0;
+    std::uint32_t snd_wnd = 0;
+    std::deque<std::uint8_t> send_buf;
+    std::uint64_t queued_total = 0, acked_total = 0;
+    std::deque<std::uint64_t> push_points;
+    bool fin_pending = false, fin_sent = false;
+    Seq fin_seq = 0;
+    bool app_exited = false;
+    Seq irs = 0, rcv_nxt = 0;
+    std::map<Seq, Bytes, SeqCircularLess> out_of_order;
+    std::size_t out_of_order_bytes = 0;
+    bool remote_fin_seen = false;
+    std::optional<CongestionControl> cc;  ///< optional only for default-constructibility
+    Seq recover = 0, last_retx_end = 0;
+    std::optional<Duration> srtt;
+    Duration rttvar = Duration::zero();
+    Duration rto = Duration::zero();
+    std::optional<Seq> timed_seq;
+    TimePoint timed_at;
+    sim::Timer retransmit_timer, time_wait_timer;
+    int retries = 0;
+    TcpEndpointStats stats;
+  };
+
+  Snapshot capture_state() const;
+  void restore_state(const Snapshot& snap);
+
+  /// Marks the endpoint dead without cancelling timers or firing callbacks.
+  /// Used when restoring an earlier snapshot on a graph that has since grown:
+  /// this endpoint was created after the capture point, so in the restored
+  /// world it must not exist — but later snapshots still reference its
+  /// address, so the object itself must stay allocated. Its stale timer
+  /// handles are detached (not cancelled: their slot/generation pairs may
+  /// now name live events owned by others).
+  void snapshot_zombify();
+
   // ---- Introspection ---------------------------------------------------
   TcpState state() const { return state_; }
   bool released() const { return released_; }

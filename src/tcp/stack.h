@@ -58,6 +58,33 @@ class TcpStack {
     auto operator<=>(const ConnKey&) const = default;
   };
 
+ public:
+  /// Frozen stack state for the snapshot layer: RNG, port counter, the value
+  /// state of the first N endpoints, and the demux table as (key, endpoint
+  /// index) pairs. Listeners are wired once per session and not captured.
+  struct Snapshot {
+    snake::Rng rng{0};
+    std::uint16_t next_ephemeral_port = 40000;
+    std::vector<TcpEndpoint::Snapshot> endpoints;
+    std::vector<std::pair<ConnKey, std::uint32_t>> connections;
+  };
+
+  Snapshot capture() const;
+
+  /// Destroys endpoints beyond `keep` (objects created after every snapshot
+  /// of interest, during a previous forked run). Must be called BEFORE
+  /// Scheduler::restore so their destructors cancel timers against the
+  /// scheduler state those handles actually refer to.
+  void truncate_endpoints(std::size_t keep);
+
+  /// Restores a capture() onto the session graph. Endpoints beyond the
+  /// snapshot's count are zombified in place (see
+  /// TcpEndpoint::snapshot_zombify) — later snapshots may still reference
+  /// them, so they cannot be destroyed. Call AFTER Scheduler::restore.
+  void restore(const Snapshot& snap);
+
+ private:
+
   void on_packet(const sim::Packet& packet);
   TcpEndpoint& create_endpoint(TcpEndpointConfig config, TcpCallbacks callbacks);
 

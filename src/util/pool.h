@@ -83,6 +83,26 @@ class SmallFunction {
 
   explicit operator bool() const { return ops_ != nullptr; }
 
+  /// Whether the held callable can be duplicated with clone(). Empty
+  /// SmallFunctions are trivially clonable; callables whose capture is not
+  /// copy-constructible (move-only captures) are not.
+  bool clonable() const { return ops_ == nullptr || ops_->clone != nullptr; }
+
+  /// Returns an independent copy of the held callable, or an empty
+  /// SmallFunction when *this is empty. Callers must check clonable() first:
+  /// cloning a non-clonable callable is a logic error and asserts via the
+  /// null ops table in debug builds. Cloning exists for the snapshot layer,
+  /// which checkpoints the scheduler's armed event slots and later re-arms
+  /// bit-identical copies of their callbacks.
+  SmallFunction clone() const {
+    SmallFunction out;
+    if (ops_ != nullptr) {
+      ops_->clone(out.storage_, storage_);
+      out.ops_ = ops_;
+    }
+    return out;
+  }
+
   /// Destroys the held callable (if any); leaves *this empty.
   void reset() {
     if (ops_ != nullptr) {
@@ -104,7 +124,33 @@ class SmallFunction {
     void (*invoke)(unsigned char* storage);
     void (*relocate)(unsigned char* dst, unsigned char* src);  ///< move + destroy src
     void (*destroy)(unsigned char* storage);
+    /// Copy-construct into dst without touching src; nullptr when the
+    /// callable's capture is not copy-constructible.
+    void (*clone)(unsigned char* dst, const unsigned char* src);
   };
+
+  template <typename Fn>
+  static constexpr void (*clone_inline())(unsigned char*, const unsigned char*) {
+    if constexpr (std::is_copy_constructible_v<Fn>) {
+      return [](unsigned char* dst, const unsigned char* src) {
+        ::new (static_cast<void*>(dst)) Fn(*std::launder(reinterpret_cast<const Fn*>(src)));
+      };
+    } else {
+      return nullptr;
+    }
+  }
+
+  template <typename Fn>
+  static constexpr void (*clone_heap())(unsigned char*, const unsigned char*) {
+    if constexpr (std::is_copy_constructible_v<Fn>) {
+      return [](unsigned char* dst, const unsigned char* src) {
+        *reinterpret_cast<Fn**>(static_cast<void*>(dst)) =
+            new Fn(**std::launder(reinterpret_cast<Fn* const*>(src)));
+      };
+    } else {
+      return nullptr;
+    }
+  }
 
   template <typename Fn>
   static constexpr Ops kInlineOps = {
@@ -115,6 +161,7 @@ class SmallFunction {
         from->~Fn();
       },
       [](unsigned char* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+      clone_inline<Fn>(),
   };
 
   template <typename Fn>
@@ -125,6 +172,7 @@ class SmallFunction {
             *std::launder(reinterpret_cast<Fn**>(src));
       },
       [](unsigned char* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+      clone_heap<Fn>(),
   };
 
   alignas(std::max_align_t) unsigned char storage_[kInlineBytes];

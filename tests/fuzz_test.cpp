@@ -168,13 +168,20 @@ TEST(CorpusRegression, DslCorpusAllThrowInvalidArgument) {
 namespace {
 
 /// classify + read every field; the only escapes allowed are the documented
-/// std::out_of_range (buffer shorter than the field span).
+/// std::out_of_range (buffer shorter than the field span). On full-size
+/// buffers the compiled fixed-offset path must agree with the name-keyed
+/// reference bit-for-bit — mutants included.
 void probe_codec(const packet::HeaderFormat& format, const packet::Codec& codec,
                  const Bytes& raw) {
-  (void)format.classify(raw);
-  for (const auto& f : format.fields()) {
+  std::string by_name = format.classify(raw);
+  EXPECT_EQ(format.type_name(codec.classify_index(raw)), by_name);
+  for (std::size_t i = 0; i < format.fields().size(); ++i) {
+    const auto& f = format.fields()[i];
     try {
-      (void)codec.get(raw, f.name);
+      std::uint64_t reference = codec.get(raw, f.name);
+      // The compiled path's contract requires a full-size header.
+      if (raw.size() >= format.header_bytes())
+        EXPECT_EQ(codec.get_fast(raw, format.compiled_at(i)), reference) << f.name;
     } catch (const std::out_of_range&) {
       EXPECT_LT(raw.size(), format.header_bytes());  // only legal on short buffers
     }
@@ -205,7 +212,8 @@ void fuzz_codec(const packet::HeaderFormat& format, const packet::Codec& codec) 
     const auto& type = types[rng.uniform(0, types.size() - 1)];
     std::map<std::string, std::uint64_t> values;
     for (const auto& f : format.fields())
-      if (f.kind != packet::FieldKind::kChecksum && rng.chance(0.5))
+      if (f.kind != packet::FieldKind::kChecksum && f.name != type.discriminator_field &&
+          rng.chance(0.5))
         values[f.name] = rng.next_u64();
     Bytes built = codec.build(type.name, values);
     if (built.size() != format.header_bytes()) return "built wrong size";
@@ -377,6 +385,18 @@ TEST(ParserFuzz, FormatDslMutantsNeverCrash) {
         return "accepted format with absurd header size";
       packet::Codec codec(format);
       for (const auto& t : format.packet_types()) (void)codec.build(t.name, {});
+      // Any accepted format must also compile coherently: the fixed-offset
+      // accessors and index-based classifier agree with the name-keyed
+      // reference on random full-size headers.
+      Bytes raw(format.header_bytes(), 0);
+      for (auto& b : raw) b = static_cast<std::uint8_t>(rng.next_u64());
+      if (format.type_name(codec.classify_index(raw)) != format.classify(raw))
+        return "compiled classification diverges from reference";
+      for (std::size_t i = 0; i < format.fields().size(); ++i) {
+        const auto& f = format.fields()[i];
+        if (codec.get_fast(raw, format.compiled_at(i)) != codec.get(raw, f.name))
+          return "compiled read diverges from reference on field " + f.name;
+      }
     } catch (const std::invalid_argument&) {
       // The documented rejection path.
     }

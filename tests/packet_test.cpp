@@ -7,6 +7,7 @@
 #include "packet/format_dsl.h"
 #include "packet/header_format.h"
 #include "packet/tcp_format.h"
+#include "util/bytes.h"
 #include "util/checksum.h"
 #include "util/rng.h"
 
@@ -196,6 +197,110 @@ TEST_P(CodecRoundTrip, DccpRandomFieldWrites) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Compiled accessors: the fixed-offset fast path must agree with the
+// name-keyed reference codec bit-for-bit — reads, writes (including the
+// checksum-refresh policy), and classification — on arbitrary header bytes.
+
+Bytes random_header(snake::Rng& rng, std::size_t n) {
+  Bytes raw(n, 0);
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng.next_u64());
+  return raw;
+}
+
+void expect_compiled_matches_reference(const Codec& c, snake::Rng& rng) {
+  const HeaderFormat& f = c.format();
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes raw = random_header(rng, f.header_bytes());
+    // Reads: every field through both paths.
+    for (std::size_t i = 0; i < f.fields().size(); ++i) {
+      const FieldSpec& spec = f.fields()[i];
+      const CompiledField* cf = f.compiled(spec.name);
+      ASSERT_NE(cf, nullptr) << spec.name;
+      EXPECT_EQ(cf->index, f.compiled_at(i).index);
+      EXPECT_EQ(c.get_fast(raw, *cf), c.get(raw, spec.name)) << spec.name;
+    }
+    // Classification: index path names the same type as the string path.
+    EXPECT_EQ(f.type_name(c.classify_index(raw)), c.classify(raw));
+    // Writes: same value through both paths gives byte-identical headers
+    // (set_fast must also refresh the embedded checksum).
+    const auto& fields = f.fields();
+    const FieldSpec& target = fields[rng.uniform(0, fields.size() - 1)];
+    std::uint64_t value = rng.next_u64();
+    Bytes via_name = raw;
+    Bytes via_compiled = raw;
+    c.set(via_name, target.name, value & target.max_value());
+    c.set_fast(via_compiled, *f.compiled(target.name), value & target.max_value());
+    EXPECT_EQ(via_compiled, via_name) << "field " << target.name;
+  }
+}
+
+TEST(CompiledCodec, MatchesNameKeyedCodecOnTcp) {
+  snake::Rng rng(42);
+  expect_compiled_matches_reference(tcp_codec(), rng);
+}
+
+TEST(CompiledCodec, MatchesNameKeyedCodecOnDccp) {
+  snake::Rng rng(43);
+  expect_compiled_matches_reference(dccp_codec(), rng);
+}
+
+TEST(CompiledCodec, WindowAccessHandlesUnalignedCrossByteFields) {
+  // No byte-aligned shapes at all: every field exercises the kWindow path.
+  HeaderFormat f = parse_header_format(
+      "header odd 6 {\n"
+      "  a : 3;\n"
+      "  b : 13;\n"
+      "  c : 7;\n"
+      "  d : 20;\n"
+      "  e : 5;\n"
+      "}\n");
+  snake::Rng rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    Bytes raw = random_header(rng, f.header_bytes());
+    for (std::size_t i = 0; i < f.fields().size(); ++i) {
+      const FieldSpec& spec = f.fields()[i];
+      EXPECT_EQ(f.read(raw, f.compiled_at(i)), read_bits(raw, spec.bit_offset, spec.bit_width))
+          << spec.name;
+      std::uint64_t value = rng.next_u64() & spec.max_value();
+      Bytes via_bits = raw;
+      write_bits(via_bits, spec.bit_offset, spec.bit_width, value);
+      f.write(raw, f.compiled_at(i), value);
+      EXPECT_EQ(raw, via_bits) << spec.name;
+    }
+  }
+}
+
+TEST(CompiledCodec, ClassifyIndexAgreesOnTruncatedAndUnknownPackets) {
+  const Codec& c = tcp_codec();
+  EXPECT_EQ(c.classify_index(Bytes(10, 0)), -1);
+  EXPECT_EQ(c.type_name(-1), "unknown");
+  Bytes raw(kTcpHeaderBytes, 0);
+  c.set(raw, "flags", 0x3f);  // no type matches all-flags-set
+  EXPECT_EQ(c.classify_index(raw), -1);
+  EXPECT_EQ(c.classify(raw), "unknown");
+}
+
+TEST(Codec, BuildRejectsDiscriminatorInFieldsMap) {
+  // A caller-supplied discriminator would silently overwrite the type tag
+  // and build a different packet than the name asked for.
+  EXPECT_THROW(tcp_codec().build("SYN", {{"flags", 0x10}}), std::invalid_argument);
+  EXPECT_THROW(dccp_codec().build("DCCP-Ack", {{"type", 0}}), std::invalid_argument);
+  // Non-discriminator fields still pass through.
+  Bytes raw = tcp_codec().build("SYN", {{"seq", 123}});
+  EXPECT_EQ(tcp_codec().classify(raw), "SYN");
+  EXPECT_EQ(tcp_codec().get(raw, "seq"), 123u);
+}
+
+TEST(FormatDsl, RejectsMisalignedOrNon16BitChecksum) {
+  EXPECT_THROW(parse_header_format("header x 4 {\n a : 4;\n checksum : 16 checksum;\n b : 12;\n}\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_header_format("header x 4 {\n checksum : 8 checksum;\n a : 24;\n}\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_header_format("header x 6 {\n a : 8;\n checksum : 32 checksum;\n b : 8;\n}\n"),
+               std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace snake::packet
