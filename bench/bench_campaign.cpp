@@ -4,12 +4,20 @@
 //   bench_campaign [--cap N] [--duration SECONDS] [--executors N]
 //                  [--protocol tcp|dccp] [--json PATH] [--baseline PATH]
 //                  [--selfcheck] [--workers N] [--result-cache PATH]
-//                  [--snapshots on|off]
+//                  [--snapshots on|off] [--early-exit on|off]
+//                  [--engine wheel|heap]
 //
-// --snapshots off disables the per-executor snapshot stores, so every trial
-// replays its scenario from t=0; this is the A/B switch for measuring the
-// snapshot-forked execution speedup (results are bit-identical either way —
-// snapshot_test.cpp enforces it).
+// --snapshots off disables the shared campaign snapshot store, so every
+// trial replays its scenario from t=0; this is the A/B switch for measuring
+// the snapshot-forked execution speedup (results are bit-identical either
+// way — snapshot_test.cpp enforces it).
+//
+// --early-exit off disables the deterministic quiescence cut, running every
+// trial's virtual clock all the way out (equal detections either way —
+// scheduler_engine_test.cpp enforces it). --engine heap swaps the timer
+// wheel for the reference binary-heap ready queue (identical event order,
+// enforced by the same suite); both are A/B switches for the event-engine
+// speedup.
 //
 // --selfcheck attaches the property-suite invariant oracles (clock
 // monotonicity, TCP sequence space, tracker legality, pool balance; see
@@ -42,6 +50,7 @@
 // meaningful against a baseline recorded on the same machine.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -53,6 +62,7 @@
 #include "dist/result_cache.h"
 #include "dist/worker.h"
 #include "obs/json.h"
+#include "sim/scheduler.h"
 #include "snake/controller.h"
 #include "statemachine/protocol_specs.h"
 #include "strategy/generator.h"
@@ -73,6 +83,28 @@ double peak_rss_mib() {
 std::uint64_t metric_counter(const obs::MetricsRegistry& reg, const std::string& name) {
   auto it = reg.counters().find(name);
   return it == reg.counters().end() ? 0 : it->second;
+}
+
+/// Quantile estimate from a fixed-bucket histogram: linear interpolation
+/// inside the bucket the target rank lands in; the +inf tail is pinned to
+/// the observed maximum. Good to bucket resolution, which is all a perf
+/// report needs.
+double histogram_quantile(const obs::Histogram& h, double q) {
+  if (h.count == 0) return 0.0;
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  double lo = 0.0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const double hi = i < h.bounds.size() ? std::min(h.bounds[i], h.max) : h.max;
+    if (static_cast<double>(cum + h.counts[i]) >= target && h.counts[i] > 0) {
+      const double frac = (target - static_cast<double>(cum)) /
+                          static_cast<double>(h.counts[i]);
+      return lo + frac * (std::max(hi, lo) - lo);
+    }
+    cum += h.counts[i];
+    lo = std::max(hi, lo);
+  }
+  return h.max;
 }
 
 // Oracle wiring for worker processes: snake_dist cannot link the testing
@@ -111,6 +143,7 @@ int main(int argc, char** argv) {
   const char* cache_path = nullptr;
   bool selfcheck = false;
   bool use_snapshots = true;
+  bool early_exit = true;
   int workers = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) {
@@ -133,8 +166,15 @@ int main(int argc, char** argv) {
       cache_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--snapshots") && i + 1 < argc) {
       use_snapshots = std::strcmp(argv[++i], "off") != 0;
+    } else if (!std::strcmp(argv[i], "--early-exit") && i + 1 < argc) {
+      early_exit = std::strcmp(argv[++i], "off") != 0;
+    } else if (!std::strcmp(argv[i], "--engine") && i + 1 < argc) {
+      sim::Scheduler::set_default_engine(!std::strcmp(argv[++i], "heap")
+                                             ? sim::SchedulerEngine::kBinaryHeap
+                                             : sim::SchedulerEngine::kTimerWheel);
     }
   }
+  const char* engine_name = sim::to_string(sim::Scheduler::default_engine());
 
   CampaignConfig config;
   config.scenario.protocol = protocol;
@@ -147,6 +187,7 @@ int main(int argc, char** argv) {
   config.executors = executors;
   config.max_strategies = cap;
   config.use_snapshots = use_snapshots;
+  config.early_exit = early_exit;
 
   // --selfcheck: one oracle bundle shared by every executor (thread-safe).
   // In workers mode the inspector pointer cannot cross the process boundary;
@@ -184,11 +225,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "== Campaign throughput: %llu strategies, %.0fs virtual, %d executors (%s%s%s%s) ==\n",
-      (unsigned long long)cap, duration, executors, to_string(protocol),
+      "== Campaign throughput: %llu strategies, %.0fs virtual, %d executors "
+      "(%s, %s engine%s%s%s%s) ==\n",
+      (unsigned long long)cap, duration, executors, to_string(protocol), engine_name,
       selfcheck ? ", selfcheck" : "",
       workers > 0 ? ", distributed" : "",
-      use_snapshots ? "" : ", snapshots off");
+      use_snapshots ? "" : ", snapshots off",
+      early_exit ? "" : ", early-exit off");
 
   auto t0 = std::chrono::steady_clock::now();
   CampaignResult result = run_campaign(config);
@@ -211,13 +254,45 @@ int main(int argc, char** argv) {
               events_per_sec);
   std::printf("  peak RSS ............. %.1f MiB\n", rss);
 
+  const auto& hists = result.metrics.histograms();
+  auto hist = [&](const char* name) -> const obs::Histogram* {
+    auto it = hists.find(name);
+    return it == hists.end() || it->second.count == 0 ? nullptr : &it->second;
+  };
+  double trial_p50 = 0.0, trial_p99 = 0.0;
+  if (const obs::Histogram* lat = hist("campaign.strategy_seconds")) {
+    trial_p50 = histogram_quantile(*lat, 0.50);
+    trial_p99 = histogram_quantile(*lat, 0.99);
+    std::printf("  trial latency ........ p50 %.2f ms, p99 %.2f ms (%llu trials)\n",
+                trial_p50 * 1e3, trial_p99 * 1e3, (unsigned long long)lat->count);
+  }
+  std::uint64_t early_cuts = metric_counter(result.metrics, "scenario.early_exit_runs");
+  if (early_exit)
+    std::printf("  early exit ........... %llu runs cut at quiescence\n",
+                (unsigned long long)early_cuts);
+  // Stage sums are cpu-seconds across all executors (and retests nest inside
+  // strategy time), so they are a *where does the time go* profile, not a
+  // partition of the wall clock.
+  static const char* kStages[] = {
+      "campaign.baseline_seconds",     "campaign.strategy_seconds",
+      "campaign.retest_seconds",       "campaign.combination_seconds",
+      "scenario.run_seconds",          "snapshot.session_build_seconds",
+      "snapshot.restore_seconds"};
+  std::printf("  stage breakdown (cpu-seconds / samples):\n");
+  for (const char* name : kStages)
+    if (const obs::Histogram* h = hist(name))
+      std::printf("    %-30s %9.3f s / %llu\n", name, h->sum,
+                  (unsigned long long)h->count);
+
   std::uint64_t forked = metric_counter(result.metrics, "snapshot.forked_runs");
   std::uint64_t snap_fallback = metric_counter(result.metrics, "snapshot.fallback_runs");
   std::uint64_t sessions = metric_counter(result.metrics, "snapshot.sessions_built");
+  std::uint64_t pool_exhausted = metric_counter(result.metrics, "snapshot.pool_exhausted");
   if (use_snapshots && workers <= 0)
-    std::printf("  snapshot forking ..... %llu forked, %llu fallback, %llu sessions\n",
+    std::printf("  snapshot forking ..... %llu forked, %llu fallback, %llu sessions, "
+                "%llu pool-exhausted\n",
                 (unsigned long long)forked, (unsigned long long)snap_fallback,
-                (unsigned long long)sessions);
+                (unsigned long long)sessions, (unsigned long long)pool_exhausted);
 
   std::uint64_t fallback = metric_counter(result.metrics, "campaign.backend_fallback");
   if (workers > 0) {
@@ -287,6 +362,8 @@ int main(int argc, char** argv) {
   w.key("workers").value(workers);
   w.key("seed").value(config.scenario.seed);
   w.key("use_snapshots").value(use_snapshots);
+  w.key("early_exit").value(early_exit);
+  w.key("engine").value(engine_name);
   if (cache_path != nullptr) w.key("result_cache").value(cache_path);
   w.end_object();
   w.key("results").begin_object();
@@ -299,11 +376,26 @@ int main(int argc, char** argv) {
   w.key("events_per_sec").value(events_per_sec);
   w.key("peak_rss_mib").value(rss);
   w.key("attack_strategies_found").value(result.attack_strategies_found);
+  w.key("early_exit_runs").value(early_cuts);
+  w.key("trial_latency").begin_object();
+  w.key("p50_seconds").value(trial_p50);
+  w.key("p99_seconds").value(trial_p99);
+  w.end_object();
+  w.key("stages").begin_object();
+  for (const char* name : kStages)
+    if (const obs::Histogram* h = hist(name)) {
+      w.key(name).begin_object();
+      w.key("count").value(h->count);
+      w.key("sum_seconds").value(h->sum);
+      w.end_object();
+    }
+  w.end_object();
   if (use_snapshots && workers <= 0) {
     w.key("snapshots").begin_object();
     w.key("forked_runs").value(forked);
     w.key("fallback_runs").value(snap_fallback);
     w.key("sessions_built").value(sessions);
+    w.key("pool_exhausted").value(pool_exhausted);
     w.end_object();
   }
   if (workers > 0) {

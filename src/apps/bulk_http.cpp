@@ -63,9 +63,9 @@ void BulkHttpServer::pump(tcp::TcpEndpoint* endpoint, std::shared_ptr<PerConnect
   while (state->queued < response_bytes_ && endpoint->send_queue_bytes() < kChunk) {
     std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(kChunk, response_bytes_ - state->queued));
-    Bytes chunk(n);
-    fill_response_pattern(chunk, state->queued);
-    endpoint->send(chunk);
+    chunk_scratch_.resize(n);
+    fill_response_pattern(chunk_scratch_, state->queued);
+    endpoint->send(chunk_scratch_);
     state->queued += n;
   }
   if (state->queued >= response_bytes_ && endpoint->send_queue_bytes() == 0) {

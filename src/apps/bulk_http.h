@@ -56,6 +56,10 @@ class BulkHttpServer {
   /// Every PerConnection ever created, in accept order — the snapshot layer's
   /// handle on pump state otherwise reachable only through closures.
   std::vector<std::shared_ptr<PerConnection>> registry_;
+  /// Reused pump chunk. send() copies it into the socket's buffer, so the
+  /// only live state is inside one pump call; reusing the storage keeps the
+  /// per-pump cost at one pattern fill instead of alloc + zero-init + fill.
+  Bytes chunk_scratch_;
 
   static constexpr std::size_t kChunk = 64 * 1024;       ///< send-buffer top-up target
   static constexpr Duration kPumpInterval = Duration::millis(10);

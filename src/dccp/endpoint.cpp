@@ -487,7 +487,10 @@ void DccpEndpoint::update_rtt(Duration sample) {
 void DccpEndpoint::enter_time_wait() {
   set_state(DccpState::kTimeWait);
   rto_timer_.cancel();
-  time_wait_timer_ = node_.scheduler().schedule_in(config_.time_wait, [this] { release(); });
+  // Lazy: expiry only releases the socket — no packet, nothing a detector
+  // reads — so a deterministic early-exit may leave it unfired.
+  time_wait_timer_ =
+      node_.scheduler().schedule_lazy_in(config_.time_wait, [this] { release(); });
 }
 
 void DccpEndpoint::set_state(DccpState next) {

@@ -17,6 +17,7 @@
 
 #include "dist/wire.h"
 #include "obs/metrics.h"
+#include "sim/scheduler.h"
 #include "snake/arena.h"
 #include "snake/trial_runner.h"
 
@@ -324,6 +325,11 @@ bool DistributedBackend::start(const core::CampaignConfig& config,
     wc.retest_seed_offset = config.retest_seed_offset;
     wc.collect_metrics = config.collect_metrics;
     wc.use_snapshots = config.use_snapshots;
+    wc.early_exit = config.early_exit;
+    // Workers exec fresh, so the coordinator's process-wide engine choice
+    // must travel explicitly or a heap-default coordinator would silently
+    // compare against wheel-engine workers.
+    wc.scheduler_engine = sim::to_string(sim::Scheduler::default_engine());
     wc.identity_hash = identity;
     wc.worker_index = i;
     if (!im.options.journal_dir.empty())

@@ -287,6 +287,8 @@ std::string encode_campaign(const WorkerCampaign& wc) {
   w.key("retest_seed_offset").value(wc.retest_seed_offset);
   w.key("collect_metrics").value(wc.collect_metrics);
   w.key("use_snapshots").value(wc.use_snapshots);
+  w.key("early_exit").value(wc.early_exit);
+  w.key("scheduler_engine").value(wc.scheduler_engine);
   w.key("identity_hash").value(wc.identity_hash);
   w.key("worker_index").value(wc.worker_index);
   w.key("journal_path").value(wc.journal_path);
@@ -425,6 +427,8 @@ std::optional<Message> parse_message(std::string_view payload) {
       m.campaign.retest_seed_offset = u64_field(*doc, "retest_seed_offset", 1000003);
       m.campaign.collect_metrics = bool_field(*doc, "collect_metrics", true);
       m.campaign.use_snapshots = bool_field(*doc, "use_snapshots", true);
+      m.campaign.early_exit = bool_field(*doc, "early_exit", true);
+      m.campaign.scheduler_engine = str_field(*doc, "scheduler_engine");
       m.campaign.identity_hash = u64_field(*doc, "identity_hash", 0);
       m.campaign.worker_index = static_cast<int>(i64_field(*doc, "worker_index", 0));
       m.campaign.journal_path = str_field(*doc, "journal_path");

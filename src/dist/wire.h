@@ -121,6 +121,16 @@ struct WorkerCampaign {
   /// of replaying from t=0. Bit-identical either way (snapshot_test.cpp), so
   /// it never enters the campaign identity hash.
   bool use_snapshots = true;
+  /// Stop trials at the deterministic quiescence cut (see
+  /// CampaignConfig::early_exit). Like use_snapshots: changes wall-clock
+  /// only, never outcomes, and stays out of the identity hash.
+  bool early_exit = true;
+  /// Scheduler engine the worker must adopt ("wheel" / "heap"; "" keeps the
+  /// worker's compiled-in default). Workers are exec'd fresh, so the
+  /// coordinator's process-wide engine choice only reaches them through this
+  /// field. Both engines pop in the same total order, so — like
+  /// use_snapshots — this never enters the identity hash.
+  std::string scheduler_engine;
 
   std::uint64_t identity_hash = 0;  ///< campaign_identity_hash, cross-checked
   int worker_index = 0;

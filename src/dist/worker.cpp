@@ -17,6 +17,7 @@
 
 #include "dist/wire.h"
 #include "obs/metrics.h"
+#include "sim/scheduler.h"
 #include "snake/arena.h"
 #include "snake/snapshot.h"
 #include "snake/trial_runner.h"
@@ -50,6 +51,7 @@ core::CampaignConfig campaign_config_for(const WorkerCampaign& wc) {
   cc.retest_seed_offset = wc.retest_seed_offset;
   cc.collect_metrics = wc.collect_metrics;
   cc.use_snapshots = wc.use_snapshots;
+  cc.early_exit = wc.early_exit;
   return cc;
 }
 
@@ -75,6 +77,14 @@ int run_worker(int fd, const WorkerHooks& hooks) {
   if (!campaign_msg.has_value() || campaign_msg->type != MsgType::kCampaign) return 1;
   const WorkerCampaign wc = std::move(campaign_msg->campaign);
 
+  // Adopt the coordinator's scheduler engine before any world is built. This
+  // process is exec'd fresh and single-campaign, so flipping the process-wide
+  // default here is safe and reaches every arena/session created below.
+  if (wc.scheduler_engine == "heap")
+    sim::Scheduler::set_default_engine(sim::SchedulerEngine::kBinaryHeap);
+  else if (wc.scheduler_engine == "wheel")
+    sim::Scheduler::set_default_engine(sim::SchedulerEngine::kTimerWheel);
+
   obs::MetricsRegistry registry;
   obs::MetricsRegistry* reg = wc.collect_metrics ? &registry : nullptr;
 
@@ -89,6 +99,9 @@ int run_worker(int fd, const WorkerHooks& hooks) {
   run_config.metrics = reg;
   run_config.faults = nullptr;
   run_config.inspector = inspector.get();
+  // Baselines and trials must share the coordinator's early-exit setting or
+  // the cross-process byte-equality check would compare different cuts.
+  run_config.early_exit = wc.early_exit;
   core::ScenarioConfig retest_config = run_config;
   retest_config.seed += wc.retest_seed_offset;
 

@@ -92,7 +92,8 @@ sim::FilterVerdict AttackProxy::on_packet(sim::Packet& packet, sim::FilterDirect
   }
 
   // The strategy targets the state the packet was sent *in*, so capture the
-  // sender's inferred state before this packet's own transition is applied.
+  // sender's inferred state before this packet's own transition is applied
+  // (a reference would observe the post-transition value — must be a copy).
   std::uint64_t sender = direction == sim::FilterDirection::kEgress ? targets_.client_addr
                                                                     : targets_.server_addr;
   std::string sender_state = tracker_.state_of(sender);

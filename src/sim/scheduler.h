@@ -8,16 +8,22 @@
 //
 // Memory model: events live in a slab of pooled slots recycled through a
 // free list, callbacks are stored in place (util::SmallFunction), and the
-// ready queue is a binary heap of plain {time, seq, slot} records — the
-// common schedule/fire/cancel cycle allocates nothing once the slab is
-// warm. The scheduler also owns the scenario's packet BufferPool so every
-// component on the data path (links, nodes, transport stacks) can recycle
-// wire buffers without a second ownership channel. reset() rewinds the
-// scheduler to its initial state while keeping slab and buffer capacity,
-// which is what lets a campaign executor's ScenarioArena reuse one
-// scheduler across thousands of strategy trials.
+// ready queue is a hierarchical timing wheel of plain {time, seq, slot}
+// records — the common schedule/fire/cancel cycle allocates nothing once
+// the slab and wheel buckets are warm, and costs O(1) instead of the
+// previous binary heap's O(log n). The heap remains as a runtime-selectable
+// reference engine (SchedulerEngine::kBinaryHeap) that the property suite
+// replays against the wheel: both engines execute every script in the exact
+// same order (see DESIGN.md, "Event engine"). The scheduler also owns the
+// scenario's packet BufferPool so every component on the data path (links,
+// nodes, transport stacks) can recycle wire buffers without a second
+// ownership channel. reset() rewinds the scheduler to its initial state
+// while keeping slab and buffer capacity, which is what lets a campaign
+// executor's ScenarioArena reuse one scheduler across thousands of strategy
+// trials.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <utility>
@@ -33,6 +39,27 @@ class MetricsRegistry;
 namespace snake::sim {
 
 class Scheduler;
+
+/// Which ready-queue implementation a Scheduler uses. kTimerWheel is the
+/// production engine; kBinaryHeap is the O(log n) reference implementation
+/// kept for differential testing (the wheel must execute every event script
+/// in the heap's exact order). The engine never changes observable event
+/// order — it is a pure performance/verification switch.
+enum class SchedulerEngine : std::uint8_t { kTimerWheel, kBinaryHeap };
+
+const char* to_string(SchedulerEngine engine);
+
+/// How an event relates to a trial's observable outcome. kActive (the
+/// default) marks events that can emit packets or otherwise change what a
+/// scenario measures. kLazy marks pure bookkeeping whose effects are
+/// invisible to detection when skipped at the end of a trial — today that is
+/// exactly the TIME_WAIT expiry timers, which release a socket without
+/// sending anything. The deterministic early-exit cut (see
+/// run_until_quiescent) stops a run once no armed kActive event remains at
+/// or before the horizon; misclassifying an effectful event as kLazy would
+/// break the early-exit-on == early-exit-off equality that snapshot_test
+/// and dist_test enforce, so when in doubt an event is kActive.
+enum class EventClass : std::uint8_t { kActive, kLazy };
 
 /// Trial watchdog limits for one run_until episode. A runaway scenario (event
 /// storm, virtual clock that stops advancing while callbacks burn wall time)
@@ -78,34 +105,80 @@ class Timer {
 
 class Scheduler {
  public:
+  Scheduler() : engine_(default_engine()) {}
+
   TimePoint now() const { return now_; }
+
+  /// The process-wide engine new Schedulers start with. Defaults to the
+  /// timer wheel (or the heap when built with SNAKE_SCHEDULER_HEAP_DEFAULT);
+  /// tests and benches flip it to run identical workloads on both engines.
+  static SchedulerEngine default_engine();
+  static void set_default_engine(SchedulerEngine engine);
+
+  SchedulerEngine engine() const { return engine_; }
+  /// Switches the ready-queue engine. Only legal while the queue is empty
+  /// (reset() or never used); returns false and leaves the engine unchanged
+  /// otherwise.
+  bool set_engine(SchedulerEngine engine);
 
   /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
   template <typename F>
   Timer schedule_at(TimePoint at, F&& fn) {
-    return do_schedule(at, SmallFunction(std::forward<F>(fn)));
+    return do_schedule(at, SmallFunction(std::forward<F>(fn)), EventClass::kActive);
   }
 
   /// Schedules `fn` after `delay` of virtual time.
   template <typename F>
   Timer schedule_in(Duration delay, F&& fn) {
-    return do_schedule(now_ + delay, SmallFunction(std::forward<F>(fn)));
+    return do_schedule(now_ + delay, SmallFunction(std::forward<F>(fn)),
+                       EventClass::kActive);
+  }
+
+  /// Schedules a kLazy event (see EventClass): bookkeeping that a
+  /// deterministic early-exit may leave unfired without changing any
+  /// detector-visible outcome.
+  template <typename F>
+  Timer schedule_lazy_in(Duration delay, F&& fn) {
+    return do_schedule(now_ + delay, SmallFunction(std::forward<F>(fn)),
+                       EventClass::kLazy);
   }
 
   /// Runs events until the queue is empty, virtual time would pass `until`,
   /// or the armed watchdog trips (see arm_watchdog).
   void run_until(TimePoint until);
 
+  /// Like run_until, but additionally stops as soon as the world is
+  /// quiescent: no armed kActive event remains at or before the quiescence
+  /// horizon (set_quiescence_horizon, normally the trial end). Nothing that
+  /// could move a packet or change measured state can fire between the cut
+  /// and the horizon, so stopping here is observationally equivalent to
+  /// running out the clock — except that still-pending kLazy events (TIME_WAIT
+  /// expiries) never fire. Returns true when the cut actually skipped queued
+  /// in-horizon events (the run "exited early"), false when the run ended the
+  /// way run_until would have. Virtual time still advances to `until` on a
+  /// quiescent stop, so clock-derived metrics match the full run.
+  bool run_until_quiescent(TimePoint until);
+
   /// Runs until the event queue drains completely.
   void run_all();
 
-  /// Pops exactly `count` heap entries (executed or cancelled both count) with
-  /// no time horizon, stopping early only if the queue drains or the watchdog
-  /// trips. Returns the number of entries actually popped. The clock is left
-  /// at the last popped event's time — never advanced past it — so the
-  /// scheduler sits exactly on an event boundary, which is what the snapshot
-  /// layer needs to checkpoint between two events of a deterministic run.
+  /// Pops exactly `count` queue entries (executed or cancelled both count)
+  /// with no time horizon, stopping early only if the queue drains or the
+  /// watchdog trips. Returns the number of entries actually popped. The
+  /// clock is left at the last popped event's time — never advanced past it
+  /// — so the scheduler sits exactly on an event boundary, which is what the
+  /// snapshot layer needs to checkpoint between two events of a
+  /// deterministic run.
   std::uint64_t run_events(std::uint64_t count);
+
+  /// Sets the quiescence horizon used by run_until_quiescent and recomputes
+  /// the armed-active-event count for it (O(queue)). The count is maintained
+  /// incrementally afterwards; it is a pure function of the event history,
+  /// so the early-exit cut point is deterministic and identical between a
+  /// from-zero run and a snapshot-forked run (restore() carries the horizon).
+  void set_quiescence_horizon(TimePoint horizon);
+  /// Armed kActive events with time <= the quiescence horizon.
+  std::uint64_t active_events_in_horizon() const { return active_in_horizon_; }
 
   /// Arms (or, with a default-constructed config, disarms) the watchdog for
   /// subsequent run_until work. Budgets count from the moment of arming; any
@@ -121,7 +194,7 @@ class Scheduler {
   /// How often (in events) the wall-clock deadline is polled.
   static constexpr std::uint32_t kWallCheckInterval = 64;
 
-  bool empty() const { return heap_.empty(); }
+  bool empty() const { return queued_ == 0; }
   std::uint64_t events_executed() const { return executed_; }
   /// Events popped whose timer had been cancelled before they fired.
   std::uint64_t events_cancelled() const { return cancelled_; }
@@ -140,8 +213,8 @@ class Scheduler {
   /// pool capacity warm. Outstanding Timer handles become inert.
   void reset();
 
-  /// Heap record: 24 bytes, trivially copyable, no ownership. Public only so
-  /// Snapshot can embed the ready queue verbatim.
+  /// Queue record: 24 bytes, trivially copyable, no ownership. Public only
+  /// so Snapshot can embed the pending-event set.
   struct HeapEntry {
     TimePoint at;
     std::uint64_t seq;
@@ -158,16 +231,25 @@ class Scheduler {
   /// the restored slot table. Armed callbacks are stored as clones and are
   /// re-cloned on every restore, so one Snapshot can seed many forked runs.
   /// Move-only (SmallFunction is move-only).
+  ///
+  /// The pending-event set (`heap`) is stored sorted by (at, seq) — the
+  /// canonical engine-independent encoding. A sorted ascending array is a
+  /// valid min-heap, so the heap engine adopts it verbatim, and the wheel
+  /// engine re-places each entry; a snapshot captured under either engine
+  /// restores under either engine with identical event order.
   struct Snapshot {
     struct Slot {
       SmallFunction fn;  ///< clone of the armed callback; empty when !armed
+      std::uint64_t stamp = 0;  ///< schedule id of the armed event (see EventSlot)
       std::uint32_t generation = 0;
       bool armed = false;
+      bool lazy = false;
     };
     std::vector<Slot> slots;
-    std::vector<HeapEntry> heap;
+    std::vector<HeapEntry> heap;  ///< pending entries, sorted by (at, seq)
     std::vector<std::uint32_t> free_slots;
     TimePoint now = TimePoint::origin();
+    TimePoint quiescence_horizon = TimePoint::max();
     std::uint64_t next_seq = 0;
     std::uint64_t executed = 0;
     std::uint64_t cancelled = 0;
@@ -185,6 +267,13 @@ class Scheduler {
   /// is re-armed relative to the current wall time (virtual state is exact;
   /// wall budgets are per-episode by design). Timer handles referring to
   /// slots beyond the snapshot's slab safely report !pending() afterwards.
+  ///
+  /// Copy-on-write fast path: a slot whose stamp still matches the
+  /// snapshot's holds the very callback that was captured (stamps are unique
+  /// per schedule call and zeroed on slot release, so a match proves the
+  /// slot was never fired, released or re-armed since the capture) — the
+  /// callback is kept in place instead of destroyed and re-cloned. Repeated
+  /// restores of a mostly-idle world touch only the slots that changed.
   void restore(const Snapshot& snap);
 
   /// Dumps scheduler counters (events executed/cancelled, virtual time
@@ -196,14 +285,21 @@ class Scheduler {
 
   /// One pooled event. `generation` increments on every release, so stale
   /// Timer handles (and queue entries, though those can't outlive the slot
-  /// in practice) never touch a recycled event.
+  /// in practice) never touch a recycled event. `stamp` is the globally
+  /// unique id of the schedule call that armed this slot (never reused, not
+  /// rewound by restore) — the snapshot layer's proof that a slot is
+  /// unchanged since a capture. `at`/`lazy` duplicate the queue entry so
+  /// cancellation can maintain the quiescence count without a queue lookup.
   struct EventSlot {
     SmallFunction fn;
+    TimePoint at = TimePoint::origin();
+    std::uint64_t stamp = 0;
     std::uint32_t generation = 0;
     bool armed = false;
+    bool lazy = false;
   };
 
-  Timer do_schedule(TimePoint at, SmallFunction fn);
+  Timer do_schedule(TimePoint at, SmallFunction fn, EventClass cls);
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
 
@@ -212,17 +308,80 @@ class Scheduler {
            slots_[slot].armed;
   }
   void timer_cancel(std::uint32_t slot, std::uint32_t generation) {
-    if (timer_pending(slot, generation)) slots_[slot].armed = false;
+    if (!timer_pending(slot, generation)) return;
+    EventSlot& event = slots_[slot];
+    event.armed = false;
+    if (!event.lazy && event.at <= horizon_) --active_in_horizon_;
   }
 
-  std::vector<HeapEntry> heap_;  ///< min-heap via std::push_heap/pop_heap
+  // --- Ready queue (both engines) ------------------------------------------
+  // The wheel places an entry by the highest byte in which its tick differs
+  // from cur_tick_ (the wheel cursor): level = that byte's index, bucket =
+  // the entry's tick byte at that level. Because the entry's higher bytes
+  // equal the cursor's and its level byte is strictly greater, every bucket
+  // insertion lands strictly ahead of the cursor at its level — buckets
+  // never wrap, and a forward bitmap scan per level is a complete search for
+  // the next pending tick. Entries due at or before the cursor go straight
+  // into `ready_`, kept sorted by (at, seq); entries differing above the top
+  // level (≈19 h ahead, e.g. TimePoint::max() sentinels) wait in `far_`
+  // until the wheels drain and the cursor re-anchors. See DESIGN.md, "Event
+  // engine".
+  static constexpr int kTickShift = 14;   ///< 2^14 ns ≈ 16 µs per tick
+  static constexpr int kWheelLevels = 4;  ///< 256^4 ticks ≈ 19 h coverage
+  static constexpr std::size_t kWheelSlots = 256;  ///< buckets per level
+
+  static std::uint64_t tick_of(TimePoint at) {
+    return static_cast<std::uint64_t>(at.ns()) >> kTickShift;
+  }
+
+  void queue_push(const HeapEntry& entry);
+  /// The earliest pending entry, or nullptr when the queue is empty. Wheel:
+  /// refills ready_ from the buckets as needed (amortized O(1)).
+  const HeapEntry* queue_front();
+  void queue_pop_front();
+  void queue_clear();
+  /// Visits every pending entry in unspecified order.
+  template <typename Fn>
+  void for_each_queued(Fn&& fn) const;
+
+  void wheel_insert(const HeapEntry& entry);
+  void ready_insert(const HeapEntry& entry);
+  bool wheel_refill();
+  void wheel_cascade(int level, std::size_t idx);
+  void wheel_reanchor_to_far();
+  int scan_occupancy(int level, std::size_t from) const;
+
+  void fire_or_discard(const HeapEntry& entry);
+  template <bool Quiescent>
+  bool run_until_impl(TimePoint until);
+
+  SchedulerEngine engine_;
+  std::uint64_t queued_ = 0;  ///< entries pending across ready/buckets/far/heap
+
+  std::vector<HeapEntry> heap_;  ///< kBinaryHeap engine: min-heap via std::push_heap
+
+  std::vector<HeapEntry> ready_;  ///< due entries, sorted by (at, seq)
+  std::size_t ready_pos_ = 0;     ///< drain cursor into ready_
+  std::uint64_t cur_tick_ = 0;    ///< wheel cursor (tick units)
+  std::array<std::array<std::vector<HeapEntry>, kWheelSlots>, kWheelLevels> buckets_;
+  std::uint64_t occupancy_[kWheelLevels][kWheelSlots / 64] = {};
+  std::vector<HeapEntry> far_;  ///< beyond wheel coverage; re-placed on drain
+  std::vector<HeapEntry> cascade_scratch_;  ///< reused by cascade/re-anchor
+
   std::vector<EventSlot> slots_;
   std::vector<std::uint32_t> free_;
   BufferPool buffers_;
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
+  std::uint64_t next_stamp_ = 1;  ///< 0 is "never scheduled"; never rewound
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
+
+  // Quiescence tracking for deterministic early-exit: armed kActive events
+  // with time <= horizon_. Maintained on schedule/fire/cancel; recomputed by
+  // set_quiescence_horizon and restore().
+  TimePoint horizon_ = TimePoint::max();
+  std::uint64_t active_in_horizon_ = 0;
 
   // Watchdog state: event_limit is an absolute (executed_ + cancelled_)
   // threshold computed at arm time, 0 when disarmed.

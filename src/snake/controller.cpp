@@ -217,6 +217,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   ScenarioConfig base_scenario = config.scenario;
   base_scenario.metrics = main_reg;
   base_scenario.faults = nullptr;
+  // Baselines take the same early-exit cut as trials: the detector compares
+  // their byte counts against trial byte counts, so both sides must be
+  // measured under the same run driver.
+  base_scenario.early_exit = config.early_exit;
   ScenarioConfig retest_scenario = base_scenario;
   retest_scenario.seed += config.retest_seed_offset;
   // The coordinator's arena serves the baselines now and the combination

@@ -62,6 +62,15 @@ struct CampaignConfig {
   /// as an escape hatch.
   bool use_snapshots = true;
 
+  /// When true (default), trials stop at the deterministic quiescence cut
+  /// instead of simulating out the fixed horizon (see
+  /// ScenarioConfig::early_exit). Detections, classifications and signatures
+  /// are equal on vs off (enforced in snapshot_test.cpp); the switch exists
+  /// for A/B benchmarking and as an escape hatch. Rides the dist wire like
+  /// use_snapshots and, like it, is excluded from the campaign identity hash
+  /// — flipping it does not invalidate a resume journal.
+  bool early_exit = true;
+
   /// Progress callback (strategies committed, total queued so far). Invoked
   /// from the coordinating thread, in commit order, with no campaign lock
   /// held — both arguments are monotonically non-decreasing across calls

@@ -21,7 +21,7 @@ RunMetrics run_tcp(ScenarioArena& arena, const ScenarioConfig& config,
   obs::ScopedTimer run_timer(config.metrics, "scenario.run_seconds");
   detail::TcpWorld world;
   world.init(arena, config, attacks);
-  world.rig.net->scheduler().run_until(world.end);
+  detail::drive_to_end(world.rig.net->scheduler(), config, world.end);
   return world.finish(config, !attacks.empty());
 }
 
@@ -30,7 +30,7 @@ RunMetrics run_dccp(ScenarioArena& arena, const ScenarioConfig& config,
   obs::ScopedTimer run_timer(config.metrics, "scenario.run_seconds");
   detail::DccpWorld world;
   world.init(arena, config, attacks);
-  world.rig.net->scheduler().run_until(world.end);
+  detail::drive_to_end(world.rig.net->scheduler(), config, world.end);
   return world.finish(config, !attacks.empty());
 }
 

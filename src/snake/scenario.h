@@ -79,6 +79,20 @@ struct ScenarioConfig {
   /// runs whose virtual clock stops advancing while callbacks burn real time.
   double wall_limit_seconds = 0.0;
 
+  /// Deterministic early-exit: stop the run at the quiescence cut — once no
+  /// pending event that could change the detector's inputs remains before
+  /// the horizon — instead of simulating to the fixed end time. Virtual time
+  /// still advances to the horizon. Everything a campaign decides on (bytes
+  /// delivered, verdicts, classifications, signatures, observations) is
+  /// identical either way — enforced by tests; the only divergence is
+  /// invisible bookkeeping (TIME_WAIT sockets whose lazy release timer never
+  /// fires still show as TIME_WAIT in server1_socket_states, which nothing
+  /// reads for detection). Off by default so direct run_scenario callers
+  /// keep exact historical behaviour; campaigns switch it on via
+  /// CampaignConfig::early_exit. The cut point is a pure function of the
+  /// event history, so forked and from-zero runs agree on it.
+  bool early_exit = false;
+
   /// Fault-injection plan (tests/benches only; not owned, nullptr in
   /// production — the only cost then is this null check). Scenario-level
   /// rules (event storm, clock stall, throw-in-trial) are keyed by

@@ -94,6 +94,17 @@ void arm_run_guards(const ScenarioConfig& config, sim::Scheduler& scheduler) {
     arm_throw_in_trial(scheduler, after);
 }
 
+void drive_to_end(sim::Scheduler& scheduler, const ScenarioConfig& config, TimePoint end) {
+  if (!config.early_exit) {
+    scheduler.run_until(end);
+    return;
+  }
+  scheduler.set_quiescence_horizon(end);
+  bool cut = scheduler.run_until_quiescent(end);
+  if (cut && config.metrics != nullptr)
+    config.metrics->counter("scenario.early_exit_runs") += 1;
+}
+
 // ------------------------------------------------------------------ TcpWorld
 
 void TcpWorld::init(ScenarioArena& arena, const ScenarioConfig& config,

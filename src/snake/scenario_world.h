@@ -25,6 +25,13 @@ namespace snake::core::detail {
 /// the run starts.
 void arm_run_guards(const ScenarioConfig& config, sim::Scheduler& scheduler);
 
+/// Drives an initialized (or snapshot-restored) world's scheduler to `end`:
+/// plain run_until, or — when config.early_exit — the quiescence cut via
+/// run_until_quiescent (see ScenarioConfig::early_exit). Counts genuine cuts
+/// under "scenario.early_exit_runs". Shared by run_scenario's drivers and
+/// the snapshot layer's forked trials so both take the identical cut.
+void drive_to_end(sim::Scheduler& scheduler, const ScenarioConfig& config, TimePoint end);
+
 /// The TCP scenario graph. Members are declared in the exact construction
 /// order of the former run_tcp locals so teardown order is preserved.
 struct TcpWorld {

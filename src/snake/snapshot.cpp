@@ -106,9 +106,14 @@ RunMetrics serve_world(World& world, const SnapMap& snaps, std::uint64_t cut,
                        const std::vector<Strategy>& attacks) {
   auto it = cut == kNoCut ? std::prev(snaps.end()) : snaps.find(cut);
   if (it == snaps.end()) it = std::prev(snaps.end());
-  world.restore(it->second);
+  {
+    obs::ScopedTimer restore_timer(config.metrics, "snapshot.restore_seconds");
+    world.restore(it->second);
+  }
   world.proxy->set_strategies(attacks);
-  world.rig.net->scheduler().run_until(world.end);
+  // Same driver as run_scenario: a forked trial must take the identical
+  // early-exit cut a from-zero trial would (the selfcheck byte-compares them).
+  detail::drive_to_end(world.rig.net->scheduler(), config, world.end);
   return world.finish(config, !attacks.empty());
 }
 
@@ -208,8 +213,69 @@ std::optional<RunMetrics> SnapshotSession::serve(
 
 // -------------------------------------------------------------- SnapshotStore
 
+/// The sessions built for one seed. `sessions` owns them for the store's
+/// lifetime; `idle` holds the ones not currently serving a trial; `building`
+/// counts in-flight constructions (they reserve pool capacity before the
+/// session exists so concurrent executors never overshoot the cap).
+struct SnapshotStore::SeedPool {
+  std::vector<std::unique_ptr<SnapshotSession>> sessions;
+  std::vector<SnapshotSession*> idle;
+  std::size_t building = 0;
+};
+
 SnapshotStore::SnapshotStore() = default;
 SnapshotStore::~SnapshotStore() = default;
+
+void SnapshotStore::set_max_sessions_per_seed(std::size_t cap) {
+  max_sessions_per_seed_ = cap == 0 ? 1 : cap;
+}
+
+std::uint64_t SnapshotStore::selfcheck_violations() const {
+  std::lock_guard<std::mutex> lock(const_cast<SnapshotStore*>(this)->selfcheck_mutex_);
+  return violations_;
+}
+
+SnapshotSession* SnapshotStore::acquire(std::uint64_t seed, const ScenarioConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<SeedPool>& pool = pools_[seed];
+    if (pool == nullptr) pool = std::make_unique<SeedPool>();
+    if (!pool->idle.empty()) {
+      SnapshotSession* session = pool->idle.back();
+      pool->idle.pop_back();
+      return session;
+    }
+    if (pool->sessions.size() + pool->building >= max_sessions_per_seed_)
+      return nullptr;  // every session busy, pool full: caller runs from zero
+    ++pool->building;
+  }
+  // Build outside the lock: the two prefix passes cost as much as several
+  // trials, and other executors must keep serving (or falling back)
+  // meanwhile.
+  std::unique_ptr<SnapshotSession> built;
+  if (config.metrics != nullptr) ++config.metrics->counter("snapshot.sessions_built");
+  {
+    obs::ScopedTimer build_timer(config.metrics, "snapshot.session_build_seconds");
+    try {
+      built = std::make_unique<SnapshotSession>(config);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pools_[seed]->building;
+      throw;
+    }
+  }
+  SnapshotSession* session = built.get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  SeedPool& pool = *pools_[seed];
+  --pool.building;
+  pool.sessions.push_back(std::move(built));
+  return session;
+}
+
+void SnapshotStore::release(std::uint64_t seed, SnapshotSession* session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pools_[seed]->idle.push_back(session);
+}
 
 bool SnapshotStore::eligible(const ScenarioConfig& config,
                              const std::vector<Strategy>& attacks) {
@@ -236,12 +302,24 @@ std::optional<RunMetrics> SnapshotStore::run_trial(
     if (reg != nullptr) ++reg->counter("snapshot.ineligible_runs");
     return std::nullopt;
   }
-  std::unique_ptr<SnapshotSession>& slot = sessions_[config.seed];
-  if (slot == nullptr) {
-    if (reg != nullptr) ++reg->counter("snapshot.sessions_built");
-    slot = std::make_unique<SnapshotSession>(config);
+  SnapshotSession* session = acquire(config.seed, config);
+  if (session == nullptr) {
+    // Pool contention, not ineligibility: a from-zero run is bit-identical,
+    // so the fallback only costs wall-clock.
+    if (reg != nullptr) {
+      ++reg->counter("snapshot.pool_exhausted");
+      ++reg->counter("snapshot.fallback_runs");
+    }
+    return std::nullopt;
   }
-  std::optional<RunMetrics> forked = slot->serve(config, attacks);
+  std::optional<RunMetrics> forked;
+  try {
+    forked = session->serve(config, attacks);
+  } catch (...) {
+    release(config.seed, session);  // serve marked it bad; it declines from now on
+    throw;
+  }
+  release(config.seed, session);
   if (!forked.has_value()) {
     if (reg != nullptr) ++reg->counter("snapshot.fallback_runs");
     return std::nullopt;
@@ -251,7 +329,10 @@ std::optional<RunMetrics> SnapshotStore::run_trial(
   if (selfcheck_) {
     // Differential oracle: replay the identical trial from zero in a private
     // arena and demand byte-identical RunMetrics JSON. The replay must not
-    // double-count observability, so it runs without a registry.
+    // double-count observability, so it runs without a registry. One arena
+    // serves the whole store, so selfcheck serializes across executors —
+    // it is a testing aid, not a production path.
+    std::lock_guard<std::mutex> lock(selfcheck_mutex_);
     if (!verify_arena_.has_value()) verify_arena_.emplace();
     ScenarioConfig replay = config;
     replay.metrics = nullptr;

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -80,9 +81,24 @@ class SnapshotSession {
   bool bad_ = false;
 };
 
-/// Per-executor front end: keys sessions by config seed, applies the
+/// Campaign-level front end: keys session pools by config seed, applies the
 /// eligibility gates, and (in selfcheck mode) differentially verifies every
 /// forked run against a plain replay.
+///
+/// Thread-safe and designed to be *shared by every executor of a campaign*
+/// (one store per ThreadBackend / worker process instead of one per
+/// executor thread): a session is the expensive part — two full prefix runs
+/// plus a resident frozen world — and per-executor stores built N identical
+/// copies of it. A session serves one trial at a time (serve mutates its
+/// world), so the store keeps a small per-seed pool: an executor borrows an
+/// idle session, or triggers a build (outside the lock, concurrently with
+/// other executors' trials) while the pool is below max_sessions_per_seed,
+/// or — when every session is busy and the pool is full — gets nullopt and
+/// falls back to a from-zero run. Falling back is always correct (forked ==
+/// from-zero, bit for bit), so contention degrades only wall-clock, never
+/// results. The store must outlive any trial it serves and is scoped to one
+/// campaign: sessions are keyed by seed only, so reusing a store across
+/// campaigns with different scenarios would serve stale worlds.
 class SnapshotStore {
  public:
   SnapshotStore();
@@ -94,15 +110,22 @@ class SnapshotStore {
   /// When on, every forked run is re-executed from zero in a private verify
   /// arena and the two RunMetrics JSON encodings are compared byte for byte.
   /// A mismatch counts a violation and the plain result wins. (Testing and
-  /// benchmarking aid; doubles the cost of every served trial.)
+  /// benchmarking aid; doubles — and serializes — every served trial.)
   void set_selfcheck(bool on) { selfcheck_ = on; }
-  std::uint64_t selfcheck_violations() const { return violations_; }
+  std::uint64_t selfcheck_violations() const;
+
+  /// Cap on resident sessions per seed (default 2). More sessions = more
+  /// concurrent forked trials but a full frozen world of RSS each; past the
+  /// cap, contended trials fall back to from-zero runs. Not thread-safe;
+  /// set before sharing the store.
+  void set_max_sessions_per_seed(std::size_t cap);
 
   /// Runs one trial via snapshot forking when eligible. nullopt = not
-  /// eligible / session bad; the caller runs the trial from zero itself.
-  /// Counters (snapshot.forked_runs, snapshot.fallback_runs,
-  /// snapshot.sessions_built, snapshot.selfcheck_violations) land in
-  /// `config.metrics` when set.
+  /// eligible / session bad / pool contended; the caller runs the trial from
+  /// zero itself. Counters (snapshot.forked_runs, snapshot.fallback_runs,
+  /// snapshot.sessions_built, snapshot.pool_exhausted,
+  /// snapshot.selfcheck_violations) and the snapshot.session_build_seconds
+  /// stage timer land in `config.metrics` when set.
   std::optional<RunMetrics> run_trial(const ScenarioConfig& config,
                                       const std::vector<strategy::Strategy>& attacks);
 
@@ -111,10 +134,19 @@ class SnapshotStore {
                        const std::vector<strategy::Strategy>& attacks);
 
  private:
-  std::map<std::uint64_t, std::unique_ptr<SnapshotSession>> sessions_;
+  struct SeedPool;
+
+  SnapshotSession* acquire(std::uint64_t seed, const ScenarioConfig& config);
+  void release(std::uint64_t seed, SnapshotSession* session);
+
+  mutable std::mutex mutex_;  ///< guards pools_ and each pool's bookkeeping
+  std::map<std::uint64_t, std::unique_ptr<SeedPool>> pools_;
+  std::size_t max_sessions_per_seed_ = 2;
+
+  std::mutex selfcheck_mutex_;  ///< serializes verify-arena replays
   std::optional<ScenarioArena> verify_arena_;  ///< selfcheck replays only
   bool selfcheck_ = false;
-  std::uint64_t violations_ = 0;
+  std::uint64_t violations_ = 0;  ///< guarded by selfcheck_mutex_
 };
 
 }  // namespace snake::core

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <utility>
@@ -154,6 +155,12 @@ struct ThreadBackend::Impl {
   bool collect_metrics = true;
   bool use_snapshots = true;
 
+  /// One snapshot store shared by every executor (see SnapshotStore):
+  /// sessions are built once per seed instead of once per executor thread,
+  /// which drops both duplicate prefix runs and N-1 resident frozen worlds.
+  /// Emplaced fresh per start() — the store is campaign-scoped.
+  std::optional<SnapshotStore> snapshots;
+
   std::mutex mutex;
   std::condition_variable inbox_cv;
   std::condition_variable outbox_cv;
@@ -169,13 +176,12 @@ struct ThreadBackend::Impl {
     // plus the executor's arena: network and stacks built once, reset
     // between trials.
     ScenarioArena arena;
-    SnapshotStore snapshots;
     ScenarioConfig run_config = run_template;
     run_config.metrics = reg;
     ScenarioConfig retest_config = retest_template;
     retest_config.metrics = reg;
     TrialContext ctx;
-    ctx.snapshots = use_snapshots ? &snapshots : nullptr;
+    ctx.snapshots = use_snapshots && snapshots.has_value() ? &*snapshots : nullptr;
     ctx.run_template = &run_config;
     ctx.retest_template = &retest_config;
     ctx.baseline = &baseline;
@@ -219,7 +225,8 @@ bool ThreadBackend::start(const CampaignConfig& config, const RunMetrics& baseli
                           const RunMetrics& retest_baseline) {
   Impl& im = *impl_;
   im.run_template = config.scenario;
-  im.retest_template = config.scenario;
+  im.run_template.early_exit = config.early_exit;
+  im.retest_template = im.run_template;
   im.retest_template.seed += config.retest_seed_offset;
   im.baseline = baseline;
   im.retest_baseline = retest_baseline;
@@ -229,6 +236,11 @@ bool ThreadBackend::start(const CampaignConfig& config, const RunMetrics& baseli
   im.retry_seed_offset = config.retry_seed_offset;
   im.collect_metrics = config.collect_metrics;
   im.use_snapshots = config.use_snapshots;
+  im.snapshots.emplace();  // fresh campaign-scoped store (sessions key by seed)
+  // One session per executor: the pool's whole point is that every executor
+  // can fork trials concurrently; capping below the thread count turns the
+  // overflow into fallback full runs (snapshot.pool_exhausted counts them).
+  im.snapshots->set_max_sessions_per_seed(static_cast<std::size_t>(im.executors));
 
   im.registries.clear();
   im.registries.resize(static_cast<std::size_t>(im.executors));

@@ -42,6 +42,8 @@ StateMachine::StateMachine(std::string name, std::vector<std::string> states,
     check_state(t.from, "transition");
     check_state(t.to, "transition");
   }
+  for (std::uint32_t i = 0; i < transitions_.size(); ++i)
+    by_from_[transitions_[i].from].push_back(i);
 }
 
 const std::string& StateMachine::initial_state(Role role) const {
@@ -54,23 +56,30 @@ bool StateMachine::has_state(const std::string& state) const {
 
 std::vector<const Transition*> StateMachine::transitions_from(const std::string& state) const {
   std::vector<const Transition*> out;
-  for (const auto& t : transitions_)
-    if (t.from == state) out.push_back(&t);
+  auto it = by_from_.find(state);
+  if (it == by_from_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::uint32_t i : it->second) out.push_back(&transitions_[i]);
   return out;
 }
 
 const Transition* StateMachine::match(const std::string& state, TriggerKind kind,
                                       const std::string& packet_type) const {
-  for (const auto& t : transitions_) {
-    if (t.from != state || t.trigger.kind != kind) continue;
+  auto it = by_from_.find(state);
+  if (it == by_from_.end()) return nullptr;
+  for (std::uint32_t i : it->second) {
+    const Transition& t = transitions_[i];
+    if (t.trigger.kind != kind) continue;
     if (t.trigger.packet_type == packet_type || t.trigger.packet_type == "*") return &t;
   }
   return nullptr;
 }
 
 const Transition* StateMachine::timeout_from(const std::string& state) const {
-  for (const auto& t : transitions_)
-    if (t.from == state && t.trigger.kind == TriggerKind::kTimeout) return &t;
+  auto it = by_from_.find(state);
+  if (it == by_from_.end()) return nullptr;
+  for (std::uint32_t i : it->second)
+    if (transitions_[i].trigger.kind == TriggerKind::kTimeout) return &transitions_[i];
   return nullptr;
 }
 

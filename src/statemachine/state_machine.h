@@ -68,6 +68,11 @@ class StateMachine {
   std::vector<Transition> transitions_;
   std::string client_initial_;
   std::string server_initial_;
+  /// from-state -> indices into transitions_, in declaration order (match
+  /// semantics are first-declared-wins). Trackers call match/timeout_from per
+  /// observed packet, so the lookup must not scan every transition. Indices
+  /// rather than pointers keep the map valid across copies.
+  std::map<std::string, std::vector<std::uint32_t>> by_from_;
 };
 
 }  // namespace snake::statemachine

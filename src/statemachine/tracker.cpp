@@ -38,16 +38,22 @@ bool EndpointTracker::observe(TriggerKind kind, const std::string& packet_type, 
     ++per_state.sent_by_type[packet_type];
   else
     ++per_state.received_by_type[packet_type];
-  Observation obs{state_, packet_type, kind};
-  if (std::find(observations_.begin(), observations_.end(), obs) == observations_.end())
-    observations_.push_back(std::move(obs));
+  // Field-wise comparison first: constructing an Observation copies two
+  // strings, and on this per-packet path the triple is almost always a
+  // repeat of one already recorded.
+  bool seen = std::any_of(observations_.begin(), observations_.end(),
+                          [&](const Observation& o) {
+                            return o.direction == kind && o.state == state_ &&
+                                   o.packet_type == packet_type;
+                          });
+  if (!seen) observations_.push_back(Observation{state_, packet_type, kind});
 
   const Transition* t = machine_->match(state_, kind, packet_type);
   if (t == nullptr) {
     ++unknown_packets_;
     return false;
   }
-  stats_[state_].total_time += now - entered_at_;
+  per_state.total_time += now - entered_at_;
   SNAKE_TRACE << "tracker[" << to_string(role_) << "] " << state_ << " -> " << t->to << " on "
               << t->trigger.to_string();
   ++transitions_;
@@ -77,10 +83,11 @@ void ConnectionTracker::observe_packet(std::uint64_t src, std::uint64_t dst,
   if (dst == server_id_) server_.observe(TriggerKind::kReceive, packet_type, now);
 }
 
-std::string ConnectionTracker::state_of(std::uint64_t id) const {
+const std::string& ConnectionTracker::state_of(std::uint64_t id) const {
+  static const std::string kUnknown = "?";
   if (id == client_id_) return client_.state();
   if (id == server_id_) return server_.state();
-  return "?";
+  return kUnknown;
 }
 
 }  // namespace snake::statemachine

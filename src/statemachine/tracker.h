@@ -109,7 +109,7 @@ class ConnectionTracker {
   const EndpointTracker& server() const { return server_; }
 
   /// State of the endpoint with the given id ("?" if unknown id).
-  std::string state_of(std::uint64_t id) const;
+  const std::string& state_of(std::uint64_t id) const;
 
  private:
   std::uint64_t client_id_;

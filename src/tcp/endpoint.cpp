@@ -425,12 +425,20 @@ void TcpEndpoint::process_payload(const Segment& s) {
     return;
   }
 
-  // In order (trimming any already-received prefix).
+  // In order (trimming any already-received prefix). The exact-fit case —
+  // nearly every data segment of a healthy transfer — delivers the parsed
+  // payload as-is instead of re-copying ~MSS per packet.
   std::size_t skip = rcv_nxt_ - s.seq;
-  Bytes fresh(s.payload.begin() + static_cast<std::ptrdiff_t>(skip), s.payload.end());
-  rcv_nxt_ += static_cast<std::uint32_t>(fresh.size());
-  stats_.bytes_delivered += fresh.size();
-  if (callbacks_.on_data) callbacks_.on_data(fresh);
+  if (skip == 0) {
+    rcv_nxt_ += static_cast<std::uint32_t>(s.payload.size());
+    stats_.bytes_delivered += s.payload.size();
+    if (callbacks_.on_data) callbacks_.on_data(s.payload);
+  } else {
+    Bytes fresh(s.payload.begin() + static_cast<std::ptrdiff_t>(skip), s.payload.end());
+    rcv_nxt_ += static_cast<std::uint32_t>(fresh.size());
+    stats_.bytes_delivered += fresh.size();
+    if (callbacks_.on_data) callbacks_.on_data(fresh);
+  }
 
   // Drain now-contiguous buffered segments.
   auto it = out_of_order_.begin();
@@ -483,7 +491,7 @@ void TcpEndpoint::process_fin(const Segment& s) {
 
 // ---------------------------------------------------------------- output
 
-void TcpEndpoint::emit(std::uint8_t flags, Seq seq, const Bytes& payload, bool dsack) {
+void TcpEndpoint::emit(std::uint8_t flags, Seq seq, Bytes payload, bool dsack) {
   Segment s;
   s.src_port = config_.local_port;
   s.dst_port = config_.remote_port;
@@ -492,7 +500,8 @@ void TcpEndpoint::emit(std::uint8_t flags, Seq seq, const Bytes& payload, bool d
   s.dsack = dsack;
   if (flags & kTcpAck) s.ack = rcv_nxt_;
   s.window = advertised_window();
-  s.payload = payload;
+  stats_.bytes_sent_wire += payload.size();
+  s.payload = std::move(payload);
 
   sim::Packet p;
   p.dst = config_.remote_addr;
@@ -500,7 +509,6 @@ void TcpEndpoint::emit(std::uint8_t flags, Seq seq, const Bytes& payload, bool d
   p.bytes = node_.scheduler().buffer_pool().acquire();
   serialize_into(s, p.bytes);
   ++stats_.segments_sent;
-  stats_.bytes_sent_wire += payload.size();
   SNAKE_TRACE << node_.name() << " tcp tx " << s.summary();
   node_.send_packet(std::move(p));
 }
@@ -552,7 +560,7 @@ void TcpEndpoint::try_send() {
     // occasionally in the data stream" as the paper observes.
     std::uint64_t start = acked_total_ + offset;
     bool boundary = covers_push_point(start, start + can_send);
-    emit(boundary ? (kTcpPsh | kTcpAck) : kTcpAck, snd_nxt_, chunk);
+    emit(boundary ? (kTcpPsh | kTcpAck) : kTcpAck, snd_nxt_, std::move(chunk));
     snd_nxt_ += static_cast<std::uint32_t>(can_send);
     if (seq_gt(snd_nxt_, snd_max_)) snd_max_ = snd_nxt_;
   }
@@ -581,13 +589,34 @@ void TcpEndpoint::arm_retransmit(bool restart) {
     retransmit_timer_.cancel();
     return;
   }
-  if (restart) retransmit_timer_.cancel();
-  if (retransmit_timer_.pending()) return;
+  TimePoint deadline = node_.scheduler().now() + rto_;
+  if (retransmit_timer_.pending()) {
+    if (!restart) return;
+    // Lazy restart: pushing the deadline out just records it — the pending
+    // event re-sleeps when it fires. Only an earlier deadline (an RTT sample
+    // shrank rto_) forces a real cancel + reschedule.
+    if (deadline >= rtx_fire_at_) {
+      rtx_deadline_ = deadline;
+      return;
+    }
+    retransmit_timer_.cancel();
+  }
+  rtx_deadline_ = deadline;
+  rtx_fire_at_ = deadline;
   retransmit_timer_ = node_.scheduler().schedule_in(rto_, [this] { on_retransmit_timeout(); });
 }
 
 void TcpEndpoint::on_retransmit_timeout() {
   if (released_) return;
+  TimePoint now = node_.scheduler().now();
+  if (now < rtx_deadline_) {
+    // The clock was lazily restarted since this event was scheduled: not a
+    // timeout, just sleep the rest of the way to the logical deadline.
+    rtx_fire_at_ = rtx_deadline_;
+    retransmit_timer_ = node_.scheduler().schedule_in(rtx_deadline_ - now,
+                                                      [this] { on_retransmit_timeout(); });
+    return;
+  }
   ++retries_;
   ++stats_.timeouts;
   rto_ = std::min(rto_ * 2, kMaxRto);  // backoff applies to everything below
@@ -628,7 +657,7 @@ void TcpEndpoint::on_retransmit_timeout() {
         // Zero-window probe: one byte past the edge.
         std::size_t offset = snd_nxt_ - snd_una_;
         Bytes probe = {send_buf_[offset]};
-        emit(kTcpPsh | kTcpAck, snd_nxt_, probe);
+        emit(kTcpPsh | kTcpAck, snd_nxt_, std::move(probe));
         snd_nxt_ += 1;
         if (seq_gt(snd_nxt_, snd_max_)) snd_max_ = snd_nxt_;
       }
@@ -649,7 +678,7 @@ void TcpEndpoint::retransmit_one() {
     timed_seq_.reset();
     last_retx_end_ = snd_una_ + static_cast<std::uint32_t>(len);
     emit(covers_push_point(acked_total_, acked_total_ + len) ? (kTcpPsh | kTcpAck) : kTcpAck,
-         snd_una_, chunk);
+         snd_una_, std::move(chunk));
   } else if (fin_sent_ && seq_leq(snd_una_, fin_seq_)) {
     ++stats_.retransmissions;
     last_retx_end_ = fin_seq_ + 1;
@@ -682,7 +711,10 @@ void TcpEndpoint::take_rtt_sample(Seq acked_to) {
 void TcpEndpoint::enter_time_wait() {
   set_state(TcpState::kTimeWait);
   retransmit_timer_.cancel();
-  time_wait_timer_ = node_.scheduler().schedule_in(config_.time_wait, [this] { release(); });
+  // Lazy: expiry only releases the socket — no packet, nothing a detector
+  // reads — so a deterministic early-exit may leave it unfired.
+  time_wait_timer_ =
+      node_.scheduler().schedule_lazy_in(config_.time_wait, [this] { release(); });
 }
 
 void TcpEndpoint::set_state(TcpState next) {
@@ -742,6 +774,8 @@ TcpEndpoint::Snapshot TcpEndpoint::capture_state() const {
   s.timed_at = timed_at_;
   s.retransmit_timer = retransmit_timer_;
   s.time_wait_timer = time_wait_timer_;
+  s.rtx_deadline = rtx_deadline_;
+  s.rtx_fire_at = rtx_fire_at_;
   s.retries = retries_;
   s.stats = stats_;
   return s;
@@ -779,6 +813,8 @@ void TcpEndpoint::restore_state(const Snapshot& snap) {
   timed_at_ = snap.timed_at;
   retransmit_timer_ = snap.retransmit_timer;
   time_wait_timer_ = snap.time_wait_timer;
+  rtx_deadline_ = snap.rtx_deadline;
+  rtx_fire_at_ = snap.rtx_fire_at;
   retries_ = snap.retries;
   stats_ = snap.stats;
 }

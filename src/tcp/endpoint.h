@@ -152,6 +152,7 @@ class TcpEndpoint {
     std::optional<Seq> timed_seq;
     TimePoint timed_at;
     sim::Timer retransmit_timer, time_wait_timer;
+    TimePoint rtx_deadline, rtx_fire_at;
     int retries = 0;
     TcpEndpointStats stats;
   };
@@ -190,7 +191,9 @@ class TcpEndpoint {
   void process_fin(const Segment& s);
 
   // Output.
-  void emit(std::uint8_t flags, Seq seq, const Bytes& payload = {}, bool dsack = false);
+  /// Takes the payload by value so data segments move their bytes straight
+  /// into the Segment instead of re-copying ~MSS per packet on the hot path.
+  void emit(std::uint8_t flags, Seq seq, Bytes payload = {}, bool dsack = false);
   void send_ack(bool dsack = false);
   void send_rst(Seq seq, bool with_ack = false);
   void try_send();
@@ -264,6 +267,13 @@ class TcpEndpoint {
 
   // Timers.
   sim::Timer retransmit_timer_;
+  /// Lazy RTO restart: every ACK restarts the retransmit clock, but a
+  /// cancel + reschedule per ACK is the largest single source of scheduler
+  /// traffic in a bulk transfer. The physical event stays at `rtx_fire_at_`
+  /// and `rtx_deadline_` records where the clock logically is; a fire before
+  /// the deadline re-sleeps instead of timing out.
+  TimePoint rtx_deadline_;
+  TimePoint rtx_fire_at_;
   sim::Timer time_wait_timer_;
   int retries_ = 0;
 

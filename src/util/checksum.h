@@ -19,4 +19,28 @@ bool verify_embedded_checksum(const Bytes& data, std::size_t checksum_offset);
 /// Computes and stores the checksum into the buffer at `checksum_offset`.
 void fill_embedded_checksum(Bytes& data, std::size_t checksum_offset);
 
+namespace checksum_detail {
+
+/// The two interchangeable implementations behind the public functions,
+/// exposed so the differential test can pin them against each other.
+/// `zero_at` is the byte offset of a 16-bit field treated as zero, or
+/// `std::size_t(-1)` for none.
+///
+/// checksum_scalar: the reference 2-bytes-per-iteration loop.
+/// checksum_fast:   dispatcher — checksum_avx2 for >=64-byte buffers when
+///                  the CPU supports it, else 16 bytes per iteration via
+///                  64-bit byte-lane accumulators (scalar loop on
+///                  big-endian hosts).
+/// checksum_avx2:   32 bytes per iteration via PSADBW byte-column sums;
+///                  compiled with a target attribute and only called behind
+///                  checksum_has_avx2() (aliases checksum_scalar off x86-64).
+std::uint16_t checksum_scalar(const Bytes& data, std::size_t zero_at);
+std::uint16_t checksum_fast(const Bytes& data, std::size_t zero_at);
+std::uint16_t checksum_avx2(const Bytes& data, std::size_t zero_at);
+
+/// True when this process can run the AVX2 kernel.
+bool checksum_has_avx2();
+
+}  // namespace checksum_detail
+
 }  // namespace snake

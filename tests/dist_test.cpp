@@ -35,6 +35,7 @@
 #include "dist/wire.h"
 #include "dist/worker.h"
 #include "obs/json.h"
+#include "sim/scheduler.h"
 #include "snake/controller.h"
 #include "snake/trial_runner.h"
 #include "strategy/generator.h"
@@ -197,6 +198,34 @@ TEST(Distributed, SurvivesWorkerKilledMidCampaign) {
   EXPECT_EQ(result_fingerprint(single), result_fingerprint(distributed));
   EXPECT_GE(backend.workers_lost(), 1);
   EXPECT_EQ(distributed.metrics.counter("campaign.backend_fallback"), 0u);
+}
+
+TEST(Distributed, SchedulerEngineChoiceDoesNotChangeFleetResults) {
+  // Workers exec fresh from /proc/self/exe, so the coordinator's scheduler
+  // engine only reaches them through the campaign wire message
+  // (WorkerCampaign::scheduler_engine). A heap-engine fleet must reproduce
+  // the wheel-engine fleet byte for byte.
+  struct EngineGuard {
+    sim::SchedulerEngine saved = sim::Scheduler::default_engine();
+    ~EngineGuard() { sim::Scheduler::set_default_engine(saved); }
+  } guard;
+
+  auto run_fleet = [] {
+    core::CampaignConfig config = small_campaign();
+    dist::DistOptions options;
+    options.workers = 2;
+    dist::DistributedBackend backend(options);
+    config.backend = &backend;
+    core::CampaignResult result = core::run_campaign(config);
+    EXPECT_EQ(result.metrics.counter("campaign.backend_fallback"), 0u);
+    return result_fingerprint(result);
+  };
+
+  sim::Scheduler::set_default_engine(sim::SchedulerEngine::kTimerWheel);
+  const std::string wheel = run_fleet();
+  sim::Scheduler::set_default_engine(sim::SchedulerEngine::kBinaryHeap);
+  const std::string heap = run_fleet();
+  EXPECT_EQ(wheel, heap);
 }
 
 // ---------------------------------------------------------------------------

@@ -160,6 +160,75 @@ TEST(Checksum, FillIsIdempotent) {
   EXPECT_EQ(data, once);
 }
 
+// The vectorized 16-bytes-per-iteration implementation must agree with the
+// scalar reference on every buffer length 0..256 (covering every tail-length
+// residue and the empty buffer), with and without a zeroed field at every
+// alignment class.
+TEST(Checksum, FastMatchesScalarOnEveryLength) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  Rng rng(20260808);
+  for (std::size_t len = 0; len <= 256; ++len) {
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    ASSERT_EQ(checksum_detail::checksum_fast(data, kNone),
+              checksum_detail::checksum_scalar(data, kNone))
+        << "len=" << len;
+    if (len < 2) continue;
+    // A zeroed field at the front, at a random interior offset (both
+    // parities), and straddling the end.
+    std::size_t offsets[] = {0, rng.uniform(0, len - 2), rng.uniform(0, len - 2) | 1,
+                             len - 2, len - 1};
+    for (std::size_t off : offsets) {
+      if (off + 1 > len) continue;
+      ASSERT_EQ(checksum_detail::checksum_fast(data, off),
+                checksum_detail::checksum_scalar(data, off))
+          << "len=" << len << " zero_at=" << off;
+    }
+  }
+}
+
+// The AVX2 kernel gets the same sweep against the scalar reference. On
+// machines without AVX2 (or off x86-64) checksum_avx2 aliases the scalar
+// loop and this trivially passes.
+TEST(Checksum, Avx2MatchesScalarOnEveryLength) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  Rng rng(20260809);
+  for (std::size_t len = 0; len <= 256; ++len) {
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    ASSERT_EQ(checksum_detail::checksum_avx2(data, kNone),
+              checksum_detail::checksum_scalar(data, kNone))
+        << "len=" << len;
+    if (len < 2) continue;
+    std::size_t offsets[] = {0, rng.uniform(0, len - 2), rng.uniform(0, len - 2) | 1,
+                             len - 2, len - 1};
+    for (std::size_t off : offsets) {
+      if (off + 1 > len) continue;
+      ASSERT_EQ(checksum_detail::checksum_avx2(data, off),
+                checksum_detail::checksum_scalar(data, off))
+          << "len=" << len << " zero_at=" << off;
+    }
+  }
+  for (std::size_t len : {31u, 32u, 33u, 63u, 64u, 65u, 1500u, 65535u}) {
+    Bytes data(len, 0xFF);  // saturate every SAD lane
+    ASSERT_EQ(checksum_detail::checksum_avx2(data, kNone),
+              checksum_detail::checksum_scalar(data, kNone))
+        << "len=" << len;
+  }
+}
+
+// All-0xFF buffers maximize every lane sum; worth pinning since the fast
+// path's no-overflow argument leans on them being representable.
+TEST(Checksum, FastMatchesScalarOnSaturatedBuffers) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  for (std::size_t len : {15u, 16u, 17u, 64u, 255u, 1500u, 65535u}) {
+    Bytes data(len, 0xFF);
+    ASSERT_EQ(checksum_detail::checksum_fast(data, kNone),
+              checksum_detail::checksum_scalar(data, kNone))
+        << "len=" << len;
+  }
+}
+
 TEST(Strings, Split) {
   auto parts = split("a,b,,c", ',');
   ASSERT_EQ(parts.size(), 4u);
