@@ -4,8 +4,11 @@
 //   bench_campaign [--cap N] [--duration SECONDS] [--executors N]
 //                  [--protocol tcp|dccp] [--json PATH] [--baseline PATH]
 //                  [--selfcheck] [--workers N] [--result-cache PATH]
+//                  [--result-cache-compact]
 //                  [--snapshots on|off] [--early-exit on|off]
 //                  [--engine wheel|heap]
+//                  [--heartbeat-timeout-ms N] [--respawn-limit N]
+//                  [--verify-sample N] [--chaos SEED] [--chaos-period N]
 //
 // --snapshots off disables the shared campaign snapshot store, so every
 // trial replays its scenario from t=0; this is the A/B switch for measuring
@@ -31,6 +34,19 @@
 // tallies come back over the wire. --result-cache PATH memoizes trial
 // verdicts in a cross-campaign JSONL cache; a re-run with the same
 // configuration replays from the cache instead of simulating.
+// --result-cache-compact rewrites that file crash-safely before loading it,
+// dropping poisoned/torn/duplicate lines accumulated by crashed runs.
+//
+// Fleet robustness knobs (distributed mode; see DESIGN.md "Fleet supervision
+// & chaos"): --heartbeat-timeout-ms and --respawn-limit tune how fast dead
+// workers are declared and how many respawns a slot gets before quarantine;
+// --verify-sample N re-executes ~one in N worker results on the coordinator
+// and quarantines divergent (byzantine) workers. --chaos SEED arms the
+// seed-keyed wire fault injector on every worker socket (torn/garbage/
+// duplicated/delayed frames, stalled heartbeats, mid-write deaths) firing
+// about once per --chaos-period sends — the CI smoke proves a chaos
+// campaign still completes at full parallelism with results identical to a
+// clean run.
 //
 // Test throughput is the bottleneck for stateful protocol testing at scale
 // (the paper spends ~2 minutes of wall clock per strategy; ProFuzzBench ranks
@@ -64,6 +80,7 @@
 #include "obs/json.h"
 #include "sim/scheduler.h"
 #include "snake/controller.h"
+#include "snake/faultpoint.h"
 #include "statemachine/protocol_specs.h"
 #include "strategy/generator.h"
 #include "tcp/profile.h"
@@ -145,6 +162,13 @@ int main(int argc, char** argv) {
   bool use_snapshots = true;
   bool early_exit = true;
   int workers = 0;
+  bool compact_cache = false;
+  int heartbeat_timeout_ms = 0;  // 0 = DistOptions default
+  int respawn_limit = -1;        // <0 = DistOptions default
+  std::uint64_t verify_sample = 0;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
+  std::uint32_t chaos_period = 7;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) {
       cap = std::strtoull(argv[++i], nullptr, 10);
@@ -164,6 +188,19 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--result-cache") && i + 1 < argc) {
       cache_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--result-cache-compact")) {
+      compact_cache = true;
+    } else if (!std::strcmp(argv[i], "--heartbeat-timeout-ms") && i + 1 < argc) {
+      heartbeat_timeout_ms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--respawn-limit") && i + 1 < argc) {
+      respawn_limit = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--verify-sample") && i + 1 < argc) {
+      verify_sample = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc) {
+      chaos = true;
+      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--chaos-period") && i + 1 < argc) {
+      chaos_period = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "--snapshots") && i + 1 < argc) {
       use_snapshots = std::strcmp(argv[++i], "off") != 0;
     } else if (!std::strcmp(argv[i], "--early-exit") && i + 1 < argc) {
@@ -199,22 +236,24 @@ int main(int argc, char** argv) {
                                    protocol == Protocol::kTcp);
   if (selfcheck && workers <= 0) config.scenario.inspector = &oracles;
 
-  std::optional<dist::DistributedBackend> backend;
-  if (workers > 0) {
-    dist::DistOptions opt;
-    opt.workers = workers;
-    opt.selfcheck = selfcheck;
-    backend.emplace(std::move(opt));
-    config.backend = &*backend;
-  }
-
   // --result-cache: cross-campaign memoized verdicts, scoped to this
   // campaign's identity hash so a config change can never replay stale
-  // records.
+  // records. Set up before the backend so the same view can double as the
+  // coordinator's byzantine verify_cache.
   std::optional<dist::ResultCache> cache;
   std::optional<dist::ResultCache::View> cache_view;
   if (cache_path != nullptr) {
     cache.emplace(cache_path);
+    if (compact_cache) {
+      dist::ResultCache::CompactStats st = cache->compact();
+      if (!st.ok)
+        std::fprintf(stderr, "result cache %s: compaction failed, loading as-is\n", cache_path);
+      else
+        std::printf("result cache %s: compacted to %zu line(s), dropped %llu invalid + "
+                    "%llu duplicate\n",
+                    cache_path, st.kept, (unsigned long long)st.dropped_invalid,
+                    (unsigned long long)st.dropped_duplicate);
+    }
     if (!cache->load())
       std::fprintf(stderr, "result cache %s unreadable; starting cold\n", cache_path);
     if (cache->rejected() > 0)
@@ -222,16 +261,53 @@ int main(int argc, char** argv) {
                    (unsigned long long)cache->rejected());
     cache_view.emplace(cache->view(campaign_identity_hash(config)));
     config.cache = &*cache_view;
+  } else if (compact_cache) {
+    std::fprintf(stderr, "--result-cache-compact needs --result-cache PATH\n");
+    return 1;
+  }
+
+  std::optional<dist::DistributedBackend> backend;
+  if (workers > 0) {
+    dist::DistOptions opt;
+    opt.workers = workers;
+    opt.selfcheck = selfcheck;
+    if (heartbeat_timeout_ms > 0) opt.heartbeat_timeout_ms = heartbeat_timeout_ms;
+    if (respawn_limit >= 0) opt.respawn_limit = respawn_limit;
+    opt.verify_sample = verify_sample;
+    if (cache_view.has_value()) opt.verify_cache = &*cache_view;
+    if (chaos) {
+      opt.wire_fault_seed = chaos_seed;
+      opt.wire_fault_mask = core::kAllWireFaults;
+      opt.wire_fault_period = chaos_period;
+      opt.supervisor_seed = chaos_seed;
+      // Injected mid-write deaths are *supposed* to kill workers repeatedly;
+      // the crash-loop detector would read that as a broken host and
+      // quarantine every slot. Under chaos only the respawn budget bounds
+      // the fleet, same as the chaos-soak suite.
+      opt.crash_loop_failures = 1 << 20;
+      if (respawn_limit < 0) opt.respawn_limit = 64;
+      opt.respawn_backoff_ms = 5;
+      opt.respawn_backoff_cap_ms = 50;
+    }
+    backend.emplace(std::move(opt));
+    config.backend = &*backend;
+  } else if (chaos) {
+    std::fprintf(stderr, "--chaos needs --workers N (wire faults live on worker sockets)\n");
+    return 1;
   }
 
   std::printf(
       "== Campaign throughput: %llu strategies, %.0fs virtual, %d executors "
-      "(%s, %s engine%s%s%s%s) ==\n",
+      "(%s, %s engine%s%s%s%s%s) ==\n",
       (unsigned long long)cap, duration, executors, to_string(protocol), engine_name,
       selfcheck ? ", selfcheck" : "",
       workers > 0 ? ", distributed" : "",
       use_snapshots ? "" : ", snapshots off",
-      early_exit ? "" : ", early-exit off");
+      early_exit ? "" : ", early-exit off",
+      chaos ? ", wire chaos on" : "");
+  if (chaos)
+    std::printf("  wire chaos ........... seed=%llu period=%u (all faults)\n",
+                (unsigned long long)chaos_seed, chaos_period);
 
   auto t0 = std::chrono::steady_clock::now();
   CampaignResult result = run_campaign(config);
@@ -301,6 +377,16 @@ int main(int argc, char** argv) {
                 backend->workers_spawned(), backend->workers_lost(),
                 (unsigned long long)backend->trials_stolen(),
                 (unsigned long long)backend->inline_trials());
+    std::printf("  fleet supervision .... %d respawned, %d slots quarantined, "
+                "%llu frames rejected\n",
+                backend->workers_respawned(), backend->slots_quarantined(),
+                (unsigned long long)backend->frames_rejected());
+    if (verify_sample > 0 || cache_view.has_value())
+      std::printf("  byzantine verify ..... %llu re-executed, %llu divergent\n",
+                  (unsigned long long)backend->trials_verified(),
+                  (unsigned long long)backend->results_divergent());
+    const std::string report = backend->fleet_report();
+    if (!report.empty()) std::fprintf(stderr, "%s\n", report.c_str());
     if (fallback > 0)
       std::fprintf(stderr,
                    "  (distributed backend failed to start; campaign ran in-process%s)\n",
@@ -365,6 +451,15 @@ int main(int argc, char** argv) {
   w.key("early_exit").value(early_exit);
   w.key("engine").value(engine_name);
   if (cache_path != nullptr) w.key("result_cache").value(cache_path);
+  if (workers > 0) {
+    if (heartbeat_timeout_ms > 0) w.key("heartbeat_timeout_ms").value(heartbeat_timeout_ms);
+    if (respawn_limit >= 0) w.key("respawn_limit").value(respawn_limit);
+    if (verify_sample > 0) w.key("verify_sample").value(verify_sample);
+    if (chaos) {
+      w.key("chaos_seed").value(chaos_seed);
+      w.key("chaos_period").value(chaos_period);
+    }
+  }
   w.end_object();
   w.key("results").begin_object();
   w.key("wall_seconds").value(wall);
@@ -405,6 +500,11 @@ int main(int argc, char** argv) {
     w.key("trials_stolen").value(backend->trials_stolen());
     w.key("inline_trials").value(backend->inline_trials());
     w.key("backend_fallback").value(fallback);
+    w.key("workers_respawned").value(backend->workers_respawned());
+    w.key("slots_quarantined").value(backend->slots_quarantined());
+    w.key("frames_rejected").value(backend->frames_rejected());
+    w.key("trials_verified").value(backend->trials_verified());
+    w.key("results_divergent").value(backend->results_divergent());
     w.end_object();
   }
   if (cache_path != nullptr) {

@@ -3,6 +3,8 @@
 //   bench_table1 [--full] [--cap N] [--duration SECONDS] [--executors N]
 //                [--json PATH] [--journal PREFIX] [--resume]
 //                [--workers N] [--result-cache PATH]
+//                [--heartbeat-timeout-ms N] [--respawn-limit N]
+//                [--verify-sample N]
 //
 // --workers N runs each campaign on N forked worker processes (src/dist)
 // instead of the in-process executor pool; results are bit-identical either
@@ -12,6 +14,13 @@
 // bench with the same configuration replays cached verdicts instead of
 // re-simulating (cache entries are scoped per campaign identity, so the five
 // implementation sweeps never cross-contaminate).
+//
+// The fleet-supervision knobs mirror bench_campaign: --heartbeat-timeout-ms
+// bounds how long a silent worker stays trusted, --respawn-limit caps
+// replacement processes per slot before quarantine, and --verify-sample N
+// re-executes ~one in N worker results on the coordinator (byzantine
+// defence; the result cache, when given, is also cross-checked against
+// worker results).
 //
 // --journal PREFIX checkpoints every finished trial to a per-campaign JSONL
 // journal (PREFIX.<implementation>.<protocol>.jsonl); --resume loads those
@@ -89,6 +98,9 @@ int main(int argc, char** argv) {
   const char* cache_path = nullptr;
   bool resume = false;
   int workers = 0;
+  int heartbeat_timeout_ms = 0;  // 0 = DistOptions default
+  int respawn_limit = -1;        // <0 = DistOptions default
+  std::uint64_t verify_sample = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--full")) {
       cap = 0;         // every generated strategy
@@ -110,6 +122,12 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--result-cache") && i + 1 < argc) {
       cache_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--heartbeat-timeout-ms") && i + 1 < argc) {
+      heartbeat_timeout_ms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--respawn-limit") && i + 1 < argc) {
+      respawn_limit = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--verify-sample") && i + 1 < argc) {
+      verify_sample = std::strtoull(argv[++i], nullptr, 10);
     }
   }
   if (resume && journal_prefix == nullptr) {
@@ -192,6 +210,14 @@ int main(int argc, char** argv) {
       if (snapshot.has_value()) config.resume = &*snapshot;
     }
 
+    // Cache view first: the same view doubles as the coordinator's
+    // byzantine verify_cache below.
+    std::optional<dist::ResultCache::View> cache_view;
+    if (result_cache.has_value()) {
+      cache_view.emplace(result_cache->view(campaign_identity_hash(config)));
+      config.cache = &*cache_view;
+    }
+
     // Distribution: a fresh worker fleet per campaign (spawned in start(),
     // torn down in finish()); the coordinator-side journal above keeps
     // working unchanged since trials are committed coordinator-side.
@@ -199,13 +225,12 @@ int main(int argc, char** argv) {
     if (workers > 0) {
       dist::DistOptions opt;
       opt.workers = workers;
+      if (heartbeat_timeout_ms > 0) opt.heartbeat_timeout_ms = heartbeat_timeout_ms;
+      if (respawn_limit >= 0) opt.respawn_limit = respawn_limit;
+      opt.verify_sample = verify_sample;
+      if (cache_view.has_value()) opt.verify_cache = &*cache_view;
       backend.emplace(std::move(opt));
       config.backend = &*backend;
-    }
-    std::optional<dist::ResultCache::View> cache_view;
-    if (result_cache.has_value()) {
-      cache_view.emplace(result_cache->view(campaign_identity_hash(config)));
-      config.cache = &*cache_view;
     }
 
     CampaignResult result = run_campaign(config);

@@ -13,8 +13,11 @@
 #include <deque>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
+#include <thread>
 
+#include "dist/supervisor.h"
 #include "dist/wire.h"
 #include "obs/metrics.h"
 #include "sim/scheduler.h"
@@ -33,6 +36,19 @@ std::string render_metrics(const core::RunMetrics& m) {
   return w.take();
 }
 
+std::string render_record(const core::TrialRecord& r) {
+  obs::JsonWriter w;
+  core::write_json(w, r);
+  return w.take();
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 struct DistributedBackend::Impl {
@@ -45,9 +61,30 @@ struct DistributedBackend::Impl {
     Clock::time_point last_heard;
     bool steal_pending = false;
     bool reaped = false;
+    bool death_handled = false;  // declare_dead/quarantine ran for this life
     std::string journal_path;
+    int slot = 0;
+    int incarnation = 0;  // 0 = initial spawn; respawns count up
+    // Starvation detector inputs: when this worker last made observable
+    // progress (dispatch reached it / result or stolen came back), and the
+    // queue depth its last heartbeat reported. A worker whose heartbeats say
+    // "empty queue" while the coordinator has trials charged to it is not
+    // slow — its shard frame was lost on the wire (torn mid-stream by
+    // chaos), and heartbeats alone would keep the stall invisible forever.
+    Clock::time_point last_progress;
+    std::uint64_t reported_queue = ~0ull;
+    // Coordinator-side chaos for this connection (worker-only faults
+    // stripped). Owned per worker: channels hold a raw pointer into it.
+    std::unique_ptr<core::WireFaultPlan> coord_plan;
   };
   std::vector<Worker> workers;
+
+  // Fleet supervision (respawn scheduling + quarantine; see supervisor.h).
+  Supervisor sup;
+  // Everything needed to spawn a replacement worker mid-campaign.
+  WorkerCampaign wc_template;
+  std::string expected_baseline;
+  std::string expected_retest;
 
   // Campaign context for inline fallback execution (fleet lost entirely).
   core::ScenarioConfig run_template;
@@ -73,6 +110,9 @@ struct DistributedBackend::Impl {
   std::uint64_t inline_ran = 0;
   std::uint64_t stolen = 0;
   std::uint64_t violations = 0;
+  std::uint64_t frames_rejected_n = 0;
+  std::uint64_t verified = 0;
+  std::uint64_t divergent = 0;
   std::vector<std::string> worker_metrics_json;
   std::vector<std::string> journal_files;
 
@@ -80,7 +120,7 @@ struct DistributedBackend::Impl {
 
   // ---- fleet management --------------------------------------------------
 
-  bool spawn_worker(int index, Worker& w) {
+  bool spawn_worker(Worker& w) {
     int sv[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
     // Parent end must not leak into this (or any later) worker's exec image.
@@ -102,7 +142,6 @@ struct DistributedBackend::Impl {
     w.pid = pid;
     w.ch = std::make_unique<Channel>(sv[0]);
     w.last_heard = Clock::now();
-    (void)index;
     return true;
   }
 
@@ -116,9 +155,7 @@ struct DistributedBackend::Impl {
     }
   }
 
-  void declare_dead(Worker& w) {
-    kill_worker(w);
-    ++lost;
+  void requeue_shard(Worker& w) {
     // Requeue its whole in-flight shard, in seq order, to keep reassignment
     // reproducible to a reader of the logs (results stay deterministic
     // regardless — commits are ordered by the controller).
@@ -128,6 +165,142 @@ struct DistributedBackend::Impl {
     for (std::uint64_t seq : seqs) {
       auto it = strategies.find(seq);
       if (it != strategies.end()) unassigned.push_back(core::TrialTask{seq, it->second});
+    }
+  }
+
+  void declare_dead(Worker& w, std::string reason) {
+    if (w.death_handled) return;  // pump_worker and its caller may both fire
+    w.death_handled = true;
+    kill_worker(w);
+    ++lost;
+    requeue_shard(w);
+    sup.record_failure(w.slot, Clock::now(), std::move(reason));
+  }
+
+  void quarantine_worker(Worker& w, std::string reason) {
+    if (w.death_handled) return;
+    w.death_handled = true;
+    // Byzantine divergence: the slot is done for good — no respawn budget,
+    // no backoff, straight to quarantine. The report carries the reason.
+    kill_worker(w);
+    ++lost;
+    requeue_shard(w);
+    sup.record_quarantine(w.slot, std::move(reason));
+  }
+
+  /// The WorkerCampaign for a (slot, incarnation): per-slot journal path and
+  /// test faults on top of the shared template. Test faults apply to the
+  /// first incarnation only — the injected death/corruption is the
+  /// experiment, the replacement must be healthy.
+  WorkerCampaign campaign_for(int slot, int incarnation) const {
+    WorkerCampaign wc = wc_template;
+    wc.worker_index = slot;
+    if (!options.journal_dir.empty()) {
+      wc.journal_path = options.journal_dir + "/worker-" + std::to_string(slot);
+      if (incarnation > 0) wc.journal_path += ".r" + std::to_string(incarnation);
+      wc.journal_path += ".jsonl";
+    }
+    if (incarnation == 0) {
+      const auto i = static_cast<std::size_t>(slot);
+      if (i < options.exit_after_results.size())
+        wc.exit_after_results = options.exit_after_results[i];
+      if (i < options.corrupt_after_results.size())
+        wc.corrupt_after_results = options.corrupt_after_results[i];
+    }
+    // Each (slot, incarnation) gets its own chaos stream. Reusing the base
+    // seed verbatim would make every replacement die at the same send index
+    // as its predecessor — a deterministic crash loop with no forward
+    // progress. Mixing slot and incarnation keeps the schedule reproducible
+    // from the campaign seed while letting respawns outrun the chaos.
+    if (wc.wire_fault_mask != 0 && wc.wire_fault_period != 0) {
+      wc.wire_fault_seed = mix64(wc.wire_fault_seed ^ mix64(static_cast<std::uint64_t>(slot) + 1) ^
+                                 (static_cast<std::uint64_t>(incarnation) << 32));
+    }
+    return wc;
+  }
+
+  /// Fork + hello + campaign for one slot. On success the worker is busy
+  /// computing its baselines; await_ready() completes the handshake.
+  bool spawn_and_greet(Worker& w, int slot, int incarnation) {
+    w = Worker{};
+    w.slot = slot;
+    w.incarnation = incarnation;
+    if (!spawn_worker(w)) return false;
+    ++spawned;
+    auto hello_frame = w.ch->recv_frame(30000);
+    std::optional<Message> hello;
+    if (hello_frame.has_value()) hello = parse_message(*hello_frame);
+    if (!hello.has_value() || hello->type != MsgType::kHello || hello->version != kWireVersion) {
+      kill_worker(w);
+      return false;
+    }
+    WorkerCampaign wc = campaign_for(slot, incarnation);
+    if (!w.ch->send_frame(encode_campaign(wc))) {
+      kill_worker(w);
+      return false;
+    }
+    w.journal_path = wc.journal_path;
+    return true;
+  }
+
+  /// Ready half of the handshake: baseline byte-equality is the
+  /// cross-process determinism guard — a worker that simulates differently
+  /// must never contribute verdicts, initial spawn or respawn alike.
+  bool await_ready(Worker& w) {
+    auto ready_frame = w.ch->recv_frame(300000);
+    std::optional<Message> ready;
+    if (ready_frame.has_value()) ready = parse_message(*ready_frame);
+    if (!ready.has_value() || ready->type != MsgType::kReady) {
+      kill_worker(w);
+      return false;
+    }
+    if (render_metrics(ready->baseline) != expected_baseline ||
+        render_metrics(ready->retest_baseline) != expected_retest) {
+      kill_worker(w);
+      return false;
+    }
+    w.last_heard = Clock::now();
+    w.last_progress = w.last_heard;
+    if (!w.journal_path.empty()) journal_files.push_back(w.journal_path);
+    // Chaos only after the handshake: the supervisor needs spawns to make
+    // progress, and the worker applies its own plan after ready likewise.
+    attach_coord_chaos(w);
+    return true;
+  }
+
+  /// Coordinator-side chaos for one worker connection, worker-only faults
+  /// stripped. Seeded per (slot, incarnation) like the worker's own plan —
+  /// a schedule shared across incarnations would tear the same frame on
+  /// every replacement's fresh channel, a crash loop by construction.
+  void attach_coord_chaos(Worker& w) {
+    if (options.wire_fault_mask == 0 || options.wire_fault_period == 0) return;
+    const std::uint32_t mask = options.wire_fault_mask & ~core::kWorkerOnlyWireFaults;
+    if (mask == 0) return;
+    const std::uint64_t seed =
+        mix64(options.wire_fault_seed ^ mix64(static_cast<std::uint64_t>(w.slot) + 0x5eed) ^
+              (static_cast<std::uint64_t>(w.incarnation) << 32));
+    w.coord_plan =
+        std::make_unique<core::WireFaultPlan>(seed, mask, options.wire_fault_period);
+    w.ch->set_fault_plan(w.coord_plan.get());
+  }
+
+  /// Respawns at most one due slot per call (the handshake blocks, so keep
+  /// the pause bounded; the next poll tick picks up the next slot).
+  void maybe_respawn() {
+    if (!started) return;
+    const auto now = Clock::now();
+    for (Worker& w : workers) {
+      if (worker_alive(w)) continue;
+      if (!sup.respawn_due(w.slot, now)) continue;
+      const int slot = w.slot;
+      const int incarnation = w.incarnation + 1;
+      if (!spawn_and_greet(w, slot, incarnation) || !await_ready(w)) {
+        sup.record_failure(slot, Clock::now(), "respawn handshake failed");
+        continue;
+      }
+      sup.record_respawn(slot);
+      dispatch_unassigned();
+      return;
     }
   }
 
@@ -151,22 +324,72 @@ struct DistributedBackend::Impl {
 
   // ---- message handling --------------------------------------------------
 
-  void handle_frame(Worker& w, const std::string& frame) {
+  /// The comparable surface of a record for byzantine verification: every
+  /// outcome-bearing field, with the observation lists excluded. Workers
+  /// legitimately prune already-covered observations from wire results (a
+  /// bandwidth optimization keyed to *their* view of the covered set at send
+  /// time), so obs can differ between an honest worker's frame and the
+  /// coordinator's re-execution; comparing them would quarantine honest
+  /// workers. The controller dedupes covered pairs itself, so obs cannot
+  /// change committed verdicts either way.
+  static std::string verdict_surface(core::TrialRecord record) {
+    record.client_obs.clear();
+    record.server_obs.clear();
+    return render_record(record);
+  }
+
+  /// Byzantine verification for one result. Returns the record to commit:
+  /// the worker's own when it checks out, the coordinator's re-execution
+  /// when the worker lied (in which case the worker is already quarantined).
+  core::TrialRecord verify_result(Worker& w, std::uint64_t seq, const strategy::Strategy& strat,
+                                  core::TrialRecord record) {
+    bool selected =
+        options.verify_sample != 0 && mix64(seq) % options.verify_sample == 0;
+    if (!selected && options.verify_cache != nullptr) {
+      // A cache conflict is exactly the "verdict conflicts with the
+      // cross-campaign cache" trigger: either the cache line or the worker
+      // is wrong, and re-execution is the tiebreaker.
+      const core::TrialRecord* hit = options.verify_cache->lookup(record.key);
+      if (hit != nullptr && verdict_surface(*hit) != verdict_surface(record)) selected = true;
+    }
+    if (!selected) return record;
+    ++verified;
+    core::TrialRecord truth = execute_record(strat);
+    if (verdict_surface(truth) == verdict_surface(record)) return record;
+    ++divergent;
+    quarantine_worker(w, "divergent result for seq " + std::to_string(seq) + " (key " +
+                             truth.key + ")");
+    // Commit the re-execution: bit-identical to single-process by
+    // construction, so the campaign's determinism guarantee survives.
+    return truth;
+  }
+
+  /// Returns false on a malformed frame — framing desync or failed result
+  /// checksum — which costs the worker its connection (caller kills it).
+  bool handle_frame(Worker& w, const std::string& frame) {
     auto m = parse_message(frame);
-    if (!m.has_value()) return;  // garbage on the wire: ignore the frame
+    if (!m.has_value()) return false;
     w.last_heard = Clock::now();
     switch (m->type) {
       case MsgType::kResult: {
         auto it = std::find(w.assigned.begin(), w.assigned.end(), m->seq);
-        if (it == w.assigned.end() || strategies.count(m->seq) == 0)
-          return;  // duplicate or never-assigned seq: drop
+        auto sit = strategies.find(m->seq);
+        if (it == w.assigned.end() || sit == strategies.end())
+          return true;  // duplicate or never-assigned seq: drop
         w.assigned.erase(it);
-        strategies.erase(m->seq);
-        outcomes.push_back(core::TrialOutcome{m->seq, std::move(m->record)});
+        // Retire the trial before verification: a quarantine inside
+        // verify_result requeues the worker's remaining shard, and this seq
+        // must not ride along (its outcome is committed right here).
+        strategy::Strategy strat = std::move(sit->second);
+        strategies.erase(sit);
+        core::TrialRecord record = verify_result(w, m->seq, strat, std::move(m->record));
+        outcomes.push_back(core::TrialOutcome{m->seq, std::move(record)});
+        w.last_progress = Clock::now();
         break;
       }
       case MsgType::kStolen: {
         w.steal_pending = false;
+        w.last_progress = Clock::now();
         for (std::uint64_t seq : m->seqs) {
           auto it = std::find(w.assigned.begin(), w.assigned.end(), seq);
           if (it == w.assigned.end()) continue;
@@ -180,7 +403,8 @@ struct DistributedBackend::Impl {
         break;
       }
       case MsgType::kHeartbeat:
-        break;  // last_heard already refreshed
+        w.reported_queue = m->queued;  // starvation detector input
+        break;                         // last_heard already refreshed
       case MsgType::kBye:
         violations += m->selfcheck_violations;
         if (!m->metrics_json.empty()) worker_metrics_json.push_back(std::move(m->metrics_json));
@@ -188,12 +412,24 @@ struct DistributedBackend::Impl {
       default:
         break;
     }
+    return true;
   }
 
   void pump_worker(Worker& w) {
     if (!worker_alive(w)) return;
     w.ch->pump();  // an EOF marks the channel broken, handled by the caller
-    while (auto frame = w.ch->pop_frame()) handle_frame(w, *frame);
+    while (worker_alive(w)) {
+      auto frame = w.ch->pop_frame();
+      if (!frame.has_value()) break;
+      if (!handle_frame(w, *frame)) {
+        // Garbage on a byte stream means nothing after it can be trusted:
+        // treat it like a worker death (kill + requeue + supervised respawn)
+        // instead of guessing where the next frame starts.
+        ++frames_rejected_n;
+        declare_dead(w, "malformed frame");
+        return;
+      }
+    }
   }
 
   // ---- dispatch ----------------------------------------------------------
@@ -207,12 +443,13 @@ struct DistributedBackend::Impl {
       unassigned.pop_front();
       std::uint64_t seq = task.seq;
       if (!w->ch->send_frame(encode_trials({WireTrial{task.seq, std::move(task.strat)}}))) {
-        declare_dead(*w);
+        declare_dead(*w, "send failed");
         auto it = strategies.find(seq);
         if (it != strategies.end()) unassigned.push_back(core::TrialTask{seq, it->second});
         continue;
       }
       w->assigned.push_back(seq);
+      w->last_progress = Clock::now();
     }
   }
 
@@ -234,12 +471,14 @@ struct DistributedBackend::Impl {
     if (loaded->ch->send_frame(encode_steal(count)))
       loaded->steal_pending = true;
     else
-      declare_dead(*loaded);
+      declare_dead(*loaded, "send failed");
   }
 
-  core::TrialOutcome run_inline(core::TrialTask task) {
-    // Whole fleet lost: the show goes on in-process. Same trial body, same
-    // templates, so results are still bit-identical.
+  /// One trial executed in this process — the shared body behind the
+  /// fleet-gone inline fallback and byzantine re-execution. Same templates,
+  /// same trial runner, so the record is bit-identical to any honest
+  /// worker's.
+  core::TrialRecord execute_record(const strategy::Strategy& strat) {
     if (inline_arena == nullptr) inline_arena = std::make_unique<core::ScenarioArena>();
     obs::MetricsRegistry* reg = collect_metrics ? &inline_registry : nullptr;
     core::ScenarioConfig run_config = run_template;
@@ -255,9 +494,14 @@ struct DistributedBackend::Impl {
     ctx.threshold = threshold;
     ctx.max_attempts = max_attempts;
     ctx.retry_seed_offset = retry_seed_offset;
+    return core::execute_trial(*inline_arena, ctx, strat, reg);
+  }
+
+  core::TrialOutcome run_inline(core::TrialTask task) {
+    // Whole fleet lost for good: the show goes on in-process.
     core::TrialOutcome out;
     out.seq = task.seq;
-    out.record = core::execute_trial(*inline_arena, ctx, task.strat, reg);
+    out.record = execute_record(task.strat);
     strategies.erase(task.seq);
     ++inline_ran;
     return out;
@@ -295,54 +539,50 @@ bool DistributedBackend::start(const core::CampaignConfig& config,
   im.retry_seed_offset = config.retry_seed_offset;
   im.collect_metrics = config.collect_metrics;
 
-  const std::string expected_baseline = render_metrics(baseline);
-  const std::string expected_retest = render_metrics(retest_baseline);
-  const std::uint64_t identity = core::campaign_identity_hash(config);
+  im.expected_baseline = render_metrics(baseline);
+  im.expected_retest = render_metrics(retest_baseline);
+
+  // Supervisor state: one slot per configured worker; respawn scheduling is
+  // keyed by the campaign seed unless the caller picked its own.
+  SupervisorOptions sup_opts;
+  sup_opts.respawn_limit = im.options.respawn_limit;
+  sup_opts.backoff_base_ms = im.options.respawn_backoff_ms;
+  sup_opts.backoff_cap_ms = im.options.respawn_backoff_cap_ms;
+  sup_opts.crash_loop_failures = im.options.crash_loop_failures;
+  sup_opts.crash_loop_window_ms = im.options.crash_loop_window_ms;
+  sup_opts.seed =
+      im.options.supervisor_seed != 0 ? im.options.supervisor_seed : config.scenario.seed;
+  im.sup = Supervisor(im.options.workers, sup_opts);
+
+  WorkerCampaign& wc = im.wc_template;
+  wc.scenario = config.scenario;
+  wc.scenario.metrics = nullptr;
+  wc.scenario.faults = nullptr;
+  wc.scenario.inspector = nullptr;
+  wc.detect_threshold = config.detect_threshold;
+  wc.trial_attempts = im.max_attempts;
+  wc.retry_seed_offset = config.retry_seed_offset;
+  wc.retest_seed_offset = config.retest_seed_offset;
+  wc.collect_metrics = config.collect_metrics;
+  wc.use_snapshots = config.use_snapshots;
+  wc.early_exit = config.early_exit;
+  // Workers exec fresh, so the coordinator's process-wide engine choice
+  // must travel explicitly or a heap-default coordinator would silently
+  // compare against wheel-engine workers.
+  wc.scheduler_engine = sim::to_string(sim::Scheduler::default_engine());
+  wc.identity_hash = core::campaign_identity_hash(config);
+  wc.heartbeat_interval_ms = im.options.heartbeat_interval_ms;
+  wc.heartbeat_timeout_ms = im.options.heartbeat_timeout_ms;
+  wc.selfcheck = im.options.selfcheck;
+  wc.wire_fault_seed = im.options.wire_fault_seed;
+  wc.wire_fault_mask = im.options.wire_fault_mask;
+  wc.wire_fault_period = im.options.wire_fault_period;
 
   im.workers.resize(static_cast<std::size_t>(im.options.workers));
   for (int i = 0; i < im.options.workers; ++i) {
     Impl::Worker& w = im.workers[static_cast<std::size_t>(i)];
-    if (!im.spawn_worker(i, w)) continue;
-    ++im.spawned;
-
-    auto hello_frame = w.ch->recv_frame(30000);
-    std::optional<Message> hello;
-    if (hello_frame.has_value()) hello = parse_message(*hello_frame);
-    if (!hello.has_value() || hello->type != MsgType::kHello ||
-        hello->version != kWireVersion) {
-      im.kill_worker(w);
-      continue;
-    }
-
-    WorkerCampaign wc;
-    wc.scenario = config.scenario;
-    wc.scenario.metrics = nullptr;
-    wc.scenario.faults = nullptr;
-    wc.scenario.inspector = nullptr;
-    wc.detect_threshold = config.detect_threshold;
-    wc.trial_attempts = im.max_attempts;
-    wc.retry_seed_offset = config.retry_seed_offset;
-    wc.retest_seed_offset = config.retest_seed_offset;
-    wc.collect_metrics = config.collect_metrics;
-    wc.use_snapshots = config.use_snapshots;
-    wc.early_exit = config.early_exit;
-    // Workers exec fresh, so the coordinator's process-wide engine choice
-    // must travel explicitly or a heap-default coordinator would silently
-    // compare against wheel-engine workers.
-    wc.scheduler_engine = sim::to_string(sim::Scheduler::default_engine());
-    wc.identity_hash = identity;
-    wc.worker_index = i;
-    if (!im.options.journal_dir.empty())
-      wc.journal_path = im.options.journal_dir + "/worker-" + std::to_string(i) + ".jsonl";
-    wc.heartbeat_interval_ms = im.options.heartbeat_interval_ms;
-    wc.selfcheck = im.options.selfcheck;
-    if (static_cast<std::size_t>(i) < im.options.exit_after_results.size())
-      wc.exit_after_results = im.options.exit_after_results[static_cast<std::size_t>(i)];
-    if (!w.ch->send_frame(encode_campaign(wc))) {
-      im.kill_worker(w);
-      continue;
-    }
-    w.journal_path = wc.journal_path;
+    if (!im.spawn_and_greet(w, i, 0))
+      im.sup.record_failure(i, Clock::now(), "initial handshake failed");
   }
 
   // Collect readiness second, so workers compute their baselines in
@@ -355,17 +595,20 @@ bool DistributedBackend::start(const core::CampaignConfig& config,
     if (ready_frame.has_value()) ready = parse_message(*ready_frame);
     if (!ready.has_value() || ready->type != MsgType::kReady) {
       im.kill_worker(w);
+      im.sup.record_failure(w.slot, Clock::now(), "no ready before timeout");
       continue;
     }
-    if (render_metrics(ready->baseline) != expected_baseline ||
-        render_metrics(ready->retest_baseline) != expected_retest) {
+    if (render_metrics(ready->baseline) != im.expected_baseline ||
+        render_metrics(ready->retest_baseline) != im.expected_retest) {
       // The worker simulates differently from the coordinator. That must
       // never happen; if it does, no worker verdict is trustworthy.
       determinism_ok = false;
       break;
     }
     w.last_heard = Clock::now();
+    w.last_progress = w.last_heard;
     if (!w.journal_path.empty()) im.journal_files.push_back(w.journal_path);
+    im.attach_coord_chaos(w);
   }
   if (!determinism_ok || im.alive_count() == 0) {
     for (auto& w : im.workers) im.kill_worker(w);
@@ -397,9 +640,18 @@ core::TrialOutcome DistributedBackend::wait_outcome() {
       im.outcomes.pop_front();
       return out;
     }
+    im.maybe_respawn();
     im.dispatch_unassigned();
     if (im.alive_count() == 0) {
-      // Fleet gone: run the oldest outstanding trial inline.
+      if (im.sup.any_respawnable()) {
+        // Workers are dead but the supervisor still has budget: wait out the
+        // backoff instead of degrading to inline execution — the campaign
+        // finishes at fleet parallelism through repeated kills.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      // Respawn exhausted (every slot quarantined or spent): the show goes
+      // on in-process with the oldest outstanding trial.
       core::TrialTask task;
       if (!im.unassigned.empty()) {
         task = std::move(im.unassigned.front());
@@ -426,12 +678,28 @@ core::TrialOutcome DistributedBackend::wait_outcome() {
       Impl::Worker& w = *by_fd[i];
       if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) im.pump_worker(w);
       if (!im.worker_alive(w)) {
-        im.declare_dead(w);
+        im.declare_dead(w, w.ch != nullptr && w.ch->eof() ? "worker eof" : "wire error");
         continue;
       }
       const auto silence =
           std::chrono::duration_cast<std::chrono::milliseconds>(now - w.last_heard).count();
-      if (silence > im.options.heartbeat_timeout_ms) im.declare_dead(w);
+      if (silence > im.options.heartbeat_timeout_ms) {
+        im.declare_dead(w, "heartbeat timeout");
+        continue;
+      }
+      // Dispatch starvation: the worker heartbeats an *empty* queue while
+      // trials stand charged to it and nothing has moved for a full liveness
+      // window — its shard frame was eaten by the wire (torn or swallowed
+      // as garbage payload). Heartbeats keep the ordinary timeout from ever
+      // firing, so without this check the stall would be permanent. A false
+      // positive (one very slow trial) merely requeues work, never corrupts
+      // results.
+      const auto stalled =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - w.last_progress).count();
+      if (!w.assigned.empty() && w.reported_queue == 0 &&
+          stalled > im.options.heartbeat_timeout_ms) {
+        im.declare_dead(w, "dispatch starvation");
+      }
     }
   }
 }
@@ -475,6 +743,16 @@ void DistributedBackend::finish(obs::MetricsRegistry* into) {
       if (doc.has_value()) into->merge_from_json(*doc);
     }
     into->merge_from(im.inline_registry);
+    // Fleet supervision tallies, so quarantines and respawns land in the
+    // campaign report's metrics block alongside the worker-side numbers.
+    into->counter("dist.workers_spawned") += static_cast<std::uint64_t>(im.spawned);
+    into->counter("dist.workers_lost") += static_cast<std::uint64_t>(im.lost);
+    into->counter("dist.workers_respawned") += static_cast<std::uint64_t>(im.sup.total_respawns());
+    into->counter("dist.slots_quarantined") +=
+        static_cast<std::uint64_t>(im.sup.quarantined_slots());
+    into->counter("dist.frames_rejected") += im.frames_rejected_n;
+    into->counter("dist.trials_verified") += im.verified;
+    into->counter("dist.results_divergent") += im.divergent;
   }
   im.started = false;
 }
@@ -484,6 +762,12 @@ int DistributedBackend::workers_spawned() const { return impl_->spawned; }
 int DistributedBackend::workers_lost() const { return impl_->lost; }
 std::uint64_t DistributedBackend::inline_trials() const { return impl_->inline_ran; }
 std::uint64_t DistributedBackend::trials_stolen() const { return impl_->stolen; }
+int DistributedBackend::workers_respawned() const { return impl_->sup.total_respawns(); }
+int DistributedBackend::slots_quarantined() const { return impl_->sup.quarantined_slots(); }
+std::uint64_t DistributedBackend::frames_rejected() const { return impl_->frames_rejected_n; }
+std::uint64_t DistributedBackend::trials_verified() const { return impl_->verified; }
+std::uint64_t DistributedBackend::results_divergent() const { return impl_->divergent; }
+std::string DistributedBackend::fleet_report() const { return impl_->sup.report(); }
 
 const std::vector<std::string>& DistributedBackend::journal_paths() const {
   return impl_->journal_files;

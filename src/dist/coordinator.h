@@ -9,11 +9,22 @@
 // to be committed in dispatch order — so `bench_table1 --workers 4` produces
 // the byte-identical report of the single-process run for equal seeds.
 //
-// Resilience: a worker that dies (EOF) or wedges (heartbeat silence past the
-// timeout) is SIGKILLed and reaped, and its in-flight shard is requeued onto
-// the survivors; with the whole fleet gone the backend executes the
-// remainder inline, so a campaign never loses trials to worker failure
-// (kill-a-worker test in dist_test.cpp).
+// Resilience: a worker that dies (EOF), wedges (heartbeat silence past the
+// timeout), or desyncs (malformed frame, failed result checksum) is
+// SIGKILLed and reaped, its in-flight shard is requeued, and its slot is
+// handed to the Supervisor for a backed-off respawn — campaigns run at full
+// parallelism through repeated worker deaths. Only when a slot crash-loops
+// or exhausts its respawn budget is it quarantined; only with the *whole*
+// fleet quarantined/exhausted does the backend execute the remainder
+// inline, so a campaign never loses trials to worker failure (kill-a-worker
+// and chaos-soak tests in dist_test.cpp).
+//
+// Byzantine defence: every result frame carries an integrity checksum
+// (transport corruption = malformed frame), and a deterministic sample of
+// results — plus any result conflicting with the cross-campaign cache — is
+// re-executed by the coordinator; a worker whose record diverges from the
+// re-execution is quarantined and the re-executed record committed, so the
+// bit-identical-to-single-process guarantee survives even a lying worker.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +48,8 @@ struct DistOptions {
   int heartbeat_timeout_ms = 5000;
 
   /// Directory for per-worker journals ("" = none). Worker i appends to
-  /// <dir>/worker-<i>.jsonl; merge with core::merge_journals (or the
+  /// <dir>/worker-<i>.jsonl (respawned incarnations get distinct
+  /// worker-<i>.r<k>.jsonl files); merge with core::merge_journals (or the
   /// merged_journal() convenience below).
   std::string journal_dir;
 
@@ -51,12 +63,57 @@ struct DistOptions {
   std::string worker_exe;
 
   /// Test-only fault injection: worker i exits abruptly (no bye, SIGKILL
-  /// semantics) after entry i results. Empty = never.
+  /// semantics) after entry i results. Empty = never. Applies to a slot's
+  /// first incarnation only, so the respawned replacement finishes the job.
   std::vector<std::uint64_t> exit_after_results;
+
+  /// Test-only byzantine fault: worker i corrupts the entry-i-th and every
+  /// later result before sending — with a valid checksum, the way a
+  /// genuinely divergent worker would. 0/empty = never; first incarnation
+  /// only.
+  std::vector<std::uint64_t> corrupt_after_results;
 
   /// Trials kept in flight per worker; also the shard size work-stealing
   /// aims to level out.
   int per_worker_depth = 4;
+
+  // ---- fleet supervision (see dist/supervisor.h) ----
+
+  /// Respawns allowed per worker slot before quarantine (0 = never respawn,
+  /// the pre-supervision behaviour).
+  int respawn_limit = 8;
+  /// Exponential backoff base/cap between a slot's death and its respawn;
+  /// the spread between slots is seed-keyed, not random.
+  int respawn_backoff_ms = 50;
+  int respawn_backoff_cap_ms = 5000;
+  /// Crash-loop detector: quarantine a slot after this many failures inside
+  /// the window even with respawn budget left.
+  int crash_loop_failures = 5;
+  int crash_loop_window_ms = 10000;
+  /// Keys the deterministic backoff spread (and nothing outcome-relevant).
+  std::uint64_t supervisor_seed = 0;
+
+  // ---- byzantine result verification ----
+
+  /// Re-execute roughly one in N worker results on the coordinator and
+  /// compare records byte-for-byte (0 = off). Selection is a pure function
+  /// of the trial seq, so it is identical across runs. A divergent worker is
+  /// quarantined and the re-executed record committed.
+  std::uint64_t verify_sample = 0;
+  /// Cross-check worker results against this cache (normally the same
+  /// cross-campaign ResultCache view the controller uses): a result whose
+  /// key hits the cache with a *different* record triggers re-execution and,
+  /// if the worker was wrong, quarantine. Borrowed; may be null.
+  core::TrialCache* verify_cache = nullptr;
+
+  // ---- wire chaos (tests/CI; see core::WireFaultPlan) ----
+
+  /// Chaos schedule applied to both ends of every worker socket (mask 0 =
+  /// off). Workers get the full mask; the coordinator's own send path strips
+  /// the worker-only faults (die-mid-write, stalled heartbeats).
+  std::uint64_t wire_fault_seed = 0;
+  std::uint32_t wire_fault_mask = 0;
+  std::uint32_t wire_fault_period = 0;
 };
 
 class DistributedBackend : public core::TrialBackend {
@@ -89,6 +146,20 @@ class DistributedBackend : public core::TrialBackend {
   std::uint64_t inline_trials() const;
   /// Trials reassigned between workers by the steal protocol.
   std::uint64_t trials_stolen() const;
+  /// Supervision accounting: replacement processes that completed the full
+  /// handshake / slots quarantined (crash-loop, exhausted budget, or
+  /// byzantine divergence).
+  int workers_respawned() const;
+  int slots_quarantined() const;
+  /// Frames dropped as malformed (parse failure or bad result checksum);
+  /// each one also cost the sending worker its life.
+  std::uint64_t frames_rejected() const;
+  /// Byzantine verification: results re-executed on the coordinator, and how
+  /// many of those diverged from the worker's record.
+  std::uint64_t trials_verified() const;
+  std::uint64_t results_divergent() const;
+  /// Human-readable per-slot supervision summary ("" when nothing failed).
+  std::string fleet_report() const;
 
   /// Per-worker journal paths (empty when journal_dir was "").
   const std::vector<std::string>& journal_paths() const;

@@ -34,6 +34,14 @@
 
 namespace snake::dist {
 
+/// The checksum construction cache lines are validated with: FNV-1a over a
+/// 64-bit scope value bound to the *canonical* re-rendering of the record
+/// (exact JSON round-tripping makes that sound). Cache lines use it with
+/// scope = campaign identity; the wire protocol reuses it for per-result
+/// integrity with scope = result seq, so a result can neither be corrupted
+/// in flight nor replayed under another trial's seq without detection.
+std::uint64_t scoped_record_checksum(std::uint64_t scope, const core::TrialRecord& record);
+
 class ResultCache {
  public:
   /// In-memory cache (tests, or campaigns that only want intra-run reuse).
@@ -55,6 +63,20 @@ class ResultCache {
   std::size_t size() const { return entries_.size(); }
   /// Lines dropped for failing parse or checksum validation.
   std::uint64_t rejected() const { return rejected_; }
+
+  /// Crash-safe rewrite of the backing file: re-validates every line,
+  /// drops poisoned/torn/duplicate ones, writes the survivors canonically to
+  /// `path + ".tmp"` and renames it over the original — a crash at any point
+  /// leaves either the old file or the new one, never a mix. Call before
+  /// load(); does not touch in-memory entries. No-op (ok=true) for
+  /// memory-only caches and missing files.
+  struct CompactStats {
+    bool ok = false;
+    std::size_t kept = 0;
+    std::uint64_t dropped_invalid = 0;    ///< unparseable / failed checksum
+    std::uint64_t dropped_duplicate = 0;  ///< later copies of a (identity, key)
+  };
+  CompactStats compact();
 
   /// The core::TrialCache the controller plugs in: lookups and stores are
   /// scoped to one campaign identity. The view borrows the cache; one view

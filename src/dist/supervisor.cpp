@@ -1,0 +1,126 @@
+#include "dist/supervisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace snake::dist {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(int slots, SupervisorOptions options) : options_(options) {
+  slots_.resize(static_cast<std::size_t>(std::max(0, slots)));
+}
+
+std::int64_t Supervisor::backoff_ms(const SupervisorOptions& options, int slot, int failures) {
+  const int shift = std::clamp(failures - 1, 0, 20);
+  const std::int64_t base = std::max<std::int64_t>(1, options.backoff_base_ms);
+  std::int64_t delay = std::min<std::int64_t>(options.backoff_cap_ms, base << shift);
+  const std::uint64_t spread = splitmix64(options.seed ^ (static_cast<std::uint64_t>(slot) << 32) ^
+                                          static_cast<std::uint64_t>(failures));
+  return delay + static_cast<std::int64_t>(spread % static_cast<std::uint64_t>(base));
+}
+
+void Supervisor::record_failure(int slot, Clock::time_point now, std::string reason) {
+  Slot& s = slots_[slot];
+  s.dead = true;
+  ++s.failures;
+  s.last_reason = std::move(reason);
+  if (s.quarantined) return;
+
+  const auto window = std::chrono::milliseconds(options_.crash_loop_window_ms);
+  s.recent.push_back(now);
+  while (!s.recent.empty() && now - s.recent.front() > window) s.recent.pop_front();
+  if (static_cast<int>(s.recent.size()) >= options_.crash_loop_failures) {
+    quarantine_slot(s, "crash-loop: " + std::to_string(s.recent.size()) + " failures in " +
+                           std::to_string(options_.crash_loop_window_ms) + "ms (" + s.last_reason +
+                           ")");
+    return;
+  }
+  if (s.respawns >= options_.respawn_limit) {
+    quarantine_slot(s, "respawn budget exhausted after " + std::to_string(s.respawns) +
+                           " respawns (" + s.last_reason + ")");
+    return;
+  }
+  s.eligible_at = now + std::chrono::milliseconds(backoff_ms(options_, slot, s.failures));
+}
+
+void Supervisor::record_quarantine(int slot, std::string reason) {
+  Slot& s = slots_[slot];
+  s.dead = true;
+  s.last_reason = reason;
+  quarantine_slot(s, std::move(reason));
+}
+
+void Supervisor::record_respawn(int slot) {
+  Slot& s = slots_[slot];
+  s.dead = false;
+  ++s.respawns;
+}
+
+bool Supervisor::respawn_due(int slot, Clock::time_point now) const {
+  const Slot& s = slots_[slot];
+  return s.dead && !s.quarantined && now >= s.eligible_at;
+}
+
+bool Supervisor::respawnable(int slot) const {
+  const Slot& s = slots_[slot];
+  return s.dead && !s.quarantined;
+}
+
+bool Supervisor::any_respawnable() const {
+  for (int i = 0; i < slots(); ++i) {
+    if (respawnable(i)) return true;
+  }
+  return false;
+}
+
+std::uint64_t Supervisor::total_failures() const {
+  std::uint64_t total = 0;
+  for (const Slot& s : slots_) total += static_cast<std::uint64_t>(s.failures);
+  return total;
+}
+
+int Supervisor::total_respawns() const {
+  int total = 0;
+  for (const Slot& s : slots_) total += s.respawns;
+  return total;
+}
+
+int Supervisor::quarantined_slots() const {
+  int total = 0;
+  for (const Slot& s : slots_) total += s.quarantined ? 1 : 0;
+  return total;
+}
+
+std::string Supervisor::report() const {
+  std::ostringstream out;
+  for (int i = 0; i < slots(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.failures == 0 && !s.quarantined) continue;
+    out << "slot " << i << ": " << s.failures << " failure(s), " << s.respawns << " respawn(s)";
+    if (s.quarantined) {
+      out << ", quarantined (" << s.quarantine_reason << ")";
+    } else if (!s.last_reason.empty()) {
+      out << ", last: " << s.last_reason;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void Supervisor::quarantine_slot(Slot& slot, std::string reason) {
+  if (slot.quarantined) return;
+  slot.quarantined = true;
+  slot.quarantine_reason = std::move(reason);
+}
+
+}  // namespace snake::dist

@@ -1,12 +1,16 @@
 #include "dist/wire.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 
+#include "dist/result_cache.h"
 #include "tcp/profile.h"
 
 namespace snake::dist {
@@ -22,7 +26,49 @@ void Channel::close() {
   }
 }
 
-bool Channel::send_frame(std::string_view payload) {
+bool Channel::write_all(const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    ssize_t wrote;
+    if (socket_mode_) {
+      // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not a process-killing
+      // SIGPIPE (worker death is an expected, handled event).
+      wrote = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+      if (wrote < 0 && errno == ENOTSOCK) {
+        socket_mode_ = false;  // pipe-backed test channel
+        continue;
+      }
+    } else {
+      wrote = ::write(fd_, data + off, size - off);
+    }
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      broken_ = true;
+      return false;
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+ssize_t Channel::raw_recv(char* buf, std::size_t cap) {
+  if (socket_mode_) {
+    ssize_t got = ::recv(fd_, buf, cap, MSG_DONTWAIT);
+    if (got >= 0 || errno != ENOTSOCK) return got;
+    // Pipe-backed test channel: read() has no per-call MSG_DONTWAIT, so make
+    // the fd itself non-blocking once.
+    socket_mode_ = false;
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+  return ::read(fd_, buf, cap);
+}
+
+bool Channel::send_frame(std::string_view payload) { return send_impl(payload, true); }
+
+bool Channel::send_frame_plain(std::string_view payload) { return send_impl(payload, false); }
+
+bool Channel::send_impl(std::string_view payload, bool allow_chaos) {
   if (!alive() || payload.size() > kMaxFrameBytes) return false;
   unsigned char prefix[4];
   std::uint32_t n = static_cast<std::uint32_t>(payload.size());
@@ -34,33 +80,61 @@ bool Channel::send_frame(std::string_view payload) {
   frame.reserve(payload.size() + 4);
   frame.append(reinterpret_cast<const char*>(prefix), 4);
   frame.append(payload);
-  std::size_t off = 0;
-  while (off < frame.size()) {
-    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not a process-killing
-    // SIGPIPE (worker death is an expected, handled event).
-    ssize_t wrote = ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      broken_ = true;
-      return false;
+
+  if (allow_chaos && faults_ != nullptr && faults_->enabled()) {
+    using core::WireFault;
+    const std::uint64_t op = tx_ops_++;
+    if (faults_->should_fire(WireFault::kDieMidWrite, op)) {
+      // The cruellest failure a worker can inflict: half a frame, then gone.
+      (void)write_all(frame.data(), frame.size() / 2);
+      std::_Exit(3);
     }
-    off += static_cast<std::size_t>(wrote);
+    if (faults_->should_fire(WireFault::kTornFrame, op)) {
+      // The peer reads this frame's declared length out of the *next*
+      // frame's bytes, desyncs, and must kill the connection.
+      frame.resize(frame.size() / 2);
+    }
+    if (faults_->should_fire(WireFault::kGarbageBytes, op)) {
+      // A bogus length prefix (0x6b bytes) followed by junk: the peer
+      // swallows real frame bytes as payload and fails the JSON parse.
+      frame.insert(0, "\x6b\x00\x00\x00garbage", 11);
+    }
+    if (faults_->should_fire(WireFault::kDuplicateFrame, op)) frame += frame;
+    if (faults_->should_fire(WireFault::kDelayFrame, op)) {
+      delayed_ += frame;
+      return true;  // held back; flushed ahead of the next send
+    }
   }
-  return true;
+  if (!delayed_.empty()) {
+    frame.insert(0, delayed_);
+    delayed_.clear();
+  }
+  return write_all(frame.data(), frame.size());
 }
 
 bool Channel::pump() {
   if (!alive()) return false;
+  if (!delayed_.empty()) {
+    // Flush any chaos-delayed frame here as well as on the next send: the
+    // coordinator->worker direction can go quiet for a whole campaign, and a
+    // shard held back forever would stall the fleet, not just reorder it.
+    std::string out;
+    out.swap(delayed_);
+    if (!write_all(out.data(), out.size())) return false;
+  }
   char buf[64 * 1024];
   while (true) {
-    ssize_t got = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
+    const std::size_t cap =
+        read_chunk_limit_ != 0 ? std::min(read_chunk_limit_, sizeof buf) : sizeof buf;
+    ssize_t got = raw_recv(buf, cap);
     if (got > 0) {
       rx_.append(buf, static_cast<std::size_t>(got));
-      if (static_cast<std::size_t>(got) < sizeof buf) return true;
+      if (static_cast<std::size_t>(got) < cap) return true;
       continue;
     }
     if (got == 0) {
       broken_ = true;  // orderly EOF: peer exited
+      eof_ = true;
       return false;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
@@ -87,11 +161,22 @@ std::optional<std::string> Channel::pop_frame() {
 }
 
 std::optional<std::string> Channel::recv_frame(int timeout_ms) {
+  // Deadline-based so EINTR wakeups and partial deliveries cannot stretch
+  // the total wait beyond timeout_ms (each poll gets only the remainder).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   while (true) {
     if (auto frame = pop_frame(); frame.has_value()) return frame;
     if (!alive()) return std::nullopt;
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) return std::nullopt;  // timeout
+      wait_ms = static_cast<int>(left);
+    }
     struct pollfd pfd{fd_, POLLIN, 0};
-    int rc = ::poll(&pfd, 1, timeout_ms);
+    int rc = ::poll(&pfd, 1, wait_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       broken_ = true;
@@ -259,6 +344,27 @@ std::optional<core::ScenarioConfig> parse_scenario(const obs::JsonValue& v) {
 
 std::string finish(obs::JsonWriter& w) { return w.take(); }
 
+std::string check_hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+std::optional<std::uint64_t> check_from_hex16(const std::string& s) {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9')
+      v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return std::nullopt;
+  }
+  return v;
+}
+
 obs::JsonWriter& begin(obs::JsonWriter& w, MsgType type) {
   w.begin_object();
   w.key("type").value(to_string(type));
@@ -293,8 +399,13 @@ std::string encode_campaign(const WorkerCampaign& wc) {
   w.key("worker_index").value(wc.worker_index);
   w.key("journal_path").value(wc.journal_path);
   w.key("heartbeat_interval_ms").value(wc.heartbeat_interval_ms);
+  w.key("heartbeat_timeout_ms").value(wc.heartbeat_timeout_ms);
   w.key("selfcheck").value(wc.selfcheck);
   w.key("exit_after_results").value(wc.exit_after_results);
+  w.key("wire_fault_seed").value(wc.wire_fault_seed);
+  w.key("wire_fault_mask").value(static_cast<std::uint64_t>(wc.wire_fault_mask));
+  w.key("wire_fault_period").value(static_cast<std::uint64_t>(wc.wire_fault_period));
+  w.key("corrupt_after_results").value(wc.corrupt_after_results);
   w.end_object();
   return finish(w);
 }
@@ -331,6 +442,7 @@ std::string encode_result(std::uint64_t seq, const core::TrialRecord& record) {
   obs::JsonWriter w;
   begin(w, MsgType::kResult);
   w.key("seq").value(seq);
+  w.key("check").value(check_hex16(scoped_record_checksum(seq, record)));
   w.key("record");
   core::write_json(w, record);
   w.end_object();
@@ -434,8 +546,16 @@ std::optional<Message> parse_message(std::string_view payload) {
       m.campaign.journal_path = str_field(*doc, "journal_path");
       m.campaign.heartbeat_interval_ms =
           static_cast<int>(i64_field(*doc, "heartbeat_interval_ms", 250));
+      m.campaign.heartbeat_timeout_ms =
+          static_cast<int>(i64_field(*doc, "heartbeat_timeout_ms", 5000));
       m.campaign.selfcheck = bool_field(*doc, "selfcheck", false);
       m.campaign.exit_after_results = u64_field(*doc, "exit_after_results", 0);
+      m.campaign.wire_fault_seed = u64_field(*doc, "wire_fault_seed", 0);
+      m.campaign.wire_fault_mask =
+          static_cast<std::uint32_t>(u64_field(*doc, "wire_fault_mask", 0));
+      m.campaign.wire_fault_period =
+          static_cast<std::uint32_t>(u64_field(*doc, "wire_fault_period", 0));
+      m.campaign.corrupt_after_results = u64_field(*doc, "corrupt_after_results", 0);
       break;
     }
     case MsgType::kReady: {
@@ -466,11 +586,19 @@ std::optional<Message> parse_message(std::string_view payload) {
     }
     case MsgType::kResult: {
       const obs::JsonValue* seq = doc->find("seq");
+      const obs::JsonValue* check = doc->find("check");
       const obs::JsonValue* record = doc->find("record");
-      if (seq == nullptr || record == nullptr) return std::nullopt;
+      if (seq == nullptr || check == nullptr || !check->is_string() || record == nullptr)
+        return std::nullopt;
       auto seq_v = u64_of(*seq);
+      auto check_v = check_from_hex16(check->str_v);
       auto rec = core::trial_record_from_json(*record);
-      if (!seq_v.has_value() || !rec.has_value()) return std::nullopt;
+      if (!seq_v.has_value() || !check_v.has_value() || !rec.has_value()) return std::nullopt;
+      // Integrity gate: recompute the checksum over the canonical
+      // re-rendering of the parsed record (exact round-trip, journal.cpp).
+      // Any in-flight corruption — or a result replayed under another seq —
+      // fails here and is handled like any other malformed frame.
+      if (scoped_record_checksum(*seq_v, *rec) != *check_v) return std::nullopt;
       m.seq = *seq_v;
       m.record = std::move(*rec);
       break;

@@ -35,12 +35,14 @@
 
 #include "obs/json.h"
 #include "snake/controller.h"
+#include "snake/faultpoint.h"
 
 namespace snake::dist {
 
 /// Protocol version carried in hello; a mismatch aborts the handshake (the
 /// coordinator falls back to in-process execution rather than guessing).
-inline constexpr std::uint32_t kWireVersion = 1;
+/// v2: result frames carry a mandatory per-result integrity checksum.
+inline constexpr std::uint32_t kWireVersion = 2;
 
 /// Frames larger than this are treated as a protocol violation (a corrupted
 /// length prefix would otherwise ask for gigabytes).
@@ -48,9 +50,12 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
 // ---------------------------------------------------------------- framing
 
-/// One end of a coordinator<->worker socket. Owns the fd. Reads are
+/// One end of a coordinator<->worker stream. Owns the fd. Reads are
 /// buffered so a frame arriving in pieces across poll() wakeups is
-/// reassembled transparently; writes are blocking-complete.
+/// reassembled transparently; writes are blocking-complete (looping over
+/// EINTR and partial syscalls). Works on sockets and — for tests that need
+/// byte-at-a-time delivery — plain pipes (send()/recv() fall back to
+/// write()/read() on ENOTSOCK; pipe users must ignore SIGPIPE themselves).
 class Channel {
  public:
   explicit Channel(int fd) : fd_(fd) {}
@@ -60,12 +65,26 @@ class Channel {
 
   int fd() const { return fd_; }
   bool alive() const { return fd_ >= 0 && !broken_; }
+  /// After the channel broke: true when the peer closed cleanly (EOF), false
+  /// when a hard error or protocol violation (oversized prefix) broke it.
+  bool eof() const { return eof_; }
 
   /// Sends one frame (length prefix + payload). Returns false when the peer
-  /// is gone (EPIPE/EBADF...); the channel is then marked broken.
+  /// is gone (EPIPE/EBADF...); the channel is then marked broken. When a
+  /// wire fault plan is attached, chaos (torn/garbage/dup/delayed frames,
+  /// mid-write death) is applied here, keyed by the per-channel send index.
   bool send_frame(std::string_view payload);
 
-  /// Non-blocking: pulls whatever bytes the socket has into the buffer.
+  /// Like send_frame but never applies the chaos schedule (it still flushes
+  /// any chaos-delayed holdback). Heartbeats use this: they are time-driven,
+  /// so letting them advance the fault index would couple the chaos rate to
+  /// wall-clock speed — a slow (sanitized) build would suffer more faults
+  /// per unit of *work* than a fast one and exhaust respawn budgets that are
+  /// ample on any machine when faults track protocol progress. Heartbeat
+  /// disruption stays covered by the dedicated kStallHeartbeat fault.
+  bool send_frame_plain(std::string_view payload);
+
+  /// Non-blocking: pulls whatever bytes the stream has into the buffer.
   /// Returns false on EOF or a hard error (channel broken).
   bool pump();
 
@@ -75,14 +94,33 @@ class Channel {
 
   /// Blocking receive: polls + pumps until one frame is available or
   /// `timeout_ms` elapses (-1 = wait forever). nullopt on timeout or death.
+  /// The timeout bounds the *total* wait across poll wakeups.
   std::optional<std::string> recv_frame(int timeout_ms);
+
+  /// Attaches a chaos schedule to the send path (nullptr = off, the default;
+  /// costs one pointer check per send). The plan must outlive the channel.
+  void set_fault_plan(const core::WireFaultPlan* plan) { faults_ = plan; }
+
+  /// Test hook: cap every read syscall at `n` bytes (0 = no cap) to force
+  /// the short-read reassembly paths.
+  void set_read_chunk_limit(std::size_t n) { read_chunk_limit_ = n; }
 
   void close();
 
  private:
+  bool send_impl(std::string_view payload, bool allow_chaos);
+  bool write_all(const char* data, std::size_t size);
+  ssize_t raw_recv(char* buf, std::size_t cap);
+
   int fd_ = -1;
   bool broken_ = false;
+  bool eof_ = false;
+  bool socket_mode_ = true;  ///< flips on ENOTSOCK (pipe-backed tests)
   std::string rx_;
+  const core::WireFaultPlan* faults_ = nullptr;
+  std::uint64_t tx_ops_ = 0;  ///< send index keying the fault schedule
+  std::string delayed_;       ///< kDelayFrame holdback, flushed on next send
+  std::size_t read_chunk_limit_ = 0;
 };
 
 // --------------------------------------------------------------- messages
@@ -136,10 +174,25 @@ struct WorkerCampaign {
   int worker_index = 0;
   std::string journal_path;  ///< per-worker journal file ("" = none)
   int heartbeat_interval_ms = 250;
+  /// The coordinator's liveness window, mirrored to the worker for
+  /// diagnostics and so both ends agree on how patient the fleet is.
+  int heartbeat_timeout_ms = 5000;
   bool selfcheck = false;  ///< attach the caller's oracle inspector (hooks)
   /// Test-only fault: _exit(2) after this many results (0 = never). Drives
   /// the kill-a-worker-mid-campaign resilience test without OS-level help.
   std::uint64_t exit_after_results = 0;
+  /// Wire chaos schedule for the worker's end of the socket (mask 0 = off).
+  /// Applied after the ready handshake so chaos exercises steady-state
+  /// traffic, not the spawn path the supervisor needs to make progress.
+  /// Never part of the campaign identity: chaos changes delivery, the
+  /// recovery machinery guarantees it cannot change results.
+  std::uint64_t wire_fault_seed = 0;
+  std::uint32_t wire_fault_mask = 0;
+  std::uint32_t wire_fault_period = 0;
+  /// Test-only byzantine fault: corrupt the Nth result and every later one
+  /// before sending (0 = never) — with a *valid* checksum, the way a
+  /// genuinely wrong worker would. Only re-execution can catch it.
+  std::uint64_t corrupt_after_results = 0;
 };
 
 struct WireTrial {
@@ -192,6 +245,10 @@ std::string encode_campaign(const WorkerCampaign& wc);
 std::string encode_ready(const core::RunMetrics& baseline,
                          const core::RunMetrics& retest_baseline);
 std::string encode_trials(const std::vector<WireTrial>& trials);
+/// Result frames carry a mandatory integrity checksum (the result-cache
+/// construction with scope = seq, see dist/result_cache.h); parse_message
+/// rejects a result whose checksum is missing or fails re-validation, so
+/// transport corruption surfaces as a malformed frame.
 std::string encode_result(std::uint64_t seq, const core::TrialRecord& record);
 std::string encode_steal(std::uint64_t count);
 std::string encode_stolen(const std::vector<std::uint64_t>& seqs);

@@ -36,6 +36,11 @@ class LockedSender {
     std::lock_guard<std::mutex> lock(mutex_);
     return ch_->send_frame(payload);
   }
+  /// Chaos-exempt send for the time-driven heartbeat (see send_frame_plain).
+  bool send_plain(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ch_->send_frame_plain(payload);
+  }
 
  private:
   Channel* ch_;
@@ -110,6 +115,15 @@ int run_worker(int fd, const WorkerHooks& hooks) {
   core::RunMetrics retest_baseline = core::run_scenario(arena, retest_config, std::nullopt);
   if (!sender.send(encode_ready(baseline, retest_baseline))) return 1;
 
+  // Wire chaos attaches strictly *after* the ready handshake: the supervisor
+  // must always be able to respawn a slot into a working fleet, so the spawn
+  // path stays fault-free and chaos only torments steady-state traffic.
+  std::optional<core::WireFaultPlan> chaos;
+  if (wc.wire_fault_mask != 0 && wc.wire_fault_period != 0) {
+    chaos.emplace(wc.wire_fault_seed, wc.wire_fault_mask, wc.wire_fault_period);
+    ch.set_fault_plan(&*chaos);
+  }
+
   // Per-worker journal: private file, so the multi-writer campaign journal
   // is crash-atomic by construction (nobody interleaves; the coordinator
   // merges with merge_journals).
@@ -147,6 +161,12 @@ int run_worker(int fd, const WorkerHooks& hooks) {
 
   std::deque<WireTrial> queue;
   std::mutex queue_mutex;  // heartbeat thread reads the depth
+  // Set while a trial executes. The heartbeat reports work *remaining*
+  // (queued + in flight), not queued-waiting: a worker mid-trial must never
+  // report 0, or a trial slower than the heartbeat timeout would match the
+  // coordinator's dispatch-starvation signature (assigned work, empty queue,
+  // no progress) and get a healthy worker killed.
+  std::atomic<std::uint64_t> in_flight{0};
   std::set<std::pair<std::string, std::string>> covered;
   std::uint64_t results_sent = 0;
   bool shutdown = false;
@@ -157,15 +177,25 @@ int run_worker(int fd, const WorkerHooks& hooks) {
   std::atomic<bool> stop_heartbeat{false};
   std::thread heartbeat([&] {
     const auto interval = std::chrono::milliseconds(std::max(10, wc.heartbeat_interval_ms));
+    std::uint64_t beat = 0;
     while (!stop_heartbeat.load(std::memory_order_relaxed)) {
       std::this_thread::sleep_for(interval);
       if (stop_heartbeat.load(std::memory_order_relaxed)) break;
+      // Chaos: a stalled heartbeat is a *skipped* beat, not a delayed one —
+      // enough consecutive skips and the coordinator declares us dead.
+      if (chaos.has_value() &&
+          chaos->should_fire(core::WireFault::kStallHeartbeat, beat++)) {
+        continue;
+      }
       std::uint64_t depth;
       {
         std::lock_guard<std::mutex> lock(queue_mutex);
-        depth = queue.size();
+        depth = queue.size() + in_flight.load(std::memory_order_relaxed);
       }
-      sender.send(encode_heartbeat(depth));
+      // Chaos-exempt: heartbeats fire on wall-clock, so routing them through
+      // the fault schedule would make the chaos rate build-speed-dependent
+      // (a sanitized build would die per *second*, not per unit of work).
+      sender.send_plain(encode_heartbeat(depth));
     }
   });
 
@@ -211,7 +241,15 @@ int run_worker(int fd, const WorkerHooks& hooks) {
     ch.pump();
     while (auto frame = ch.pop_frame()) {
       auto m = parse_message(*frame);
-      if (m.has_value()) handle_message(std::move(*m));
+      if (!m.has_value()) {
+        // A frame that frames correctly but does not parse means the stream
+        // is corrupt (coordinator bug or injected chaos). The stream cannot
+        // be resynchronised, so die and let the supervisor respawn the slot.
+        shutdown = true;
+        exit_code = 1;
+        break;
+      }
+      handle_message(std::move(*m));
     }
     if (shutdown) break;
     if (!ch.alive()) {
@@ -227,13 +265,18 @@ int run_worker(int fd, const WorkerHooks& hooks) {
         trial = std::move(queue.front());
         queue.pop_front();
         have_trial = true;
+        in_flight.store(1, std::memory_order_relaxed);
       }
     }
     if (!have_trial) {
       // Idle: block for the next frame (or poll again on timeout).
       if (auto frame = ch.recv_frame(wc.heartbeat_interval_ms)) {
         auto m = parse_message(*frame);
-        if (m.has_value()) handle_message(std::move(*m));
+        if (!m.has_value()) {
+          exit_code = 1;  // corrupt stream, same as the drain loop above
+          break;
+        }
+        handle_message(std::move(*m));
       }
       continue;
     }
@@ -247,7 +290,18 @@ int run_worker(int fd, const WorkerHooks& hooks) {
     }
     prune_observations(record.client_obs, covered);
     prune_observations(record.server_obs, covered);
+    if (wc.corrupt_after_results != 0 && results_sent + 1 >= wc.corrupt_after_results) {
+      // Test-only byzantine fault: lie about the verdict *after* journaling
+      // the truth, and let encode_result stamp a valid checksum over the lie —
+      // exactly what a genuinely divergent worker would produce. Transport
+      // integrity cannot catch this; only coordinator re-execution can.
+      record.found = false;
+      record.attempts += 1;
+      record.errored_attempts += 1;
+      record.failure_reason = "byzantine-lie";
+    }
     sender.send(encode_result(trial.seq, record));
+    in_flight.store(0, std::memory_order_relaxed);
     ++results_sent;
     if (wc.exit_after_results != 0 && results_sent >= wc.exit_after_results) {
       // Test-only fault injection: die abruptly mid-campaign, exactly like a

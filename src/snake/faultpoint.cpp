@@ -54,4 +54,42 @@ void arm_throw_in_trial(sim::Scheduler& scheduler, Duration after) {
   });
 }
 
+const char* to_string(WireFault fault) {
+  switch (fault) {
+    case WireFault::kTornFrame: return "torn-frame";
+    case WireFault::kGarbageBytes: return "garbage-bytes";
+    case WireFault::kDuplicateFrame: return "duplicate-frame";
+    case WireFault::kDelayFrame: return "delay-frame";
+    case WireFault::kStallHeartbeat: return "stall-heartbeat";
+    case WireFault::kDieMidWrite: return "die-mid-write";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool WireFaultPlan::should_fire(WireFault fault, std::uint64_t op) const {
+  if ((mask_ & wire_fault_bit(fault)) == 0 || period_ == 0) return false;
+  const auto index = static_cast<std::uint64_t>(fault);
+  const std::uint64_t h = splitmix64(seed_ ^ splitmix64(index + 1) ^ op * 0x2545f4914f6cdd1dull);
+  if (h % period_ != 0) return false;
+  fires_[static_cast<std::size_t>(fault)].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t WireFaultPlan::total_fires() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fires_) total += f.load(std::memory_order_relaxed);
+  return total;
+}
+
 }  // namespace snake::core

@@ -104,4 +104,76 @@ void arm_clock_stall(sim::Scheduler& scheduler, Duration after);
 /// unwinding out of run_until through the scenario into the trial guard.
 void arm_throw_in_trial(sim::Scheduler& scheduler, Duration after);
 
+// --- Dist wire fault domain -------------------------------------------------
+// Chaos injection for the coordinator<->worker transport (src/dist). The
+// scenario faults above corrupt *trials*; these corrupt the *wire* the trial
+// results travel on, so the fleet's recovery machinery — malformed-frame
+// kills, shard requeue, supervised respawn — gets exercised against every
+// byte-level failure a real network or a dying process can produce. Like
+// FaultPlan, decisions are pure functions of (seed, fault, operation index):
+// no clocks, no global RNG, zero cost on the send path when no plan is set
+// (a single null-pointer check).
+
+/// The wire degradations the fleet must survive.
+enum class WireFault : std::uint8_t {
+  kTornFrame,       ///< frame truncated mid-write (peer desyncs, then kills)
+  kGarbageBytes,    ///< junk bytes injected between frames (bogus length prefix)
+  kDuplicateFrame,  ///< frame transmitted twice (dedup at the receiver)
+  kDelayFrame,      ///< frame held back, flushed ahead of the next send
+  kStallHeartbeat,  ///< worker heartbeat sender skips beats (liveness timeout)
+  kDieMidWrite,     ///< process _exits halfway through a frame write
+};
+
+constexpr std::size_t kWireFaultCount = 6;
+
+const char* to_string(WireFault fault);
+
+constexpr std::uint32_t wire_fault_bit(WireFault fault) {
+  return 1u << static_cast<unsigned>(fault);
+}
+/// Every wire fault enabled at once (the chaos-soak configuration).
+constexpr std::uint32_t kAllWireFaults = (1u << kWireFaultCount) - 1;
+/// Faults that are only safe in a worker process: the coordinator must never
+/// _exit mid-campaign, and only workers send heartbeats.
+constexpr std::uint32_t kWorkerOnlyWireFaults =
+    wire_fault_bit(WireFault::kDieMidWrite) | wire_fault_bit(WireFault::kStallHeartbeat);
+
+/// Seed-keyed wire chaos schedule. Each enabled fault fires on roughly one in
+/// `period` operations (frame sends / heartbeat ticks), chosen by hashing
+/// (seed, fault, op) — deterministic for a given seed, independent across
+/// fault kinds, reproducible from the seed a failing soak run prints. The
+/// per-kind fire counters are atomics used for reporting only.
+class WireFaultPlan {
+ public:
+  WireFaultPlan(std::uint64_t seed, std::uint32_t mask, std::uint32_t period)
+      : seed_(seed), mask_(mask), period_(period) {}
+
+  bool enabled() const { return mask_ != 0 && period_ != 0; }
+  std::uint64_t seed() const { return seed_; }
+  std::uint32_t mask() const { return mask_; }
+  std::uint32_t period() const { return period_; }
+
+  /// Whether `fault` fires on operation `op`. Pure function of
+  /// (seed, fault, op); bumps the fault's fire counter when it fires.
+  bool should_fire(WireFault fault, std::uint64_t op) const;
+
+  /// Times should_fire returned true for `fault` (across all threads).
+  std::uint64_t fires(WireFault fault) const {
+    return fires_[static_cast<std::size_t>(fault)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_fires() const;
+
+  /// The same plan with worker-only faults stripped, for the coordinator's
+  /// end of the socketpair.
+  WireFaultPlan coordinator_side() const {
+    return WireFaultPlan(seed_, mask_ & ~kWorkerOnlyWireFaults, period_);
+  }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint32_t mask_ = 0;
+  std::uint32_t period_ = 0;
+  mutable std::array<std::atomic<std::uint64_t>, kWireFaultCount> fires_{};
+};
+
 }  // namespace snake::core

@@ -23,23 +23,28 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dist/coordinator.h"
 #include "dist/result_cache.h"
+#include "dist/supervisor.h"
 #include "dist/wire.h"
 #include "dist/worker.h"
 #include "obs/json.h"
 #include "sim/scheduler.h"
 #include "snake/controller.h"
+#include "snake/faultpoint.h"
 #include "snake/trial_runner.h"
 #include "strategy/generator.h"
 #include "tcp/profile.h"
+#include "testing/property.h"
 
 namespace snake {
 namespace {
@@ -191,6 +196,8 @@ TEST(Distributed, SurvivesWorkerKilledMidCampaign) {
   options.workers = 2;
   options.exit_after_results = {2, 0};  // worker 0 dies abruptly after 2 trials
   options.heartbeat_timeout_ms = 2000;
+  options.respawn_backoff_ms = 10;
+  options.respawn_backoff_cap_ms = 100;
   dist::DistributedBackend backend(options);
   config.backend = &backend;
   core::CampaignResult distributed = core::run_campaign(config);
@@ -198,6 +205,152 @@ TEST(Distributed, SurvivesWorkerKilledMidCampaign) {
   EXPECT_EQ(result_fingerprint(single), result_fingerprint(distributed));
   EXPECT_GE(backend.workers_lost(), 1);
   EXPECT_EQ(distributed.metrics.counter("campaign.backend_fallback"), 0u);
+  // The fault applies to the slot's first incarnation only, so the
+  // supervisor's replacement finishes the campaign without inline fallback.
+  EXPECT_GE(backend.workers_respawned(), 1);
+  EXPECT_EQ(backend.slots_quarantined(), 0);
+  EXPECT_EQ(backend.inline_trials(), 0u);
+}
+
+TEST(Distributed, RespawnsEveryKilledSlotAndKeepsFullParallelism) {
+  // BOTH workers die mid-campaign. Pre-supervision this meant inline
+  // fallback; now each slot is respawned after backoff and the campaign
+  // finishes on a full-width fleet, bit-identical to single-process.
+  core::CampaignConfig config = small_campaign();
+  core::CampaignResult single = core::run_campaign(config);
+
+  dist::DistOptions options;
+  options.workers = 2;
+  options.exit_after_results = {2, 2};
+  options.heartbeat_timeout_ms = 2000;
+  options.respawn_backoff_ms = 10;
+  options.respawn_backoff_cap_ms = 100;
+  dist::DistributedBackend backend(options);
+  config.backend = &backend;
+  core::CampaignResult distributed = core::run_campaign(config);
+
+  EXPECT_EQ(result_fingerprint(single), result_fingerprint(distributed));
+  EXPECT_EQ(distributed.metrics.counter("campaign.backend_fallback"), 0u);
+  EXPECT_GE(backend.workers_lost(), 2);
+  EXPECT_GE(backend.workers_respawned(), 2);
+  EXPECT_EQ(backend.slots_quarantined(), 0);
+  EXPECT_EQ(backend.inline_trials(), 0u) << "degraded to inline despite respawn budget";
+  EXPECT_EQ(distributed.metrics.counter("dist.workers_respawned"),
+            static_cast<std::uint64_t>(backend.workers_respawned()));
+}
+
+TEST(Distributed, ByzantineWorkerIsQuarantinedAndResultsRepaired) {
+  core::CampaignConfig config = small_campaign();
+  core::CampaignResult single = core::run_campaign(config);
+
+  dist::DistOptions options;
+  options.workers = 2;
+  // Worker 0 lies about every result from the first one on — with valid
+  // checksums, so only re-execution can expose it.
+  options.corrupt_after_results = {1, 0};
+  options.verify_sample = 1;  // re-execute every result
+  dist::DistributedBackend backend(options);
+  config.backend = &backend;
+  core::CampaignResult distributed = core::run_campaign(config);
+
+  // Every lie was caught and replaced by the coordinator's re-execution, so
+  // the campaign still reproduces the single-process run bit for bit.
+  EXPECT_EQ(result_fingerprint(single), result_fingerprint(distributed));
+  EXPECT_EQ(distributed.metrics.counter("campaign.backend_fallback"), 0u);
+  EXPECT_GT(backend.trials_verified(), 0u);
+  EXPECT_GE(backend.results_divergent(), 1u);
+  EXPECT_GE(backend.slots_quarantined(), 1);
+  EXPECT_NE(backend.fleet_report().find("divergent result"), std::string::npos)
+      << backend.fleet_report();
+}
+
+TEST(Distributed, CacheConflictTriggersVerificationWithoutQuarantine) {
+  core::CampaignConfig config = small_campaign();
+  const std::uint64_t identity = core::campaign_identity_hash(config);
+
+  // Honest first run; its journal supplies a real (key, record) pair.
+  TempDir dir;
+  dist::DistOptions options;
+  options.workers = 2;
+  options.journal_dir = dir.path.string();
+  std::string honest_fp;
+  core::TrialRecord truth;
+  {
+    dist::DistributedBackend backend(options);
+    config.backend = &backend;
+    core::CampaignResult result = core::run_campaign(config);
+    honest_fp = result_fingerprint(result);
+    auto merged = backend.merged_journal();
+    ASSERT_TRUE(merged.has_value());
+    ASSERT_FALSE(merged->trials.empty());
+    truth = merged->trials.begin()->second;
+  }
+
+  // A cross-campaign cache carrying a *forged* version of that record: the
+  // worker's honest result conflicts, which must trigger re-execution — and
+  // the re-execution vindicates the worker (cache poison never quarantines
+  // an honest slot, and never leaks into the committed results).
+  core::TrialRecord forged = truth;
+  forged.attempts += 7;
+  forged.failure_reason = "forged-cache-line";
+  dist::ResultCache poisoned;
+  auto poisoned_view = poisoned.view(identity);
+  poisoned_view.store(forged);
+
+  dist::DistOptions verify_options;
+  verify_options.workers = 2;
+  verify_options.verify_cache = &poisoned_view;
+  dist::DistributedBackend backend(verify_options);
+  config.backend = &backend;
+  core::CampaignResult result = core::run_campaign(config);
+
+  EXPECT_EQ(honest_fp, result_fingerprint(result));
+  EXPECT_GE(backend.trials_verified(), 1u);
+  EXPECT_EQ(backend.results_divergent(), 0u);
+  EXPECT_EQ(backend.slots_quarantined(), 0);
+}
+
+TEST(Distributed, ChaosSoakBitIdenticalUnderFullFaultLoad) {
+  // Every wire fault enabled at once on both socket ends: torn and garbage
+  // frames, duplicates, delays, stalled heartbeats, workers dying mid-write.
+  // The recovery machinery (malformed-frame kills, requeue, supervised
+  // respawn, starvation detection) must absorb all of it with the
+  // CampaignResult still bit-identical to the fault-free single-process run
+  // and no inline degradation. Seeds print so a failure is replayable:
+  // SNAKE_PROPERTY_SEED / SNAKE_PROPERTY_ITERS scale the soak (CI nightly).
+  core::CampaignConfig config = small_campaign();
+  const std::string expected = result_fingerprint(core::run_campaign(config));
+
+  const auto pc = testing::PropertyConfig::from_env(/*default_iterations=*/2,
+                                                    /*default_seed=*/0x5eedc0de);
+  for (int i = 0; i < pc.iterations; ++i) {
+    const std::uint64_t seed = pc.base_seed + static_cast<std::uint64_t>(i);
+    std::printf("chaos soak round %d: wire_fault_seed=%llu\n", i,
+                static_cast<unsigned long long>(seed));
+    std::fflush(stdout);
+
+    dist::DistOptions options;
+    options.workers = 2;
+    options.wire_fault_seed = seed;
+    options.wire_fault_mask = core::kAllWireFaults;
+    options.wire_fault_period = 7;
+    options.heartbeat_timeout_ms = 1500;
+    // Generous supervision budget: the soak asserts the fleet outruns the
+    // chaos, so nothing may quarantine and nothing may run inline.
+    options.respawn_limit = 64;
+    options.respawn_backoff_ms = 5;
+    options.respawn_backoff_cap_ms = 50;
+    options.crash_loop_failures = 1000;
+    dist::DistributedBackend backend(options);
+    config.backend = &backend;
+    core::CampaignResult result = core::run_campaign(config);
+
+    EXPECT_EQ(expected, result_fingerprint(result)) << "seed " << seed;
+    EXPECT_EQ(result.metrics.counter("campaign.backend_fallback"), 0u) << "seed " << seed;
+    EXPECT_EQ(backend.inline_trials(), 0u)
+        << "seed " << seed << "\n" << backend.fleet_report();
+    EXPECT_EQ(backend.slots_quarantined(), 0) << backend.fleet_report();
+  }
 }
 
 TEST(Distributed, SchedulerEngineChoiceDoesNotChangeFleetResults) {
@@ -518,7 +671,215 @@ TEST(FrameCodec, OversizedLengthPrefixBreaksChannel) {
   ASSERT_EQ(::send(sv[0], evil, 4, 0), 4);
   EXPECT_FALSE(b.recv_frame(1000).has_value());
   EXPECT_FALSE(b.alive());
+  EXPECT_FALSE(b.eof()) << "protocol violation misreported as orderly EOF";
   ::close(sv[0]);
+}
+
+TEST(FrameCodec, PipeChannelSurvivesOneByteReadsAndDistinguishesEof) {
+  // EINTR/short-read audit harness: a plain pipe (no socket semantics, so
+  // send/recv fall back to write/read) with every read syscall capped at ONE
+  // byte — the maximal short-read torture. Frames must reassemble exactly;
+  // closing the write end must surface as orderly EOF, not a wire error.
+  ::signal(SIGPIPE, SIG_IGN);
+  int down[2] = {-1, -1};  // writer -> reader
+  ASSERT_EQ(::pipe(down), 0);
+  dist::Channel writer(down[1]);
+  dist::Channel reader(down[0]);
+  reader.set_read_chunk_limit(1);
+
+  ASSERT_TRUE(writer.send_frame("pipe-one"));
+  ASSERT_TRUE(writer.send_frame(std::string(3000, 'z') + "tail"));
+  auto f1 = reader.recv_frame(5000);
+  auto f2 = reader.recv_frame(5000);
+  ASSERT_TRUE(f1.has_value() && f2.has_value());
+  EXPECT_EQ(*f1, "pipe-one");
+  EXPECT_EQ(f2->size(), 3004u);
+  EXPECT_EQ(f2->substr(3000), "tail");
+
+  // A structured message survives the same byte-at-a-time delivery.
+  ASSERT_TRUE(writer.send_frame(dist::encode_result(3, sample_record())));
+  auto f3 = reader.recv_frame(5000);
+  ASSERT_TRUE(f3.has_value());
+  auto m = dist::parse_message(*f3);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->seq, 3u);
+  EXPECT_EQ(render_record(m->record), render_record(sample_record()));
+
+  // Orderly close: recv reports death, and eof() says it was clean.
+  writer.close();
+  EXPECT_FALSE(reader.recv_frame(1000).has_value());
+  EXPECT_FALSE(reader.alive());
+  EXPECT_TRUE(reader.eof());
+}
+
+TEST(FrameCodec, LargeFrameCrossesPipeCapacityViaPartialWrites) {
+  // A frame larger than the kernel pipe buffer forces write() to go partial:
+  // write_all must loop while a reader thread drains one byte at a time on
+  // the other end.
+  ::signal(SIGPIPE, SIG_IGN);
+  int down[2] = {-1, -1};
+  ASSERT_EQ(::pipe(down), 0);
+  dist::Channel writer(down[1]);
+  const std::string big(256 * 1024, 'q');  // > default 64KB pipe buffer
+
+  std::string received;
+  std::thread drain([&] {
+    dist::Channel reader(down[0]);
+    reader.set_read_chunk_limit(4096);
+    auto frame = reader.recv_frame(30000);
+    if (frame.has_value()) received = std::move(*frame);
+  });
+  EXPECT_TRUE(writer.send_frame(big));
+  drain.join();
+  EXPECT_EQ(received, big);
+}
+
+// ---------------------------------------------------------------------------
+// Wire chaos schedules and result integrity.
+
+TEST(WireChaos, PlanIsDeterministicMaskGatedAndCountsFires) {
+  const std::uint64_t seed = 0xfeedface;
+  core::WireFaultPlan a(seed, core::kAllWireFaults, 5);
+  core::WireFaultPlan b(seed, core::kAllWireFaults, 5);
+  std::uint64_t fired = 0;
+  for (std::uint64_t op = 0; op < 2000; ++op) {
+    for (std::size_t f = 0; f < core::kWireFaultCount; ++f) {
+      const auto fault = static_cast<core::WireFault>(f);
+      const bool hit = a.should_fire(fault, op);
+      EXPECT_EQ(hit, b.should_fire(fault, op)) << "schedule not a pure function of the seed";
+      fired += hit ? 1 : 0;
+    }
+  }
+  EXPECT_GT(fired, 0u) << "period 5 never fired in 2000 ops";
+  EXPECT_EQ(a.total_fires(), fired);
+  EXPECT_EQ(a.total_fires(), b.total_fires());
+
+  // Mask gating: a fault outside the mask never fires, whatever the seed.
+  core::WireFaultPlan torn_only(seed, core::wire_fault_bit(core::WireFault::kTornFrame), 2);
+  for (std::uint64_t op = 0; op < 500; ++op)
+    EXPECT_FALSE(torn_only.should_fire(core::WireFault::kDieMidWrite, op));
+  EXPECT_EQ(torn_only.fires(core::WireFault::kDieMidWrite), 0u);
+
+  // Worker-only faults strip out of the coordinator-side mask.
+  EXPECT_EQ(core::kAllWireFaults & ~core::kWorkerOnlyWireFaults &
+                core::wire_fault_bit(core::WireFault::kDieMidWrite),
+            0u);
+  core::WireFaultPlan off(seed, 0, 5);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.should_fire(core::WireFault::kTornFrame, 0));
+}
+
+TEST(WireChaos, ResultChecksumRejectsTamperAndOmission) {
+  const std::string good = dist::encode_result(9, sample_record());
+  ASSERT_TRUE(dist::parse_message(good).has_value());
+
+  // Flip the verdict inside an otherwise well-formed frame: the checksum no
+  // longer validates, so the frame is malformed (and costs the sender its
+  // connection in the coordinator).
+  std::string tampered = good;
+  auto pos = tampered.find("\"found\":true");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 12, "\"found\":false");
+  EXPECT_FALSE(dist::parse_message(tampered).has_value());
+
+  // v2 made the checksum mandatory: a result frame without one (a v1 peer,
+  // or a stripped field) is rejected outright.
+  std::string stripped = good;
+  auto cpos = stripped.find(",\"check\":\"");
+  ASSERT_NE(cpos, std::string::npos);
+  stripped.erase(cpos, 10 + 16 + 1);  // ,"check":"<16 hex>"
+  EXPECT_FALSE(dist::parse_message(stripped).has_value());
+
+  // The checksum is scoped by seq: re-homing a record under another seq
+  // (a replay of a stale result) also fails validation.
+  const std::uint64_t c9 = dist::scoped_record_checksum(9, sample_record());
+  const std::uint64_t c10 = dist::scoped_record_checksum(10, sample_record());
+  EXPECT_NE(c9, c10);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet supervision bookkeeping.
+
+TEST(Supervision, BackoffGrowsExponentiallyWithDeterministicSpread) {
+  dist::SupervisorOptions opts;
+  opts.backoff_base_ms = 50;
+  opts.backoff_cap_ms = 5000;
+  opts.seed = 42;
+
+  std::int64_t prev = 0;
+  for (int failures = 1; failures <= 12; ++failures) {
+    const std::int64_t d = dist::Supervisor::backoff_ms(opts, /*slot=*/0, failures);
+    const std::int64_t d_again = dist::Supervisor::backoff_ms(opts, 0, failures);
+    EXPECT_EQ(d, d_again) << "backoff is not a pure function";
+    // min(cap, base << (failures-1)) plus a spread in [0, base).
+    const std::int64_t floor = std::min<std::int64_t>(5000, 50ll << std::min(failures - 1, 20));
+    EXPECT_GE(d, floor);
+    EXPECT_LT(d, floor + 50);
+    EXPECT_GE(d, prev - 50) << "backoff shrank by more than the spread";
+    prev = d;
+  }
+
+  // Slots spread out: not every slot lands on the same instant.
+  std::set<std::int64_t> spreads;
+  for (int slot = 0; slot < 8; ++slot) spreads.insert(dist::Supervisor::backoff_ms(opts, slot, 1));
+  EXPECT_GT(spreads.size(), 1u) << "seed-keyed spread degenerated to lockstep";
+}
+
+TEST(Supervision, RespawnLifecycleBudgetAndCrashLoopQuarantine) {
+  using Clock = dist::Supervisor::Clock;
+  dist::SupervisorOptions opts;
+  opts.respawn_limit = 2;
+  opts.backoff_base_ms = 10;
+  opts.backoff_cap_ms = 100;
+  opts.crash_loop_failures = 5;
+  opts.crash_loop_window_ms = 10000;
+  const auto t0 = Clock::now();
+
+  dist::Supervisor sup(2, opts);
+  EXPECT_FALSE(sup.any_respawnable());
+
+  // Failure -> backoff: not due immediately, due after the backoff elapses.
+  sup.record_failure(0, t0, "worker eof");
+  EXPECT_TRUE(sup.respawnable(0));
+  EXPECT_TRUE(sup.any_respawnable());
+  EXPECT_FALSE(sup.respawn_due(0, t0));
+  EXPECT_TRUE(sup.respawn_due(0, t0 + std::chrono::seconds(5)));
+  sup.record_respawn(0);
+  EXPECT_FALSE(sup.respawnable(0));
+  EXPECT_EQ(sup.total_respawns(), 1);
+
+  // Budget exhaustion: respawn_limit=2 respawns spent -> third failure
+  // quarantines.
+  sup.record_failure(0, t0 + std::chrono::seconds(20), "wire error");
+  sup.record_respawn(0);
+  sup.record_failure(0, t0 + std::chrono::seconds(40), "wire error");
+  EXPECT_TRUE(sup.quarantined(0));
+  EXPECT_FALSE(sup.respawnable(0));
+  EXPECT_EQ(sup.quarantined_slots(), 1);
+  EXPECT_NE(sup.quarantine_reason(0).find("budget exhausted"), std::string::npos);
+
+  // Crash loop: rapid-fire failures inside the window quarantine slot 1
+  // even with budget left.
+  dist::SupervisorOptions loop_opts = opts;
+  loop_opts.respawn_limit = 100;
+  loop_opts.crash_loop_failures = 3;
+  dist::Supervisor sup2(1, loop_opts);
+  sup2.record_failure(0, t0, "boom");
+  sup2.record_respawn(0);
+  sup2.record_failure(0, t0 + std::chrono::milliseconds(100), "boom");
+  sup2.record_respawn(0);
+  EXPECT_FALSE(sup2.quarantined(0));
+  sup2.record_failure(0, t0 + std::chrono::milliseconds(200), "boom");
+  EXPECT_TRUE(sup2.quarantined(0));
+  EXPECT_NE(sup2.quarantine_reason(0).find("crash-loop"), std::string::npos);
+
+  // Byzantine quarantine is immediate and terminal.
+  dist::Supervisor sup3(1, opts);
+  sup3.record_quarantine(0, "divergent result for seq 4");
+  EXPECT_TRUE(sup3.quarantined(0));
+  EXPECT_FALSE(sup3.any_respawnable());
+  EXPECT_NE(sup3.report().find("divergent result"), std::string::npos);
+  EXPECT_EQ(dist::Supervisor(2, opts).report(), "") << "healthy fleet must report nothing";
 }
 
 // ---------------------------------------------------------------------------
@@ -593,6 +954,55 @@ TEST(ResultCache, PoisonedLinesAreRejected) {
     EXPECT_EQ(cache.size(), 1u);
     EXPECT_EQ(cache.rejected(), 1u);
   }
+}
+
+TEST(ResultCache, CompactRewritesDroppingPoisonedAndDuplicateLines) {
+  TempDir dir;
+  const std::string path = (dir.path / "cache.jsonl").string();
+
+  core::TrialRecord a = sample_record();
+  core::TrialRecord b = sample_record();
+  b.key = "delay|SYN_SENT|SYN|client->server";
+  b.found = false;
+  const std::string line_a = dist::ResultCache::encode_line(0x1234, a);
+  const std::string line_b = dist::ResultCache::encode_line(0x1234, b);
+  std::string poisoned = line_a;
+  auto pos = poisoned.find("drop|ESTABLISHED");
+  ASSERT_NE(pos, std::string::npos);
+  poisoned.replace(pos, 4, "lie!");
+
+  {
+    // Accumulated damage: a duplicate append (two writers), a poisoned line,
+    // and a torn tail from a killed writer.
+    std::ofstream out(path, std::ios::binary);
+    out << line_a << poisoned << line_b << line_a << line_b.substr(0, line_b.size() / 2);
+  }
+
+  dist::ResultCache cache(path);
+  auto stats = cache.compact();
+  EXPECT_TRUE(stats.ok);
+  EXPECT_EQ(stats.kept, 2u);
+  EXPECT_EQ(stats.dropped_invalid, 2u);    // poisoned + torn tail
+  EXPECT_EQ(stats.dropped_duplicate, 1u);  // second copy of line_a
+  ASSERT_TRUE(cache.load());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.rejected(), 0u) << "compacted file still contains damage";
+  auto view = cache.view(0x1234);
+  EXPECT_NE(view.lookup(a.key), nullptr);
+  EXPECT_NE(view.lookup(b.key), nullptr);
+
+  // The rewrite is canonical: every surviving line re-validates and the tmp
+  // file is gone (rename is the commit point).
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  // Compacting an already-clean file is a no-op that keeps everything.
+  auto again = dist::ResultCache(path).compact();
+  EXPECT_TRUE(again.ok);
+  EXPECT_EQ(again.kept, 2u);
+  EXPECT_EQ(again.dropped_invalid, 0u);
+  EXPECT_EQ(again.dropped_duplicate, 0u);
+  // Missing file / memory-only caches: trivially ok.
+  EXPECT_TRUE(dist::ResultCache((dir.path / "absent.jsonl").string()).compact().ok);
+  EXPECT_TRUE(dist::ResultCache().compact().ok);
 }
 
 TEST(ResultCache, WarmCacheReproducesColdCampaignAndPersists) {

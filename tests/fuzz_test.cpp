@@ -135,12 +135,18 @@ TEST(CorpusRegression, WireDecoderAcceptsAndRejectsAsDocumented) {
   for (const char* name :
        {"bad_type.json", "campaign_unknown_profile.json", "campaign_missing_topology.json",
         "result_missing_record.json", "trials_bad_strategy.json", "feedback_bad_pairs.json",
-        "stolen_huge_seq.json", "steal_negative.json", "frame_garbage.json"}) {
+        "stolen_huge_seq.json", "steal_negative.json", "frame_garbage.json",
+        // v2: a result whose record was edited after checksumming (a flipped
+        // verdict here) must fail checksum re-validation.
+        "result_bad_checksum.json"}) {
     const CorpusFile* f = find_file(files, name);
     ASSERT_TRUE(f) << name;
     EXPECT_FALSE(dist::parse_message(f->contents).has_value()) << name;
   }
-  for (const char* name : {"hello.json", "campaign.json", "heartbeat.json", "bye_metrics.json"}) {
+  for (const char* name : {"hello.json", "campaign.json", "heartbeat.json", "bye_metrics.json",
+                           // v2 additions: chaos-schedule campaign fields and
+                           // a checksummed result frame.
+                           "campaign_chaos.json", "result_checksummed.json"}) {
     const CorpusFile* f = find_file(files, name);
     ASSERT_TRUE(f) << name;
     EXPECT_TRUE(dist::parse_message(f->contents).has_value()) << name;
