@@ -6,9 +6,23 @@
 //                  [--selfcheck] [--workers N] [--result-cache PATH]
 //                  [--result-cache-compact]
 //                  [--snapshots on|off] [--early-exit on|off]
-//                  [--engine wheel|heap]
+//                  [--engine wheel|heap] [--search grid|greybox]
+//                  [--space default|enlarged]
 //                  [--heartbeat-timeout-ms N] [--respawn-limit N]
 //                  [--verify-sample N] [--chaos SEED] [--chaos-period N]
+//
+// --search greybox runs the campaign under the feedback-guided strategy
+// search (src/search) instead of the exhaustive grid order, then runs an
+// in-process grid twin of the same scenario and reports attacks-found and
+// trials-to-first-attack for both — the search-efficiency headline. The twin
+// is a fair comparison because trial *outcomes* are mode-invariant (the mode
+// only reorders which strategies get tried; search_test.cpp enforces it),
+// and because greybox campaigns are bit-identical across backends the twin
+// can run in-process even when the main campaign used --workers.
+// --space enlarged widens the delivery-attack parameter ladders (drop
+// probabilities, duplicate counts, delays, batch windows) to the richer
+// sweep the search exists for; the CI smoke pins this scenario and asserts
+// greybox reaches its first attack in strictly fewer trials than the grid.
 //
 // --snapshots off disables the shared campaign snapshot store, so every
 // trial replays its scenario from t=0; this is the A/B switch for measuring
@@ -78,6 +92,7 @@
 #include "dist/result_cache.h"
 #include "dist/worker.h"
 #include "obs/json.h"
+#include "search/search.h"
 #include "sim/scheduler.h"
 #include "snake/controller.h"
 #include "snake/faultpoint.h"
@@ -169,6 +184,8 @@ int main(int argc, char** argv) {
   bool chaos = false;
   std::uint64_t chaos_seed = 0;
   std::uint32_t chaos_period = 7;
+  search::SearchMode search_mode = search::SearchMode::kGrid;
+  bool enlarged_space = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) {
       cap = std::strtoull(argv[++i], nullptr, 10);
@@ -209,6 +226,15 @@ int main(int argc, char** argv) {
       sim::Scheduler::set_default_engine(!std::strcmp(argv[++i], "heap")
                                              ? sim::SchedulerEngine::kBinaryHeap
                                              : sim::SchedulerEngine::kTimerWheel);
+    } else if (!std::strcmp(argv[i], "--search") && i + 1 < argc) {
+      auto mode = search::search_mode_from_string(argv[++i]);
+      if (!mode.has_value()) {
+        std::fprintf(stderr, "--search wants grid|greybox, got %s\n", argv[i]);
+        return 1;
+      }
+      search_mode = *mode;
+    } else if (!std::strcmp(argv[i], "--space") && i + 1 < argc) {
+      enlarged_space = !std::strcmp(argv[++i], "enlarged");
     }
   }
   const char* engine_name = sim::to_string(sim::Scheduler::default_engine());
@@ -221,10 +247,22 @@ int main(int argc, char** argv) {
   config.generator = protocol == Protocol::kTcp ? strategy::tcp_generator_config()
                                                 : strategy::dccp_generator_config();
   config.generator.hitseq_max_packets = 4000;  // partial sweeps: bounded bench
+  if (enlarged_space) {
+    // --space enlarged: the richer parameter sweep the greybox search exists
+    // for. The grid visits these ladders in shuffled order; the search
+    // prioritizes by coverage and refines what scored, which is where the
+    // trials-to-first-attack gap opens up.
+    config.generator.drop_probabilities = {100.0, 75.0, 50.0, 25.0, 12.5};
+    config.generator.duplicate_counts = {1, 2, 5, 10, 32};
+    config.generator.delay_seconds = {0.05, 0.1, 0.5, 1.0, 3.0};
+    config.generator.batch_seconds = {0.5, 2.0, 4.0};
+  }
   config.executors = executors;
   config.max_strategies = cap;
   config.use_snapshots = use_snapshots;
   config.early_exit = early_exit;
+  config.search_mode = search_mode;
+  const bool greybox = search_mode == search::SearchMode::kGreybox;
 
   // --selfcheck: one oracle bundle shared by every executor (thread-safe).
   // In workers mode the inspector pointer cannot cross the process boundary;
@@ -298,8 +336,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "== Campaign throughput: %llu strategies, %.0fs virtual, %d executors "
-      "(%s, %s engine%s%s%s%s%s) ==\n",
+      "(%s, %s engine, %s search%s%s%s%s%s) ==\n",
       (unsigned long long)cap, duration, executors, to_string(protocol), engine_name,
+      search::to_string(search_mode),
       selfcheck ? ", selfcheck" : "",
       workers > 0 ? ", distributed" : "",
       use_snapshots ? "" : ", snapshots off",
@@ -397,6 +436,35 @@ int main(int argc, char** argv) {
                 (unsigned long long)result.cache_hits,
                 (unsigned long long)result.cache_stores, cache_path);
 
+  // --search greybox: attacks-found-per-N-trials vs the exhaustive grid on
+  // the identical scenario. The twin runs in-process (mode order is
+  // backend-invariant) and shares the result cache when one is attached, so
+  // on a warm cache the comparison costs almost nothing.
+  std::optional<CampaignResult> grid_twin;
+  if (greybox) {
+    std::printf("  search ............... greybox: %llu rounds, %llu mutation children\n",
+                (unsigned long long)result.search_rounds,
+                (unsigned long long)result.search_mutations);
+    CampaignConfig twin = config;
+    twin.backend = nullptr;
+    twin.scenario.inspector = nullptr;
+    twin.search_mode = search::SearchMode::kGrid;
+    grid_twin = run_campaign(twin);
+    auto first = [](const CampaignResult& r) {
+      return r.trials_to_first_attack == 0
+                 ? std::string("none found")
+                 : "first attack at trial " + std::to_string(r.trials_to_first_attack);
+    };
+    std::printf("== Search comparison (same scenario, %llu-trial budget each) ==\n",
+                (unsigned long long)cap);
+    std::printf("  greybox .............. %llu attacks in %llu trials, %s\n",
+                (unsigned long long)result.attack_strategies_found,
+                (unsigned long long)result.strategies_tried, first(result).c_str());
+    std::printf("  grid ................. %llu attacks in %llu trials, %s\n",
+                (unsigned long long)grid_twin->attack_strategies_found,
+                (unsigned long long)grid_twin->strategies_tried, first(*grid_twin).c_str());
+  }
+
   std::uint64_t violations = 0;
   if (selfcheck) {
     if (workers > 0 && fallback == 0) {
@@ -450,6 +518,8 @@ int main(int argc, char** argv) {
   w.key("use_snapshots").value(use_snapshots);
   w.key("early_exit").value(early_exit);
   w.key("engine").value(engine_name);
+  w.key("search").value(search::to_string(search_mode));
+  w.key("space").value(enlarged_space ? "enlarged" : "default");
   if (cache_path != nullptr) w.key("result_cache").value(cache_path);
   if (workers > 0) {
     if (heartbeat_timeout_ms > 0) w.key("heartbeat_timeout_ms").value(heartbeat_timeout_ms);
@@ -472,6 +542,12 @@ int main(int argc, char** argv) {
   w.key("peak_rss_mib").value(rss);
   w.key("attack_strategies_found").value(result.attack_strategies_found);
   w.key("early_exit_runs").value(early_cuts);
+  w.key("search").begin_object();
+  w.key("mode").value(search::to_string(result.search_mode));
+  w.key("trials_to_first_attack").value(result.trials_to_first_attack);
+  w.key("rounds").value(result.search_rounds);
+  w.key("mutations").value(result.search_mutations);
+  w.end_object();
   w.key("trial_latency").begin_object();
   w.key("p50_seconds").value(trial_p50);
   w.key("p99_seconds").value(trial_p99);
@@ -520,6 +596,21 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.end_object();
+  if (grid_twin.has_value()) {
+    w.key("search_comparison").begin_object();
+    w.key("trial_budget").value(cap);
+    w.key("greybox").begin_object();
+    w.key("attacks_found").value(result.attack_strategies_found);
+    w.key("strategies_tried").value(result.strategies_tried);
+    w.key("trials_to_first_attack").value(result.trials_to_first_attack);
+    w.end_object();
+    w.key("grid").begin_object();
+    w.key("attacks_found").value(grid_twin->attack_strategies_found);
+    w.key("strategies_tried").value(grid_twin->strategies_tried);
+    w.key("trials_to_first_attack").value(grid_twin->trials_to_first_attack);
+    w.end_object();
+    w.end_object();
+  }
   if (have_baseline) {
     w.key("baseline").begin_object();
     w.key("path").value(baseline_path);

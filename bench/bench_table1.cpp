@@ -4,7 +4,15 @@
 //                [--json PATH] [--journal PREFIX] [--resume]
 //                [--workers N] [--result-cache PATH]
 //                [--heartbeat-timeout-ms N] [--respawn-limit N]
-//                [--verify-sample N]
+//                [--verify-sample N] [--search grid|greybox]
+//
+// --search greybox walks each implementation's strategy space with the
+// feedback-guided pool search (src/search) instead of exhaustive grid order.
+// Under a --cap budget that front-loads the high-yield strategies, so the
+// capped Table-I rows fill in far fewer trials; an uncapped run visits the
+// same universe either way. Deterministic per seed like the grid: journals,
+// --resume and the result cache work unchanged (search mode is not part of
+// the campaign identity).
 //
 // --workers N runs each campaign on N forked worker processes (src/dist)
 // instead of the in-process executor pool; results are bit-identical either
@@ -60,6 +68,7 @@
 #include "dist/result_cache.h"
 #include "dist/worker.h"
 #include "obs/json.h"
+#include "search/search.h"
 #include "snake/controller.h"
 #include "snake/journal.h"
 #include "strategy/generator.h"
@@ -101,6 +110,7 @@ int main(int argc, char** argv) {
   int heartbeat_timeout_ms = 0;  // 0 = DistOptions default
   int respawn_limit = -1;        // <0 = DistOptions default
   std::uint64_t verify_sample = 0;
+  search::SearchMode search_mode = search::SearchMode::kGrid;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--full")) {
       cap = 0;         // every generated strategy
@@ -128,6 +138,13 @@ int main(int argc, char** argv) {
       respawn_limit = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--verify-sample") && i + 1 < argc) {
       verify_sample = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--search") && i + 1 < argc) {
+      auto mode = search::search_mode_from_string(argv[++i]);
+      if (!mode.has_value()) {
+        std::fprintf(stderr, "--search takes grid or greybox\n");
+        return 1;
+      }
+      search_mode = *mode;
     }
   }
   if (resume && journal_prefix == nullptr) {
@@ -148,9 +165,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== Table I: SNAKE campaign summary ==\n");
-  std::printf("(%s strategy budget, %.0fs virtual per test, %d executors; "
-              "counts scale with the budget — see EXPERIMENTS.md)\n",
-              cap == 0 ? "full" : "capped", duration, executors);
+  std::printf("(%s strategy budget, %.0fs virtual per test, %d executors, "
+              "%s search; counts scale with the budget — see EXPERIMENTS.md)\n",
+              cap == 0 ? "full" : "capped", duration, executors,
+              search::to_string(search_mode));
   if (workers > 0)
     std::printf("(distributed: %d worker processes per campaign)\n", workers);
   std::printf("\n");
@@ -167,6 +185,7 @@ int main(int argc, char** argv) {
     if (hitseq_cap != 0) config.generator.hitseq_max_packets = hitseq_cap;
     config.executors = executors;
     config.max_strategies = cap;
+    config.search_mode = search_mode;
 
     // Per-campaign checkpoint journal. Each finished trial is appended and
     // flushed immediately, so a killed bench leaves every complete line
@@ -272,6 +291,7 @@ int main(int argc, char** argv) {
     json->key("duration_seconds").value(duration);
     json->key("executors").value(executors);
     json->key("workers").value(workers);
+    json->key("search").value(search::to_string(search_mode));
     json->end_object();
     json->key("campaigns").begin_array();
     json->flush();

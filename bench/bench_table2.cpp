@@ -13,6 +13,10 @@
 // the same flags finishes only the missing attacks. Some rows take minutes —
 // row granularity is the natural checkpoint unit here, mirroring the
 // trial-granularity journals run_campaign uses for Table I.
+//
+// There is no --search flag here: this bench re-executes a fixed list of
+// known attacks rather than searching a strategy space, so grid-vs-greybox
+// (bench_table1 / bench_campaign) does not apply.
 #include <cstdio>
 #include <cstring>
 #include <functional>

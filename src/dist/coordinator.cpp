@@ -570,6 +570,7 @@ bool DistributedBackend::start(const core::CampaignConfig& config,
   // must travel explicitly or a heap-default coordinator would silently
   // compare against wheel-engine workers.
   wc.scheduler_engine = sim::to_string(sim::Scheduler::default_engine());
+  wc.search_mode = search::to_string(config.search_mode);
   wc.identity_hash = core::campaign_identity_hash(config);
   wc.heartbeat_interval_ms = im.options.heartbeat_interval_ms;
   wc.heartbeat_timeout_ms = im.options.heartbeat_timeout_ms;

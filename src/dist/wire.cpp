@@ -395,6 +395,7 @@ std::string encode_campaign(const WorkerCampaign& wc) {
   w.key("use_snapshots").value(wc.use_snapshots);
   w.key("early_exit").value(wc.early_exit);
   w.key("scheduler_engine").value(wc.scheduler_engine);
+  w.key("search_mode").value(wc.search_mode);
   w.key("identity_hash").value(wc.identity_hash);
   w.key("worker_index").value(wc.worker_index);
   w.key("journal_path").value(wc.journal_path);
@@ -541,6 +542,9 @@ std::optional<Message> parse_message(std::string_view payload) {
       m.campaign.use_snapshots = bool_field(*doc, "use_snapshots", true);
       m.campaign.early_exit = bool_field(*doc, "early_exit", true);
       m.campaign.scheduler_engine = str_field(*doc, "scheduler_engine");
+      m.campaign.search_mode = str_field(*doc, "search_mode");
+      if (!search::search_mode_from_string(m.campaign.search_mode).has_value())
+        m.campaign.search_mode = "grid";
       m.campaign.identity_hash = u64_field(*doc, "identity_hash", 0);
       m.campaign.worker_index = static_cast<int>(i64_field(*doc, "worker_index", 0));
       m.campaign.journal_path = str_field(*doc, "journal_path");

@@ -169,6 +169,13 @@ struct WorkerCampaign {
   /// field. Both engines pop in the same total order, so — like
   /// use_snapshots — this never enters the identity hash.
   std::string scheduler_engine;
+  /// The coordinator's CampaignConfig::search_mode ("grid" / "greybox"),
+  /// mirrored so the worker's reconstructed config is faithful. Strategy
+  /// selection happens coordinator-side — workers execute the trials they
+  /// are handed either way — and like the generator config this only
+  /// changes which strategies get tried, so it stays out of the identity
+  /// hash. An unknown value falls back to "grid" at decode.
+  std::string search_mode = "grid";
 
   std::uint64_t identity_hash = 0;  ///< campaign_identity_hash, cross-checked
   int worker_index = 0;

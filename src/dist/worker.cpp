@@ -57,6 +57,8 @@ core::CampaignConfig campaign_config_for(const WorkerCampaign& wc) {
   cc.collect_metrics = wc.collect_metrics;
   cc.use_snapshots = wc.use_snapshots;
   cc.early_exit = wc.early_exit;
+  if (auto mode = search::search_mode_from_string(wc.search_mode); mode.has_value())
+    cc.search_mode = *mode;
   return cc;
 }
 

@@ -171,6 +171,12 @@ void CampaignResult::write_json(obs::JsonWriter& w) const {
   w.key("hits").value(cache_hits);
   w.key("stores").value(cache_stores);
   w.end_object();
+  w.key("search").begin_object();
+  w.key("mode").value(search::to_string(search_mode));
+  w.key("trials_to_first_attack").value(trials_to_first_attack);
+  w.key("rounds").value(search_rounds);
+  w.key("mutations").value(search_mutations);
+  w.end_object();
   w.key("metrics");
   metrics.write_json(w);
   w.end_object();
@@ -187,6 +193,16 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.implementation = config.scenario.protocol == Protocol::kTcp
                               ? config.scenario.tcp_profile.name
                               : "linux-3.13";
+  result.search_mode = config.search_mode;
+
+  // Greybox search engine (null in grid mode). Driven exclusively from the
+  // commit path and the drain barrier below, which both run in deterministic
+  // order whatever the backend — see the determinism contract in
+  // search/search.h.
+  std::unique_ptr<search::SearchEngine> engine;
+  if (config.search_mode == search::SearchMode::kGreybox)
+    engine = std::make_unique<search::SearchEngine>(config.search, config.scenario.seed,
+                                                    format, machine);
 
   // The coordinator's registry (baselines, commit path, combination phase);
   // backends keep per-executor registries and fold them in at finish(), so
@@ -201,6 +217,17 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   if (resume != nullptr && !resume->compatible_with(config)) {
     if (main_reg != nullptr) ++main_reg->counter("campaign.resume_incompatible");
     resume = nullptr;
+  }
+  // Validate the resumed journal's last pool checkpoint through the strict
+  // search-library parser. A torn or poisoned checkpoint is rejected and
+  // counted; correctness is unaffected either way, because the resumed
+  // engine is reconstructed by replaying the journaled trials in order.
+  if (resume != nullptr && engine != nullptr && !resume->search_pool_json.empty()) {
+    if (search::pool_state_from_text(resume->search_pool_json).has_value()) {
+      if (main_reg != nullptr) ++main_reg->counter("campaign.search_pool_resumed");
+    } else {
+      if (main_reg != nullptr) ++main_reg->counter("campaign.search_pool_invalid");
+    }
   }
   if (config.journal != nullptr && config.resume == nullptr) {
     try {
@@ -246,6 +273,12 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   // generator's emission order.
   std::mt19937_64 shuffle_rng(config.scenario.seed * 1000003 + 17);
   auto enqueue = [&](std::vector<strategy::Strategy> batch) {
+    if (engine != nullptr) {
+      // Greybox: generator output becomes the engine's unexplored universe;
+      // strategies enter the dispatch queue in engine-chosen rounds instead.
+      engine->offer(std::move(batch));
+      return;
+    }
     std::shuffle(batch.begin(), batch.end(), shuffle_rng);
     for (auto& s : batch) {
       queue.push_back(std::move(s));
@@ -322,6 +355,21 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     backend->submit(std::move(task));
   };
 
+  // Appends the engine's serialized pool state to the journal as its own
+  // line. Best-effort like trial appends: the journal is a checkpoint, the
+  // campaign result is not allowed to depend on it.
+  auto checkpoint_pool = [&]() {
+    if (engine == nullptr || config.journal == nullptr) return;
+    try {
+      obs::JsonWriter w;
+      search::write_json(w, engine->state());
+      config.journal->append_raw(w.take());
+    } catch (...) {
+      ++result.journal_errors;
+      if (main_reg != nullptr) ++main_reg->counter("campaign.journal_errors");
+    }
+  };
+
   auto commit_one = [&](Pending p) {
     TrialRecord& record = p.record;
     result.trials_aborted += record.aborted_attempts;
@@ -363,7 +411,24 @@ CampaignResult run_campaign(const CampaignConfig& config) {
           if (covered_pairs.emplace(pair.state, pair.packet_type).second)
             fresh.push_back(pair);
       if (!fresh.empty()) backend->on_feedback(fresh);
+      if (engine != nullptr) {
+        // Greybox fitness feedback. Every ingredient is derived from the
+        // committed record and the monotone covered-pair set, so a replayed
+        // trial (resume, warm cache) feeds back exactly what the live run
+        // did — which is what keeps warm and cold greybox campaigns
+        // bit-identical.
+        search::TrialFeedback feedback;
+        feedback.completed = true;
+        feedback.found = record.found;
+        feedback.margin = record.found ? impact_score(record.detection) : 0.0;
+        feedback.fresh_pairs.reserve(fresh.size());
+        for (const JournalObservation& pair : fresh)
+          feedback.fresh_pairs.emplace_back(pair.state, pair.packet_type);
+        engine->on_result(p.strat, feedback);
+      }
       if (record.found) {
+        if (result.trials_to_first_attack == 0)
+          result.trials_to_first_attack = committed + 1;
         StrategyOutcome o;
         o.strat = std::move(p.strat);
         o.detection = record.detection;
@@ -372,6 +437,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         result.found.push_back(std::move(o));
       }
     } else {
+      // Quarantined strategies score zero fitness but still advance the
+      // engine's trial counter, keeping checkpoints consistent.
+      if (engine != nullptr) engine->on_result(p.strat, search::TrialFeedback{});
       CampaignResult::Quarantined q;
       q.strat = std::move(p.strat);
       q.key = std::move(record.key);
@@ -381,6 +449,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       result.quarantined.push_back(std::move(q));
     }
     ++committed;
+    if (engine != nullptr && config.search.checkpoint_interval != 0 &&
+        committed % config.search.checkpoint_interval == 0)
+      checkpoint_pool();
     if (config.on_progress) config.on_progress(committed, queued_total);
   };
 
@@ -409,8 +480,25 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     if (committed_any) continue;  // feedback may have refilled the queue
 
     if (in_flight.empty()) {
-      if (queue.empty()) break;  // drained: every dispatched trial committed
-      continue;                  // more queue, capacity freed up
+      if (queue.empty()) {
+        // Greybox drain barrier: every dispatched trial is committed, so the
+        // engine has complete feedback. Pull the next round here — and only
+        // here — so the round composition is a pure function of committed
+        // results, independent of backend capacity or outcome timing.
+        if (engine != nullptr &&
+            (config.max_strategies == 0 || dispatched < config.max_strategies)) {
+          std::vector<strategy::Strategy> round = engine->next_round();
+          if (!round.empty()) {
+            for (auto& s : round) {
+              queue.push_back(std::move(s));
+              ++queued_total;
+            }
+            continue;
+          }
+        }
+        break;  // drained: every dispatched trial committed, search exhausted
+      }
+      continue;  // more queue, capacity freed up
     }
     TrialOutcome out = backend->wait_outcome();
     auto it = in_flight.find(out.seq);
@@ -427,6 +515,11 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 
   backend->finish(config.collect_metrics ? &result.metrics : nullptr);
   result.strategies_tried = dispatched;
+  if (engine != nullptr) {
+    checkpoint_pool();  // final pool state, whatever the periodic cadence
+    result.search_rounds = engine->rounds();
+    result.search_mutations = engine->mutations_spawned();
+  }
 
   // Quarantine commits happen in dispatch order already, but sort by
   // canonical key so reports stay comparable with historic journals and
@@ -498,6 +591,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     result.metrics.merge_from(main_registry);
     result.metrics.counter("campaign.strategies_tried") += result.strategies_tried;
     result.metrics.gauge("campaign.detect_threshold") = threshold;
+    if (engine != nullptr) {
+      result.metrics.counter("campaign.search_rounds") += result.search_rounds;
+      result.metrics.counter("campaign.search_mutations") += result.search_mutations;
+    }
   }
   return result;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "search/search.h"
 #include "snake/detector.h"
 #include "snake/journal.h"
 #include "snake/scenario.h"
@@ -33,6 +34,23 @@ struct CampaignConfig {
   /// Optional cap on strategies tried (0 = unlimited); lets tests and quick
   /// demos run bounded campaigns.
   std::uint64_t max_strategies = 0;
+
+  // --- Strategy search (see DESIGN.md, "Strategy search") ------------------
+  /// How the campaign walks its strategy space. kGrid (default) enumerates
+  /// the generator's output exhaustively — the paper's behaviour. kGreybox
+  /// runs the fitness-guided pool search from src/search: generator output
+  /// becomes the unexplored universe, trials feed tracker state-coverage and
+  /// detector margin back into the pool, and promising strategies spawn
+  /// mutated children under a power-schedule energy budget. Both modes run
+  /// through the same dispatch/commit loop, so a greybox campaign is as
+  /// bit-identical across backends, executor counts, snapshots and caches as
+  /// a grid one (enforced in tests/search_test.cpp). Like the generator
+  /// config, the mode only changes *which* strategies get tried — it stays
+  /// out of the campaign identity hash, so grid and greybox campaigns share
+  /// result-cache entries and resume journals.
+  search::SearchMode search_mode = search::SearchMode::kGrid;
+  /// Greybox knobs (ignored in grid mode).
+  search::SearchConfig search;
 
   /// Combination phase (the paper's future work, with Turret's greedy
   /// flavour): after the single-strategy sweep, pair up to this many of the
@@ -142,6 +160,15 @@ struct CampaignResult {
 
   std::uint64_t strategies_tried = 0;
   std::vector<StrategyOutcome> found;  ///< all detected+repeatable strategies
+
+  // --- Strategy search ------------------------------------------------------
+  search::SearchMode search_mode = search::SearchMode::kGrid;
+  /// 1-based commit index of the first found strategy (0 = none found). The
+  /// bench's search-efficiency metric: how many trials a mode spends before
+  /// its first confirmed attack.
+  std::uint64_t trials_to_first_attack = 0;
+  std::uint64_t search_rounds = 0;     ///< greybox rounds emitted (0 in grid)
+  std::uint64_t search_mutations = 0;  ///< mutation children spawned
 
   // Table I columns.
   std::uint64_t attack_strategies_found = 0;

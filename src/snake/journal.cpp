@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/json.h"
+#include "search/search.h"
 #include "snake/controller.h"
 
 namespace snake::core {
@@ -164,6 +165,13 @@ void TrialJournal::append(const TrialRecord& record) {
   sink_(line);
 }
 
+void TrialJournal::append_raw(std::string_view json_object_line) {
+  std::string line(json_object_line);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_(line);
+}
+
 bool JournalSnapshot::compatible_with(const CampaignConfig& config) const {
   const std::string impl = config.scenario.protocol == Protocol::kTcp
                                ? config.scenario.tcp_profile.name
@@ -205,6 +213,15 @@ std::optional<JournalSnapshot> load_journal(std::string_view text,
       have_header = true;
       continue;
     }
+    // Search-pool checkpoint lines ride the same journal. Keep the raw text
+    // of the last one (later checkpoints supersede earlier ones); the search
+    // library validates it, this loader only recognizes it.
+    if (const obs::JsonValue* schema = doc->find("schema");
+        schema != nullptr && schema->is_string() &&
+        schema->str_v == search::kPoolStateSchema) {
+      snap.search_pool_json.assign(line.data(), line.size());
+      continue;
+    }
     std::optional<TrialRecord> rec = trial_record_from_json(*doc);
     if (!rec.has_value()) {
       if (skipped_lines != nullptr) ++*skipped_lines;
@@ -236,6 +253,8 @@ std::optional<JournalSnapshot> merge_journals(const std::vector<std::string_view
         std::abs(merged->duration_seconds - snap->duration_seconds) < 1e-9;
     if (!same_identity) return std::nullopt;
     for (auto& [key, rec] : snap->trials) merged->trials.try_emplace(key, std::move(rec));
+    if (merged->search_pool_json.empty())
+      merged->search_pool_json = std::move(snap->search_pool_json);
   }
   return merged;
 }

@@ -90,6 +90,13 @@ class TrialJournal {
   /// the campaign running — checkpointing is best-effort, results are not).
   void append(const TrialRecord& record);
 
+  /// Appends one pre-rendered auxiliary JSON object as its own line (no
+  /// validation, no trailing newline expected). The greybox controller
+  /// checkpoints its search-pool state this way; the loader recognizes such
+  /// lines by their schema tag and keeps the last one (see
+  /// JournalSnapshot::search_pool_json) instead of counting them skipped.
+  void append_raw(std::string_view json_object_line);
+
  private:
   std::mutex mutex_;
   Sink sink_;
@@ -104,6 +111,13 @@ struct JournalSnapshot {
   double detect_threshold = 0.5;
   double duration_seconds = 0.0;
   std::map<std::string, TrialRecord> trials;
+  /// Raw text of the journal's last search-pool checkpoint line (schema
+  /// "snake-search-pool/v1"), empty when the campaign wrote none. Kept
+  /// opaque here — the search library owns the format and its (strict,
+  /// fuzz-hardened) validation; resume correctness never depends on it
+  /// because a resumed greybox campaign reconstructs the pool by
+  /// deterministic replay.
+  std::string search_pool_json;
 
   /// Whether this journal was recorded by a campaign with the same identity
   /// (protocol, implementation, seed, threshold, duration) — resuming across

@@ -17,6 +17,7 @@
 #include "packet/dccp_format.h"
 #include "packet/format_dsl.h"
 #include "packet/tcp_format.h"
+#include "search/search.h"
 #include "snake/journal.h"
 #include "testing/fuzz.h"
 #include "testing/property.h"
@@ -120,6 +121,37 @@ TEST(CorpusRegression, JournalTruncatedTailSkippedGarbageTolerated) {
     ASSERT_TRUE(f) << name;
     EXPECT_FALSE(core::load_journal(f->contents).has_value()) << name;
   }
+}
+
+TEST(CorpusRegression, SearchPoolCorpusAcceptsAndRejectsAsDocumented) {
+  std::vector<CorpusFile> files = corpus("search_pool");
+  ASSERT_FALSE(files.empty()) << "corpus dir missing: " SNAKE_CORPUS_DIR "/search_pool";
+  // Well-formed checkpoints load; loading is what journal resume relies on.
+  for (const char* name : {"valid.json", "valid_empty_pool.json"}) {
+    const CorpusFile* f = find_file(files, name);
+    ASSERT_TRUE(f) << name;
+    EXPECT_TRUE(search::pool_state_from_text(f->contents).has_value()) << name;
+  }
+  // Torn (killed writer) and poisoned (valid JSON, inconsistent shape)
+  // checkpoints are rejected at load, never half-parsed.
+  for (const char* name :
+       {"torn_tail.json", "wrong_schema.json", "missing_counters.json", "negative_counts.json",
+        "float_counters.json", "huge_counts.json", "attacks_exceed_trials.json",
+        "mutations_exceed_counter.json", "entry_bad_fitness.json", "entry_empty_key.json",
+        "pool_not_array.json"}) {
+    const CorpusFile* f = find_file(files, name);
+    ASSERT_TRUE(f) << name;
+    EXPECT_FALSE(search::pool_state_from_text(f->contents).has_value()) << name;
+  }
+  // Accept -> serialize -> accept fixpoint for the valid checkpoint.
+  const CorpusFile* valid = find_file(files, "valid.json");
+  auto state = search::pool_state_from_text(valid->contents);
+  ASSERT_TRUE(state.has_value());
+  obs::JsonWriter w;
+  search::write_json(w, *state);
+  auto again = search::pool_state_from_text(w.take());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(*again == *state);
 }
 
 TEST(CorpusRegression, WireCorpusParsesWithoutCrashing) {
@@ -333,6 +365,30 @@ TEST(ParserFuzz, JournalMutantsNeverCrash) {
     std::string mutant = mutate_text(rng, base.contents);
     std::size_t skipped = 0;
     (void)core::load_journal(mutant, &skipped);  // must terminate, no crash/UB
+    return std::nullopt;
+  });
+  EXPECT_FALSE(failure.has_value())
+      << "seed " << failure->seed << ": " << failure->message;
+}
+
+TEST(ParserFuzz, SearchPoolMutantsNeverCrash) {
+  std::vector<CorpusFile> seeds = corpus("search_pool");
+  ASSERT_FALSE(seeds.empty());
+  PropertyConfig config = PropertyConfig::from_env(2'000);
+  auto failure = for_each_seed(config, [&](std::uint64_t seed) -> std::optional<std::string> {
+    Rng rng(seed);
+    const CorpusFile& base = seeds[rng.uniform(0, seeds.size() - 1)];
+    std::string mutant = mutate_text(rng, base.contents);
+    // Must terminate without crash/UB; a surviving mutant must reach the
+    // accept -> serialize -> accept fixpoint like any valid checkpoint.
+    auto state = search::pool_state_from_text(mutant);
+    if (state.has_value()) {
+      obs::JsonWriter w;
+      search::write_json(w, *state);
+      auto again = search::pool_state_from_text(w.take());
+      if (!again.has_value()) return "re-serialized accepted mutant was rejected";
+      if (!(*again == *state)) return "accept -> serialize -> accept not a fixpoint";
+    }
     return std::nullopt;
   });
   EXPECT_FALSE(failure.has_value())
