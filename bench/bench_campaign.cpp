@@ -8,8 +8,21 @@
 //                  [--snapshots on|off] [--early-exit on|off]
 //                  [--engine wheel|heap] [--search grid|greybox]
 //                  [--space default|enlarged]
+//                  [--tcp-profile NAME] [--workload bulk|trace:FILE]
+//                  [--trace-flows N]
 //                  [--heartbeat-timeout-ms N] [--respawn-limit N]
 //                  [--verify-sample N] [--chaos SEED] [--chaos-period N]
+//
+// --tcp-profile swaps the implementation under test (default linux-3.13;
+// see tcp::all_tcp_profiles). SACK-negotiating profiles automatically widen
+// the injection universe with forged-SACK strategies
+// (strategy::tcp_sack_generator_config) so the campaign can reach the
+// SACK-specific attack surface. --workload trace:FILE replays a
+// snake-trace/v1 file (src/trace) as the target-connection workload instead
+// of the synthetic bulk download; --trace-flows caps the deterministic
+// down-sample. The trace text folds into the campaign identity hash and
+// travels over the dist wire, so trace campaigns stay bit-identical across
+// executors, workers, snapshots on/off, and cache temperature.
 //
 // --search greybox runs the campaign under the feedback-guided strategy
 // search (src/search) instead of the exhaustive grid order, then runs an
@@ -100,6 +113,7 @@
 #include "strategy/generator.h"
 #include "tcp/profile.h"
 #include "testing/oracles.h"
+#include "trace/trace.h"
 
 using namespace snake;
 using namespace snake::core;
@@ -186,6 +200,9 @@ int main(int argc, char** argv) {
   std::uint32_t chaos_period = 7;
   search::SearchMode search_mode = search::SearchMode::kGrid;
   bool enlarged_space = false;
+  const char* tcp_profile_name = "linux-3.13";
+  const char* trace_path = nullptr;
+  std::size_t trace_flows = 8;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) {
       cap = std::strtoull(argv[++i], nullptr, 10);
@@ -235,6 +252,18 @@ int main(int argc, char** argv) {
       search_mode = *mode;
     } else if (!std::strcmp(argv[i], "--space") && i + 1 < argc) {
       enlarged_space = !std::strcmp(argv[++i], "enlarged");
+    } else if (!std::strcmp(argv[i], "--tcp-profile") && i + 1 < argc) {
+      tcp_profile_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--workload") && i + 1 < argc) {
+      const char* arg = argv[++i];
+      if (!std::strncmp(arg, "trace:", 6)) {
+        trace_path = arg + 6;
+      } else if (std::strcmp(arg, "bulk") != 0) {
+        std::fprintf(stderr, "--workload wants bulk|trace:FILE, got %s\n", arg);
+        return 1;
+      }
+    } else if (!std::strcmp(argv[i], "--trace-flows") && i + 1 < argc) {
+      trace_flows = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     }
   }
   const char* engine_name = sim::to_string(sim::Scheduler::default_engine());
@@ -242,10 +271,45 @@ int main(int argc, char** argv) {
   CampaignConfig config;
   config.scenario.protocol = protocol;
   config.scenario.tcp_profile = tcp::linux_3_13_profile();
+  if (protocol == Protocol::kTcp) {
+    bool profile_found = false;
+    for (const tcp::TcpProfile& p : tcp::all_tcp_profiles()) {
+      if (p.name == tcp_profile_name) {
+        config.scenario.tcp_profile = p;
+        profile_found = true;
+        break;
+      }
+    }
+    if (!profile_found) {
+      std::fprintf(stderr, "--tcp-profile: unknown profile '%s'\n", tcp_profile_name);
+      return 1;
+    }
+  }
   config.scenario.test_duration = Duration::seconds(duration);
   config.scenario.seed = 7;
-  config.generator = protocol == Protocol::kTcp ? strategy::tcp_generator_config()
-                                                : strategy::dccp_generator_config();
+  if (trace_path != nullptr) {
+    std::ifstream trace_in(trace_path);
+    if (!trace_in) {
+      std::fprintf(stderr, "--workload trace: cannot read %s\n", trace_path);
+      return 1;
+    }
+    std::stringstream trace_buf;
+    trace_buf << trace_in.rdbuf();
+    std::string trace_error;
+    if (!trace::parse_trace(trace_buf.str(), &trace_error).has_value()) {
+      std::fprintf(stderr, "--workload trace: %s: %s\n", trace_path, trace_error.c_str());
+      return 1;
+    }
+    config.scenario.workload = Workload::kTrace;
+    config.scenario.trace_text = trace_buf.str();
+    config.scenario.trace_max_flows = trace_flows;
+  }
+  // SACK-negotiating profiles need forged-SACK injections in the universe to
+  // reach their extra attack surface; everything else keeps the historic
+  // space so existing results stay reproducible.
+  config.generator = protocol != Protocol::kTcp       ? strategy::dccp_generator_config()
+                     : config.scenario.tcp_profile.sack ? strategy::tcp_sack_generator_config()
+                                                        : strategy::tcp_generator_config();
   config.generator.hitseq_max_packets = 4000;  // partial sweeps: bounded bench
   if (enlarged_space) {
     // --space enlarged: the richer parameter sweep the greybox search exists
@@ -520,6 +584,13 @@ int main(int argc, char** argv) {
   w.key("engine").value(engine_name);
   w.key("search").value(search::to_string(search_mode));
   w.key("space").value(enlarged_space ? "enlarged" : "default");
+  if (protocol == Protocol::kTcp) w.key("tcp_profile").value(config.scenario.tcp_profile.name);
+  w.key("workload").value(to_string(config.scenario.workload));
+  if (trace_path != nullptr) {
+    w.key("trace_file").value(trace_path);
+    w.key("trace_flows").value(static_cast<std::uint64_t>(trace_flows));
+    w.key("trace_hash").value(trace::trace_text_hash(config.scenario.trace_text));
+  }
   if (cache_path != nullptr) w.key("result_cache").value(cache_path);
   if (workers > 0) {
     if (heartbeat_timeout_ms > 0) w.key("heartbeat_timeout_ms").value(heartbeat_timeout_ms);

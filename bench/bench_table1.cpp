@@ -5,6 +5,13 @@
 //                [--workers N] [--result-cache PATH]
 //                [--heartbeat-timeout-ms N] [--respawn-limit N]
 //                [--verify-sample N] [--search grid|greybox]
+//                [--workload bulk|trace:FILE] [--trace-flows N]
+//
+// --workload trace:FILE replays a snake-trace/v1 file (src/trace) as every
+// TCP campaign's target-connection workload instead of the synthetic bulk
+// download (DCCP keeps its iperf stream). The trace folds into each
+// campaign's identity hash, so journals/--resume/result-cache entries from
+// different traces never cross-contaminate.
 //
 // --search greybox walks each implementation's strategy space with the
 // feedback-guided pool search (src/search) instead of exhaustive grid order.
@@ -73,6 +80,7 @@
 #include "snake/journal.h"
 #include "strategy/generator.h"
 #include "tcp/profile.h"
+#include "trace/trace.h"
 
 using namespace snake;
 using namespace snake::core;
@@ -111,6 +119,8 @@ int main(int argc, char** argv) {
   int respawn_limit = -1;        // <0 = DistOptions default
   std::uint64_t verify_sample = 0;
   search::SearchMode search_mode = search::SearchMode::kGrid;
+  const char* trace_path = nullptr;
+  std::size_t trace_flows = 8;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--full")) {
       cap = 0;         // every generated strategy
@@ -145,7 +155,31 @@ int main(int argc, char** argv) {
         return 1;
       }
       search_mode = *mode;
+    } else if (!std::strcmp(argv[i], "--workload") && i + 1 < argc) {
+      const char* arg = argv[++i];
+      if (!std::strncmp(arg, "trace:", 6)) {
+        trace_path = arg + 6;
+      } else if (std::strcmp(arg, "bulk") != 0) {
+        std::fprintf(stderr, "--workload wants bulk|trace:FILE, got %s\n", arg);
+        return 1;
+      }
+    } else if (!std::strcmp(argv[i], "--trace-flows") && i + 1 < argc) {
+      trace_flows = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     }
+  }
+  std::string trace_text;
+  if (trace_path != nullptr) {
+    std::optional<std::string> text = read_file(trace_path);
+    std::string trace_error;
+    if (!text.has_value()) {
+      std::fprintf(stderr, "--workload trace: cannot read %s\n", trace_path);
+      return 1;
+    }
+    if (!trace::parse_trace(*text, &trace_error).has_value()) {
+      std::fprintf(stderr, "--workload trace: %s: %s\n", trace_path, trace_error.c_str());
+      return 1;
+    }
+    trace_text = std::move(*text);
   }
   if (resume && journal_prefix == nullptr) {
     std::fprintf(stderr, "--resume requires --journal PREFIX\n");
@@ -180,8 +214,16 @@ int main(int argc, char** argv) {
     config.scenario.tcp_profile = profile;
     config.scenario.test_duration = Duration::seconds(duration);
     config.scenario.seed = 5;
-    config.generator = protocol == Protocol::kTcp ? strategy::tcp_generator_config()
-                                                  : strategy::dccp_generator_config();
+    if (protocol == Protocol::kTcp && !trace_text.empty()) {
+      config.scenario.workload = Workload::kTrace;
+      config.scenario.trace_text = trace_text;
+      config.scenario.trace_max_flows = trace_flows;
+    }
+    // SACK-negotiating profiles search the SACK-aware strategy universe so
+    // the generated attacks can reach the scoreboard/DSACK machinery.
+    config.generator = protocol != Protocol::kTcp ? strategy::dccp_generator_config()
+                       : profile.sack             ? strategy::tcp_sack_generator_config()
+                                                  : strategy::tcp_generator_config();
     if (hitseq_cap != 0) config.generator.hitseq_max_packets = hitseq_cap;
     config.executors = executors;
     config.max_strategies = cap;
@@ -292,6 +334,12 @@ int main(int argc, char** argv) {
     json->key("executors").value(executors);
     json->key("workers").value(workers);
     json->key("search").value(search::to_string(search_mode));
+    json->key("workload").value(trace_path != nullptr ? "trace" : "bulk");
+    if (trace_path != nullptr) {
+      json->key("trace_file").value(trace_path);
+      json->key("trace_flows").value(static_cast<std::uint64_t>(trace_flows));
+      json->key("trace_hash").value(trace::trace_text_hash(trace_text));
+    }
     json->end_object();
     json->key("campaigns").begin_array();
     json->flush();

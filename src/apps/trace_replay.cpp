@@ -1,0 +1,209 @@
+#include "apps/trace_replay.h"
+
+#include <algorithm>
+
+namespace snake::apps {
+
+namespace {
+
+/// Replay payload byte at absolute stream offset q. A different multiplier
+/// than the bulk-download pattern so a mixed-up stream shows up in hexdumps.
+void fill_replay_pattern(Bytes& chunk, std::uint64_t offset) {
+  for (std::size_t i = 0; i < chunk.size(); ++i)
+    chunk[i] = static_cast<std::uint8_t>((offset + i) * 131 + 7);
+}
+
+/// Delay from now until trace instant `at_s` (clamped: bursts whose recorded
+/// time already passed — e.g. a handshake delayed by an attack — fire
+/// immediately, preserving the flow's total byte count).
+Duration until(const sim::Scheduler& scheduler, TimePoint epoch, double at_s) {
+  TimePoint target = epoch + Duration::seconds(at_s);
+  TimePoint now = scheduler.now();
+  return target > now ? target - now : Duration::zero();
+}
+
+}  // namespace
+
+// --------------------------------------------------------- TraceReplayServer
+
+struct TraceReplayServer::PerConnection {
+  /// Schedule paired at accept; nullptr for spurious connections beyond the
+  /// plan. Points into the shared plan, which outlives every snapshot.
+  const trace::FlowSchedule* flow = nullptr;
+};
+
+TraceReplayServer::TraceReplayServer(tcp::TcpStack& stack, std::uint16_t port,
+                                     std::shared_ptr<const trace::ReplayPlan> plan)
+    : stack_(stack), plan_(std::move(plan)), epoch_(stack.node().scheduler().now()) {
+  stack_.listen(port, [this](tcp::TcpEndpoint& ep) {
+    auto state = std::make_shared<PerConnection>();
+    if (connections_accepted_ < plan_->flows.size())
+      state->flow = &plan_->flows[connections_accepted_];
+    ++connections_accepted_;
+    registry_.push_back(state);
+    tcp::TcpCallbacks cb;
+    cb.on_established = [this, &ep, state] { play_flow(&ep, state); };
+    cb.on_remote_close = [&ep] { ep.close(); };
+    return cb;
+  });
+}
+
+void TraceReplayServer::play_flow(tcp::TcpEndpoint* endpoint,
+                                  std::shared_ptr<PerConnection> state) {
+  if (state->flow == nullptr) return;
+  sim::Scheduler& scheduler = stack_.node().scheduler();
+  // One timer per burst, at the burst's absolute trace instant. Offsets are
+  // prefix sums, fixed by the plan — no mutable per-burst state, so a
+  // restored snapshot replays the identical bytes.
+  std::uint64_t offset = 0;
+  for (const trace::FlowTransfer& t : state->flow->transfers) {
+    if (t.server_bytes == 0) continue;
+    const std::uint64_t burst_offset = offset;
+    const std::uint64_t n = t.server_bytes;
+    scheduler.schedule_in(until(scheduler, epoch_, t.at_s), [endpoint, burst_offset, n] {
+      if (endpoint->released()) return;
+      Bytes chunk(static_cast<std::size_t>(n));
+      fill_replay_pattern(chunk, burst_offset);
+      endpoint->send(chunk);
+    });
+    offset += n;
+  }
+}
+
+TraceReplayServer::Snapshot TraceReplayServer::capture() const {
+  Snapshot snap;
+  snap.connections_accepted = connections_accepted_;
+  snap.conns = registry_;
+  return snap;
+}
+
+void TraceReplayServer::restore(const Snapshot& snap) {
+  connections_accepted_ = snap.connections_accepted;
+  registry_ = snap.conns;
+}
+
+// --------------------------------------------------------- TraceReplayClient
+
+struct TraceReplayClient::PerFlow {
+  bool opened = false;
+  bool established = false;
+  bool reset = false;
+  bool closed = false;  ///< scheduled close fired
+  std::uint64_t bytes_received = 0;
+  tcp::TcpEndpoint* endpoint = nullptr;
+};
+
+TraceReplayClient::TraceReplayClient(tcp::TcpStack& stack, sim::Address server,
+                                     std::uint16_t port,
+                                     std::shared_ptr<const trace::ReplayPlan> plan,
+                                     std::optional<Duration> exit_after)
+    : stack_(stack),
+      server_(server),
+      port_(port),
+      plan_(std::move(plan)),
+      epoch_(stack.node().scheduler().now()) {
+  sim::Scheduler& scheduler = stack_.node().scheduler();
+  flows_.reserve(plan_->flows.size());
+  for (std::size_t i = 0; i < plan_->flows.size(); ++i) {
+    flows_.push_back(std::make_shared<PerFlow>());
+    scheduler.schedule_in(until(scheduler, epoch_, plan_->flows[i].open_at_s),
+                          [this, i] { open_flow(i); });
+  }
+  if (exit_after.has_value()) {
+    scheduler.schedule_in(*exit_after, [this] {
+      exited_ = true;
+      for (const auto& flow : flows_)
+        if (flow->endpoint != nullptr && !flow->endpoint->released())
+          flow->endpoint->app_exit();
+    });
+  }
+}
+
+void TraceReplayClient::open_flow(std::size_t index) {
+  if (exited_) return;
+  const trace::FlowSchedule& schedule = plan_->flows[index];
+  std::shared_ptr<PerFlow> state = flows_[index];
+  sim::Scheduler& scheduler = stack_.node().scheduler();
+
+  tcp::TcpCallbacks cb;
+  cb.on_established = [this, index, state] {
+    state->established = true;
+    sim::Scheduler& scheduler = stack_.node().scheduler();
+    // Client bursts are scheduled at establish time so a delayed handshake
+    // pushes them to "now" instead of silently dropping them.
+    const trace::FlowSchedule& flow = plan_->flows[index];
+    std::uint64_t offset = 0;
+    for (const trace::FlowTransfer& t : flow.transfers) {
+      if (t.client_bytes == 0) continue;
+      const std::uint64_t burst_offset = offset;
+      const std::uint64_t n = t.client_bytes;
+      scheduler.schedule_in(until(scheduler, epoch_, t.at_s), [this, state, burst_offset, n] {
+        if (exited_ || state->endpoint == nullptr || state->endpoint->released()) return;
+        Bytes chunk(static_cast<std::size_t>(n));
+        fill_replay_pattern(chunk, burst_offset);
+        state->endpoint->send(chunk);
+      });
+      offset += n;
+    }
+  };
+  cb.on_data = [state](const Bytes& chunk) { state->bytes_received += chunk.size(); };
+  cb.on_reset = [state] { state->reset = true; };
+  cb.on_remote_close = [state] {
+    if (state->endpoint != nullptr && !state->endpoint->released()) state->endpoint->close();
+  };
+  state->endpoint = &stack_.connect(server_, port_, std::move(cb));
+  state->opened = true;
+  ++flows_opened_;
+
+  if (schedule.close_at_s.has_value()) {
+    scheduler.schedule_in(until(scheduler, epoch_, *schedule.close_at_s), [this, state] {
+      state->closed = true;
+      if (exited_ || state->endpoint == nullptr || state->endpoint->released()) return;
+      state->endpoint->close();
+    });
+  }
+}
+
+std::uint64_t TraceReplayClient::bytes_received() const {
+  std::uint64_t total = 0;
+  for (const auto& flow : flows_) total += flow->bytes_received;
+  return total;
+}
+
+bool TraceReplayClient::established() const {
+  for (const auto& flow : flows_)
+    if (flow->established) return true;
+  return false;
+}
+
+bool TraceReplayClient::reset() const {
+  for (const auto& flow : flows_)
+    if (flow->reset) return true;
+  return false;
+}
+
+TraceReplayClient::Snapshot TraceReplayClient::capture() const {
+  Snapshot snap;
+  snap.exited = exited_;
+  snap.flows_opened = flows_opened_;
+  snap.flows.reserve(flows_.size());
+  for (const auto& flow : flows_)
+    snap.flows.push_back(Snapshot::Flow{flow, flow->opened, flow->established, flow->reset,
+                                        flow->closed, flow->bytes_received, flow->endpoint});
+  return snap;
+}
+
+void TraceReplayClient::restore(const Snapshot& snap) {
+  exited_ = snap.exited;
+  flows_opened_ = snap.flows_opened;
+  for (const auto& f : snap.flows) {
+    f.object->opened = f.opened;
+    f.object->established = f.established;
+    f.object->reset = f.reset;
+    f.object->closed = f.closed;
+    f.object->bytes_received = f.bytes_received;
+    f.object->endpoint = f.endpoint;
+  }
+}
+
+}  // namespace snake::apps

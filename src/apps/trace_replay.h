@@ -1,0 +1,112 @@
+// Trace-replay applications over TCP: the client opens one connection per
+// flow of a trace::ReplayPlan at the flow's recorded open time, both sides
+// push their recorded byte bursts at the recorded instants, and the client
+// closes flows that have a close record. This swaps the paper's synthetic
+// bulk-download workload for traffic shaped like a recorded deployment
+// while keeping trials bit-reproducible: every action is driven off the
+// deterministic scheduler, so the same (plan, seed, strategy) replays
+// identically on every backend.
+//
+// Pairing: the server matches its k-th accepted connection with the k-th
+// flow of the plan (plan order == client open order). Honest runs pair
+// exactly; an attack that drops or reorders handshakes can shift the
+// pairing, which is fine — the perturbed workload is still deterministic
+// for that strategy, and a real server would not know flow identities
+// either. Spurious connections beyond the plan (e.g. forged SYNs) are
+// accepted with an empty schedule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "tcp/stack.h"
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace snake::apps {
+
+/// Server half: accepts on `port`, plays each paired flow's `recv` bursts
+/// (server -> client bytes) at their recorded times, closes when the client
+/// does.
+class TraceReplayServer {
+ public:
+  TraceReplayServer(tcp::TcpStack& stack, std::uint16_t port,
+                    std::shared_ptr<const trace::ReplayPlan> plan);
+
+  std::uint64_t connections_accepted() const { return connections_accepted_; }
+
+  struct PerConnection;
+
+  /// Same discipline as BulkHttpServer::Snapshot: per-connection state lives
+  /// in shared objects referenced by scheduler closures; restore writes the
+  /// frozen values back INTO those objects.
+  struct Snapshot {
+    std::uint64_t connections_accepted = 0;
+    std::vector<std::shared_ptr<PerConnection>> conns;
+  };
+  Snapshot capture() const;
+  void restore(const Snapshot& snap);
+
+ private:
+  void play_flow(tcp::TcpEndpoint* endpoint, std::shared_ptr<PerConnection> state);
+
+  tcp::TcpStack& stack_;
+  std::shared_ptr<const trace::ReplayPlan> plan_;
+  TimePoint epoch_;  ///< trace t=0 in scheduler time (construction instant)
+  std::uint64_t connections_accepted_ = 0;
+  std::vector<std::shared_ptr<PerConnection>> registry_;
+};
+
+/// Client half: opens the plan's flows at their recorded times, plays each
+/// flow's `send` bursts, closes at the recorded close instant, and counts
+/// server bytes received across all flows (the campaign detector's
+/// target-performance signal). If `exit_after` is set, the client process
+/// "dies" at that instant: every live connection app_exit()s and no further
+/// flows open — the trace-workload analogue of wget being killed
+/// mid-download, preserving reachability of teardown-phase attacks.
+class TraceReplayClient {
+ public:
+  TraceReplayClient(tcp::TcpStack& stack, sim::Address server, std::uint16_t port,
+                    std::shared_ptr<const trace::ReplayPlan> plan,
+                    std::optional<Duration> exit_after = std::nullopt);
+
+  /// Total server->client payload bytes delivered across all flows.
+  std::uint64_t bytes_received() const;
+  /// True once any flow completed its handshake / was reset.
+  bool established() const;
+  bool reset() const;
+  std::uint64_t flows_opened() const { return flows_opened_; }
+
+  struct PerFlow;
+
+  struct Snapshot {
+    bool exited = false;
+    std::uint64_t flows_opened = 0;
+    struct Flow {
+      std::shared_ptr<PerFlow> object;
+      bool opened = false, established = false, reset = false, closed = false;
+      std::uint64_t bytes_received = 0;
+      tcp::TcpEndpoint* endpoint = nullptr;
+    };
+    std::vector<Flow> flows;
+  };
+  Snapshot capture() const;
+  void restore(const Snapshot& snap);
+
+ private:
+  void open_flow(std::size_t index);
+
+  tcp::TcpStack& stack_;
+  sim::Address server_;
+  std::uint16_t port_;
+  std::shared_ptr<const trace::ReplayPlan> plan_;
+  TimePoint epoch_;
+  bool exited_ = false;
+  std::uint64_t flows_opened_ = 0;
+  /// One entry per plan flow, created at construction (fixed registry).
+  std::vector<std::shared_ptr<PerFlow>> flows_;
+};
+
+}  // namespace snake::apps

@@ -264,6 +264,15 @@ void write_scenario(obs::JsonWriter& w, const core::ScenarioConfig& s) {
   w.begin_object();
   w.key("protocol").value(core::to_string(s.protocol));
   w.key("tcp_profile").value(s.tcp_profile.name);
+  // Trace workloads ship the raw trace text so workers rebuild the identical
+  // replay plan; bulk workloads omit the keys, keeping the historic encoding
+  // byte-stable (absent keys parse as kBulk).
+  if (s.workload == core::Workload::kTrace) {
+    w.key("workload").value("trace");
+    w.key("trace_text").value(s.trace_text);
+    w.key("trace_max_flows").value(static_cast<std::uint64_t>(s.trace_max_flows));
+    w.key("trace_time_scale").value(s.trace_time_scale);
+  }
   w.key("test_duration_ns").value(s.test_duration.ns());
   w.key("download_bytes").value(s.download_bytes);
   w.key("client1_exit_fraction").value(s.client1_exit_fraction);
@@ -313,6 +322,18 @@ std::optional<core::ScenarioConfig> parse_scenario(const obs::JsonValue& v) {
   // would silently test the wrong implementation. The ready-message baseline
   // cross-check would catch it, but reject early and loudly instead.
   if (!profile_found && s.protocol == core::Protocol::kTcp) return std::nullopt;
+  const std::string workload = str_field(v, "workload");
+  if (workload == "trace") {
+    s.workload = core::Workload::kTrace;
+    s.trace_text = str_field(v, "trace_text");
+    s.trace_max_flows =
+        static_cast<std::size_t>(u64_field(v, "trace_max_flows", s.trace_max_flows));
+    s.trace_time_scale = num_field(v, "trace_time_scale", s.trace_time_scale);
+  } else if (!workload.empty() && workload != "bulk") {
+    // An unknown workload cannot be reconstructed; reject like an unknown
+    // profile rather than silently running the wrong traffic.
+    return std::nullopt;
+  }
   s.test_duration = Duration::nanos(i64_field(v, "test_duration_ns", 0));
   s.download_bytes = u64_field(v, "download_bytes", s.download_bytes);
   s.client1_exit_fraction = num_field(v, "client1_exit_fraction", s.client1_exit_fraction);

@@ -5,26 +5,36 @@
 namespace snake::packet {
 
 const char* tcp_format_dsl() {
-  return R"(# TCP header, RFC 793 (20 bytes, options not modeled)
+  return R"(# TCP header, RFC 793 (20-byte fixed part; options follow to data_offset*4).
+# The two top reserved bits mirror option-carried indications so the
+# fixed-offset classifier sees them without parsing options: dsack_flag is
+# the RFC 2883 duplicate indication, sack_flag marks a segment carrying
+# SACK blocks (RFC 2018).
 header tcp 20 {
   src_port    : 16 port;
   dst_port    : 16 port;
   seq         : 32 sequence;
   ack         : 32 sequence;
   data_offset :  4 length;
-  reserved    :  6;
+  dsack_flag  :  1;
+  sack_flag   :  1;
+  reserved    :  4;
   flags       :  6 flags;
   window      : 16 window;
   checksum    : 16 checksum;
   urgent_ptr  : 16;
 }
-# Exact-match flag combinations, most specific first.
+# First match wins. Handshake/teardown flags outrank the SACK indication —
+# a FIN+ACK that happens to carry SACK blocks must still drive the FIN
+# transitions in the state tracker — so SACK only captures pure (PSH+)ACK
+# segments carrying blocks, i.e. the dupacks that feed a sender scoreboard.
 type SYN+ACK  flags mask 0x3f value 0x12;
 type SYN      flags mask 0x3f value 0x02;
 type FIN+ACK  flags mask 0x3f value 0x11;
 type FIN      flags mask 0x3f value 0x01;
 type RST+ACK  flags mask 0x3f value 0x14;
 type RST      flags mask 0x3f value 0x04;
+type SACK     sack_flag mask 0x1 value 0x1;
 type PSH+ACK  flags mask 0x3f value 0x18;
 type ACK      flags mask 0x3f value 0x10;
 )";

@@ -1,7 +1,10 @@
-// Canonical TCP header description (RFC 793 layout, 20 bytes, no options).
+// Canonical TCP header description (RFC 793 fixed layout, 20 bytes; option
+// bytes may follow up to data_offset*4).
 //
 // Flag-combination packet types mirror how the paper distinguishes TCP
-// packets: SYN, SYN+ACK, ACK, PSH+ACK, FIN+ACK, FIN, RST, RST+ACK. Packets
+// packets: SYN, SYN+ACK, ACK, PSH+ACK, FIN+ACK, FIN, RST, RST+ACK — plus
+// SACK for segments carrying RFC 2018 SACK blocks (mirrored into the
+// sack_flag reserved bit so classification stays fixed-offset). Packets
 // with other (possibly nonsensical) flag combinations classify as "unknown",
 // which is exactly the class the "Packets with Invalid Flags" attack lives
 // in.
@@ -32,5 +35,19 @@ const HeaderFormat& tcp_format();
 const Codec& tcp_codec();
 
 constexpr std::size_t kTcpHeaderBytes = 20;
+
+/// Largest legal TCP header (data_offset = 15 words): fixed part + options.
+constexpr std::size_t kTcpMaxHeaderBytes = 60;
+
+/// Reserved-field bits (6-bit field between data_offset and flags) used as
+/// model mirrors of option-carried indications.
+constexpr std::uint8_t kTcpDsackReservedBit = 0x20;  ///< RFC 2883 duplicate hint
+constexpr std::uint8_t kTcpSackReservedBit = 0x10;   ///< segment carries SACK blocks
+
+/// TCP option kinds the segment layer parses/emits (RFC 793/2018).
+constexpr std::uint8_t kTcpOptEol = 0;
+constexpr std::uint8_t kTcpOptNop = 1;
+constexpr std::uint8_t kTcpOptSackPermitted = 4;
+constexpr std::uint8_t kTcpOptSack = 5;
 
 }  // namespace snake::packet

@@ -307,6 +307,14 @@ std::uint64_t campaign_identity_hash(const CampaignConfig& config) {
   h.u64(s.event_budget);
   h.f64(s.wall_limit_seconds);
   h.b(s.faults != nullptr);
+  // Trace-replay workloads fold the full workload definition in; the bulk
+  // workload appends nothing so historic identities are unchanged.
+  if (s.workload == Workload::kTrace) {
+    h.str("workload=trace");
+    h.str(s.trace_text);
+    h.u64(s.trace_max_flows);
+    h.f64(s.trace_time_scale);
+  }
   h.f64(config.detect_threshold);
   h.u64(config.retest_seed_offset);
   h.u64(config.trial_attempts);

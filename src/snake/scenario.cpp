@@ -10,6 +10,10 @@ const char* to_string(Protocol protocol) {
   return protocol == Protocol::kTcp ? "tcp" : "dccp";
 }
 
+const char* to_string(Workload workload) {
+  return workload == Workload::kBulk ? "bulk" : "trace";
+}
+
 namespace {
 
 // The scenario bodies (graph construction, run, metric harvest) live in

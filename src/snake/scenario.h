@@ -37,6 +37,15 @@ enum class Protocol { kTcp, kDccp };
 
 const char* to_string(Protocol protocol);
 
+/// Application workload driving the target (proxied) connection. kBulk is
+/// the paper's synthetic large download; kTrace replays a recorded
+/// per-flow schedule (src/trace) against the same attack machinery. The
+/// competing connection always runs the bulk workload so the detector's
+/// fairness baseline stays comparable across workloads.
+enum class Workload { kBulk, kTrace };
+
+const char* to_string(Workload workload);
+
 struct ScenarioConfig {
   Protocol protocol = Protocol::kTcp;
 
@@ -52,6 +61,15 @@ struct ScenarioConfig {
   // mid-download), which is what makes teardown-phase attacks reachable.
   std::uint64_t download_bytes = 1ULL << 30;  ///< effectively unbounded
   double client1_exit_fraction = 0.6;         ///< of test_duration
+
+  // Trace-replay workload (TCP only; used when workload == kTrace). The
+  // trace travels as text — including over the dist wire — so every worker
+  // rebuilds the identical ReplayPlan; its content is folded into the
+  // campaign identity hash.
+  Workload workload = Workload::kBulk;
+  std::string trace_text;           ///< snake-trace/v1 file contents
+  std::size_t trace_max_flows = 8;  ///< deterministic down-sample cap (0 = all)
+  double trace_time_scale = 1.0;    ///< timestamp multiplier
 
   // DCCP workload: iperf-like CBR stream client->server, closing after
   // data_fraction of the test so the teardown phase is exercised.

@@ -121,11 +121,41 @@ void TcpWorld::init(ScenarioArena& arena, const ScenarioConfig& config,
   if (config.inspector != nullptr) net.network().enable_trace();
   if (after_proxy) after_proxy(*proxy);
 
-  http1.emplace(*rig.server1, kHttpPort, config.download_bytes);
-  http2.emplace(*rig.server2, kHttpPort, config.download_bytes);
+  // Construction order (target server, competing server, target client,
+  // competing client) is part of the deterministic event sequence: the
+  // clients push their first packets synchronously at build time.
+  const bool trace_workload = config.workload == Workload::kTrace;
   Duration exit_after =
       Duration::seconds(config.test_duration.to_seconds() * config.client1_exit_fraction);
-  wget1.emplace(*rig.client1, sim::DumbbellAddresses::kServer1, kHttpPort, exit_after);
+  http1.reset();
+  wget1.reset();
+  trace_server.reset();
+  trace_client.reset();
+  trace_plan.reset();
+  if (trace_workload) {
+    // Rebuild the plan from the trace text — a pure function, so every
+    // worker (and every snapshot-forked replay) drives the same schedule. A
+    // malformed trace degrades to an empty plan: deterministic zero-flow
+    // runs rather than a mid-campaign throw (benches validate at load).
+    trace::ReplayOptions opts;
+    opts.max_flows = config.trace_max_flows;
+    opts.seed = config.seed;
+    opts.time_scale = config.trace_time_scale;
+    std::optional<trace::ParsedTrace> parsed = trace::parse_trace(config.trace_text);
+    auto plan = std::make_shared<trace::ReplayPlan>();
+    if (parsed.has_value()) *plan = trace::build_replay_plan(*parsed, opts);
+    trace_plan = std::move(plan);
+    trace_server.emplace(*rig.server1, kHttpPort, trace_plan);
+  } else {
+    http1.emplace(*rig.server1, kHttpPort, config.download_bytes);
+  }
+  http2.emplace(*rig.server2, kHttpPort, config.download_bytes);
+  if (trace_workload) {
+    trace_client.emplace(*rig.client1, sim::DumbbellAddresses::kServer1, kHttpPort, trace_plan,
+                         exit_after);
+  } else {
+    wget1.emplace(*rig.client1, sim::DumbbellAddresses::kServer1, kHttpPort, exit_after);
+  }
   wget2.emplace(*rig.client2, sim::DumbbellAddresses::kServer2, kHttpPort);
 
   end = net.scheduler().now() + config.test_duration;
@@ -136,11 +166,17 @@ RunMetrics TcpWorld::finish(const ScenarioConfig& config, bool attacked) {
   sim::Dumbbell& net = *rig.net;
   RunMetrics m = finish_metrics(*proxy, end);
   finish_watchdog(m, net.scheduler(), config);
-  m.target_bytes = wget1->bytes_received();
+  if (trace_client.has_value()) {
+    m.target_bytes = trace_client->bytes_received();
+    m.target_established = trace_client->established();
+    m.target_reset = trace_client->reset();
+  } else {
+    m.target_bytes = wget1->bytes_received();
+    m.target_established = wget1->established();
+    m.target_reset = wget1->reset();
+  }
   m.competing_bytes = wget2->bytes_received();
-  m.target_established = wget1->established();
   m.competing_established = wget2->established();
-  m.target_reset = wget1->reset();
   m.competing_reset = wget2->reset();
   m.server1_stuck_sockets = rig.server1->open_sockets();
   m.server2_stuck_sockets = rig.server2->open_sockets();
@@ -163,9 +199,14 @@ bool TcpWorld::capture(Snapshot& out) const {
   out.server1 = rig.server1->capture();
   out.server2 = rig.server2->capture();
   out.proxy = proxy->capture();
-  out.http1 = http1->capture();
+  if (trace_server.has_value()) {
+    out.trace_server = trace_server->capture();
+    out.trace_client = trace_client->capture();
+  } else {
+    out.http1 = http1->capture();
+    out.wget1 = wget1->capture();
+  }
   out.http2 = http2->capture();
-  out.wget1 = wget1->capture();
   out.wget2 = wget2->capture();
   return true;
 }
@@ -194,9 +235,14 @@ void TcpWorld::restore(const Snapshot& snap) {
   rig.server1->restore(snap.server1);
   rig.server2->restore(snap.server2);
   proxy->restore(snap.proxy);
-  http1->restore(snap.http1);
+  if (trace_server.has_value()) {
+    trace_server->restore(snap.trace_server);
+    trace_client->restore(snap.trace_client);
+  } else {
+    http1->restore(snap.http1);
+    wget1->restore(snap.wget1);
+  }
   http2->restore(snap.http2);
-  wget1->restore(snap.wget1);
   wget2->restore(snap.wget2);
 }
 

@@ -15,6 +15,7 @@
 
 #include "apps/bulk_http.h"
 #include "apps/iperf_dccp.h"
+#include "apps/trace_replay.h"
 #include "proxy/attack_proxy.h"
 #include "snake/arena.h"
 #include "snake/scenario.h"
@@ -37,8 +38,15 @@ void drive_to_end(sim::Scheduler& scheduler, const ScenarioConfig& config, TimeP
 struct TcpWorld {
   ScenarioArena::TcpRig rig{};
   std::optional<proxy::AttackProxy> proxy;
+  // Target-connection apps: exactly one pair is engaged per init, selected
+  // by config.workload — bulk download (http1/wget1) or trace replay
+  // (trace_server/trace_client). The competing connection (http2/wget2)
+  // always runs bulk.
   std::optional<apps::BulkHttpServer> http1, http2;
   std::optional<apps::BulkHttpClient> wget1, wget2;
+  std::shared_ptr<const trace::ReplayPlan> trace_plan;
+  std::optional<apps::TraceReplayServer> trace_server;
+  std::optional<apps::TraceReplayClient> trace_client;
   TimePoint end;
 
   /// Builds (or rebuilds, resetting the arena) the full graph for `config`
@@ -70,6 +78,8 @@ struct TcpWorld {
     proxy::AttackProxy::Snapshot proxy;
     apps::BulkHttpServer::Snapshot http1, http2;
     apps::BulkHttpClient::Snapshot wget1, wget2;
+    apps::TraceReplayServer::Snapshot trace_server;
+    apps::TraceReplayClient::Snapshot trace_client;
   };
 
   /// Captures the world between two scheduler events. False when the

@@ -11,6 +11,22 @@ GeneratorConfig tcp_generator_config() {
   c.seq_field = "seq";
   c.sequence_space = 1ULL << 32;
   c.window_stride = 65535;  // the default receive window: Watson's insight
+  // The SACK mirror bits joined the header format later; keep them out of
+  // the base lie universe so historic campaigns replay unchanged.
+  c.lie_exclude_fields = {"dsack_flag", "sack_flag"};
+  return c;
+}
+
+GeneratorConfig tcp_sack_generator_config() {
+  GeneratorConfig c = tcp_generator_config();
+  // Forged SACK injections: the codec sets sack_flag from the packet type,
+  // so these parse as SACK-carrying ACKs on arrival. data_offset 5 keeps
+  // them option-free — the segment parser treats an empty option area as a
+  // blockless SACK header, the cheapest possible forgery.
+  c.inject_packet_types.push_back("SACK");
+  // SACK campaigns also lie about the mirror bits themselves (e.g. flipping
+  // dsack_flag on in-flight ACKs), so the exclusion list empties.
+  c.lie_exclude_fields.clear();
   return c;
 }
 
@@ -76,6 +92,9 @@ std::vector<Strategy> StrategyGenerator::strategies_for(const std::string& state
   if (config_.enable_lie) {
     for (const packet::FieldSpec& field : format_->fields()) {
       if (field.kind == packet::FieldKind::kChecksum) continue;  // auto-refreshed anyway
+      if (std::find(config_.lie_exclude_fields.begin(), config_.lie_exclude_fields.end(),
+                    field.name) != config_.lie_exclude_fields.end())
+        continue;
       auto add_lie = [&](LieSpec::Mode mode, std::uint64_t operand) {
         Strategy s = base(AttackAction::kLie, state, type, direction);
         s.lie = LieSpec{field.name, mode, operand};

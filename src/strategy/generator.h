@@ -33,6 +33,10 @@ struct GeneratorConfig {
   std::vector<double> batch_seconds = {2.0};
   bool enable_reflect = true;
   bool enable_lie = true;
+  /// Field names the lie generator skips. The base TCP universe excludes the
+  /// SACK mirror bits so pre-SACK campaigns and baselines stay reproducible;
+  /// tcp_sack_generator_config() clears this to put them in play.
+  std::vector<std::string> lie_exclude_fields;
 
   // Off-path attack configuration.
   std::vector<std::string> inject_packet_types;  ///< types to forge
@@ -46,6 +50,10 @@ struct GeneratorConfig {
 
 /// A sensible TCP configuration matching the protocol's specification.
 GeneratorConfig tcp_generator_config();
+/// tcp_generator_config() plus forged-SACK injection — the universe for
+/// campaigns over SACK-negotiating profiles. Kept separate so existing
+/// campaign results and baselines stay reproducible.
+GeneratorConfig tcp_sack_generator_config();
 /// Ditto for DCCP.
 GeneratorConfig dccp_generator_config();
 

@@ -87,7 +87,8 @@ void TcpEndpoint::connect() {
   arm_retransmit();
 }
 
-void TcpEndpoint::accept(Seq remote_isn) {
+void TcpEndpoint::accept(Seq remote_isn, bool peer_sack_permitted) {
+  sack_enabled_ = profile_->sack && peer_sack_permitted;
   irs_ = remote_isn;
   rcv_nxt_ = remote_isn + 1;
   iss_ = rng_.next_u32();
@@ -174,6 +175,7 @@ void TcpEndpoint::handle_syn_sent(const Segment& s) {
     return;
   }
   if (s.has(kTcpSyn) && s.has(kTcpAck)) {
+    sack_enabled_ = profile_->sack && s.sack_permitted;
     irs_ = s.seq;
     rcv_nxt_ = s.seq + 1;
     snd_una_ = s.ack;
@@ -190,6 +192,7 @@ void TcpEndpoint::handle_syn_sent(const Segment& s) {
   if (s.has(kTcpSyn)) {
     // Simultaneous open (also reachable via the proxy's reflect attack —
     // the TCP Simultaneous Open Attack of Guha & Mukherjee).
+    sack_enabled_ = profile_->sack && s.sack_permitted;
     irs_ = s.seq;
     rcv_nxt_ = s.seq + 1;
     set_state(TcpState::kSynRcvd);
@@ -270,7 +273,9 @@ void TcpEndpoint::handle_synchronized(const Segment& s) {
     // indication (RFC 2883) so the sender can tell duplication from loss.
     if (!s.has(kTcpRst)) {
       bool entirely_old = s.seq_len() > 0 && seq_leq(s.seq + s.seq_len(), rcv_nxt_);
-      send_ack(/*dsack=*/entirely_old);
+      SackBlock dup{s.seq, s.seq + s.seq_len()};
+      bool with_block = entirely_old && sack_enabled_ && profile_->dsack_blocks;
+      send_ack(/*dsack=*/entirely_old, with_block ? &dup : nullptr);
     }
     return;
   }
@@ -301,6 +306,10 @@ void TcpEndpoint::handle_synchronized(const Segment& s) {
 void TcpEndpoint::process_ack(const Segment& s) {
   std::size_t flight_before = flight_bytes();
 
+  bool saw_dsack_block = false;
+  bool sack_advanced = false;
+  if (sack_enabled_ && !s.sack_blocks.empty()) absorb_sack(s, saw_dsack_block, sack_advanced);
+
   if (seq_gt(s.ack, snd_nxt_)) {
     if (seq_leq(s.ack, snd_max_)) {
       // A late ACK for data sent before an RTO rewind: that data did arrive
@@ -322,6 +331,16 @@ void TcpEndpoint::process_ack(const Segment& s) {
     while (!push_points_.empty() && push_points_.front() <= acked_total_)
       push_points_.pop_front();
     snd_una_ = s.ack;
+    // Scoreboard ranges at or below the new cumulative ACK are spent.
+    if (!sacked_.empty()) {
+      auto it = sacked_.begin();
+      while (it != sacked_.end() && seq_leq(it->second, snd_una_)) it = sacked_.erase(it);
+      if (it != sacked_.end() && seq_lt(it->first, snd_una_)) {
+        Seq end = it->second;
+        sacked_.erase(it);
+        sacked_.emplace(snd_una_, end);
+      }
+    }
     snd_wnd_ = s.window;
     take_rtt_sample(s.ack);
     retries_ = 0;
@@ -380,13 +399,23 @@ void TcpEndpoint::process_ack(const Segment& s) {
   snd_wnd_ = s.window;
   if (s.ack == snd_una_ && s.payload.empty() && !s.has(kTcpFin) && flight_before > 0) {
     ++stats_.dup_acks_received;
-    if (s.dsack) ++stats_.dsack_acks_received;
-    if (cc_.on_dup_ack(s.dsack, flight_before)) {
+    // A DSACK indication arrives either as the coarse header bit or as a
+    // leading duplicate SACK block (RFC 2883); both mean "duplicate segment,
+    // not a hole" to the fast-retransmit counter.
+    bool dsack_indicated = s.dsack || saw_dsack_block;
+    if (dsack_indicated) ++stats_.dsack_acks_received;
+    if (cc_.on_dup_ack(dsack_indicated, flight_before)) {
       recover_ = snd_max_;
       ++stats_.fast_retransmits;
       SNAKE_DEBUG << node_.scheduler().now().to_seconds() << "s " << node_.name() << " fast-retransmit una=" << snd_una_ << " nxt=" << snd_nxt_
                   << " cwnd=" << cc_.cwnd() << " ssthresh=" << cc_.ssthresh();
       retransmit_one();
+    } else if (cc_.in_recovery() && sack_advanced) {
+      // SACK-driven recovery: each dupack that teaches the scoreboard
+      // something new plugs the next hole — this is also why forged SACK
+      // blocks are such an effective amplifier (each one buys a
+      // retransmission from an honest sender).
+      retransmit_next_hole();
     }
     try_send();  // recovery inflation may open the window
   }
@@ -406,17 +435,34 @@ void TcpEndpoint::process_payload(const Segment& s) {
   Seq seg_end = s.seq + static_cast<std::uint32_t>(s.payload.size());
   if (seq_leq(seg_end, rcv_nxt_)) {
     // Entirely duplicate data: acknowledge with a DSACK indication so the
-    // sender can tell duplication from loss (RFC 2883).
-    send_ack(/*dsack=*/true);
+    // sender can tell duplication from loss (RFC 2883). A dsack_blocks
+    // profile additionally reports the duplicate range as the leading SACK
+    // block.
+    SackBlock dup{s.seq, seg_end};
+    bool with_block = sack_enabled_ && profile_->dsack_blocks;
+    send_ack(/*dsack=*/true, with_block ? &dup : nullptr);
     return;
   }
   if (seq_gt(s.seq, rcv_nxt_)) {
     // Out of order: buffer (bounded by the receive buffer) and send a
-    // duplicate ACK pointing at the hole.
+    // duplicate ACK pointing at the hole. A reneging profile makes room by
+    // discarding already-buffered (and already-SACKed!) data furthest from
+    // the hole — RFC 2018 permits this, and it is exactly what breaks a
+    // sender that trusts its scoreboard unconditionally.
+    if (profile_->sack_renege && s.payload.size() <= config_.recv_buffer) {
+      while (!out_of_order_.empty() &&
+             out_of_order_bytes_ + s.payload.size() > config_.recv_buffer) {
+        auto last = std::prev(out_of_order_.end());
+        out_of_order_bytes_ -= last->second.size();
+        ++stats_.sack_reneges;
+        out_of_order_.erase(last);
+      }
+    }
     if (out_of_order_bytes_ + s.payload.size() <= config_.recv_buffer &&
         !out_of_order_.contains(s.seq)) {
       out_of_order_bytes_ += s.payload.size();
       out_of_order_[s.seq] = s.payload;
+      last_ooo_start_ = s.seq;
       ++stats_.ooo_buffered;
     } else {
       ++stats_.ooo_discarded;
@@ -455,6 +501,7 @@ void TcpEndpoint::process_payload(const Segment& s) {
     out_of_order_bytes_ -= it->second.size();
     it = out_of_order_.erase(it);
   }
+  if (out_of_order_.empty()) last_ooo_start_.reset();
   send_ack();
 }
 
@@ -491,7 +538,8 @@ void TcpEndpoint::process_fin(const Segment& s) {
 
 // ---------------------------------------------------------------- output
 
-void TcpEndpoint::emit(std::uint8_t flags, Seq seq, Bytes payload, bool dsack) {
+void TcpEndpoint::emit(std::uint8_t flags, Seq seq, Bytes payload, bool dsack,
+                       const SackBlock* dsack_block) {
   Segment s;
   s.src_port = config_.local_port;
   s.dst_port = config_.remote_port;
@@ -499,6 +547,12 @@ void TcpEndpoint::emit(std::uint8_t flags, Seq seq, Bytes payload, bool dsack) {
   s.flags = flags;
   s.dsack = dsack;
   if (flags & kTcpAck) s.ack = rcv_nxt_;
+  if (flags & kTcpSyn) {
+    s.sack_permitted = profile_->sack;  // RFC 2018 §2 negotiation
+  } else if (sack_enabled_ && (flags & kTcpAck) && !(flags & kTcpRst)) {
+    s.sack_blocks = receiver_sack_blocks(dsack_block);
+    stats_.sack_blocks_sent += s.sack_blocks.size();
+  }
   s.window = advertised_window();
   stats_.bytes_sent_wire += payload.size();
   s.payload = std::move(payload);
@@ -513,9 +567,108 @@ void TcpEndpoint::emit(std::uint8_t flags, Seq seq, Bytes payload, bool dsack) {
   node_.send_packet(std::move(p));
 }
 
-void TcpEndpoint::send_ack(bool dsack) {
+void TcpEndpoint::send_ack(bool dsack, const SackBlock* dsack_block) {
   if (dsack) ++stats_.dsack_acks_sent;
-  emit(kTcpAck, snd_nxt_, {}, dsack);
+  emit(kTcpAck, snd_nxt_, {}, dsack, dsack_block);
+}
+
+std::vector<SackBlock> TcpEndpoint::receiver_sack_blocks(const SackBlock* dsack_block) const {
+  std::vector<SackBlock> ranges;
+  for (const auto& [seq, data] : out_of_order_) {
+    Seq end = seq + static_cast<std::uint32_t>(data.size());
+    if (!ranges.empty() && seq_leq(seq, ranges.back().end)) {
+      if (seq_gt(end, ranges.back().end)) ranges.back().end = end;
+    } else {
+      ranges.push_back({seq, end});
+    }
+  }
+  // The range containing the most recent arrival goes first (RFC 2018 §4).
+  if (last_ooo_start_.has_value()) {
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+      if (seq_leq(ranges[i].start, *last_ooo_start_) &&
+          seq_lt(*last_ooo_start_, ranges[i].end)) {
+        std::rotate(ranges.begin(), ranges.begin() + static_cast<std::ptrdiff_t>(i),
+                    ranges.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        break;
+      }
+    }
+  }
+  if (dsack_block != nullptr) ranges.insert(ranges.begin(), *dsack_block);
+  if (ranges.size() > Segment::kMaxSackBlocks) ranges.resize(Segment::kMaxSackBlocks);
+  return ranges;
+}
+
+void TcpEndpoint::absorb_sack(const Segment& s, bool& saw_dsack, bool& advanced) {
+  auto covered = [this] {
+    std::uint64_t n = 0;
+    for (const auto& [start, end] : sacked_) n += static_cast<std::uint32_t>(end - start);
+    return n;
+  };
+  std::uint64_t before = covered();
+  std::uint32_t span = snd_max_ - snd_una_;
+  for (const SackBlock& raw : s.sack_blocks) {
+    ++stats_.sack_blocks_received;
+    // A block at or below the cumulative ACK is a DSACK duplicate report.
+    if (seq_leq(raw.end, s.ack)) {
+      saw_dsack = true;
+      continue;
+    }
+    Seq start = seq_lt(raw.start, snd_una_) ? snd_una_ : raw.start;
+    std::uint32_t off_start = start - snd_una_;
+    std::uint32_t off_end = raw.end - snd_una_;
+    // Reject empty, inverted, or never-sent ranges: a receiver cannot have
+    // seen data beyond snd_max_, so such blocks are forged (or stale) and
+    // must not poison the scoreboard.
+    if (off_end <= off_start || off_end > span) continue;
+    Seq merge_start = start;
+    Seq merge_end = raw.end;
+    auto it = sacked_.begin();
+    while (it != sacked_.end()) {
+      if (seq_lt(it->second, merge_start)) {
+        ++it;
+        continue;
+      }
+      if (seq_gt(it->first, merge_end)) break;
+      // Overlapping or adjacent: coalesce.
+      if (seq_lt(it->first, merge_start)) merge_start = it->first;
+      if (seq_gt(it->second, merge_end)) merge_end = it->second;
+      it = sacked_.erase(it);
+    }
+    sacked_.emplace(merge_start, merge_end);
+  }
+  advanced = covered() > before;
+}
+
+void TcpEndpoint::retransmit_next_hole() {
+  if (send_buf_.empty()) return;
+  Seq at = seq_lt(sack_retx_next_, snd_una_) ? snd_una_ : sack_retx_next_;
+  Seq hole_end = snd_nxt_;
+  for (const auto& [start, end] : sacked_) {
+    if (seq_leq(start, at) && seq_lt(at, end)) {
+      at = end;  // inside a SACKed range: the hole starts after it
+      hole_end = snd_nxt_;
+      continue;
+    }
+    if (seq_gt(start, at)) {
+      hole_end = start;
+      break;
+    }
+  }
+  if (seq_geq(at, snd_nxt_)) return;  // everything outstanding is SACKed
+  std::uint32_t offset = at - snd_una_;
+  if (offset >= send_buf_.size()) return;
+  std::size_t len = std::min({config_.mss, static_cast<std::size_t>(hole_end - at),
+                              send_buf_.size() - offset});
+  if (len == 0) return;
+  Bytes chunk(send_buf_.begin() + static_cast<std::ptrdiff_t>(offset),
+              send_buf_.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  ++stats_.retransmissions;
+  ++stats_.sack_retransmits;
+  timed_seq_.reset();
+  std::uint64_t start_off = acked_total_ + offset;
+  emit(covers_push_point(start_off, start_off + len) ? (kTcpPsh | kTcpAck) : kTcpAck, at,
+       std::move(chunk));
+  sack_retx_next_ = at + static_cast<std::uint32_t>(len);
 }
 
 void TcpEndpoint::send_rst(Seq seq, bool with_ack) {
@@ -640,6 +793,9 @@ void TcpEndpoint::on_retransmit_timeout() {
       break;
     default:
       if (flight_bytes() > 0 || (fin_sent_ && seq_leq(snd_una_, fin_seq_))) {
+        // RFC 2018 §8: after an RTO the sender must assume the receiver
+        // reneged — throw the scoreboard away and go-back-N.
+        sacked_.clear();
         cc_.on_rto(flight_bytes());
         // Go-back-N: everything past snd_una is presumed lost; rewind and
         // let slow start resend it (what real stacks do by marking the
@@ -673,10 +829,17 @@ void TcpEndpoint::retransmit_one() {
   std::size_t in_buf = send_buf_.size();
   if (in_buf > 0) {
     std::size_t len = std::min(config_.mss, in_buf);
+    // With a scoreboard, the first hole ends where the first SACKed range
+    // begins — no point retransmitting bytes the receiver already holds.
+    if (sack_enabled_ && !sacked_.empty()) {
+      std::uint32_t hole = sacked_.begin()->first - snd_una_;
+      if (hole > 0) len = std::min<std::size_t>(len, hole);
+    }
     Bytes chunk(send_buf_.begin(), send_buf_.begin() + static_cast<std::ptrdiff_t>(len));
     ++stats_.retransmissions;
     timed_seq_.reset();
     last_retx_end_ = snd_una_ + static_cast<std::uint32_t>(len);
+    if (sack_enabled_) sack_retx_next_ = last_retx_end_;
     emit(covers_push_point(acked_total_, acked_total_ + len) ? (kTcpPsh | kTcpAck) : kTcpAck,
          snd_una_, std::move(chunk));
   } else if (fin_sent_ && seq_leq(snd_una_, fin_seq_)) {
@@ -764,6 +927,10 @@ TcpEndpoint::Snapshot TcpEndpoint::capture_state() const {
   s.out_of_order = out_of_order_;
   s.out_of_order_bytes = out_of_order_bytes_;
   s.remote_fin_seen = remote_fin_seen_;
+  s.sack_enabled = sack_enabled_;
+  s.sacked = sacked_;
+  s.sack_retx_next = sack_retx_next_;
+  s.last_ooo_start = last_ooo_start_;
   s.cc = cc_;
   s.recover = recover_;
   s.last_retx_end = last_retx_end_;
@@ -803,6 +970,10 @@ void TcpEndpoint::restore_state(const Snapshot& snap) {
   out_of_order_ = snap.out_of_order;
   out_of_order_bytes_ = snap.out_of_order_bytes;
   remote_fin_seen_ = snap.remote_fin_seen;
+  sack_enabled_ = snap.sack_enabled;
+  sacked_ = snap.sacked;
+  sack_retx_next_ = snap.sack_retx_next;
+  last_ooo_start_ = snap.last_ooo_start;
   cc_ = *snap.cc;
   recover_ = snap.recover;
   last_retx_end_ = snap.last_retx_end;

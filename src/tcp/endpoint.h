@@ -67,6 +67,10 @@ struct TcpEndpointStats {
   std::uint64_t invalid_flag_responses = 0; ///< ...that we answered (fingerprint!)
   std::uint64_t ooo_buffered = 0;           ///< out-of-order segments buffered
   std::uint64_t ooo_discarded = 0;          ///< out-of-order segments discarded (buffer full)
+  std::uint64_t sack_blocks_sent = 0;       ///< SACK blocks emitted in ACK options
+  std::uint64_t sack_blocks_received = 0;   ///< SACK blocks seen by the sender side
+  std::uint64_t sack_retransmits = 0;       ///< hole retransmits driven by the scoreboard
+  std::uint64_t sack_reneges = 0;           ///< SACKed ranges later discarded (renege profile)
 };
 
 struct TcpEndpointConfig {
@@ -99,7 +103,8 @@ class TcpEndpoint {
   void connect();
 
   /// Passive open (server side); called by the stack on an incoming SYN.
-  void accept(Seq remote_isn);
+  /// `peer_sack_permitted` reflects the SYN's kind-4 option (RFC 2018 §2).
+  void accept(Seq remote_isn, bool peer_sack_permitted = false);
 
   /// Queues application data for transmission.
   void send(const Bytes& data);
@@ -144,6 +149,10 @@ class TcpEndpoint {
     std::map<Seq, Bytes, SeqCircularLess> out_of_order;
     std::size_t out_of_order_bytes = 0;
     bool remote_fin_seen = false;
+    bool sack_enabled = false;
+    std::map<Seq, Seq, SeqCircularLess> sacked;
+    Seq sack_retx_next = 0;
+    std::optional<Seq> last_ooo_start;
     std::optional<CongestionControl> cc;  ///< optional only for default-constructibility
     Seq recover = 0, last_retx_end = 0;
     std::optional<Duration> srtt;
@@ -179,6 +188,8 @@ class TcpEndpoint {
   std::size_t cwnd() const { return cc_.cwnd(); }
   Seq snd_nxt() const { return snd_nxt_; }
   Seq rcv_nxt() const { return rcv_nxt_; }
+  bool sack_enabled() const { return sack_enabled_; }
+  std::size_t sack_scoreboard_ranges() const { return sacked_.size(); }
 
  private:
   // Segment processing, in RFC 793 "segment arrives" order.
@@ -190,11 +201,24 @@ class TcpEndpoint {
   void process_payload(const Segment& s);
   void process_fin(const Segment& s);
 
+  // SACK (RFC 2018/2883).
+  /// Folds the ACK's SACK blocks into the sender scoreboard. `saw_dsack`
+  /// reports a leading duplicate block at or below the cumulative ACK;
+  /// `advanced` reports that the scoreboard now covers new sequence space.
+  void absorb_sack(const Segment& s, bool& saw_dsack, bool& advanced);
+  /// The SACK blocks the receiver side advertises right now: coalesced
+  /// out-of-order ranges, most recently changed first, optional leading
+  /// DSACK block, truncated to Segment::kMaxSackBlocks.
+  std::vector<SackBlock> receiver_sack_blocks(const SackBlock* dsack_block) const;
+  /// Retransmits the first scoreboard hole at or after sack_retx_next_.
+  void retransmit_next_hole();
+
   // Output.
   /// Takes the payload by value so data segments move their bytes straight
   /// into the Segment instead of re-copying ~MSS per packet on the hot path.
-  void emit(std::uint8_t flags, Seq seq, Bytes payload = {}, bool dsack = false);
-  void send_ack(bool dsack = false);
+  void emit(std::uint8_t flags, Seq seq, Bytes payload = {}, bool dsack = false,
+            const SackBlock* dsack_block = nullptr);
+  void send_ack(bool dsack = false, const SackBlock* dsack_block = nullptr);
   void send_rst(Seq seq, bool with_ack = false);
   void try_send();
   void send_fin_if_ready();
@@ -252,6 +276,14 @@ class TcpEndpoint {
   std::map<Seq, Bytes, SeqCircularLess> out_of_order_;  ///< wrap-safe ordering
   std::size_t out_of_order_bytes_ = 0;
   bool remote_fin_seen_ = false;
+
+  // SACK (RFC 2018/2883). Negotiated on the handshake; the sender scoreboard
+  // holds disjoint SACKed ranges strictly above snd_una_, coalesced and
+  // pruned as the cumulative ACK advances, cleared on RTO (reneging safety).
+  bool sack_enabled_ = false;
+  std::map<Seq, Seq, SeqCircularLess> sacked_;  ///< start -> end, wrap-safe order
+  Seq sack_retx_next_ = 0;  ///< next hole candidate in the current recovery
+  std::optional<Seq> last_ooo_start_;  ///< most recent out-of-order arrival
 
   // Congestion control & recovery.
   CongestionControl cc_;

@@ -61,9 +61,52 @@ const TcpProfile& windows_95_profile() {
   return profile;
 }
 
+const TcpProfile& sack_rfc2018_profile() {
+  static const TcpProfile profile = [] {
+    TcpProfile p;
+    p.name = "sack-rfc2018";
+    p.invalid_flags = InvalidFlagPolicy::kIgnore;
+    p.dsack_dupack_suppression = true;
+    p.rst_data_after_fin = true;
+    p.sack = true;
+    return p;
+  }();
+  return profile;
+}
+
+const TcpProfile& sack_renege_profile() {
+  static const TcpProfile profile = [] {
+    TcpProfile p;
+    p.name = "sack-renege";
+    p.invalid_flags = InvalidFlagPolicy::kIgnore;
+    p.dsack_dupack_suppression = true;
+    p.rst_data_after_fin = true;
+    p.sack = true;
+    p.sack_renege = true;
+    return p;
+  }();
+  return profile;
+}
+
+const TcpProfile& sack_dsack_profile() {
+  static const TcpProfile profile = [] {
+    TcpProfile p;
+    p.name = "sack-dsack";
+    p.invalid_flags = InvalidFlagPolicy::kIgnore;
+    p.dsack_dupack_suppression = true;
+    p.rst_data_after_fin = true;
+    p.sack = true;
+    p.dsack_blocks = true;
+    return p;
+  }();
+  return profile;
+}
+
 const std::vector<TcpProfile>& all_tcp_profiles() {
   static const std::vector<TcpProfile> profiles = {
-      linux_3_0_profile(), linux_3_13_profile(), windows_8_1_profile(), windows_95_profile()};
+      linux_3_0_profile(),    linux_3_13_profile(),  windows_8_1_profile(),
+      windows_95_profile(),   sack_rfc2018_profile(), sack_renege_profile(),
+      sack_dsack_profile()};
   return profiles;
 }
 

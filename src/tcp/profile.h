@@ -65,6 +65,22 @@ struct TcpProfile {
   /// to further incoming data with RST instead of acknowledging it.
   bool rst_data_after_fin = false;
 
+  /// Selective acknowledgments (RFC 2018): negotiate SACK-permitted on the
+  /// SYN, emit SACK blocks describing out-of-order data, and keep a sender
+  /// scoreboard so retransmissions skip SACKed ranges.
+  bool sack = false;
+
+  /// DSACK (RFC 2883): the first SACK block of an ACK triggered by a
+  /// duplicate segment reports the duplicate range (at or below the
+  /// cumulative ACK) instead of only setting the coarse dsack header bit.
+  bool dsack_blocks = false;
+
+  /// Reneging: under receive-buffer pressure the receiver discards data it
+  /// already SACKed. RFC 2018 permits this ("the data receiver MAY later
+  /// discard"), and it is exactly the behaviour that makes a sender who
+  /// trusts its scoreboard too much wedge a transfer.
+  bool sack_renege = false;
+
   /// Retransmission give-up threshold (Linux tcp_retries2 defaults to 15,
   /// which the paper cites as 13-30 minutes of stuck CLOSE_WAIT).
   int max_retries = 15;
@@ -92,7 +108,13 @@ const TcpProfile& linux_3_13_profile();
 const TcpProfile& windows_8_1_profile();
 const TcpProfile& windows_95_profile();
 
-/// All four, in Table I order.
+/// SACK-capable variants (not from the paper's Table I; they extend the
+/// attack surface to RFC 2018/2883 processing).
+const TcpProfile& sack_rfc2018_profile();  ///< conformant SACK + scoreboard
+const TcpProfile& sack_renege_profile();   ///< SACK but discards SACKed data
+const TcpProfile& sack_dsack_profile();    ///< SACK + DSACK blocks (RFC 2883)
+
+/// All profiles: the paper's four in Table I order, then the SACK variants.
 const std::vector<TcpProfile>& all_tcp_profiles();
 
 /// Lookup by name ("linux-3.0.0", ...); throws std::invalid_argument.

@@ -26,7 +26,11 @@ void TcpStack::reset(const TcpProfile& profile, snake::Rng rng) {
 
 TcpEndpoint& TcpStack::connect(sim::Address remote, std::uint16_t remote_port,
                                TcpCallbacks callbacks) {
-  TcpEndpointConfig config;
+  return connect(remote, remote_port, std::move(callbacks), TcpEndpointConfig{});
+}
+
+TcpEndpoint& TcpStack::connect(sim::Address remote, std::uint16_t remote_port,
+                               TcpCallbacks callbacks, TcpEndpointConfig config) {
   config.remote_addr = remote;
   config.remote_port = remote_port;
   config.local_port = next_ephemeral_port_++;
@@ -73,7 +77,7 @@ void TcpStack::on_packet(const sim::Packet& packet) {
       // The accept handler wires the application's callbacks before the
       // handshake reply goes out, so on_established can fire normally.
       ep.set_callbacks(listener->second(ep));
-      ep.accept(seg->seq);
+      ep.accept(seg->seq, seg->sack_permitted);
       return;
     }
   }

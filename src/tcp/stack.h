@@ -33,6 +33,12 @@ class TcpStack {
   /// stack's lifetime). The connection starts immediately.
   TcpEndpoint& connect(sim::Address remote, std::uint16_t remote_port, TcpCallbacks callbacks);
 
+  /// Active open with explicit endpoint tuning (MSS, receive buffer,
+  /// timers). The stack still assigns the connection 4-tuple — the addr and
+  /// port members of `config` are overwritten.
+  TcpEndpoint& connect(sim::Address remote, std::uint16_t remote_port, TcpCallbacks callbacks,
+                       TcpEndpointConfig config);
+
   /// Passive open: `on_accept` is invoked with each new connection's
   /// endpoint and must return the application callbacks for it.
   using AcceptHandler = std::function<TcpCallbacks(TcpEndpoint&)>;

@@ -196,6 +196,27 @@ std::vector<QuirkEntry> default_tcp_quirks() {
        "invalid_flags=kRstFirst: crafted flag combos can reset the handshake"},
       {"windows-8.1", "target_delivered",
        "invalid_flags=kRstFirst: crafted flag combos can kill the transfer"},
+      // SACK profiles: any dupack emitted while out-of-order data is
+      // buffered classifies as SACK instead of plain ACK, and scoreboard
+      // recovery retransmits holes instead of go-back-N — so under loss or
+      // reorder their packet-type mix and end-of-run progress legitimately
+      // differ from the SACK-less reference.
+      {"sack-rfc2018", "client_sent_types", "sack: dupacks with blocks classify as SACK"},
+      {"sack-rfc2018", "server_sent_types", "sack: dupacks with blocks classify as SACK"},
+      {"sack-rfc2018", "target_delivered", "sack: hole-directed recovery changes loss progress"},
+      {"sack-rfc2018", "competing_delivered", "sack: hole-directed recovery changes loss progress"},
+      {"sack-renege", "client_sent_types", "sack: dupacks with blocks classify as SACK"},
+      {"sack-renege", "server_sent_types", "sack: dupacks with blocks classify as SACK"},
+      {"sack-renege", "target_delivered",
+       "sack_renege: discarded SACKed data stalls recovery until RTO"},
+      {"sack-renege", "competing_delivered",
+       "sack_renege: discarded SACKed data stalls recovery until RTO"},
+      {"sack-dsack", "client_sent_types",
+       "dsack_blocks: duplicate reports ride as leading SACK blocks"},
+      {"sack-dsack", "server_sent_types",
+       "dsack_blocks: duplicate reports ride as leading SACK blocks"},
+      {"sack-dsack", "target_delivered", "sack: hole-directed recovery changes loss progress"},
+      {"sack-dsack", "competing_delivered", "sack: hole-directed recovery changes loss progress"},
   };
 }
 

@@ -8,6 +8,7 @@
 #include "sim/dumbbell.h"
 #include "sim/scheduler.h"
 #include "sim/trace.h"
+#include "tcp/segment.h"
 #include "tcp/seq.h"
 #include "util/strings.h"
 
@@ -84,7 +85,11 @@ void check_tcp_sequence_space(const sim::Trace& trace, OracleReport& report) {
     }
     // Data (and SYN/FIN, which occupy sequence space) must stay contiguous:
     // an honest sender never sends beyond the end of what it already sent.
-    std::size_t payload = raw.size() - header;
+    // Payload starts at data_offset*4, not at the fixed header end — SACK
+    // option bytes are header, not sequence space.
+    std::size_t header_len = static_cast<std::size_t>(codec.get(raw, "data_offset")) * 4;
+    if (header_len < header || header_len > raw.size()) header_len = header;
+    std::size_t payload = raw.size() - header_len;
     std::uint32_t advance = static_cast<std::uint32_t>(payload) +
                             ((flags & kSyn) != 0 ? 1u : 0u) + ((flags & kFin) != 0 ? 1u : 0u);
     if (advance == 0) continue;
@@ -97,6 +102,57 @@ void check_tcp_sequence_space(const sim::Trace& trace, OracleReport& report) {
     tcp::Seq end = seq + advance;
     if (!flow.have_data || tcp::seq_gt(end, flow.send_next)) flow.send_next = end;
     flow.have_data = true;
+  }
+}
+
+void check_tcp_sack_legality(const sim::Trace& trace, OracleReport& report) {
+  const packet::Codec& codec = packet::tcp_codec();
+  const std::size_t header = codec.format().header_bytes();
+  // The stacks advertise un-scaled 16-bit windows, so no legal SACK block
+  // can reach further than this past the cumulative ACK.
+  constexpr std::uint32_t kMaxWindow = 65535;
+  for (const sim::TraceEntry& e : trace.entries()) {
+    if (e.kind != sim::TraceKind::kSend) continue;
+    if (e.packet.protocol != sim::kProtoTcp) continue;
+    if (e.packet.bytes.size() < header) continue;
+    if (codec.get(e.packet.bytes, "sack_flag") == 0) continue;
+    std::optional<tcp::Segment> seg = tcp::parse_segment(e.packet.bytes);
+    if (!seg.has_value()) {
+      report.add(str_format("sack: %s %u->%u flags a SACK segment that fails to parse at t=%.6f",
+                            e.where.c_str(), e.packet.src, e.packet.dst, e.at.to_seconds()));
+      return;
+    }
+    for (std::size_t i = 0; i < seg->sack_blocks.size(); ++i) {
+      const tcp::SackBlock& b = seg->sack_blocks[i];
+      std::uint32_t width = b.end - b.start;
+      if (width == 0 || width > kMaxWindow) {
+        report.add(str_format("sack: %s %u->%u block %zu [%u,%u) empty or wider than the "
+                              "maximum window at t=%.6f",
+                              e.where.c_str(), e.packet.src, e.packet.dst, i, b.start, b.end,
+                              e.at.to_seconds()));
+        return;
+      }
+      bool dsack_block = tcp::seq_leq(b.end, seg->ack);
+      if (dsack_block) {
+        // RFC 2883: a duplicate report at or below the cumulative ACK is
+        // only legal as the first block.
+        if (i != 0) {
+          report.add(str_format("sack: %s %u->%u non-leading block %zu [%u,%u) below cumulative "
+                                "ack %u at t=%.6f",
+                                e.where.c_str(), e.packet.src, e.packet.dst, i, b.start, b.end,
+                                seg->ack, e.at.to_seconds()));
+          return;
+        }
+        continue;
+      }
+      if (tcp::seq_lt(b.start, seg->ack) || b.end - seg->ack > kMaxWindow) {
+        report.add(str_format("sack: %s %u->%u block %zu [%u,%u) outside the receive window "
+                              "above ack %u at t=%.6f",
+                              e.where.c_str(), e.packet.src, e.packet.dst, i, b.start, b.end,
+                              seg->ack, e.at.to_seconds()));
+        return;
+      }
+    }
   }
 }
 
@@ -166,7 +222,10 @@ void ScenarioOracles::on_run_complete(sim::Dumbbell& net, proxy::AttackProxy& at
   (void)attack_proxy;
   OracleReport local;
   check_clock_monotonic(net.network().trace(), local);
-  if (check_tcp_) check_tcp_sequence_space(net.network().trace(), local);
+  if (check_tcp_) {
+    check_tcp_sequence_space(net.network().trace(), local);
+    check_tcp_sack_legality(net.network().trace(), local);
+  }
   check_tracker_legality(machine_, metrics, local);
   const proxy::ProxyStats& stats = attack_proxy.stats();
   check_pool_balance(net.scheduler(), local,

@@ -60,6 +60,13 @@ void check_clock_monotonic(const sim::Trace& trace, OracleReport& report);
 /// arithmetic. RST segments are exempt (their sequence semantics differ).
 void check_tcp_sequence_space(const sim::Trace& trace, OracleReport& report);
 
+/// SACK-block legality over endpoint-emitted (kSend) TCP packets carrying
+/// SACK options: every block is non-empty and no wider than the maximum
+/// receive window; blocks other than a leading DSACK block sit strictly
+/// above the cumulative ACK; a DSACK duplicate report (RFC 2883) sits at or
+/// below it and may only appear first.
+void check_tcp_sack_legality(const sim::Trace& trace, OracleReport& report);
+
 /// Every state named in the run's tracker output exists in `machine`.
 void check_tracker_legality(const statemachine::StateMachine& machine,
                             const core::RunMetrics& metrics, OracleReport& report);

@@ -1,0 +1,268 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+#include "util/strings.h"
+
+namespace snake::trace {
+
+namespace {
+
+constexpr const char* kMagic = "snake-trace/v1";
+
+struct LineScanner {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+
+  /// Next line, stripped of trailing CR; nullopt at end of input.
+  std::optional<std::string> next() {
+    if (pos >= text.size()) return std::nullopt;
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  }
+};
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+bool parse_time(const std::string& tok, double& out) {
+  // Plain decimal seconds only: no inf/nan/hex, no trailing junk.
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) return false;
+  if (!std::isfinite(v) || v < 0.0) return false;
+  out = v;
+  return true;
+}
+
+bool parse_bytes(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty() || tok.size() > 19) return false;  // 19 digits < 2^63
+  std::uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v == 0) return false;  // a zero-byte burst is a malformed record
+  out = v;
+  return true;
+}
+
+void fail(std::string* error, std::size_t line_no, const char* what) {
+  if (error != nullptr) *error = str_format("trace line %zu: %s", line_no, what);
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+}  // namespace
+
+std::optional<ParsedTrace> parse_trace(const std::string& text, std::string* error) {
+  LineScanner scanner{text};
+  bool magic_seen = false;
+
+  // Per-flow running state for the ordering rules.
+  struct FlowState {
+    double last_at = 0.0;
+    bool closed = false;
+  };
+  std::map<std::string, FlowState> flows;
+
+  ParsedTrace out;
+  while (std::optional<std::string> line = scanner.next()) {
+    std::string significant = *line;
+    // '#' starts a comment; the magic line is itself a comment, so check it
+    // before stripping.
+    std::size_t first = significant.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (significant[first] == '#') {
+      if (!magic_seen) {
+        std::string body = significant.substr(first + 1);
+        std::size_t b = body.find_first_not_of(" \t");
+        if (b != std::string::npos &&
+            body.compare(b, std::string::npos, kMagic) == 0)
+          magic_seen = true;
+      }
+      continue;
+    }
+    if (!magic_seen) {
+      fail(error, scanner.line_no, "records before '# snake-trace/v1' magic");
+      return std::nullopt;
+    }
+
+    std::vector<std::string> tok = split_tokens(significant);
+    if (tok.size() < 3) {
+      fail(error, scanner.line_no, "expected '<time> <flow> <op> [bytes]'");
+      return std::nullopt;
+    }
+    TraceRecord rec;
+    if (!parse_time(tok[0], rec.at_s)) {
+      fail(error, scanner.line_no, "bad timestamp (non-negative decimal seconds)");
+      return std::nullopt;
+    }
+    rec.flow = tok[1];
+    const std::string& op = tok[2];
+    bool needs_bytes = false;
+    if (op == "open") {
+      rec.op = TraceOp::kOpen;
+    } else if (op == "close") {
+      rec.op = TraceOp::kClose;
+    } else if (op == "send") {
+      rec.op = TraceOp::kSend;
+      needs_bytes = true;
+    } else if (op == "recv") {
+      rec.op = TraceOp::kRecv;
+      needs_bytes = true;
+    } else {
+      fail(error, scanner.line_no, "unknown op (want open/send/recv/close)");
+      return std::nullopt;
+    }
+    if (needs_bytes) {
+      if (tok.size() != 4 || !parse_bytes(tok[3], rec.bytes)) {
+        fail(error, scanner.line_no, "send/recv need a positive byte count");
+        return std::nullopt;
+      }
+    } else if (tok.size() != 3) {
+      fail(error, scanner.line_no, "open/close take no byte count");
+      return std::nullopt;
+    }
+
+    auto it = flows.find(rec.flow);
+    if (rec.op == TraceOp::kOpen) {
+      if (it != flows.end()) {
+        fail(error, scanner.line_no, "duplicate open for flow");
+        return std::nullopt;
+      }
+      flows.emplace(rec.flow, FlowState{rec.at_s, false});
+      ++out.flow_count;
+    } else {
+      if (it == flows.end()) {
+        fail(error, scanner.line_no, "record for flow before its open");
+        return std::nullopt;
+      }
+      if (it->second.closed) {
+        fail(error, scanner.line_no, "record for flow after its close");
+        return std::nullopt;
+      }
+      if (rec.at_s < it->second.last_at) {
+        fail(error, scanner.line_no, "flow timestamps must be non-decreasing");
+        return std::nullopt;
+      }
+      it->second.last_at = rec.at_s;
+      if (rec.op == TraceOp::kClose) it->second.closed = true;
+    }
+    out.records.push_back(std::move(rec));
+  }
+  if (!magic_seen) {
+    fail(error, scanner.line_no, "missing '# snake-trace/v1' magic line");
+    return std::nullopt;
+  }
+  return out;
+}
+
+ReplayPlan build_replay_plan(const ParsedTrace& trace, const ReplayOptions& options) {
+  const double scale = options.time_scale > 0.0 ? options.time_scale : 1.0;
+
+  // Fold records into per-flow schedules, keyed by id (records already
+  // validated per-flow ordered).
+  std::map<std::string, FlowSchedule> by_id;
+  for (const TraceRecord& rec : trace.records) {
+    FlowSchedule& f = by_id[rec.flow];
+    switch (rec.op) {
+      case TraceOp::kOpen:
+        f.id = rec.flow;
+        f.open_at_s = rec.at_s * scale;
+        break;
+      case TraceOp::kClose:
+        f.close_at_s = rec.at_s * scale;
+        break;
+      case TraceOp::kSend: {
+        FlowTransfer t;
+        t.at_s = rec.at_s * scale;
+        t.client_bytes = rec.bytes;
+        f.transfers.push_back(t);
+        f.total_client_bytes += rec.bytes;
+        break;
+      }
+      case TraceOp::kRecv: {
+        FlowTransfer t;
+        t.at_s = rec.at_s * scale;
+        t.server_bytes = rec.bytes;
+        f.transfers.push_back(t);
+        f.total_server_bytes += rec.bytes;
+        break;
+      }
+    }
+  }
+
+  std::vector<FlowSchedule> flows;
+  flows.reserve(by_id.size());
+  for (auto& [id, f] : by_id) flows.push_back(std::move(f));
+
+  // Keyed-hash down-sampling: rank flows by fnv1a(id) mixed with the seed so
+  // the kept subset is a property of the ids, never of file order, then
+  // re-sort survivors into open order.
+  if (options.max_flows > 0 && flows.size() > options.max_flows) {
+    auto rank = [&](const FlowSchedule& f) {
+      std::uint64_t h = fnv1a(kFnvOffset, f.id.data(), f.id.size());
+      std::uint64_t s = options.seed;
+      h = fnv1a(h, &s, sizeof s);
+      return h;
+    };
+    std::sort(flows.begin(), flows.end(), [&](const FlowSchedule& a, const FlowSchedule& b) {
+      std::uint64_t ra = rank(a), rb = rank(b);
+      if (ra != rb) return ra < rb;
+      return a.id < b.id;
+    });
+    flows.resize(options.max_flows);
+  }
+  std::sort(flows.begin(), flows.end(), [](const FlowSchedule& a, const FlowSchedule& b) {
+    if (a.open_at_s != b.open_at_s) return a.open_at_s < b.open_at_s;
+    return a.id < b.id;
+  });
+
+  ReplayPlan plan;
+  for (FlowSchedule& f : flows) {
+    plan.total_client_bytes += f.total_client_bytes;
+    plan.total_server_bytes += f.total_server_bytes;
+    double last = f.open_at_s;
+    if (!f.transfers.empty()) last = std::max(last, f.transfers.back().at_s);
+    if (f.close_at_s.has_value()) last = std::max(last, *f.close_at_s);
+    plan.horizon_s = std::max(plan.horizon_s, last);
+    plan.flows.push_back(std::move(f));
+  }
+  return plan;
+}
+
+std::uint64_t trace_text_hash(const std::string& text) {
+  return fnv1a(kFnvOffset, text.data(), text.size());
+}
+
+}  // namespace snake::trace

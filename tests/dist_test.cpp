@@ -64,6 +64,31 @@ core::CampaignConfig small_campaign() {
   return config;
 }
 
+/// A campaign over a SACK-negotiating profile, narrowed to the
+/// SACK-relevant universe (drop-100 plus SACK mirror-bit lies, no
+/// off-path). Mirrors sack_campaign() in snake_test.cpp, which asserts the
+/// discovery side; here it checks the distributed backend reproduces the
+/// thread pool bit for bit on the SACK-era universe too.
+core::CampaignConfig sack_campaign() {
+  core::CampaignConfig config;
+  config.scenario.protocol = core::Protocol::kTcp;
+  config.scenario.tcp_profile = tcp::sack_rfc2018_profile();
+  config.scenario.test_duration = Duration::seconds(8.0);
+  config.scenario.seed = 5;
+  config.generator = strategy::tcp_sack_generator_config();
+  config.generator.inject_packet_types.clear();
+  config.generator.drop_probabilities = {100.0};
+  config.generator.duplicate_counts.clear();
+  config.generator.delay_seconds.clear();
+  config.generator.batch_seconds.clear();
+  config.generator.enable_reflect = false;
+  config.generator.lie_exclude_fields = {"src_port", "dst_port", "seq",
+                                         "ack",      "data_offset", "reserved",
+                                         "flags",    "window",   "urgent_ptr"};
+  config.executors = 2;
+  return config;
+}
+
 /// The deterministic surface of a CampaignResult, as one comparable string.
 /// Metrics are excluded on purpose: wall-clock histograms never repeat, and
 /// workers legitimately run extra baselines. Everything else must match.
@@ -186,6 +211,29 @@ TEST(Distributed, MatchesSingleProcessCampaignExactly) {
   EXPECT_EQ(skipped, 0u);
   EXPECT_EQ(merged->seed, config.scenario.seed);
   EXPECT_EQ(merged->trials.size(), distributed.strategies_tried);
+}
+
+TEST(Distributed, SackCampaignMatchesSingleProcessExactly) {
+  // The SACK-profile campaign (tcp_sack_generator_config universe, SACK
+  // strategies in play) is as backend-independent as the classic one: the
+  // worker fleet reproduces the thread pool's discoveries — including the
+  // drop/SACK scoreboard-starvation attack — bit for bit.
+  core::CampaignConfig config = sack_campaign();
+  core::CampaignResult single = core::run_campaign(config);
+
+  bool sack_attack = false;
+  for (const core::StrategyOutcome& o : single.found)
+    if (o.strat.packet_type == "SACK") sack_attack = true;
+  EXPECT_TRUE(sack_attack) << "SACK campaign lost its SACK-specific discovery";
+
+  dist::DistOptions options;
+  options.workers = 2;
+  dist::DistributedBackend backend(options);
+  config.backend = &backend;
+  core::CampaignResult distributed = core::run_campaign(config);
+
+  EXPECT_EQ(result_fingerprint(single), result_fingerprint(distributed));
+  EXPECT_EQ(distributed.metrics.counter("campaign.backend_fallback"), 0u);
 }
 
 TEST(Distributed, SurvivesWorkerKilledMidCampaign) {

@@ -225,7 +225,10 @@ TEST_P(TcpBaselineAllProfiles, EstablishesAndTransfers) {
   EXPECT_GT(m.target_bytes, 500000u) << profile.name;
 }
 
-INSTANTIATE_TEST_SUITE_P(Profiles, TcpBaselineAllProfiles, ::testing::Values(0, 1, 2, 3));
+// All seven profiles: the four classic stacks plus the three SACK variants
+// (sack-rfc2018, sack-renege, sack-dsack).
+INSTANTIATE_TEST_SUITE_P(Profiles, TcpBaselineAllProfiles,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
 
 TEST(Scenario, DccpBaselineIsHealthy) {
   RunMetrics m = run_scenario(dccp_config(), std::nullopt);
@@ -506,6 +509,64 @@ TEST(Campaign, BoundedCampaignRunsEndToEnd) {
             result.on_path + result.false_positives + result.true_attack_strategies);
   EXPECT_LE(result.unique_true_attacks, result.true_attack_strategies);
   EXPECT_FALSE(result.summary_row().empty());
+}
+
+/// A campaign over a SACK-negotiating profile whose universe is narrowed to
+/// the SACK-relevant strategies: drop-100 per observed (state, type) pair
+/// plus lies on the SACK mirror bits. Shared by the discovery and
+/// determinism assertions below.
+CampaignConfig sack_campaign() {
+  CampaignConfig config;
+  config.scenario = tcp_config(tcp::sack_rfc2018_profile());
+  config.scenario.test_duration = Duration::seconds(8.0);
+  config.generator = strategy::tcp_sack_generator_config();
+  config.generator.inject_packet_types.clear();
+  config.generator.drop_probabilities = {100.0};
+  config.generator.duplicate_counts.clear();
+  config.generator.delay_seconds.clear();
+  config.generator.batch_seconds.clear();
+  config.generator.enable_reflect = false;
+  config.generator.lie_exclude_fields = {"src_port", "dst_port", "seq",
+                                         "ack",      "data_offset", "reserved",
+                                         "flags",    "window",   "urgent_ptr"};
+  config.executors = 4;
+  return config;
+}
+
+TEST(Campaign, SackProfileCampaignFindsSackSpecificAttack) {
+  // Acceptance: a campaign over a SACK profile discovers at least one
+  // SACK-specific attack. The expected find is drop/SACK/ESTABLISHED —
+  // dropping the SACK-carrying dupacks starves the sender's scoreboard, so
+  // every loss recovers by RTO instead of fast retransmit and throughput
+  // collapses. Classification must come out a repeatable true attack.
+  CampaignResult result = run_campaign(sack_campaign());
+  bool sack_attack = false;
+  for (const StrategyOutcome& o : result.found) {
+    if (o.strat.packet_type != "SACK" &&
+        !(o.strat.lie.has_value() && (o.strat.lie->field == "sack_flag" ||
+                                      o.strat.lie->field == "dsack_flag")))
+      continue;
+    EXPECT_EQ(o.cls, AttackClass::kTrueAttack) << strategy::canonical_key(o.strat);
+    sack_attack = true;
+  }
+  EXPECT_TRUE(sack_attack) << "no SACK-specific strategy among " << result.found.size()
+                           << " found attacks";
+}
+
+TEST(Campaign, SackProfileCampaignIsDeterministic) {
+  // The SACK campaign is a pure function of its seed like every other: two
+  // thread-pool runs agree on every outcome (the distributed twin is
+  // checked in dist_test.cpp).
+  CampaignResult a = run_campaign(sack_campaign());
+  CampaignResult b = run_campaign(sack_campaign());
+  EXPECT_EQ(a.summary_row(), b.summary_row());
+  ASSERT_EQ(a.found.size(), b.found.size());
+  for (std::size_t i = 0; i < a.found.size(); ++i) {
+    EXPECT_EQ(strategy::canonical_key(a.found[i].strat),
+              strategy::canonical_key(b.found[i].strat));
+    EXPECT_EQ(a.found[i].signature, b.found[i].signature);
+    EXPECT_EQ(a.found[i].detection.target_ratio, b.found[i].detection.target_ratio);
+  }
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 // including the profile quirks that make the paper's attacks possible.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <set>
+
 #include "packet/tcp_format.h"
 #include "sim/network.h"
 #include "tcp/congestion.h"
@@ -616,6 +619,293 @@ TEST(TcpIntegration, ReflectedSynTriggersSimultaneousOpenPath) {
   pair.run_for(5.0);
   EXPECT_FALSE(established);
   EXPECT_TRUE(ep.released());
+}
+
+// ------------------------------------------------------------ SACK / DSACK
+
+TEST(Segment, SackOptionsRoundTrip) {
+  Segment syn;
+  syn.flags = kTcpSyn;
+  syn.sack_permitted = true;
+  auto parsed_syn = parse_segment(serialize(syn));
+  ASSERT_TRUE(parsed_syn.has_value());
+  EXPECT_TRUE(parsed_syn->sack_permitted);
+  EXPECT_TRUE(parsed_syn->sack_blocks.empty());
+
+  Segment ack;
+  ack.flags = kTcpAck;
+  ack.ack = 1000;
+  ack.sack_blocks = {{2400, 3800}, {5200, 6600}, {9000, 10400}};
+  Bytes wire = serialize(ack);
+  // The mirror bit lets the fixed-offset codec see the blocks without
+  // parsing options, and such pure ACKs are their own packet type.
+  EXPECT_EQ(packet::tcp_codec().get(wire, "sack_flag"), 1u);
+  EXPECT_EQ(packet::tcp_format().classify(wire), "SACK");
+  auto parsed_ack = parse_segment(wire);
+  ASSERT_TRUE(parsed_ack.has_value());
+  EXPECT_EQ(parsed_ack->sack_blocks, ack.sack_blocks);
+  EXPECT_FALSE(parsed_ack->sack_permitted);
+}
+
+TEST(Segment, SackBlocksTruncateAtSerializationLimit) {
+  Segment s;
+  s.flags = kTcpAck;
+  for (std::uint32_t i = 0; i < 6; ++i)
+    s.sack_blocks.push_back({i * 3000 + 1000, i * 3000 + 2400});
+  auto parsed = parse_segment(serialize(s));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->sack_blocks.size(), Segment::kMaxSackBlocks);
+  for (std::size_t i = 0; i < Segment::kMaxSackBlocks; ++i)
+    EXPECT_EQ(parsed->sack_blocks[i], s.sack_blocks[i]);
+}
+
+TEST(Segment, OptionBytesMatchDataOffset) {
+  // data_offset must account for the options, 32-bit aligned, and the codec
+  // (which trusts data_offset for payload boundaries) must agree.
+  for (std::size_t blocks : {0u, 1u, 2u, 3u, 4u}) {
+    Segment s;
+    s.flags = kTcpAck;
+    for (std::size_t i = 0; i < blocks; ++i)
+      s.sack_blocks.push_back({static_cast<Seq>(i * 3000 + 1000),
+                               static_cast<Seq>(i * 3000 + 2400)});
+    s.payload = {1, 2, 3};
+    Bytes wire = serialize(s);
+    EXPECT_EQ(s.option_bytes() % 4, 0u) << blocks;
+    EXPECT_EQ(wire.size(), 20 + s.option_bytes() + s.payload.size()) << blocks;
+    EXPECT_EQ(packet::tcp_codec().get(wire, "data_offset"),
+              (20 + s.option_bytes()) / 4) << blocks;
+  }
+}
+
+TEST(Segment, TeardownFlagsOutrankSackClassification) {
+  // Regression: a FIN+ACK that happens to carry SACK blocks must classify
+  // as FIN+ACK — the state tracker missed the close transitions (and the
+  // differential fingerprints wedged in ESTABLISHED) when SACK won.
+  Segment fin;
+  fin.flags = kTcpFin | kTcpAck;
+  fin.sack_blocks = {{700, 2100}};
+  EXPECT_EQ(packet::tcp_format().classify(serialize(fin)), "FIN+ACK");
+  Segment data;
+  data.flags = kTcpPsh | kTcpAck;
+  data.sack_blocks = {{700, 2100}};
+  EXPECT_EQ(packet::tcp_format().classify(serialize(data)), "SACK");
+}
+
+TEST(TcpIntegration, SackNegotiationRequiresBothSides) {
+  {
+    TcpPair pair(sack_rfc2018_profile(), linux_3_13_profile());
+    BulkFixture bulk(pair, 5000);
+    pair.run_for(5.0);
+    ASSERT_NE(bulk.server_ep, nullptr);
+    EXPECT_FALSE(bulk.client_ep->sack_enabled());
+    EXPECT_FALSE(bulk.server_ep->sack_enabled());
+    EXPECT_EQ(bulk.received.size(), 5000u);  // transfer unaffected
+  }
+  {
+    TcpPair pair(sack_rfc2018_profile(), sack_rfc2018_profile());
+    BulkFixture bulk(pair, 5000);
+    pair.run_for(5.0);
+    ASSERT_NE(bulk.server_ep, nullptr);
+    EXPECT_TRUE(bulk.client_ep->sack_enabled());
+    EXPECT_TRUE(bulk.server_ep->sack_enabled());
+  }
+}
+
+/// Drops ingress (server->client) payload-carrying segments by arrival
+/// index: each index in `drop` is dropped exactly once.
+class DropNthData : public sim::PacketFilter {
+ public:
+  explicit DropNthData(std::set<int> drop) : drop_(std::move(drop)) {}
+  sim::FilterVerdict on_packet(sim::Packet& p, sim::FilterDirection dir,
+                               sim::Injector&) override {
+    if (dir != sim::FilterDirection::kIngress) return sim::FilterVerdict::kForward;
+    auto seg = parse_segment(p.bytes);
+    if (!seg.has_value() || seg->payload.empty()) return sim::FilterVerdict::kForward;
+    return drop_.erase(count_++) > 0 ? sim::FilterVerdict::kConsume
+                                     : sim::FilterVerdict::kForward;
+  }
+
+ private:
+  std::set<int> drop_;
+  int count_ = 0;
+};
+
+TEST(TcpIntegration, SackRecoveryPlugsHolesWithoutTimeout) {
+  // Two holes in one flight: the first is plugged by fast retransmit, the
+  // second by a scoreboard-directed retransmission on a later SACK dupack —
+  // no RTO, no go-back-N.
+  TcpPair pair(sack_rfc2018_profile(), sack_rfc2018_profile());
+  DropNthData filter({20, 22});
+  pair.client_node().set_filter(&filter);
+  BulkFixture bulk(pair, 200000);
+  pair.run_for(30.0);
+  EXPECT_EQ(bulk.received.size(), 200000u);
+  EXPECT_TRUE(bulk.content_ok());
+  ASSERT_NE(bulk.server_ep, nullptr);
+  const TcpEndpointStats& sender = bulk.server_ep->stats();
+  EXPECT_GT(sender.sack_blocks_received, 0u);
+  EXPECT_GE(sender.sack_retransmits, 1u);
+  EXPECT_EQ(sender.timeouts, 0u);
+  EXPECT_GT(bulk.client_ep->stats().sack_blocks_sent, 0u);
+}
+
+/// Duplicates the Nth ingress payload segment (attack-proxy style copy).
+class DuplicateNthData : public sim::PacketFilter {
+ public:
+  explicit DuplicateNthData(int n) : n_(n) {}
+  sim::FilterVerdict on_packet(sim::Packet& p, sim::FilterDirection dir,
+                               sim::Injector& injector) override {
+    if (dir != sim::FilterDirection::kIngress) return sim::FilterVerdict::kForward;
+    auto seg = parse_segment(p.bytes);
+    if (!seg.has_value() || seg->payload.empty()) return sim::FilterVerdict::kForward;
+    if (count_++ == n_) {
+      sim::Packet copy = p;
+      injector.inject(std::move(copy), sim::FilterDirection::kIngress, Duration::millis(1));
+    }
+    return sim::FilterVerdict::kForward;
+  }
+
+ private:
+  int n_;
+  int count_ = 0;
+};
+
+TEST(TcpIntegration, DsackProfileReportsDuplicateRange) {
+  // A duplicated data segment draws a DSACK: the coarse header bit on every
+  // SACK profile, plus the duplicate range as leading block on sack-dsack.
+  TcpPair pair(sack_dsack_profile(), sack_dsack_profile());
+  DuplicateNthData filter(5);
+  pair.client_node().set_filter(&filter);
+  BulkFixture bulk(pair, 100000);
+  pair.run_for(30.0);
+  EXPECT_EQ(bulk.received.size(), 100000u);
+  EXPECT_GT(bulk.client_ep->stats().dsack_acks_sent, 0u);
+  ASSERT_NE(bulk.server_ep, nullptr);
+  // The sender recognised the duplicate report (bit or leading block) and
+  // did not count those dupacks toward fast retransmit.
+  EXPECT_GT(bulk.server_ep->stats().dsack_acks_received, 0u);
+  EXPECT_EQ(bulk.server_ep->stats().fast_retransmits, 0u);
+}
+
+/// The attacker script that makes a receiver renege. An honest window
+/// advertisement (recv_buffer minus buffered bytes) geometrically excludes
+/// buffer pressure from MSS-aligned traffic — every in-window aligned
+/// segment fits — so the filter combines three SNAKE-style mutations:
+///  - lie about the client's advertised window (egress rewrite) so the
+///    sender keeps streaming past the real 5000-byte buffer;
+///  - drop the Nth data segment AND its fast retransmission, so the hole
+///    persists across RTTs (identified by sequence number, not arrival
+///    index — retransmissions reuse the seq);
+///  - rewrite two later segments' seqs to land just above the hole,
+///    misaligned: they start inside the advertised window yet overflow the
+///    buffer, which is the only geometry that exerts eviction pressure.
+class RenegeForcing : public sim::PacketFilter {
+ public:
+  sim::FilterVerdict on_packet(sim::Packet& p, sim::FilterDirection dir,
+                               sim::Injector&) override {
+    if (dir == sim::FilterDirection::kEgress) {
+      packet::tcp_codec().set(p.bytes, "window", 65535);
+      return sim::FilterVerdict::kForward;
+    }
+    auto seg = parse_segment(p.bytes);
+    if (!seg.has_value() || seg->payload.empty()) return sim::FilterVerdict::kForward;
+    int index = count_++;
+    if (index == 20) {  // late enough that cwnd outgrew the buffer
+      hole_seq_ = seg->seq;
+      ++hole_drops;
+      return sim::FilterVerdict::kConsume;
+    }
+    if (hole_seq_.has_value() && seg->seq == *hole_seq_ && hole_drops < 2) {
+      ++hole_drops;  // the fast retransmission; the RTO copy gets through
+      return sim::FilterVerdict::kConsume;
+    }
+    if (hole_seq_.has_value() && (index == 23 || index == 24)) {
+      packet::tcp_codec().set(p.bytes, "seq",
+                              *hole_seq_ + 100u * static_cast<std::uint32_t>(index - 22));
+      ++rewritten;
+    }
+    return sim::FilterVerdict::kForward;
+  }
+  int hole_drops = 0;
+  int rewritten = 0;
+
+ private:
+  std::optional<std::uint32_t> hole_seq_;
+  int count_ = 0;
+};
+
+TEST(TcpIntegration, RenegeProfileEvictsSackedDataUnderPressure) {
+  // sack-renege vs sack-rfc2018, same attacker script (see RenegeForcing):
+  // under buffer pressure the renege profile evicts already-SACKed ranges
+  // to admit new data (RFC 2018 permits it) and the sender — which trusted
+  // its scoreboard — only recovers the persistent hole through an RTO.
+  auto run = [](const TcpProfile& client_profile) {
+    TcpPair pair(client_profile, sack_rfc2018_profile());
+    RenegeForcing filter;
+    pair.client_node().set_filter(&filter);
+    pair.server().listen(80, [](TcpEndpoint& ep) {
+      TcpCallbacks cb;
+      cb.on_established = [&ep] { ep.send(Bytes(60000, 0x42)); };
+      cb.on_remote_close = [&ep] { ep.close(); };
+      return cb;
+    });
+    TcpEndpointConfig config;
+    config.recv_buffer = 5000;  // three segments, then eviction pressure
+    struct Result {
+      std::size_t received = 0;
+      TcpEndpointStats client, server;
+    } r;
+    TcpCallbacks cb;
+    auto* received = &r.received;
+    cb.on_data = [received](const Bytes& chunk) { *received += chunk.size(); };
+    TcpEndpoint& client_ep = pair.client().connect(2, 80, std::move(cb), config);
+    pair.run_for(60.0);
+    r.client = client_ep.stats();
+    for (const auto& ep : pair.server().endpoints()) r.server = ep->stats();
+    return r;
+  };
+
+  auto reneged = run(sack_renege_profile());
+  EXPECT_EQ(reneged.received, 60000u);  // reliability survives the renege
+  EXPECT_GT(reneged.client.sack_reneges, 0u);
+  EXPECT_GE(reneged.server.timeouts, 1u);  // scoreboard trust cost an RTO
+
+  auto conformant = run(sack_rfc2018_profile());
+  EXPECT_EQ(conformant.received, 60000u);
+  EXPECT_EQ(conformant.client.sack_reneges, 0u);
+}
+
+TEST(TcpIntegration, ForgedSackBlocksAreRejectedByScoreboard) {
+  // Blocks beyond snd_max (data the receiver cannot have seen) must not
+  // poison the scoreboard — they are forged or stale by definition.
+  TcpPair pair(sack_rfc2018_profile(), sack_rfc2018_profile());
+  class ForgeSack : public sim::PacketFilter {
+   public:
+    sim::FilterVerdict on_packet(sim::Packet& p, sim::FilterDirection dir,
+                                 sim::Injector&) override {
+      if (dir != sim::FilterDirection::kEgress) return sim::FilterVerdict::kForward;
+      auto seg = parse_segment(p.bytes);
+      if (!seg.has_value() || !seg->has(kTcpAck) || seg->has(kTcpSyn))
+        return sim::FilterVerdict::kForward;
+      Segment forged = *seg;
+      // Far beyond anything in flight.
+      forged.sack_blocks = {{forged.ack + 500000, forged.ack + 600000}};
+      p.bytes = serialize(forged);
+      ++forged_count;
+      return sim::FilterVerdict::kForward;
+    }
+    int forged_count = 0;
+  } filter;
+  pair.client_node().set_filter(&filter);
+  BulkFixture bulk(pair, 50000);
+  pair.run_for(20.0);
+  EXPECT_EQ(bulk.received.size(), 50000u);
+  EXPECT_GT(filter.forged_count, 0);
+  ASSERT_NE(bulk.server_ep, nullptr);
+  // Every forged block was seen and none survived into the scoreboard.
+  EXPECT_GT(bulk.server_ep->stats().sack_blocks_received, 0u);
+  EXPECT_EQ(bulk.server_ep->sack_scoreboard_ranges(), 0u);
+  EXPECT_EQ(bulk.server_ep->stats().sack_retransmits, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,377 @@
+// The trace-replay workload subsystem (src/trace + apps/trace_replay):
+//  - snake-trace/v1 parser: canonical accepts, malformed rejects with line
+//    numbers;
+//  - replay-plan reconstruction: pure function of (trace, options),
+//    independent of record interleaving, keyed down-sampling, time scaling;
+//  - scenario integration: a kTrace run delivers exactly the plan's
+//    server->client bytes, bit-identically across fresh and arena runs;
+//  - campaign plumbing: the trace content is folded into the campaign
+//    identity hash, rides the dist wire, and trace campaigns stay
+//    bit-identical with snapshots on/off and across executor widths.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dist/wire.h"
+#include "obs/json.h"
+#include "snake/arena.h"
+#include "snake/controller.h"
+#include "snake/journal.h"
+#include "snake/scenario.h"
+#include "tcp/profile.h"
+#include "trace/trace.h"
+
+namespace snake {
+namespace {
+
+using core::CampaignConfig;
+using core::CampaignResult;
+using core::Protocol;
+using core::RunMetrics;
+using core::ScenarioConfig;
+using core::Workload;
+
+// ------------------------------------------------------------------ parser
+
+const char* kCanonicalTrace =
+    "# snake-trace/v1\n"
+    "# a comment, then two interleaved flows\n"
+    "0.0 f1 open\n"
+    "0.4 f2 open\n"
+    "0.5 f1 recv 40000\n"
+    "0.6 f2 send 2000\n"
+    "1.0 f1 send 1000\n"
+    "1.5 f2 recv 30000\n"
+    "2.0 f1 close\n";
+
+TEST(TraceParser, AcceptsCanonicalTrace) {
+  std::string error;
+  auto parsed = trace::parse_trace(kCanonicalTrace, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->records.size(), 7u);
+  EXPECT_EQ(parsed->flow_count, 2u);
+  EXPECT_EQ(parsed->records[0].op, trace::TraceOp::kOpen);
+  EXPECT_EQ(parsed->records[2].flow, "f1");
+  EXPECT_EQ(parsed->records[2].bytes, 40000u);
+}
+
+TEST(TraceParser, AcceptsCrlfAndLooseWhitespace) {
+  std::string text = "  # snake-trace/v1\r\n\r\n0.0  f1\topen\r\n1.0 f1 send 10\r\n";
+  EXPECT_TRUE(trace::parse_trace(text).has_value());
+}
+
+TEST(TraceParser, RejectsMalformedInputs) {
+  struct Case {
+    const char* name;
+    std::string text;
+  };
+  const std::vector<Case> cases = {
+      {"missing magic", "0.0 f1 open\n"},
+      {"magic not a comment", "snake-trace/v1\n0.0 f1 open\n"},
+      {"unknown op", "# snake-trace/v1\n0.0 f1 ping\n"},
+      {"negative time", "# snake-trace/v1\n-1 f1 open\n"},
+      {"non-numeric time", "# snake-trace/v1\nnoon f1 open\n"},
+      {"inf time", "# snake-trace/v1\ninf f1 open\n"},
+      {"short line", "# snake-trace/v1\n0.0 f1\n"},
+      {"send without bytes", "# snake-trace/v1\n0.0 f1 open\n1 f1 send\n"},
+      {"send with zero bytes", "# snake-trace/v1\n0.0 f1 open\n1 f1 send 0\n"},
+      {"send with junk bytes", "# snake-trace/v1\n0.0 f1 open\n1 f1 send 1x\n"},
+      {"open with bytes", "# snake-trace/v1\n0.0 f1 open 5\n"},
+      {"duplicate open", "# snake-trace/v1\n0.0 f1 open\n1 f1 open\n"},
+      {"record before open", "# snake-trace/v1\n0.0 f1 send 5\n"},
+      {"record after close", "# snake-trace/v1\n0 f1 open\n1 f1 close\n2 f1 send 5\n"},
+      {"time going backwards", "# snake-trace/v1\n5 f1 open\n1 f1 send 5\n"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    EXPECT_FALSE(trace::parse_trace(c.text, &error).has_value()) << c.name;
+    EXPECT_NE(error.find("trace line "), std::string::npos) << c.name << ": " << error;
+  }
+}
+
+// -------------------------------------------------------------- replay plan
+
+trace::ParsedTrace parse_or_die(const std::string& text) {
+  std::string error;
+  auto parsed = trace::parse_trace(text, &error);
+  EXPECT_TRUE(parsed.has_value()) << error;
+  return *parsed;
+}
+
+std::string plan_fingerprint(const trace::ReplayPlan& plan) {
+  obs::JsonWriter w;
+  w.begin_array();
+  for (const trace::FlowSchedule& f : plan.flows) {
+    w.begin_object();
+    w.key("id").value(f.id);
+    w.key("open").value(f.open_at_s);
+    w.key("close").value(f.close_at_s.has_value() ? *f.close_at_s : -1.0);
+    w.key("transfers").begin_array();
+    for (const trace::FlowTransfer& t : f.transfers) {
+      w.begin_array();
+      w.value(t.at_s).value(t.client_bytes).value(t.server_bytes);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  return w.take();
+}
+
+TEST(ReplayPlan, IndependentOfRecordInterleaving) {
+  // The same two flows, interleaved differently in the file (per-flow order
+  // is a format invariant; cross-flow order is not). The plan must come out
+  // identical.
+  const char* grouped =
+      "# snake-trace/v1\n"
+      "0.0 f1 open\n"
+      "0.5 f1 recv 40000\n"
+      "1.0 f1 send 1000\n"
+      "2.0 f1 close\n"
+      "0.4 f2 open\n"
+      "0.6 f2 send 2000\n"
+      "1.5 f2 recv 30000\n";
+  trace::ReplayOptions opts;
+  trace::ReplayPlan a = trace::build_replay_plan(parse_or_die(kCanonicalTrace), opts);
+  trace::ReplayPlan b = trace::build_replay_plan(parse_or_die(grouped), opts);
+  EXPECT_EQ(plan_fingerprint(a), plan_fingerprint(b));
+  EXPECT_EQ(a.total_server_bytes, 70000u);
+  EXPECT_EQ(a.total_client_bytes, 3000u);
+  EXPECT_DOUBLE_EQ(a.horizon_s, 2.0);
+  // Flows come out in (open time, id) order.
+  ASSERT_EQ(a.flows.size(), 2u);
+  EXPECT_EQ(a.flows[0].id, "f1");
+  EXPECT_EQ(a.flows[1].id, "f2");
+}
+
+std::string six_flow_trace() {
+  std::string text = "# snake-trace/v1\n";
+  for (int i = 0; i < 6; ++i) {
+    std::string id = "flow" + std::to_string(i);
+    double at = 0.1 * i;
+    text += std::to_string(at) + " " + id + " open\n";
+    text += std::to_string(at + 0.5) + " " + id + " recv 10000\n";
+  }
+  return text;
+}
+
+TEST(ReplayPlan, DownsampleIsKeyedByFlowIdNotFileOrder) {
+  trace::ParsedTrace forward = parse_or_die(six_flow_trace());
+  // The same six flows fed in reverse file order.
+  std::string reversed = "# snake-trace/v1\n";
+  for (int i = 5; i >= 0; --i) {
+    std::string id = "flow" + std::to_string(i);
+    double at = 0.1 * i;
+    reversed += std::to_string(at) + " " + id + " open\n";
+    reversed += std::to_string(at + 0.5) + " " + id + " recv 10000\n";
+  }
+  trace::ReplayOptions opts;
+  opts.max_flows = 3;
+  opts.seed = 1;
+  trace::ReplayPlan a = trace::build_replay_plan(forward, opts);
+  trace::ReplayPlan b = trace::build_replay_plan(parse_or_die(reversed), opts);
+  ASSERT_EQ(a.flows.size(), 3u);
+  EXPECT_EQ(plan_fingerprint(a), plan_fingerprint(b));
+  EXPECT_EQ(a.total_server_bytes, 30000u);
+}
+
+TEST(ReplayPlan, DownsampleSeedSelectsDifferentSubsets) {
+  trace::ParsedTrace parsed = parse_or_die(six_flow_trace());
+  trace::ReplayOptions opts;
+  opts.max_flows = 3;
+  auto kept_ids = [&](std::uint64_t seed) {
+    opts.seed = seed;
+    trace::ReplayPlan plan = trace::build_replay_plan(parsed, opts);
+    std::vector<std::string> ids;
+    for (const auto& f : plan.flows) ids.push_back(f.id);
+    return ids;
+  };
+  // Equal seeds agree; across a handful of seeds at least one picks a
+  // different subset (the ranking mixes the seed into the keyed hash).
+  EXPECT_EQ(kept_ids(1), kept_ids(1));
+  const std::vector<std::string> base = kept_ids(1);
+  bool any_different = false;
+  for (std::uint64_t seed = 2; seed <= 6 && !any_different; ++seed)
+    any_different = kept_ids(seed) != base;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ReplayPlan, TimeScaleCompressesEveryInstant) {
+  trace::ReplayOptions opts;
+  opts.time_scale = 0.25;
+  trace::ReplayPlan plan = trace::build_replay_plan(parse_or_die(kCanonicalTrace), opts);
+  EXPECT_DOUBLE_EQ(plan.horizon_s, 0.5);
+  ASSERT_FALSE(plan.flows.empty());
+  EXPECT_DOUBLE_EQ(plan.flows[0].open_at_s, 0.0);
+  ASSERT_FALSE(plan.flows[0].transfers.empty());
+  EXPECT_DOUBLE_EQ(plan.flows[0].transfers[0].at_s, 0.125);
+  // Byte counts are untouched.
+  EXPECT_EQ(plan.total_server_bytes, 70000u);
+}
+
+TEST(ReplayPlan, TraceTextHashIsStableAndContentSensitive) {
+  const std::string text = kCanonicalTrace;
+  EXPECT_EQ(trace::trace_text_hash(text), trace::trace_text_hash(text));
+  EXPECT_NE(trace::trace_text_hash(text), trace::trace_text_hash(text + "\n# tail"));
+}
+
+// -------------------------------------------------------- scenario replay
+
+/// A short trace whose whole schedule fits inside the scenario's pre-exit
+/// window: the honest run must deliver every planned server byte.
+const char* kScenarioTrace =
+    "# snake-trace/v1\n"
+    "0.0 web1 open\n"
+    "0.2 web1 recv 80000\n"
+    "0.6 web1 send 1500\n"
+    "1.0 web1 recv 120000\n"
+    "2.0 web1 close\n"
+    "0.3 web2 open\n"
+    "0.8 web2 recv 50000\n"
+    "2.5 web2 close\n"
+    "1.2 api open\n"
+    "1.4 api send 700\n"
+    "1.6 api recv 25000\n";
+
+ScenarioConfig trace_scenario() {
+  ScenarioConfig config;
+  config.protocol = Protocol::kTcp;
+  config.tcp_profile = tcp::linux_3_13_profile();
+  config.workload = Workload::kTrace;
+  config.trace_text = kScenarioTrace;
+  config.trace_max_flows = 8;
+  config.test_duration = Duration::seconds(8.0);
+  config.seed = 11;
+  return config;
+}
+
+TEST(TraceScenario, HonestRunDeliversEveryPlannedServerByte) {
+  ScenarioConfig config = trace_scenario();
+  trace::ReplayOptions opts;
+  opts.max_flows = config.trace_max_flows;
+  trace::ReplayPlan plan =
+      trace::build_replay_plan(parse_or_die(config.trace_text), opts);
+  ASSERT_EQ(plan.flows.size(), 3u);
+
+  RunMetrics m = core::run_scenario(config, std::nullopt);
+  EXPECT_TRUE(m.target_established);
+  EXPECT_FALSE(m.target_reset);
+  EXPECT_EQ(m.target_bytes, plan.total_server_bytes);
+  // The competing bulk download ran alongside, untouched by the workload
+  // swap on the target side.
+  EXPECT_TRUE(m.competing_established);
+  EXPECT_GT(m.competing_bytes, plan.total_server_bytes);
+}
+
+TEST(TraceScenario, MalformedTraceDegradesToZeroFlowRun) {
+  ScenarioConfig config = trace_scenario();
+  config.trace_text = "not a trace\n";
+  RunMetrics m = core::run_scenario(config, std::nullopt);
+  EXPECT_EQ(m.target_bytes, 0u);
+  EXPECT_FALSE(m.target_established);
+  // The rest of the scenario still runs.
+  EXPECT_TRUE(m.competing_established);
+}
+
+std::string metrics_fingerprint(const RunMetrics& m) {
+  obs::JsonWriter w;
+  core::write_json(w, m);
+  return w.take();
+}
+
+TEST(TraceScenario, BitIdenticalAcrossFreshAndArenaRuns) {
+  ScenarioConfig config = trace_scenario();
+  RunMetrics fresh1 = core::run_scenario(config, std::nullopt);
+  RunMetrics fresh2 = core::run_scenario(config, std::nullopt);
+  core::ScenarioArena arena;
+  RunMetrics pooled1 = core::run_scenario(arena, config, std::nullopt);
+  RunMetrics pooled2 = core::run_scenario(arena, config, std::nullopt);
+  EXPECT_EQ(metrics_fingerprint(fresh1), metrics_fingerprint(fresh2));
+  EXPECT_EQ(metrics_fingerprint(fresh1), metrics_fingerprint(pooled1));
+  EXPECT_EQ(metrics_fingerprint(fresh1), metrics_fingerprint(pooled2));
+}
+
+// ------------------------------------------------- campaign + dist plumbing
+
+CampaignConfig trace_campaign() {
+  CampaignConfig config;
+  config.scenario = trace_scenario();
+  config.scenario.test_duration = Duration::seconds(5.0);
+  config.generator = strategy::tcp_generator_config();
+  config.generator.hitseq_max_packets = 2000;
+  config.executors = 2;
+  config.max_strategies = 12;
+  config.collect_metrics = false;  // registries legitimately differ
+  return config;
+}
+
+TEST(TraceCampaign, IdentityHashCoversTraceContent) {
+  CampaignConfig base = trace_campaign();
+  const std::uint64_t h = core::campaign_identity_hash(base);
+  EXPECT_EQ(core::campaign_identity_hash(base), h);
+
+  CampaignConfig other_text = trace_campaign();
+  other_text.scenario.trace_text += "\n# trailing comment";
+  EXPECT_NE(core::campaign_identity_hash(other_text), h);
+
+  CampaignConfig other_cap = trace_campaign();
+  other_cap.scenario.trace_max_flows = 2;
+  EXPECT_NE(core::campaign_identity_hash(other_cap), h);
+
+  CampaignConfig other_scale = trace_campaign();
+  other_scale.scenario.trace_time_scale = 0.5;
+  EXPECT_NE(core::campaign_identity_hash(other_scale), h);
+
+  // A bulk campaign ignores the trace fields entirely: journals and cache
+  // entries from pre-trace builds keep their identity.
+  CampaignConfig bulk = trace_campaign();
+  bulk.scenario.workload = Workload::kBulk;
+  CampaignConfig bulk_stale = trace_campaign();
+  bulk_stale.scenario.workload = Workload::kBulk;
+  bulk_stale.scenario.trace_text = "leftover";
+  EXPECT_EQ(core::campaign_identity_hash(bulk), core::campaign_identity_hash(bulk_stale));
+  EXPECT_NE(core::campaign_identity_hash(bulk), h);
+}
+
+TEST(TraceWire, ScenarioConfigRoundTripsTraceFields) {
+  dist::WorkerCampaign wc;
+  wc.scenario = trace_scenario();
+  wc.scenario.trace_time_scale = 0.75;
+  wc.scenario.trace_max_flows = 5;
+  std::optional<dist::Message> msg = dist::parse_message(dist::encode_campaign(wc));
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->type, dist::MsgType::kCampaign);
+  const ScenarioConfig& got = msg->campaign.scenario;
+  EXPECT_EQ(got.workload, Workload::kTrace);
+  EXPECT_EQ(got.trace_text, wc.scenario.trace_text);
+  EXPECT_EQ(got.trace_max_flows, 5u);
+  EXPECT_DOUBLE_EQ(got.trace_time_scale, 0.75);
+  // Bulk configs stay bulk and ship no trace payload.
+  dist::WorkerCampaign bulk;
+  bulk.scenario = trace_scenario();
+  bulk.scenario.workload = Workload::kBulk;
+  std::optional<dist::Message> bulk_msg = dist::parse_message(dist::encode_campaign(bulk));
+  ASSERT_TRUE(bulk_msg.has_value());
+  EXPECT_EQ(bulk_msg->campaign.scenario.workload, Workload::kBulk);
+  EXPECT_TRUE(bulk_msg->campaign.scenario.trace_text.empty());
+}
+
+TEST(TraceCampaign, BitIdenticalAcrossSnapshotsAndExecutorWidths) {
+  CampaignConfig base = trace_campaign();
+  CampaignResult reference = core::run_campaign(base);
+  EXPECT_EQ(reference.strategies_tried, 12u);
+  EXPECT_GT(reference.baseline.target_bytes, 0u);
+
+  CampaignConfig no_snapshots = trace_campaign();
+  no_snapshots.use_snapshots = false;
+  EXPECT_EQ(core::run_campaign(no_snapshots).to_json(), reference.to_json());
+
+  CampaignConfig wide = trace_campaign();
+  wide.executors = 4;
+  EXPECT_EQ(core::run_campaign(wide).to_json(), reference.to_json());
+}
+
+}  // namespace
+}  // namespace snake
